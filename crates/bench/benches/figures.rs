@@ -1,0 +1,115 @@
+//! Criterion micro/macro benchmarks of the toolkit's engines — one
+//! group per pipeline stage, so performance regressions in the
+//! experiment harness are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_floorplan::core_plan::CoreFloorplan;
+use noc_power::switch_model::{SwitchModel, SwitchParams};
+use noc_power::technology::TechNode;
+use noc_sim::config::SimConfig;
+use noc_sim::engine::Simulator;
+use noc_sim::patterns;
+use noc_spec::presets;
+use noc_spec::units::Hertz;
+use noc_spec::CoreId;
+use noc_synth::mapping::map_to_mesh;
+use noc_synth::sunfloor::{synthesize_min_power, SynthesisConfig};
+use noc_topology::generators::mesh;
+
+/// E1 backing model: the full Fig. 2 radix sweep.
+fn bench_switch_model(c: &mut Criterion) {
+    let model = SwitchModel::new(TechNode::NM65);
+    c.bench_function("fig2/switch_model_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for radix in 2..=34 {
+                let est = model.estimate(SwitchParams::symmetric(radix));
+                acc += est.area.raw() + est.max_frequency.raw() as f64;
+            }
+            acc
+        })
+    });
+}
+
+/// E2 backing engine: mesh simulation cycles/second at two scales.
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/simulator");
+    group.sample_size(10);
+    for (rows, cols) in [(4usize, 4usize), (8, 10)] {
+        let cores: Vec<CoreId> = (0..rows * cols).map(CoreId).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
+            &(rows, cols),
+            |b, _| {
+                b.iter(|| {
+                    let fabric = mesh(rows, cols, &cores, 32).expect("valid");
+                    let sources =
+                        patterns::uniform_random(&fabric, 0.1, 4).expect("in range");
+                    let mut sim = Simulator::new(
+                        fabric.topology,
+                        SimConfig::default().with_warmup(100),
+                    );
+                    for s in sources {
+                        sim.add_source(s);
+                    }
+                    sim.run(2_000);
+                    sim.stats().total_delivered_flits
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// E5 backing engine: one synthesis run on the mobile SoC.
+fn bench_synthesis(c: &mut Criterion) {
+    let spec = presets::mobile_multimedia_soc();
+    let fp = CoreFloorplan::from_spec(&spec, 42);
+    let cfg = SynthesisConfig {
+        min_switches: 4,
+        max_switches: 6,
+        clocks: vec![Hertz::from_mhz(650)],
+        ..SynthesisConfig::default()
+    };
+    let mut group = c.benchmark_group("fig6/synthesis");
+    group.sample_size(10);
+    group.bench_function("sunfloor_mobile_soc", |b| {
+        b.iter(|| {
+            synthesize_min_power(&spec, Some(&fp), &cfg)
+                .expect("feasible")
+                .metrics
+                .power
+                .raw()
+        })
+    });
+    group.bench_function("sunmap_mesh_mapping", |b| {
+        b.iter(|| {
+            map_to_mesh(&spec, 5, 6, Hertz::from_mhz(650), 32, TechNode::NM65, Some(&fp))
+                .expect("mappable")
+                .metrics
+                .power
+                .raw()
+        })
+    });
+    group.finish();
+}
+
+/// Floorplanner annealing throughput.
+fn bench_floorplan(c: &mut Criterion) {
+    let spec = presets::mobile_multimedia_soc();
+    let mut group = c.benchmark_group("floorplan");
+    group.sample_size(10);
+    group.bench_function("slicing_anneal_26_blocks", |b| {
+        b.iter(|| CoreFloorplan::from_spec(&spec, 7).chip_width().raw())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_switch_model,
+    bench_simulator,
+    bench_synthesis,
+    bench_floorplan
+);
+criterion_main!(benches);

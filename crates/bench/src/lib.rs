@@ -1,0 +1,75 @@
+//! # noc-bench — the experiment harness
+//!
+//! One binary per figure/claim of the DAC'10 paper (see `DESIGN.md` §4
+//! for the experiment index and `EXPERIMENTS.md` for paper-vs-measured
+//! results):
+//!
+//! | binary | experiment |
+//! |--------|------------|
+//! | `fig2_switch_scalability` | E1 — Fig. 2 switch scalability at 65 nm |
+//! | `fig4_teraflops` | E2 — Teraflops 8×10 mesh, 1.62 Tb/s @ 3.16 GHz |
+//! | `faust_receiver_matrix` | E3 — FAUST 10.6 Gb/s GT receiver matrix |
+//! | `fig5_bone_vs_mesh` | E4 — BONE hierarchical star vs 2D mesh |
+//! | `fig6_flow_pareto` | E5 — iNoCs flow Pareto front, custom vs mesh |
+//! | `wiring_serialization` | E6 — §4.1 serialization vs buses |
+//! | `routability_crossbar` | E7 — §4.2 crossbar routability limits |
+//! | `gals_sync` | E8 — §4.3 synchronization schemes |
+//! | `fig3_3d_tsv` | E9 — §4.4 / Fig. 3 TSV serialization & yield |
+//! | `ablation_flow_control` | A1 — ACK/NACK vs ON/OFF |
+//! | `ablation_tdma_qos` | A2 — TDMA GT vs BE under congestion |
+//! | `ablation_floorplan_aware` | A3 — floorplan-aware vs oblivious synthesis |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Formats a row-oriented text table with right-aligned columns — the
+/// uniform output format of every experiment binary.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "{:>w$}  ", h, w = widths[i]);
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Banner printed by every experiment binary.
+pub fn banner(id: &str, title: &str) {
+    println!("== {id}: {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "long_header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100".into(), "2000".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long_header"));
+        assert_eq!(lines[1].len(), lines[2].len());
+    }
+}

@@ -1,0 +1,63 @@
+//! Human-readable reports of flow outcomes.
+
+use crate::flow::FlowOutcome;
+use std::fmt::Write as _;
+
+/// Renders the Pareto table of a flow outcome: one row per design point
+/// with switch count, clock, power, area, latency and verification
+/// status — the view from which "the designer can then choose a NoC
+/// instance" (§6).
+pub fn pareto_table(outcome: &FlowOutcome) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:>3} {:>8} {:>10} {:>10} {:>10} {:>9} {:>10} {:>9}",
+        "#", "switches", "clock MHz", "power mW", "area mm2", "lat cyc", "delivered", "GT ok"
+    )
+    .expect("infallible");
+    for (i, d) in outcome.designs.iter().enumerate() {
+        let m = &d.design.metrics;
+        let (delivered, gt) = match d.verification {
+            Some(v) => (
+                format!("{:.2}", v.delivered_fraction),
+                if v.gt_bandwidth_ok { "yes" } else { "NO" }.to_string(),
+            ),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        writeln!(
+            out,
+            "{:>3} {:>8} {:>10.0} {:>10.2} {:>10.4} {:>9.2} {:>10} {:>9}",
+            i,
+            d.design.switch_count,
+            d.design.clock.to_mhz(),
+            m.power.raw(),
+            m.area.to_mm2(),
+            m.mean_latency_cycles,
+            delivered,
+            gt
+        )
+        .expect("infallible");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::flow::{run_flow, FlowConfig};
+    use noc_spec::presets;
+    use noc_spec::units::Hertz;
+
+    #[test]
+    fn table_has_one_row_per_design() {
+        let spec = presets::tiny_quad();
+        let mut cfg = FlowConfig::default();
+        cfg.synthesis.max_switches = 3;
+        cfg.synthesis.clocks = vec![Hertz::from_mhz(650)];
+        cfg.verify_cycles = 0;
+        let outcome = run_flow(&spec, None, &cfg).expect("feasible");
+        let table = super::pareto_table(&outcome);
+        // Header + one line per design.
+        assert_eq!(table.lines().count(), outcome.designs.len() + 1);
+        assert!(table.contains("switches"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Blocks and placed rectangles.
+
+use noc_spec::units::{Micrometers, SquareMicrometers};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rectangular block to be placed (an IP core, later also NoC
+/// components).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Instance name.
+    pub name: String,
+    /// Width.
+    pub width: Micrometers,
+    /// Height.
+    pub height: Micrometers,
+}
+
+impl Block {
+    /// Creates a block.
+    pub fn new(name: impl Into<String>, width: Micrometers, height: Micrometers) -> Block {
+        Block {
+            name: name.into(),
+            width,
+            height,
+        }
+    }
+
+    /// The block's area.
+    pub fn area(&self) -> SquareMicrometers {
+        self.width * self.height
+    }
+}
+
+/// An axis-aligned placed rectangle.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge.
+    pub x: Micrometers,
+    /// Bottom edge.
+    pub y: Micrometers,
+    /// Width.
+    pub w: Micrometers,
+    /// Height.
+    pub h: Micrometers,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    pub fn new(x: Micrometers, y: Micrometers, w: Micrometers, h: Micrometers) -> Rect {
+        Rect { x, y, w, h }
+    }
+
+    /// Center point `(x, y)`.
+    pub fn center(&self) -> (Micrometers, Micrometers) {
+        (
+            Micrometers(self.x.raw() + self.w.raw() / 2.0),
+            Micrometers(self.y.raw() + self.h.raw() / 2.0),
+        )
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> SquareMicrometers {
+        self.w * self.h
+    }
+
+    /// Whether two rectangles overlap with physically meaningful area.
+    ///
+    /// Overlaps thinner than [`Rect::EPSILON`] (1e-6 µm = 1 pm) are
+    /// treated as touching: slicing-tree coordinates are accumulated in
+    /// different association orders, so exact edges can differ by a few
+    /// ULPs.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x.raw() + Rect::EPSILON < other.x.raw() + other.w.raw()
+            && other.x.raw() + Rect::EPSILON < self.x.raw() + self.w.raw()
+            && self.y.raw() + Rect::EPSILON < other.y.raw() + other.h.raw()
+            && other.y.raw() + Rect::EPSILON < self.y.raw() + self.h.raw()
+    }
+
+    /// Geometric tolerance of [`Rect::overlaps`], in micrometres.
+    pub const EPSILON: f64 = 1e-6;
+
+    /// Manhattan distance between the centers of two rectangles — the
+    /// wire-length estimate used throughout the flow.
+    pub fn center_distance(&self, other: &Rect) -> Micrometers {
+        let (ax, ay) = self.center();
+        let (bx, by) = other.center();
+        Micrometers((ax.raw() - bx.raw()).abs() + (ay.raw() - by.raw()).abs())
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.0},{:.0} {:.0}x{:.0}]",
+            self.x.raw(),
+            self.y.raw(),
+            self.w.raw(),
+            self.h.raw()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_area() {
+        let b = Block::new("b", Micrometers(100.0), Micrometers(50.0));
+        assert_eq!(b.area().raw(), 5000.0);
+    }
+
+    #[test]
+    fn rect_center_and_area() {
+        let r = Rect::new(
+            Micrometers(10.0),
+            Micrometers(20.0),
+            Micrometers(30.0),
+            Micrometers(40.0),
+        );
+        assert_eq!(r.center(), (Micrometers(25.0), Micrometers(40.0)));
+        assert_eq!(r.area().raw(), 1200.0);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Rect::new(Micrometers(0.0), Micrometers(0.0), Micrometers(10.0), Micrometers(10.0));
+        let b = Rect::new(Micrometers(5.0), Micrometers(5.0), Micrometers(10.0), Micrometers(10.0));
+        let c = Rect::new(Micrometers(10.0), Micrometers(0.0), Micrometers(5.0), Micrometers(5.0));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "touching edges do not overlap");
+    }
+
+    #[test]
+    fn manhattan_center_distance() {
+        let a = Rect::new(Micrometers(0.0), Micrometers(0.0), Micrometers(10.0), Micrometers(10.0));
+        let b = Rect::new(Micrometers(10.0), Micrometers(10.0), Micrometers(10.0), Micrometers(10.0));
+        assert_eq!(a.center_distance(&b).raw(), 20.0);
+    }
+}

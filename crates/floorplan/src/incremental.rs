@@ -1,0 +1,234 @@
+//! Incremental NoC-component insertion (\[11\], \[12\], §2 of the paper):
+//! "Once a topology is designed, the tool inserts the NoC components in
+//! the best positions in the floorplan, while marginally perturbing the
+//! initial floorplan input."
+//!
+//! NIs sit at their core's center (they are tiny relative to cores);
+//! switches are placed by solving the weighted-Laplacian relaxation: each
+//! switch moves to the bandwidth-weighted centroid of its neighbors
+//! (cores are fixed anchors), iterated to convergence. The result gives
+//! every link a concrete length, from which the link model derives
+//! pipeline depth and wire power — "this approach captures accurately
+//! wire delays and power values of the NoC during topology synthesis."
+
+use crate::core_plan::CoreFloorplan;
+use noc_spec::units::Micrometers;
+use noc_topology::graph::{LinkId, NodeId, NodeKind, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Positions of every topology node plus derived link lengths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NocPlacement {
+    /// `(x, y)` center of every node, indexed by node id.
+    pub positions: BTreeMap<NodeId, (Micrometers, Micrometers)>,
+    /// Manhattan length of every link.
+    pub link_lengths: BTreeMap<LinkId, Micrometers>,
+}
+
+impl NocPlacement {
+    /// The position of a node.
+    pub fn position(&self, node: NodeId) -> Option<(Micrometers, Micrometers)> {
+        self.positions.get(&node).copied()
+    }
+
+    /// The length of a link.
+    pub fn link_length(&self, link: LinkId) -> Option<Micrometers> {
+        self.link_lengths.get(&link).copied()
+    }
+
+    /// Total wirelength (sum over links, each direction counted).
+    pub fn total_wirelength(&self) -> Micrometers {
+        Micrometers(self.link_lengths.values().map(|l| l.raw()).sum())
+    }
+
+    /// The longest link.
+    pub fn max_link_length(&self) -> Micrometers {
+        Micrometers(
+            self.link_lengths
+                .values()
+                .map(|l| l.raw())
+                .fold(0.0, f64::max),
+        )
+    }
+}
+
+/// Number of relaxation sweeps; the Laplacian solve converges
+/// geometrically, 60 sweeps are ample for NoC-sized graphs.
+const RELAXATION_SWEEPS: usize = 60;
+
+/// Inserts the NoC components of `topo` into `floorplan`.
+///
+/// Cores absent from the floorplan anchor at the chip center (and the
+/// caller should treat the resulting lengths as pessimistic estimates).
+pub fn insert_noc(floorplan: &CoreFloorplan, topo: &Topology) -> NocPlacement {
+    let n = topo.nodes().len();
+    let center = (
+        Micrometers(floorplan.chip_width().raw() / 2.0),
+        Micrometers(floorplan.chip_height().raw() / 2.0),
+    );
+    let mut pos: Vec<(f64, f64)> = vec![(center.0.raw(), center.1.raw()); n];
+    let mut fixed = vec![false; n];
+    for (id, node) in topo.node_ids() {
+        if let NodeKind::Ni { core, .. } = node.kind {
+            if let Some(rect) = floorplan.placement(core) {
+                let (x, y) = rect.center();
+                pos[id.0] = (x.raw(), y.raw());
+            }
+            fixed[id.0] = true;
+        }
+    }
+    // Gauss–Seidel relaxation on switch positions.
+    for _ in 0..RELAXATION_SWEEPS {
+        for (id, node) in topo.node_ids() {
+            if !node.is_switch() || fixed[id.0] {
+                continue;
+            }
+            let mut sx = 0.0;
+            let mut sy = 0.0;
+            let mut count = 0.0;
+            for &l in topo.outgoing(id) {
+                let other = topo.link(l).dst;
+                sx += pos[other.0].0;
+                sy += pos[other.0].1;
+                count += 1.0;
+            }
+            for &l in topo.incoming(id) {
+                let other = topo.link(l).src;
+                sx += pos[other.0].0;
+                sy += pos[other.0].1;
+                count += 1.0;
+            }
+            if count > 0.0 {
+                pos[id.0] = (sx / count, sy / count);
+            }
+        }
+    }
+    let positions: BTreeMap<NodeId, (Micrometers, Micrometers)> = topo
+        .node_ids()
+        .map(|(id, _)| (id, (Micrometers(pos[id.0].0), Micrometers(pos[id.0].1))))
+        .collect();
+    let link_lengths: BTreeMap<LinkId, Micrometers> = topo
+        .link_ids()
+        .map(|(id, l)| {
+            let a = pos[l.src.0];
+            let b = pos[l.dst.0];
+            (
+                id,
+                Micrometers((a.0 - b.0).abs() + (a.1 - b.1).abs()),
+            )
+        })
+        .collect();
+    NocPlacement {
+        positions,
+        link_lengths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_spec::{presets, CoreId};
+    use noc_topology::generators::mesh;
+    use noc_topology::graph::NiRole;
+
+    #[test]
+    fn star_switch_lands_at_weighted_center() {
+        // Four cores at known positions, one hub switch: the hub must
+        // relax to the centroid.
+        use crate::block::Rect;
+        let mut placements = BTreeMap::new();
+        for (i, (x, y)) in [(0.0, 0.0), (1000.0, 0.0), (0.0, 1000.0), (1000.0, 1000.0)]
+            .into_iter()
+            .enumerate()
+        {
+            placements.insert(
+                CoreId(i),
+                Rect::new(Micrometers(x), Micrometers(y), Micrometers(100.0), Micrometers(100.0)),
+            );
+        }
+        let fp = CoreFloorplan::from_placements(placements);
+        let mut topo = noc_topology::Topology::new("star");
+        let hub = topo.add_switch("hub");
+        for i in 0..4 {
+            let ni = topo.add_ni(format!("ni{i}"), CoreId(i), NiRole::Initiator);
+            topo.connect_duplex(ni, hub, 32).expect("ok");
+        }
+        let placement = insert_noc(&fp, &topo);
+        let (hx, hy) = placement.position(hub).expect("placed");
+        assert!((hx.raw() - 550.0).abs() < 1.0, "hub x {}", hx.raw());
+        assert!((hy.raw() - 550.0).abs() < 1.0, "hub y {}", hy.raw());
+    }
+
+    #[test]
+    fn link_lengths_are_symmetric_for_duplex_links() {
+        let spec = presets::tiny_quad();
+        let fp = CoreFloorplan::from_spec(&spec, 3);
+        let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+        let m = mesh(2, 2, &cores, 32).expect("valid");
+        let placement = insert_noc(&fp, &m.topology);
+        for (id, l) in m.topology.link_ids() {
+            let rev = m.topology.find_link(l.dst, l.src).expect("duplex");
+            assert_eq!(
+                placement.link_length(id),
+                placement.link_length(rev),
+                "duplex pair lengths differ"
+            );
+        }
+    }
+
+    #[test]
+    fn total_and_max_wirelength() {
+        let spec = presets::tiny_quad();
+        let fp = CoreFloorplan::from_spec(&spec, 5);
+        let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+        let m = mesh(2, 2, &cores, 32).expect("valid");
+        let placement = insert_noc(&fp, &m.topology);
+        assert!(placement.total_wirelength().raw() > 0.0);
+        assert!(placement.max_link_length().raw() <= fp.half_perimeter().raw());
+        assert!(placement.max_link_length().raw() > 0.0);
+    }
+
+    #[test]
+    fn all_nodes_receive_positions() {
+        let spec = presets::bone_mpsoc();
+        let fp = CoreFloorplan::from_spec(&spec, 8);
+        let riscs: Vec<CoreId> = (0..10).map(CoreId).collect();
+        let srams: Vec<CoreId> = (10..18).map(CoreId).collect();
+        let hs = noc_topology::generators::HierStar::bone(&riscs, &srams, 32).expect("valid");
+        let placement = insert_noc(&fp, &hs.topology);
+        assert_eq!(placement.positions.len(), hs.topology.nodes().len());
+        assert_eq!(placement.link_lengths.len(), hs.topology.links().len());
+    }
+
+    #[test]
+    fn chain_of_switches_spreads_between_anchors() {
+        // core0 -- s0 -- s1 -- s2 -- core1: switches should interpolate.
+        use crate::block::Rect;
+        let mut placements = BTreeMap::new();
+        placements.insert(
+            CoreId(0),
+            Rect::new(Micrometers(0.0), Micrometers(0.0), Micrometers(10.0), Micrometers(10.0)),
+        );
+        placements.insert(
+            CoreId(1),
+            Rect::new(Micrometers(4000.0), Micrometers(0.0), Micrometers(10.0), Micrometers(10.0)),
+        );
+        let fp = CoreFloorplan::from_placements(placements);
+        let mut topo = noc_topology::Topology::new("chain");
+        let s0 = topo.add_switch("s0");
+        let s1 = topo.add_switch("s1");
+        let s2 = topo.add_switch("s2");
+        let ni0 = topo.add_ni("ni0", CoreId(0), NiRole::Initiator);
+        let ni1 = topo.add_ni("ni1", CoreId(1), NiRole::Target);
+        topo.connect_duplex(ni0, s0, 32).expect("ok");
+        topo.connect_duplex(s0, s1, 32).expect("ok");
+        topo.connect_duplex(s1, s2, 32).expect("ok");
+        topo.connect_duplex(s2, ni1, 32).expect("ok");
+        let p = insert_noc(&fp, &topo);
+        let x0 = p.position(s0).expect("placed").0.raw();
+        let x1 = p.position(s1).expect("placed").0.raw();
+        let x2 = p.position(s2).expect("placed").0.raw();
+        assert!(x0 < x1 && x1 < x2, "switches must be ordered: {x0} {x1} {x2}");
+    }
+}

@@ -1,0 +1,543 @@
+//! Slicing-tree floorplanning with simulated annealing (Wong–Liu).
+//!
+//! The tool flow (§6) "optionally takes the floorplan of the SoC without
+//! the interconnect as an input … an estimate of the position of each
+//! core." When the designer has no floorplan, this module produces one:
+//! blocks are arranged by a normalized-Polish-expression slicing tree,
+//! annealed over the classic three move types to minimize chip area plus
+//! weighted wirelength.
+
+use crate::block::{Block, Rect};
+use noc_spec::units::Micrometers;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One element of a Polish expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Element {
+    /// Leaf: index into the block list.
+    Operand(usize),
+    /// Horizontal cut: stack top is placed *above* the one below.
+    H,
+    /// Vertical cut: stack top is placed *right of* the one below.
+    V,
+}
+
+/// A net connecting two blocks, with a weight (bandwidth-proportional in
+/// the NoC flow, so hot connections are pulled together).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    /// First block index.
+    pub a: usize,
+    /// Second block index.
+    pub b: usize,
+    /// Relative pull strength.
+    pub weight: f64,
+}
+
+/// Configuration of the annealer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AnnealConfig {
+    /// Starting temperature (in cost units).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per round (0–1).
+    pub cooling: f64,
+    /// Moves attempted per temperature step.
+    pub moves_per_round: usize,
+    /// Stop when temperature falls below this.
+    pub final_temperature: f64,
+    /// Relative weight of wirelength vs area in the cost (0 = area only).
+    pub wirelength_weight: f64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> AnnealConfig {
+        AnnealConfig {
+            initial_temperature: 1.0,
+            cooling: 0.93,
+            moves_per_round: 220,
+            final_temperature: 0.003,
+            wirelength_weight: 0.5,
+        }
+    }
+}
+
+/// Result of a floorplanning run: one rectangle per block, in block
+/// order, plus the chip bounding box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlicingResult {
+    /// Placement of each block, in input order.
+    pub placements: Vec<Rect>,
+    /// Chip width.
+    pub chip_width: Micrometers,
+    /// Chip height.
+    pub chip_height: Micrometers,
+    /// Final cost reached by the annealer.
+    pub cost: f64,
+}
+
+impl SlicingResult {
+    /// Chip area.
+    pub fn chip_area(&self) -> noc_spec::units::SquareMicrometers {
+        self.chip_width * self.chip_height
+    }
+
+    /// Dead space fraction: 1 − (Σ block area / chip area).
+    pub fn dead_space(&self, blocks: &[Block]) -> f64 {
+        let used: f64 = blocks.iter().map(|b| b.area().raw()).sum();
+        1.0 - used / self.chip_area().raw()
+    }
+
+    /// Total weighted wirelength over the given nets.
+    pub fn wirelength(&self, nets: &[Net]) -> Micrometers {
+        Micrometers(
+            nets.iter()
+                .map(|n| {
+                    self.placements[n.a].center_distance(&self.placements[n.b]).raw()
+                        * n.weight
+                })
+                .sum(),
+        )
+    }
+}
+
+/// The slicing floorplanner.
+///
+/// ```
+/// use noc_floorplan::block::Block;
+/// use noc_floorplan::slicing::{SlicingFloorplanner, Net};
+/// use noc_spec::units::Micrometers;
+///
+/// let blocks: Vec<Block> = (0..6)
+///     .map(|i| Block::new(format!("b{i}"), Micrometers(100.0), Micrometers(80.0)))
+///     .collect();
+/// let nets = vec![Net { a: 0, b: 5, weight: 1.0 }];
+/// let result = SlicingFloorplanner::new(blocks, nets).run(42);
+/// assert_eq!(result.placements.len(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlicingFloorplanner {
+    blocks: Vec<Block>,
+    nets: Vec<Net>,
+    config: AnnealConfig,
+}
+
+impl SlicingFloorplanner {
+    /// Creates a floorplanner over the given blocks and nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty or a net references a missing block.
+    pub fn new(blocks: Vec<Block>, nets: Vec<Net>) -> SlicingFloorplanner {
+        assert!(!blocks.is_empty(), "cannot floorplan zero blocks");
+        for n in &nets {
+            assert!(
+                n.a < blocks.len() && n.b < blocks.len(),
+                "net references missing block"
+            );
+        }
+        SlicingFloorplanner {
+            blocks,
+            nets,
+            config: AnnealConfig::default(),
+        }
+    }
+
+    /// Overrides the annealing configuration.
+    pub fn with_config(mut self, config: AnnealConfig) -> SlicingFloorplanner {
+        self.config = config;
+        self
+    }
+
+    /// Runs the annealer with the given seed and returns the best
+    /// floorplan found. Deterministic for a fixed seed.
+    ///
+    /// Moves: the three Wong–Liu expression perturbations plus block
+    /// rotation (the classical M4), which lets mismatched aspect ratios
+    /// pack tightly.
+    pub fn run(&self, seed: u64) -> SlicingResult {
+        let n = self.blocks.len();
+        if n == 1 {
+            let r = Rect::new(
+                Micrometers(0.0),
+                Micrometers(0.0),
+                self.blocks[0].width,
+                self.blocks[0].height,
+            );
+            return SlicingResult {
+                placements: vec![r],
+                chip_width: self.blocks[0].width,
+                chip_height: self.blocks[0].height,
+                cost: 0.0,
+            };
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Initial expression: b0 b1 V b2 V b3 V ... (a row), then let the
+        // annealer reshape it.
+        let mut expr: Vec<Element> = Vec::with_capacity(2 * n - 1);
+        expr.push(Element::Operand(0));
+        for i in 1..n {
+            expr.push(Element::Operand(i));
+            expr.push(if i % 2 == 0 { Element::V } else { Element::H });
+        }
+        let mut rotated = vec![false; n];
+        let norm = self.cost_normalizers();
+        let mut cur_cost = self.cost(&expr, &rotated, norm);
+        let mut best_expr = expr.clone();
+        let mut best_rotated = rotated.clone();
+        let mut best_cost = cur_cost;
+        let mut temperature = self.config.initial_temperature;
+        while temperature > self.config.final_temperature {
+            for _ in 0..self.config.moves_per_round {
+                // 1 in 4 moves toggles a rotation (M4); the rest
+                // perturb the expression (M1-M3).
+                let mut cand_expr = expr.clone();
+                let mut cand_rot = rotated.clone();
+                if rng.gen_range(0..4u8) == 0 {
+                    let i = rng.gen_range(0..n);
+                    cand_rot[i] = !cand_rot[i];
+                } else {
+                    cand_expr = self.random_move(&expr, &mut rng);
+                }
+                let cand_cost = self.cost(&cand_expr, &cand_rot, norm);
+                let delta = cand_cost - cur_cost;
+                if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
+                    expr = cand_expr;
+                    rotated = cand_rot;
+                    cur_cost = cand_cost;
+                    if cur_cost < best_cost {
+                        best_cost = cur_cost;
+                        best_expr = expr.clone();
+                        best_rotated = rotated.clone();
+                    }
+                }
+            }
+            temperature *= self.config.cooling;
+        }
+        self.realize(&best_expr, &best_rotated, best_cost)
+    }
+
+    /// (area, wirelength) scale factors so the two cost terms are
+    /// comparable.
+    fn cost_normalizers(&self) -> (f64, f64) {
+        let total_area: f64 = self.blocks.iter().map(|b| b.area().raw()).sum();
+        let scale = total_area.sqrt();
+        (total_area, scale.max(1.0))
+    }
+
+    fn cost(&self, expr: &[Element], rotated: &[bool], (area_norm, wl_norm): (f64, f64)) -> f64 {
+        let result = self.evaluate(expr, rotated);
+        let area_cost = result.chip_area().raw() / area_norm;
+        if self.nets.is_empty() || self.config.wirelength_weight == 0.0 {
+            return area_cost;
+        }
+        let total_weight: f64 = self.nets.iter().map(|n| n.weight).sum();
+        let wl = result.wirelength(&self.nets).raw() / (wl_norm * total_weight.max(1e-12));
+        area_cost + self.config.wirelength_weight * wl
+    }
+
+    /// One of the three Wong–Liu perturbations, applied to a copy.
+    fn random_move(&self, expr: &[Element], rng: &mut StdRng) -> Vec<Element> {
+        let mut out = expr.to_vec();
+        for _attempt in 0..32 {
+            match rng.gen_range(0..3u8) {
+                // M1: swap two adjacent operands.
+                0 => {
+                    let operand_positions: Vec<usize> = out
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| matches!(e, Element::Operand(_)))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if operand_positions.len() >= 2 {
+                        let k = rng.gen_range(0..operand_positions.len() - 1);
+                        out.swap(operand_positions[k], operand_positions[k + 1]);
+                        return out;
+                    }
+                }
+                // M2: complement a chain of operators.
+                1 => {
+                    let op_positions: Vec<usize> = out
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| matches!(e, Element::H | Element::V))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if !op_positions.is_empty() {
+                        let start = op_positions[rng.gen_range(0..op_positions.len())];
+                        let mut i = start;
+                        while i < out.len() && matches!(out[i], Element::H | Element::V) {
+                            out[i] = match out[i] {
+                                Element::H => Element::V,
+                                Element::V => Element::H,
+                                e => e,
+                            };
+                            i += 1;
+                        }
+                        return out;
+                    }
+                }
+                // M3: swap an adjacent operand/operator pair, keeping the
+                // expression normalized (balloting property).
+                _ => {
+                    let i = rng.gen_range(0..out.len() - 1);
+                    let (a, b) = (out[i], out[i + 1]);
+                    let is_op = |e: Element| matches!(e, Element::H | Element::V);
+                    if is_op(a) != is_op(b) {
+                        out.swap(i, i + 1);
+                        if self.is_valid(&out) {
+                            return out;
+                        }
+                        out.swap(i, i + 1); // revert and retry
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Balloting property + no two identical adjacent operators on the
+    /// same chain start (classical normalization keeps the search space
+    /// small; we only enforce validity).
+    fn is_valid(&self, expr: &[Element]) -> bool {
+        let mut operands = 0usize;
+        let mut operators = 0usize;
+        for e in expr {
+            match e {
+                Element::Operand(_) => operands += 1,
+                _ => {
+                    operators += 1;
+                    if operators >= operands {
+                        return false;
+                    }
+                }
+            }
+        }
+        operands == self.blocks.len() && operators + 1 == operands
+    }
+
+    /// Evaluates an expression into placements (stack machine + top-down
+    /// coordinate assignment). `rotated[i]` swaps block `i`'s dimensions.
+    fn evaluate(&self, expr: &[Element], rotated: &[bool]) -> SlicingResult {
+        #[derive(Clone)]
+        enum Tree {
+            Leaf(usize),
+            Node(Element, Box<Tree>, Box<Tree>),
+        }
+        fn dims(t: &Tree, blocks: &[Block]) -> (f64, f64) {
+            match t {
+                Tree::Leaf(i) => (blocks[*i].width.raw(), blocks[*i].height.raw()),
+                Tree::Node(op, l, r) => {
+                    let (lw, lh) = dims(l, blocks);
+                    let (rw, rh) = dims(r, blocks);
+                    match op {
+                        Element::V => (lw + rw, lh.max(rh)),
+                        _ => (lw.max(rw), lh + rh),
+                    }
+                }
+            }
+        }
+        fn place(
+            t: &Tree,
+            blocks: &[Block],
+            x: f64,
+            y: f64,
+            out: &mut [Rect],
+        ) {
+            match t {
+                Tree::Leaf(i) => {
+                    out[*i] = Rect::new(
+                        Micrometers(x),
+                        Micrometers(y),
+                        blocks[*i].width,
+                        blocks[*i].height,
+                    );
+                }
+                Tree::Node(op, l, r) => {
+                    let (lw, lh) = dims(l, blocks);
+                    place(l, blocks, x, y, out);
+                    match op {
+                        Element::V => place(r, blocks, x + lw, y, out),
+                        _ => place(r, blocks, x, y + lh, out),
+                    }
+                }
+            }
+        }
+        let blocks: Vec<Block> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                if rotated.get(i).copied().unwrap_or(false) {
+                    Block::new(b.name.clone(), b.height, b.width)
+                } else {
+                    b.clone()
+                }
+            })
+            .collect();
+        let mut stack: Vec<Tree> = Vec::new();
+        for &e in expr {
+            match e {
+                Element::Operand(i) => stack.push(Tree::Leaf(i)),
+                op => {
+                    let r = stack.pop().expect("valid polish expression");
+                    let l = stack.pop().expect("valid polish expression");
+                    stack.push(Tree::Node(op, Box::new(l), Box::new(r)));
+                }
+            }
+        }
+        let root = stack.pop().expect("valid polish expression");
+        debug_assert!(stack.is_empty());
+        let (w, h) = dims(&root, &blocks);
+        let mut placements = vec![Rect::default(); blocks.len()];
+        place(&root, &blocks, 0.0, 0.0, &mut placements);
+        SlicingResult {
+            placements,
+            chip_width: Micrometers(w),
+            chip_height: Micrometers(h),
+            cost: 0.0,
+        }
+    }
+
+    fn realize(&self, expr: &[Element], rotated: &[bool], cost: f64) -> SlicingResult {
+        let mut r = self.evaluate(expr, rotated);
+        r.cost = cost;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_blocks(n: usize, w: f64, h: f64) -> Vec<Block> {
+        (0..n)
+            .map(|i| Block::new(format!("b{i}"), Micrometers(w), Micrometers(h)))
+            .collect()
+    }
+
+    #[test]
+    fn single_block_is_trivial() {
+        let fp = SlicingFloorplanner::new(uniform_blocks(1, 10.0, 20.0), vec![]);
+        let r = fp.run(1);
+        assert_eq!(r.chip_width.raw(), 10.0);
+        assert_eq!(r.chip_height.raw(), 20.0);
+        assert_eq!(r.dead_space(&uniform_blocks(1, 10.0, 20.0)), 0.0);
+    }
+
+    #[test]
+    fn no_overlaps_ever() {
+        let blocks = uniform_blocks(9, 100.0, 80.0);
+        let r = SlicingFloorplanner::new(blocks, vec![]).run(7);
+        for i in 0..9 {
+            for j in i + 1..9 {
+                assert!(
+                    !r.placements[i].overlaps(&r.placements[j]),
+                    "blocks {i} and {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn placements_inside_chip() {
+        let blocks = uniform_blocks(7, 120.0, 60.0);
+        let r = SlicingFloorplanner::new(blocks, vec![]).run(3);
+        for p in &r.placements {
+            assert!(p.x.raw() >= 0.0 && p.y.raw() >= 0.0);
+            assert!(p.x.raw() + p.w.raw() <= r.chip_width.raw() + 1e-9);
+            assert!(p.y.raw() + p.h.raw() <= r.chip_height.raw() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn equal_squares_pack_tightly() {
+        // 9 identical squares should anneal to ~3x3 with low dead space.
+        let blocks = uniform_blocks(9, 100.0, 100.0);
+        let r = SlicingFloorplanner::new(blocks.clone(), vec![]).run(11);
+        assert!(
+            r.dead_space(&blocks) < 0.15,
+            "dead space {:.2}",
+            r.dead_space(&blocks)
+        );
+    }
+
+    #[test]
+    fn rotation_packs_mixed_aspect_ratios() {
+        // Four 200x50 "slivers" and four 50x200 ones: with rotation the
+        // annealer can align them all and approach zero dead space.
+        let mut blocks = Vec::new();
+        for i in 0..4 {
+            blocks.push(Block::new(format!("w{i}"), Micrometers(200.0), Micrometers(50.0)));
+            blocks.push(Block::new(format!("t{i}"), Micrometers(50.0), Micrometers(200.0)));
+        }
+        let r = SlicingFloorplanner::new(blocks.clone(), vec![]).run(21);
+        assert!(
+            r.dead_space(&blocks) < 0.25,
+            "dead space {:.2} with rotation available",
+            r.dead_space(&blocks)
+        );
+        // Rotation actually happened: some placement has swapped dims
+        // relative to its input block.
+        let swapped = blocks
+            .iter()
+            .zip(&r.placements)
+            .any(|(b, p)| (b.width.raw() - p.h.raw()).abs() < 1e-9
+                && (b.height.raw() - p.w.raw()).abs() < 1e-9
+                && b.width != b.height);
+        assert!(swapped, "expected at least one rotated block");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let blocks = uniform_blocks(6, 90.0, 110.0);
+        let a = SlicingFloorplanner::new(blocks.clone(), vec![]).run(5);
+        let b = SlicingFloorplanner::new(blocks, vec![]).run(5);
+        assert_eq!(a.placements, b.placements);
+    }
+
+    #[test]
+    fn nets_pull_blocks_together() {
+        // Two hot blocks among 8: with a strong net they should end up
+        // closer than the chip diagonal average.
+        let blocks = uniform_blocks(8, 100.0, 100.0);
+        let nets = vec![Net {
+            a: 0,
+            b: 7,
+            weight: 50.0,
+        }];
+        let mut cfg = AnnealConfig::default();
+        cfg.wirelength_weight = 2.0;
+        let r = SlicingFloorplanner::new(blocks, nets)
+            .with_config(cfg)
+            .run(13);
+        let d = r.placements[0].center_distance(&r.placements[7]).raw();
+        let diag = r.chip_width.raw() + r.chip_height.raw();
+        assert!(d < diag / 2.0, "hot pair distance {d} vs half-perimeter {diag}");
+    }
+
+    #[test]
+    fn wirelength_is_weighted() {
+        let blocks = uniform_blocks(2, 10.0, 10.0);
+        let r = SlicingFloorplanner::new(blocks, vec![]).run(1);
+        let wl1 = r.wirelength(&[Net { a: 0, b: 1, weight: 1.0 }]);
+        let wl3 = r.wirelength(&[Net { a: 0, b: 1, weight: 3.0 }]);
+        assert!((wl3.raw() - 3.0 * wl1.raw()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero blocks")]
+    fn empty_blocks_panic() {
+        let _ = SlicingFloorplanner::new(vec![], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing block")]
+    fn bad_net_panics() {
+        let _ = SlicingFloorplanner::new(
+            uniform_blocks(2, 1.0, 1.0),
+            vec![Net { a: 0, b: 5, weight: 1.0 }],
+        );
+    }
+}

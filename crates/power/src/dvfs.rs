@@ -1,0 +1,189 @@
+//! Dynamic voltage & frequency scaling for voltage islands.
+//!
+//! §4.3 cites "Dynamic voltage and frequency scaling architecture for
+//! units integration with a GALS NoC" \[24\], and §6: the flow "supports
+//! the concept of voltage islands, where cores in an island operate at
+//! the same frequency and voltage, while cores in different islands can
+//! operate at different frequencies and voltages."
+//!
+//! Model: alpha-power law. Maximum frequency scales as
+//! `(V - Vt)^α / V` and dynamic energy as `V²`; leakage falls
+//! super-linearly with voltage (DIBL).
+
+use crate::technology::TechNode;
+use noc_spec::units::Hertz;
+use serde::{Deserialize, Serialize};
+
+/// Velocity-saturation exponent of the alpha-power law (deep submicron).
+pub const ALPHA: f64 = 1.3;
+
+/// An operating point of a voltage island.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Supply voltage, in volts.
+    pub vdd: f64,
+    /// Maximum clock at this voltage.
+    pub max_frequency: Hertz,
+    /// Dynamic energy multiplier vs nominal (∝ V²).
+    pub dynamic_energy_factor: f64,
+    /// Leakage power multiplier vs nominal.
+    pub leakage_factor: f64,
+}
+
+/// The DVFS characteristics of a technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsModel {
+    /// Nominal supply voltage.
+    pub nominal_vdd: f64,
+    /// Threshold voltage.
+    pub vt: f64,
+    /// Minimum usable supply (retention + margin).
+    pub min_vdd: f64,
+    /// Frequency achieved at nominal voltage by the component in
+    /// question (e.g. a switch's `max_frequency` from the switch model).
+    pub nominal_frequency: Hertz,
+}
+
+impl DvfsModel {
+    /// DVFS model for a node, given the component's nominal frequency.
+    pub fn new(tech: TechNode, nominal_frequency: Hertz) -> DvfsModel {
+        let (nominal_vdd, vt) = match tech.feature_nm {
+            90 => (1.2, 0.35),
+            65 => (1.1, 0.33),
+            _ => (1.0, 0.32),
+        };
+        DvfsModel {
+            nominal_vdd,
+            vt,
+            min_vdd: vt + 0.15,
+            nominal_frequency,
+        }
+    }
+
+    /// The operating point at a given supply voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is below the retention floor or above 1.3× nominal.
+    pub fn at_voltage(&self, vdd: f64) -> OperatingPoint {
+        assert!(
+            vdd >= self.min_vdd && vdd <= self.nominal_vdd * 1.3,
+            "vdd {vdd} outside [{}, {}]",
+            self.min_vdd,
+            self.nominal_vdd * 1.3
+        );
+        let speed = |v: f64| (v - self.vt).powf(ALPHA) / v;
+        let rel = speed(vdd) / speed(self.nominal_vdd);
+        let vr = vdd / self.nominal_vdd;
+        OperatingPoint {
+            vdd,
+            max_frequency: Hertz((self.nominal_frequency.raw() as f64 * rel) as u64),
+            dynamic_energy_factor: vr * vr,
+            // Empirical: leakage falls roughly with V³ at constant temp.
+            leakage_factor: vr.powi(3),
+        }
+    }
+
+    /// The lowest voltage (coarsely quantized to 10 mV) able to sustain
+    /// `target` — the energy-optimal DVFS point for that frequency.
+    /// `None` if the target exceeds even the overdrive ceiling.
+    pub fn voltage_for(&self, target: Hertz) -> Option<f64> {
+        let mut v = self.min_vdd;
+        let ceiling = self.nominal_vdd * 1.3;
+        while v <= ceiling + 1e-9 {
+            if self.at_voltage(v.min(ceiling)).max_frequency.raw() >= target.raw() {
+                return Some((v * 100.0).round() / 100.0);
+            }
+            v += 0.01;
+        }
+        None
+    }
+
+    /// Power saving factor of running a component at `required` instead
+    /// of its nominal frequency, with the supply lowered to match:
+    /// `(new dynamic energy × f_req + new leakage) / (nominal)`, with a
+    /// 50/50 nominal dynamic/leakage split assumed for the composite.
+    ///
+    /// Returns `None` when `required` is unreachable.
+    pub fn power_saving(&self, required: Hertz, dynamic_share: f64) -> Option<f64> {
+        let vdd = self.voltage_for(required)?;
+        let op = self.at_voltage(vdd);
+        let f_ratio = required.raw() as f64 / self.nominal_frequency.raw() as f64;
+        let dynamic = dynamic_share * op.dynamic_energy_factor * f_ratio;
+        let leakage = (1.0 - dynamic_share) * op.leakage_factor;
+        Some(dynamic + leakage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DvfsModel {
+        DvfsModel::new(TechNode::NM65, Hertz::from_mhz(800))
+    }
+
+    #[test]
+    fn nominal_point_reproduces_nominal_frequency() {
+        let m = model();
+        let op = m.at_voltage(m.nominal_vdd);
+        assert_eq!(op.max_frequency, Hertz::from_mhz(800));
+        assert!((op.dynamic_energy_factor - 1.0).abs() < 1e-12);
+        assert!((op.leakage_factor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_and_energy_fall_with_voltage() {
+        let m = model();
+        let half = m.at_voltage(0.8);
+        assert!(half.max_frequency.raw() < Hertz::from_mhz(800).raw());
+        assert!(half.dynamic_energy_factor < 1.0);
+        assert!(half.leakage_factor < 1.0);
+    }
+
+    #[test]
+    fn overdrive_raises_frequency() {
+        let m = model();
+        let od = m.at_voltage(1.3);
+        assert!(od.max_frequency.raw() > Hertz::from_mhz(800).raw());
+        assert!(od.dynamic_energy_factor > 1.0);
+    }
+
+    #[test]
+    fn voltage_for_is_monotone() {
+        let m = model();
+        let v_slow = m.voltage_for(Hertz::from_mhz(200)).expect("reachable");
+        let v_fast = m.voltage_for(Hertz::from_mhz(800)).expect("reachable");
+        assert!(v_slow < v_fast);
+        // The found voltage actually sustains the target.
+        assert!(
+            m.at_voltage(v_fast).max_frequency.raw() >= Hertz::from_mhz(800).raw()
+        );
+    }
+
+    #[test]
+    fn unreachable_targets_are_none() {
+        let m = model();
+        assert!(m.voltage_for(Hertz::from_ghz(10.0)).is_none());
+    }
+
+    #[test]
+    fn slowing_down_saves_power_superlinearly() {
+        let m = model();
+        let half = m
+            .power_saving(Hertz::from_mhz(400), 0.7)
+            .expect("reachable");
+        // Half the frequency should cost well under half the power
+        // (voltage drops too).
+        assert!(half < 0.45, "saving factor {half}");
+        let full = m.power_saving(Hertz::from_mhz(800), 0.7).expect("reachable");
+        assert!((full - 1.0).abs() < 0.05, "nominal ≈ 1.0: {full}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn under_voltage_panics() {
+        let m = model();
+        let _ = m.at_voltage(0.1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # noc-power — technology characterization for NoC components
+//!
+//! The paper's tool flow (Fig. 6) characterizes "the NoC components …
+//! with the target technology library to compute the area, power and
+//! maximum operating frequency of the routers, NIs and links." This crate
+//! is that characterization layer, built from analytic models calibrated
+//! against the published 65 nm data of the paper and its reference \[43\]
+//! (*Bringing NoCs to 65 nm*, IEEE Micro 2007):
+//!
+//! * [`technology`] — 90/65/45 nm node parameters (gate vs wire delay,
+//!   energies, pitches);
+//! * [`switch_model`] — switch area / max-frequency / energy vs radix,
+//!   flit width and buffering (reproduces Fig. 2's frequency curve);
+//! * [`routability`] — row-utilization bands and DRC feasibility vs radix
+//!   (Fig. 2) and bus-crossbar wire-congestion limits (§4.2);
+//! * [`link_model`] — wire delay, pipeline-stage insertion (§4.1 wire
+//!   segmentation), link energy;
+//! * [`ni_model`] — network-interface area/energy;
+//! * [`wiring`] — the §4.1 serialization-vs-bus wiring study;
+//! * [`dvfs`] — voltage/frequency scaling for voltage islands (§4.3/§6).
+//!
+//! ## Example: the Fig. 2 experiment in four lines
+//!
+//! ```
+//! use noc_power::routability::RoutabilityModel;
+//! use noc_power::technology::TechNode;
+//!
+//! let model = RoutabilityModel::new(TechNode::NM65);
+//! assert!(model.switch_routability(10, 32).is_feasible());
+//! assert!(!model.switch_routability(26, 32).is_feasible());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dvfs;
+pub mod link_model;
+pub mod ni_model;
+pub mod routability;
+pub mod switch_model;
+pub mod technology;
+pub mod wiring;
+
+pub use crate::dvfs::{DvfsModel, OperatingPoint};
+pub use crate::link_model::{LinkEstimate, LinkModel};
+pub use crate::ni_model::{NiEstimate, NiKind, NiModel, NiParams};
+pub use crate::routability::{Routability, RoutabilityModel};
+pub use crate::switch_model::{SwitchEstimate, SwitchModel, SwitchParams};
+pub use crate::technology::TechNode;
+pub use crate::wiring::{WiringModel, WiringPoint};

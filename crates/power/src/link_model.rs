@@ -1,0 +1,181 @@
+//! Point-to-point link characterization: delay, pipelining, energy, area.
+//!
+//! §3: "Links can represent more than just physical wires as they can
+//! provide pipelining in order to achieve the required timing." §4.1:
+//! NoC wires are point-to-point and may be explicitly segmented to break
+//! critical paths.
+
+use crate::technology::TechNode;
+use noc_spec::units::{Hertz, Micrometers, MilliWatts, PicoJoules, SquareMicrometers};
+use serde::{Deserialize, Serialize};
+
+/// Fraction of the clock period available to wire propagation within one
+/// pipeline segment (the rest covers flop clock-to-q + setup).
+pub const WIRE_TIMING_BUDGET: f64 = 0.8;
+
+/// Characterization of one physical link instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkEstimate {
+    /// Number of pipeline (relay-station) stages inserted, 0 for a
+    /// single-cycle link.
+    pub pipeline_stages: u32,
+    /// Cycles a flit takes to traverse the link (stages + 1).
+    pub traversal_cycles: u32,
+    /// Dynamic energy to move one flit across the whole link.
+    pub energy_per_flit: PicoJoules,
+    /// Area of the relay-station flops.
+    pub area: SquareMicrometers,
+    /// Static leakage of the relay stations.
+    pub leakage: MilliWatts,
+}
+
+/// Analytic link model.
+///
+/// ```
+/// use noc_power::link_model::LinkModel;
+/// use noc_power::technology::TechNode;
+/// use noc_spec::units::{Hertz, Micrometers};
+///
+/// let model = LinkModel::new(TechNode::NM65);
+/// // A 2 mm 32-bit link at 1 GHz fits in one cycle at 65 nm...
+/// let short = model.estimate(Micrometers::from_mm(2.0), 32, Hertz::from_ghz(1.0));
+/// assert_eq!(short.pipeline_stages, 0);
+/// // ...a 12 mm one needs relay stations.
+/// let long = model.estimate(Micrometers::from_mm(12.0), 32, Hertz::from_ghz(1.0));
+/// assert!(long.pipeline_stages >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    tech: TechNode,
+}
+
+impl LinkModel {
+    /// Creates a model for the given technology node.
+    pub fn new(tech: TechNode) -> LinkModel {
+        LinkModel { tech }
+    }
+
+    /// The underlying technology node.
+    pub fn tech(&self) -> TechNode {
+        self.tech
+    }
+
+    /// Number of pipeline stages a link of `length` needs to close timing
+    /// at `clock` (0 when the wire fits in one cycle).
+    pub fn pipeline_stages(&self, length: Micrometers, clock: Hertz) -> u32 {
+        let reach = self.tech.reachable_per_cycle(clock, 1.0 - WIRE_TIMING_BUDGET);
+        if reach.raw() <= 0.0 {
+            return u32::MAX;
+        }
+        let segments = (length.raw() / reach.raw()).ceil().max(1.0) as u32;
+        segments - 1
+    }
+
+    /// Full characterization of a link of `length` carrying `width`-bit
+    /// flits at `clock`.
+    pub fn estimate(&self, length: Micrometers, width: u32, clock: Hertz) -> LinkEstimate {
+        let stages = self.pipeline_stages(length, clock);
+        let wire_energy =
+            self.tech.wire_energy_pj_per_bit_mm * width as f64 * length.to_mm();
+        // Each relay station adds a flop bank write per flit.
+        let relay_energy = stages as f64 * width as f64 * self.tech.gate_energy_pj * 3.0;
+        let area = SquareMicrometers(
+            stages as f64 * width as f64 * self.tech.flop_area_um2,
+        );
+        LinkEstimate {
+            pipeline_stages: stages,
+            traversal_cycles: stages + 1,
+            energy_per_flit: PicoJoules(wire_energy + relay_energy),
+            area,
+            leakage: MilliWatts(area.raw() * self.tech.leakage_mw_per_um2),
+        }
+    }
+
+    /// Average power of the link at the given clock and utilization
+    /// (flits per cycle, 0–1).
+    pub fn power(
+        &self,
+        length: Micrometers,
+        width: u32,
+        clock: Hertz,
+        flits_per_cycle: f64,
+    ) -> MilliWatts {
+        let est = self.estimate(length, width, clock);
+        PicoJoules(est.energy_per_flit.raw() * flits_per_cycle).to_power(clock) + est.leakage
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> LinkModel {
+        LinkModel::new(TechNode::NM65)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> LinkModel {
+        LinkModel::new(TechNode::NM65)
+    }
+
+    #[test]
+    fn short_links_are_single_cycle() {
+        assert_eq!(
+            m().pipeline_stages(Micrometers::from_mm(1.0), Hertz::from_ghz(1.0)),
+            0
+        );
+    }
+
+    #[test]
+    fn stage_count_grows_with_length() {
+        let clock = Hertz::from_ghz(1.0);
+        let mut last = 0;
+        for mm in [2.0, 8.0, 16.0, 24.0, 32.0] {
+            let s = m().pipeline_stages(Micrometers::from_mm(mm), clock);
+            assert!(s >= last);
+            last = s;
+        }
+        assert!(last >= 3, "a 32 mm wire at 1 GHz needs several stages");
+    }
+
+    #[test]
+    fn faster_clocks_need_more_stages() {
+        let len = Micrometers::from_mm(10.0);
+        let slow = m().pipeline_stages(len, Hertz::from_mhz(250));
+        let fast = m().pipeline_stages(len, Hertz::from_ghz(2.0));
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn traversal_cycles_is_stages_plus_one() {
+        let e = m().estimate(Micrometers::from_mm(12.0), 32, Hertz::from_ghz(1.0));
+        assert_eq!(e.traversal_cycles, e.pipeline_stages + 1);
+    }
+
+    #[test]
+    fn energy_linear_in_width_and_length() {
+        let clock = Hertz::from_mhz(500);
+        let e1 = m().estimate(Micrometers::from_mm(2.0), 32, clock);
+        let e2 = m().estimate(Micrometers::from_mm(4.0), 32, clock);
+        let e3 = m().estimate(Micrometers::from_mm(2.0), 64, clock);
+        assert!((e2.energy_per_flit.raw() / e1.energy_per_flit.raw() - 2.0).abs() < 0.05);
+        assert!((e3.energy_per_flit.raw() / e1.energy_per_flit.raw() - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn unpipelined_link_has_no_area() {
+        let e = m().estimate(Micrometers::from_mm(1.0), 32, Hertz::from_mhz(500));
+        assert_eq!(e.pipeline_stages, 0);
+        assert_eq!(e.area.raw(), 0.0);
+        assert_eq!(e.leakage.raw(), 0.0);
+    }
+
+    #[test]
+    fn power_scales_with_utilization() {
+        let len = Micrometers::from_mm(3.0);
+        let idle = m().power(len, 32, Hertz::from_ghz(1.0), 0.0);
+        let busy = m().power(len, 32, Hertz::from_ghz(1.0), 1.0);
+        assert!(busy.raw() > idle.raw());
+    }
+}

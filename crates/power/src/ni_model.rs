@@ -1,0 +1,162 @@
+//! Network-interface characterization.
+//!
+//! §3 / Fig. 1b: the NI converts socket transactions to packets, holds the
+//! routing look-up table (source routing), and serializes packets into
+//! flits. Initiator and target NIs differ slightly; the model exposes both.
+
+use crate::technology::TechNode;
+use noc_spec::units::{Hertz, MilliWatts, PicoJoules, SquareMicrometers};
+use serde::{Deserialize, Serialize};
+
+/// Which side of the socket the NI serves (×pipes defines separate
+/// initiator and target NIs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NiKind {
+    /// Attached to a master: packs requests, unpacks responses.
+    Initiator,
+    /// Attached to a slave: unpacks requests, packs responses.
+    Target,
+}
+
+/// Parameters of one NI instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NiParams {
+    /// Initiator or target.
+    pub kind: NiKind,
+    /// Flit width on the network side, in bits.
+    pub flit_width: u32,
+    /// Number of routing LUT entries (= number of reachable destinations,
+    /// initiator side only).
+    pub lut_entries: u32,
+    /// Packet queue depth, in flits.
+    pub queue_depth: u32,
+}
+
+impl NiParams {
+    /// An initiator NI with the given flit width and LUT size, queue depth 8.
+    pub fn initiator(flit_width: u32, lut_entries: u32) -> NiParams {
+        NiParams {
+            kind: NiKind::Initiator,
+            flit_width,
+            lut_entries,
+            queue_depth: 8,
+        }
+    }
+
+    /// A target NI with the given flit width, queue depth 8.
+    pub fn target(flit_width: u32) -> NiParams {
+        NiParams {
+            kind: NiKind::Target,
+            flit_width,
+            lut_entries: 0,
+            queue_depth: 8,
+        }
+    }
+}
+
+/// Characterization of one NI instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NiEstimate {
+    /// Cell area.
+    pub area: SquareMicrometers,
+    /// Maximum operating frequency.
+    pub max_frequency: Hertz,
+    /// Dynamic energy per flit (packetization amortized).
+    pub energy_per_flit: PicoJoules,
+    /// Static leakage power.
+    pub leakage: MilliWatts,
+}
+
+/// Analytic NI model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NiModel {
+    tech: TechNode,
+}
+
+impl NiModel {
+    /// Creates a model for the given node.
+    pub fn new(tech: TechNode) -> NiModel {
+        NiModel { tech }
+    }
+
+    /// Full characterization of an NI instance.
+    pub fn estimate(&self, p: NiParams) -> NiEstimate {
+        let t = &self.tech;
+        let w = p.flit_width as f64;
+        // Protocol conversion FSM + packet build/parse datapath.
+        let kernel_gates = match p.kind {
+            NiKind::Initiator => 2400.0,
+            NiKind::Target => 2000.0,
+        } + 18.0 * w;
+        // Source-routing LUT: each entry stores a route (~24 bits).
+        let lut_flops = p.lut_entries as f64 * 24.0;
+        let queue_flops = p.queue_depth as f64 * w;
+        let area = SquareMicrometers(
+            (kernel_gates * t.gate_area_um2 + (lut_flops + queue_flops) * t.flop_area_um2)
+                * 1.25,
+        );
+        // NIs are simple pipelines: they clock near the node's peak.
+        let period_ps = t.fo4_ps * 28.0;
+        let max_frequency = Hertz((1e12 / period_ps).round() as u64);
+        let energy_per_flit = PicoJoules(w * t.gate_energy_pj * 6.0 + 2.0 * t.gate_energy_pj * 8.0);
+        NiEstimate {
+            area,
+            max_frequency,
+            energy_per_flit,
+            leakage: MilliWatts(area.raw() * t.leakage_mw_per_um2),
+        }
+    }
+}
+
+impl Default for NiModel {
+    fn default() -> NiModel {
+        NiModel::new(TechNode::NM65)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> NiModel {
+        NiModel::new(TechNode::NM65)
+    }
+
+    #[test]
+    fn initiator_larger_than_target() {
+        let i = m().estimate(NiParams::initiator(32, 16));
+        let t = m().estimate(NiParams::target(32));
+        assert!(i.area.raw() > t.area.raw());
+    }
+
+    #[test]
+    fn lut_grows_area() {
+        let small = m().estimate(NiParams::initiator(32, 4));
+        let big = m().estimate(NiParams::initiator(32, 64));
+        assert!(big.area.raw() > small.area.raw());
+    }
+
+    #[test]
+    fn ni_clocks_faster_than_big_switches() {
+        use crate::switch_model::{SwitchModel, SwitchParams};
+        let ni = m().estimate(NiParams::initiator(32, 16));
+        let sw = SwitchModel::new(TechNode::NM65)
+            .max_frequency(SwitchParams::symmetric(15));
+        assert!(ni.max_frequency.raw() > sw.raw());
+    }
+
+    #[test]
+    fn ni_area_is_plausible() {
+        // ×pipes NIs at 65 nm are a few thousand µm².
+        let a = m().estimate(NiParams::initiator(32, 16)).area.raw();
+        assert!((3_000.0..40_000.0).contains(&a), "NI area {a} um^2");
+    }
+
+    #[test]
+    fn estimate_fields_positive() {
+        let e = m().estimate(NiParams::target(64));
+        assert!(e.area.raw() > 0.0);
+        assert!(e.energy_per_flit.raw() > 0.0);
+        assert!(e.leakage.raw() > 0.0);
+    }
+}

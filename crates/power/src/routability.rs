@@ -1,0 +1,262 @@
+//! Physical routability models (§4.2 and Fig. 2 of the paper).
+//!
+//! Two questions are answered here:
+//!
+//! 1. **Switch row utilization** — at which standard-cell row utilization
+//!    can a switch of a given radix still be placed & routed? Fig. 2:
+//!    "Routers up to 10×10: 85 % row utilization or more; 14×14 to 22×22:
+//!    70 % to 50 % row utilization; 26×26 and above: DRC violations to
+//!    tackle manually even at 50 % row utilization."
+//! 2. **Crossbar wire feasibility** — why 100–200-wire bus crossbars are
+//!    limited to ≤8×8 by commercial tools while serialized NoC switches of
+//!    radix 10×10 and beyond remain routable.
+
+use crate::technology::TechNode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Outcome of the place-&-route feasibility model for a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Routability {
+    /// Routes cleanly at high row utilization (≥ 85 %).
+    Efficient {
+        /// Achievable standard-cell row utilization (0–1).
+        row_utilization: f64,
+    },
+    /// Routes only after lowering row utilization (more whitespace for
+    /// wires), at area and frequency cost.
+    Constrained {
+        /// Achievable standard-cell row utilization (0–1).
+        row_utilization: f64,
+    },
+    /// DRC violations remain even at 50 % row utilization; manual
+    /// intervention required — treated as infeasible by the synthesis
+    /// tools.
+    Infeasible,
+}
+
+impl Routability {
+    /// The achievable row utilization, if the block is routable at all.
+    pub fn row_utilization(&self) -> Option<f64> {
+        match self {
+            Routability::Efficient { row_utilization }
+            | Routability::Constrained { row_utilization } => Some(*row_utilization),
+            Routability::Infeasible => None,
+        }
+    }
+
+    /// Whether automated place & route succeeds.
+    pub fn is_feasible(&self) -> bool {
+        !matches!(self, Routability::Infeasible)
+    }
+}
+
+impl fmt::Display for Routability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Routability::Efficient { row_utilization } => {
+                write!(f, "efficient ({:.0}% rows)", row_utilization * 100.0)
+            }
+            Routability::Constrained { row_utilization } => {
+                write!(f, "constrained ({:.0}% rows)", row_utilization * 100.0)
+            }
+            Routability::Infeasible => f.write_str("infeasible (manual DRC fixes)"),
+        }
+    }
+}
+
+/// Routability model for switches and crossbars.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutabilityModel {
+    tech: TechNode,
+}
+
+impl RoutabilityModel {
+    /// Creates a model for the given node.
+    pub fn new(tech: TechNode) -> RoutabilityModel {
+        RoutabilityModel { tech }
+    }
+
+    /// Place-&-route feasibility of a symmetric switch of the given radix
+    /// and flit width.
+    ///
+    /// The driver is the crossbar wiring demand relative to the block's
+    /// routing supply. Demand grows as `radix² · width`; supply grows with
+    /// the block perimeter, i.e. with the square root of cell area — so
+    /// utilization must fall as radix grows and eventually routing fails.
+    /// Calibrated at 65 nm / 32 bit to the Fig. 2 bands.
+    pub fn switch_routability(&self, radix: u32, flit_width: u32) -> Routability {
+        let demand = self.wiring_demand(radix, flit_width);
+        // Calibration (65 nm, 32-bit): radix 10 → demand 1.0 at util .85;
+        // radix 22 → util .50; radix 26 → infeasible.
+        if demand <= 1.0 {
+            let row_utilization = (0.95 - 0.01 * radix as f64).clamp(0.85, 0.95);
+            Routability::Efficient { row_utilization }
+        } else if demand <= 2.2 {
+            // Linearly trade whitespace for wires: util .85 at demand 1.0
+            // down to .50 at demand 2.2.
+            let row_utilization = 0.85 - (demand - 1.0) / 1.2 * 0.35;
+            Routability::Constrained { row_utilization }
+        } else {
+            Routability::Infeasible
+        }
+    }
+
+    /// Normalized wiring demand of a radix×radix switch (1.0 = the limit
+    /// of efficient routing at 65 nm / 32 bit, reached at radix 10).
+    fn wiring_demand(&self, radix: u32, flit_width: u32) -> f64 {
+        let r = radix as f64;
+        let w = flit_width as f64;
+        // Crossbar wires ∝ r²·w must cross a perimeter ∝ sqrt(area) ∝
+        // r·sqrt(w) (area ≈ crossbar-dominated for big r). Net demand ∝
+        // r·sqrt(w). Technology scales supply with pitch and layer count.
+        let supply_65 = 0.30 / self.tech.wire_pitch_um * self.tech.signal_layers as f64 / 5.0;
+        (r * w.sqrt()) / (10.0 * 32f64.sqrt()) / supply_65
+    }
+
+    /// Maximum radix that still places & routes automatically.
+    pub fn max_feasible_radix(&self, flit_width: u32) -> u32 {
+        let mut radix = 2;
+        while self.switch_routability(radix + 1, flit_width).is_feasible() && radix < 512 {
+            radix += 1;
+        }
+        radix
+    }
+
+    /// Whether a *bus-style* crossbar with `ports` masters/slaves and
+    /// `wires_per_port` parallel wires per port is routable (§4.2).
+    ///
+    /// Commercial tools "often constrain the maximum crossbar size to 8×8
+    /// or less" for 100–200-wire buses; NoC wire serialization "largely
+    /// obviates the issue".
+    pub fn crossbar_feasible(&self, ports: u32, wires_per_port: u32) -> bool {
+        self.crossbar_congestion(ports, wires_per_port) <= 1.0
+    }
+
+    /// Congestion ratio of a bus crossbar: >1 means unroutable. The
+    /// channel has to carry `ports · wires_per_port` wires per side.
+    pub fn crossbar_congestion(&self, ports: u32, wires_per_port: u32) -> f64 {
+        // Calibrated: 8 ports × 137 wires (AHB 32-bit ≈ 116–150 wires)
+        // sits at the feasibility edge at 65 nm.
+        let capacity_65 = 8.0 * 137.0;
+        let supply = capacity_65 * (0.30 / self.tech.wire_pitch_um)
+            * (self.tech.signal_layers as f64 / 5.0);
+        (ports as f64 * wires_per_port as f64) / supply
+    }
+
+    /// Maximum crossbar port count for a given per-port wire count.
+    pub fn max_crossbar_ports(&self, wires_per_port: u32) -> u32 {
+        let mut ports = 1;
+        while self.crossbar_feasible(ports + 1, wires_per_port) && ports < 4096 {
+            ports += 1;
+        }
+        ports
+    }
+}
+
+impl Default for RoutabilityModel {
+    fn default() -> RoutabilityModel {
+        RoutabilityModel::new(TechNode::NM65)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> RoutabilityModel {
+        RoutabilityModel::new(TechNode::NM65)
+    }
+
+    #[test]
+    fn fig2_bands_reproduced() {
+        // "Routers up to 10x10: 85% row utilization or more"
+        for radix in [2, 4, 6, 8, 10] {
+            match m().switch_routability(radix, 32) {
+                Routability::Efficient { row_utilization } => {
+                    assert!(row_utilization >= 0.85, "radix {radix}")
+                }
+                other => panic!("radix {radix} should be efficient, got {other}"),
+            }
+        }
+        // "14x14 to 22x22: 70% to 50% row utilization"
+        for radix in [14, 18, 22] {
+            match m().switch_routability(radix, 32) {
+                Routability::Constrained { row_utilization } => {
+                    assert!(
+                        (0.45..=0.75).contains(&row_utilization),
+                        "radix {radix}: {row_utilization}"
+                    )
+                }
+                other => panic!("radix {radix} should be constrained, got {other}"),
+            }
+        }
+        // "26x26 and above: DRC violations … even at 50%"
+        for radix in [26, 30, 34] {
+            assert_eq!(
+                m().switch_routability(radix, 32),
+                Routability::Infeasible,
+                "radix {radix}"
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_declines_within_constrained_band() {
+        let u14 = m().switch_routability(14, 32).row_utilization().expect("feasible");
+        let u22 = m().switch_routability(22, 32).row_utilization().expect("feasible");
+        assert!(u14 > u22);
+    }
+
+    #[test]
+    fn max_feasible_radix_at_32bit_is_mid_20s() {
+        let max = m().max_feasible_radix(32);
+        assert!((22..26).contains(&max), "max radix {max}");
+    }
+
+    #[test]
+    fn narrower_flits_route_further() {
+        assert!(m().max_feasible_radix(16) > m().max_feasible_radix(32));
+        assert!(m().max_feasible_radix(32) > m().max_feasible_radix(128));
+    }
+
+    #[test]
+    fn bus_crossbars_cap_near_8x8() {
+        // §4.2: buses of 100-200 wires limit crossbars to 8x8 or less.
+        for wires in [120, 137, 160, 200] {
+            let max = m().max_crossbar_ports(wires);
+            assert!(max <= 9, "{wires}-wire crossbar allowed {max} ports");
+            assert!(max >= 5, "{wires}-wire crossbar allowed only {max} ports");
+        }
+    }
+
+    #[test]
+    fn serialized_noc_switches_route_past_10x10() {
+        // A 32-bit NoC port needs ~38 wires (32 data + flow control).
+        let max = m().max_crossbar_ports(38);
+        assert!(max >= 10, "serialized switch only reached {max} ports");
+    }
+
+    #[test]
+    fn congestion_monotone_in_ports_and_wires() {
+        let c1 = m().crossbar_congestion(4, 100);
+        let c2 = m().crossbar_congestion(8, 100);
+        let c3 = m().crossbar_congestion(8, 200);
+        assert!(c2 > c1);
+        assert!(c3 > c2);
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(m().switch_routability(5, 32).to_string().contains("efficient"));
+        assert!(m().switch_routability(18, 32).to_string().contains("constrained"));
+        assert!(m().switch_routability(30, 32).to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn row_utilization_accessor() {
+        assert!(m().switch_routability(5, 32).row_utilization().is_some());
+        assert!(m().switch_routability(34, 32).row_utilization().is_none());
+        assert!(m().switch_routability(34, 32).is_feasible() == false);
+    }
+}

@@ -1,0 +1,323 @@
+//! Area / frequency / power model of a wormhole switch.
+//!
+//! Calibrated so that at 65 nm with 32-bit flits the model reproduces the
+//! scalability study of Fig. 2 (\[43\]): switches up to 10×10 are efficient
+//! (≈1 GHz-class, ≥85 % row utilization), 14×14–22×22 run at reduced
+//! frequency and 70–50 % row utilization, and 26×26 and beyond hit DRC
+//! violations.
+
+use crate::technology::TechNode;
+use noc_spec::units::{Hertz, MilliWatts, PicoJoules, SquareMicrometers};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Parameters of one switch instance (the ×pipes building block of
+/// Fig. 1a: input buffers, crossbar, arbiter, optional output buffers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SwitchParams {
+    /// Number of input ports.
+    pub inputs: u32,
+    /// Number of output ports.
+    pub outputs: u32,
+    /// Flit width in bits.
+    pub flit_width: u32,
+    /// Input-buffer depth in flits.
+    pub buffer_depth: u32,
+    /// Whether output buffers are present (required by ACK/NACK flow
+    /// control, omitted under ON/OFF — §3).
+    pub output_buffers: bool,
+}
+
+impl SwitchParams {
+    /// A symmetric `radix × radix` switch with 32-bit flits, 4-deep input
+    /// buffers, no output buffers (ON/OFF flow control).
+    pub fn symmetric(radix: u32) -> SwitchParams {
+        SwitchParams {
+            inputs: radix,
+            outputs: radix,
+            flit_width: 32,
+            buffer_depth: 4,
+            output_buffers: false,
+        }
+    }
+
+    /// Sets the flit width.
+    pub fn with_flit_width(mut self, bits: u32) -> SwitchParams {
+        self.flit_width = bits;
+        self
+    }
+
+    /// Sets the input-buffer depth.
+    pub fn with_buffer_depth(mut self, flits: u32) -> SwitchParams {
+        self.buffer_depth = flits;
+        self
+    }
+
+    /// Enables output buffers (ACK/NACK flow control needs them for
+    /// retransmission, §3).
+    pub fn with_output_buffers(mut self) -> SwitchParams {
+        self.output_buffers = true;
+        self
+    }
+
+    /// The larger of the two port counts — drives the critical path.
+    pub fn radix(&self) -> u32 {
+        self.inputs.max(self.outputs)
+    }
+}
+
+impl fmt::Display for SwitchParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} switch, {}-bit flits, depth {}{}",
+            self.inputs,
+            self.outputs,
+            self.flit_width,
+            self.buffer_depth,
+            if self.output_buffers { ", output-buffered" } else { "" }
+        )
+    }
+}
+
+/// Characterization of one switch instance in one technology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchEstimate {
+    /// Cell area (buffers + crossbar + arbitration + overhead).
+    pub area: SquareMicrometers,
+    /// Maximum operating frequency.
+    pub max_frequency: Hertz,
+    /// Dynamic energy to move one flit input→output.
+    pub energy_per_flit: PicoJoules,
+    /// Static leakage power.
+    pub leakage: MilliWatts,
+}
+
+/// Analytic switch model.
+///
+/// ```
+/// use noc_power::switch_model::{SwitchModel, SwitchParams};
+/// use noc_power::technology::TechNode;
+///
+/// let model = SwitchModel::new(TechNode::NM65);
+/// let est = model.estimate(SwitchParams::symmetric(5));
+/// // A 5x5 65nm 32-bit switch is a ~GHz-class component.
+/// assert!(est.max_frequency.to_mhz() > 900.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchModel {
+    tech: TechNode,
+}
+
+impl SwitchModel {
+    /// Creates a model for the given technology node.
+    pub fn new(tech: TechNode) -> SwitchModel {
+        SwitchModel { tech }
+    }
+
+    /// The underlying technology node.
+    pub fn tech(&self) -> TechNode {
+        self.tech
+    }
+
+    /// Full characterization of a switch instance.
+    pub fn estimate(&self, p: SwitchParams) -> SwitchEstimate {
+        SwitchEstimate {
+            area: self.area(p),
+            max_frequency: self.max_frequency(p),
+            energy_per_flit: self.energy_per_flit(p),
+            leakage: self.leakage(p),
+        }
+    }
+
+    /// Cell area of the switch.
+    ///
+    /// Buffers dominate small switches; the crossbar's quadratic term
+    /// dominates large radices — which is what eventually breaks
+    /// routability (Fig. 2).
+    pub fn area(&self, p: SwitchParams) -> SquareMicrometers {
+        let t = &self.tech;
+        let w = p.flit_width as f64;
+        let buf_flops = p.inputs as f64 * p.buffer_depth as f64 * w
+            + if p.output_buffers {
+                p.outputs as f64 * p.buffer_depth as f64 * w
+            } else {
+                0.0
+            };
+        let buffers = buf_flops * t.flop_area_um2;
+        // One w-bit one-hot mux column per output, plus wiring overhead
+        // growing with the crossbar's wire count (quadratic in radix).
+        let crossbar_gates = w * p.inputs as f64 * p.outputs as f64 * 0.9;
+        let crossbar = crossbar_gates * t.gate_area_um2;
+        let arbiter =
+            p.outputs as f64 * (40.0 + 14.0 * p.inputs as f64) * t.gate_area_um2;
+        // Placement/clock-tree/decap overhead: 35 %.
+        SquareMicrometers((buffers + crossbar + arbiter) * 1.35)
+    }
+
+    /// Maximum operating frequency.
+    ///
+    /// Critical path = routing/arbitration (log-depth) + crossbar
+    /// traversal (linear in radix: the mux tree and the wire spanning the
+    /// crossbar), normalized to the node's FO4 delay.
+    pub fn max_frequency(&self, p: SwitchParams) -> Hertz {
+        let t = &self.tech;
+        let radix = p.radix() as f64;
+        let width_factor = 0.5 + 0.5 * p.flit_width as f64 / 32.0;
+        // Calibrated at 65 nm / 32 bit: t(5)≈975 ps (≈1 GHz),
+        // t(10)≈1350 ps (≈740 MHz), t(22)≈2110 ps (≈475 MHz).
+        let fo4_ratio = t.fo4_ps / 25.0;
+        let base = 400.0 * fo4_ratio;
+        let arb = 100.0 * fo4_ratio * (radix.log2().ceil().max(1.0));
+        let xbar = 55.0 * fo4_ratio * radix * width_factor;
+        let period_ps = base + arb + xbar;
+        Hertz((1e12 / period_ps).round() as u64)
+    }
+
+    /// Dynamic energy for one flit to cross the switch.
+    pub fn energy_per_flit(&self, p: SwitchParams) -> PicoJoules {
+        let t = &self.tech;
+        let w = p.flit_width as f64;
+        // Buffer write+read, crossbar traversal (cap grows with radix),
+        // arbitration.
+        let buffer = 2.0 * w * t.gate_energy_pj * 3.0;
+        let crossbar = w * p.radix() as f64 * t.gate_energy_pj * 1.5;
+        let arbiter = p.radix() as f64 * t.gate_energy_pj;
+        PicoJoules(buffer + crossbar + arbiter)
+    }
+
+    /// Static leakage power of the switch.
+    pub fn leakage(&self, p: SwitchParams) -> MilliWatts {
+        MilliWatts(self.area(p).raw() * self.tech.leakage_mw_per_um2)
+    }
+
+    /// Average power at the given clock and average flit throughput
+    /// (flits per cycle crossing the switch, 0–radix).
+    pub fn power(&self, p: SwitchParams, clock: Hertz, flits_per_cycle: f64) -> MilliWatts {
+        let dynamic = PicoJoules(self.energy_per_flit(p).raw() * flits_per_cycle)
+            .to_power(clock);
+        // Clock-tree & idle toggling: 15 % of the full-activity dynamic
+        // power is always burned.
+        let idle = PicoJoules(self.energy_per_flit(p).raw() * 0.15 * p.radix() as f64)
+            .to_power(clock);
+        dynamic + idle + self.leakage(p)
+    }
+}
+
+impl Default for SwitchModel {
+    fn default() -> SwitchModel {
+        SwitchModel::new(TechNode::NM65)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m65() -> SwitchModel {
+        SwitchModel::new(TechNode::NM65)
+    }
+
+    #[test]
+    fn five_by_five_is_ghz_class_at_65nm() {
+        // ×pipes reached ~1 GHz for small switches at 65 nm [43].
+        let f = m65().max_frequency(SwitchParams::symmetric(5));
+        assert!(
+            (900.0..1200.0).contains(&f.to_mhz()),
+            "got {} MHz",
+            f.to_mhz()
+        );
+    }
+
+    #[test]
+    fn frequency_decreases_with_radix() {
+        let m = m65();
+        let mut last = u64::MAX;
+        for radix in [2, 4, 6, 10, 14, 18, 22, 26, 30, 34] {
+            let f = m.max_frequency(SwitchParams::symmetric(radix)).raw();
+            assert!(f < last, "frequency must fall monotonically with radix");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn fig2_frequency_band() {
+        // Fig. 2 calibration points (shape, not exact numbers):
+        let m = m65();
+        let f10 = m.max_frequency(SwitchParams::symmetric(10)).to_mhz();
+        let f22 = m.max_frequency(SwitchParams::symmetric(22)).to_mhz();
+        assert!((650.0..850.0).contains(&f10), "10x10 at {f10} MHz");
+        assert!((400.0..550.0).contains(&f22), "22x22 at {f22} MHz");
+    }
+
+    #[test]
+    fn area_grows_superlinearly_with_radix() {
+        let m = m65();
+        let a5 = m.area(SwitchParams::symmetric(5)).raw();
+        let a10 = m.area(SwitchParams::symmetric(10)).raw();
+        let a20 = m.area(SwitchParams::symmetric(20)).raw();
+        assert!(a10 > 1.9 * a5);
+        assert!(a20 - a10 > a10 - a5, "area growth must accelerate");
+    }
+
+    #[test]
+    fn five_by_five_area_is_order_of_magnitude_right() {
+        // Published 65 nm ×pipes 5x5 32-bit switches are in the
+        // 0.01–0.05 mm² range.
+        let a = m65().area(SwitchParams::symmetric(5)).to_mm2();
+        assert!((0.005..0.06).contains(&a), "5x5 area {a} mm^2");
+    }
+
+    #[test]
+    fn output_buffers_cost_area() {
+        let m = m65();
+        let without = m.area(SwitchParams::symmetric(5));
+        let with = m.area(SwitchParams::symmetric(5).with_output_buffers());
+        assert!(with.raw() > without.raw() * 1.3);
+    }
+
+    #[test]
+    fn wider_flits_lower_frequency_and_raise_area() {
+        let m = m65();
+        let narrow = SwitchParams::symmetric(5);
+        let wide = SwitchParams::symmetric(5).with_flit_width(128);
+        assert!(m.max_frequency(wide).raw() < m.max_frequency(narrow).raw());
+        assert!(m.area(wide).raw() > 3.0 * m.area(narrow).raw());
+    }
+
+    #[test]
+    fn newer_node_is_smaller_and_faster() {
+        let p = SwitchParams::symmetric(8);
+        let e65 = m65().estimate(p);
+        let e45 = SwitchModel::new(TechNode::NM45).estimate(p);
+        assert!(e45.area.raw() < e65.area.raw());
+        assert!(e45.max_frequency.raw() > e65.max_frequency.raw());
+        assert!(e45.energy_per_flit.raw() < e65.energy_per_flit.raw());
+    }
+
+    #[test]
+    fn power_increases_with_load() {
+        let m = m65();
+        let p = SwitchParams::symmetric(5);
+        let clock = Hertz::from_mhz(500);
+        let idle = m.power(p, clock, 0.0);
+        let busy = m.power(p, clock, 4.0);
+        assert!(busy.raw() > idle.raw());
+        assert!(idle.raw() > 0.0, "leakage + clock tree is never zero");
+    }
+
+    #[test]
+    fn estimate_bundles_all_fields() {
+        let e = m65().estimate(SwitchParams::symmetric(6));
+        assert!(e.area.raw() > 0.0);
+        assert!(e.max_frequency.raw() > 0);
+        assert!(e.energy_per_flit.raw() > 0.0);
+        assert!(e.leakage.raw() > 0.0);
+    }
+
+    #[test]
+    fn display_mentions_dimensions() {
+        let s = SwitchParams::symmetric(5).to_string();
+        assert!(s.contains("5x5"));
+    }
+}

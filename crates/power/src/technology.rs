@@ -1,0 +1,178 @@
+//! Technology nodes and their electrical/geometric characteristics.
+//!
+//! §6 of the paper: "the NoC components are characterized with the target
+//! technology library to compute the area, power and maximum operating
+//! frequency of the routers, NIs and links." This module is that
+//! characterization layer. Values are calibrated to the published 65 nm
+//! ×pipes data (\[43\], *Bringing NoCs to 65 nm*) and scaled to the
+//! neighboring nodes with classical constant-field scaling rules.
+
+use noc_spec::units::{Hertz, Micrometers, Picoseconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CMOS technology node with the parameters the NoC component models
+/// need.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechNode {
+    /// Drawn feature size in nanometres (e.g. 65).
+    pub feature_nm: u32,
+    /// Area of one equivalent NAND2 gate, in µm².
+    pub gate_area_um2: f64,
+    /// Area of one flip-flop, in µm².
+    pub flop_area_um2: f64,
+    /// Delay of one fan-out-of-4 inverter stage, in picoseconds.
+    pub fo4_ps: f64,
+    /// Delay of an optimally repeated global wire, in ps per millimetre.
+    pub wire_delay_ps_per_mm: f64,
+    /// Switching energy of one repeated global wire, pJ per bit per mm.
+    pub wire_energy_pj_per_bit_mm: f64,
+    /// Switching energy of one gate, in pJ.
+    pub gate_energy_pj: f64,
+    /// Leakage power per µm² of standard-cell area, in mW.
+    pub leakage_mw_per_um2: f64,
+    /// Global-metal wire pitch in µm (limits routing capacity, §4.2).
+    pub wire_pitch_um: f64,
+    /// Number of metal layers usable for global signal routing.
+    pub signal_layers: u32,
+}
+
+impl TechNode {
+    /// The 90 nm node.
+    pub const NM90: TechNode = TechNode {
+        feature_nm: 90,
+        gate_area_um2: 3.1,
+        flop_area_um2: 8.0,
+        fo4_ps: 35.0,
+        wire_delay_ps_per_mm: 80.0,
+        wire_energy_pj_per_bit_mm: 0.32,
+        gate_energy_pj: 0.0035,
+        leakage_mw_per_um2: 4.0e-6,
+        wire_pitch_um: 0.42,
+        signal_layers: 4,
+    };
+
+    /// The 65 nm node — the reference point of Fig. 2 of the paper.
+    pub const NM65: TechNode = TechNode {
+        feature_nm: 65,
+        gate_area_um2: 1.6,
+        flop_area_um2: 4.2,
+        fo4_ps: 25.0,
+        wire_delay_ps_per_mm: 105.0,
+        wire_energy_pj_per_bit_mm: 0.21,
+        gate_energy_pj: 0.0020,
+        leakage_mw_per_um2: 7.0e-6,
+        wire_pitch_um: 0.30,
+        signal_layers: 5,
+    };
+
+    /// The 45 nm node — "most (if not all) high-end SoC products …
+    /// fabricated with the 45 nm node" (§7).
+    pub const NM45: TechNode = TechNode {
+        feature_nm: 45,
+        gate_area_um2: 0.85,
+        flop_area_um2: 2.2,
+        fo4_ps: 17.0,
+        wire_delay_ps_per_mm: 140.0,
+        wire_energy_pj_per_bit_mm: 0.13,
+        gate_energy_pj: 0.0011,
+        leakage_mw_per_um2: 1.2e-5,
+        wire_pitch_um: 0.21,
+        signal_layers: 6,
+    };
+
+    /// Looks a node up by its drawn feature size.
+    pub fn by_feature(feature_nm: u32) -> Option<TechNode> {
+        match feature_nm {
+            90 => Some(TechNode::NM90),
+            65 => Some(TechNode::NM65),
+            45 => Some(TechNode::NM45),
+            _ => None,
+        }
+    }
+
+    /// Propagation delay of a repeated global wire of the given length.
+    pub fn wire_delay(&self, length: Micrometers) -> Picoseconds {
+        Picoseconds((self.wire_delay_ps_per_mm * length.to_mm()).round().max(0.0) as u64)
+    }
+
+    /// The distance a signal can travel within one cycle at `clock`,
+    /// leaving `margin` (0–1) of the period for the flop setup/launch
+    /// overhead. This is the wire-segmentation criterion of §4.1: links
+    /// longer than this must be pipelined.
+    pub fn reachable_per_cycle(&self, clock: Hertz, margin: f64) -> Micrometers {
+        let budget_ps = clock.period().raw() as f64 * (1.0 - margin);
+        Micrometers(budget_ps / self.wire_delay_ps_per_mm * 1000.0)
+    }
+
+    /// Routing capacity of a channel of the given cross-section width:
+    /// how many parallel wires fit through it (§4.2 routability analysis).
+    pub fn channel_capacity(&self, cross_section: Micrometers) -> u32 {
+        let per_layer = cross_section.raw() / self.wire_pitch_um;
+        (per_layer * self.signal_layers as f64).floor().max(0.0) as u32
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} nm", self.feature_nm)
+    }
+}
+
+impl Default for TechNode {
+    /// Defaults to the paper's reference node, 65 nm.
+    fn default() -> TechNode {
+        TechNode::NM65
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_feature() {
+        assert_eq!(TechNode::by_feature(65), Some(TechNode::NM65));
+        assert_eq!(TechNode::by_feature(32), None);
+    }
+
+    #[test]
+    fn gate_delay_improves_with_scaling_but_wires_do_not() {
+        // §1: "with technology scaling, gate delays decrease while global
+        // wire delays do not."
+        assert!(TechNode::NM45.fo4_ps < TechNode::NM65.fo4_ps);
+        assert!(TechNode::NM65.fo4_ps < TechNode::NM90.fo4_ps);
+        assert!(TechNode::NM45.wire_delay_ps_per_mm > TechNode::NM65.wire_delay_ps_per_mm);
+        assert!(TechNode::NM65.wire_delay_ps_per_mm > TechNode::NM90.wire_delay_ps_per_mm);
+    }
+
+    #[test]
+    fn wire_delay_linear_in_length() {
+        let t = TechNode::NM65;
+        let d1 = t.wire_delay(Micrometers::from_mm(1.0));
+        let d2 = t.wire_delay(Micrometers::from_mm(2.0));
+        assert_eq!(d2.raw(), 2 * d1.raw());
+    }
+
+    #[test]
+    fn reachable_distance_at_1ghz_65nm_is_several_mm() {
+        let t = TechNode::NM65;
+        let reach = t.reachable_per_cycle(Hertz::from_ghz(1.0), 0.2);
+        // 800 ps budget at 105 ps/mm ≈ 7.6 mm.
+        assert!((reach.to_mm() - 7.6).abs() < 0.1, "reach {}", reach);
+    }
+
+    #[test]
+    fn channel_capacity_scales_with_cross_section() {
+        let t = TechNode::NM65;
+        let narrow = t.channel_capacity(Micrometers(30.0));
+        let wide = t.channel_capacity(Micrometers(60.0));
+        assert!(wide >= 2 * narrow - 1);
+        assert!(narrow > 0);
+    }
+
+    #[test]
+    fn default_is_65nm() {
+        assert_eq!(TechNode::default().feature_nm, 65);
+    }
+}

@@ -1,0 +1,164 @@
+//! Structured-wiring study: serialization vs. parallel buses (§4.1).
+//!
+//! "A typical on-chip bus requires around 100 to 200 wires … a NoC sends
+//! packets, and can do so by splitting them over multiple cycles in flits
+//! … By deploying highly serialized links, routing can be simplified,
+//! while area and crosstalk can be minimized. In practice, a lower bound
+//! is set by performance needs."
+
+use crate::technology::TechNode;
+use noc_spec::units::{BitsPerSecond, Hertz, Micrometers, SquareMicrometers};
+use serde::{Deserialize, Serialize};
+
+/// Comparison point for one interconnect realization over a given span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WiringPoint {
+    /// Human-readable label ("bus-64", "noc-32", …).
+    pub label: String,
+    /// Parallel wires deployed.
+    pub wires: u32,
+    /// Wiring area over the span (wires × pitch × length).
+    pub wiring_area: SquareMicrometers,
+    /// Relative crosstalk exposure (coupled wire-length, normalized to a
+    /// 200-wire bus = 1.0).
+    pub crosstalk: f64,
+    /// Cycles to move one 64-byte transfer across the span.
+    pub transfer_cycles: u64,
+    /// Peak payload bandwidth of the realization.
+    pub peak_bandwidth: BitsPerSecond,
+}
+
+/// Model of the §4.1 wiring trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WiringModel {
+    tech: TechNode,
+    /// Physical span of the compared connection.
+    pub span: Micrometers,
+    /// Clock of the compared realizations.
+    pub clock: Hertz,
+}
+
+impl WiringModel {
+    /// Creates a study over the given span and clock.
+    pub fn new(tech: TechNode, span: Micrometers, clock: Hertz) -> WiringModel {
+        WiringModel { tech, span, clock }
+    }
+
+    /// Characterizes a conventional bus with `data_width`-bit read and
+    /// write lanes (plus 32 address + `ctrl` control wires).
+    pub fn bus(&self, data_width: u32, ctrl: u32) -> WiringPoint {
+        let wires = data_width * 2 + 32 + ctrl;
+        // A bus moves one beat per cycle on each lane; 64-byte transfer =
+        // 512 bits over the write lane.
+        let transfer_cycles = (512u64).div_ceil(data_width as u64);
+        self.point(format!("bus-{data_width}"), wires, data_width, transfer_cycles)
+    }
+
+    /// Characterizes a NoC link with the given flit width: `flit_width`
+    /// data wires + ~6 flow-control/valid wires, moving the same 64-byte
+    /// payload as a packet with one header flit.
+    pub fn noc_link(&self, flit_width: u32) -> WiringPoint {
+        let wires = flit_width + 6;
+        let payload_flits = (512u64).div_ceil(flit_width as u64);
+        let transfer_cycles = payload_flits + 1; // + header flit
+        self.point(format!("noc-{flit_width}"), wires, flit_width, transfer_cycles)
+    }
+
+    fn point(
+        &self,
+        label: String,
+        wires: u32,
+        payload_width: u32,
+        transfer_cycles: u64,
+    ) -> WiringPoint {
+        let pitch = self.tech.wire_pitch_um;
+        let wiring_area =
+            SquareMicrometers(wires as f64 * pitch * self.span.raw());
+        // Crosstalk exposure ∝ coupled neighbor pairs × length; normalize
+        // to a 200-wire bus over the same span.
+        let crosstalk = (wires.saturating_sub(1)) as f64 / 199.0;
+        WiringPoint {
+            label,
+            wires,
+            wiring_area,
+            crosstalk,
+            transfer_cycles,
+            peak_bandwidth: BitsPerSecond::of_link(payload_width, self.clock),
+        }
+    }
+
+    /// The full sweep of Fig. E6 (`wiring_serialization` bench): buses at
+    /// 32/64 bits vs NoC links from `min_flit` to `max_flit` (powers of
+    /// two).
+    pub fn sweep(&self, min_flit: u32, max_flit: u32) -> Vec<WiringPoint> {
+        let mut out = vec![self.bus(32, 40), self.bus(64, 40)];
+        let mut w = min_flit;
+        while w <= max_flit {
+            out.push(self.noc_link(w));
+            w *= 2;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> WiringModel {
+        WiringModel::new(
+            TechNode::NM65,
+            Micrometers::from_mm(3.0),
+            Hertz::from_mhz(500),
+        )
+    }
+
+    #[test]
+    fn buses_need_100_to_200_wires() {
+        let m = model();
+        assert!((100..=200).contains(&m.bus(32, 40).wires));
+        assert!((100..=200).contains(&m.bus(64, 40).wires));
+    }
+
+    #[test]
+    fn noc_32_uses_far_fewer_wires_than_any_bus() {
+        let m = model();
+        let noc = m.noc_link(32);
+        assert!(noc.wires < m.bus(32, 40).wires / 3);
+    }
+
+    #[test]
+    fn serialization_trades_cycles_for_wires() {
+        let m = model();
+        let narrow = m.noc_link(8);
+        let wide = m.noc_link(128);
+        assert!(narrow.wires < wide.wires);
+        assert!(narrow.transfer_cycles > wide.transfer_cycles);
+    }
+
+    #[test]
+    fn crosstalk_and_area_shrink_with_serialization() {
+        let m = model();
+        let bus = m.bus(64, 40);
+        let noc = m.noc_link(32);
+        assert!(noc.crosstalk < bus.crosstalk);
+        assert!(noc.wiring_area.raw() < bus.wiring_area.raw());
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_wires() {
+        let pts = model().sweep(8, 128);
+        let noc: Vec<_> = pts.iter().filter(|p| p.label.starts_with("noc")).collect();
+        for pair in noc.windows(2) {
+            assert!(pair[0].wires < pair[1].wires);
+            assert!(pair[0].transfer_cycles >= pair[1].transfer_cycles);
+        }
+    }
+
+    #[test]
+    fn peak_bandwidth_matches_width_times_clock() {
+        let m = model();
+        let p = m.noc_link(32);
+        assert_eq!(p.peak_bandwidth, BitsPerSecond::of_link(32, m.clock));
+    }
+}

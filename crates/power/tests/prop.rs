@@ -1,0 +1,100 @@
+//! Property-based tests of the characterization models' monotonicity —
+//! the structural facts the Fig. 2 calibration relies on.
+
+use noc_power::dvfs::DvfsModel;
+use noc_power::link_model::LinkModel;
+use noc_power::routability::RoutabilityModel;
+use noc_power::switch_model::{SwitchModel, SwitchParams};
+use noc_power::technology::TechNode;
+use noc_spec::units::{Hertz, Micrometers};
+use proptest::prelude::*;
+
+fn nodes() -> impl Strategy<Value = TechNode> {
+    prop_oneof![
+        Just(TechNode::NM90),
+        Just(TechNode::NM65),
+        Just(TechNode::NM45),
+    ]
+}
+
+proptest! {
+    /// Switch frequency falls and area grows with radix, in every node
+    /// and at every flit width.
+    #[test]
+    fn switch_model_monotone_in_radix(
+        tech in nodes(),
+        radix in 2u32..33,
+        width_exp in 3u32..8,
+    ) {
+        let width = 1u32 << width_exp;
+        let m = SwitchModel::new(tech);
+        let a = m.estimate(SwitchParams::symmetric(radix).with_flit_width(width));
+        let b = m.estimate(SwitchParams::symmetric(radix + 1).with_flit_width(width));
+        prop_assert!(b.max_frequency.raw() < a.max_frequency.raw());
+        prop_assert!(b.area.raw() > a.area.raw());
+        prop_assert!(b.energy_per_flit.raw() > a.energy_per_flit.raw());
+        prop_assert!(b.leakage.raw() > a.leakage.raw());
+    }
+
+    /// Routability: if radix r is infeasible, r+1 is too; achievable row
+    /// utilization never increases with radix.
+    #[test]
+    fn routability_monotone(tech in nodes(), radix in 2u32..60, width_exp in 3u32..8) {
+        let width = 1u32 << width_exp;
+        let m = RoutabilityModel::new(tech);
+        let a = m.switch_routability(radix, width);
+        let b = m.switch_routability(radix + 1, width);
+        if !a.is_feasible() {
+            prop_assert!(!b.is_feasible());
+        }
+        if let (Some(ua), Some(ub)) = (a.row_utilization(), b.row_utilization()) {
+            prop_assert!(ub <= ua + 1e-12);
+        }
+    }
+
+    /// Crossbar congestion is strictly monotone in both ports and wires.
+    #[test]
+    fn crossbar_congestion_monotone(tech in nodes(), ports in 2u32..64, wires in 8u32..256) {
+        let m = RoutabilityModel::new(tech);
+        prop_assert!(m.crossbar_congestion(ports + 1, wires) > m.crossbar_congestion(ports, wires));
+        prop_assert!(m.crossbar_congestion(ports, wires + 8) > m.crossbar_congestion(ports, wires));
+    }
+
+    /// Link pipeline stages never decrease with length or clock, and a
+    /// pipelined link always meets per-segment timing.
+    #[test]
+    fn link_stages_monotone_and_sufficient(
+        tech in nodes(),
+        len_um in 100.0f64..30_000.0,
+        mhz in 100u64..2_000,
+    ) {
+        let m = LinkModel::new(tech);
+        let clock = Hertz::from_mhz(mhz);
+        let len = Micrometers(len_um);
+        let stages = m.pipeline_stages(len, clock);
+        prop_assert!(m.pipeline_stages(Micrometers(len_um * 2.0), clock) >= stages);
+        prop_assert!(m.pipeline_stages(len, Hertz::from_mhz(mhz * 2)) >= stages);
+        // Per-segment wire delay fits in the cycle's wire budget.
+        let segment = Micrometers(len_um / (stages + 1) as f64);
+        let budget_ps = clock.period().raw() as f64 * 0.8;
+        prop_assert!(
+            tech.wire_delay(segment).raw() as f64 <= budget_ps + 1.0,
+            "segment delay exceeds budget"
+        );
+    }
+
+    /// DVFS: frequency and energy are monotone in voltage across the
+    /// legal range.
+    #[test]
+    fn dvfs_monotone_in_voltage(tech in nodes(), steps in 1usize..10) {
+        let m = DvfsModel::new(tech, Hertz::from_mhz(800));
+        let lo = m.min_vdd;
+        let hi = m.nominal_vdd * 1.3;
+        let v1 = lo + (hi - lo) * (steps as f64 - 1.0) / 10.0;
+        let v2 = lo + (hi - lo) * steps as f64 / 10.0;
+        let a = m.at_voltage(v1);
+        let b = m.at_voltage(v2);
+        prop_assert!(b.max_frequency.raw() >= a.max_frequency.raw());
+        prop_assert!(b.dynamic_energy_factor >= a.dynamic_energy_factor);
+    }
+}

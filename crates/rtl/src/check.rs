@@ -1,0 +1,203 @@
+//! Lightweight structural self-check of emitted Verilog.
+//!
+//! Not a full parser — a consistency linter that catches the classes of
+//! emitter bugs that matter: unbalanced `module`/`endmodule`, instances
+//! of undefined modules, duplicate module definitions, and duplicate
+//! instance names inside one module.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+/// A structural problem found in emitted Verilog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerilogIssue {
+    /// `module` count does not match `endmodule` count.
+    Unbalanced {
+        /// Number of `module` keywords.
+        modules: usize,
+        /// Number of `endmodule` keywords.
+        endmodules: usize,
+    },
+    /// The same module is defined twice.
+    DuplicateModule(String),
+    /// An instance references an undefined module.
+    UndefinedModule(String),
+    /// Two instances in one module share a name.
+    DuplicateInstance {
+        /// The enclosing module.
+        module: String,
+        /// The duplicated instance name.
+        instance: String,
+    },
+}
+
+impl fmt::Display for VerilogIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerilogIssue::Unbalanced {
+                modules,
+                endmodules,
+            } => write!(
+                f,
+                "unbalanced module/endmodule: {modules} vs {endmodules}"
+            ),
+            VerilogIssue::DuplicateModule(m) => write!(f, "module `{m}` defined twice"),
+            VerilogIssue::UndefinedModule(m) => {
+                write!(f, "instance of undefined module `{m}`")
+            }
+            VerilogIssue::DuplicateInstance { module, instance } => {
+                write!(f, "duplicate instance `{instance}` in module `{module}`")
+            }
+        }
+    }
+}
+
+impl Error for VerilogIssue {}
+
+/// Strips `// ...` comments from one line.
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Runs the structural check, returning every issue found (empty = ok).
+pub fn check_verilog(source: &str) -> Vec<VerilogIssue> {
+    let mut issues = Vec::new();
+    let mut defined: BTreeSet<String> = BTreeSet::new();
+    let mut instances: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new(); // module -> (type, name)
+    let mut current: Option<String> = None;
+    let mut module_count = 0usize;
+    let mut endmodule_count = 0usize;
+
+    for raw in source.lines() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line
+            .split(|c: char| c.is_whitespace() || c == '(' || c == '#')
+            .filter(|t| !t.is_empty())
+            .collect();
+        if tokens.first() == Some(&"module") {
+            module_count += 1;
+            if let Some(name) = tokens.get(1) {
+                let name = name.trim_end_matches(';');
+                if !defined.insert(name.to_string()) {
+                    issues.push(VerilogIssue::DuplicateModule(name.to_string()));
+                }
+                current = Some(name.to_string());
+            }
+        } else if tokens.first() == Some(&"endmodule") {
+            endmodule_count += 1;
+            current = None;
+        } else if let Some(module) = &current {
+            // Instance pattern: `<type> <name> (` or `<type> #(...) <name> (`.
+            if tokens.len() >= 2
+                && tokens[0]
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && tokens[0].starts_with("noc_")
+                && !matches!(tokens[0], "module" | "endmodule")
+            {
+                // Skip parameter tokens like `.WIDTH(32))` to find the
+                // instance name: the last identifier before the open
+                // paren of the port list. Emitted style keeps the
+                // instance name as the last bare identifier on the line.
+                if let Some(name) = tokens
+                    .iter()
+                    .skip(1)
+                    .rev()
+                    .find(|t| {
+                        t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                            && !t.starts_with('.')
+                            && !t.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true)
+                    })
+                {
+                    instances
+                        .entry(module.clone())
+                        .or_default()
+                        .push((tokens[0].to_string(), name.to_string()));
+                }
+            }
+        }
+    }
+    if module_count != endmodule_count {
+        issues.push(VerilogIssue::Unbalanced {
+            modules: module_count,
+            endmodules: endmodule_count,
+        });
+    }
+    for (module, insts) in &instances {
+        let mut seen = BTreeSet::new();
+        for (ty, name) in insts {
+            if !defined.contains(ty) {
+                issues.push(VerilogIssue::UndefinedModule(ty.clone()));
+            }
+            if !seen.insert(name.clone()) {
+                issues.push(VerilogIssue::DuplicateInstance {
+                    module: module.clone(),
+                    instance: name.clone(),
+                });
+            }
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verilog::{emit_verilog, EmitOptions};
+    use noc_spec::CoreId;
+    use noc_topology::generators::{fat_tree, mesh};
+
+    #[test]
+    fn emitted_mesh_verilog_is_clean() {
+        let cores: Vec<CoreId> = (0..9).map(CoreId).collect();
+        let topo = mesh(3, 3, &cores, 32).expect("valid").topology;
+        let v = emit_verilog(&topo, &EmitOptions::default());
+        assert_eq!(check_verilog(&v), vec![]);
+    }
+
+    #[test]
+    fn emitted_fat_tree_verilog_is_clean() {
+        let cores: Vec<CoreId> = (0..8).map(CoreId).collect();
+        let topo = fat_tree(2, &cores, 32).expect("valid").topology;
+        let v = emit_verilog(&topo, &EmitOptions::default());
+        assert_eq!(check_verilog(&v), vec![]);
+    }
+
+    #[test]
+    fn unbalanced_detected() {
+        let issues = check_verilog("module a ();\nmodule b ();\nendmodule\n");
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, VerilogIssue::Unbalanced { .. })));
+    }
+
+    #[test]
+    fn duplicate_module_detected() {
+        let src = "module a ();\nendmodule\nmodule a ();\nendmodule\n";
+        assert!(check_verilog(src)
+            .iter()
+            .any(|i| matches!(i, VerilogIssue::DuplicateModule(m) if m == "a")));
+    }
+
+    #[test]
+    fn undefined_instance_detected() {
+        let src = "module top ();\n  noc_ghost u0 (\n  );\nendmodule\n";
+        assert!(check_verilog(src)
+            .iter()
+            .any(|i| matches!(i, VerilogIssue::UndefinedModule(m) if m == "noc_ghost")));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let src = "// module fake\nmodule real_one ();\nendmodule\n";
+        assert_eq!(check_verilog(src), vec![]);
+    }
+}

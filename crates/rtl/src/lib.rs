@@ -1,0 +1,46 @@
+//! # noc-rtl — RTL and simulation-model emission for NoC topologies
+//!
+//! The back end of the design flow (§6 of the DAC'10 paper): "Then, the
+//! RTL of the topology is automatically generated. The tools also
+//! generate simulation models (high level as well as RTL) with traffic
+//! generators."
+//!
+//! * [`verilog`] — structural Verilog: leaf component modules (FIFO,
+//!   arbiter, initiator/target NIs, link relay stations), one switch
+//!   module per distinct radix, and the top-level netlist wiring them
+//!   per the topology graph;
+//! * [`testbench`] — a clock/reset testbench for the generated top;
+//! * [`model`] — a high-level simulation model (nodes, links, routing
+//!   LUTs, traffic-generator hooks) with a round-trip parser;
+//! * [`check`] — a structural linter catching emitter inconsistencies
+//!   (unbalanced modules, undefined instances, duplicate names).
+//!
+//! ## Example
+//!
+//! ```
+//! use noc_rtl::verilog::{emit_verilog, EmitOptions};
+//! use noc_rtl::check::check_verilog;
+//! use noc_spec::CoreId;
+//! use noc_topology::generators::mesh;
+//!
+//! # fn main() -> Result<(), noc_topology::TopologyError> {
+//! let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+//! let fabric = mesh(2, 2, &cores, 32)?;
+//! let source = emit_verilog(&fabric.topology, &EmitOptions::default());
+//! assert!(check_verilog(&source).is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod model;
+pub mod testbench;
+pub mod verilog;
+
+pub use crate::check::{check_verilog, VerilogIssue};
+pub use crate::model::{emit_sim_model, parse_sim_model, ModelSummary};
+pub use crate::testbench::emit_testbench;
+pub use crate::verilog::{emit_ni_luts, emit_verilog, emit_verilog_with_routes, EmitOptions};

@@ -1,0 +1,125 @@
+//! High-level simulation-model emission.
+//!
+//! §6: "The tools also generate simulation models (high level as well as
+//! RTL) with traffic generators that can be used to validate the
+//! run-time behavior of the system." The high-level model is a
+//! self-contained text description — topology, routing LUTs and traffic
+//! generator hooks — consumable by external simulators (and re-parsable
+//! by this crate for round-trip tests).
+
+use noc_topology::graph::{NodeKind, Topology};
+use noc_topology::routing::RouteSet;
+use std::fmt::Write as _;
+
+/// Emits the high-level model of a design: `node`, `link`, `route` and
+/// `tgen` records, one per line.
+pub fn emit_sim_model(topo: &Topology, routes: &RouteSet) -> String {
+    let mut out = String::new();
+    writeln!(out, "# nocsilk high-level simulation model").expect("infallible");
+    writeln!(out, "topology {}", topo.name().replace(' ', "_")).expect("infallible");
+    for (id, node) in topo.node_ids() {
+        match &node.kind {
+            NodeKind::Switch => {
+                let (i, o) = topo.switch_radix(id);
+                writeln!(out, "node {} switch {} inputs={i} outputs={o}", id.0, node.name)
+                    .expect("infallible");
+            }
+            NodeKind::Ni { core, role } => {
+                writeln!(
+                    out,
+                    "node {} ni {} core={} role={role}",
+                    id.0, node.name, core.0
+                )
+                .expect("infallible");
+            }
+        }
+    }
+    for (id, l) in topo.link_ids() {
+        writeln!(
+            out,
+            "link {} {} -> {} width={} stages={}",
+            id.0, l.src.0, l.dst.0, l.width, l.pipeline_stages
+        )
+        .expect("infallible");
+    }
+    for ((from, to), route) in routes.iter() {
+        let path: Vec<String> = route.links.iter().map(|l| l.0.to_string()).collect();
+        writeln!(out, "route {} {} via {}", from.0, to.0, path.join(","))
+            .expect("infallible");
+    }
+    for (id, node) in topo.node_ids() {
+        if let NodeKind::Ni { role, .. } = &node.kind {
+            if matches!(role, noc_topology::graph::NiRole::Initiator) {
+                writeln!(out, "tgen {} poisson rate=CONFIGURE_ME", id.0).expect("infallible");
+            }
+        }
+    }
+    out
+}
+
+/// Parsed summary of a model (round-trip validation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModelSummary {
+    /// `node` record count.
+    pub nodes: usize,
+    /// `link` record count.
+    pub links: usize,
+    /// `route` record count.
+    pub routes: usize,
+    /// `tgen` record count.
+    pub tgens: usize,
+}
+
+/// Parses a model's record counts. Lines that are comments or blank are
+/// skipped; unknown records are ignored (forward compatibility).
+pub fn parse_sim_model(model: &str) -> ModelSummary {
+    let mut s = ModelSummary::default();
+    for line in model.lines() {
+        let line = line.trim();
+        match line.split_whitespace().next() {
+            Some("node") => s.nodes += 1,
+            Some("link") => s.links += 1,
+            Some("route") => s.routes += 1,
+            Some("tgen") => s.tgens += 1,
+            _ => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_spec::CoreId;
+    use noc_topology::generators::mesh;
+
+    #[test]
+    fn round_trip_counts() {
+        let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+        let m = mesh(2, 2, &cores, 32).expect("valid");
+        let routes = m.xy_routes_all_pairs().expect("ok");
+        let model = emit_sim_model(&m.topology, &routes);
+        let s = parse_sim_model(&model);
+        assert_eq!(s.nodes, m.topology.nodes().len());
+        assert_eq!(s.links, m.topology.links().len());
+        assert_eq!(s.routes, routes.len());
+        // One traffic generator per initiator NI.
+        assert_eq!(s.tgens, 4);
+    }
+
+    #[test]
+    fn model_mentions_pipeline_stages() {
+        let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+        let mut m = mesh(2, 2, &cores, 32).expect("valid");
+        let lid = m.topology.link_ids().next().map(|(id, _)| id).expect("links");
+        m.topology.set_pipeline_stages(lid, 3);
+        let model = emit_sim_model(&m.topology, &RouteSet::new());
+        assert!(model.contains("stages=3"));
+    }
+
+    #[test]
+    fn comments_ignored_by_parser() {
+        let s = parse_sim_model("# node fake\n\nnode 0 switch sw inputs=1 outputs=1\n");
+        assert_eq!(s.nodes, 1);
+    }
+}

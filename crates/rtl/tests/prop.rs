@@ -1,0 +1,74 @@
+//! Property-based tests: every emitted artifact self-checks, for
+//! arbitrary generated topologies.
+
+use noc_rtl::check::check_verilog;
+use noc_rtl::model::{emit_sim_model, parse_sim_model};
+use noc_rtl::testbench::emit_testbench;
+use noc_rtl::verilog::{emit_verilog, EmitOptions};
+use noc_spec::CoreId;
+use noc_topology::generators::{fat_tree, hier_star, mesh, ring, spidergon};
+use noc_topology::routing::RouteSet;
+use proptest::prelude::*;
+
+fn cores(n: usize) -> Vec<CoreId> {
+    (0..n).map(CoreId).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mesh RTL is structurally clean for every shape and width.
+    #[test]
+    fn mesh_rtl_always_self_checks(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        width_exp in 3u32..8,
+    ) {
+        prop_assume!(rows * cols >= 2);
+        let m = mesh(rows, cols, &cores(rows * cols), 32).expect("valid shape");
+        let opts = EmitOptions {
+            flit_width: 1 << width_exp,
+            ..EmitOptions::default()
+        };
+        let v = emit_verilog(&m.topology, &opts);
+        prop_assert_eq!(check_verilog(&v), vec![]);
+    }
+
+    /// Every generator family emits clean RTL.
+    #[test]
+    fn all_generator_families_emit_clean_rtl(n in 4usize..17, family in 0u8..4) {
+        let topo = match family {
+            0 => fat_tree(2, &cores(n), 32).expect("valid").topology,
+            1 => ring(&cores(n), 32).expect("valid").topology,
+            2 => {
+                let n = if n % 2 == 1 { n + 1 } else { n };
+                spidergon(&cores(n), 32).expect("valid").topology
+            }
+            _ => {
+                let half = n / 2;
+                hier_star(&[cores(half), (half..n).map(CoreId).collect()], 32)
+                    .expect("valid")
+                    .topology
+            }
+        };
+        let v = emit_verilog(&topo, &EmitOptions::default());
+        prop_assert_eq!(check_verilog(&v), vec![]);
+        // Testbench for the same options is balanced.
+        let tb = emit_testbench(&EmitOptions::default(), 100);
+        prop_assert_eq!(tb.matches("module ").count(), tb.matches("endmodule").count());
+    }
+
+    /// The high-level model's record counts always round-trip.
+    #[test]
+    fn sim_model_round_trips(rows in 1usize..4, cols in 2usize..5) {
+        let m = mesh(rows, cols, &cores(rows * cols), 32).expect("valid shape");
+        let routes = m.xy_routes_all_pairs().expect("routable");
+        let text = emit_sim_model(&m.topology, &routes);
+        let s = parse_sim_model(&text);
+        prop_assert_eq!(s.nodes, m.topology.nodes().len());
+        prop_assert_eq!(s.links, m.topology.links().len());
+        prop_assert_eq!(s.routes, routes.len());
+        let empty = emit_sim_model(&m.topology, &RouteSet::new());
+        prop_assert_eq!(parse_sim_model(&empty).routes, 0);
+    }
+}

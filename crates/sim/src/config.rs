@@ -1,0 +1,173 @@
+//! Simulator configuration.
+
+use noc_spec::units::Hertz;
+use serde::{Deserialize, Serialize};
+
+/// Link-level flow control discipline (§3 / Fig. 1: ×pipes supports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowControl {
+    /// ON/OFF (credit-style) backpressure: "backpressure from the
+    /// downstream switch stalls the transmission until there is
+    /// sufficient buffering capacity. In this case, output buffers can be
+    /// omitted." Lossless; a flit is launched only when the downstream
+    /// buffer has space.
+    OnOff,
+    /// ACK/NACK: flits are sent speculatively and "have to be
+    /// retransmitted until the downstream router has sufficient capacity
+    /// to store and accept them" — requiring output buffers and wasting
+    /// link cycles on retries under congestion.
+    AckNack,
+}
+
+impl Default for FlowControl {
+    fn default() -> FlowControl {
+        FlowControl::OnOff
+    }
+}
+
+/// Output-port arbitration policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arbitration {
+    /// Fair round-robin across requesting inputs.
+    RoundRobin,
+    /// Guaranteed-throughput flits first (QoS), round-robin within a
+    /// class.
+    PriorityThenRoundRobin,
+}
+
+impl Default for Arbitration {
+    fn default() -> Arbitration {
+        Arbitration::RoundRobin
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Flit width in bits (for bandwidth accounting).
+    pub flit_width: u32,
+    /// Input-buffer depth per virtual channel, in flits.
+    pub buffer_depth: usize,
+    /// Number of virtual channels. Request/response virtual networks use
+    /// VCs 0/1; QoS lanes may use more.
+    pub vcs: usize,
+    /// Flow-control discipline.
+    pub flow_control: FlowControl,
+    /// Arbitration policy.
+    pub arbitration: Arbitration,
+    /// Nominal network clock (for bandwidth/latency conversion).
+    pub clock: Hertz,
+    /// Cycles to simulate before statistics collection starts.
+    pub warmup: u64,
+    /// Extra latency (in cycles) paid by a flit crossing between clock
+    /// domains (GALS synchronizer, §4.3). Zero in a fully synchronous
+    /// design.
+    pub sync_penalty: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            flit_width: 32,
+            buffer_depth: 4,
+            vcs: 2,
+            flow_control: FlowControl::OnOff,
+            arbitration: Arbitration::RoundRobin,
+            clock: Hertz::from_mhz(500),
+            warmup: 1000,
+            sync_penalty: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Sets the flit width.
+    pub fn with_flit_width(mut self, bits: u32) -> SimConfig {
+        self.flit_width = bits;
+        self
+    }
+
+    /// Sets the buffer depth.
+    pub fn with_buffer_depth(mut self, flits: usize) -> SimConfig {
+        self.buffer_depth = flits;
+        self
+    }
+
+    /// Sets the VC count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs == 0`.
+    pub fn with_vcs(mut self, vcs: usize) -> SimConfig {
+        assert!(vcs > 0, "at least one virtual channel is required");
+        self.vcs = vcs;
+        self
+    }
+
+    /// Sets the flow-control discipline.
+    pub fn with_flow_control(mut self, fc: FlowControl) -> SimConfig {
+        self.flow_control = fc;
+        self
+    }
+
+    /// Sets the arbitration policy.
+    pub fn with_arbitration(mut self, arb: Arbitration) -> SimConfig {
+        self.arbitration = arb;
+        self
+    }
+
+    /// Sets the network clock.
+    pub fn with_clock(mut self, clock: Hertz) -> SimConfig {
+        self.clock = clock;
+        self
+    }
+
+    /// Sets the warmup period.
+    pub fn with_warmup(mut self, cycles: u64) -> SimConfig {
+        self.warmup = cycles;
+        self
+    }
+
+    /// Sets the clock-domain-crossing penalty.
+    pub fn with_sync_penalty(mut self, cycles: u64) -> SimConfig {
+        self.sync_penalty = cycles;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::default();
+        assert_eq!(c.flit_width, 32);
+        assert_eq!(c.vcs, 2);
+        assert_eq!(c.flow_control, FlowControl::OnOff);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = SimConfig::default()
+            .with_flit_width(64)
+            .with_buffer_depth(8)
+            .with_vcs(4)
+            .with_flow_control(FlowControl::AckNack)
+            .with_arbitration(Arbitration::PriorityThenRoundRobin)
+            .with_clock(Hertz::from_ghz(1.0))
+            .with_warmup(500)
+            .with_sync_penalty(2);
+        assert_eq!(c.flit_width, 64);
+        assert_eq!(c.buffer_depth, 8);
+        assert_eq!(c.vcs, 4);
+        assert_eq!(c.flow_control, FlowControl::AckNack);
+        assert_eq!(c.sync_penalty, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one virtual channel")]
+    fn zero_vcs_panics() {
+        let _ = SimConfig::default().with_vcs(0);
+    }
+}

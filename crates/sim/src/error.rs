@@ -1,0 +1,106 @@
+//! Error type for simulator setup.
+
+use noc_spec::{CoreId, FlowId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building simulations from specifications.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A core referenced by traffic has no NI of the required role in the
+    /// topology.
+    MissingNi {
+        /// The core without an NI.
+        core: CoreId,
+    },
+    /// No route is registered between a flow's endpoints.
+    MissingRoute {
+        /// Source core.
+        src: CoreId,
+        /// Destination core.
+        dst: CoreId,
+    },
+    /// A flow's bandwidth exceeds what its injection link can carry.
+    FlowTooFast {
+        /// The oversubscribed flow.
+        flow: FlowId,
+    },
+    /// Offered injection rate above one flit per cycle per node.
+    RateTooHigh {
+        /// The offending rate.
+        rate: f64,
+    },
+    /// The pattern requires a square mesh.
+    NotSquare {
+        /// Mesh rows.
+        rows: usize,
+        /// Mesh columns.
+        cols: usize,
+    },
+    /// A core is not present in the fabric.
+    UnknownCore {
+        /// The missing core.
+        core: CoreId,
+    },
+    /// A TDMA slot table cannot fit the requested GT reservations.
+    SlotOverflow {
+        /// Slots requested.
+        requested: usize,
+        /// Slots available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingNi { core } => {
+                write!(f, "{core} has no network interface of the required role")
+            }
+            SimError::MissingRoute { src, dst } => {
+                write!(f, "no route registered from {src} to {dst}")
+            }
+            SimError::FlowTooFast { flow } => {
+                write!(f, "{flow} exceeds its injection link capacity")
+            }
+            SimError::RateTooHigh { rate } => {
+                write!(f, "injection rate {rate} exceeds one flit per cycle")
+            }
+            SimError::NotSquare { rows, cols } => {
+                write!(f, "pattern requires a square mesh, got {rows}x{cols}")
+            }
+            SimError::UnknownCore { core } => write!(f, "{core} is not in the fabric"),
+            SimError::SlotOverflow {
+                requested,
+                available,
+            } => write!(
+                f,
+                "slot table overflow: {requested} slots requested, {available} available"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_traits() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<SimError>();
+    }
+
+    #[test]
+    fn messages_mention_subjects() {
+        assert!(SimError::MissingNi { core: CoreId(3) }
+            .to_string()
+            .contains("core3"));
+        assert!(SimError::NotSquare { rows: 2, cols: 3 }
+            .to_string()
+            .contains("2x3"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Logarithmic latency histograms for tail-latency analysis.
+//!
+//! QoS verification needs more than means: GT contracts bound the *tail*
+//! (§3: "bandwidth and latency guarantees"). The histogram uses
+//! power-of-two buckets, constant space, and supports approximate
+//! percentile queries (upper-bounded by the bucket's upper edge — safe
+//! for guarantee checking).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two buckets: covers latencies up to 2^47 cycles.
+const BUCKETS: usize = 48;
+
+/// A log₂-bucketed latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample (in cycles).
+    pub fn record(&mut self, latency: u64) {
+        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// An upper bound on the `q`-quantile (0 < q ≤ 1): the upper edge of
+    /// the bucket containing that rank. `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Non-empty `(bucket_lower_edge, count)` pairs, for reporting.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (1u64 << i, n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile_upper_bound(0.99), None);
+    }
+
+    #[test]
+    fn record_and_count() {
+        let mut h = LatencyHistogram::new();
+        for l in [1, 2, 3, 10, 100, 1000] {
+            h.record(l);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.nonzero_buckets().len(), 5); // 1 | 2,3 | 10 | 100 | 1000
+    }
+
+    #[test]
+    fn quantile_bounds_are_upper_bounds() {
+        let mut h = LatencyHistogram::new();
+        for l in 1..=1000u64 {
+            h.record(l);
+        }
+        let p50 = h.quantile_upper_bound(0.5).expect("nonempty");
+        let p99 = h.quantile_upper_bound(0.99).expect("nonempty");
+        assert!(p50 >= 500 && p50 <= 1023, "p50 bound {p50}");
+        assert!(p99 >= 990, "p99 bound {p99}");
+        assert!(p99 <= 1023, "p99 bound is tight-ish {p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_first_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.nonzero_buckets(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.nonzero_buckets().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        let h = LatencyHistogram::new();
+        let _ = h.quantile_upper_bound(0.0);
+    }
+}

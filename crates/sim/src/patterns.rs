@@ -1,0 +1,301 @@
+//! Synthetic fabric workloads over generated topologies: uniform random,
+//! transpose, hotspot, nearest-neighbor — the standard patterns for
+//! characterizing CMP fabrics like the Teraflops mesh (§5).
+
+use crate::error::SimError;
+use crate::traffic::{Destination, InjectionProcess, TrafficSource};
+use noc_spec::{FlowId, TrafficShape};
+use noc_topology::generators::Mesh;
+use noc_topology::LinkId;
+use noc_spec::CoreId;
+use std::sync::Arc;
+
+fn mesh_routes_from(
+    mesh: &Mesh,
+    src_index: usize,
+) -> Result<Vec<(usize, Arc<[LinkId]>)>, SimError> {
+    let src = mesh.cores[src_index];
+    let mut out = Vec::new();
+    for (j, &dst) in mesh.cores.iter().enumerate() {
+        if j == src_index {
+            continue;
+        }
+        let route = mesh
+            .xy_route(src, dst)
+            .map_err(|_| SimError::MissingRoute { src, dst })?;
+        out.push((j, route.links.into()));
+    }
+    Ok(out)
+}
+
+fn source(
+    mesh: &Mesh,
+    src_index: usize,
+    destination: Destination,
+    rate_packets: f64,
+    packet_flits: usize,
+) -> TrafficSource {
+    TrafficSource {
+        ni: mesh.nis[src_index].0,
+        flow: FlowId(src_index),
+        destination,
+        process: InjectionProcess::from_shape(
+            TrafficShape::Poisson,
+            rate_packets,
+            packet_flits as u64,
+            src_index as u64,
+        ),
+        packet_flits,
+        vc: 0,
+        priority: false,
+    }
+}
+
+/// Uniform random traffic: every tile injects `rate` flits per cycle,
+/// destinations uniform over all other tiles.
+///
+/// # Errors
+///
+/// [`SimError::MissingRoute`] if the mesh routes cannot be built (cannot
+/// happen for cores on the mesh) and [`SimError::RateTooHigh`] if `rate`
+/// exceeds one flit per cycle.
+pub fn uniform_random(
+    mesh: &Mesh,
+    rate_flits_per_cycle: f64,
+    packet_flits: usize,
+) -> Result<Vec<TrafficSource>, SimError> {
+    if rate_flits_per_cycle > 1.0 {
+        return Err(SimError::RateTooHigh {
+            rate: rate_flits_per_cycle,
+        });
+    }
+    let rate_packets = rate_flits_per_cycle / packet_flits as f64;
+    let mut out = Vec::with_capacity(mesh.cores.len());
+    for i in 0..mesh.cores.len() {
+        let routes = mesh_routes_from(mesh, i)?;
+        let destination = Destination::Weighted {
+            weights: vec![1.0; routes.len()],
+            routes: routes.into_iter().map(|(_, r)| r).collect(),
+        };
+        out.push(source(mesh, i, destination, rate_packets, packet_flits));
+    }
+    Ok(out)
+}
+
+/// Transpose traffic: tile `(r, c)` sends only to tile `(c, r)` — the
+/// adversarial pattern for XY routing (requires a square mesh).
+///
+/// # Errors
+///
+/// [`SimError::NotSquare`] for non-square meshes, [`SimError::RateTooHigh`]
+/// for overload, [`SimError::MissingRoute`] on routing failure.
+pub fn transpose(
+    mesh: &Mesh,
+    rate_flits_per_cycle: f64,
+    packet_flits: usize,
+) -> Result<Vec<TrafficSource>, SimError> {
+    if mesh.rows != mesh.cols {
+        return Err(SimError::NotSquare {
+            rows: mesh.rows,
+            cols: mesh.cols,
+        });
+    }
+    if rate_flits_per_cycle > 1.0 {
+        return Err(SimError::RateTooHigh {
+            rate: rate_flits_per_cycle,
+        });
+    }
+    let rate_packets = rate_flits_per_cycle / packet_flits as f64;
+    let n = mesh.rows;
+    let mut out = Vec::new();
+    for r in 0..n {
+        for c in 0..n {
+            if r == c {
+                continue; // diagonal tiles map to themselves
+            }
+            let src_index = r * n + c;
+            let dst_index = c * n + r;
+            let route = mesh
+                .xy_route(mesh.cores[src_index], mesh.cores[dst_index])
+                .map_err(|_| SimError::MissingRoute {
+                    src: mesh.cores[src_index],
+                    dst: mesh.cores[dst_index],
+                })?;
+            out.push(source(
+                mesh,
+                src_index,
+                Destination::Fixed(route.links.into()),
+                rate_packets,
+                packet_flits,
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Hotspot traffic: uniform random, but `hot` receives `hot_factor`
+/// times the weight of any other destination (e.g. a shared memory
+/// controller).
+///
+/// # Errors
+///
+/// [`SimError::UnknownCore`] if `hot` is not on the mesh, plus the
+/// uniform-random error conditions.
+pub fn hotspot(
+    mesh: &Mesh,
+    hot: CoreId,
+    hot_factor: f64,
+    rate_flits_per_cycle: f64,
+    packet_flits: usize,
+) -> Result<Vec<TrafficSource>, SimError> {
+    if mesh.tile_of(hot).is_none() {
+        return Err(SimError::UnknownCore { core: hot });
+    }
+    if rate_flits_per_cycle > 1.0 {
+        return Err(SimError::RateTooHigh {
+            rate: rate_flits_per_cycle,
+        });
+    }
+    let rate_packets = rate_flits_per_cycle / packet_flits as f64;
+    let mut out = Vec::new();
+    for i in 0..mesh.cores.len() {
+        if mesh.cores[i] == hot {
+            continue;
+        }
+        let routes = mesh_routes_from(mesh, i)?;
+        let weights = routes
+            .iter()
+            .map(|(j, _)| {
+                if mesh.cores[*j] == hot {
+                    hot_factor
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let destination = Destination::Weighted {
+            weights,
+            routes: routes.into_iter().map(|(_, r)| r).collect(),
+        };
+        out.push(source(mesh, i, destination, rate_packets, packet_flits));
+    }
+    Ok(out)
+}
+
+/// Nearest-neighbor traffic: each tile streams to its right and lower
+/// neighbors (systolic), the Teraflops-style message-passing workload.
+///
+/// # Errors
+///
+/// [`SimError::RateTooHigh`] for overload, [`SimError::MissingRoute`] on
+/// routing failure.
+pub fn nearest_neighbor(
+    mesh: &Mesh,
+    rate_flits_per_cycle: f64,
+    packet_flits: usize,
+) -> Result<Vec<TrafficSource>, SimError> {
+    if rate_flits_per_cycle > 1.0 {
+        return Err(SimError::RateTooHigh {
+            rate: rate_flits_per_cycle,
+        });
+    }
+    let rate_packets = rate_flits_per_cycle / packet_flits as f64;
+    let mut out = Vec::new();
+    for r in 0..mesh.rows {
+        for c in 0..mesh.cols {
+            let i = r * mesh.cols + c;
+            let mut routes: Vec<Arc<[LinkId]>> = Vec::new();
+            for (nr, nc) in [(r, c + 1), (r + 1, c)] {
+                if nr < mesh.rows && nc < mesh.cols {
+                    let j = nr * mesh.cols + nc;
+                    let route = mesh
+                        .xy_route(mesh.cores[i], mesh.cores[j])
+                        .map_err(|_| SimError::MissingRoute {
+                            src: mesh.cores[i],
+                            dst: mesh.cores[j],
+                        })?;
+                    routes.push(route.links.into());
+                }
+            }
+            if routes.is_empty() {
+                continue;
+            }
+            let destination = Destination::Weighted {
+                weights: vec![1.0; routes.len()],
+                routes,
+            };
+            out.push(source(mesh, i, destination, rate_packets, packet_flits));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::generators::mesh;
+
+    fn m3() -> Mesh {
+        let cores: Vec<CoreId> = (0..9).map(CoreId).collect();
+        mesh(3, 3, &cores, 32).expect("valid")
+    }
+
+    #[test]
+    fn uniform_builds_one_source_per_tile() {
+        let srcs = uniform_random(&m3(), 0.1, 4).expect("ok");
+        assert_eq!(srcs.len(), 9);
+        for s in &srcs {
+            match &s.destination {
+                Destination::Weighted { routes, weights } => {
+                    assert_eq!(routes.len(), 8);
+                    assert_eq!(weights.len(), 8);
+                }
+                _ => panic!("uniform uses weighted destinations"),
+            }
+        }
+    }
+
+    #[test]
+    fn overload_rejected() {
+        assert!(matches!(
+            uniform_random(&m3(), 1.5, 4),
+            Err(SimError::RateTooHigh { .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_requires_square() {
+        let cores: Vec<CoreId> = (0..6).map(CoreId).collect();
+        let m = mesh(2, 3, &cores, 32).expect("valid");
+        assert!(matches!(
+            transpose(&m, 0.1, 4),
+            Err(SimError::NotSquare { .. })
+        ));
+        let srcs = transpose(&m3(), 0.1, 4).expect("ok");
+        // 9 tiles minus 3 diagonal.
+        assert_eq!(srcs.len(), 6);
+    }
+
+    #[test]
+    fn hotspot_weights_favor_hot_core() {
+        let srcs = hotspot(&m3(), CoreId(4), 10.0, 0.1, 4).expect("ok");
+        assert_eq!(srcs.len(), 8, "the hotspot itself does not inject");
+        for s in &srcs {
+            if let Destination::Weighted { weights, .. } = &s.destination {
+                let max = weights.iter().cloned().fold(0.0, f64::max);
+                assert_eq!(max, 10.0);
+            }
+        }
+        assert!(matches!(
+            hotspot(&m3(), CoreId(99), 10.0, 0.1, 4),
+            Err(SimError::UnknownCore { .. })
+        ));
+    }
+
+    #[test]
+    fn nearest_neighbor_skips_bottom_right_corner() {
+        let srcs = nearest_neighbor(&m3(), 0.1, 4).expect("ok");
+        // Corner (2,2) has no right/lower neighbor.
+        assert_eq!(srcs.len(), 8);
+    }
+}

@@ -1,0 +1,228 @@
+//! Æthereal-style TDMA slot tables for guaranteed-throughput traffic.
+//!
+//! §3: "In order to provide bandwidth and latency guarantees, it uses a
+//! Time Division Multiple Access (TDMA) mechanism to divide time in
+//! multiple time slots, and then assigns each GT connection a number of
+//! slots. The result is a slot-table in each NI, stating which GT
+//! connection is allowed to enter the network at which time-slot."
+
+use noc_spec::FlowId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a slot table cannot accommodate the requested
+/// reservations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocateSlotsError {
+    /// Slots requested in total.
+    pub requested: usize,
+    /// Slots available in the table.
+    pub available: usize,
+}
+
+impl fmt::Display for AllocateSlotsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slot table overcommitted: {} slots requested, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl Error for AllocateSlotsError {}
+
+/// A TDMA slot table: a repeating frame of `len` slots, each optionally
+/// reserved for one GT flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotTable {
+    slots: Vec<Option<FlowId>>,
+}
+
+impl SlotTable {
+    /// Creates an empty table of `len` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn new(len: usize) -> SlotTable {
+        assert!(len > 0, "slot table needs at least one slot");
+        SlotTable {
+            slots: vec![None; len],
+        }
+    }
+
+    /// Table length (frame size in cycles).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no slot is reserved.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Reserves `count` slots for `flow`, spread evenly across the frame
+    /// to minimize jitter.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocateSlotsError`] if fewer than `count` free slots remain.
+    pub fn reserve(&mut self, flow: FlowId, count: usize) -> Result<(), AllocateSlotsError> {
+        let free = self.slots.iter().filter(|s| s.is_none()).count();
+        if count > free {
+            return Err(AllocateSlotsError {
+                requested: count,
+                available: free,
+            });
+        }
+        if count == 0 {
+            return Ok(());
+        }
+        let stride = self.slots.len() as f64 / count as f64;
+        let mut placed = 0;
+        let mut k = 0usize;
+        while placed < count {
+            let ideal = (k as f64 * stride) as usize % self.slots.len();
+            // Probe forward from the ideal slot for a free one.
+            let mut i = ideal;
+            loop {
+                if self.slots[i].is_none() {
+                    self.slots[i] = Some(flow);
+                    placed += 1;
+                    break;
+                }
+                i = (i + 1) % self.slots.len();
+                debug_assert_ne!(i, ideal, "free-slot accounting is consistent");
+            }
+            k += 1;
+        }
+        Ok(())
+    }
+
+    /// Whether `flow` owns the slot at the given cycle.
+    pub fn allows(&self, flow: FlowId, cycle: u64) -> bool {
+        self.slots[(cycle % self.slots.len() as u64) as usize] == Some(flow)
+    }
+
+    /// The owner of the slot at `cycle`, if reserved.
+    pub fn owner_at(&self, cycle: u64) -> Option<FlowId> {
+        self.slots[(cycle % self.slots.len() as u64) as usize]
+    }
+
+    /// Number of slots reserved per flow.
+    pub fn reservations(&self) -> BTreeMap<FlowId, usize> {
+        let mut m = BTreeMap::new();
+        for s in self.slots.iter().flatten() {
+            *m.entry(*s).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Fraction of the frame reserved for `flow` — its guaranteed share
+    /// of the NI's injection bandwidth.
+    pub fn guaranteed_share(&self, flow: FlowId) -> f64 {
+        self.reservations().get(&flow).copied().unwrap_or(0) as f64 / self.slots.len() as f64
+    }
+
+    /// Worst-case wait (in cycles) from a packet arriving at the NI to
+    /// its flow's next slot — the TDMA component of the latency bound.
+    pub fn worst_case_wait(&self, flow: FlowId) -> Option<u64> {
+        let owned: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Some(flow))
+            .map(|(i, _)| i)
+            .collect();
+        if owned.is_empty() {
+            return None;
+        }
+        let n = self.slots.len();
+        let mut worst = 0;
+        for start in 0..n {
+            let wait = owned
+                .iter()
+                .map(|&o| (o + n - start) % n)
+                .min()
+                .expect("owned is nonempty");
+            worst = worst.max(wait);
+        }
+        Some(worst as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_query() {
+        let mut t = SlotTable::new(8);
+        t.reserve(FlowId(1), 2).expect("fits");
+        assert_eq!(t.reservations()[&FlowId(1)], 2);
+        assert_eq!(t.guaranteed_share(FlowId(1)), 0.25);
+        let allowed: Vec<u64> = (0..8).filter(|&c| t.allows(FlowId(1), c)).collect();
+        assert_eq!(allowed.len(), 2);
+        // Evenly spread: the two slots are 4 apart.
+        assert_eq!((allowed[1] - allowed[0]), 4);
+    }
+
+    #[test]
+    fn never_double_books() {
+        let mut t = SlotTable::new(16);
+        t.reserve(FlowId(0), 5).expect("fits");
+        t.reserve(FlowId(1), 7).expect("fits");
+        t.reserve(FlowId(2), 4).expect("fits");
+        let r = t.reservations();
+        assert_eq!(r[&FlowId(0)], 5);
+        assert_eq!(r[&FlowId(1)], 7);
+        assert_eq!(r[&FlowId(2)], 4);
+        assert_eq!(r.values().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn overcommit_rejected() {
+        let mut t = SlotTable::new(4);
+        t.reserve(FlowId(0), 3).expect("fits");
+        let err = t.reserve(FlowId(1), 2).expect_err("overcommitted");
+        assert_eq!(err.available, 1);
+        assert_eq!(err.requested, 2);
+    }
+
+    #[test]
+    fn zero_reservation_is_noop() {
+        let mut t = SlotTable::new(4);
+        t.reserve(FlowId(0), 0).expect("trivial");
+        assert!(t.is_empty());
+        assert_eq!(t.guaranteed_share(FlowId(0)), 0.0);
+    }
+
+    #[test]
+    fn worst_case_wait_bounds() {
+        let mut t = SlotTable::new(8);
+        t.reserve(FlowId(0), 2).expect("fits");
+        // Two evenly spread slots in 8: worst wait < 8, at least 3.
+        let w = t.worst_case_wait(FlowId(0)).expect("reserved");
+        assert!(w < 8, "wait {w}");
+        assert!(w >= 3, "wait {w}");
+        assert_eq!(t.worst_case_wait(FlowId(9)), None);
+    }
+
+    #[test]
+    fn wrap_around_cycles() {
+        let mut t = SlotTable::new(4);
+        t.reserve(FlowId(0), 1).expect("fits");
+        let slot = (0..4).find(|&c| t.allows(FlowId(0), c)).expect("reserved");
+        assert!(t.allows(FlowId(0), slot + 4 * 1000));
+        assert_eq!(t.owner_at(slot), Some(FlowId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_length_table_panics() {
+        let _ = SlotTable::new(0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Simulation statistics: per-flow latency/throughput and link
+//! utilization.
+
+use crate::histogram::LatencyHistogram;
+use noc_spec::units::{BitsPerSecond, Hertz};
+use noc_spec::FlowId;
+use noc_topology::LinkId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Accumulated statistics of one flow.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Packets whose head entered the source queue (after warmup).
+    pub injected_packets: u64,
+    /// Packets fully delivered (tail ejected, after warmup).
+    pub delivered_packets: u64,
+    /// Flits delivered.
+    pub delivered_flits: u64,
+    /// Sum of packet latencies (inject→tail-eject), in cycles.
+    pub total_latency: u64,
+    /// Worst packet latency observed, in cycles.
+    pub max_latency: u64,
+    /// Log2-bucketed latency distribution (tail analysis).
+    pub latency_histogram: LatencyHistogram,
+}
+
+impl FlowStats {
+    /// Mean packet latency in cycles, if any packet was delivered.
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.delivered_packets == 0 {
+            None
+        } else {
+            Some(self.total_latency as f64 / self.delivered_packets as f64)
+        }
+    }
+}
+
+/// Whole-run statistics.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Cycles simulated after warmup.
+    pub measured_cycles: u64,
+    /// Per-flow statistics.
+    pub flows: BTreeMap<FlowId, FlowStats>,
+    /// Flits that traversed each link (after warmup).
+    pub link_flits: BTreeMap<LinkId, u64>,
+    /// Total flits delivered network-wide.
+    pub total_delivered_flits: u64,
+    /// Total packets delivered network-wide.
+    pub total_delivered_packets: u64,
+    /// Cycles a sender spent retrying NACKed flits (ACK/NACK mode only).
+    pub nack_retries: u64,
+    /// Backpressure stalls per link: cycles a ready flit waited for
+    /// downstream buffer space (after warmup).
+    pub link_stalls: BTreeMap<LinkId, u64>,
+}
+
+impl SimStats {
+    /// Network-wide mean packet latency in cycles.
+    pub fn mean_latency(&self) -> Option<f64> {
+        let (sum, n) = self
+            .flows
+            .values()
+            .fold((0u64, 0u64), |(s, n), f| (s + f.total_latency, n + f.delivered_packets));
+        if n == 0 {
+            None
+        } else {
+            Some(sum as f64 / n as f64)
+        }
+    }
+
+    /// Worst packet latency across all flows.
+    pub fn max_latency(&self) -> u64 {
+        self.flows.values().map(|f| f.max_latency).max().unwrap_or(0)
+    }
+
+    /// Delivered flits per cycle, network-wide.
+    pub fn throughput_flits_per_cycle(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            0.0
+        } else {
+            self.total_delivered_flits as f64 / self.measured_cycles as f64
+        }
+    }
+
+    /// Delivered payload bandwidth at the given flit width and clock.
+    pub fn delivered_bandwidth(&self, flit_width: u32, clock: Hertz) -> BitsPerSecond {
+        BitsPerSecond(
+            (self.throughput_flits_per_cycle() * flit_width as f64 * clock.raw() as f64)
+                as u64,
+        )
+    }
+
+    /// Utilization (0–1) of a link: flits carried / cycles measured.
+    pub fn link_utilization(&self, link: LinkId) -> f64 {
+        if self.measured_cycles == 0 {
+            return 0.0;
+        }
+        *self.link_flits.get(&link).unwrap_or(&0) as f64 / self.measured_cycles as f64
+    }
+
+    /// The highest link utilization in the network — the bottleneck.
+    pub fn peak_link_utilization(&self) -> f64 {
+        self.link_flits
+            .values()
+            .map(|&f| f as f64 / self.measured_cycles.max(1) as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total backpressure stall cycles across the network — the
+    /// congestion signal the bandwidth numbers hide.
+    pub fn total_stalls(&self) -> u64 {
+        self.link_stalls.values().sum()
+    }
+
+    /// A plain-text summary of the run: throughput, latency (mean and
+    /// p99 upper bound), the bottleneck link and congestion.
+    pub fn report(&self, flit_width: u32, clock: Hertz) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "cycles measured: {}", self.measured_cycles);
+        let _ = writeln!(
+            out,
+            "delivered: {} packets / {} flits ({:.3} flits/cycle, {:.2} Gb/s)",
+            self.total_delivered_packets,
+            self.total_delivered_flits,
+            self.throughput_flits_per_cycle(),
+            self.delivered_bandwidth(flit_width, clock).to_gbps()
+        );
+        let mut p99 = 0u64;
+        for f in self.flows.values() {
+            if let Some(b) = f.latency_histogram.quantile_upper_bound(0.99) {
+                p99 = p99.max(b);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "latency: mean {:.1} cycles, worst {} cycles, p99 bound {} cycles",
+            self.mean_latency().unwrap_or(f64::NAN),
+            self.max_latency(),
+            p99
+        );
+        let _ = writeln!(
+            out,
+            "congestion: peak link utilization {:.2}, {} stall cycles, {} NACK retries",
+            self.peak_link_utilization(),
+            self.total_stalls(),
+            self.nack_retries
+        );
+        out
+    }
+
+    /// Per-flow delivered bandwidth.
+    pub fn flow_bandwidth(&self, flow: FlowId, flit_width: u32, clock: Hertz) -> BitsPerSecond {
+        let Some(f) = self.flows.get(&flow) else {
+            return BitsPerSecond::ZERO;
+        };
+        if self.measured_cycles == 0 {
+            return BitsPerSecond::ZERO;
+        }
+        BitsPerSecond(
+            (f.delivered_flits as f64 / self.measured_cycles as f64
+                * flit_width as f64
+                * clock.raw() as f64) as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = SimStats::default();
+        assert_eq!(s.mean_latency(), None);
+        assert_eq!(s.throughput_flits_per_cycle(), 0.0);
+        assert_eq!(s.max_latency(), 0);
+        assert_eq!(s.link_utilization(LinkId(0)), 0.0);
+    }
+
+    #[test]
+    fn flow_mean_latency() {
+        let f = FlowStats {
+            injected_packets: 10,
+            delivered_packets: 4,
+            delivered_flits: 16,
+            total_latency: 100,
+            max_latency: 40,
+            ..FlowStats::default()
+        };
+        assert_eq!(f.mean_latency(), Some(25.0));
+        assert_eq!(FlowStats::default().mean_latency(), None);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut s = SimStats {
+            measured_cycles: 100,
+            total_delivered_flits: 250,
+            total_delivered_packets: 50,
+            ..SimStats::default()
+        };
+        s.flows.insert(
+            FlowId(0),
+            FlowStats {
+                delivered_packets: 2,
+                total_latency: 30,
+                max_latency: 20,
+                ..FlowStats::default()
+            },
+        );
+        s.flows.insert(
+            FlowId(1),
+            FlowStats {
+                delivered_packets: 2,
+                total_latency: 10,
+                max_latency: 7,
+                ..FlowStats::default()
+            },
+        );
+        assert_eq!(s.mean_latency(), Some(10.0));
+        assert_eq!(s.max_latency(), 20);
+        assert_eq!(s.throughput_flits_per_cycle(), 2.5);
+        s.link_flits.insert(LinkId(3), 80);
+        assert_eq!(s.link_utilization(LinkId(3)), 0.8);
+        assert_eq!(s.peak_link_utilization(), 0.8);
+    }
+
+    #[test]
+    fn delivered_bandwidth_conversion() {
+        let s = SimStats {
+            measured_cycles: 1000,
+            total_delivered_flits: 500,
+            ..SimStats::default()
+        };
+        // 0.5 flits/cycle * 32 bits * 1 GHz = 16 Gb/s.
+        let bw = s.delivered_bandwidth(32, Hertz::from_ghz(1.0));
+        assert!((bw.to_gbps() - 16.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,188 @@
+//! Packet event tracing — the debugging view behind the generated
+//! "simulation models … that can be used to validate the run-time
+//! behavior of the system" (§6).
+//!
+//! A [`Trace`] is a bounded ring buffer of [`TraceEvent`]s. Tracing is
+//! opt-in ([`Simulator::enable_trace`](crate::engine::Simulator::enable_trace));
+//! the hot path pays one branch when disabled.
+
+use crate::flit::PacketId;
+use noc_spec::FlowId;
+use noc_topology::graph::LinkId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// What happened to a flit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A head flit entered the network at its source NI.
+    Inject,
+    /// A flit was launched onto a link (switch traversal or injection).
+    Launch,
+    /// A tail flit left the network at its destination NI.
+    Eject,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceKind::Inject => f.write_str("inject"),
+            TraceKind::Launch => f.write_str("launch"),
+            TraceKind::Eject => f.write_str("eject"),
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation cycle of the event.
+    pub cycle: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// The packet involved.
+    pub packet: PacketId,
+    /// The packet's flow, when known.
+    pub flow: Option<FlowId>,
+    /// The link involved (`None` for eject events keyed to the NI).
+    pub link: Option<LinkId>,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} {} {}", self.cycle, self.kind, self.packet)?;
+        if let Some(l) = self.link {
+            write!(f, " on {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A bounded event trace (ring buffer: oldest events are dropped once
+/// `capacity` is reached).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace holding up to `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Trace {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest if full.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The life of one packet, oldest first (among retained events).
+    pub fn packet_history(&self, packet: PacketId) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.packet == packet)
+            .copied()
+            .collect()
+    }
+
+    /// Renders the trace as one line per event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, kind: TraceKind, pkt: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            kind,
+            packet: PacketId(pkt),
+            flow: Some(FlowId(0)),
+            link: Some(LinkId(3)),
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.record(ev(i, TraceKind::Launch, i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn packet_history_filters() {
+        let mut t = Trace::new(16);
+        t.record(ev(0, TraceKind::Inject, 7));
+        t.record(ev(1, TraceKind::Launch, 8));
+        t.record(ev(2, TraceKind::Launch, 7));
+        t.record(ev(5, TraceKind::Eject, 7));
+        let h = t.packet_history(PacketId(7));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[0].kind, TraceKind::Inject);
+        assert_eq!(h[2].kind, TraceKind::Eject);
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut t = Trace::new(4);
+        t.record(ev(9, TraceKind::Eject, 1));
+        let s = t.render();
+        assert_eq!(s.lines().count(), 1);
+        assert!(s.contains("@9 eject pkt1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = Trace::new(0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests of the simulator's conservation laws and the
+//! QoS/timing primitives.
+
+use noc_sim::config::SimConfig;
+use noc_sim::engine::Simulator;
+use noc_sim::histogram::LatencyHistogram;
+use noc_sim::patterns;
+use noc_sim::qos::SlotTable;
+use noc_sim::traffic::{packets_per_cycle, InjectionProcess};
+use noc_spec::units::{BitsPerSecond, Hertz};
+use noc_spec::{CoreId, FlowId, TrafficShape};
+use noc_topology::generators::mesh;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Flit conservation on arbitrary mesh/rate/seed combinations:
+    /// everything injected is eventually ejected, credits restore.
+    #[test]
+    fn conservation_holds(
+        rows in 2usize..4,
+        cols in 2usize..4,
+        rate in 0.02f64..0.5,
+        pf in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let cores: Vec<CoreId> = (0..rows * cols).map(CoreId).collect();
+        let m = mesh(rows, cols, &cores, 32).expect("valid shape");
+        let sources = patterns::uniform_random(&m, rate, pf).expect("in range");
+        let mut sim = Simulator::new(m.topology, SimConfig::default().with_warmup(0))
+            .with_seed(seed);
+        for s in sources {
+            sim.add_source(s);
+        }
+        sim.run(1_500);
+        let drained = sim.drain(40_000);
+        prop_assert!(drained, "network failed to drain");
+        prop_assert_eq!(sim.injected_flits_total(), sim.ejected_flits_total());
+        prop_assert!(sim.credits_restored());
+    }
+
+    /// Every injection process's long-run rate matches its target.
+    #[test]
+    fn injection_rates_converge(
+        rate_millis in 5u64..200,
+        shape_sel in 0u8..3,
+        seed in 0u64..100,
+    ) {
+        let rate = rate_millis as f64 / 1000.0;
+        let shape = match shape_sel {
+            0 => TrafficShape::Constant,
+            1 => TrafficShape::Poisson,
+            _ => TrafficShape::Bursty { mean_burst_len: 6 },
+        };
+        let mut p = InjectionProcess::from_shape(shape, rate, 4, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon = 120_000u64;
+        let fires = (0..horizon).filter(|&c| p.fire(c, &mut rng)).count();
+        let measured = fires as f64 / horizon as f64;
+        // Constant quantizes the period; allow proportional tolerance.
+        let tolerance = match shape {
+            TrafficShape::Constant => rate * 0.5,
+            _ => (rate * 0.25).max(0.004),
+        };
+        prop_assert!(
+            (measured - rate).abs() <= tolerance,
+            "shape {shape:?}: target {rate}, measured {measured}"
+        );
+    }
+
+    /// Histogram quantile bounds are monotone in q and bound the max.
+    #[test]
+    fn histogram_quantiles_monotone(samples in prop::collection::vec(1u64..100_000, 1..200)) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let max = *samples.iter().max().expect("nonempty");
+        let mut last = 0u64;
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            let bound = h.quantile_upper_bound(q).expect("nonempty");
+            prop_assert!(bound >= last);
+            last = bound;
+        }
+        prop_assert!(last >= max, "p100 bound {last} must cover max {max}");
+        // p100 bucket bound is within 2x of the true max (log2 buckets).
+        prop_assert!(last < max.max(1) * 2, "p100 bound {last} too loose for {max}");
+    }
+
+    /// Slot tables: total reservations conserve, shares sum to <= 1,
+    /// and `allows` agrees with `owner_at`.
+    #[test]
+    fn slot_table_consistency(frame in 2usize..128, reqs in prop::collection::vec(1usize..10, 1..8)) {
+        let mut t = SlotTable::new(frame);
+        for (i, &r) in reqs.iter().enumerate() {
+            let _ = t.reserve(FlowId(i), r);
+        }
+        let share_sum: f64 = t
+            .reservations()
+            .keys()
+            .map(|&f| t.guaranteed_share(f))
+            .sum();
+        prop_assert!(share_sum <= 1.0 + 1e-9);
+        for c in 0..frame as u64 {
+            match t.owner_at(c) {
+                Some(owner) => prop_assert!(t.allows(owner, c)),
+                None => {
+                    for &f in t.reservations().keys() {
+                        prop_assert!(!t.allows(f, c));
+                    }
+                }
+            }
+        }
+    }
+
+    /// packets_per_cycle: accepted rates always fit the link; rejected
+    /// demands always exceed it.
+    #[test]
+    fn rate_conversion_boundary(gbps_tenths in 1u64..400, pf in 2usize..20) {
+        let bw = BitsPerSecond::from_gbps(gbps_tenths as f64 / 10.0);
+        let clock = Hertz::from_ghz(1.0);
+        match packets_per_cycle(bw, clock, 32, pf) {
+            Some(rate) => prop_assert!(rate * pf as f64 <= 1.0 + 1e-12),
+            None => {
+                // Demand (with headers) genuinely exceeds 32 Gb/s raw.
+                let flits_needed =
+                    bw.raw() as f64 / 32.0 / clock.raw() as f64 * pf as f64 / (pf - 1) as f64;
+                prop_assert!(flits_needed > 1.0 - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Application specification: the complete input of the NoC design flow.
+
+use crate::core::{Core, CoreId, IslandId};
+use crate::error::SpecError;
+use crate::traffic::{FlowId, TrafficFlow};
+use crate::units::BitsPerSecond;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The complete application architecture + communication constraints fed
+/// into the design toolchain (Fig. 6 of the paper): the set of cores and
+/// the set of traffic flows between them.
+///
+/// Build one with [`AppSpecBuilder`]:
+///
+/// ```
+/// use noc_spec::app::AppSpec;
+/// use noc_spec::core::{Core, CoreRole};
+/// use noc_spec::traffic::TrafficFlow;
+/// use noc_spec::units::BitsPerSecond;
+///
+/// # fn main() -> Result<(), noc_spec::error::SpecError> {
+/// let mut b = AppSpec::builder("demo");
+/// let cpu = b.add_core(Core::new("cpu", CoreRole::Master));
+/// let mem = b.add_core(Core::new("mem", CoreRole::Slave));
+/// b.add_flow(TrafficFlow::new(cpu, mem, BitsPerSecond::from_mbps(200)));
+/// let spec = b.build()?;
+/// assert_eq!(spec.cores().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    name: String,
+    cores: Vec<Core>,
+    flows: Vec<TrafficFlow>,
+}
+
+impl AppSpec {
+    /// Starts building a spec with the given name.
+    pub fn builder(name: impl Into<String>) -> AppSpecBuilder {
+        AppSpecBuilder {
+            name: name.into(),
+            cores: Vec::new(),
+            flows: Vec::new(),
+        }
+    }
+
+    /// The spec's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All cores, indexable by [`CoreId`].
+    pub fn cores(&self) -> &[Core] {
+        &self.cores
+    }
+
+    /// All flows, indexable by [`FlowId`].
+    pub fn flows(&self) -> &[TrafficFlow] {
+        &self.flows
+    }
+
+    /// The core with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids handed out by the builder are
+    /// always in range).
+    pub fn core(&self, id: CoreId) -> &Core {
+        &self.cores[id.0]
+    }
+
+    /// The flow with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn flow(&self, id: FlowId) -> &TrafficFlow {
+        &self.flows[id.0]
+    }
+
+    /// Looks a core up by name.
+    pub fn core_by_name(&self, name: &str) -> Option<(CoreId, &Core)> {
+        self.cores
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.name == name)
+            .map(|(i, c)| (CoreId(i), c))
+    }
+
+    /// Iterates over `(FlowId, &TrafficFlow)` pairs.
+    pub fn flow_ids(&self) -> impl Iterator<Item = (FlowId, &TrafficFlow)> {
+        self.flows.iter().enumerate().map(|(i, f)| (FlowId(i), f))
+    }
+
+    /// Iterates over `(CoreId, &Core)` pairs.
+    pub fn core_ids(&self) -> impl Iterator<Item = (CoreId, &Core)> {
+        self.cores.iter().enumerate().map(|(i, c)| (CoreId(i), c))
+    }
+
+    /// Total bandwidth demand across all flows.
+    pub fn total_bandwidth(&self) -> BitsPerSecond {
+        self.flows.iter().map(|f| f.bandwidth).sum()
+    }
+
+    /// The set of clock/voltage islands referenced by the cores.
+    pub fn islands(&self) -> BTreeSet<IslandId> {
+        self.cores.iter().map(|c| c.island).collect()
+    }
+
+    /// The core-to-core communication graph: for every ordered pair with
+    /// traffic, the aggregate bandwidth. This is the input of topology
+    /// synthesis.
+    pub fn communication_graph(&self) -> BTreeMap<(CoreId, CoreId), BitsPerSecond> {
+        let mut g: BTreeMap<(CoreId, CoreId), BitsPerSecond> = BTreeMap::new();
+        for f in &self.flows {
+            *g.entry((f.src, f.dst)).or_insert(BitsPerSecond::ZERO) += f.bandwidth;
+        }
+        g
+    }
+
+    /// Flows whose source or destination is `core`.
+    pub fn flows_touching(&self, core: CoreId) -> Vec<FlowId> {
+        self.flow_ids()
+            .filter(|(_, f)| f.src == core || f.dst == core)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Incremental builder for [`AppSpec`]; validates on [`build`].
+///
+/// [`build`]: AppSpecBuilder::build
+#[derive(Debug, Clone)]
+pub struct AppSpecBuilder {
+    name: String,
+    cores: Vec<Core>,
+    flows: Vec<TrafficFlow>,
+}
+
+impl AppSpecBuilder {
+    /// Adds a core and returns its id.
+    pub fn add_core(&mut self, core: Core) -> CoreId {
+        self.cores.push(core);
+        CoreId(self.cores.len() - 1)
+    }
+
+    /// Adds a flow and returns its id. Validation happens at
+    /// [`build`](AppSpecBuilder::build) time.
+    pub fn add_flow(&mut self, flow: TrafficFlow) -> FlowId {
+        self.flows.push(flow);
+        FlowId(self.flows.len() - 1)
+    }
+
+    /// Adds a request flow together with its implied response flow (see
+    /// [`TrafficFlow::response_flow`]); returns both ids.
+    pub fn add_transaction(&mut self, flow: TrafficFlow) -> (FlowId, FlowId) {
+        let resp = flow.response_flow();
+        (self.add_flow(flow), self.add_flow(resp))
+    }
+
+    /// Validates and finalizes the spec.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpecError::DuplicateCoreName`] if two cores share a name.
+    /// * [`SpecError::UnknownCore`] if a flow references a nonexistent core.
+    /// * [`SpecError::SelfLoop`] if a flow has identical endpoints.
+    /// * [`SpecError::ZeroBandwidth`] if a flow declares no bandwidth.
+    /// * [`SpecError::RoleMismatch`] if a request flow originates at a
+    ///   pure slave or targets a pure master (and symmetrically for
+    ///   responses).
+    pub fn build(self) -> Result<AppSpec, SpecError> {
+        let mut seen = BTreeSet::new();
+        for c in &self.cores {
+            if !seen.insert(c.name.clone()) {
+                return Err(SpecError::DuplicateCoreName(c.name.clone()));
+            }
+        }
+        for (i, f) in self.flows.iter().enumerate() {
+            let id = FlowId(i);
+            for end in [f.src, f.dst] {
+                if end.0 >= self.cores.len() {
+                    return Err(SpecError::UnknownCore { flow: id, core: end });
+                }
+            }
+            if f.src == f.dst {
+                return Err(SpecError::SelfLoop { flow: id });
+            }
+            if f.bandwidth == BitsPerSecond::ZERO {
+                return Err(SpecError::ZeroBandwidth { flow: id });
+            }
+            let (src, dst) = (&self.cores[f.src.0], &self.cores[f.dst.0]);
+            use crate::protocol::MessageClass;
+            let ok = match f.class {
+                MessageClass::Request => src.role.is_master() && dst.role.is_slave(),
+                MessageClass::Response => src.role.is_slave() && dst.role.is_master(),
+            };
+            if !ok {
+                return Err(SpecError::RoleMismatch {
+                    flow: id,
+                    src: src.name.clone(),
+                    dst: dst.name.clone(),
+                });
+            }
+        }
+        Ok(AppSpec {
+            name: self.name,
+            cores: self.cores,
+            flows: self.flows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::CoreRole;
+    use crate::protocol::{MessageClass, TransactionKind};
+
+    fn two_core_builder() -> (AppSpecBuilder, CoreId, CoreId) {
+        let mut b = AppSpec::builder("t");
+        let m = b.add_core(Core::new("m", CoreRole::Master));
+        let s = b.add_core(Core::new("s", CoreRole::Slave));
+        (b, m, s)
+    }
+
+    #[test]
+    fn build_valid_spec() {
+        let (mut b, m, s) = two_core_builder();
+        b.add_flow(TrafficFlow::new(m, s, BitsPerSecond::from_mbps(10)));
+        let spec = b.build().expect("valid");
+        assert_eq!(spec.cores().len(), 2);
+        assert_eq!(spec.flows().len(), 1);
+        assert_eq!(spec.total_bandwidth(), BitsPerSecond::from_mbps(10));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = AppSpec::builder("t");
+        b.add_core(Core::new("x", CoreRole::Master));
+        b.add_core(Core::new("x", CoreRole::Slave));
+        assert!(matches!(
+            b.build(),
+            Err(SpecError::DuplicateCoreName(n)) if n == "x"
+        ));
+    }
+
+    #[test]
+    fn unknown_core_rejected() {
+        let (mut b, m, _) = two_core_builder();
+        b.add_flow(TrafficFlow::new(m, CoreId(99), BitsPerSecond(1)));
+        assert!(matches!(b.build(), Err(SpecError::UnknownCore { .. })));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let (mut b, m, _) = two_core_builder();
+        b.add_flow(TrafficFlow::new(m, m, BitsPerSecond(1)));
+        assert!(matches!(b.build(), Err(SpecError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn zero_bandwidth_rejected() {
+        let (mut b, m, s) = two_core_builder();
+        b.add_flow(TrafficFlow::new(m, s, BitsPerSecond::ZERO));
+        assert!(matches!(b.build(), Err(SpecError::ZeroBandwidth { .. })));
+    }
+
+    #[test]
+    fn request_from_slave_rejected() {
+        let (mut b, m, s) = two_core_builder();
+        b.add_flow(TrafficFlow::new(s, m, BitsPerSecond(1)));
+        assert!(matches!(b.build(), Err(SpecError::RoleMismatch { .. })));
+    }
+
+    #[test]
+    fn response_from_slave_accepted() {
+        let (mut b, m, s) = two_core_builder();
+        b.add_flow(
+            TrafficFlow::new(s, m, BitsPerSecond(1)).with_class(MessageClass::Response),
+        );
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn add_transaction_creates_reverse_response() {
+        let (mut b, m, s) = two_core_builder();
+        let (req, resp) = b.add_transaction(
+            TrafficFlow::new(m, s, BitsPerSecond::from_mbps(64))
+                .with_kind(TransactionKind::BurstRead(4)),
+        );
+        let spec = b.build().expect("valid");
+        assert_eq!(spec.flow(req).class, MessageClass::Request);
+        assert_eq!(spec.flow(resp).class, MessageClass::Response);
+        assert_eq!(spec.flow(resp).src, s);
+    }
+
+    #[test]
+    fn communication_graph_aggregates_parallel_flows() {
+        let (mut b, m, s) = two_core_builder();
+        b.add_flow(TrafficFlow::new(m, s, BitsPerSecond::from_mbps(10)));
+        b.add_flow(TrafficFlow::new(m, s, BitsPerSecond::from_mbps(5)));
+        let spec = b.build().expect("valid");
+        let g = spec.communication_graph();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[&(m, s)], BitsPerSecond::from_mbps(15));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (b, _, _) = two_core_builder();
+        let spec = b.build().expect("valid");
+        assert_eq!(spec.core_by_name("s").map(|(id, _)| id), Some(CoreId(1)));
+        assert!(spec.core_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn flows_touching_finds_both_directions() {
+        let (mut b, m, s) = two_core_builder();
+        b.add_flow(TrafficFlow::new(m, s, BitsPerSecond(1)));
+        let spec = b.build().expect("valid");
+        assert_eq!(spec.flows_touching(m).len(), 1);
+        assert_eq!(spec.flows_touching(s).len(), 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Processing elements (IP cores) attached to the network.
+
+use crate::protocol::SocketProtocol;
+use crate::units::{Hertz, Micrometers};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier of a core within an [`AppSpec`](crate::app::AppSpec).
+///
+/// Indices are dense: the `n`-th added core has id `n`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Identifier of a clock/voltage island (§6: the tool flow "supports the
+/// concept of voltage islands, where cores in an island operate at the same
+/// frequency and voltage").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct IslandId(pub usize);
+
+impl fmt::Display for IslandId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "island{}", self.0)
+    }
+}
+
+/// Role a core plays on its socket. Determines which network interfaces it
+/// needs: ×pipes defines separate *initiator* and *target* NIs (§3), so a
+/// master/slave device requires one of each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreRole {
+    /// Pure initiator (e.g. a CPU or DMA engine).
+    Master,
+    /// Pure target (e.g. a memory or peripheral).
+    Slave,
+    /// Both initiator and target (e.g. an accelerator with a slave
+    /// configuration port).
+    MasterSlave,
+}
+
+impl CoreRole {
+    /// Whether the core can initiate transactions.
+    pub fn is_master(self) -> bool {
+        matches!(self, CoreRole::Master | CoreRole::MasterSlave)
+    }
+
+    /// Whether the core can be the target of transactions.
+    pub fn is_slave(self) -> bool {
+        matches!(self, CoreRole::Slave | CoreRole::MasterSlave)
+    }
+
+    /// Number of network interfaces the core requires (one initiator NI,
+    /// one target NI, or both).
+    pub fn ni_count(self) -> usize {
+        match self {
+            CoreRole::Master | CoreRole::Slave => 1,
+            CoreRole::MasterSlave => 2,
+        }
+    }
+}
+
+impl fmt::Display for CoreRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreRole::Master => f.write_str("master"),
+            CoreRole::Slave => f.write_str("slave"),
+            CoreRole::MasterSlave => f.write_str("master/slave"),
+        }
+    }
+}
+
+/// An IP core (processing element) in the application architecture.
+///
+/// The architecture specification of the tool flow (§6) records "the type
+/// of core (master or slave), the kind of protocol supported"; for
+/// floorplan-aware synthesis the physical dimensions of the block are
+/// carried as well.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Core {
+    /// Human-readable instance name, unique within a spec.
+    pub name: String,
+    /// Master/slave role.
+    pub role: CoreRole,
+    /// Socket protocol the core speaks.
+    pub protocol: SocketProtocol,
+    /// Clock frequency of the core itself.
+    pub clock: Hertz,
+    /// Clock/voltage island membership.
+    pub island: IslandId,
+    /// Block width for floorplanning.
+    pub width: Micrometers,
+    /// Block height for floorplanning.
+    pub height: Micrometers,
+}
+
+impl Core {
+    /// Creates a core with the given name and role, on OCP, at 400 MHz, in
+    /// island 0, with a 500 µm × 500 µm footprint. Use the with-methods to
+    /// refine.
+    pub fn new(name: impl Into<String>, role: CoreRole) -> Core {
+        Core {
+            name: name.into(),
+            role,
+            protocol: SocketProtocol::Ocp,
+            clock: Hertz::from_mhz(400),
+            island: IslandId(0),
+            width: Micrometers(500.0),
+            height: Micrometers(500.0),
+        }
+    }
+
+    /// Sets the socket protocol.
+    pub fn with_protocol(mut self, protocol: SocketProtocol) -> Core {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the core clock.
+    pub fn with_clock(mut self, clock: Hertz) -> Core {
+        self.clock = clock;
+        self
+    }
+
+    /// Sets the clock/voltage island.
+    pub fn with_island(mut self, island: IslandId) -> Core {
+        self.island = island;
+        self
+    }
+
+    /// Sets the floorplan block dimensions.
+    pub fn with_size(mut self, width: Micrometers, height: Micrometers) -> Core {
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Silicon area of the block.
+    pub fn area(&self) -> crate::units::SquareMicrometers {
+        self.width * self.height
+    }
+}
+
+impl fmt::Display for Core {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {})", self.name, self.role, self.protocol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles() {
+        assert!(CoreRole::Master.is_master());
+        assert!(!CoreRole::Master.is_slave());
+        assert!(CoreRole::Slave.is_slave());
+        assert!(CoreRole::MasterSlave.is_master() && CoreRole::MasterSlave.is_slave());
+    }
+
+    #[test]
+    fn master_slave_needs_two_nis() {
+        // ×pipes: "A master/slave device will require an NI of each type."
+        assert_eq!(CoreRole::MasterSlave.ni_count(), 2);
+        assert_eq!(CoreRole::Master.ni_count(), 1);
+        assert_eq!(CoreRole::Slave.ni_count(), 1);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = Core::new("dsp", CoreRole::MasterSlave)
+            .with_protocol(SocketProtocol::Axi)
+            .with_clock(Hertz::from_mhz(800))
+            .with_island(IslandId(2))
+            .with_size(Micrometers(1000.0), Micrometers(2000.0));
+        assert_eq!(c.protocol, SocketProtocol::Axi);
+        assert_eq!(c.clock, Hertz::from_mhz(800));
+        assert_eq!(c.island, IslandId(2));
+        assert_eq!(c.area().raw(), 2_000_000.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = Core::new("cpu0", CoreRole::Master);
+        assert_eq!(c.to_string(), "cpu0 (master, OCP 2.0)");
+        assert_eq!(CoreId(3).to_string(), "core3");
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for specification validation.
+
+use crate::core::CoreId;
+use crate::traffic::FlowId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when validating an application specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// Two cores share the same instance name.
+    DuplicateCoreName(String),
+    /// A flow references a core id that does not exist.
+    UnknownCore {
+        /// The offending flow.
+        flow: FlowId,
+        /// The dangling core reference.
+        core: CoreId,
+    },
+    /// A flow's source equals its destination.
+    SelfLoop {
+        /// The offending flow.
+        flow: FlowId,
+    },
+    /// A flow declares zero bandwidth.
+    ZeroBandwidth {
+        /// The offending flow.
+        flow: FlowId,
+    },
+    /// A request flow does not run master→slave (or a response flow does
+    /// not run slave→master).
+    RoleMismatch {
+        /// The offending flow.
+        flow: FlowId,
+        /// Source core name.
+        src: String,
+        /// Destination core name.
+        dst: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::DuplicateCoreName(name) => {
+                write!(f, "duplicate core name `{name}`")
+            }
+            SpecError::UnknownCore { flow, core } => {
+                write!(f, "{flow} references unknown {core}")
+            }
+            SpecError::SelfLoop { flow } => {
+                write!(f, "{flow} has identical source and destination")
+            }
+            SpecError::ZeroBandwidth { flow } => {
+                write!(f, "{flow} declares zero bandwidth")
+            }
+            SpecError::RoleMismatch { flow, src, dst } => {
+                write!(
+                    f,
+                    "{flow} direction `{src}` -> `{dst}` is inconsistent with the core roles"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = SpecError::DuplicateCoreName("cpu".into());
+        let s = e.to_string();
+        assert!(s.starts_with("duplicate"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<SpecError>();
+    }
+}

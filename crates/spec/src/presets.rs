@@ -1,0 +1,502 @@
+//! Ready-made application specifications modeled on the systems the paper
+//! discusses.
+//!
+//! The paper's §1 motivates NoCs with mobile-phone SoCs ("several tens to
+//! hundreds of components"), §5 describes the FAUST telecom demonstrator,
+//! the BONE memory-centric MPSoC and the Intel Teraflops CMP. Since the
+//! real traffic traces of those chips are proprietary, these presets encode
+//! the publicly described structure and bandwidth figures (documented
+//! substitution, see `DESIGN.md` §2).
+
+use crate::app::{AppSpec, AppSpecBuilder};
+use crate::core::{Core, CoreId, CoreRole, IslandId};
+use crate::protocol::{SocketProtocol, TransactionKind};
+use crate::traffic::{TrafficFlow, TrafficShape};
+use crate::units::{BitsPerSecond, Hertz, Micrometers, Picoseconds};
+
+fn master(b: &mut AppSpecBuilder, name: &str, mhz: u64, island: usize) -> CoreId {
+    b.add_core(
+        Core::new(name, CoreRole::Master)
+            .with_clock(Hertz::from_mhz(mhz))
+            .with_island(IslandId(island)),
+    )
+}
+
+fn slave(b: &mut AppSpecBuilder, name: &str, mhz: u64, island: usize) -> CoreId {
+    b.add_core(
+        Core::new(name, CoreRole::Slave)
+            .with_clock(Hertz::from_mhz(mhz))
+            .with_island(IslandId(island)),
+    )
+}
+
+/// A heterogeneous mobile multimedia SoC in the style of TI OMAP /
+/// ST Nomadik / Infineon X-Gold (§1): 26 cores across four clock islands —
+/// CPU subsystem, imaging/video pipeline, modem, and a memory/peripheral
+/// backbone.
+///
+/// The traffic pattern is the classic camcorder use case: camera → ISP →
+/// video encoder → DRAM → modem/storage plus concurrent display refresh
+/// and CPU control traffic.
+///
+/// ```
+/// let spec = noc_spec::presets::mobile_multimedia_soc();
+/// assert_eq!(spec.cores().len(), 26);
+/// assert!(spec.total_bandwidth().to_gbps() > 10.0);
+/// ```
+pub fn mobile_multimedia_soc() -> AppSpec {
+    let mut b = AppSpec::builder("mobile_multimedia_soc");
+
+    // Island 0: CPU subsystem.
+    let cpu0 = master(&mut b, "cpu0", 600, 0);
+    let cpu1 = master(&mut b, "cpu1", 600, 0);
+    let l2 = slave(&mut b, "l2cache", 600, 0);
+    let dma = master(&mut b, "dma", 400, 0);
+
+    // Island 1: imaging & video pipeline.
+    let isp = b.add_core(
+        Core::new("camera_isp", CoreRole::MasterSlave)
+            .with_clock(Hertz::from_mhz(266))
+            .with_island(IslandId(1))
+            .with_size(Micrometers(900.0), Micrometers(900.0)),
+    );
+    let venc = b.add_core(
+        Core::new("video_enc", CoreRole::MasterSlave)
+            .with_clock(Hertz::from_mhz(333))
+            .with_island(IslandId(1))
+            .with_size(Micrometers(1100.0), Micrometers(1100.0)),
+    );
+    let vdec = b.add_core(
+        Core::new("video_dec", CoreRole::MasterSlave)
+            .with_clock(Hertz::from_mhz(333))
+            .with_island(IslandId(1)),
+    );
+    let gpu = b.add_core(
+        Core::new("gpu", CoreRole::MasterSlave)
+            .with_clock(Hertz::from_mhz(400))
+            .with_island(IslandId(1))
+            .with_size(Micrometers(1400.0), Micrometers(1400.0)),
+    );
+    let disp = master(&mut b, "display_ctrl", 200, 1);
+    let jpeg = b.add_core(
+        Core::new("jpeg", CoreRole::MasterSlave)
+            .with_clock(Hertz::from_mhz(200))
+            .with_island(IslandId(1)),
+    );
+
+    // Island 2: modem / connectivity.
+    let modem_dsp = master(&mut b, "modem_dsp", 450, 2);
+    let modem_acc = slave(&mut b, "modem_accel", 450, 2);
+    let wifi = master(&mut b, "wifi_mac", 240, 2);
+    let usb = master(&mut b, "usb_otg", 120, 2);
+
+    // Island 3: memory & peripheral backbone.
+    let dram0 = slave(&mut b, "dram_ctrl0", 400, 3);
+    let dram1 = slave(&mut b, "dram_ctrl1", 400, 3);
+    let sram = slave(&mut b, "ocm_sram", 400, 3);
+    let nand = slave(&mut b, "nand_ctrl", 200, 3);
+    let sdio = slave(&mut b, "sdio", 100, 3);
+    let audio = slave(&mut b, "audio_if", 100, 3);
+    let spi = slave(&mut b, "spi", 100, 3);
+    let uart = slave(&mut b, "uart", 100, 3);
+    let gpio = slave(&mut b, "gpio", 100, 3);
+    let timer = slave(&mut b, "timers", 100, 3);
+    let sec = slave(&mut b, "crypto", 200, 3);
+    let boot = slave(&mut b, "boot_rom", 100, 3);
+
+    let mbps = BitsPerSecond::from_mbps;
+    let ns = Picoseconds::from_ns;
+
+    // CPU subsystem: cache refills and control traffic.
+    b.add_transaction(
+        TrafficFlow::new(cpu0, l2, mbps(1600))
+            .with_kind(TransactionKind::BurstRead(8))
+            .with_latency(ns(100)),
+    );
+    b.add_transaction(
+        TrafficFlow::new(cpu1, l2, mbps(1200))
+            .with_kind(TransactionKind::BurstRead(8))
+            .with_latency(ns(100)),
+    );
+    b.add_transaction(
+        TrafficFlow::new(cpu0, dram0, mbps(800))
+            .with_kind(TransactionKind::BurstRead(16))
+            .with_latency(ns(250)),
+    );
+    b.add_transaction(
+        TrafficFlow::new(cpu1, dram0, mbps(640)).with_kind(TransactionKind::BurstRead(16)),
+    );
+    for p in [nand, sdio, spi, uart, gpio, timer, boot] {
+        b.add_transaction(TrafficFlow::new(cpu0, p, mbps(20)));
+    }
+    b.add_transaction(TrafficFlow::new(cpu0, sec, mbps(160)));
+    b.add_transaction(TrafficFlow::new(dma, sram, mbps(400)).with_kind(TransactionKind::BurstWrite(16)));
+    b.add_transaction(TrafficFlow::new(dma, dram1, mbps(400)).with_kind(TransactionKind::BurstWrite(16)));
+
+    // Camcorder pipeline: camera -> ISP -> encoder -> DRAM, GT streams.
+    b.add_flow(
+        TrafficFlow::new(isp, dram0, mbps(1800))
+            .with_kind(TransactionKind::Stream)
+            .with_shape(TrafficShape::Constant)
+            .guaranteed()
+            .with_latency(ns(1000)),
+    );
+    b.add_transaction(
+        TrafficFlow::new(venc, dram0, mbps(1500)).with_kind(TransactionKind::BurstRead(32)),
+    );
+    b.add_flow(
+        TrafficFlow::new(venc, dram1, mbps(600))
+            .with_kind(TransactionKind::Stream)
+            .with_shape(TrafficShape::Constant)
+            .guaranteed(),
+    );
+    b.add_transaction(
+        TrafficFlow::new(vdec, dram1, mbps(900)).with_kind(TransactionKind::BurstRead(32)),
+    );
+    b.add_flow(
+        TrafficFlow::new(disp, dram1, mbps(1300))
+            .with_kind(TransactionKind::Stream)
+            .with_shape(TrafficShape::Constant)
+            .guaranteed()
+            .with_latency(ns(800)),
+    );
+    b.add_transaction(
+        TrafficFlow::new(gpu, dram0, mbps(2000))
+            .with_kind(TransactionKind::BurstRead(32))
+            .with_shape(TrafficShape::Bursty { mean_burst_len: 8 }),
+    );
+    b.add_transaction(TrafficFlow::new(gpu, sram, mbps(500)).with_kind(TransactionKind::BurstRead(8)));
+    b.add_transaction(TrafficFlow::new(jpeg, dram0, mbps(300)).with_kind(TransactionKind::BurstRead(16)));
+    b.add_transaction(TrafficFlow::new(cpu0, venc, mbps(30)));
+    b.add_transaction(TrafficFlow::new(cpu0, isp, mbps(30)));
+    b.add_transaction(TrafficFlow::new(cpu1, gpu, mbps(60)));
+
+    // Modem: baseband <-> accelerator and DRAM.
+    b.add_transaction(
+        TrafficFlow::new(modem_dsp, modem_acc, mbps(700))
+            .with_kind(TransactionKind::BurstWrite(8))
+            .guaranteed()
+            .with_latency(ns(400)),
+    );
+    b.add_transaction(
+        TrafficFlow::new(modem_dsp, dram1, mbps(350)).with_kind(TransactionKind::BurstRead(16)),
+    );
+    b.add_transaction(TrafficFlow::new(wifi, dram1, mbps(300)).with_kind(TransactionKind::BurstWrite(16)));
+    b.add_transaction(TrafficFlow::new(usb, dram1, mbps(480)).with_kind(TransactionKind::BurstWrite(16)));
+    b.add_transaction(TrafficFlow::new(cpu1, audio, mbps(25)));
+    b.add_transaction(TrafficFlow::new(dma, audio, mbps(12)));
+
+    b.build()
+        .expect("the preset specification is valid by construction")
+}
+
+/// A FAUST-like telecom baseband SoC (§5): 23 cores on GALS islands, whose
+/// receiver matrix — 10 cores — requires an aggregate 10.6 Gbit/s of hard
+/// real-time (GT) bandwidth.
+///
+/// The receiver chain is modeled as a pipeline `rx0 → rx1 → … → rx9` with
+/// constant-rate GT streams summing to 10.6 Gb/s, surrounded by transmitter
+/// and control cores with best-effort traffic.
+///
+/// ```
+/// let spec = noc_spec::presets::faust_telecom();
+/// let gt: f64 = spec.flows().iter()
+///     .filter(|f| f.qos.is_guaranteed())
+///     .map(|f| f.bandwidth.to_gbps())
+///     .sum();
+/// assert!((gt - 10.6).abs() < 0.05);
+/// ```
+pub fn faust_telecom() -> AppSpec {
+    let mut b = AppSpec::builder("faust_telecom");
+
+    // Receiver matrix: 10 stream-processing cores (master+slave: each
+    // receives from the previous stage and pushes to the next).
+    let rx: Vec<CoreId> = (0..10)
+        .map(|i| {
+            b.add_core(
+                Core::new(format!("rx{i}"), CoreRole::MasterSlave)
+                    .with_clock(Hertz::from_mhz(250))
+                    .with_island(IslandId(i)), // fully GALS: one island each
+            )
+        })
+        .collect();
+
+    // Transmitter chain: 6 cores.
+    let tx: Vec<CoreId> = (0..6)
+        .map(|i| {
+            b.add_core(
+                Core::new(format!("tx{i}"), CoreRole::MasterSlave)
+                    .with_clock(Hertz::from_mhz(200))
+                    .with_island(IslandId(10 + i)),
+            )
+        })
+        .collect();
+
+    // Control & memory: CPU, two memories, turbo decoder, MAC interface,
+    // host interface, external RAM port.
+    let cpu = master(&mut b, "arm_ctrl", 200, 16);
+    let mem0 = slave(&mut b, "smem0", 250, 16);
+    let mem1 = slave(&mut b, "smem1", 250, 16);
+    let turbo = b.add_core(
+        Core::new("turbo_dec", CoreRole::MasterSlave)
+            .with_clock(Hertz::from_mhz(250))
+            .with_island(IslandId(17)),
+    );
+    let mac = b.add_core(
+        Core::new("mac_if", CoreRole::MasterSlave)
+            .with_clock(Hertz::from_mhz(125))
+            .with_island(IslandId(18)),
+    );
+    let host = slave(&mut b, "host_if", 100, 19);
+    let eram = slave(&mut b, "ext_ram", 200, 19);
+
+    let gbps = BitsPerSecond::from_gbps;
+    let ns = Picoseconds::from_ns;
+
+    // Receiver matrix GT pipeline: 9 inter-stage hops + the hand-off to the
+    // turbo decoder, dimensioned so the aggregate is exactly 10.6 Gb/s.
+    // OFDM front-end stages run at higher rates than the back end.
+    let stage_gbps = [1.6, 1.6, 1.4, 1.2, 1.2, 1.0, 0.8, 0.8, 0.6];
+    for (i, &g) in stage_gbps.iter().enumerate() {
+        b.add_flow(
+            TrafficFlow::new(rx[i], rx[i + 1], gbps(g))
+                .with_kind(TransactionKind::Stream)
+                .with_shape(TrafficShape::Constant)
+                .guaranteed()
+                .with_latency(ns(500)),
+        );
+    }
+    b.add_flow(
+        TrafficFlow::new(rx[9], turbo, gbps(0.4))
+            .with_kind(TransactionKind::Stream)
+            .with_shape(TrafficShape::Constant)
+            .guaranteed()
+            .with_latency(ns(500)),
+    );
+
+    // Transmitter chain: best-effort streaming at moderate rates.
+    for i in 0..5 {
+        b.add_flow(
+            TrafficFlow::new(tx[i], tx[i + 1], BitsPerSecond::from_mbps(400))
+                .with_kind(TransactionKind::Stream)
+                .with_shape(TrafficShape::Constant),
+        );
+    }
+    b.add_flow(
+        TrafficFlow::new(tx[5], mac, BitsPerSecond::from_mbps(300))
+            .with_kind(TransactionKind::Stream),
+    );
+
+    // Control/memory traffic.
+    b.add_transaction(TrafficFlow::new(cpu, mem0, BitsPerSecond::from_mbps(200)));
+    b.add_transaction(TrafficFlow::new(cpu, mem1, BitsPerSecond::from_mbps(150)));
+    b.add_transaction(TrafficFlow::new(cpu, host, BitsPerSecond::from_mbps(80)));
+    b.add_transaction(
+        TrafficFlow::new(turbo, eram, BitsPerSecond::from_mbps(500))
+            .with_kind(TransactionKind::BurstWrite(16)),
+    );
+    b.add_transaction(
+        TrafficFlow::new(mac, eram, BitsPerSecond::from_mbps(250))
+            .with_kind(TransactionKind::BurstRead(16)),
+    );
+    for r in [rx[0], rx[4], rx[9]] {
+        b.add_transaction(TrafficFlow::new(cpu, r, BitsPerSecond::from_mbps(20)));
+    }
+
+    b.build()
+        .expect("the preset specification is valid by construction")
+}
+
+/// The BONE memory-centric homogeneous MPSoC of Fig. 5: ten RISC
+/// processors and eight dual-port SRAMs connected through crossbar switches
+/// in a hierarchical star; SRAMs are dynamically assigned to processors
+/// exchanging data.
+///
+/// Traffic: each RISC streams to/from a rotating subset of SRAMs
+/// (producer/consumer hand-offs through shared memory).
+pub fn bone_mpsoc() -> AppSpec {
+    let mut b = AppSpec::builder("bone_mpsoc");
+    let riscs: Vec<CoreId> = (0..10)
+        .map(|i| master(&mut b, &format!("risc{i}"), 333, 0))
+        .collect();
+    let srams: Vec<CoreId> = (0..8)
+        .map(|i| slave(&mut b, &format!("sram{i}"), 333, 0))
+        .collect();
+
+    let mbps = BitsPerSecond::from_mbps;
+    // Each RISC talks primarily to two "assigned" SRAMs (dynamic
+    // assignment averaged over time) and occasionally to the others.
+    for (i, &r) in riscs.iter().enumerate() {
+        let primary = srams[i % 8];
+        let secondary = srams[(i + 3) % 8];
+        b.add_transaction(
+            TrafficFlow::new(r, primary, mbps(640)).with_kind(TransactionKind::BurstRead(8)),
+        );
+        b.add_transaction(
+            TrafficFlow::new(r, secondary, mbps(320)).with_kind(TransactionKind::BurstWrite(8)),
+        );
+        b.add_transaction(
+            TrafficFlow::new(r, srams[(i + 5) % 8], mbps(80))
+                .with_kind(TransactionKind::Read),
+        );
+    }
+    b.build()
+        .expect("the preset specification is valid by construction")
+}
+
+/// A homogeneous message-passing CMP in the style of the Intel Teraflops
+/// (Fig. 4): `rows × cols` identical tiles, nearest-neighbor plus
+/// uniform-random message passing, no cache coherency ("data is
+/// transferred using message passing").
+///
+/// Every tile is a master/slave pair (it both sends and receives
+/// messages). Per-tile injected bandwidth is `tile_mbps`.
+pub fn teraflops_cmp(rows: usize, cols: usize, tile_mbps: u64) -> AppSpec {
+    let mut b = AppSpec::builder(format!("teraflops_{rows}x{cols}"));
+    let tiles: Vec<CoreId> = (0..rows * cols)
+        .map(|i| {
+            b.add_core(
+                Core::new(format!("tile{i}"), CoreRole::MasterSlave)
+                    .with_clock(Hertz::from_ghz(3.16))
+                    .with_island(IslandId(0))
+                    .with_size(Micrometers(1500.0), Micrometers(2000.0)),
+            )
+        })
+        .collect();
+    let at = |r: usize, c: usize| tiles[r * cols + c];
+    for r in 0..rows {
+        for c in 0..cols {
+            let src = at(r, c);
+            // Nearest-neighbor systolic traffic (75% of injection).
+            let mut neighbors = Vec::new();
+            if c + 1 < cols {
+                neighbors.push(at(r, c + 1));
+            }
+            if r + 1 < rows {
+                neighbors.push(at(r + 1, c));
+            }
+            for &n in &neighbors {
+                b.add_flow(
+                    TrafficFlow::new(src, n, BitsPerSecond::from_mbps(tile_mbps * 3 / 8))
+                        .with_kind(TransactionKind::Stream)
+                        .with_shape(TrafficShape::Constant),
+                );
+                b.add_flow(
+                    TrafficFlow::new(n, src, BitsPerSecond::from_mbps(tile_mbps * 3 / 8))
+                        .with_kind(TransactionKind::Stream)
+                        .with_shape(TrafficShape::Constant),
+                );
+            }
+            // Long-range hand-off (25%): to the tile diagonally across.
+            let far = at(rows - 1 - r, cols - 1 - c);
+            if far != src {
+                b.add_flow(
+                    TrafficFlow::new(src, far, BitsPerSecond::from_mbps(tile_mbps / 4))
+                        .with_shape(TrafficShape::Bursty { mean_burst_len: 4 }),
+                );
+            }
+        }
+    }
+    b.build()
+        .expect("the preset specification is valid by construction")
+}
+
+/// A small four-core spec useful in doc examples and smoke tests: CPU,
+/// DSP, DRAM and SRAM with a handful of flows.
+pub fn tiny_quad() -> AppSpec {
+    let mut b = AppSpec::builder("tiny_quad");
+    let cpu = master(&mut b, "cpu", 400, 0);
+    let dsp = b.add_core(
+        Core::new("dsp", CoreRole::MasterSlave)
+            .with_clock(Hertz::from_mhz(300))
+            .with_protocol(SocketProtocol::Axi),
+    );
+    let dram = slave(&mut b, "dram", 400, 0);
+    let sram = slave(&mut b, "sram", 400, 0);
+    b.add_transaction(
+        TrafficFlow::new(cpu, dram, BitsPerSecond::from_mbps(400))
+            .with_kind(TransactionKind::BurstRead(8)),
+    );
+    b.add_transaction(TrafficFlow::new(cpu, dsp, BitsPerSecond::from_mbps(50)));
+    b.add_transaction(
+        TrafficFlow::new(dsp, sram, BitsPerSecond::from_mbps(300))
+            .with_kind(TransactionKind::BurstWrite(8)),
+    );
+    b.add_transaction(
+        TrafficFlow::new(dsp, dram, BitsPerSecond::from_mbps(200))
+            .with_kind(TransactionKind::BurstRead(16)),
+    );
+    b.build()
+        .expect("the preset specification is valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::QosClass;
+
+    #[test]
+    fn mobile_soc_shape() {
+        let spec = mobile_multimedia_soc();
+        assert_eq!(spec.cores().len(), 26);
+        assert_eq!(spec.islands().len(), 4);
+        assert!(spec.flows().len() > 50);
+        // Mobile SoCs carry tens of Gb/s of aggregate traffic.
+        assert!(spec.total_bandwidth().to_gbps() > 10.0);
+        // GT streams exist (display, camera pipeline).
+        assert!(spec.flows().iter().any(|f| f.qos.is_guaranteed()));
+    }
+
+    #[test]
+    fn faust_receiver_matrix_is_10_6_gbps() {
+        let spec = faust_telecom();
+        assert_eq!(spec.cores().len(), 23);
+        let gt: f64 = spec
+            .flows()
+            .iter()
+            .filter(|f| f.qos == QosClass::GuaranteedThroughput)
+            .map(|f| f.bandwidth.to_gbps())
+            .sum();
+        assert!((gt - 10.6).abs() < 1e-9, "aggregate GT bandwidth {gt}");
+        // GALS: many islands.
+        assert!(spec.islands().len() >= 16);
+    }
+
+    #[test]
+    fn bone_has_10_riscs_and_8_srams() {
+        let spec = bone_mpsoc();
+        assert_eq!(spec.cores().len(), 18);
+        let masters = spec.cores().iter().filter(|c| c.role.is_master()).count();
+        assert_eq!(masters, 10);
+    }
+
+    #[test]
+    fn teraflops_is_80_tiles() {
+        let spec = teraflops_cmp(8, 10, 1000);
+        assert_eq!(spec.cores().len(), 80);
+        // All tiles clock at 3.16 GHz as in the paper.
+        assert!(spec
+            .cores()
+            .iter()
+            .all(|c| (c.clock.to_ghz() - 3.16).abs() < 1e-9));
+    }
+
+    #[test]
+    fn tiny_quad_valid() {
+        let spec = tiny_quad();
+        assert_eq!(spec.cores().len(), 4);
+        assert!(!spec.flows().is_empty());
+    }
+
+    #[test]
+    fn presets_have_distinct_names() {
+        let names = [
+            mobile_multimedia_soc().name().to_string(),
+            faust_telecom().name().to_string(),
+            bone_mpsoc().name().to_string(),
+            tiny_quad().name().to_string(),
+        ];
+        let set: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+    }
+}

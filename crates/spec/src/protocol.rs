@@ -1,0 +1,238 @@
+//! Socket protocols spoken by processing elements at the NoC boundary.
+//!
+//! The paper (§3) stresses that while there is no standard *intra*-network
+//! protocol, NoCs expose standard sockets (OCP, AHB, AXI, Wishbone, OPB,
+//! PLB) at the outer edge so existing IP connects unchanged. This module
+//! models those sockets and the transaction vocabulary the network
+//! interfaces must packetize.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point-to-point socket protocol between an IP core and its network
+/// interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SocketProtocol {
+    /// Open Core Protocol 2.0 — the socket used by the ×pipes library.
+    Ocp,
+    /// ARM AMBA AXI.
+    Axi,
+    /// ARM AMBA AHB.
+    Ahb,
+    /// Wishbone.
+    Wishbone,
+    /// IBM CoreConnect On-chip Peripheral Bus.
+    Opb,
+    /// IBM CoreConnect Processor Local Bus.
+    Plb,
+}
+
+impl SocketProtocol {
+    /// All protocols supported at the network edge.
+    pub const ALL: [SocketProtocol; 6] = [
+        SocketProtocol::Ocp,
+        SocketProtocol::Axi,
+        SocketProtocol::Ahb,
+        SocketProtocol::Wishbone,
+        SocketProtocol::Opb,
+        SocketProtocol::Plb,
+    ];
+
+    /// Whether the protocol supports split/outstanding transactions, i.e.
+    /// the master may issue further requests before a response returns.
+    ///
+    /// This matters for message-dependent deadlock analysis: protocols with
+    /// outstanding transactions require request and response traffic to
+    /// travel on disjoint virtual networks.
+    pub fn supports_outstanding(self) -> bool {
+        matches!(
+            self,
+            SocketProtocol::Ocp | SocketProtocol::Axi | SocketProtocol::Plb
+        )
+    }
+
+    /// Approximate number of signal wires of a conventional bus-style
+    /// realization of this socket with `data_width`-bit data paths.
+    ///
+    /// §4.1 of the paper: "A typical on-chip bus requires around 100 to 200
+    /// wires: 32 or 64 bits of write data, 32 or 64 bits of read data, 32
+    /// bits of address, plus control signals."
+    pub fn bus_wire_count(self, data_width: u32) -> u32 {
+        let control = match self {
+            SocketProtocol::Ocp => 28,
+            SocketProtocol::Axi => 40, // five channels, heavier handshake
+            SocketProtocol::Ahb => 20,
+            SocketProtocol::Wishbone => 12,
+            SocketProtocol::Opb => 16,
+            SocketProtocol::Plb => 24,
+        };
+        // read data + write data + address + control
+        data_width * 2 + 32 + control
+    }
+}
+
+impl fmt::Display for SocketProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SocketProtocol::Ocp => "OCP 2.0",
+            SocketProtocol::Axi => "AMBA AXI",
+            SocketProtocol::Ahb => "AMBA AHB",
+            SocketProtocol::Wishbone => "Wishbone",
+            SocketProtocol::Opb => "OPB",
+            SocketProtocol::Plb => "PLB",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The direction of a transaction message on the network.
+///
+/// Keeping requests and responses distinguishable end-to-end is what allows
+/// the toolchain to place them on disjoint virtual networks and thereby
+/// avoid message-dependent deadlock.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum MessageClass {
+    /// Master-initiated request (read command or write command + data).
+    Request,
+    /// Slave-issued response (read data or write acknowledgement).
+    Response,
+}
+
+impl fmt::Display for MessageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MessageClass::Request => f.write_str("request"),
+            MessageClass::Response => f.write_str("response"),
+        }
+    }
+}
+
+/// Maximum payload beats per packet; longer transactions are split, as
+/// real NIs do, to bound wormhole blocking.
+pub const MAX_PAYLOAD_FLITS: u32 = 16;
+
+/// The kind of bus transaction a flow carries, as captured by application
+/// profiling (§6: "type of transaction" is part of the input constraints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransactionKind {
+    /// Single-beat read.
+    Read,
+    /// Single-beat write.
+    Write,
+    /// Fixed-length burst read of the given beat count.
+    BurstRead(u16),
+    /// Fixed-length burst write of the given beat count.
+    BurstWrite(u16),
+    /// Streaming transfer (unbounded burst), e.g. a video pipeline hop.
+    Stream,
+}
+
+impl TransactionKind {
+    /// Number of data beats a single transaction of this kind moves.
+    /// Streams are normalized to a long burst for sizing purposes.
+    pub fn beats(self) -> u32 {
+        match self {
+            TransactionKind::Read | TransactionKind::Write => 1,
+            TransactionKind::BurstRead(n) | TransactionKind::BurstWrite(n) => n as u32,
+            TransactionKind::Stream => 64,
+        }
+    }
+
+    /// Number of flits one packet of this kind occupies on `width`-bit
+    /// links: one header flit plus the payload beats (32-bit words),
+    /// with long transactions split at [`MAX_PAYLOAD_FLITS`] beats as
+    /// real NIs do to bound wormhole blocking.
+    pub fn packet_flits(self, width: u32) -> usize {
+        let beats = self.beats().min(MAX_PAYLOAD_FLITS);
+        let payload_bits = beats as u64 * 32;
+        1 + payload_bits.div_ceil(width as u64) as usize
+    }
+
+    /// Header-overhead factor of this transaction kind on `width`-bit
+    /// links: raw flit bandwidth / payload bandwidth (= pf / (pf - 1)).
+    pub fn header_overhead(self, width: u32) -> f64 {
+        let pf = self.packet_flits(width) as f64;
+        pf / (pf - 1.0)
+    }
+
+    /// Whether a transaction of this kind elicits a data-bearing response.
+    pub fn has_data_response(self) -> bool {
+        matches!(
+            self,
+            TransactionKind::Read | TransactionKind::BurstRead(_)
+        )
+    }
+}
+
+impl fmt::Display for TransactionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransactionKind::Read => f.write_str("read"),
+            TransactionKind::Write => f.write_str("write"),
+            TransactionKind::BurstRead(n) => write!(f, "burst-read({n})"),
+            TransactionKind::BurstWrite(n) => write!(f, "burst-write({n})"),
+            TransactionKind::Stream => f.write_str("stream"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_bus_is_100_to_200_wires() {
+        // The paper's §4.1 claim: a typical bus needs ~100-200 wires.
+        for proto in SocketProtocol::ALL {
+            for width in [32, 64] {
+                let wires = proto.bus_wire_count(width);
+                assert!(
+                    (100..=220).contains(&wires),
+                    "{proto} at {width} bits gives {wires} wires"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outstanding_support_matches_protocol_generation() {
+        assert!(SocketProtocol::Axi.supports_outstanding());
+        assert!(SocketProtocol::Ocp.supports_outstanding());
+        assert!(!SocketProtocol::Ahb.supports_outstanding());
+        assert!(!SocketProtocol::Wishbone.supports_outstanding());
+    }
+
+    #[test]
+    fn burst_beats() {
+        assert_eq!(TransactionKind::Read.beats(), 1);
+        assert_eq!(TransactionKind::BurstWrite(8).beats(), 8);
+        assert!(TransactionKind::Stream.beats() > 1);
+    }
+
+    #[test]
+    fn reads_have_data_responses() {
+        assert!(TransactionKind::Read.has_data_response());
+        assert!(TransactionKind::BurstRead(4).has_data_response());
+        assert!(!TransactionKind::Write.has_data_response());
+        assert!(!TransactionKind::Stream.has_data_response());
+    }
+
+    #[test]
+    fn packet_flits_and_overhead() {
+        assert_eq!(TransactionKind::Read.packet_flits(32), 2);
+        assert_eq!(TransactionKind::BurstRead(8).packet_flits(32), 9);
+        assert_eq!(TransactionKind::Stream.packet_flits(32), 17);
+        assert_eq!(TransactionKind::Read.header_overhead(32), 2.0);
+        assert!((TransactionKind::Stream.header_overhead(32) - 17.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for proto in SocketProtocol::ALL {
+            assert!(!proto.to_string().is_empty());
+        }
+        assert_eq!(MessageClass::Request.to_string(), "request");
+    }
+}

@@ -1,0 +1,390 @@
+//! A plain-text interchange format for application specifications.
+//!
+//! The tool flow of Fig. 6 consumes "the application architecture and
+//! application constraints as inputs" — in practice, files written by a
+//! profiler or a designer. This module defines that file format:
+//!
+//! ```text
+//! # comment
+//! soc mobile_soc
+//! core cpu0 master ocp 600MHz island=0 size=500x500
+//! core dram slave axi 400MHz island=3 size=800x600
+//! flow cpu0 -> dram 800Mbps burst-read:16 latency=250ns gt shape=bursty:8
+//! transaction cpu0 -> dram 400Mbps write
+//! ```
+//!
+//! * `core <name> <master|slave|masterslave> <protocol> <freq>MHz
+//!   [island=N] [size=WxH]`
+//! * `flow <src> -> <dst> <bw>Mbps [kind] [latency=Nns] [gt]
+//!   [shape=<constant|poisson|bursty:N>] [response]`
+//! * `transaction …` — like `flow` but also adds the implied response.
+//!
+//! The emitter ([`to_text`]) and parser ([`from_text`]) round-trip.
+
+use crate::app::{AppSpec, AppSpecBuilder};
+use crate::core::{Core, CoreRole, IslandId};
+use crate::error::SpecError;
+use crate::protocol::{MessageClass, SocketProtocol, TransactionKind};
+use crate::traffic::{QosClass, TrafficFlow, TrafficShape};
+use crate::units::{BitsPerSecond, Hertz, Micrometers, Picoseconds};
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure, with the offending line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseSpecError {}
+
+impl From<(usize, String)> for ParseSpecError {
+    fn from((line, message): (usize, String)) -> ParseSpecError {
+        ParseSpecError { line, message }
+    }
+}
+
+fn role_str(role: CoreRole) -> &'static str {
+    match role {
+        CoreRole::Master => "master",
+        CoreRole::Slave => "slave",
+        CoreRole::MasterSlave => "masterslave",
+    }
+}
+
+fn proto_str(p: SocketProtocol) -> &'static str {
+    match p {
+        SocketProtocol::Ocp => "ocp",
+        SocketProtocol::Axi => "axi",
+        SocketProtocol::Ahb => "ahb",
+        SocketProtocol::Wishbone => "wishbone",
+        SocketProtocol::Opb => "opb",
+        SocketProtocol::Plb => "plb",
+    }
+}
+
+fn kind_str(k: TransactionKind) -> String {
+    match k {
+        TransactionKind::Read => "read".into(),
+        TransactionKind::Write => "write".into(),
+        TransactionKind::BurstRead(n) => format!("burst-read:{n}"),
+        TransactionKind::BurstWrite(n) => format!("burst-write:{n}"),
+        TransactionKind::Stream => "stream".into(),
+    }
+}
+
+/// Serializes a spec to the text format.
+pub fn to_text(spec: &AppSpec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("soc {}\n", spec.name()));
+    for (_, c) in spec.core_ids() {
+        out.push_str(&format!(
+            "core {} {} {} {}MHz island={} size={:.0}x{:.0}\n",
+            c.name,
+            role_str(c.role),
+            proto_str(c.protocol),
+            c.clock.to_mhz().round() as u64,
+            c.island.0,
+            c.width.raw(),
+            c.height.raw(),
+        ));
+    }
+    for (_, f) in spec.flow_ids() {
+        let mut line = format!(
+            "flow {} -> {} {}Mbps {}",
+            spec.core(f.src).name,
+            spec.core(f.dst).name,
+            (f.bandwidth.to_mbps().round()) as u64,
+            kind_str(f.kind),
+        );
+        if let Some(lat) = f.latency {
+            line.push_str(&format!(" latency={}ns", lat.to_ns().round() as u64));
+        }
+        if f.qos == QosClass::GuaranteedThroughput {
+            line.push_str(" gt");
+        }
+        match f.shape {
+            TrafficShape::Poisson => {}
+            TrafficShape::Constant => line.push_str(" shape=constant"),
+            TrafficShape::Bursty { mean_burst_len } => {
+                line.push_str(&format!(" shape=bursty:{mean_burst_len}"))
+            }
+        }
+        if f.class == MessageClass::Response {
+            line.push_str(" response");
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a spec from the text format.
+///
+/// # Errors
+///
+/// [`ParseSpecError`] (with line number) on malformed syntax;
+/// [`SpecError`] (wrapped into a line-0 parse error) if the parsed spec
+/// fails validation.
+pub fn from_text(text: &str) -> Result<AppSpec, ParseSpecError> {
+    let mut name = "unnamed".to_string();
+    let mut builder: Option<AppSpecBuilder> = None;
+    let mut core_names: Vec<String> = Vec::new();
+
+    let err = |line: usize, msg: String| ParseSpecError { line, message: msg };
+
+    // First pass handled inline: the format requires cores before flows.
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "soc" => {
+                name = tokens
+                    .get(1)
+                    .ok_or_else(|| err(lineno, "soc needs a name".into()))?
+                    .to_string();
+                builder = Some(AppSpec::builder(name.clone()));
+            }
+            "core" => {
+                let b = builder.get_or_insert_with(|| AppSpec::builder(name.clone()));
+                if tokens.len() < 5 {
+                    return Err(err(
+                        lineno,
+                        "core needs: name role protocol freqMHz".into(),
+                    ));
+                }
+                let role = match tokens[2] {
+                    "master" => CoreRole::Master,
+                    "slave" => CoreRole::Slave,
+                    "masterslave" => CoreRole::MasterSlave,
+                    other => return Err(err(lineno, format!("unknown role `{other}`"))),
+                };
+                let protocol = match tokens[3] {
+                    "ocp" => SocketProtocol::Ocp,
+                    "axi" => SocketProtocol::Axi,
+                    "ahb" => SocketProtocol::Ahb,
+                    "wishbone" => SocketProtocol::Wishbone,
+                    "opb" => SocketProtocol::Opb,
+                    "plb" => SocketProtocol::Plb,
+                    other => return Err(err(lineno, format!("unknown protocol `{other}`"))),
+                };
+                let mhz: u64 = tokens[4]
+                    .strip_suffix("MHz")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(lineno, format!("bad frequency `{}`", tokens[4])))?;
+                let mut core = Core::new(tokens[1], role)
+                    .with_protocol(protocol)
+                    .with_clock(Hertz::from_mhz(mhz));
+                for opt in &tokens[5..] {
+                    if let Some(v) = opt.strip_prefix("island=") {
+                        let island: usize = v
+                            .parse()
+                            .map_err(|_| err(lineno, format!("bad island `{v}`")))?;
+                        core = core.with_island(IslandId(island));
+                    } else if let Some(v) = opt.strip_prefix("size=") {
+                        let (w, h) = v
+                            .split_once('x')
+                            .ok_or_else(|| err(lineno, format!("bad size `{v}`")))?;
+                        let w: f64 = w
+                            .parse()
+                            .map_err(|_| err(lineno, format!("bad width `{w}`")))?;
+                        let h: f64 = h
+                            .parse()
+                            .map_err(|_| err(lineno, format!("bad height `{h}`")))?;
+                        core = core.with_size(Micrometers(w), Micrometers(h));
+                    } else {
+                        return Err(err(lineno, format!("unknown core option `{opt}`")));
+                    }
+                }
+                core_names.push(tokens[1].to_string());
+                b.add_core(core);
+            }
+            "flow" | "transaction" => {
+                let is_transaction = tokens[0] == "transaction";
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "flow before any `soc`/`core`".into()))?;
+                if tokens.len() < 5 || tokens[2] != "->" {
+                    return Err(err(
+                        lineno,
+                        "flow needs: src -> dst bwMbps [options]".into(),
+                    ));
+                }
+                let find = |n: &str| -> Result<crate::core::CoreId, ParseSpecError> {
+                    core_names
+                        .iter()
+                        .position(|c| c == n)
+                        .map(crate::core::CoreId)
+                        .ok_or_else(|| err(lineno, format!("unknown core `{n}`")))
+                };
+                let src = find(tokens[1])?;
+                let dst = find(tokens[3])?;
+                let mbps: u64 = tokens[4]
+                    .strip_suffix("Mbps")
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| err(lineno, format!("bad bandwidth `{}`", tokens[4])))?;
+                let mut flow = TrafficFlow::new(src, dst, BitsPerSecond::from_mbps(mbps));
+                for opt in &tokens[5..] {
+                    if let Some(v) = opt.strip_prefix("latency=") {
+                        let ns: u64 = v
+                            .strip_suffix("ns")
+                            .and_then(|x| x.parse().ok())
+                            .ok_or_else(|| err(lineno, format!("bad latency `{v}`")))?;
+                        flow = flow.with_latency(Picoseconds::from_ns(ns));
+                    } else if *opt == "gt" {
+                        flow = flow.guaranteed();
+                    } else if *opt == "response" {
+                        flow = flow.with_class(MessageClass::Response);
+                    } else if let Some(v) = opt.strip_prefix("shape=") {
+                        let shape = if v == "constant" {
+                            TrafficShape::Constant
+                        } else if v == "poisson" {
+                            TrafficShape::Poisson
+                        } else if let Some(n) = v.strip_prefix("bursty:") {
+                            TrafficShape::Bursty {
+                                mean_burst_len: n.parse().map_err(|_| {
+                                    err(lineno, format!("bad burst length `{n}`"))
+                                })?,
+                            }
+                        } else {
+                            return Err(err(lineno, format!("unknown shape `{v}`")));
+                        };
+                        flow = flow.with_shape(shape);
+                    } else {
+                        // Transaction kind token.
+                        let kind = if *opt == "read" {
+                            TransactionKind::Read
+                        } else if *opt == "write" {
+                            TransactionKind::Write
+                        } else if *opt == "stream" {
+                            TransactionKind::Stream
+                        } else if let Some(n) = opt.strip_prefix("burst-read:") {
+                            TransactionKind::BurstRead(n.parse().map_err(|_| {
+                                err(lineno, format!("bad burst length `{n}`"))
+                            })?)
+                        } else if let Some(n) = opt.strip_prefix("burst-write:") {
+                            TransactionKind::BurstWrite(n.parse().map_err(|_| {
+                                err(lineno, format!("bad burst length `{n}`"))
+                            })?)
+                        } else {
+                            return Err(err(lineno, format!("unknown flow option `{opt}`")));
+                        };
+                        flow = flow.with_kind(kind);
+                    }
+                }
+                if is_transaction {
+                    b.add_transaction(flow);
+                } else {
+                    b.add_flow(flow);
+                }
+            }
+            other => return Err(err(lineno, format!("unknown record `{other}`"))),
+        }
+    }
+    builder
+        .ok_or_else(|| err(0, "empty specification".into()))?
+        .build()
+        .map_err(|e: SpecError| err(0, format!("validation failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn parse_minimal() {
+        let text = "\
+soc demo
+core cpu master ocp 600MHz
+core mem slave axi 400MHz island=2 size=800x600
+flow cpu -> mem 400Mbps burst-read:8 latency=200ns
+transaction cpu -> mem 100Mbps write
+";
+        let spec = from_text(text).expect("parses");
+        assert_eq!(spec.name(), "demo");
+        assert_eq!(spec.cores().len(), 2);
+        // flow + transaction(write) + implied response.
+        assert_eq!(spec.flows().len(), 3);
+        let (_, mem) = spec.core_by_name("mem").expect("exists");
+        assert_eq!(mem.island, IslandId(2));
+        assert_eq!(mem.protocol, SocketProtocol::Axi);
+        assert_eq!(spec.flows()[0].kind, TransactionKind::BurstRead(8));
+        assert_eq!(
+            spec.flows()[0].latency,
+            Some(Picoseconds::from_ns(200))
+        );
+    }
+
+    #[test]
+    fn round_trips_every_preset() {
+        for spec in [
+            presets::tiny_quad(),
+            presets::mobile_multimedia_soc(),
+            presets::faust_telecom(),
+            presets::bone_mpsoc(),
+        ] {
+            let text = to_text(&spec);
+            let back = from_text(&text).expect("round trip parses");
+            assert_eq!(back.name(), spec.name());
+            assert_eq!(back.cores().len(), spec.cores().len());
+            assert_eq!(back.flows().len(), spec.flows().len());
+            for ((_, a), (_, b)) in spec.flow_ids().zip(back.flow_ids()) {
+                assert_eq!(a.src, b.src);
+                assert_eq!(a.dst, b.dst);
+                assert_eq!(a.qos, b.qos);
+                assert_eq!(a.class, b.class);
+                assert_eq!(a.kind, b.kind);
+                // Bandwidth round-trips to Mbps precision.
+                assert!((a.bandwidth.to_mbps() - b.bandwidth.to_mbps()).abs() < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nsoc x\ncore a master ocp 100MHz # trailing\ncore b slave ocp 100MHz\nflow a -> b 10Mbps\n";
+        assert!(from_text(text).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "soc x\ncore a master ocp 100MHz\nbogus record\n";
+        let e = from_text(bad).expect_err("bogus record");
+        assert_eq!(e.line, 3);
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn unknown_core_in_flow_rejected() {
+        let bad = "soc x\ncore a master ocp 100MHz\nflow a -> ghost 10Mbps\n";
+        let e = from_text(bad).expect_err("ghost core");
+        assert!(e.message.contains("ghost"));
+    }
+
+    #[test]
+    fn validation_failures_surface() {
+        // request from a slave: parses, fails validation.
+        let bad = "soc x\ncore a slave ocp 100MHz\ncore b master ocp 100MHz\nflow a -> b 10Mbps\n";
+        let e = from_text(bad).expect_err("role mismatch");
+        assert!(e.message.contains("validation failed"));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(from_text("# nothing\n").is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Traffic flows: the communication demands of the application.
+//!
+//! §6 of the paper lists the inputs of the tool flow: "the average
+//! bandwidth of communication between the different cores, average latency
+//! constraints, hard QoS constraints on bandwidth and latency, type of
+//! transaction, traffic shape." [`TrafficFlow`] carries exactly those.
+
+use crate::core::CoreId;
+use crate::protocol::{MessageClass, TransactionKind};
+use crate::units::{BitsPerSecond, Picoseconds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier of a flow within an [`AppSpec`](crate::app::AppSpec).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FlowId(pub usize);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow{}", self.0)
+    }
+}
+
+/// Quality-of-service class of a flow (§3, Æthereal: "guaranteed
+/// throughput (GT) for real time applications and best effort (BE) traffic
+/// for timing unconstrained applications").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QosClass {
+    /// Guaranteed throughput: hard bandwidth and latency bounds that the
+    /// network must honor via resource reservation (TDMA slots).
+    GuaranteedThroughput,
+    /// Best effort: no hard guarantee; served with leftover capacity.
+    BestEffort,
+}
+
+impl QosClass {
+    /// Whether this class requires hard reservations.
+    pub fn is_guaranteed(self) -> bool {
+        matches!(self, QosClass::GuaranteedThroughput)
+    }
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QosClass::GuaranteedThroughput => f.write_str("GT"),
+            QosClass::BestEffort => f.write_str("BE"),
+        }
+    }
+}
+
+/// Temporal shape of a flow's traffic (§6: "traffic shape" is part of the
+/// constraints fed to the toolchain).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficShape {
+    /// Constant bit rate: packets injected at a fixed cadence (typical of
+    /// streaming audio/video pipelines).
+    Constant,
+    /// Poisson arrivals at the average rate (typical of cache-miss style
+    /// processor traffic).
+    Poisson,
+    /// On/off bursts: active with probability implied by `burstiness`
+    /// (mean burst length in packets), idle otherwise; the long-run rate
+    /// equals the declared average bandwidth.
+    Bursty {
+        /// Mean number of back-to-back packets per burst (≥ 1).
+        mean_burst_len: u32,
+    },
+}
+
+impl Default for TrafficShape {
+    fn default() -> TrafficShape {
+        TrafficShape::Poisson
+    }
+}
+
+impl fmt::Display for TrafficShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficShape::Constant => f.write_str("constant"),
+            TrafficShape::Poisson => f.write_str("poisson"),
+            TrafficShape::Bursty { mean_burst_len } => write!(f, "bursty({mean_burst_len})"),
+        }
+    }
+}
+
+/// One directed communication demand between two cores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficFlow {
+    /// Source core (must be a master for requests).
+    pub src: CoreId,
+    /// Destination core.
+    pub dst: CoreId,
+    /// Average sustained bandwidth demand.
+    pub bandwidth: BitsPerSecond,
+    /// Average (soft) latency constraint per packet, if any.
+    pub latency: Option<Picoseconds>,
+    /// QoS class.
+    pub qos: QosClass,
+    /// Kind of transactions carried.
+    pub kind: TransactionKind,
+    /// Whether this flow carries requests or responses.
+    pub class: MessageClass,
+    /// Temporal traffic shape.
+    pub shape: TrafficShape,
+}
+
+impl TrafficFlow {
+    /// Creates a best-effort Poisson request flow with the given endpoints
+    /// and average bandwidth. Use with-methods to refine.
+    pub fn new(src: CoreId, dst: CoreId, bandwidth: BitsPerSecond) -> TrafficFlow {
+        TrafficFlow {
+            src,
+            dst,
+            bandwidth,
+            latency: None,
+            qos: QosClass::BestEffort,
+            kind: TransactionKind::Write,
+            class: MessageClass::Request,
+            shape: TrafficShape::Poisson,
+        }
+    }
+
+    /// Sets an average latency constraint.
+    pub fn with_latency(mut self, latency: Picoseconds) -> TrafficFlow {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Marks the flow as guaranteed-throughput (hard real time).
+    pub fn guaranteed(mut self) -> TrafficFlow {
+        self.qos = QosClass::GuaranteedThroughput;
+        self
+    }
+
+    /// Sets the transaction kind.
+    pub fn with_kind(mut self, kind: TransactionKind) -> TrafficFlow {
+        self.kind = kind;
+        self
+    }
+
+    /// Sets the message class (request/response).
+    pub fn with_class(mut self, class: MessageClass) -> TrafficFlow {
+        self.class = class;
+        self
+    }
+
+    /// Sets the traffic shape.
+    pub fn with_shape(mut self, shape: TrafficShape) -> TrafficFlow {
+        self.shape = shape;
+        self
+    }
+
+    /// Derives the implicit response flow of a read-like request flow:
+    /// same endpoints reversed, same QoS, response class. Read responses
+    /// carry the data, so the response bandwidth equals the request's data
+    /// bandwidth; write responses are thin acknowledgements (~10 %).
+    pub fn response_flow(&self) -> TrafficFlow {
+        let bw = if self.kind.has_data_response() {
+            self.bandwidth
+        } else {
+            BitsPerSecond((self.bandwidth.raw() / 10).max(1))
+        };
+        TrafficFlow {
+            src: self.dst,
+            dst: self.src,
+            bandwidth: bw,
+            latency: self.latency,
+            qos: self.qos,
+            kind: self.kind,
+            class: MessageClass::Response,
+            shape: self.shape,
+        }
+    }
+}
+
+impl fmt::Display for TrafficFlow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {}: {:.1} Mb/s {} {} ({})",
+            self.src,
+            self.dst,
+            self.bandwidth.to_mbps(),
+            self.qos,
+            self.class,
+            self.kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::BitsPerSecond;
+
+    fn flow() -> TrafficFlow {
+        TrafficFlow::new(CoreId(0), CoreId(1), BitsPerSecond::from_mbps(100))
+    }
+
+    #[test]
+    fn defaults_are_best_effort_poisson_requests() {
+        let f = flow();
+        assert_eq!(f.qos, QosClass::BestEffort);
+        assert_eq!(f.class, MessageClass::Request);
+        assert_eq!(f.shape, TrafficShape::Poisson);
+        assert!(f.latency.is_none());
+    }
+
+    #[test]
+    fn guaranteed_marks_gt() {
+        assert!(flow().guaranteed().qos.is_guaranteed());
+        assert!(!QosClass::BestEffort.is_guaranteed());
+    }
+
+    #[test]
+    fn read_response_carries_full_bandwidth() {
+        let req = flow().with_kind(TransactionKind::BurstRead(8));
+        let resp = req.response_flow();
+        assert_eq!(resp.src, req.dst);
+        assert_eq!(resp.dst, req.src);
+        assert_eq!(resp.bandwidth, req.bandwidth);
+        assert_eq!(resp.class, MessageClass::Response);
+    }
+
+    #[test]
+    fn write_response_is_thin() {
+        let req = flow().with_kind(TransactionKind::BurstWrite(8));
+        let resp = req.response_flow();
+        assert_eq!(resp.bandwidth.raw(), req.bandwidth.raw() / 10);
+    }
+
+    #[test]
+    fn response_preserves_qos() {
+        let req = flow().guaranteed().with_latency(Picoseconds::from_ns(500));
+        let resp = req.response_flow();
+        assert!(resp.qos.is_guaranteed());
+        assert_eq!(resp.latency, req.latency);
+    }
+
+    #[test]
+    fn display_mentions_endpoints() {
+        let s = flow().to_string();
+        assert!(s.contains("core0") && s.contains("core1"));
+    }
+}

@@ -1,0 +1,430 @@
+//! Physical-quantity newtypes used throughout the workspace.
+//!
+//! Every quantity that crosses a crate boundary is wrapped in a newtype so
+//! that, e.g., a bandwidth can never be passed where a frequency is expected
+//! (C-NEWTYPE). All types are `Copy`, ordered, hashable where exact, and
+//! implement `serde` serialization.
+//!
+//! Conventions:
+//! * frequencies are stored in **hertz** (`u64`),
+//! * bandwidths in **bits per second** (`u64`),
+//! * times in **picoseconds** (`u64`) so that cycle arithmetic at multi-GHz
+//!   clocks stays exact,
+//! * geometric lengths in **micrometres** (`f64`),
+//! * areas in **square micrometres** (`f64`),
+//! * powers in **milliwatts** (`f64`),
+//! * energies in **picojoules** (`f64`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+macro_rules! exact_unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Returns the raw integer value of this quantity.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0);
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0.saturating_sub(rhs.0))
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+macro_rules! float_unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Returns the raw floating-point value of this quantity.
+            pub const fn raw(self) -> f64 {
+                self.0
+            }
+
+            /// The zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3} {}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+exact_unit!(
+    /// A clock frequency in hertz.
+    ///
+    /// ```
+    /// use noc_spec::units::Hertz;
+    /// let f = Hertz::from_mhz(500);
+    /// assert_eq!(f.raw(), 500_000_000);
+    /// assert_eq!(f.to_mhz(), 500.0);
+    /// ```
+    Hertz,
+    "Hz"
+);
+
+exact_unit!(
+    /// A bandwidth in bits per second.
+    ///
+    /// ```
+    /// use noc_spec::units::BitsPerSecond;
+    /// let bw = BitsPerSecond::from_mbps(400);
+    /// assert_eq!(bw.to_gbps(), 0.4);
+    /// ```
+    BitsPerSecond,
+    "bit/s"
+);
+
+exact_unit!(
+    /// A duration in picoseconds.
+    ///
+    /// Picosecond resolution keeps cycle arithmetic exact for clocks up to
+    /// several hundred GHz, far beyond on-chip rates.
+    Picoseconds,
+    "ps"
+);
+
+exact_unit!(
+    /// A duration expressed in clock cycles of some reference clock.
+    Cycles,
+    "cycles"
+);
+
+float_unit!(
+    /// A geometric length in micrometres.
+    Micrometers,
+    "um"
+);
+
+float_unit!(
+    /// A silicon area in square micrometres.
+    SquareMicrometers,
+    "um^2"
+);
+
+float_unit!(
+    /// A power in milliwatts.
+    MilliWatts,
+    "mW"
+);
+
+float_unit!(
+    /// An energy in picojoules.
+    PicoJoules,
+    "pJ"
+);
+
+impl Hertz {
+    /// Creates a frequency from a megahertz value.
+    pub const fn from_mhz(mhz: u64) -> Hertz {
+        Hertz(mhz * 1_000_000)
+    }
+
+    /// Creates a frequency from a gigahertz value (fractional GHz allowed).
+    pub fn from_ghz(ghz: f64) -> Hertz {
+        Hertz((ghz * 1e9).round() as u64)
+    }
+
+    /// Returns the frequency in megahertz.
+    pub fn to_mhz(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the frequency in gigahertz.
+    pub fn to_ghz(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the period of one clock cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    pub fn period(self) -> Picoseconds {
+        assert!(self.0 > 0, "cannot take the period of a 0 Hz clock");
+        Picoseconds(1_000_000_000_000 / self.0)
+    }
+}
+
+impl BitsPerSecond {
+    /// Creates a bandwidth from megabits per second.
+    pub const fn from_mbps(mbps: u64) -> BitsPerSecond {
+        BitsPerSecond(mbps * 1_000_000)
+    }
+
+    /// Creates a bandwidth from gigabits per second (fractional allowed).
+    pub fn from_gbps(gbps: f64) -> BitsPerSecond {
+        BitsPerSecond((gbps * 1e9).round() as u64)
+    }
+
+    /// Returns the bandwidth in megabits per second.
+    pub fn to_mbps(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the bandwidth in gigabits per second.
+    pub fn to_gbps(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The raw bandwidth a link of `width` bits clocked at `clock` carries
+    /// when a flit is transferred every cycle.
+    ///
+    /// ```
+    /// use noc_spec::units::{BitsPerSecond, Hertz};
+    /// let bw = BitsPerSecond::of_link(32, Hertz::from_mhz(1000));
+    /// assert_eq!(bw.to_gbps(), 32.0);
+    /// ```
+    pub fn of_link(width: u32, clock: Hertz) -> BitsPerSecond {
+        BitsPerSecond(width as u64 * clock.0)
+    }
+}
+
+impl Picoseconds {
+    /// Creates a duration from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Picoseconds {
+        Picoseconds(ns * 1000)
+    }
+
+    /// Returns the duration in nanoseconds (fractional).
+    pub fn to_ns(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Number of whole cycles of `clock` that fit in this duration,
+    /// rounding up (a partial cycle still costs a full cycle).
+    pub fn to_cycles(self, clock: Hertz) -> Cycles {
+        let period = clock.period().0;
+        Cycles(self.0.div_ceil(period))
+    }
+}
+
+impl Cycles {
+    /// Converts a cycle count at `clock` into wall-clock picoseconds.
+    pub fn to_time(self, clock: Hertz) -> Picoseconds {
+        Picoseconds(self.0 * clock.period().0)
+    }
+}
+
+impl Mul<f64> for BitsPerSecond {
+    type Output = BitsPerSecond;
+    fn mul(self, rhs: f64) -> BitsPerSecond {
+        BitsPerSecond((self.0 as f64 * rhs).round() as u64)
+    }
+}
+
+impl Micrometers {
+    /// Creates a length from millimetres.
+    pub fn from_mm(mm: f64) -> Micrometers {
+        Micrometers(mm * 1000.0)
+    }
+
+    /// Returns the length in millimetres.
+    pub fn to_mm(self) -> f64 {
+        self.0 / 1000.0
+    }
+}
+
+impl Mul<Micrometers> for Micrometers {
+    type Output = SquareMicrometers;
+    fn mul(self, rhs: Micrometers) -> SquareMicrometers {
+        SquareMicrometers(self.0 * rhs.0)
+    }
+}
+
+impl SquareMicrometers {
+    /// Returns the area in square millimetres.
+    pub fn to_mm2(self) -> f64 {
+        self.0 / 1e6
+    }
+}
+
+impl PicoJoules {
+    /// The average power of spending this energy once per cycle at `clock`.
+    pub fn to_power(self, clock: Hertz) -> MilliWatts {
+        // pJ * Hz = pW * 1e0 ; 1e9 pW = 1 mW
+        MilliWatts(self.0 * clock.raw() as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hertz_conversions_round_trip() {
+        let f = Hertz::from_mhz(1600);
+        assert_eq!(f.to_mhz(), 1600.0);
+        assert_eq!(f.to_ghz(), 1.6);
+        assert_eq!(Hertz::from_ghz(1.6), f);
+    }
+
+    #[test]
+    fn period_of_one_ghz_is_1000ps() {
+        assert_eq!(Hertz::from_ghz(1.0).period(), Picoseconds(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 Hz")]
+    fn period_of_zero_panics() {
+        let _ = Hertz::ZERO.period();
+    }
+
+    #[test]
+    fn link_bandwidth_teraflops_figure() {
+        // Intel Teraflops: the paper quotes ~1.62 Tb/s aggregate at 3.16 GHz.
+        // A single 32-bit link at 3.16 GHz carries ~101 Gb/s.
+        let link = BitsPerSecond::of_link(32, Hertz::from_ghz(3.16));
+        assert!((link.to_gbps() - 101.12).abs() < 0.01);
+    }
+
+    #[test]
+    fn cycles_round_up() {
+        let clk = Hertz::from_ghz(1.0); // 1000 ps period
+        assert_eq!(Picoseconds(1).to_cycles(clk), Cycles(1));
+        assert_eq!(Picoseconds(1000).to_cycles(clk), Cycles(1));
+        assert_eq!(Picoseconds(1001).to_cycles(clk), Cycles(2));
+    }
+
+    #[test]
+    fn cycles_to_time_round_trip() {
+        let clk = Hertz::from_mhz(500);
+        assert_eq!(Cycles(10).to_time(clk), Picoseconds(20_000));
+    }
+
+    #[test]
+    fn saturating_subtraction_on_exact_units() {
+        assert_eq!(Cycles(3) - Cycles(5), Cycles(0));
+    }
+
+    #[test]
+    fn float_units_arithmetic() {
+        let a = Micrometers(100.0);
+        let b = Micrometers(50.0);
+        assert_eq!((a + b).raw(), 150.0);
+        assert_eq!((a - b).raw(), 50.0);
+        assert_eq!((a * 2.0).raw(), 200.0);
+        assert_eq!((a / 2.0).raw(), 50.0);
+        assert_eq!((a * b).raw(), 5000.0);
+    }
+
+    #[test]
+    fn energy_to_power() {
+        // 1 pJ per cycle at 1 GHz = 1 mW.
+        let p = PicoJoules(1.0).to_power(Hertz::from_ghz(1.0));
+        assert!((p.raw() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sums_work() {
+        let total: BitsPerSecond = [BitsPerSecond(1), BitsPerSecond(2)].into_iter().sum();
+        assert_eq!(total, BitsPerSecond(3));
+        let area: SquareMicrometers = [SquareMicrometers(1.5), SquareMicrometers(2.5)]
+            .into_iter()
+            .sum();
+        assert_eq!(area.raw(), 4.0);
+    }
+
+    #[test]
+    fn display_includes_suffix() {
+        assert_eq!(Hertz(5).to_string(), "5 Hz");
+        assert!(Micrometers(1.0).to_string().ends_with("um"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the specification model.
+
+use noc_spec::app::AppSpec;
+use noc_spec::core::{Core, CoreRole};
+use noc_spec::protocol::TransactionKind;
+use noc_spec::textfmt;
+use noc_spec::traffic::TrafficFlow;
+use noc_spec::units::{BitsPerSecond, Hertz};
+use proptest::prelude::*;
+
+fn arb_role() -> impl Strategy<Value = CoreRole> {
+    prop_oneof![
+        Just(CoreRole::Master),
+        Just(CoreRole::Slave),
+        Just(CoreRole::MasterSlave),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = TransactionKind> {
+    prop_oneof![
+        Just(TransactionKind::Read),
+        Just(TransactionKind::Write),
+        (1u16..64).prop_map(TransactionKind::BurstRead),
+        (1u16..64).prop_map(TransactionKind::BurstWrite),
+        Just(TransactionKind::Stream),
+    ]
+}
+
+proptest! {
+    /// Any master→slave flow set over role-consistent cores validates,
+    /// and the text format round-trips it.
+    #[test]
+    fn random_valid_specs_build_and_round_trip(
+        roles in prop::collection::vec(arb_role(), 2..12),
+        flows in prop::collection::vec((0usize..12, 0usize..12, 1u64..100_000, arb_kind()), 1..24),
+        mhz in 50u64..2_000,
+    ) {
+        let mut b = AppSpec::builder("prop");
+        for (i, &role) in roles.iter().enumerate() {
+            b.add_core(Core::new(format!("c{i}"), role).with_clock(Hertz::from_mhz(mhz)));
+        }
+        let n = roles.len();
+        let mut added = 0;
+        for (s, d, mbps, kind) in flows {
+            let (s, d) = (s % n, d % n);
+            if s == d || !roles[s].is_master() || !roles[d].is_slave() {
+                continue;
+            }
+            b.add_flow(
+                TrafficFlow::new(
+                    noc_spec::CoreId(s),
+                    noc_spec::CoreId(d),
+                    BitsPerSecond::from_mbps(mbps),
+                )
+                .with_kind(kind),
+            );
+            added += 1;
+        }
+        prop_assume!(added > 0);
+        let spec = b.build().expect("role-consistent flows validate");
+        let text = textfmt::to_text(&spec);
+        let back = textfmt::from_text(&text).expect("round trip");
+        prop_assert_eq!(back.cores().len(), spec.cores().len());
+        prop_assert_eq!(back.flows().len(), spec.flows().len());
+        prop_assert_eq!(back.total_bandwidth(), spec.total_bandwidth());
+    }
+
+    /// The implied response flow always travels the reverse direction
+    /// with the same QoS, and carries the full bandwidth exactly for
+    /// data-bearing (read-like) requests.
+    #[test]
+    fn response_flow_properties(mbps in 1u64..1_000_000, kind in arb_kind(), gt in any::<bool>()) {
+        let mut f = TrafficFlow::new(
+            noc_spec::CoreId(0),
+            noc_spec::CoreId(1),
+            BitsPerSecond::from_mbps(mbps),
+        )
+        .with_kind(kind);
+        if gt {
+            f = f.guaranteed();
+        }
+        let r = f.response_flow();
+        prop_assert_eq!(r.src, f.dst);
+        prop_assert_eq!(r.dst, f.src);
+        prop_assert_eq!(r.qos, f.qos);
+        if kind.has_data_response() {
+            prop_assert_eq!(r.bandwidth, f.bandwidth);
+        } else {
+            prop_assert!(r.bandwidth.raw() <= f.bandwidth.raw());
+            prop_assert!(r.bandwidth.raw() >= 1);
+        }
+    }
+
+    /// Packet sizing: flit counts grow with beats, shrink with width,
+    /// and overhead is always > 1.
+    #[test]
+    fn packet_flits_properties(beats in 1u16..64, width_exp in 3u32..8) {
+        let width = 1u32 << width_exp; // 8..128
+        let k = TransactionKind::BurstRead(beats);
+        let pf = k.packet_flits(width);
+        prop_assert!(pf >= 2, "header + at least one payload flit");
+        prop_assert!(k.packet_flits(width * 2) <= pf);
+        let oh = k.header_overhead(width);
+        prop_assert!(oh > 1.0 && oh <= 2.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for topology synthesis.
+
+use noc_spec::CoreId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by synthesis and mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// The application has no cores.
+    EmptySpec,
+    /// A flow endpoint has no NI in the generated topology.
+    MissingNi {
+        /// The core lacking an NI.
+        core: CoreId,
+    },
+    /// One flow alone exceeds a single link's derated capacity; no
+    /// topology at this clock/width can carry it.
+    FlowExceedsLinkCapacity,
+    /// No (switch count, clock) point in the sweep met all constraints.
+    NoFeasibleDesign,
+    /// The requested mesh shape is unusable.
+    InvalidMesh {
+        /// Generator diagnostic.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::EmptySpec => f.write_str("specification has no cores"),
+            SynthError::MissingNi { core } => {
+                write!(f, "{core} has no network interface in the topology")
+            }
+            SynthError::FlowExceedsLinkCapacity => {
+                f.write_str("a single flow exceeds the derated link capacity")
+            }
+            SynthError::NoFeasibleDesign => {
+                f.write_str("no design point met bandwidth, frequency and routability constraints")
+            }
+            SynthError::InvalidMesh { detail } => write!(f, "invalid mesh: {detail}"),
+        }
+    }
+}
+
+impl Error for SynthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_traits() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<SynthError>();
+    }
+}

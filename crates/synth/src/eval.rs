@@ -1,0 +1,312 @@
+//! Design-point evaluation: power, area, latency, feasibility.
+//!
+//! §6: "each design point having different power, area and performance
+//! values" — this module computes those values for any topology + route
+//! set, using the `noc-power` characterization models and (optionally)
+//! floorplan-derived wire lengths.
+
+use noc_floorplan::incremental::NocPlacement;
+use noc_power::link_model::LinkModel;
+use noc_power::ni_model::{NiModel, NiParams};
+use noc_power::routability::RoutabilityModel;
+use noc_power::switch_model::{SwitchModel, SwitchParams};
+use noc_power::technology::TechNode;
+use noc_spec::units::{BitsPerSecond, Hertz, Micrometers, MilliWatts, SquareMicrometers};
+use noc_topology::graph::{NodeId, NodeKind, Topology};
+use noc_topology::metrics::link_loads;
+use noc_topology::routing::RouteSet;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Evaluated characteristics of one design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignMetrics {
+    /// Total NoC power (switches + links + NIs) at the operating point.
+    pub power: MilliWatts,
+    /// Total NoC cell area.
+    pub area: SquareMicrometers,
+    /// Bandwidth-weighted mean packet traversal latency, in cycles
+    /// (hops + link pipeline stages; queueing excluded — the simulator
+    /// measures that).
+    pub mean_latency_cycles: f64,
+    /// Worst link load / capacity ratio (> 1 means oversubscribed).
+    pub max_link_utilization: f64,
+    /// Total link wirelength (0 without a placement).
+    pub total_wirelength: Micrometers,
+    /// Number of switches.
+    pub switch_count: usize,
+    /// Largest switch radix (max of inputs/outputs over switches).
+    pub max_radix: u32,
+    /// Whether every switch meets the target clock in this technology.
+    pub frequency_feasible: bool,
+    /// Whether every switch passes the Fig. 2 routability model.
+    pub routable: bool,
+}
+
+impl DesignMetrics {
+    /// A design is usable when bandwidth, frequency and routability all
+    /// hold.
+    pub fn is_feasible(&self, utilization_cap: f64) -> bool {
+        self.max_link_utilization <= utilization_cap
+            && self.frequency_feasible
+            && self.routable
+    }
+}
+
+/// Evaluates a design point.
+///
+/// `demands` maps NI endpoint pairs to aggregate bandwidth (as consumed
+/// by [`link_loads`]); `placement` supplies wire lengths when a
+/// floorplan pass ran.
+pub fn evaluate(
+    topo: &Topology,
+    routes: &RouteSet,
+    demands: &BTreeMap<(NodeId, NodeId), BitsPerSecond>,
+    placement: Option<&NocPlacement>,
+    clock: Hertz,
+    tech: TechNode,
+    flit_width: u32,
+) -> DesignMetrics {
+    let switch_model = SwitchModel::new(tech);
+    let link_model = LinkModel::new(tech);
+    let ni_model = NiModel::new(tech);
+    let routability = RoutabilityModel::new(tech);
+    let loads = link_loads(routes, demands);
+    let capacity = BitsPerSecond::of_link(flit_width, clock).raw() as f64;
+
+    // Per-link power & wirelength.
+    let mut power = MilliWatts::ZERO;
+    let mut wirelength = Micrometers(0.0);
+    let mut max_util = 0.0f64;
+    for (id, _link) in topo.link_ids() {
+        let load = loads.get(&id).map(|b| b.raw() as f64).unwrap_or(0.0);
+        let util = load / capacity;
+        max_util = max_util.max(util);
+        let length = placement
+            .and_then(|p| p.link_length(id))
+            .unwrap_or(Micrometers(0.0));
+        wirelength += length;
+        power += link_model.power(length, flit_width, clock, util);
+    }
+
+    // Per-node power, area, feasibility.
+    let mut area = SquareMicrometers::ZERO;
+    let mut switch_count = 0usize;
+    let mut max_radix = 0u32;
+    let mut frequency_feasible = true;
+    let mut routable = true;
+    for (id, node) in topo.node_ids() {
+        match node.kind {
+            NodeKind::Switch => {
+                switch_count += 1;
+                let (inputs, outputs) = topo.switch_radix(id);
+                let radix = inputs.max(outputs).max(1) as u32;
+                max_radix = max_radix.max(radix);
+                let params = SwitchParams {
+                    inputs: inputs.max(1) as u32,
+                    outputs: outputs.max(1) as u32,
+                    flit_width,
+                    buffer_depth: 4,
+                    output_buffers: false,
+                };
+                area += switch_model.area(params);
+                // Flits per cycle through the switch = sum of incoming
+                // link loads.
+                let flits_in: f64 = topo
+                    .incoming(id)
+                    .iter()
+                    .map(|l| loads.get(l).map(|b| b.raw() as f64).unwrap_or(0.0))
+                    .sum::<f64>()
+                    / capacity;
+                power += switch_model.power(params, clock, flits_in);
+                if switch_model.max_frequency(params).raw() < clock.raw() {
+                    frequency_feasible = false;
+                }
+                if !routability.switch_routability(radix, flit_width).is_feasible() {
+                    routable = false;
+                }
+            }
+            NodeKind::Ni { .. } => {
+                let params = NiParams::initiator(flit_width, topo.nis().len() as u32);
+                let est = ni_model.estimate(params);
+                area += est.area;
+                let flits: f64 = topo
+                    .outgoing(id)
+                    .iter()
+                    .chain(topo.incoming(id))
+                    .map(|l| loads.get(l).map(|b| b.raw() as f64).unwrap_or(0.0))
+                    .sum::<f64>()
+                    / capacity;
+                power += noc_spec::units::PicoJoules(est.energy_per_flit.raw() * flits)
+                    .to_power(clock)
+                    + est.leakage;
+            }
+        }
+    }
+
+    // Bandwidth-weighted mean latency over routed demands.
+    let mut weighted = 0.0f64;
+    let mut total_bw = 0.0f64;
+    for (pair, bw) in demands {
+        if let Some(route) = routes.get(pair.0, pair.1) {
+            let cycles: u64 = route
+                .links
+                .iter()
+                .map(|&l| topo.link(l).pipeline_stages as u64 + 1)
+                .sum();
+            weighted += cycles as f64 * bw.raw() as f64;
+            total_bw += bw.raw() as f64;
+        }
+    }
+    let mean_latency_cycles = if total_bw > 0.0 { weighted / total_bw } else { 0.0 };
+
+    DesignMetrics {
+        power,
+        area,
+        mean_latency_cycles,
+        max_link_utilization: max_util,
+        total_wirelength: wirelength,
+        switch_count,
+        max_radix,
+        frequency_feasible,
+        routable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_spec::CoreId;
+    use noc_topology::generators::mesh;
+
+    fn demands_for(
+        m: &noc_topology::generators::Mesh,
+        pairs: &[(usize, usize, u64)],
+    ) -> BTreeMap<(NodeId, NodeId), BitsPerSecond> {
+        pairs
+            .iter()
+            .map(|&(a, b, mbps)| {
+                (
+                    (
+                        m.initiator_of(CoreId(a)).expect("ni"),
+                        m.target_of(CoreId(b)).expect("ni"),
+                    ),
+                    BitsPerSecond::from_mbps(mbps),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn evaluate_small_mesh() {
+        let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+        let m = mesh(2, 2, &cores, 32).expect("valid");
+        let routes = m.xy_routes_all_pairs().expect("ok");
+        let demands = demands_for(&m, &[(0, 3, 400), (1, 2, 200)]);
+        let dm = evaluate(
+            &m.topology,
+            &routes,
+            &demands,
+            None,
+            Hertz::from_mhz(500),
+            TechNode::NM65,
+            32,
+        );
+        assert_eq!(dm.switch_count, 4);
+        assert!(dm.power.raw() > 0.0);
+        assert!(dm.area.raw() > 0.0);
+        assert!(dm.mean_latency_cycles >= 4.0, "{}", dm.mean_latency_cycles);
+        assert!(dm.frequency_feasible);
+        assert!(dm.routable);
+        assert!(dm.is_feasible(0.7));
+    }
+
+    #[test]
+    fn oversubscription_detected() {
+        let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+        let m = mesh(2, 2, &cores, 32).expect("valid");
+        let routes = m.xy_routes_all_pairs().expect("ok");
+        // 20 Gb/s over a 32-bit 500 MHz (16 Gb/s) link.
+        let demands = demands_for(&m, &[(0, 3, 20_000)]);
+        let dm = evaluate(
+            &m.topology,
+            &routes,
+            &demands,
+            None,
+            Hertz::from_mhz(500),
+            TechNode::NM65,
+            32,
+        );
+        assert!(dm.max_link_utilization > 1.0);
+        assert!(!dm.is_feasible(0.7));
+    }
+
+    #[test]
+    fn infeasible_clock_detected() {
+        let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+        let m = mesh(2, 2, &cores, 32).expect("valid");
+        let routes = m.xy_routes_all_pairs().expect("ok");
+        let demands = demands_for(&m, &[(0, 3, 100)]);
+        // 3 GHz is beyond any 65 nm switch.
+        let dm = evaluate(
+            &m.topology,
+            &routes,
+            &demands,
+            None,
+            Hertz::from_ghz(3.0),
+            TechNode::NM65,
+            32,
+        );
+        assert!(!dm.frequency_feasible);
+    }
+
+    #[test]
+    fn more_load_means_more_power() {
+        let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+        let m = mesh(2, 2, &cores, 32).expect("valid");
+        let routes = m.xy_routes_all_pairs().expect("ok");
+        let low = evaluate(
+            &m.topology,
+            &routes,
+            &demands_for(&m, &[(0, 3, 100)]),
+            None,
+            Hertz::from_mhz(500),
+            TechNode::NM65,
+            32,
+        );
+        let high = evaluate(
+            &m.topology,
+            &routes,
+            &demands_for(&m, &[(0, 3, 4000), (1, 2, 4000), (2, 1, 4000)]),
+            None,
+            Hertz::from_mhz(500),
+            TechNode::NM65,
+            32,
+        );
+        assert!(high.power.raw() > low.power.raw());
+    }
+
+    #[test]
+    fn placement_adds_wire_power_and_length() {
+        use noc_floorplan::core_plan::CoreFloorplan;
+        use noc_floorplan::incremental::insert_noc;
+        let spec = noc_spec::presets::tiny_quad();
+        let fp = CoreFloorplan::from_spec(&spec, 1);
+        let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+        let m = mesh(2, 2, &cores, 32).expect("valid");
+        let routes = m.xy_routes_all_pairs().expect("ok");
+        let demands = demands_for(&m, &[(0, 3, 400)]);
+        let placement = insert_noc(&fp, &m.topology);
+        let without = evaluate(
+            &m.topology, &routes, &demands, None,
+            Hertz::from_mhz(500), TechNode::NM65, 32,
+        );
+        let with = evaluate(
+            &m.topology, &routes, &demands, Some(&placement),
+            Hertz::from_mhz(500), TechNode::NM65, 32,
+        );
+        assert_eq!(without.total_wirelength.raw(), 0.0);
+        assert!(with.total_wirelength.raw() > 0.0);
+        assert!(with.power.raw() > without.power.raw());
+    }
+}

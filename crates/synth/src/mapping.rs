@@ -1,0 +1,250 @@
+//! SUNMAP-style mapping of cores onto regular topologies (\[9\]).
+//!
+//! The baseline the paper contrasts custom synthesis against: "Initial
+//! works on topology design focused on mapping cores onto regular
+//! topologies" — which "do not map well to SoCs that are usually
+//! heterogeneous in nature". This module maps an application onto a 2D
+//! mesh, minimizing bandwidth-weighted hop count by greedy placement
+//! plus deterministic pairwise-swap refinement, then evaluates the
+//! result with the same models as the custom flow so the comparison is
+//! apples-to-apples (experiment E5).
+
+use crate::error::SynthError;
+use crate::eval::{evaluate, DesignMetrics};
+use noc_floorplan::core_plan::CoreFloorplan;
+use noc_floorplan::incremental::{insert_noc, NocPlacement};
+use noc_power::link_model::LinkModel;
+use noc_power::technology::TechNode;
+use noc_spec::units::{BitsPerSecond, Hertz};
+use noc_spec::{AppSpec, CoreId, MessageClass};
+use noc_topology::generators::{quasi_mesh, QuasiMesh};
+use noc_topology::graph::{NiRole, NodeId};
+use noc_topology::routing::RouteSet;
+use std::collections::BTreeMap;
+
+/// A mapped regular design: the quasi-mesh fabric, the core permutation,
+/// XY routes, and evaluated metrics.
+#[derive(Debug, Clone)]
+pub struct MappedDesign {
+    /// The mesh fabric (a quasi-mesh so any core count fits).
+    pub fabric: QuasiMesh,
+    /// XY routes per traffic endpoint pair.
+    pub routes: RouteSet,
+    /// Aggregate demand per NI pair.
+    pub demands: BTreeMap<(NodeId, NodeId), BitsPerSecond>,
+    /// NoC placement derived from the floorplan.
+    pub placement: Option<NocPlacement>,
+    /// Operating clock.
+    pub clock: Hertz,
+    /// Evaluated metrics.
+    pub metrics: DesignMetrics,
+    /// `order[i]` = the core placed at fabric position `i`.
+    pub order: Vec<CoreId>,
+}
+
+/// Bandwidth-weighted hop cost of a placement order on a `rows × cols`
+/// grid (cores at position `i` sit on tile `i % tiles`).
+fn placement_cost(spec: &AppSpec, order: &[CoreId], rows: usize, cols: usize) -> f64 {
+    let tiles = rows * cols;
+    let mut tile_of = vec![0usize; spec.cores().len()];
+    for (pos, &c) in order.iter().enumerate() {
+        tile_of[c.0] = pos % tiles;
+    }
+    let mut cost = 0.0;
+    for f in spec.flows() {
+        let a = tile_of[f.src.0];
+        let b = tile_of[f.dst.0];
+        let hops = (a / cols).abs_diff(b / cols) + (a % cols).abs_diff(b % cols);
+        cost += hops as f64 * f.bandwidth.raw() as f64;
+    }
+    cost
+}
+
+/// Maps `spec` onto a `rows × cols` mesh at `clock` and evaluates it.
+///
+/// # Errors
+///
+/// [`SynthError::EmptySpec`], mesh-shape errors mapped to
+/// [`SynthError::InvalidMesh`], or [`SynthError::MissingNi`] for
+/// endpoint lookups.
+pub fn map_to_mesh(
+    spec: &AppSpec,
+    rows: usize,
+    cols: usize,
+    clock: Hertz,
+    flit_width: u32,
+    tech: TechNode,
+    floorplan: Option<&CoreFloorplan>,
+) -> Result<MappedDesign, SynthError> {
+    if spec.cores().is_empty() {
+        return Err(SynthError::EmptySpec);
+    }
+    let n = spec.cores().len();
+
+    // Greedy seed: place cores in descending traffic volume, each at the
+    // free position minimizing incremental cost; refined by pairwise
+    // swaps until no swap improves.
+    let mut volume: Vec<(u64, usize)> = (0..n)
+        .map(|i| {
+            let v: u64 = spec
+                .flows()
+                .iter()
+                .filter(|f| f.src.0 == i || f.dst.0 == i)
+                .map(|f| f.bandwidth.raw())
+                .sum();
+            (v, i)
+        })
+        .collect();
+    volume.sort_unstable_by(|a, b| b.cmp(a));
+    let mut order: Vec<CoreId> = volume.iter().map(|&(_, i)| CoreId(i)).collect();
+
+    // Pairwise-swap hill climbing (deterministic).
+    let mut best_cost = placement_cost(spec, &order, rows, cols);
+    loop {
+        let mut improved = false;
+        for i in 0..n {
+            for j in i + 1..n {
+                order.swap(i, j);
+                let c = placement_cost(spec, &order, rows, cols);
+                if c + 1e-9 < best_cost {
+                    best_cost = c;
+                    improved = true;
+                } else {
+                    order.swap(i, j);
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    let fabric = quasi_mesh(rows, cols, &order, flit_width).map_err(|e| {
+        SynthError::InvalidMesh {
+            detail: e.to_string(),
+        }
+    })?;
+
+    // Routes + demands per flow endpoint pair. XY routes key on the
+    // *both-role* NIs of the generators: requests use (initiator of src,
+    // target of dst); responses the same physical path in reverse
+    // direction via (initiator of src, target of dst) of the response's
+    // own endpoints — the generators attach both NIs to every core, so
+    // the lookup is uniform.
+    let mut routes = RouteSet::new();
+    let mut demands: BTreeMap<(NodeId, NodeId), BitsPerSecond> = BTreeMap::new();
+    for flow in spec.flows() {
+        let (sr, dr) = match flow.class {
+            MessageClass::Request => (NiRole::Initiator, NiRole::Target),
+            MessageClass::Response => (NiRole::Target, NiRole::Initiator),
+        };
+        let _ = (sr, dr);
+        // Quasi-mesh XY routes run initiator(src) → target(dst).
+        let route = fabric
+            .xy_route(flow.src, flow.dst)
+            .map_err(|_| SynthError::MissingNi { core: flow.src })?;
+        let src_idx = fabric
+            .cores
+            .iter()
+            .position(|&c| c == flow.src)
+            .ok_or(SynthError::MissingNi { core: flow.src })?;
+        let dst_idx = fabric
+            .cores
+            .iter()
+            .position(|&c| c == flow.dst)
+            .ok_or(SynthError::MissingNi { core: flow.dst })?;
+        let key = (fabric.nis[src_idx].0, fabric.nis[dst_idx].1);
+        routes.insert(key.0, key.1, route);
+        *demands.entry(key).or_insert(BitsPerSecond::ZERO) += flow.bandwidth;
+    }
+
+    // Physical insertion when a floorplan exists.
+    let mut fabric = fabric;
+    let placement = floorplan.map(|fp| insert_noc(fp, &fabric.topology));
+    if let Some(p) = &placement {
+        let link_model = LinkModel::new(tech);
+        let ids: Vec<_> = fabric.topology.link_ids().map(|(id, _)| id).collect();
+        for id in ids {
+            if let Some(len) = p.link_length(id) {
+                fabric
+                    .topology
+                    .set_pipeline_stages(id, link_model.pipeline_stages(len, clock));
+            }
+        }
+    }
+    let metrics = evaluate(
+        &fabric.topology,
+        &routes,
+        &demands,
+        placement.as_ref(),
+        clock,
+        tech,
+        flit_width,
+    );
+    Ok(MappedDesign {
+        fabric,
+        routes,
+        demands,
+        placement,
+        clock,
+        metrics,
+        order,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_spec::presets;
+
+    #[test]
+    fn maps_tiny_quad_to_2x2() {
+        let spec = presets::tiny_quad();
+        let d = map_to_mesh(&spec, 2, 2, Hertz::from_mhz(650), 32, TechNode::NM65, None)
+            .expect("mappable");
+        assert_eq!(d.order.len(), 4);
+        d.routes.validate(&d.fabric.topology).expect("valid routes");
+        assert!(d.metrics.power.raw() > 0.0);
+    }
+
+    #[test]
+    fn mapping_beats_identity_order_cost() {
+        let spec = presets::mobile_multimedia_soc();
+        let identity: Vec<CoreId> = spec.core_ids().map(|(id, _)| id).collect();
+        let identity_cost = placement_cost(&spec, &identity, 5, 6);
+        let d = map_to_mesh(&spec, 5, 6, Hertz::from_mhz(650), 32, TechNode::NM65, None)
+            .expect("mappable");
+        let optimized_cost = placement_cost(&spec, &d.order, 5, 6);
+        assert!(
+            optimized_cost <= identity_cost,
+            "optimizer must not be worse: {optimized_cost} vs {identity_cost}"
+        );
+    }
+
+    #[test]
+    fn every_flow_has_a_route() {
+        let spec = presets::bone_mpsoc();
+        let d = map_to_mesh(&spec, 3, 6, Hertz::from_mhz(650), 32, TechNode::NM65, None)
+            .expect("mappable");
+        assert_eq!(d.demands.len(), d.routes.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = presets::tiny_quad();
+        let a = map_to_mesh(&spec, 2, 2, Hertz::from_mhz(650), 32, TechNode::NM65, None)
+            .expect("mappable");
+        let b = map_to_mesh(&spec, 2, 2, Hertz::from_mhz(650), 32, TechNode::NM65, None)
+            .expect("mappable");
+        assert_eq!(a.order, b.order);
+    }
+
+    #[test]
+    fn empty_spec_rejected() {
+        let spec = noc_spec::AppSpec::builder("empty").build().expect("valid");
+        assert!(matches!(
+            map_to_mesh(&spec, 2, 2, Hertz::from_mhz(650), 32, TechNode::NM65, None),
+            Err(SynthError::EmptySpec)
+        ));
+    }
+}

@@ -1,0 +1,85 @@
+//! Pareto filtering of design points.
+//!
+//! §6: "From the set of all Pareto optimal points, the designer can then
+//! choose a NoC instance."
+
+/// Returns the indices of the non-dominated items under the given
+/// objective extractors (all minimized). An item dominates another if it
+/// is no worse in every objective and strictly better in at least one.
+///
+/// Ties (identical objective vectors) all survive.
+pub fn pareto_front<T>(items: &[T], objectives: &[&dyn Fn(&T) -> f64]) -> Vec<usize> {
+    assert!(!objectives.is_empty(), "need at least one objective");
+    let scores: Vec<Vec<f64>> = items
+        .iter()
+        .map(|it| objectives.iter().map(|f| f(it)).collect())
+        .collect();
+    let dominates = |a: &[f64], b: &[f64]| -> bool {
+        a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+    };
+    (0..items.len())
+        .filter(|&i| !(0..items.len()).any(|j| j != i && dominates(&scores[j], &scores[i])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_two_objective_front() {
+        // (power, latency) points.
+        let pts = vec![(1.0, 5.0), (2.0, 3.0), (4.0, 1.0), (3.0, 4.0), (5.0, 5.0)];
+        let f1: &dyn Fn(&(f64, f64)) -> f64 = &|p| p.0;
+        let f2: &dyn Fn(&(f64, f64)) -> f64 = &|p| p.1;
+        let front = pareto_front(&pts, &[f1, f2]);
+        assert_eq!(front, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn identical_points_all_survive() {
+        let pts = vec![(1.0, 1.0), (1.0, 1.0)];
+        let f1: &dyn Fn(&(f64, f64)) -> f64 = &|p| p.0;
+        let f2: &dyn Fn(&(f64, f64)) -> f64 = &|p| p.1;
+        assert_eq!(pareto_front(&pts, &[f1, f2]).len(), 2);
+    }
+
+    #[test]
+    fn single_objective_keeps_minimum_only() {
+        let pts = vec![3.0, 1.0, 2.0];
+        let f: &dyn Fn(&f64) -> f64 = &|x| *x;
+        assert_eq!(pareto_front(&pts, &[f]), vec![1]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_front() {
+        let pts: Vec<f64> = vec![];
+        let f: &dyn Fn(&f64) -> f64 = &|x| *x;
+        assert!(pareto_front(&pts, &[f]).is_empty());
+    }
+
+    #[test]
+    fn front_members_are_mutually_non_dominated() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = (i * 7 % 50) as f64;
+                let y = (i * 13 % 50) as f64;
+                (x, y)
+            })
+            .collect();
+        let f1: &dyn Fn(&(f64, f64)) -> f64 = &|p| p.0;
+        let f2: &dyn Fn(&(f64, f64)) -> f64 = &|p| p.1;
+        let front = pareto_front(&pts, &[f1, f2]);
+        for &i in &front {
+            for &j in &front {
+                if i == j {
+                    continue;
+                }
+                let dom = pts[j].0 <= pts[i].0
+                    && pts[j].1 <= pts[i].1
+                    && (pts[j].0 < pts[i].0 || pts[j].1 < pts[i].1);
+                assert!(!dom, "{j} dominates {i} inside the front");
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Min-cut k-way partitioning of the core communication graph.
+//!
+//! SunFloor (\[11\]) clusters cores so that heavily communicating cores
+//! share a switch, minimizing inter-switch traffic. This module provides
+//! a deterministic greedy seeding + Kernighan–Lin-style refinement.
+
+use noc_spec::units::BitsPerSecond;
+use noc_spec::{AppSpec, CoreId};
+use std::collections::BTreeMap;
+
+/// A k-way partition: `cluster_of[i]` is the cluster of core `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Cluster index per core (indexed by `CoreId.0`).
+    pub cluster_of: Vec<usize>,
+    /// Number of clusters.
+    pub clusters: usize,
+}
+
+impl Partition {
+    /// Cores in each cluster.
+    pub fn members(&self) -> Vec<Vec<CoreId>> {
+        let mut out = vec![Vec::new(); self.clusters];
+        for (i, &c) in self.cluster_of.iter().enumerate() {
+            out[c].push(CoreId(i));
+        }
+        out
+    }
+
+    /// Total bandwidth crossing cluster boundaries.
+    pub fn cut_bandwidth(&self, spec: &AppSpec) -> BitsPerSecond {
+        spec.flows()
+            .iter()
+            .filter(|f| self.cluster_of[f.src.0] != self.cluster_of[f.dst.0])
+            .map(|f| f.bandwidth)
+            .sum()
+    }
+
+    /// Largest cluster size.
+    pub fn max_cluster_size(&self) -> usize {
+        self.members().iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Symmetric core-to-core traffic matrix (requests + responses summed in
+/// both directions).
+fn affinity(spec: &AppSpec) -> BTreeMap<(usize, usize), u64> {
+    let mut m = BTreeMap::new();
+    for f in spec.flows() {
+        let (a, b) = (f.src.0.min(f.dst.0), f.src.0.max(f.dst.0));
+        *m.entry((a, b)).or_insert(0u64) += f.bandwidth.raw();
+    }
+    m
+}
+
+/// Partitions the cores of `spec` into `k` clusters with bounded size,
+/// minimizing the bandwidth cut.
+///
+/// The size bound is `ceil(n/k) + slack`; a switch can only host so many
+/// NIs before its radix breaks routability (Fig. 2), so balance matters.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n`.
+pub fn partition(spec: &AppSpec, k: usize, slack: usize) -> Partition {
+    let n = spec.cores().len();
+    assert!(k > 0 && k <= n, "cluster count {k} out of range 1..={n}");
+    let max_size = n.div_ceil(k) + slack;
+    let aff = affinity(spec);
+    let pair_bw = |a: usize, b: usize| -> u64 {
+        *aff.get(&(a.min(b), a.max(b))).unwrap_or(&0)
+    };
+
+    // Seeds: the k cores with the highest total traffic, which tend to be
+    // the hubs (memories, DMA targets).
+    let mut volume: Vec<(u64, usize)> = (0..n)
+        .map(|i| {
+            let v: u64 = (0..n).map(|j| pair_bw(i, j)).sum();
+            (v, i)
+        })
+        .collect();
+    volume.sort_unstable_by(|a, b| b.cmp(a));
+    let mut cluster_of = vec![usize::MAX; n];
+    for (c, &(_, core)) in volume.iter().take(k).enumerate() {
+        cluster_of[core] = c;
+    }
+    let mut sizes = vec![1usize; k];
+
+    // Greedy assignment: repeatedly place the unassigned core with the
+    // strongest attraction to any non-full cluster.
+    loop {
+        let mut best: Option<(u64, usize, usize)> = None; // (gain, core, cluster)
+        for i in 0..n {
+            if cluster_of[i] != usize::MAX {
+                continue;
+            }
+            for c in 0..k {
+                if sizes[c] >= max_size {
+                    continue;
+                }
+                let gain: u64 = (0..n)
+                    .filter(|&j| cluster_of[j] == c)
+                    .map(|j| pair_bw(i, j))
+                    .sum();
+                let cand = (gain, i, c);
+                if best.map_or(true, |b| cand > b) {
+                    best = Some(cand);
+                }
+            }
+        }
+        match best {
+            Some((_, core, cluster)) => {
+                cluster_of[core] = cluster;
+                sizes[cluster] += 1;
+            }
+            None => break,
+        }
+    }
+    debug_assert!(cluster_of.iter().all(|&c| c != usize::MAX));
+
+    // KL-style refinement: move single cores while the cut improves.
+    let mut part = Partition {
+        cluster_of,
+        clusters: k,
+    };
+    for _pass in 0..4 {
+        let mut improved = false;
+        for i in 0..n {
+            let cur = part.cluster_of[i];
+            if part.members()[cur].len() <= 1 {
+                continue; // never empty a cluster
+            }
+            // External attraction per cluster.
+            let mut attraction = vec![0u64; k];
+            for j in 0..n {
+                if j != i {
+                    attraction[part.cluster_of[j]] += pair_bw(i, j);
+                }
+            }
+            let (best_c, best_a) = attraction
+                .iter()
+                .enumerate()
+                .max_by_key(|&(c, a)| (*a, usize::MAX - c))
+                .expect("k >= 1");
+            if best_c != cur
+                && *best_a > attraction[cur]
+                && part.members()[best_c].len() < max_size
+            {
+                part.cluster_of[i] = best_c;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    part
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_spec::core::{Core, CoreRole};
+    use noc_spec::presets;
+    use noc_spec::TrafficFlow;
+
+    /// Two obvious 3-core communities joined by one thin flow.
+    fn two_communities() -> AppSpec {
+        let mut b = AppSpec::builder("two_comm");
+        let cores: Vec<CoreId> = (0..6)
+            .map(|i| b.add_core(Core::new(format!("c{i}"), CoreRole::MasterSlave)))
+            .collect();
+        let fat = BitsPerSecond::from_mbps(1000);
+        let thin = BitsPerSecond::from_mbps(1);
+        for &(a, z) in &[(0, 1), (1, 2), (0, 2)] {
+            b.add_flow(TrafficFlow::new(cores[a], cores[z], fat));
+        }
+        for &(a, z) in &[(3, 4), (4, 5), (3, 5)] {
+            b.add_flow(TrafficFlow::new(cores[a], cores[z], fat));
+        }
+        b.add_flow(TrafficFlow::new(cores[2], cores[3], thin));
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn finds_natural_communities() {
+        let spec = two_communities();
+        let p = partition(&spec, 2, 0);
+        let groups = p.members();
+        assert_eq!(groups.len(), 2);
+        // Cores 0-2 together, 3-5 together.
+        let c0 = p.cluster_of[0];
+        assert_eq!(p.cluster_of[1], c0);
+        assert_eq!(p.cluster_of[2], c0);
+        let c3 = p.cluster_of[3];
+        assert_ne!(c3, c0);
+        assert_eq!(p.cluster_of[4], c3);
+        assert_eq!(p.cluster_of[5], c3);
+        // Only the thin link is cut.
+        assert_eq!(p.cut_bandwidth(&spec), BitsPerSecond::from_mbps(1));
+    }
+
+    #[test]
+    fn respects_size_bound() {
+        let spec = presets::mobile_multimedia_soc();
+        for k in [2, 4, 6] {
+            let p = partition(&spec, k, 1);
+            let bound = spec.cores().len().div_ceil(k) + 1;
+            assert!(
+                p.max_cluster_size() <= bound,
+                "k={k}: {} > {bound}",
+                p.max_cluster_size()
+            );
+            // No cluster is empty.
+            assert!(p.members().iter().all(|m| !m.is_empty()), "k={k}");
+        }
+    }
+
+    #[test]
+    fn one_cluster_has_zero_cut() {
+        let spec = two_communities();
+        let p = partition(&spec, 1, 0);
+        assert_eq!(p.cut_bandwidth(&spec), BitsPerSecond::ZERO);
+    }
+
+    #[test]
+    fn n_clusters_cuts_everything() {
+        let spec = two_communities();
+        let p = partition(&spec, 6, 0);
+        assert_eq!(p.cut_bandwidth(&spec), spec.total_bandwidth());
+    }
+
+    #[test]
+    fn more_clusters_never_reduce_below_natural_cut() {
+        let spec = presets::mobile_multimedia_soc();
+        let cut2 = partition(&spec, 2, 1).cut_bandwidth(&spec);
+        let cut8 = partition(&spec, 8, 1).cut_bandwidth(&spec);
+        assert!(cut8.raw() >= cut2.raw(), "finer partitions cut more");
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = presets::mobile_multimedia_soc();
+        assert_eq!(partition(&spec, 5, 1), partition(&spec, 5, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_clusters_panics() {
+        let _ = partition(&two_communities(), 0, 0);
+    }
+}

@@ -1,0 +1,695 @@
+//! SunFloor-style application-specific topology synthesis (\[11\], \[12\]).
+//!
+//! For each switch count in a sweep, the cores are min-cut partitioned
+//! into clusters (one switch each), inter-switch links are opened lazily
+//! while routing flows in decreasing bandwidth order over a
+//! floorplan-aware cost graph, every path is admitted only if the
+//! per-class channel dependency graph stays acyclic (falling back to a
+//! provably safe direct link), link capacities are enforced, the NoC is
+//! inserted into the floorplan to obtain wire lengths and pipeline
+//! depths, and the resulting design points are Pareto-filtered on
+//! (power, latency).
+
+use crate::error::SynthError;
+use crate::eval::{evaluate, DesignMetrics};
+use crate::partition::{partition, Partition};
+use crate::pareto::pareto_front;
+use noc_floorplan::core_plan::CoreFloorplan;
+use noc_floorplan::incremental::{insert_noc, NocPlacement};
+use noc_power::link_model::LinkModel;
+use noc_power::technology::TechNode;
+use noc_spec::units::{BitsPerSecond, Hertz};
+use noc_spec::{AppSpec, MessageClass};
+use noc_topology::deadlock::assert_deadlock_free;
+use noc_topology::graph::{LinkId, NiRole, NodeId, Topology};
+use noc_topology::routing::{Route, RouteSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Synthesis sweep configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisConfig {
+    /// Smallest switch count to try.
+    pub min_switches: usize,
+    /// Largest switch count to try.
+    pub max_switches: usize,
+    /// Flit width of every link (the single-width default; see
+    /// [`SynthesisConfig::widths`]).
+    pub flit_width: u32,
+    /// Optional link-width sweep: when non-empty, every width is tried
+    /// and the Pareto filter sees all of them ("architectural parameters
+    /// (such as frequency of operation, link width)", §6). Empty means
+    /// `[flit_width]`.
+    pub widths: Vec<u32>,
+    /// Candidate network clocks (the paper's tool sweeps "architectural
+    /// parameters (such as frequency of operation, link width)").
+    pub clocks: Vec<Hertz>,
+    /// Maximum link load / capacity ratio admitted (headroom for bursts).
+    pub utilization_cap: f64,
+    /// Technology node for characterization.
+    pub tech: TechNode,
+    /// Partition size slack (see [`partition`]).
+    pub cluster_slack: usize,
+    /// Seed for the internal floorplanner when none is provided.
+    pub seed: u64,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> SynthesisConfig {
+        SynthesisConfig {
+            min_switches: 2,
+            max_switches: 8,
+            flit_width: 32,
+            widths: Vec::new(),
+            clocks: vec![
+                Hertz::from_mhz(400),
+                Hertz::from_mhz(650),
+                Hertz::from_mhz(900),
+            ],
+            utilization_cap: 0.75,
+            tech: TechNode::NM65,
+            cluster_slack: 1,
+            seed: 0xF100F,
+        }
+    }
+}
+
+/// One synthesized design point.
+#[derive(Debug, Clone)]
+pub struct SynthesizedDesign {
+    /// The custom topology.
+    pub topology: Topology,
+    /// Source routes for every traffic endpoint pair.
+    pub routes: RouteSet,
+    /// Aggregate bandwidth demand per NI endpoint pair.
+    pub demands: BTreeMap<(NodeId, NodeId), BitsPerSecond>,
+    /// NoC component placement (when a floorplan was used).
+    pub placement: Option<NocPlacement>,
+    /// Operating clock.
+    pub clock: Hertz,
+    /// Link width of the design, in bits.
+    pub flit_width: u32,
+    /// Switch count of the design.
+    pub switch_count: usize,
+    /// Evaluated metrics.
+    pub metrics: DesignMetrics,
+    /// Core-to-cluster assignment.
+    pub cluster_of_core: Vec<usize>,
+}
+
+/// The injecting/ejecting NI roles of a flow (requests initiator→target,
+/// responses target→initiator).
+fn endpoint_roles(class: MessageClass) -> (NiRole, NiRole) {
+    match class {
+        MessageClass::Request => (NiRole::Initiator, NiRole::Target),
+        MessageClass::Response => (NiRole::Target, NiRole::Initiator),
+    }
+}
+
+/// Builder state for one candidate topology.
+struct Builder<'a> {
+    spec: &'a AppSpec,
+    cfg: &'a SynthesisConfig,
+    topo: Topology,
+    switch_of_cluster: Vec<NodeId>,
+    cluster_of_core: Vec<usize>,
+    /// Existing inter-cluster links (per ordered pair), with loads.
+    inter: BTreeMap<(usize, usize), Vec<LinkId>>,
+    load: BTreeMap<LinkId, u64>,
+    /// Route sets per message class (virtual networks).
+    request_routes: RouteSet,
+    response_routes: RouteSet,
+    /// Inter-cluster distances (floorplan-aware).
+    dist: Vec<Vec<f64>>,
+    capacity_bits: u64,
+}
+
+impl<'a> Builder<'a> {
+    fn new(
+        spec: &'a AppSpec,
+        cfg: &'a SynthesisConfig,
+        part: &Partition,
+        floorplan: &CoreFloorplan,
+        clock: Hertz,
+    ) -> Builder<'a> {
+        let k = part.clusters;
+        let mut topo = Topology::new(format!("{}_s{}", spec.name(), k));
+        let switch_of_cluster: Vec<NodeId> = (0..k)
+            .map(|c| topo.add_switch(format!("sw{c}")))
+            .collect();
+        for (id, core) in spec.core_ids() {
+            let sw = switch_of_cluster[part.cluster_of[id.0]];
+            if core.role.is_master() {
+                let ni = topo.add_ni(format!("ni_i_{}", core.name), id, NiRole::Initiator);
+                topo.connect_duplex(ni, sw, cfg.flit_width)
+                    .expect("fresh nodes");
+            }
+            if core.role.is_slave() {
+                let ni = topo.add_ni(format!("ni_t_{}", core.name), id, NiRole::Target);
+                topo.connect_duplex(ni, sw, cfg.flit_width)
+                    .expect("fresh nodes");
+            }
+        }
+        // Cluster centroid distances from the floorplan.
+        let members = part.members();
+        let centroid = |cores: &[noc_spec::CoreId]| -> (f64, f64) {
+            let mut x = 0.0;
+            let mut y = 0.0;
+            let mut n = 0.0;
+            for &c in cores {
+                if let Some(r) = floorplan.placement(c) {
+                    let (cx, cy) = r.center();
+                    x += cx.raw();
+                    y += cy.raw();
+                    n += 1.0;
+                }
+            }
+            if n > 0.0 {
+                (x / n, y / n)
+            } else {
+                (0.0, 0.0)
+            }
+        };
+        let centers: Vec<(f64, f64)> = members.iter().map(|m| centroid(m)).collect();
+        let dist: Vec<Vec<f64>> = (0..k)
+            .map(|i| {
+                (0..k)
+                    .map(|j| {
+                        let d = (centers[i].0 - centers[j].0).abs()
+                            + (centers[i].1 - centers[j].1).abs();
+                        d.max(1.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        Builder {
+            spec,
+            cfg,
+            topo,
+            switch_of_cluster,
+            cluster_of_core: part.cluster_of.clone(),
+            inter: BTreeMap::new(),
+            load: BTreeMap::new(),
+            request_routes: RouteSet::new(),
+            response_routes: RouteSet::new(),
+            dist,
+            capacity_bits: (BitsPerSecond::of_link(cfg.flit_width, clock).raw() as f64
+                * cfg.utilization_cap) as u64,
+        }
+    }
+
+    /// An existing link from cluster `a` to `b` with at least `bw` spare
+    /// capacity.
+    fn usable_link(&self, a: usize, b: usize, bw: u64) -> Option<LinkId> {
+        self.inter.get(&(a, b)).and_then(|links| {
+            links
+                .iter()
+                .copied()
+                .find(|l| self.load.get(l).copied().unwrap_or(0) + bw <= self.capacity_bits)
+        })
+    }
+
+    /// Opens a new link from cluster `a` to `b`.
+    fn open_link(&mut self, a: usize, b: usize) -> LinkId {
+        let l = self
+            .topo
+            .connect(
+                self.switch_of_cluster[a],
+                self.switch_of_cluster[b],
+                self.cfg.flit_width,
+            )
+            .expect("switches exist and differ");
+        self.inter.entry((a, b)).or_default().push(l);
+        l
+    }
+
+    /// Min-cost cluster path from `src` to `dst` for a flow of `bw`
+    /// bits/s. Existing links with spare capacity cost their distance;
+    /// opening a new link costs `distance × OPEN_PENALTY`.
+    fn cluster_path(&self, src: usize, dst: usize, bw: u64) -> Vec<usize> {
+        const OPEN_PENALTY: f64 = 2.5;
+        let k = self.switch_of_cluster.len();
+        let mut best = vec![f64::INFINITY; k];
+        let mut prev = vec![usize::MAX; k];
+        let mut done = vec![false; k];
+        best[src] = 0.0;
+        for _ in 0..k {
+            let u = (0..k)
+                .filter(|&i| !done[i] && best[i].is_finite())
+                .min_by(|&a, &b| best[a].total_cmp(&best[b]));
+            let Some(u) = u else { break };
+            done[u] = true;
+            if u == dst {
+                break;
+            }
+            for v in 0..k {
+                if v == u || done[v] {
+                    continue;
+                }
+                let w = if self.usable_link(u, v, bw).is_some() {
+                    self.dist[u][v]
+                } else {
+                    self.dist[u][v] * OPEN_PENALTY
+                };
+                if best[u] + w < best[v] {
+                    best[v] = best[u] + w;
+                    prev[v] = u;
+                }
+            }
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = prev[cur];
+            debug_assert_ne!(cur, usize::MAX, "complete graphs are connected");
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Materializes the route for a cluster path, opening links as
+    /// needed and accounting load.
+    fn realize(
+        &mut self,
+        src_ni: NodeId,
+        dst_ni: NodeId,
+        cluster_path: &[usize],
+        bw: u64,
+    ) -> Route {
+        let mut links = Vec::with_capacity(cluster_path.len() + 1);
+        let first_sw = self.switch_of_cluster[cluster_path[0]];
+        links.push(
+            self.topo
+                .find_link(src_ni, first_sw)
+                .expect("NI is attached to its cluster switch"),
+        );
+        for w in cluster_path.windows(2) {
+            let l = match self.usable_link(w[0], w[1], bw) {
+                Some(l) => l,
+                None => self.open_link(w[0], w[1]),
+            };
+            links.push(l);
+        }
+        let last_sw = self.switch_of_cluster[*cluster_path.last().expect("nonempty")];
+        links.push(
+            self.topo
+                .find_link(last_sw, dst_ni)
+                .expect("NI is attached to its cluster switch"),
+        );
+        for &l in &links {
+            *self.load.entry(l).or_insert(0) += bw;
+        }
+        Route::new(links)
+    }
+
+    /// Routes one endpoint pair, keeping the class CDG acyclic.
+    fn route_pair(
+        &mut self,
+        class: MessageClass,
+        src_ni: NodeId,
+        dst_ni: NodeId,
+        bw: u64,
+    ) -> Result<(), SynthError> {
+        let src_cluster = self.cluster_of(src_ni);
+        let dst_cluster = self.cluster_of(dst_ni);
+        if bw > self.capacity_bits {
+            return Err(SynthError::FlowExceedsLinkCapacity);
+        }
+        let candidate_path = self.cluster_path(src_cluster, dst_cluster, bw);
+        let route = self.realize(src_ni, dst_ni, &candidate_path, bw);
+        let set = match class {
+            MessageClass::Request => &mut self.request_routes,
+            MessageClass::Response => &mut self.response_routes,
+        };
+        set.insert(src_ni, dst_ni, route.clone());
+        let set_ref = match class {
+            MessageClass::Request => &self.request_routes,
+            MessageClass::Response => &self.response_routes,
+        };
+        if assert_deadlock_free(&self.topo, set_ref).is_ok() {
+            return Ok(());
+        }
+        // Roll back and fall back to the provably safe direct link (one
+        // switch-to-switch hop adds no SS→SS dependency).
+        for &l in &route.links {
+            *self.load.get_mut(&l).expect("accounted above") -= bw;
+        }
+        let direct_path = vec![src_cluster, dst_cluster];
+        let direct = if src_cluster == dst_cluster {
+            self.realize(src_ni, dst_ni, &[src_cluster], bw)
+        } else {
+            self.realize(src_ni, dst_ni, &direct_path, bw)
+        };
+        let set = match class {
+            MessageClass::Request => &mut self.request_routes,
+            MessageClass::Response => &mut self.response_routes,
+        };
+        set.insert(src_ni, dst_ni, direct);
+        let set_ref = match class {
+            MessageClass::Request => &self.request_routes,
+            MessageClass::Response => &self.response_routes,
+        };
+        debug_assert!(
+            assert_deadlock_free(&self.topo, set_ref).is_ok(),
+            "direct links cannot close CDG cycles"
+        );
+        Ok(())
+    }
+
+    fn cluster_of(&self, ni: NodeId) -> usize {
+        let core = self.topo.node(ni).core().expect("NIs carry cores");
+        self.cluster_of_core[core.0]
+    }
+
+    /// Drives synthesis for every traffic pair of the spec.
+    fn route_all(&mut self) -> Result<(), SynthError> {
+        // Aggregate demands per (class, src NI, dst NI), inflated by the
+        // packetization header overhead so capacity checks see the real
+        // flit bandwidth the NIs will emit.
+        let mut demands: BTreeMap<(MessageClass, NodeId, NodeId), u64> = BTreeMap::new();
+        for flow in self.spec.flows() {
+            let (sr, dr) = endpoint_roles(flow.class);
+            let src_ni = self
+                .topo
+                .ni_of(flow.src, sr)
+                .ok_or(SynthError::MissingNi { core: flow.src })?;
+            let dst_ni = self
+                .topo
+                .ni_of(flow.dst, dr)
+                .ok_or(SynthError::MissingNi { core: flow.dst })?;
+            let overhead = flow.kind.header_overhead(self.cfg.flit_width);
+            *demands.entry((flow.class, src_ni, dst_ni)).or_insert(0) +=
+                (flow.bandwidth.raw() as f64 * overhead) as u64;
+        }
+        // Heaviest pairs first, so hubs get short direct connections.
+        let mut order: Vec<((MessageClass, NodeId, NodeId), u64)> =
+            demands.into_iter().collect();
+        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .1.cmp(&b.0 .1)).then(a.0 .2.cmp(&b.0 .2)));
+        for ((class, src_ni, dst_ni), bw) in order {
+            self.route_pair(class, src_ni, dst_ni, bw)?;
+        }
+        Ok(())
+    }
+
+    /// Guarantees strong connectivity of the fabric: traffic only opens
+    /// the links routes need, so one-directional communication patterns
+    /// can leave switch pairs unreachable. Real flows need a connected
+    /// fabric for configuration, test and reconfiguration traffic
+    /// (§1: reconfigurable NoCs "support component redundancy in a
+    /// transparent fashion"), so a minimal duplex chain is added across
+    /// consecutive clusters. The chain carries no application routes and
+    /// therefore cannot create CDG cycles.
+    fn ensure_backbone(&mut self) {
+        let k = self.switch_of_cluster.len();
+        for i in 0..k.saturating_sub(1) {
+            if self.usable_link_any(i, i + 1).is_none() {
+                self.open_link(i, i + 1);
+            }
+            if self.usable_link_any(i + 1, i).is_none() {
+                self.open_link(i + 1, i);
+            }
+        }
+    }
+
+    /// Any existing link from cluster `a` to `b`, regardless of load.
+    fn usable_link_any(&self, a: usize, b: usize) -> Option<LinkId> {
+        self.inter.get(&(a, b)).and_then(|v| v.first().copied())
+    }
+
+    /// Merged route set + demand map for evaluation/simulation.
+    fn finish(self) -> (Topology, RouteSet, BTreeMap<(NodeId, NodeId), BitsPerSecond>, Vec<usize>) {
+        let mut routes = RouteSet::new();
+        for (&(f, t), r) in self.request_routes.iter() {
+            routes.insert(f, t, r.clone());
+        }
+        for (&(f, t), r) in self.response_routes.iter() {
+            routes.insert(f, t, r.clone());
+        }
+        let mut demands: BTreeMap<(NodeId, NodeId), BitsPerSecond> = BTreeMap::new();
+        for flow in self.spec.flows() {
+            let (sr, dr) = endpoint_roles(flow.class);
+            let src_ni = self.topo.ni_of(flow.src, sr).expect("routed above");
+            let dst_ni = self.topo.ni_of(flow.dst, dr).expect("routed above");
+            let overhead = flow.kind.header_overhead(self.cfg.flit_width);
+            *demands
+                .entry((src_ni, dst_ni))
+                .or_insert(BitsPerSecond::ZERO) +=
+                BitsPerSecond((flow.bandwidth.raw() as f64 * overhead) as u64);
+        }
+        (self.topo, routes, demands, self.cluster_of_core)
+    }
+}
+
+/// Synthesizes the Pareto set of custom topologies for `spec`.
+///
+/// When `floorplan` is `None`, one is computed from the spec (with
+/// `cfg.seed`) — the flow of Fig. 6 takes the floorplan as an *optional*
+/// input but always ends up physically aware.
+///
+/// # Errors
+///
+/// [`SynthError::NoFeasibleDesign`] if no (switch count, clock) pair
+/// meets the bandwidth, frequency and routability constraints, or other
+/// [`SynthError`]s on malformed inputs.
+pub fn synthesize(
+    spec: &AppSpec,
+    floorplan: Option<&CoreFloorplan>,
+    cfg: &SynthesisConfig,
+) -> Result<Vec<SynthesizedDesign>, SynthError> {
+    if spec.cores().is_empty() {
+        return Err(SynthError::EmptySpec);
+    }
+    let computed;
+    let fp: &CoreFloorplan = match floorplan {
+        Some(f) => f,
+        None => {
+            computed = CoreFloorplan::from_spec(spec, cfg.seed);
+            &computed
+        }
+    };
+    let link_model = LinkModel::new(cfg.tech);
+    let max_k = cfg.max_switches.min(spec.cores().len());
+    let min_k = cfg.min_switches.clamp(1, max_k);
+    let widths: Vec<u32> = if cfg.widths.is_empty() {
+        vec![cfg.flit_width]
+    } else {
+        cfg.widths.clone()
+    };
+    let mut designs: Vec<SynthesizedDesign> = Vec::new();
+    for k in min_k..=max_k {
+        let part = partition(spec, k, cfg.cluster_slack);
+        for &width in &widths {
+            let mut width_cfg = cfg.clone();
+            width_cfg.flit_width = width;
+            for &clock in &cfg.clocks {
+                let mut builder = Builder::new(spec, &width_cfg, &part, fp, clock);
+                if builder.route_all().is_err() {
+                    continue;
+                }
+                builder.ensure_backbone();
+                let (mut topo, routes, demands, cluster_of_core) = builder.finish();
+                // Physical insertion: wire lengths → pipeline stages.
+                let placement = insert_noc(fp, &topo);
+                let link_ids: Vec<LinkId> = topo.link_ids().map(|(id, _)| id).collect();
+                for id in link_ids {
+                    if let Some(len) = placement.link_length(id) {
+                        topo.set_pipeline_stages(id, link_model.pipeline_stages(len, clock));
+                    }
+                }
+                let metrics = evaluate(
+                    &topo,
+                    &routes,
+                    &demands,
+                    Some(&placement),
+                    clock,
+                    cfg.tech,
+                    width,
+                );
+                if !metrics.is_feasible(cfg.utilization_cap) {
+                    continue;
+                }
+                designs.push(SynthesizedDesign {
+                    topology: topo,
+                    routes,
+                    demands,
+                    placement: Some(placement),
+                    clock,
+                    flit_width: width,
+                    switch_count: k,
+                    metrics,
+                    cluster_of_core,
+                });
+            }
+        }
+    }
+    if designs.is_empty() {
+        return Err(SynthError::NoFeasibleDesign);
+    }
+    let power: &dyn Fn(&SynthesizedDesign) -> f64 = &|d| d.metrics.power.raw();
+    let latency: &dyn Fn(&SynthesizedDesign) -> f64 = &|d| d.metrics.mean_latency_cycles;
+    let front = pareto_front(&designs, &[power, latency]);
+    let mut out: Vec<SynthesizedDesign> = Vec::with_capacity(front.len());
+    for (i, d) in designs.into_iter().enumerate() {
+        if front.contains(&i) {
+            out.push(d);
+        }
+    }
+    Ok(out)
+}
+
+/// Synthesizes and returns the minimum-power Pareto point.
+///
+/// # Errors
+///
+/// Propagates [`synthesize`]'s errors.
+pub fn synthesize_min_power(
+    spec: &AppSpec,
+    floorplan: Option<&CoreFloorplan>,
+    cfg: &SynthesisConfig,
+) -> Result<SynthesizedDesign, SynthError> {
+    let mut designs = synthesize(spec, floorplan, cfg)?;
+    designs.sort_by(|a, b| a.metrics.power.raw().total_cmp(&b.metrics.power.raw()));
+    Ok(designs.remove(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_spec::presets;
+    use noc_topology::deadlock::assert_message_deadlock_free;
+
+    fn quick_cfg() -> SynthesisConfig {
+        SynthesisConfig {
+            min_switches: 2,
+            max_switches: 5,
+            clocks: vec![Hertz::from_mhz(650)],
+            ..SynthesisConfig::default()
+        }
+    }
+
+    #[test]
+    fn synthesizes_tiny_quad() {
+        let spec = presets::tiny_quad();
+        let designs = synthesize(&spec, None, &quick_cfg()).expect("feasible");
+        assert!(!designs.is_empty());
+        for d in &designs {
+            d.topology.validate().expect("well-formed");
+            d.routes.validate(&d.topology).expect("routes are contiguous");
+            assert!(d.metrics.is_feasible(0.75));
+            // Every demand pair has a route.
+            for pair in d.demands.keys() {
+                assert!(d.routes.get(pair.0, pair.1).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn designs_are_deadlock_free_per_class() {
+        let spec = presets::mobile_multimedia_soc();
+        let designs = synthesize(&spec, None, &quick_cfg()).expect("feasible");
+        for d in &designs {
+            // Split routes by class (requests start at initiator NIs).
+            let mut req = RouteSet::new();
+            let mut resp = RouteSet::new();
+            for (&(f, t), r) in d.routes.iter() {
+                match d.topology.node(f).kind {
+                    noc_topology::graph::NodeKind::Ni {
+                        role: NiRole::Initiator,
+                        ..
+                    } => {
+                        req.insert(f, t, r.clone());
+                    }
+                    _ => {
+                        resp.insert(f, t, r.clone());
+                    }
+                }
+            }
+            assert_message_deadlock_free(&d.topology, &req, &resp, true)
+                .expect("synthesis guarantees per-class acyclic CDGs");
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_non_dominated() {
+        let spec = presets::mobile_multimedia_soc();
+        let mut cfg = quick_cfg();
+        cfg.clocks = vec![Hertz::from_mhz(400), Hertz::from_mhz(900)];
+        let designs = synthesize(&spec, None, &cfg).expect("feasible");
+        for a in &designs {
+            for b in &designs {
+                let dom = b.metrics.power.raw() <= a.metrics.power.raw()
+                    && b.metrics.mean_latency_cycles <= a.metrics.mean_latency_cycles
+                    && (b.metrics.power.raw() < a.metrics.power.raw()
+                        || b.metrics.mean_latency_cycles < a.metrics.mean_latency_cycles);
+                assert!(!dom || std::ptr::eq(a, b), "front contains dominated point");
+            }
+        }
+    }
+
+    #[test]
+    fn min_power_is_minimum() {
+        let spec = presets::tiny_quad();
+        let best = synthesize_min_power(&spec, None, &quick_cfg()).expect("feasible");
+        let all = synthesize(&spec, None, &quick_cfg()).expect("feasible");
+        assert!(all
+            .iter()
+            .all(|d| d.metrics.power.raw() >= best.metrics.power.raw()));
+    }
+
+    #[test]
+    fn infeasible_when_clock_too_slow() {
+        let spec = presets::mobile_multimedia_soc();
+        let mut cfg = quick_cfg();
+        // 10 MHz x 32 bit = 320 Mb/s links cannot carry multi-Gb/s flows.
+        cfg.clocks = vec![Hertz::from_mhz(10)];
+        assert!(matches!(
+            synthesize(&spec, None, &cfg),
+            Err(SynthError::NoFeasibleDesign)
+        ));
+    }
+
+    #[test]
+    fn respects_switch_count_sweep() {
+        let spec = presets::bone_mpsoc();
+        let mut cfg = quick_cfg();
+        cfg.min_switches = 3;
+        cfg.max_switches = 4;
+        let designs = synthesize(&spec, None, &cfg).expect("feasible");
+        assert!(designs
+            .iter()
+            .all(|d| d.switch_count >= 3 && d.switch_count <= 4));
+    }
+
+    #[test]
+    fn width_sweep_produces_multiple_widths() {
+        let spec = presets::mobile_multimedia_soc();
+        let mut cfg = quick_cfg();
+        cfg.widths = vec![32, 64];
+        let designs = synthesize(&spec, None, &cfg).expect("feasible");
+        // Both widths were explored; at least one survives the Pareto
+        // filter, and every surviving design carries a swept width.
+        assert!(designs.iter().all(|d| d.flit_width == 32 || d.flit_width == 64));
+        // Narrow links cost less power at the same radix, so 32-bit
+        // points should survive for this moderate-bandwidth SoC.
+        assert!(designs.iter().any(|d| d.flit_width == 32));
+    }
+
+    #[test]
+    fn custom_beats_nothing_sanity_power_positive() {
+        let spec = presets::faust_telecom();
+        // 23 cores want more switches / a slower clock than the tiny
+        // default sweep (switch radix vs frequency, Fig. 2).
+        let cfg = SynthesisConfig {
+            min_switches: 6,
+            max_switches: 10,
+            clocks: vec![Hertz::from_mhz(500)],
+            ..SynthesisConfig::default()
+        };
+        let designs = synthesize(&spec, None, &cfg).expect("feasible");
+        for d in designs {
+            assert!(d.metrics.power.raw() > 0.0);
+            assert!(d.metrics.total_wirelength.raw() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the synthesis engine over randomly generated
+//! (but role-consistent) application specifications.
+
+use noc_spec::app::AppSpec;
+use noc_spec::core::{Core, CoreRole};
+use noc_spec::traffic::TrafficFlow;
+use noc_spec::units::{BitsPerSecond, Hertz};
+use noc_spec::CoreId;
+use noc_synth::partition::partition;
+use noc_synth::sunfloor::{synthesize, SynthesisConfig};
+use noc_topology::deadlock::assert_deadlock_free;
+use noc_topology::graph::{NiRole, NodeKind};
+use noc_topology::routing::RouteSet;
+use proptest::prelude::*;
+
+/// Random role-consistent spec: n cores (first ceil(n/2) masters, rest
+/// slaves) with master→slave flows.
+fn arb_spec() -> impl Strategy<Value = AppSpec> {
+    (3usize..10, prop::collection::vec((0usize..10, 0usize..10, 10u64..2_000), 2..16))
+        .prop_filter_map("needs at least one valid flow", |(n, raw_flows)| {
+            let masters = n.div_ceil(2);
+            let mut b = AppSpec::builder("prop");
+            for i in 0..n {
+                let role = if i < masters { CoreRole::Master } else { CoreRole::Slave };
+                b.add_core(Core::new(format!("c{i}"), role));
+            }
+            let mut added = 0;
+            for (s, d, mbps) in raw_flows {
+                let s = s % masters;
+                let d = masters + d % (n - masters);
+                b.add_flow(TrafficFlow::new(
+                    CoreId(s),
+                    CoreId(d),
+                    BitsPerSecond::from_mbps(mbps),
+                ));
+                added += 1;
+            }
+            if added == 0 {
+                return None;
+            }
+            b.build().ok()
+        })
+}
+
+fn cfg() -> SynthesisConfig {
+    SynthesisConfig {
+        min_switches: 1,
+        max_switches: 3,
+        clocks: vec![Hertz::from_mhz(650)],
+        ..SynthesisConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every synthesized design is structurally sound: connected,
+    /// validated, all demands routed, per-class deadlock-free, feasible.
+    #[test]
+    fn synthesis_invariants_hold_for_random_specs(spec in arb_spec()) {
+        // Random specs can legitimately oversubscribe a single NI link
+        // (several heavy flows sharing one endpoint pair) — those are
+        // correctly rejected and skipped here.
+        let designs = match synthesize(&spec, None, &cfg()) {
+            Ok(d) => d,
+            Err(noc_synth::error::SynthError::NoFeasibleDesign) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        };
+        prop_assert!(!designs.is_empty());
+        for d in &designs {
+            d.topology.validate().expect("well-formed");
+            prop_assert!(d.topology.is_connected());
+            d.routes.validate(&d.topology).expect("routes contiguous");
+            for pair in d.demands.keys() {
+                prop_assert!(d.routes.get(pair.0, pair.1).is_some());
+            }
+            prop_assert!(d.metrics.is_feasible(0.75));
+            // Split per class and check CDG acyclicity.
+            let mut req = RouteSet::new();
+            let mut resp = RouteSet::new();
+            for (&(f, t), r) in d.routes.iter() {
+                match d.topology.node(f).kind {
+                    NodeKind::Ni { role: NiRole::Initiator, .. } => {
+                        req.insert(f, t, r.clone());
+                    }
+                    _ => {
+                        resp.insert(f, t, r.clone());
+                    }
+                }
+            }
+            assert_deadlock_free(&d.topology, &req).expect("request net acyclic");
+            assert_deadlock_free(&d.topology, &resp).expect("response net acyclic");
+        }
+    }
+
+    /// Partitioning: every cluster non-empty, every core assigned, and
+    /// the k = n partition cuts everything.
+    #[test]
+    fn partition_invariants(spec in arb_spec(), k in 1usize..6) {
+        let n = spec.cores().len();
+        let k = k.min(n);
+        let p = partition(&spec, k, 1);
+        prop_assert_eq!(p.cluster_of.len(), n);
+        let members = p.members();
+        prop_assert_eq!(members.len(), k);
+        prop_assert!(members.iter().all(|m| !m.is_empty()));
+        prop_assert!(p.cluster_of.iter().all(|&c| c < k));
+    }
+
+    /// Pareto points from a multi-clock sweep are mutually
+    /// non-dominated in (power, latency).
+    #[test]
+    fn pareto_points_non_dominated(spec in arb_spec()) {
+        let mut c = cfg();
+        c.clocks = vec![Hertz::from_mhz(400), Hertz::from_mhz(900)];
+        let designs = match synthesize(&spec, None, &c) {
+            Ok(d) => d,
+            Err(noc_synth::error::SynthError::NoFeasibleDesign) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        };
+        for a in &designs {
+            for b in &designs {
+                if std::ptr::eq(a, b) {
+                    continue;
+                }
+                let dominates = b.metrics.power.raw() <= a.metrics.power.raw()
+                    && b.metrics.mean_latency_cycles <= a.metrics.mean_latency_cycles
+                    && (b.metrics.power.raw() < a.metrics.power.raw()
+                        || b.metrics.mean_latency_cycles < a.metrics.mean_latency_cycles);
+                prop_assert!(!dominates);
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # noc-threed — 3D-IC NoC extensions
+//!
+//! Implements §4.4 / Fig. 3 of the DAC'10 paper: NoCs as the backbone of
+//! 3D-stacked chips.
+//!
+//! * [`tsv`] — the TSV serialization trade-off: serializing vertical
+//!   links "to minimize the number of required vertical vias" raises
+//!   yield and cuts via area at a transfer-cycle cost, including a spare-
+//!   TSV redundancy model;
+//! * [`stack`] — stacked-mesh fabrics with deadlock-free XYZ routing,
+//!   2D-only "testing mode" routing tables, built-in link test vectors,
+//!   and rerouting around failed vertical connections (§7: 3D NoCs "can
+//!   also obviate for vertical connection failures");
+//! * [`synth3d`] — SunFloor-3D (\[12\]): layer assignment, per-layer
+//!   floorplanning and 3D-aware custom topology synthesis.
+//!
+//! ## Example
+//!
+//! ```
+//! use noc_threed::tsv::TsvModel;
+//!
+//! let tsv = TsvModel::new(32, 0.995, 0);
+//! // Serializing 4x quarters the data TSVs and raises link yield.
+//! assert!(tsv.point(4).link_yield > tsv.point(1).link_yield);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stack;
+pub mod synth3d;
+pub mod tsv;
+
+pub use crate::stack::{stack3d, Stack3d};
+pub use crate::synth3d::{assign_layers, interlayer_bandwidth, synthesize_3d, Design3d};
+pub use crate::tsv::{TsvModel, TsvPoint, SIDEBAND_TSVS};

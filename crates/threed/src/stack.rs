@@ -1,0 +1,408 @@
+//! 3D stacked mesh fabric with XYZ routing and resilience features.
+//!
+//! §4.4: "NoCs are an ideal fit to 3D design paradigms because they
+//! represent a flexible, scalable, distributed backbone" — with
+//! serialized vertical links, "built-in link testing facilities", and
+//! routing tables "easily enabling either 2D-only operation (in testing
+//! mode) or 3D-capable communication", while 3D NoCs "can also obviate
+//! for vertical connection failures" (§7).
+
+use crate::tsv::TsvModel;
+use noc_spec::CoreId;
+use noc_topology::error::TopologyError;
+use noc_topology::generators::{mesh, Mesh};
+use noc_topology::graph::{LinkId, NodeId, Topology};
+use noc_topology::routing::{shortest_path, Route, RouteSet};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A 3D stack of 2D meshes with vertical links at every tile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stack3d {
+    /// The merged topology (all layers + vertical links).
+    pub topology: Topology,
+    /// Per-layer metadata reusing the 2D mesh structure (switch/NI ids
+    /// refer into `topology`).
+    pub rows: usize,
+    /// Columns per layer.
+    pub cols: usize,
+    /// Number of layers.
+    pub layers: usize,
+    /// Switch ids: `switches[layer][row * cols + col]`.
+    pub switches: Vec<Vec<NodeId>>,
+    /// `(initiator, target)` NI ids per core, layer-major.
+    pub nis: Vec<(NodeId, NodeId)>,
+    /// Cores, layer-major (layer 0 first).
+    pub cores: Vec<CoreId>,
+    /// Vertical link ids (both directions), for yield accounting.
+    pub vertical_links: Vec<LinkId>,
+    /// Serialization factor applied to vertical links.
+    pub serialization: u32,
+}
+
+/// Builds a `layers`-high stack of `rows × cols` meshes. Vertical links
+/// connect vertically adjacent switches; their width is the horizontal
+/// flit width divided by `serialization` (extra cycles modeled as
+/// pipeline stages).
+///
+/// # Errors
+///
+/// [`TopologyError::InvalidShape`] on bad dimensions or a core-count
+/// mismatch (`cores.len() == rows * cols * layers`).
+pub fn stack3d(
+    rows: usize,
+    cols: usize,
+    layers: usize,
+    cores: &[CoreId],
+    width: u32,
+    serialization: u32,
+) -> Result<Stack3d, TopologyError> {
+    if layers == 0 {
+        return Err(TopologyError::InvalidShape("zero layers".into()));
+    }
+    if cores.len() != rows * cols * layers {
+        return Err(TopologyError::InvalidShape(format!(
+            "3D stack {rows}x{cols}x{layers} needs {} cores, got {}",
+            rows * cols * layers,
+            cores.len()
+        )));
+    }
+    let serialization = serialization.max(1);
+    // Build layer 0 as a plain mesh, then extend the same topology by
+    // replaying the generator for further layers into one graph.
+    let mut topo = Topology::new(format!("stack_{rows}x{cols}x{layers}"));
+    let mut switches: Vec<Vec<NodeId>> = Vec::with_capacity(layers);
+    let mut nis = Vec::with_capacity(cores.len());
+    for z in 0..layers {
+        let layer_switches: Vec<NodeId> = (0..rows * cols)
+            .map(|i| topo.add_switch(format!("sw_z{z}_{}_{}", i / cols, i % cols)))
+            .collect();
+        for r in 0..rows {
+            for c in 0..cols {
+                let here = layer_switches[r * cols + c];
+                if c + 1 < cols {
+                    topo.connect_duplex(here, layer_switches[r * cols + c + 1], width)?;
+                }
+                if r + 1 < rows {
+                    topo.connect_duplex(here, layer_switches[(r + 1) * cols + c], width)?;
+                }
+            }
+        }
+        for i in 0..rows * cols {
+            let core = cores[z * rows * cols + i];
+            let init = topo.add_ni(
+                format!("ni_i{}", core.0),
+                core,
+                noc_topology::graph::NiRole::Initiator,
+            );
+            let tgt = topo.add_ni(
+                format!("ni_t{}", core.0),
+                core,
+                noc_topology::graph::NiRole::Target,
+            );
+            topo.connect_duplex(init, layer_switches[i], width)?;
+            topo.connect_duplex(tgt, layer_switches[i], width)?;
+            nis.push((init, tgt));
+        }
+        switches.push(layer_switches);
+    }
+    // Vertical links: serialized width, extra serialization cycles as
+    // pipeline stages.
+    let vwidth = (width / serialization).max(1);
+    let mut vertical_links = Vec::new();
+    for z in 0..layers.saturating_sub(1) {
+        for i in 0..rows * cols {
+            let (a, b) = (switches[z][i], switches[z + 1][i]);
+            let (up, down) = topo.connect_duplex(a, b, vwidth)?;
+            for l in [up, down] {
+                topo.set_pipeline_stages(l, serialization - 1);
+                vertical_links.push(l);
+            }
+        }
+    }
+    Ok(Stack3d {
+        topology: topo,
+        rows,
+        cols,
+        layers,
+        switches,
+        nis,
+        cores: cores.to_vec(),
+        vertical_links,
+        serialization,
+    })
+}
+
+impl Stack3d {
+    /// `(layer, row, col)` of a core.
+    pub fn coords_of(&self, core: CoreId) -> Option<(usize, usize, usize)> {
+        let i = self.cores.iter().position(|&c| c == core)?;
+        let per_layer = self.rows * self.cols;
+        let z = i / per_layer;
+        let rem = i % per_layer;
+        Some((z, rem / self.cols, rem % self.cols))
+    }
+
+    /// Dimension-ordered XYZ route (X, then Y, then Z) — acyclic in the
+    /// channel dependency graph like 2D XY, hence deadlock-free.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::NoRoute`] if either core is absent.
+    pub fn xyz_route(&self, src: CoreId, dst: CoreId) -> Result<Route, TopologyError> {
+        let (Some(si), Some(di)) = (
+            self.cores.iter().position(|&c| c == src),
+            self.cores.iter().position(|&c| c == dst),
+        ) else {
+            return Err(TopologyError::NoRoute {
+                from: NodeId(usize::MAX),
+                to: NodeId(usize::MAX),
+            });
+        };
+        let (sz, sr, sc) = self.coords_of(src).expect("present");
+        let (dz, dr, dc) = self.coords_of(dst).expect("present");
+        let t = &self.topology;
+        let sw = |z: usize, r: usize, c: usize| self.switches[z][r * self.cols + c];
+        let mut links = vec![t
+            .find_link(self.nis[si].0, sw(sz, sr, sc))
+            .expect("NI attached")];
+        let (mut z, mut r, mut c) = (sz, sr, sc);
+        while c != dc {
+            let next = if dc > c { c + 1 } else { c - 1 };
+            links.push(t.find_link(sw(z, r, c), sw(z, r, next)).expect("mesh edge"));
+            c = next;
+        }
+        while r != dr {
+            let next = if dr > r { r + 1 } else { r - 1 };
+            links.push(t.find_link(sw(z, r, c), sw(z, next, c)).expect("mesh edge"));
+            r = next;
+        }
+        while z != dz {
+            let next = if dz > z { z + 1 } else { z - 1 };
+            links.push(t.find_link(sw(z, r, c), sw(next, r, c)).expect("pillar"));
+            z = next;
+        }
+        links.push(
+            t.find_link(sw(dz, dr, dc), self.nis[di].1)
+                .expect("NI attached"),
+        );
+        Ok(Route::new(links))
+    }
+
+    /// Routes for the given pairs, avoiding `failed` links (vertical
+    /// connection failures, §7) by cost-weighted rerouting. Returns an
+    /// error if a pair becomes disconnected.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::NoRoute`] when failures disconnect a pair.
+    pub fn routes_avoiding(
+        &self,
+        pairs: impl IntoIterator<Item = (CoreId, CoreId)>,
+        failed: &BTreeSet<LinkId>,
+    ) -> Result<RouteSet, TopologyError> {
+        let mut set = RouteSet::new();
+        for (a, b) in pairs {
+            let (Some(si), Some(di)) = (
+                self.cores.iter().position(|&c| c == a),
+                self.cores.iter().position(|&c| c == b),
+            ) else {
+                return Err(TopologyError::NoRoute {
+                    from: NodeId(usize::MAX),
+                    to: NodeId(usize::MAX),
+                });
+            };
+            let (from, to) = (self.nis[si].0, self.nis[di].1);
+            let route = shortest_path(&self.topology, from, to, |l| {
+                if failed.contains(&l) {
+                    1e12
+                } else {
+                    1.0
+                }
+            })?;
+            if route.links.iter().any(|l| failed.contains(l)) {
+                return Err(TopologyError::NoRoute { from, to });
+            }
+            set.insert(from, to, route);
+        }
+        Ok(set)
+    }
+
+    /// 2D-only ("testing mode") routes: pairs on the same layer route
+    /// within the layer; cross-layer pairs are rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::NoRoute`] for cross-layer pairs.
+    pub fn routes_2d_only(
+        &self,
+        pairs: impl IntoIterator<Item = (CoreId, CoreId)>,
+    ) -> Result<RouteSet, TopologyError> {
+        let failed: BTreeSet<LinkId> = self.vertical_links.iter().copied().collect();
+        self.routes_avoiding(pairs, &failed)
+    }
+
+    /// Stack-level yield of all vertical links under a TSV model (the
+    /// figure the serialization sweep optimizes).
+    pub fn stack_yield(&self, tsv: &TsvModel) -> f64 {
+        tsv.link_yield(self.serialization)
+            .powi(self.vertical_links.len() as i32)
+    }
+
+    /// Built-in vertical-link test vectors: walking-ones across the
+    /// serialized lane width plus all-zeros/all-ones — "verification has
+    /// been automated by leveraging built-in link testing facilities".
+    pub fn link_test_vectors(&self) -> Vec<u64> {
+        let vwidth = (32u32 / self.serialization).clamp(1, 64);
+        let mut v = vec![0u64];
+        for bit in 0..vwidth.min(64) {
+            v.push(1u64 << bit);
+        }
+        v.push(if vwidth >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << vwidth) - 1
+        });
+        v
+    }
+
+    /// A same-footprint single-layer 2D mesh with the same core count,
+    /// for 2D-vs-3D comparisons (rows × (cols·layers)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates mesh generator errors.
+    pub fn flattened_2d(&self, width: u32) -> Result<Mesh, TopologyError> {
+        mesh(self.rows, self.cols * self.layers, &self.cores, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::deadlock::assert_deadlock_free;
+
+    fn cores(n: usize) -> Vec<CoreId> {
+        (0..n).map(CoreId).collect()
+    }
+
+    fn small() -> Stack3d {
+        stack3d(2, 2, 2, &cores(8), 32, 4).expect("valid")
+    }
+
+    #[test]
+    fn shape_and_vertical_links() {
+        let s = small();
+        assert_eq!(s.topology.switches().len(), 8);
+        // 4 pillars x 2 directions.
+        assert_eq!(s.vertical_links.len(), 8);
+        assert!(s.topology.is_connected());
+        // Serialized vertical width: 32/4 = 8 bits.
+        let vl = s.topology.link(s.vertical_links[0]);
+        assert_eq!(vl.width, 8);
+        assert_eq!(vl.pipeline_stages, 3);
+    }
+
+    #[test]
+    fn xyz_routes_are_valid_and_deadlock_free() {
+        let s = small();
+        let mut set = RouteSet::new();
+        for &a in &s.cores {
+            for &b in &s.cores {
+                if a == b {
+                    continue;
+                }
+                let r = s.xyz_route(a, b).expect("on stack");
+                r.validate(&s.topology).expect("contiguous");
+                let si = s.cores.iter().position(|&c| c == a).expect("present");
+                let di = s.cores.iter().position(|&c| c == b).expect("present");
+                set.insert(s.nis[si].0, s.nis[di].1, r);
+            }
+        }
+        assert_deadlock_free(&s.topology, &set).expect("XYZ is deadlock-free");
+    }
+
+    #[test]
+    fn cross_layer_route_uses_pillar() {
+        let s = small();
+        // Core 0 is layer 0 tile 0; core 4 is layer 1 tile 0.
+        let r = s.xyz_route(CoreId(0), CoreId(4)).expect("ok");
+        assert!(r.links.iter().any(|l| s.vertical_links.contains(l)));
+        // inject + 1 vertical + eject.
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn reroute_around_failed_pillar() {
+        let s = small();
+        let direct = s.xyz_route(CoreId(0), CoreId(4)).expect("ok");
+        let vertical: Vec<LinkId> = direct
+            .links
+            .iter()
+            .copied()
+            .filter(|l| s.vertical_links.contains(l))
+            .collect();
+        let failed: BTreeSet<LinkId> = vertical.into_iter().collect();
+        let routes = s
+            .routes_avoiding([(CoreId(0), CoreId(4))], &failed)
+            .expect("another pillar exists");
+        let (_, r) = routes.iter().next().expect("routed");
+        assert!(r.links.iter().all(|l| !failed.contains(l)));
+        assert!(r.len() > 3, "detour is longer than the direct pillar");
+    }
+
+    #[test]
+    fn all_pillars_failed_disconnects_layers() {
+        let s = small();
+        let failed: BTreeSet<LinkId> = s.vertical_links.iter().copied().collect();
+        assert!(matches!(
+            s.routes_avoiding([(CoreId(0), CoreId(4))], &failed),
+            Err(TopologyError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn testing_mode_is_2d_only() {
+        let s = small();
+        // Same-layer pair routes fine.
+        let ok = s.routes_2d_only([(CoreId(0), CoreId(3))]).expect("in layer");
+        assert_eq!(ok.len(), 1);
+        // Cross-layer pair is rejected in 2D mode.
+        assert!(s.routes_2d_only([(CoreId(0), CoreId(4))]).is_err());
+    }
+
+    #[test]
+    fn stack_yield_monotone_in_serialization() {
+        let tsv = TsvModel::new(32, 0.995, 0);
+        let y1 = stack3d(2, 2, 2, &cores(8), 32, 1)
+            .expect("valid")
+            .stack_yield(&tsv);
+        let y8 = stack3d(2, 2, 2, &cores(8), 32, 8)
+            .expect("valid")
+            .stack_yield(&tsv);
+        assert!(y8 > y1, "serialization raises stack yield: {y8} vs {y1}");
+    }
+
+    #[test]
+    fn test_vectors_cover_lanes() {
+        let s = small(); // serialization 4 -> 8 lanes
+        let v = s.link_test_vectors();
+        assert_eq!(v[0], 0);
+        assert_eq!(*v.last().expect("nonempty"), 0xFF);
+        assert_eq!(v.len(), 2 + 8);
+    }
+
+    #[test]
+    fn flattened_2d_same_cores() {
+        let s = small();
+        let flat = s.flattened_2d(32).expect("valid");
+        assert_eq!(flat.cores, s.cores);
+        assert_eq!(flat.topology.switches().len(), 8);
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        assert!(stack3d(2, 2, 0, &[], 32, 1).is_err());
+        assert!(stack3d(2, 2, 2, &cores(7), 32, 1).is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! SunFloor-3D: application-specific topology synthesis for stacked
+//! chips (the paper's reference \[12\], *SunFloor 3D: A Tool for Networks
+//! on Chip Topology Synthesis for 3D Systems on Chip*, DATE 2009).
+//!
+//! Pipeline:
+//!
+//! 1. **Layer assignment** — min-cut partition of the core graph into
+//!    `layers` balanced groups, minimizing the bandwidth that must cross
+//!    layers (i.e. the TSV demand);
+//! 2. **Per-layer floorplanning** — each layer gets its own slicing
+//!    floorplan; layers stack at a common origin, so the 2D synthesis
+//!    sees in-plane distances (vertical hops cost TSVs, priced
+//!    separately);
+//! 3. **2D synthesis** over the stacked floorplan (the standard SunFloor
+//!    sweep);
+//! 4. **Vertical-link extraction** — inter-switch links whose endpoint
+//!    clusters live on different layers become serialized TSV links;
+//!    yield and via count follow the [`TsvModel`].
+
+use crate::tsv::TsvModel;
+use noc_floorplan::block::Rect;
+use noc_floorplan::core_plan::CoreFloorplan;
+use noc_spec::{AppSpec, CoreId};
+use noc_synth::error::SynthError;
+use noc_synth::partition::partition;
+use noc_synth::sunfloor::{synthesize, SynthesisConfig, SynthesizedDesign};
+use noc_topology::graph::{LinkId, NodeKind};
+use std::collections::BTreeMap;
+
+/// A synthesized 3D design: the 2D design plus the stacking metadata.
+#[derive(Debug, Clone)]
+pub struct Design3d {
+    /// The underlying synthesized design (topology, routes, metrics).
+    pub design: SynthesizedDesign,
+    /// Layer of every core.
+    pub layer_of_core: Vec<usize>,
+    /// Dominant layer of every switch cluster.
+    pub layer_of_cluster: Vec<usize>,
+    /// Inter-switch links that cross layers (need TSVs).
+    pub vertical_links: Vec<LinkId>,
+    /// Vertical serialization factor applied for TSV sizing.
+    pub serialization: u32,
+    /// Total TSVs of the design.
+    pub total_tsvs: u64,
+    /// Probability that every vertical link is functional.
+    pub stack_yield: f64,
+}
+
+/// Assigns cores to `layers` balanced layers, minimizing the bandwidth
+/// crossing between layers.
+///
+/// # Panics
+///
+/// Panics if `layers` is 0 or exceeds the core count (see
+/// [`partition`]).
+pub fn assign_layers(spec: &AppSpec, layers: usize) -> Vec<usize> {
+    partition(spec, layers, 1).cluster_of
+}
+
+/// Bandwidth that must cross layer boundaries under an assignment —
+/// the TSV pressure the layer assignment minimizes.
+pub fn interlayer_bandwidth(spec: &AppSpec, layer_of_core: &[usize]) -> u64 {
+    spec.flows()
+        .iter()
+        .filter(|f| layer_of_core[f.src.0] != layer_of_core[f.dst.0])
+        .map(|f| f.bandwidth.raw())
+        .sum()
+}
+
+/// Runs the SunFloor-3D pipeline and returns the Pareto designs with
+/// stacking metadata, best (minimum power) first.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from the 2D synthesis core.
+pub fn synthesize_3d(
+    spec: &AppSpec,
+    layers: usize,
+    serialization: u32,
+    tsv: &TsvModel,
+    cfg: &SynthesisConfig,
+) -> Result<Vec<Design3d>, SynthError> {
+    if spec.cores().is_empty() {
+        return Err(SynthError::EmptySpec);
+    }
+    let layer_of_core = assign_layers(spec, layers);
+
+    // Per-layer floorplans, merged into one stacked plan (same origin:
+    // vertically adjacent blocks overlap in (x, y) but live on
+    // different tiers, which is exactly the 3D premise).
+    let mut placements: BTreeMap<CoreId, Rect> = BTreeMap::new();
+    for layer in 0..layers {
+        let members: Vec<CoreId> = spec
+            .core_ids()
+            .filter(|(id, _)| layer_of_core[id.0] == layer)
+            .map(|(id, _)| id)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let blocks: Vec<noc_floorplan::block::Block> = members
+            .iter()
+            .map(|&id| {
+                let c = spec.core(id);
+                noc_floorplan::block::Block::new(c.name.clone(), c.width, c.height)
+            })
+            .collect();
+        let nets = layer_nets(spec, &members);
+        let result = noc_floorplan::slicing::SlicingFloorplanner::new(blocks, nets)
+            .run(cfg.seed ^ (layer as u64).wrapping_mul(0x9E37_79B9));
+        for (i, &core) in members.iter().enumerate() {
+            placements.insert(core, result.placements[i]);
+        }
+    }
+    let floorplan = CoreFloorplan::from_placements(placements);
+
+    let designs = synthesize(spec, Some(&floorplan), cfg)?;
+    let mut out: Vec<Design3d> = designs
+        .into_iter()
+        .map(|design| annotate_3d(spec, design, &layer_of_core, serialization, tsv))
+        .collect();
+    out.sort_by(|a, b| {
+        a.design
+            .metrics
+            .power
+            .raw()
+            .total_cmp(&b.design.metrics.power.raw())
+    });
+    Ok(out)
+}
+
+fn layer_nets(
+    spec: &AppSpec,
+    members: &[CoreId],
+) -> Vec<noc_floorplan::slicing::Net> {
+    let index_of: BTreeMap<CoreId, usize> = members
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, i))
+        .collect();
+    let total = spec.total_bandwidth().raw().max(1) as f64;
+    let mut nets = Vec::new();
+    for f in spec.flows() {
+        if let (Some(&a), Some(&b)) = (index_of.get(&f.src), index_of.get(&f.dst)) {
+            if a != b {
+                nets.push(noc_floorplan::slicing::Net {
+                    a,
+                    b,
+                    weight: f.bandwidth.raw() as f64 / total,
+                });
+            }
+        }
+    }
+    nets
+}
+
+fn annotate_3d(
+    spec: &AppSpec,
+    design: SynthesizedDesign,
+    layer_of_core: &[usize],
+    serialization: u32,
+    tsv: &TsvModel,
+) -> Design3d {
+    let _ = spec;
+    // Dominant layer per cluster: majority vote of member cores.
+    let clusters = design
+        .cluster_of_core
+        .iter()
+        .copied()
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0);
+    let mut votes: Vec<BTreeMap<usize, usize>> = vec![BTreeMap::new(); clusters];
+    for (core_idx, &cluster) in design.cluster_of_core.iter().enumerate() {
+        *votes[cluster].entry(layer_of_core[core_idx]).or_insert(0) += 1;
+    }
+    let layer_of_cluster: Vec<usize> = votes
+        .iter()
+        .map(|v| {
+            v.iter()
+                .max_by_key(|&(layer, n)| (*n, usize::MAX - layer))
+                .map(|(&layer, _)| layer)
+                .unwrap_or(0)
+        })
+        .collect();
+    // Inter-switch links whose endpoint clusters differ in layer are
+    // vertical. Switch nodes are named "sw{cluster}" by the builder and
+    // are the only switch nodes, in cluster order.
+    let topo = &design.topology;
+    let switch_nodes: Vec<_> = topo.switches();
+    let cluster_of_switch: BTreeMap<_, _> = switch_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i))
+        .collect();
+    let mut vertical_links = Vec::new();
+    for (id, l) in topo.link_ids() {
+        let (src_sw, dst_sw) = (topo.node(l.src), topo.node(l.dst));
+        if matches!(src_sw.kind, NodeKind::Switch) && matches!(dst_sw.kind, NodeKind::Switch)
+        {
+            let a = cluster_of_switch[&l.src];
+            let b = cluster_of_switch[&l.dst];
+            if layer_of_cluster[a] != layer_of_cluster[b] {
+                vertical_links.push(id);
+            }
+        }
+    }
+    let tsvs_per_link = tsv.tsvs_per_link(serialization) as u64;
+    let link_yield = tsv.link_yield(serialization);
+    Design3d {
+        stack_yield: link_yield.powi(vertical_links.len() as i32),
+        total_tsvs: tsvs_per_link * vertical_links.len() as u64,
+        vertical_links,
+        layer_of_core: layer_of_core.to_vec(),
+        layer_of_cluster,
+        serialization,
+        design,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_spec::presets;
+    use noc_spec::units::Hertz;
+
+    fn cfg() -> SynthesisConfig {
+        SynthesisConfig {
+            min_switches: 4,
+            max_switches: 6,
+            clocks: vec![Hertz::from_mhz(650)],
+            ..SynthesisConfig::default()
+        }
+    }
+
+    #[test]
+    fn layer_assignment_minimizes_crossing_vs_round_robin() {
+        let spec = presets::mobile_multimedia_soc();
+        let smart = assign_layers(&spec, 2);
+        let round_robin: Vec<usize> = (0..spec.cores().len()).map(|i| i % 2).collect();
+        assert!(
+            interlayer_bandwidth(&spec, &smart)
+                <= interlayer_bandwidth(&spec, &round_robin),
+            "min-cut must not be worse than round-robin"
+        );
+    }
+
+    #[test]
+    fn synthesize_3d_produces_annotated_designs() {
+        let spec = presets::mobile_multimedia_soc();
+        let tsv = TsvModel::new(32, 0.995, 0);
+        let designs = synthesize_3d(&spec, 2, 4, &tsv, &cfg()).expect("feasible");
+        assert!(!designs.is_empty());
+        for d in &designs {
+            assert_eq!(d.layer_of_core.len(), spec.cores().len());
+            assert_eq!(d.layer_of_cluster.len(), d.design.switch_count);
+            assert_eq!(
+                d.total_tsvs,
+                d.vertical_links.len() as u64 * tsv.tsvs_per_link(4) as u64
+            );
+            assert!(d.stack_yield > 0.0 && d.stack_yield <= 1.0);
+            // Designs are sorted by power.
+        }
+        for pair in designs.windows(2) {
+            assert!(
+                pair[0].design.metrics.power.raw() <= pair[1].design.metrics.power.raw()
+            );
+        }
+    }
+
+    #[test]
+    fn more_serialization_means_fewer_tsvs_and_better_yield() {
+        let spec = presets::bone_mpsoc();
+        let tsv = TsvModel::new(32, 0.99, 0);
+        let d1 = synthesize_3d(&spec, 2, 1, &tsv, &cfg()).expect("feasible");
+        let d8 = synthesize_3d(&spec, 2, 8, &tsv, &cfg()).expect("feasible");
+        // Same synthesis inputs → same vertical-link structure; compare
+        // the top designs.
+        let (a, b) = (&d1[0], &d8[0]);
+        if !a.vertical_links.is_empty() {
+            assert!(b.total_tsvs < a.total_tsvs);
+            assert!(b.stack_yield >= a.stack_yield);
+        }
+    }
+
+    #[test]
+    fn single_layer_has_no_vertical_links() {
+        let spec = presets::tiny_quad();
+        let tsv = TsvModel::new(32, 0.995, 0);
+        let designs = synthesize_3d(&spec, 1, 4, &tsv, &cfg()).expect("feasible");
+        for d in &designs {
+            assert!(d.vertical_links.is_empty());
+            assert_eq!(d.total_tsvs, 0);
+            assert_eq!(d.stack_yield, 1.0);
+        }
+    }
+}

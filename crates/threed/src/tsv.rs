@@ -1,0 +1,198 @@
+//! TSV (through-silicon via) cost/yield modeling for vertical links
+//! (§4.4 / Fig. 3).
+//!
+//! "area and yield have been optimized by suitably serializing vertical
+//! links, to minimize the number of required vertical vias" — this
+//! module quantifies that trade-off: serializing a W-bit flit over
+//! `factor` cycles divides the TSV count by `factor`, raising link yield
+//! and cutting via area, at the cost of `factor×` transfer cycles.
+
+use serde::{Deserialize, Serialize};
+
+/// Sideband TSVs every vertical link needs besides data (valid, stall,
+/// clock forwarding, test access).
+pub const SIDEBAND_TSVS: u32 = 4;
+
+/// One point of the serialization trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TsvPoint {
+    /// Serialization factor (1 = full parallel flit).
+    pub factor: u32,
+    /// TSVs per vertical link (data lanes + sideband).
+    pub tsvs_per_link: u32,
+    /// Probability that all TSVs of the link are good.
+    pub link_yield: f64,
+    /// Cycles to move one flit across the vertical link.
+    pub transfer_cycles: u32,
+    /// Relative via area (1.0 = unserialized link).
+    pub relative_area: f64,
+}
+
+/// TSV technology parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TsvModel {
+    /// Flit width being carried, in bits.
+    pub flit_width: u32,
+    /// Probability that one TSV is fabricated correctly.
+    pub yield_per_tsv: f64,
+    /// Spare (redundant) TSVs per link that can replace failed ones.
+    pub spares_per_link: u32,
+}
+
+impl TsvModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `yield_per_tsv` is outside `(0, 1]` or `flit_width` is 0.
+    pub fn new(flit_width: u32, yield_per_tsv: f64, spares_per_link: u32) -> TsvModel {
+        assert!(flit_width > 0, "flit width must be positive");
+        assert!(
+            yield_per_tsv > 0.0 && yield_per_tsv <= 1.0,
+            "per-TSV yield must be in (0, 1]"
+        );
+        TsvModel {
+            flit_width,
+            yield_per_tsv,
+            spares_per_link,
+        }
+    }
+
+    /// TSVs per link at a serialization factor: `ceil(width/factor)`
+    /// data lanes + sideband + spares.
+    pub fn tsvs_per_link(&self, factor: u32) -> u32 {
+        self.flit_width.div_ceil(factor.max(1)) + SIDEBAND_TSVS + self.spares_per_link
+    }
+
+    /// Link yield: with `s` spares, the link works if at most `s` of its
+    /// TSVs fail (binomial survival).
+    pub fn link_yield(&self, factor: u32) -> f64 {
+        let n = self.tsvs_per_link(factor);
+        let p_fail = 1.0 - self.yield_per_tsv;
+        let s = self.spares_per_link;
+        // P(failures <= s) = sum_{k=0..s} C(n,k) p^k (1-p)^(n-k)
+        let mut total = 0.0;
+        for k in 0..=s {
+            total += binomial(n, k) * p_fail.powi(k as i32)
+                * self.yield_per_tsv.powi((n - k) as i32);
+        }
+        total
+    }
+
+    /// One point of the trade-off curve.
+    pub fn point(&self, factor: u32) -> TsvPoint {
+        let factor = factor.max(1);
+        let tsvs = self.tsvs_per_link(factor);
+        let full = self.tsvs_per_link(1);
+        TsvPoint {
+            factor,
+            tsvs_per_link: tsvs,
+            link_yield: self.link_yield(factor),
+            transfer_cycles: factor,
+            relative_area: tsvs as f64 / full as f64,
+        }
+    }
+
+    /// The full sweep over powers-of-two factors up to `flit_width`.
+    pub fn sweep(&self) -> Vec<TsvPoint> {
+        let mut out = Vec::new();
+        let mut f = 1;
+        while f <= self.flit_width {
+            out.push(self.point(f));
+            f *= 2;
+        }
+        out
+    }
+
+    /// The smallest serialization factor meeting a stack-level yield
+    /// target given `links` vertical links (all must work).
+    pub fn min_factor_for_yield(&self, links: u32, target: f64) -> Option<u32> {
+        self.sweep()
+            .into_iter()
+            .find(|p| p.link_yield.powi(links as i32) >= target)
+            .map(|p| p.factor)
+    }
+}
+
+fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TsvModel {
+        TsvModel::new(32, 0.995, 0)
+    }
+
+    #[test]
+    fn serialization_divides_tsvs() {
+        let m = model();
+        assert_eq!(m.tsvs_per_link(1), 32 + SIDEBAND_TSVS);
+        assert_eq!(m.tsvs_per_link(4), 8 + SIDEBAND_TSVS);
+        assert_eq!(m.tsvs_per_link(32), 1 + SIDEBAND_TSVS);
+    }
+
+    #[test]
+    fn yield_improves_with_serialization() {
+        let m = model();
+        let sweep = m.sweep();
+        for pair in sweep.windows(2) {
+            assert!(pair[1].link_yield >= pair[0].link_yield);
+            assert!(pair[1].transfer_cycles > pair[0].transfer_cycles);
+            assert!(pair[1].relative_area < pair[0].relative_area);
+        }
+    }
+
+    #[test]
+    fn yield_numbers_are_sane() {
+        let m = model();
+        // 36 TSVs at 99.5% each: ~0.835.
+        let y = m.link_yield(1);
+        assert!((y - 0.995f64.powi(36)).abs() < 1e-12);
+        assert!(y > 0.8 && y < 0.9);
+    }
+
+    #[test]
+    fn spares_raise_yield() {
+        let no_spare = TsvModel::new(32, 0.99, 0).link_yield(1);
+        let spare = TsvModel::new(32, 0.99, 2).link_yield(1);
+        assert!(spare > no_spare);
+        assert!(spare > 0.99, "two spares nearly fix a 36-TSV link: {spare}");
+    }
+
+    #[test]
+    fn min_factor_for_stack_yield() {
+        let m = TsvModel::new(32, 0.995, 0);
+        // One link: parallel already exceeds 80%.
+        assert_eq!(m.min_factor_for_yield(1, 0.8), Some(1));
+        // 20 links at full parallel: 0.835^20 is tiny; serialization needed.
+        let f = m.min_factor_for_yield(20, 0.5).expect("achievable");
+        assert!(f > 1, "got {f}");
+        // An impossible target reports None.
+        assert_eq!(m.min_factor_for_yield(10_000, 0.999999), None);
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 1), 5.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(3, 7), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "yield must be in")]
+    fn bad_yield_panics() {
+        let _ = TsvModel::new(32, 1.5, 0);
+    }
+}

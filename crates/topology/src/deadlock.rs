@@ -1,0 +1,336 @@
+//! Deadlock analysis: channel dependency graphs and virtual networks.
+//!
+//! §2 of the paper: "the synthesized topologies should be free of routing
+//! and message-dependent deadlocks." Both properties are checked here:
+//!
+//! * **Routing deadlock** — a cycle in the channel dependency graph (CDG)
+//!   induced by the route set over physical links (Dally & Seitz
+//!   condition). [`assert_deadlock_free`] rejects route sets whose CDG is
+//!   cyclic.
+//! * **Message-dependent deadlock** — interactions between request and
+//!   response messages at protocol endpoints. Following ×pipes/Æthereal
+//!   practice, requests and responses travel on disjoint *virtual
+//!   networks*; [`assert_message_deadlock_free`] checks each virtual
+//!   network's CDG independently and verifies the networks really are
+//!   link-disjoint (or VC-separated).
+
+use crate::error::TopologyError;
+use crate::graph::{LinkId, Topology};
+use crate::routing::RouteSet;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The channel dependency graph of a route set: node = physical link,
+/// edge `a → b` = some route holds `a` while requesting `b` (wormhole
+/// switching makes every consecutive link pair on a route a dependency).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChannelDependencyGraph {
+    edges: BTreeMap<LinkId, BTreeSet<LinkId>>,
+}
+
+impl ChannelDependencyGraph {
+    /// Builds the CDG of `routes` over `topo`.
+    pub fn from_routes(topo: &Topology, routes: &RouteSet) -> ChannelDependencyGraph {
+        let _ = topo; // the CDG depends only on the route link chains
+        let mut edges: BTreeMap<LinkId, BTreeSet<LinkId>> = BTreeMap::new();
+        for (_, route) in routes.iter() {
+            for pair in route.links.windows(2) {
+                edges.entry(pair[0]).or_default().insert(pair[1]);
+            }
+            // Make sure every used link appears as a CDG node.
+            for &l in &route.links {
+                edges.entry(l).or_default();
+            }
+        }
+        ChannelDependencyGraph { edges }
+    }
+
+    /// Number of links participating in any route.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no link carries traffic.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Dependencies of one link.
+    pub fn successors(&self, link: LinkId) -> impl Iterator<Item = LinkId> + '_ {
+        self.edges.get(&link).into_iter().flatten().copied()
+    }
+
+    /// Finds a dependency cycle, if one exists, returned as the sequence
+    /// of links on the cycle.
+    pub fn find_cycle(&self) -> Option<Vec<LinkId>> {
+        // Iterative DFS with white/grey/black coloring.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let mut color: BTreeMap<LinkId, Color> =
+            self.edges.keys().map(|&k| (k, Color::White)).collect();
+        for &start in self.edges.keys() {
+            if color[&start] != Color::White {
+                continue;
+            }
+            // Stack of (node, successor iterator position) plus the grey
+            // path for cycle extraction.
+            let mut stack: Vec<(LinkId, Vec<LinkId>)> = vec![(
+                start,
+                self.successors(start).collect(),
+            )];
+            color.insert(start, Color::Grey);
+            let mut path = vec![start];
+            while let Some((node, succs)) = stack.last_mut() {
+                if let Some(next) = succs.pop() {
+                    match color[&next] {
+                        Color::White => {
+                            color.insert(next, Color::Grey);
+                            path.push(next);
+                            let nexts = self.successors(next).collect();
+                            stack.push((next, nexts));
+                        }
+                        Color::Grey => {
+                            // Cycle: slice of the grey path from `next`.
+                            let pos = path
+                                .iter()
+                                .position(|&l| l == next)
+                                .expect("grey nodes are on the path");
+                            return Some(path[pos..].to_vec());
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(*node, Color::Black);
+                    path.pop();
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the CDG is acyclic (no routing deadlock possible).
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+}
+
+/// Checks that `routes` cannot cause routing deadlock over `topo`.
+///
+/// # Errors
+///
+/// [`TopologyError::DeadlockCycle`] naming one link on the offending
+/// cycle.
+pub fn assert_deadlock_free(topo: &Topology, routes: &RouteSet) -> Result<(), TopologyError> {
+    let cdg = ChannelDependencyGraph::from_routes(topo, routes);
+    match cdg.find_cycle() {
+        Some(cycle) => Err(TopologyError::DeadlockCycle {
+            witness: cycle[0],
+        }),
+        None => Ok(()),
+    }
+}
+
+/// Checks freedom from message-dependent deadlock given separate
+/// request-network and response-network route sets.
+///
+/// Both virtual networks must be internally acyclic. If the two networks
+/// share physical links, they must be separated by virtual channels
+/// (`vc_separated = true`, the ×pipes/Æthereal approach); without VC
+/// separation shared links couple the networks and the check conservatively
+/// requires the *union* CDG plus the request→response turnaround
+/// dependencies to be acyclic.
+///
+/// # Errors
+///
+/// [`TopologyError::DeadlockCycle`] if any required CDG is cyclic.
+pub fn assert_message_deadlock_free(
+    topo: &Topology,
+    requests: &RouteSet,
+    responses: &RouteSet,
+    vc_separated: bool,
+) -> Result<(), TopologyError> {
+    assert_deadlock_free(topo, requests)?;
+    assert_deadlock_free(topo, responses)?;
+    if vc_separated {
+        return Ok(());
+    }
+    // Without VC separation: union CDG + turnaround edges (the last
+    // request link at a target feeds the first response link back out).
+    let mut union = RouteSet::new();
+    for (&(f, t), r) in requests.iter() {
+        union.insert(f, t, r.clone());
+    }
+    let mut cdg = ChannelDependencyGraph::from_routes(topo, &union);
+    for (_, r) in responses.iter() {
+        for pair in r.links.windows(2) {
+            cdg.edges.entry(pair[0]).or_default().insert(pair[1]);
+        }
+        for &l in &r.links {
+            cdg.edges.entry(l).or_default();
+        }
+    }
+    for (&(_, req_dst), req) in requests.iter() {
+        let Some(&last_req_link) = req.links.last() else {
+            continue;
+        };
+        // Any response leaving the request's destination core couples.
+        for (&(resp_src, _), resp) in responses.iter() {
+            if resp_src != req_dst {
+                continue;
+            }
+            if let Some(&first_resp_link) = resp.links.first() {
+                cdg.edges
+                    .entry(last_req_link)
+                    .or_default()
+                    .insert(first_resp_link);
+            }
+        }
+    }
+    match cdg.find_cycle() {
+        Some(cycle) => Err(TopologyError::DeadlockCycle {
+            witness: cycle[0],
+        }),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{NiRole, NodeId};
+    use crate::routing::{min_hop_routes, Route};
+    use noc_spec::CoreId;
+
+    /// A unidirectional 4-switch ring with one NI per switch — the
+    /// textbook deadlock-prone configuration when every node sends two
+    /// hops around the ring.
+    fn ring4() -> (Topology, Vec<NodeId>, Vec<NodeId>) {
+        let mut t = Topology::new("ring4");
+        let sw: Vec<NodeId> = (0..4).map(|i| t.add_switch(format!("s{i}"))).collect();
+        for i in 0..4 {
+            t.connect(sw[i], sw[(i + 1) % 4], 32).expect("ok");
+        }
+        let nis: Vec<NodeId> = (0..4)
+            .map(|i| {
+                let ni = t.add_ni(format!("ni{i}"), CoreId(i), NiRole::Initiator);
+                t.connect_duplex(ni, sw[i], 32).expect("ok");
+                ni
+            })
+            .collect();
+        (t, sw, nis)
+    }
+
+    #[test]
+    fn full_ring_traffic_deadlocks() {
+        let (t, _, nis) = ring4();
+        let pairs: Vec<_> = (0..4).map(|i| (nis[i], nis[(i + 2) % 4])).collect();
+        let routes = min_hop_routes(&t, pairs).expect("routable");
+        let cdg = ChannelDependencyGraph::from_routes(&t, &routes);
+        assert!(!cdg.is_acyclic(), "all-around ring traffic must cycle");
+        assert!(matches!(
+            assert_deadlock_free(&t, &routes),
+            Err(TopologyError::DeadlockCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_ring_traffic_is_safe() {
+        let (t, _, nis) = ring4();
+        // Only flows that do not wrap around node 0: the dateline stays
+        // unused, so the CDG is acyclic.
+        let pairs = [(nis[0], nis[2]), (nis[1], nis[3])];
+        let routes = min_hop_routes(&t, pairs).expect("routable");
+        assert_deadlock_free(&t, &routes).expect("no wrap-around, no cycle");
+    }
+
+    #[test]
+    fn cycle_witness_is_on_cycle() {
+        let (t, _, nis) = ring4();
+        let pairs: Vec<_> = (0..4).map(|i| (nis[i], nis[(i + 2) % 4])).collect();
+        let routes = min_hop_routes(&t, pairs).expect("routable");
+        let cdg = ChannelDependencyGraph::from_routes(&t, &routes);
+        let cycle = cdg.find_cycle().expect("cyclic");
+        assert!(cycle.len() >= 2);
+        // Each consecutive pair on the reported cycle must be a CDG edge.
+        for w in cycle.windows(2) {
+            assert!(cdg.successors(w[0]).any(|s| s == w[1]));
+        }
+        // And it must close.
+        assert!(cdg
+            .successors(*cycle.last().expect("nonempty"))
+            .any(|s| s == cycle[0]));
+    }
+
+    #[test]
+    fn star_is_always_deadlock_free() {
+        let mut t = Topology::new("star");
+        let hub = t.add_switch("hub");
+        let nis: Vec<NodeId> = (0..5)
+            .map(|i| {
+                let ni = t.add_ni(format!("ni{i}"), CoreId(i), NiRole::Initiator);
+                t.connect_duplex(ni, hub, 32).expect("ok");
+                ni
+            })
+            .collect();
+        let mut pairs = Vec::new();
+        for a in 0..5 {
+            for b in 0..5 {
+                if a != b {
+                    pairs.push((nis[a], nis[b]));
+                }
+            }
+        }
+        let routes = min_hop_routes(&t, pairs).expect("routable");
+        assert_deadlock_free(&t, &routes).expect("stars cannot deadlock");
+    }
+
+    #[test]
+    fn empty_route_set_is_trivially_safe() {
+        let (t, _, _) = ring4();
+        let routes = RouteSet::new();
+        assert_deadlock_free(&t, &routes).expect("nothing can deadlock");
+        assert!(ChannelDependencyGraph::from_routes(&t, &routes).is_empty());
+    }
+
+    #[test]
+    fn vc_separated_req_resp_passes_when_each_net_is_acyclic() {
+        let (t, _, nis) = ring4();
+        let req = min_hop_routes(&t, [(nis[0], nis[2])]).expect("ok");
+        let resp = min_hop_routes(&t, [(nis[2], nis[0])]).expect("ok");
+        assert_message_deadlock_free(&t, &req, &resp, true).expect("vc separated");
+    }
+
+    #[test]
+    fn coupled_req_resp_on_shared_ring_deadlocks_without_vcs() {
+        let (t, _, nis) = ring4();
+        // Requests 0->2 and 2->0 both travel clockwise on the one-way
+        // ring; responses likewise. Without VC separation the turnaround
+        // edges close the cycle around the ring.
+        let req = min_hop_routes(&t, [(nis[0], nis[2]), (nis[2], nis[0])]).expect("ok");
+        let resp = min_hop_routes(&t, [(nis[2], nis[0]), (nis[0], nis[2])]).expect("ok");
+        let coupled = assert_message_deadlock_free(&t, &req, &resp, false);
+        assert!(
+            matches!(coupled, Err(TopologyError::DeadlockCycle { .. })),
+            "shared-link req/resp coupling must be flagged"
+        );
+        // With VC separation the same routes are accepted: each class's
+        // own CDG is acyclic.
+        assert_message_deadlock_free(&t, &req, &resp, true).expect("vcs decouple");
+    }
+
+    #[test]
+    fn single_link_route_has_no_dependencies_but_is_a_node() {
+        let (t, _, nis) = ring4();
+        let mut set = RouteSet::new();
+        let r = crate::routing::shortest_path(&t, nis[0], nis[1], |_| 1.0).expect("ok");
+        set.insert(nis[0], nis[1], Route::new(vec![r.links[0]]));
+        let cdg = ChannelDependencyGraph::from_routes(&t, &set);
+        assert_eq!(cdg.len(), 1);
+        assert!(cdg.is_acyclic());
+    }
+}

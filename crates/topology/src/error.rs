@@ -1,0 +1,105 @@
+//! Error type for topology construction and analysis.
+
+use crate::graph::{LinkId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by topology construction, routing and deadlock
+/// analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A link endpoint references a node that does not exist.
+    UnknownNode(NodeId),
+    /// A link's source equals its destination.
+    SelfLink(NodeId),
+    /// Two nodes share the same instance name.
+    DuplicateNodeName(String),
+    /// An NI has more than one link in some direction.
+    NiDegree {
+        /// The offending NI node.
+        node: NodeId,
+        /// Incoming link count.
+        inputs: usize,
+        /// Outgoing link count.
+        outputs: usize,
+    },
+    /// No route exists between two endpoints.
+    NoRoute {
+        /// Route source node.
+        from: NodeId,
+        /// Route destination node.
+        to: NodeId,
+    },
+    /// A route is not a contiguous link chain.
+    BrokenRoute {
+        /// First offending link.
+        at: LinkId,
+    },
+    /// The routing function closes a cycle in the channel dependency
+    /// graph, i.e. it can deadlock.
+    DeadlockCycle {
+        /// One link on the cycle, for diagnostics.
+        witness: LinkId,
+    },
+    /// A generator was asked for an impossible shape (e.g. a 0×3 mesh).
+    InvalidShape(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TopologyError::SelfLink(n) => write!(f, "self-link on node {n}"),
+            TopologyError::DuplicateNodeName(name) => {
+                write!(f, "duplicate node name `{name}`")
+            }
+            TopologyError::NiDegree {
+                node,
+                inputs,
+                outputs,
+            } => write!(
+                f,
+                "NI {node} has {inputs} inputs / {outputs} outputs, expected at most 1 each"
+            ),
+            TopologyError::NoRoute { from, to } => {
+                write!(f, "no route from {from} to {to}")
+            }
+            TopologyError::BrokenRoute { at } => {
+                write!(f, "route is not contiguous at link {at}")
+            }
+            TopologyError::DeadlockCycle { witness } => {
+                write!(f, "channel dependency cycle through link {witness}")
+            }
+            TopologyError::InvalidShape(what) => write!(f, "invalid shape: {what}"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<TopologyError>();
+    }
+
+    #[test]
+    fn messages_are_lowercase() {
+        let msgs = [
+            TopologyError::UnknownNode(NodeId(1)).to_string(),
+            TopologyError::SelfLink(NodeId(2)).to_string(),
+            TopologyError::DeadlockCycle {
+                witness: LinkId(3),
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(m.chars().next().map(char::is_lowercase).unwrap_or(false), "{m}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Hierarchical star fabric (the BONE architecture, §5 / Fig. 5):
+//! clusters of cores on local crossbar switches, cluster switches joined
+//! by a central root crossbar.
+//!
+//! "The crossbars act as a non-blocking medium to connect the RISC
+//! processors and the SRAMs. … a hierarchical star topology."
+
+use super::attach_core;
+use crate::error::TopologyError;
+use crate::graph::{NodeId, Topology};
+use crate::routing::{Route, RouteSet};
+use noc_spec::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// A generated hierarchical star.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierStar {
+    /// The underlying topology.
+    pub topology: Topology,
+    /// The central root switch.
+    pub root: NodeId,
+    /// Cluster switches in input order.
+    pub cluster_switches: Vec<NodeId>,
+    /// `(initiator NI, target NI)` per core, in flattened input order.
+    pub nis: Vec<(NodeId, NodeId)>,
+    /// The flattened core list; `cluster_of[i]` gives core `i`'s cluster.
+    pub cores: Vec<CoreId>,
+    /// Cluster index of every core in `cores`.
+    pub cluster_of: Vec<usize>,
+}
+
+/// Builds a hierarchical star from core clusters.
+///
+/// # Errors
+///
+/// [`TopologyError::InvalidShape`] if fewer than 2 clusters or any empty
+/// cluster.
+pub fn hier_star(clusters: &[Vec<CoreId>], width: u32) -> Result<HierStar, TopologyError> {
+    if clusters.len() < 2 {
+        return Err(TopologyError::InvalidShape(format!(
+            "hierarchical star needs >= 2 clusters, got {}",
+            clusters.len()
+        )));
+    }
+    if let Some(i) = clusters.iter().position(Vec::is_empty) {
+        return Err(TopologyError::InvalidShape(format!("cluster {i} is empty")));
+    }
+    let mut topo = Topology::new(format!("hier_star_{}", clusters.len()));
+    let root = topo.add_switch("root");
+    let mut cluster_switches = Vec::with_capacity(clusters.len());
+    let mut nis = Vec::new();
+    let mut cores = Vec::new();
+    let mut cluster_of = Vec::new();
+    for (ci, cluster) in clusters.iter().enumerate() {
+        let sw = topo.add_switch(format!("xbar{ci}"));
+        topo.connect_duplex(sw, root, width).expect("nodes exist");
+        cluster_switches.push(sw);
+        for &core in cluster {
+            nis.push(attach_core(&mut topo, sw, core, width));
+            cores.push(core);
+            cluster_of.push(ci);
+        }
+    }
+    Ok(HierStar {
+        topology: topo,
+        root,
+        cluster_switches,
+        nis,
+        cores,
+        cluster_of,
+    })
+}
+
+impl HierStar {
+    /// Index of a core in the flattened core list.
+    fn index_of(&self, core: CoreId) -> Option<usize> {
+        self.cores.iter().position(|&c| c == core)
+    }
+
+    /// Route between two cores: within a cluster a single crossbar hop,
+    /// across clusters via the root.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::NoRoute`] if either core is absent.
+    pub fn route(&self, src: CoreId, dst: CoreId) -> Result<Route, TopologyError> {
+        let (Some(si), Some(di)) = (self.index_of(src), self.index_of(dst)) else {
+            return Err(TopologyError::NoRoute {
+                from: NodeId(usize::MAX),
+                to: NodeId(usize::MAX),
+            });
+        };
+        let t = &self.topology;
+        let s_sw = self.cluster_switches[self.cluster_of[si]];
+        let d_sw = self.cluster_switches[self.cluster_of[di]];
+        let mut links = vec![t.find_link(self.nis[si].0, s_sw).expect("NI attached")];
+        if s_sw != d_sw {
+            links.push(t.find_link(s_sw, self.root).expect("uplink"));
+            links.push(t.find_link(self.root, d_sw).expect("downlink"));
+        }
+        links.push(t.find_link(d_sw, self.nis[di].1).expect("NI attached"));
+        Ok(Route::new(links))
+    }
+
+    /// Routes for every ordered pair of distinct cores (hierarchical
+    /// up/down routing is deadlock-free: the dependency graph is a tree).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError::NoRoute`].
+    pub fn routes_all_pairs(&self) -> Result<RouteSet, TopologyError> {
+        let mut set = RouteSet::new();
+        for (i, &a) in self.cores.iter().enumerate() {
+            for (j, &b) in self.cores.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                set.insert(self.nis[i].0, self.nis[j].1, self.route(a, b)?);
+            }
+        }
+        Ok(set)
+    }
+
+    /// Builds the BONE configuration of Fig. 5: 10 RISC processors and 8
+    /// dual-port SRAMs split across two crossbar clusters (5 RISC + 4
+    /// SRAM each) under one root.
+    ///
+    /// `riscs` and `srams` must contain exactly 10 and 8 cores.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::InvalidShape`] on wrong counts.
+    pub fn bone(riscs: &[CoreId], srams: &[CoreId], width: u32) -> Result<HierStar, TopologyError> {
+        if riscs.len() != 10 || srams.len() != 8 {
+            return Err(TopologyError::InvalidShape(format!(
+                "BONE needs 10 RISCs and 8 SRAMs, got {} and {}",
+                riscs.len(),
+                srams.len()
+            )));
+        }
+        let mut c0: Vec<CoreId> = riscs[..5].to_vec();
+        c0.extend_from_slice(&srams[..4]);
+        let mut c1: Vec<CoreId> = riscs[5..].to_vec();
+        c1.extend_from_slice(&srams[4..]);
+        hier_star(&[c0, c1], width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadlock::assert_deadlock_free;
+
+    fn cores(range: std::ops::Range<usize>) -> Vec<CoreId> {
+        range.map(CoreId).collect()
+    }
+
+    #[test]
+    fn shape() {
+        let hs = hier_star(&[cores(0..3), cores(3..6), cores(6..9)], 32).expect("valid");
+        assert_eq!(hs.topology.switches().len(), 4); // root + 3 crossbars
+        assert_eq!(hs.topology.nis().len(), 18);
+        assert!(hs.topology.is_connected());
+        assert_eq!(hs.topology.switch_radix(hs.root), (3, 3));
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        assert!(hier_star(&[cores(0..3)], 32).is_err());
+        assert!(hier_star(&[cores(0..3), vec![]], 32).is_err());
+    }
+
+    #[test]
+    fn intra_cluster_route_is_short() {
+        let hs = hier_star(&[cores(0..3), cores(3..6)], 32).expect("valid");
+        let r = hs.route(CoreId(0), CoreId(1)).expect("ok");
+        assert_eq!(r.len(), 2); // inject + eject through one crossbar
+        r.validate(&hs.topology).expect("contiguous");
+    }
+
+    #[test]
+    fn inter_cluster_route_via_root() {
+        let hs = hier_star(&[cores(0..3), cores(3..6)], 32).expect("valid");
+        let r = hs.route(CoreId(0), CoreId(4)).expect("ok");
+        assert_eq!(r.len(), 4);
+        assert!(r.nodes(&hs.topology).contains(&hs.root));
+    }
+
+    #[test]
+    fn all_pairs_deadlock_free() {
+        let hs = hier_star(&[cores(0..4), cores(4..8)], 32).expect("valid");
+        let routes = hs.routes_all_pairs().expect("ok");
+        routes.validate(&hs.topology).expect("valid");
+        assert_deadlock_free(&hs.topology, &routes).expect("tree routing is safe");
+    }
+
+    #[test]
+    fn bone_configuration() {
+        let riscs = cores(0..10);
+        let srams = cores(10..18);
+        let hs = HierStar::bone(&riscs, &srams, 32).expect("valid");
+        assert_eq!(hs.topology.switches().len(), 3);
+        assert_eq!(hs.cores.len(), 18);
+        // RISC0 and SRAM10 share cluster 0: 2-hop route.
+        assert_eq!(hs.route(CoreId(0), CoreId(10)).expect("ok").len(), 2);
+        // RISC0 to SRAM17 crosses the root.
+        assert_eq!(hs.route(CoreId(0), CoreId(17)).expect("ok").len(), 4);
+    }
+
+    #[test]
+    fn bone_wrong_counts_rejected() {
+        assert!(HierStar::bone(&cores(0..9), &cores(9..17), 32).is_err());
+    }
+}

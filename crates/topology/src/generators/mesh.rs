@@ -1,0 +1,314 @@
+//! 2D mesh fabric with dimension-ordered (XY) routing.
+//!
+//! The workhorse of regular CMPs: RAW, Tilera TILE-Gx and the Intel
+//! Teraflops (§5) all use 2D meshes. XY routing is minimal and provably
+//! deadlock-free (it never takes a Y→X turn, so the channel dependency
+//! graph is acyclic).
+
+use super::attach_core;
+use crate::error::TopologyError;
+use crate::graph::{NodeId, Topology};
+use crate::routing::{Route, RouteSet};
+use noc_spec::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// A generated `rows × cols` mesh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mesh {
+    /// The underlying topology.
+    pub topology: Topology,
+    /// Mesh rows.
+    pub rows: usize,
+    /// Mesh columns.
+    pub cols: usize,
+    /// Switch ids in row-major order.
+    pub switches: Vec<NodeId>,
+    /// `(initiator NI, target NI)` per tile, row-major, one per core.
+    pub nis: Vec<(NodeId, NodeId)>,
+    /// The cores placed on the tiles, row-major.
+    pub cores: Vec<CoreId>,
+}
+
+/// Builds a `rows × cols` mesh with one core per tile.
+///
+/// `cores` are placed in row-major order and must number exactly
+/// `rows * cols`. All links are `width` bits.
+///
+/// # Errors
+///
+/// [`TopologyError::InvalidShape`] for a zero dimension or a core-count
+/// mismatch.
+pub fn mesh(rows: usize, cols: usize, cores: &[CoreId], width: u32) -> Result<Mesh, TopologyError> {
+    if rows == 0 || cols == 0 {
+        return Err(TopologyError::InvalidShape(format!(
+            "mesh dimensions {rows}x{cols}"
+        )));
+    }
+    if cores.len() != rows * cols {
+        return Err(TopologyError::InvalidShape(format!(
+            "mesh {rows}x{cols} needs {} cores, got {}",
+            rows * cols,
+            cores.len()
+        )));
+    }
+    let mut topo = Topology::new(format!("mesh_{rows}x{cols}"));
+    let switches: Vec<NodeId> = (0..rows * cols)
+        .map(|i| topo.add_switch(format!("sw_{}_{}", i / cols, i % cols)))
+        .collect();
+    for r in 0..rows {
+        for c in 0..cols {
+            let here = switches[r * cols + c];
+            if c + 1 < cols {
+                topo.connect_duplex(here, switches[r * cols + c + 1], width)
+                    .expect("nodes exist");
+            }
+            if r + 1 < rows {
+                topo.connect_duplex(here, switches[(r + 1) * cols + c], width)
+                    .expect("nodes exist");
+            }
+        }
+    }
+    let nis: Vec<(NodeId, NodeId)> = cores
+        .iter()
+        .enumerate()
+        .map(|(i, &core)| attach_core(&mut topo, switches[i], core, width))
+        .collect();
+    Ok(Mesh {
+        topology: topo,
+        rows,
+        cols,
+        switches,
+        nis,
+        cores: cores.to_vec(),
+    })
+}
+
+impl Mesh {
+    /// The switch at mesh coordinates `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn switch(&self, row: usize, col: usize) -> NodeId {
+        assert!(row < self.rows && col < self.cols, "mesh coords out of range");
+        self.switches[row * self.cols + col]
+    }
+
+    /// Mesh coordinates of a switch.
+    pub fn coords(&self, switch: NodeId) -> Option<(usize, usize)> {
+        self.switches
+            .iter()
+            .position(|&s| s == switch)
+            .map(|i| (i / self.cols, i % self.cols))
+    }
+
+    /// The tile index of a core.
+    pub fn tile_of(&self, core: CoreId) -> Option<usize> {
+        self.cores.iter().position(|&c| c == core)
+    }
+
+    /// Builds the XY route from `src` core's initiator NI to `dst` core's
+    /// target NI: X first, then Y, then eject.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::NoRoute`] if either core is not on the mesh.
+    pub fn xy_route(&self, src: CoreId, dst: CoreId) -> Result<Route, TopologyError> {
+        let (Some(si), Some(di)) = (self.tile_of(src), self.tile_of(dst)) else {
+            return Err(TopologyError::NoRoute {
+                from: NodeId(usize::MAX),
+                to: NodeId(usize::MAX),
+            });
+        };
+        let (sr, sc) = (si / self.cols, si % self.cols);
+        let (dr, dc) = (di / self.cols, di % self.cols);
+        let t = &self.topology;
+        let mut links = Vec::new();
+        let inj = t
+            .find_link(self.nis[si].0, self.switches[si])
+            .expect("NI is attached");
+        links.push(inj);
+        let (mut r, mut c) = (sr, sc);
+        while c != dc {
+            let next = if dc > c { c + 1 } else { c - 1 };
+            links.push(
+                t.find_link(self.switch(r, c), self.switch(r, next))
+                    .expect("mesh neighbors are linked"),
+            );
+            c = next;
+        }
+        while r != dr {
+            let next = if dr > r { r + 1 } else { r - 1 };
+            links.push(
+                t.find_link(self.switch(r, c), self.switch(next, c))
+                    .expect("mesh neighbors are linked"),
+            );
+            r = next;
+        }
+        let eject = t
+            .find_link(self.switches[di], self.nis[di].1)
+            .expect("NI is attached");
+        links.push(eject);
+        Ok(Route::new(links))
+    }
+
+    /// XY routes for every ordered pair of distinct cores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError::NoRoute`] (cannot happen for cores on
+    /// the mesh).
+    pub fn xy_routes_all_pairs(&self) -> Result<RouteSet, TopologyError> {
+        let mut set = RouteSet::new();
+        for (i, &a) in self.cores.iter().enumerate() {
+            for (j, &b) in self.cores.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let route = self.xy_route(a, b)?;
+                set.insert(self.nis[i].0, self.nis[j].1, route);
+            }
+        }
+        Ok(set)
+    }
+
+    /// XY routes for the given core pairs, keyed by (initiator NI,
+    /// target NI).
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::NoRoute`] if a pair is not on the mesh.
+    pub fn xy_routes(
+        &self,
+        pairs: impl IntoIterator<Item = (CoreId, CoreId)>,
+    ) -> Result<RouteSet, TopologyError> {
+        let mut set = RouteSet::new();
+        for (a, b) in pairs {
+            let route = self.xy_route(a, b)?;
+            let si = self.tile_of(a).expect("xy_route checked membership");
+            let di = self.tile_of(b).expect("xy_route checked membership");
+            set.insert(self.nis[si].0, self.nis[di].1, route);
+        }
+        Ok(set)
+    }
+
+    /// Number of bidirectional mesh links crossing the vertical bisection
+    /// (between column `cols/2 - 1` and `cols/2`).
+    pub fn bisection_links(&self) -> usize {
+        self.rows
+    }
+
+    /// The initiator NI of a core.
+    pub fn initiator_of(&self, core: CoreId) -> Option<NodeId> {
+        self.tile_of(core).map(|i| self.nis[i].0)
+    }
+
+    /// The target NI of a core.
+    pub fn target_of(&self, core: CoreId) -> Option<NodeId> {
+        self.tile_of(core).map(|i| self.nis[i].1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadlock::assert_deadlock_free;
+
+    fn cores(n: usize) -> Vec<CoreId> {
+        (0..n).map(CoreId).collect()
+    }
+
+    #[test]
+    fn shape_and_counts() {
+        let m = mesh(3, 4, &cores(12), 32).expect("valid shape");
+        assert_eq!(m.topology.switches().len(), 12);
+        assert_eq!(m.topology.nis().len(), 24);
+        // Mesh links: 2*(rows*(cols-1) + cols*(rows-1)) + 4 per tile NI.
+        let mesh_links = 2 * (3 * 3 + 4 * 2);
+        assert_eq!(m.topology.links().len(), mesh_links + 12 * 4);
+        assert!(m.topology.is_connected());
+        m.topology.validate().expect("well-formed");
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        assert!(mesh(0, 4, &[], 32).is_err());
+        assert!(mesh(2, 2, &cores(3), 32).is_err());
+    }
+
+    #[test]
+    fn interior_switch_radix_is_5_ports_like_teraflops() {
+        // Fig. 4: "a five-port router" — 4 mesh neighbors + local.
+        let m = mesh(3, 3, &cores(9), 32).expect("valid");
+        let center = m.switch(1, 1);
+        let (inputs, outputs) = m.topology.switch_radix(center);
+        // 4 neighbors + 2 NIs (initiator + target count as the local port
+        // pair in this model).
+        assert_eq!(inputs, 6);
+        assert_eq!(outputs, 6);
+        let corner = m.switch(0, 0);
+        assert_eq!(m.topology.switch_radix(corner), (4, 4));
+    }
+
+    #[test]
+    fn xy_route_goes_x_then_y() {
+        let m = mesh(4, 4, &cores(16), 32).expect("valid");
+        let r = m.xy_route(CoreId(0), CoreId(15)).expect("on mesh");
+        let nodes = r.nodes(&m.topology);
+        // ni -> (0,0) -> (0,1) -> (0,2) -> (0,3) -> (1,3) -> (2,3) -> (3,3) -> ni
+        assert_eq!(nodes.len(), 9);
+        assert_eq!(nodes[1], m.switch(0, 0));
+        assert_eq!(nodes[4], m.switch(0, 3));
+        assert_eq!(nodes[7], m.switch(3, 3));
+        r.validate(&m.topology).expect("contiguous");
+    }
+
+    #[test]
+    fn xy_route_length_is_manhattan_plus_two() {
+        let m = mesh(5, 5, &cores(25), 32).expect("valid");
+        for (a, b, manhattan) in [(0usize, 24usize, 8usize), (2, 2, 0), (6, 8, 2)] {
+            if a == b {
+                continue;
+            }
+            let r = m.xy_route(CoreId(a), CoreId(b)).expect("on mesh");
+            assert_eq!(r.len(), manhattan + 2, "{a}->{b}");
+        }
+    }
+
+    #[test]
+    fn xy_all_pairs_is_deadlock_free() {
+        // The textbook property: XY never creates a CDG cycle.
+        let m = mesh(4, 4, &cores(16), 32).expect("valid");
+        let routes = m.xy_routes_all_pairs().expect("routable");
+        assert_eq!(routes.len(), 16 * 15);
+        routes.validate(&m.topology).expect("contiguous");
+        assert_deadlock_free(&m.topology, &routes).expect("XY is deadlock-free");
+    }
+
+    #[test]
+    fn teraflops_8x10_mesh_builds() {
+        let m = mesh(8, 10, &cores(80), 32).expect("valid");
+        assert_eq!(m.topology.switches().len(), 80);
+        assert_eq!(m.bisection_links(), 8);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let m = mesh(3, 5, &cores(15), 32).expect("valid");
+        for r in 0..3 {
+            for c in 0..5 {
+                assert_eq!(m.coords(m.switch(r, c)), Some((r, c)));
+            }
+        }
+        assert_eq!(m.coords(NodeId(9999)), None);
+    }
+
+    #[test]
+    fn ni_accessors() {
+        let m = mesh(2, 2, &cores(4), 32).expect("valid");
+        assert!(m.initiator_of(CoreId(3)).is_some());
+        assert!(m.target_of(CoreId(3)).is_some());
+        assert!(m.initiator_of(CoreId(9)).is_none());
+        assert_ne!(m.initiator_of(CoreId(0)), m.target_of(CoreId(0)));
+    }
+}

@@ -1,0 +1,52 @@
+//! Topology generators for the architecture families the paper surveys.
+//!
+//! | Generator | Paper reference |
+//! |-----------|-----------------|
+//! | [`mesh`] | RAW, Tilera TILE-Gx, Intel Teraflops (§5, Fig. 4) |
+//! | [`torus`] | classical multiprocessor fabric, used as baseline |
+//! | [`ring`] | simple bus-replacement fabric |
+//! | [`fat_tree`] | the SPIN project ("regular, fat-tree-based network", §2) |
+//! | [`spidergon`] | ST Spidergon (§2, \[22\]) |
+//! | [`hier_star`] | BONE memory-centric MPSoC ("hierarchical star", §5, Fig. 5) |
+//! | [`quasi_mesh`] | FAUST ("quasi-mesh as on some routers connect more than one core", §5) |
+//!
+//! Every generator attaches one initiator NI *and* one target NI per core
+//! to the core's home switch, so any traffic direction is expressible;
+//! custom (synthesized) topologies instantiate only the NIs a core's role
+//! requires.
+
+mod fat_tree;
+mod hier_star;
+mod mesh;
+mod quasi_mesh;
+mod ring;
+mod spidergon;
+mod torus;
+
+pub use fat_tree::{fat_tree, FatTree};
+pub use hier_star::{hier_star, HierStar};
+pub use mesh::{mesh, Mesh};
+pub use quasi_mesh::{quasi_mesh, QuasiMesh};
+pub use ring::{ring, Ring};
+pub use spidergon::{spidergon, Spidergon};
+pub use torus::{torus, Torus};
+
+use crate::graph::{NiRole, NodeId, Topology};
+use noc_spec::CoreId;
+
+/// Attaches an initiator and a target NI for `core` to `switch`,
+/// returning `(initiator, target)`.
+pub(crate) fn attach_core(
+    topo: &mut Topology,
+    switch: NodeId,
+    core: CoreId,
+    width: u32,
+) -> (NodeId, NodeId) {
+    let init = topo.add_ni(format!("ni_i{}", core.0), core, NiRole::Initiator);
+    let tgt = topo.add_ni(format!("ni_t{}", core.0), core, NiRole::Target);
+    topo.connect_duplex(init, switch, width)
+        .expect("endpoints were just created");
+    topo.connect_duplex(tgt, switch, width)
+        .expect("endpoints were just created");
+    (init, tgt)
+}

@@ -1,0 +1,243 @@
+//! Quasi-mesh fabric (the FAUST chips, §5): a 2D mesh of switches where
+//! "some routers connect more than one core" — fewer switches than cores,
+//! cores distributed round-robin over the mesh tiles.
+
+use super::attach_core;
+use crate::error::TopologyError;
+use crate::graph::{NodeId, Topology};
+use crate::routing::{Route, RouteSet};
+use noc_spec::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// A generated quasi-mesh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuasiMesh {
+    /// The underlying topology.
+    pub topology: Topology,
+    /// Mesh rows.
+    pub rows: usize,
+    /// Mesh columns.
+    pub cols: usize,
+    /// Switch ids, row-major.
+    pub switches: Vec<NodeId>,
+    /// `(initiator NI, target NI)` per core, in input order.
+    pub nis: Vec<(NodeId, NodeId)>,
+    /// Cores in input order.
+    pub cores: Vec<CoreId>,
+    /// Tile index hosting each core.
+    pub tile_of_core: Vec<usize>,
+}
+
+/// Builds a `rows × cols` quasi-mesh hosting the given cores. Cores are
+/// assigned to tiles round-robin, so tiles host `ceil(n/tiles)` or
+/// `floor(n/tiles)` cores each.
+///
+/// # Errors
+///
+/// [`TopologyError::InvalidShape`] for a zero dimension or no cores.
+pub fn quasi_mesh(
+    rows: usize,
+    cols: usize,
+    cores: &[CoreId],
+    width: u32,
+) -> Result<QuasiMesh, TopologyError> {
+    if rows == 0 || cols == 0 {
+        return Err(TopologyError::InvalidShape(format!(
+            "quasi-mesh dimensions {rows}x{cols}"
+        )));
+    }
+    if cores.is_empty() {
+        return Err(TopologyError::InvalidShape("quasi-mesh with no cores".into()));
+    }
+    let mut topo = Topology::new(format!("quasi_mesh_{rows}x{cols}"));
+    let switches: Vec<NodeId> = (0..rows * cols)
+        .map(|i| topo.add_switch(format!("sw_{}_{}", i / cols, i % cols)))
+        .collect();
+    for r in 0..rows {
+        for c in 0..cols {
+            let here = switches[r * cols + c];
+            if c + 1 < cols {
+                topo.connect_duplex(here, switches[r * cols + c + 1], width)
+                    .expect("nodes exist");
+            }
+            if r + 1 < rows {
+                topo.connect_duplex(here, switches[(r + 1) * cols + c], width)
+                    .expect("nodes exist");
+            }
+        }
+    }
+    let tiles = rows * cols;
+    let mut nis = Vec::with_capacity(cores.len());
+    let mut tile_of_core = Vec::with_capacity(cores.len());
+    for (i, &core) in cores.iter().enumerate() {
+        let tile = i % tiles;
+        nis.push(attach_core(&mut topo, switches[tile], core, width));
+        tile_of_core.push(tile);
+    }
+    Ok(QuasiMesh {
+        topology: topo,
+        rows,
+        cols,
+        switches,
+        nis,
+        cores: cores.to_vec(),
+        tile_of_core,
+    })
+}
+
+impl QuasiMesh {
+    /// The switch at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn switch(&self, row: usize, col: usize) -> NodeId {
+        assert!(row < self.rows && col < self.cols, "coords out of range");
+        self.switches[row * self.cols + col]
+    }
+
+    /// Number of cores hosted by each tile.
+    pub fn occupancy(&self) -> Vec<usize> {
+        let mut occ = vec![0usize; self.rows * self.cols];
+        for &t in &self.tile_of_core {
+            occ[t] += 1;
+        }
+        occ
+    }
+
+    /// XY route between two cores (deadlock-free like on a plain mesh;
+    /// cores sharing a tile route through their common switch).
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::NoRoute`] if either core is absent.
+    pub fn xy_route(&self, src: CoreId, dst: CoreId) -> Result<Route, TopologyError> {
+        let (Some(si), Some(di)) = (
+            self.cores.iter().position(|&c| c == src),
+            self.cores.iter().position(|&c| c == dst),
+        ) else {
+            return Err(TopologyError::NoRoute {
+                from: NodeId(usize::MAX),
+                to: NodeId(usize::MAX),
+            });
+        };
+        let st = self.tile_of_core[si];
+        let dt = self.tile_of_core[di];
+        let (sr, sc) = (st / self.cols, st % self.cols);
+        let (dr, dc) = (dt / self.cols, dt % self.cols);
+        let t = &self.topology;
+        let mut links = vec![t
+            .find_link(self.nis[si].0, self.switches[st])
+            .expect("NI attached")];
+        let (mut r, mut c) = (sr, sc);
+        while c != dc {
+            let next = if dc > c { c + 1 } else { c - 1 };
+            links.push(
+                t.find_link(self.switch(r, c), self.switch(r, next))
+                    .expect("mesh edge"),
+            );
+            c = next;
+        }
+        while r != dr {
+            let next = if dr > r { r + 1 } else { r - 1 };
+            links.push(
+                t.find_link(self.switch(r, c), self.switch(next, c))
+                    .expect("mesh edge"),
+            );
+            r = next;
+        }
+        links.push(
+            t.find_link(self.switches[dt], self.nis[di].1)
+                .expect("NI attached"),
+        );
+        Ok(Route::new(links))
+    }
+
+    /// XY routes for the given core pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError::NoRoute`].
+    pub fn xy_routes(
+        &self,
+        pairs: impl IntoIterator<Item = (CoreId, CoreId)>,
+    ) -> Result<RouteSet, TopologyError> {
+        let mut set = RouteSet::new();
+        for (a, b) in pairs {
+            let route = self.xy_route(a, b)?;
+            let si = self
+                .cores
+                .iter()
+                .position(|&c| c == a)
+                .expect("xy_route checked membership");
+            let di = self
+                .cores
+                .iter()
+                .position(|&c| c == b)
+                .expect("xy_route checked membership");
+            set.insert(self.nis[si].0, self.nis[di].1, route);
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadlock::assert_deadlock_free;
+
+    fn cores(n: usize) -> Vec<CoreId> {
+        (0..n).map(CoreId).collect()
+    }
+
+    #[test]
+    fn faust_like_shape_23_cores_on_4x3() {
+        // FAUST: 23 cores on a quasi-mesh — 12 tiles, so tiles host 1-2.
+        let qm = quasi_mesh(4, 3, &cores(23), 32).expect("valid");
+        assert_eq!(qm.topology.switches().len(), 12);
+        assert_eq!(qm.topology.nis().len(), 46);
+        let occ = qm.occupancy();
+        assert!(occ.iter().all(|&o| o == 1 || o == 2));
+        assert_eq!(occ.iter().sum::<usize>(), 23);
+        assert!(qm.topology.is_connected());
+    }
+
+    #[test]
+    fn shared_tile_route_stays_local() {
+        let qm = quasi_mesh(2, 2, &cores(8), 32).expect("valid");
+        // Cores 0 and 4 share tile 0.
+        assert_eq!(qm.tile_of_core[0], qm.tile_of_core[4]);
+        let r = qm.xy_route(CoreId(0), CoreId(4)).expect("ok");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn cross_mesh_route_is_xy() {
+        let qm = quasi_mesh(3, 3, &cores(9), 32).expect("valid");
+        let r = qm.xy_route(CoreId(0), CoreId(8)).expect("ok");
+        r.validate(&qm.topology).expect("contiguous");
+        assert_eq!(r.len(), 2 + 4); // inject/eject + manhattan(0,0 -> 2,2)
+    }
+
+    #[test]
+    fn all_pairs_xy_deadlock_free() {
+        let qm = quasi_mesh(2, 3, &cores(11), 32).expect("valid");
+        let mut pairs = Vec::new();
+        for i in 0..11 {
+            for j in 0..11 {
+                if i != j {
+                    pairs.push((CoreId(i), CoreId(j)));
+                }
+            }
+        }
+        let routes = qm.xy_routes(pairs).expect("ok");
+        routes.validate(&qm.topology).expect("valid");
+        assert_deadlock_free(&qm.topology, &routes).expect("XY on quasi-mesh is safe");
+    }
+
+    #[test]
+    fn invalid_shapes_rejected() {
+        assert!(quasi_mesh(0, 3, &cores(3), 32).is_err());
+        assert!(quasi_mesh(2, 2, &[], 32).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Bidirectional ring fabric.
+
+use super::attach_core;
+use crate::error::TopologyError;
+use crate::graph::{NodeId, Topology};
+use noc_spec::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// A generated bidirectional ring.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ring {
+    /// The underlying topology.
+    pub topology: Topology,
+    /// Switch ids around the ring.
+    pub switches: Vec<NodeId>,
+    /// `(initiator NI, target NI)` per position.
+    pub nis: Vec<(NodeId, NodeId)>,
+    /// Cores in ring order.
+    pub cores: Vec<CoreId>,
+}
+
+/// Builds a bidirectional ring with one core per switch.
+///
+/// # Errors
+///
+/// [`TopologyError::InvalidShape`] for fewer than 3 cores.
+pub fn ring(cores: &[CoreId], width: u32) -> Result<Ring, TopologyError> {
+    if cores.len() < 3 {
+        return Err(TopologyError::InvalidShape(format!(
+            "ring needs at least 3 cores, got {}",
+            cores.len()
+        )));
+    }
+    let n = cores.len();
+    let mut topo = Topology::new(format!("ring_{n}"));
+    let switches: Vec<NodeId> = (0..n).map(|i| topo.add_switch(format!("sw{i}"))).collect();
+    for i in 0..n {
+        topo.connect_duplex(switches[i], switches[(i + 1) % n], width)
+            .expect("nodes exist");
+    }
+    let nis: Vec<(NodeId, NodeId)> = cores
+        .iter()
+        .enumerate()
+        .map(|(i, &core)| attach_core(&mut topo, switches[i], core, width))
+        .collect();
+    Ok(Ring {
+        topology: topo,
+        switches,
+        nis,
+        cores: cores.to_vec(),
+    })
+}
+
+impl Ring {
+    /// Ring size.
+    pub fn len(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Rings are never empty (minimum size 3).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Minimal hop distance around the ring between two positions.
+    pub fn ring_distance(&self, a: usize, b: usize) -> usize {
+        let n = self.len();
+        let d = (a + n - b) % n;
+        d.min(n - d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cores(n: usize) -> Vec<CoreId> {
+        (0..n).map(CoreId).collect()
+    }
+
+    #[test]
+    fn ring_shape() {
+        let r = ring(&cores(6), 32).expect("valid");
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.topology.links().len(), 6 * 2 + 6 * 4);
+        assert!(r.topology.is_connected());
+        for &s in &r.switches {
+            assert_eq!(r.topology.switch_radix(s), (4, 4));
+        }
+    }
+
+    #[test]
+    fn too_small_rejected() {
+        assert!(ring(&cores(2), 32).is_err());
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let r = ring(&cores(6), 32).expect("valid");
+        assert_eq!(r.ring_distance(0, 5), 1);
+        assert_eq!(r.ring_distance(0, 3), 3);
+        assert_eq!(r.ring_distance(4, 1), 3);
+        assert_eq!(r.ring_distance(2, 2), 0);
+    }
+
+    #[test]
+    fn hop_distance_matches_ring_distance_plus_fabric() {
+        let r = ring(&cores(8), 32).expect("valid");
+        let d = r
+            .topology
+            .hop_distance(r.switches[0], r.switches[3])
+            .expect("connected");
+        assert_eq!(d, 3);
+    }
+}

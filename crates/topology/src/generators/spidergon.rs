@@ -1,0 +1,222 @@
+//! Spidergon fabric (§2, [22]): an even-sized bidirectional ring where
+//! every node also has a chordal "across" link to the diametrically
+//! opposite node.
+
+use super::attach_core;
+use crate::error::TopologyError;
+use crate::graph::{NodeId, Topology};
+use crate::routing::{Route, RouteSet};
+use noc_spec::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// A generated Spidergon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spidergon {
+    /// The underlying topology.
+    pub topology: Topology,
+    /// Switch ids around the ring.
+    pub switches: Vec<NodeId>,
+    /// `(initiator NI, target NI)` per position.
+    pub nis: Vec<(NodeId, NodeId)>,
+    /// Cores in ring order.
+    pub cores: Vec<CoreId>,
+}
+
+/// Builds a Spidergon over the given cores (count must be even, ≥ 4).
+///
+/// # Errors
+///
+/// [`TopologyError::InvalidShape`] for odd or too-small core counts.
+pub fn spidergon(cores: &[CoreId], width: u32) -> Result<Spidergon, TopologyError> {
+    let n = cores.len();
+    if n < 4 || n % 2 != 0 {
+        return Err(TopologyError::InvalidShape(format!(
+            "spidergon needs an even core count >= 4, got {n}"
+        )));
+    }
+    let mut topo = Topology::new(format!("spidergon_{n}"));
+    let switches: Vec<NodeId> = (0..n).map(|i| topo.add_switch(format!("sw{i}"))).collect();
+    for i in 0..n {
+        topo.connect_duplex(switches[i], switches[(i + 1) % n], width)
+            .expect("nodes exist");
+    }
+    for i in 0..n / 2 {
+        topo.connect_duplex(switches[i], switches[i + n / 2], width)
+            .expect("nodes exist");
+    }
+    let nis: Vec<(NodeId, NodeId)> = cores
+        .iter()
+        .enumerate()
+        .map(|(i, &core)| attach_core(&mut topo, switches[i], core, width))
+        .collect();
+    Ok(Spidergon {
+        topology: topo,
+        switches,
+        nis,
+        cores: cores.to_vec(),
+    })
+}
+
+impl Spidergon {
+    /// Ring size.
+    pub fn len(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Spidergons are never empty (minimum size 4).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Across-First route between two cores: take the chordal link when
+    /// the ring distance exceeds N/4, then walk the ring in the shorter
+    /// direction.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::NoRoute`] if either core is not in the network.
+    pub fn across_first_route(&self, src: CoreId, dst: CoreId) -> Result<Route, TopologyError> {
+        let (Some(si), Some(di)) = (
+            self.cores.iter().position(|&c| c == src),
+            self.cores.iter().position(|&c| c == dst),
+        ) else {
+            return Err(TopologyError::NoRoute {
+                from: NodeId(usize::MAX),
+                to: NodeId(usize::MAX),
+            });
+        };
+        let n = self.len();
+        let t = &self.topology;
+        let mut links = vec![t
+            .find_link(self.nis[si].0, self.switches[si])
+            .expect("NI attached")];
+        let mut pos = si;
+        // Across first if it shortens the ring walk.
+        let ring_dist = |a: usize, b: usize| {
+            let d = (a + n - b) % n;
+            d.min(n - d)
+        };
+        if ring_dist(pos, di) > n / 4 {
+            let across = (pos + n / 2) % n;
+            links.push(
+                t.find_link(self.switches[pos], self.switches[across])
+                    .expect("chord exists"),
+            );
+            pos = across;
+        }
+        // Then walk the ring the short way.
+        while pos != di {
+            let cw = (di + n - pos) % n;
+            let next = if cw <= n - cw {
+                (pos + 1) % n
+            } else {
+                (pos + n - 1) % n
+            };
+            links.push(
+                t.find_link(self.switches[pos], self.switches[next])
+                    .expect("ring edge"),
+            );
+            pos = next;
+        }
+        links.push(
+            t.find_link(self.switches[di], self.nis[di].1)
+                .expect("NI attached"),
+        );
+        Ok(Route::new(links))
+    }
+
+    /// Across-First routes for every ordered pair of distinct cores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError::NoRoute`].
+    pub fn across_first_routes_all_pairs(&self) -> Result<RouteSet, TopologyError> {
+        let mut set = RouteSet::new();
+        for (i, &a) in self.cores.iter().enumerate() {
+            for (j, &b) in self.cores.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                set.insert(self.nis[i].0, self.nis[j].1, self.across_first_route(a, b)?);
+            }
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cores(n: usize) -> Vec<CoreId> {
+        (0..n).map(CoreId).collect()
+    }
+
+    #[test]
+    fn shape_and_degree() {
+        let s = spidergon(&cores(8), 32).expect("valid");
+        assert!(s.topology.is_connected());
+        // Each switch: 2 ring neighbors + 1 chord + 2 NIs (duplex).
+        for &sw in &s.switches {
+            assert_eq!(s.topology.switch_radix(sw), (5, 5));
+        }
+        // Links: ring 8*2 + chords 4*2 + NI 8*4.
+        assert_eq!(s.topology.links().len(), 16 + 8 + 32);
+    }
+
+    #[test]
+    fn odd_or_small_rejected() {
+        assert!(spidergon(&cores(5), 32).is_err());
+        assert!(spidergon(&cores(2), 32).is_err());
+    }
+
+    #[test]
+    fn across_first_uses_chord_for_far_targets() {
+        let s = spidergon(&cores(12), 32).expect("valid");
+        let r = s.across_first_route(CoreId(0), CoreId(6)).expect("ok");
+        // inject + chord + eject.
+        assert_eq!(r.len(), 3);
+        r.validate(&s.topology).expect("contiguous");
+    }
+
+    #[test]
+    fn across_first_walks_ring_for_near_targets() {
+        let s = spidergon(&cores(12), 32).expect("valid");
+        let r = s.across_first_route(CoreId(0), CoreId(2)).expect("ok");
+        // inject + 2 ring hops + eject.
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn across_first_beats_pure_ring_on_average() {
+        let n = 16;
+        let s = spidergon(&cores(n), 32).expect("valid");
+        let ring = super::super::ring(&cores(n), 32).expect("valid");
+        let mut spider_hops = 0usize;
+        let mut ring_hops = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                spider_hops += s
+                    .across_first_route(CoreId(i), CoreId(j))
+                    .expect("ok")
+                    .len();
+                ring_hops += ring.ring_distance(i, j) + 2;
+            }
+        }
+        assert!(
+            spider_hops < ring_hops,
+            "spidergon {spider_hops} vs ring {ring_hops}"
+        );
+    }
+
+    #[test]
+    fn all_pairs_routes_are_valid() {
+        let s = spidergon(&cores(8), 32).expect("valid");
+        let routes = s.across_first_routes_all_pairs().expect("ok");
+        assert_eq!(routes.len(), 8 * 7);
+        routes.validate(&s.topology).expect("valid");
+    }
+}

@@ -1,0 +1,144 @@
+//! 2D torus fabric (mesh + wrap-around links).
+//!
+//! Included as the classical high-bisection baseline. Note that minimal
+//! routing on a torus *can* deadlock around the rings; deadlock-free
+//! operation needs either dateline virtual channels (provided by the
+//! simulator) or restricting traffic — the deadlock checker will flag
+//! unsafe route sets.
+
+use super::attach_core;
+use crate::error::TopologyError;
+use crate::graph::{NodeId, Topology};
+use noc_spec::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// A generated `rows × cols` torus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Torus {
+    /// The underlying topology.
+    pub topology: Topology,
+    /// Torus rows.
+    pub rows: usize,
+    /// Torus columns.
+    pub cols: usize,
+    /// Switch ids in row-major order.
+    pub switches: Vec<NodeId>,
+    /// `(initiator NI, target NI)` per tile, row-major.
+    pub nis: Vec<(NodeId, NodeId)>,
+    /// The cores placed on the tiles, row-major.
+    pub cores: Vec<CoreId>,
+}
+
+/// Builds a `rows × cols` torus with one core per tile.
+///
+/// # Errors
+///
+/// [`TopologyError::InvalidShape`] for dimensions < 3 (a wrap link would
+/// duplicate a mesh link) or a core-count mismatch.
+pub fn torus(rows: usize, cols: usize, cores: &[CoreId], width: u32) -> Result<Torus, TopologyError> {
+    if rows < 3 || cols < 3 {
+        return Err(TopologyError::InvalidShape(format!(
+            "torus dimensions {rows}x{cols} (minimum 3x3)"
+        )));
+    }
+    if cores.len() != rows * cols {
+        return Err(TopologyError::InvalidShape(format!(
+            "torus {rows}x{cols} needs {} cores, got {}",
+            rows * cols,
+            cores.len()
+        )));
+    }
+    let mut topo = Topology::new(format!("torus_{rows}x{cols}"));
+    let switches: Vec<NodeId> = (0..rows * cols)
+        .map(|i| topo.add_switch(format!("sw_{}_{}", i / cols, i % cols)))
+        .collect();
+    for r in 0..rows {
+        for c in 0..cols {
+            let here = switches[r * cols + c];
+            let right = switches[r * cols + (c + 1) % cols];
+            let down = switches[((r + 1) % rows) * cols + c];
+            topo.connect_duplex(here, right, width).expect("nodes exist");
+            topo.connect_duplex(here, down, width).expect("nodes exist");
+        }
+    }
+    let nis: Vec<(NodeId, NodeId)> = cores
+        .iter()
+        .enumerate()
+        .map(|(i, &core)| attach_core(&mut topo, switches[i], core, width))
+        .collect();
+    Ok(Torus {
+        topology: topo,
+        rows,
+        cols,
+        switches,
+        nis,
+        cores: cores.to_vec(),
+    })
+}
+
+impl Torus {
+    /// The switch at torus coordinates `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn switch(&self, row: usize, col: usize) -> NodeId {
+        assert!(row < self.rows && col < self.cols, "torus coords out of range");
+        self.switches[row * self.cols + col]
+    }
+
+    /// Every switch of a torus has the same radix: 4 fabric ports + 4 NI
+    /// ports in this model.
+    pub fn uniform_radix(&self) -> (usize, usize) {
+        self.topology.switch_radix(self.switches[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cores(n: usize) -> Vec<CoreId> {
+        (0..n).map(CoreId).collect()
+    }
+
+    #[test]
+    fn torus_has_wrap_links() {
+        let t = torus(3, 3, &cores(9), 32).expect("valid");
+        // (0,0) connects to (0,2) and (2,0) via wraps.
+        assert!(t.topology.find_link(t.switch(0, 0), t.switch(0, 2)).is_some());
+        assert!(t.topology.find_link(t.switch(0, 0), t.switch(2, 0)).is_some());
+        assert!(t.topology.is_connected());
+    }
+
+    #[test]
+    fn all_switches_same_radix() {
+        let t = torus(4, 5, &cores(20), 32).expect("valid");
+        let r0 = t.uniform_radix();
+        for &s in &t.switches {
+            assert_eq!(t.topology.switch_radix(s), r0);
+        }
+        assert_eq!(r0, (6, 6)); // 4 fabric + initiator + target NI
+    }
+
+    #[test]
+    fn torus_diameter_is_half_the_mesh() {
+        let m = super::super::mesh(5, 5, &cores(25), 32).expect("valid");
+        let t = torus(5, 5, &cores(25), 32).expect("valid");
+        let far_mesh = m
+            .topology
+            .hop_distance(m.switch(0, 0), m.switch(4, 4))
+            .expect("connected");
+        let far_torus = t
+            .topology
+            .hop_distance(t.switch(0, 0), t.switch(4, 4))
+            .expect("connected");
+        assert!(far_torus < far_mesh);
+    }
+
+    #[test]
+    fn small_shapes_rejected() {
+        assert!(torus(2, 4, &cores(8), 32).is_err());
+        assert!(torus(4, 4, &cores(15), 32).is_err());
+    }
+}

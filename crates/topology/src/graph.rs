@@ -1,0 +1,563 @@
+//! The topology graph: switches, network interfaces and directed links.
+//!
+//! §3 of the paper: "A modular NoC architecture usually consists of at
+//! least three basic elements: Network Interfaces (NIs), Switches, Links."
+//! [`Topology`] is exactly that — a directed multigraph whose nodes are
+//! switches and NIs and whose edges are unidirectional physical links
+//! (bidirectional connections are two opposite links).
+
+use crate::error::TopologyError;
+use noc_spec::CoreId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// Identifier of a node (switch or NI) within a [`Topology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a directed link within a [`Topology`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LinkId(pub usize);
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Which side of the socket an NI serves (×pipes initiator/target split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NiRole {
+    /// Injects requests, sinks responses (attached to a master).
+    Initiator,
+    /// Sinks requests, injects responses (attached to a slave).
+    Target,
+}
+
+impl fmt::Display for NiRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NiRole::Initiator => f.write_str("initiator"),
+            NiRole::Target => f.write_str("target"),
+        }
+    }
+}
+
+/// The kind of a topology node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A wormhole switch.
+    Switch,
+    /// A network interface attached to an IP core.
+    Ni {
+        /// The core this NI serves.
+        core: CoreId,
+        /// Initiator or target side.
+        role: NiRole,
+    },
+}
+
+/// One node of the topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Instance name, unique within the topology.
+    pub name: String,
+    /// Switch or NI.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// Whether this node is a switch.
+    pub fn is_switch(&self) -> bool {
+        matches!(self.kind, NodeKind::Switch)
+    }
+
+    /// The attached core, if this node is an NI.
+    pub fn core(&self) -> Option<CoreId> {
+        match self.kind {
+            NodeKind::Ni { core, .. } => Some(core),
+            NodeKind::Switch => None,
+        }
+    }
+}
+
+/// One unidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// Driving node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Flit width in bits.
+    pub width: u32,
+    /// Pipeline (relay-station) stages on the wire; traversal takes
+    /// `pipeline_stages + 1` cycles.
+    pub pipeline_stages: u32,
+}
+
+/// A NoC topology: a named directed multigraph of switches, NIs and links.
+///
+/// ```
+/// use noc_topology::graph::{NiRole, Topology};
+/// use noc_spec::CoreId;
+///
+/// # fn main() -> Result<(), noc_topology::error::TopologyError> {
+/// let mut t = Topology::new("tiny");
+/// let s = t.add_switch("sw0");
+/// let ni_a = t.add_ni("ni_a", CoreId(0), NiRole::Initiator);
+/// let ni_b = t.add_ni("ni_b", CoreId(1), NiRole::Target);
+/// t.connect_duplex(ni_a, s, 32)?;
+/// t.connect_duplex(s, ni_b, 32)?;
+/// assert!(t.is_connected());
+/// assert_eq!(t.switch_radix(s), (2, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    name: String,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    out_links: Vec<Vec<LinkId>>,
+    in_links: Vec<Vec<LinkId>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new(name: impl Into<String>) -> Topology {
+        Topology {
+            name: name.into(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            out_links: Vec::new(),
+            in_links: Vec::new(),
+        }
+    }
+
+    /// The topology's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a switch node and returns its id.
+    pub fn add_switch(&mut self, name: impl Into<String>) -> NodeId {
+        self.push_node(Node {
+            name: name.into(),
+            kind: NodeKind::Switch,
+        })
+    }
+
+    /// Adds an NI node attached to `core` and returns its id.
+    pub fn add_ni(&mut self, name: impl Into<String>, core: CoreId, role: NiRole) -> NodeId {
+        self.push_node(Node {
+            name: name.into(),
+            kind: NodeKind::Ni { core, role },
+        })
+    }
+
+    fn push_node(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.out_links.push(Vec::new());
+        self.in_links.push(Vec::new());
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a unidirectional link of the given flit width.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::UnknownNode`] if either endpoint does not exist;
+    /// [`TopologyError::SelfLink`] if `src == dst`.
+    pub fn connect(&mut self, src: NodeId, dst: NodeId, width: u32) -> Result<LinkId, TopologyError> {
+        for n in [src, dst] {
+            if n.0 >= self.nodes.len() {
+                return Err(TopologyError::UnknownNode(n));
+            }
+        }
+        if src == dst {
+            return Err(TopologyError::SelfLink(src));
+        }
+        let id = LinkId(self.links.len());
+        self.links.push(Link {
+            src,
+            dst,
+            width,
+            pipeline_stages: 0,
+        });
+        self.out_links[src.0].push(id);
+        self.in_links[dst.0].push(id);
+        Ok(id)
+    }
+
+    /// Adds a bidirectional connection (two opposite links) and returns
+    /// both ids `(src→dst, dst→src)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`connect`](Topology::connect).
+    pub fn connect_duplex(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        width: u32,
+    ) -> Result<(LinkId, LinkId), TopologyError> {
+        let ab = self.connect(a, b, width)?;
+        let ba = self.connect(b, a, width)?;
+        Ok((ab, ba))
+    }
+
+    /// Sets the pipeline-stage count of a link (computed by the link
+    /// model from its floorplanned length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn set_pipeline_stages(&mut self, link: LinkId, stages: u32) {
+        self.links[link.0].pipeline_stages = stages;
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// The link with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Iterates over `(NodeId, &Node)`.
+    pub fn node_ids(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Iterates over `(LinkId, &Link)`.
+    pub fn link_ids(&self) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links.iter().enumerate().map(|(i, l)| (LinkId(i), l))
+    }
+
+    /// Outgoing links of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn outgoing(&self, node: NodeId) -> &[LinkId] {
+        &self.out_links[node.0]
+    }
+
+    /// Incoming links of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn incoming(&self, node: NodeId) -> &[LinkId] {
+        &self.in_links[node.0]
+    }
+
+    /// `(inputs, outputs)` port counts of a node.
+    pub fn switch_radix(&self, node: NodeId) -> (usize, usize) {
+        (self.in_links[node.0].len(), self.out_links[node.0].len())
+    }
+
+    /// All switch node ids.
+    pub fn switches(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|(_, n)| n.is_switch())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// All NI node ids.
+    pub fn nis(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|(_, n)| !n.is_switch())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Map from core to its NIs (a master/slave core has two).
+    pub fn nis_by_core(&self) -> BTreeMap<CoreId, Vec<NodeId>> {
+        let mut m: BTreeMap<CoreId, Vec<NodeId>> = BTreeMap::new();
+        for (id, n) in self.node_ids() {
+            if let NodeKind::Ni { core, .. } = n.kind {
+                m.entry(core).or_default().push(id);
+            }
+        }
+        m
+    }
+
+    /// The NI of `core` with the given role, if present.
+    pub fn ni_of(&self, core: CoreId, role: NiRole) -> Option<NodeId> {
+        self.node_ids().find_map(|(id, n)| match n.kind {
+            NodeKind::Ni { core: c, role: r } if c == core && r == role => Some(id),
+            _ => None,
+        })
+    }
+
+    /// The first link from `src` to `dst`, if one exists.
+    pub fn find_link(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.out_links[src.0]
+            .iter()
+            .copied()
+            .find(|&l| self.links[l.0].dst == dst)
+    }
+
+    /// Whether every node can reach every other node along directed links.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        // Strong connectivity via forward and backward BFS from node 0.
+        self.reachable_from(NodeId(0), false).len() == self.nodes.len()
+            && self.reachable_from(NodeId(0), true).len() == self.nodes.len()
+    }
+
+    /// Nodes reachable from `start` (following links forward, or backward
+    /// when `reverse` is set), including `start`.
+    pub fn reachable_from(&self, start: NodeId, reverse: bool) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue = VecDeque::from([start]);
+        seen[start.0] = true;
+        let mut out = Vec::new();
+        while let Some(n) = queue.pop_front() {
+            out.push(n);
+            let edges = if reverse {
+                &self.in_links[n.0]
+            } else {
+                &self.out_links[n.0]
+            };
+            for &l in edges {
+                let next = if reverse {
+                    self.links[l.0].src
+                } else {
+                    self.links[l.0].dst
+                };
+                if !seen[next.0] {
+                    seen[next.0] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        out
+    }
+
+    /// BFS hop distance between two nodes, if a path exists.
+    pub fn hop_distance(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        let mut dist = vec![usize::MAX; self.nodes.len()];
+        let mut queue = VecDeque::from([from]);
+        dist[from.0] = 0;
+        while let Some(n) = queue.pop_front() {
+            if n == to {
+                return Some(dist[n.0]);
+            }
+            for &l in &self.out_links[n.0] {
+                let next = self.links[l.0].dst;
+                if dist[next.0] == usize::MAX {
+                    dist[next.0] = dist[n.0] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Structural validation: NIs have at most one link each way, switch
+    /// ports are consistent, names are unique.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::DuplicateNodeName`] or
+    /// [`TopologyError::NiDegree`] on violation.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        let mut names = std::collections::BTreeSet::new();
+        for n in &self.nodes {
+            if !names.insert(&n.name) {
+                return Err(TopologyError::DuplicateNodeName(n.name.clone()));
+            }
+        }
+        for (id, n) in self.node_ids() {
+            if !n.is_switch() {
+                let (i, o) = self.switch_radix(id);
+                if i > 1 || o > 1 {
+                    return Err(TopologyError::NiDegree {
+                        node: id,
+                        inputs: i,
+                        outputs: o,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} switches, {} NIs, {} links",
+            self.name,
+            self.switches().len(),
+            self.nis().len(),
+            self.links.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star3() -> (Topology, NodeId, Vec<NodeId>) {
+        let mut t = Topology::new("star3");
+        let hub = t.add_switch("hub");
+        let nis: Vec<NodeId> = (0..3)
+            .map(|i| {
+                let ni = t.add_ni(format!("ni{i}"), CoreId(i), NiRole::Initiator);
+                t.connect_duplex(ni, hub, 32).expect("valid endpoints");
+                ni
+            })
+            .collect();
+        (t, hub, nis)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (t, hub, nis) = star3();
+        assert_eq!(t.switches(), vec![hub]);
+        assert_eq!(t.nis().len(), 3);
+        assert_eq!(t.switch_radix(hub), (3, 3));
+        assert_eq!(t.switch_radix(nis[0]), (1, 1));
+        assert_eq!(t.links().len(), 6);
+    }
+
+    #[test]
+    fn self_link_rejected() {
+        let mut t = Topology::new("t");
+        let s = t.add_switch("s");
+        assert!(matches!(t.connect(s, s, 32), Err(TopologyError::SelfLink(_))));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut t = Topology::new("t");
+        let s = t.add_switch("s");
+        assert!(matches!(
+            t.connect(s, NodeId(42), 32),
+            Err(TopologyError::UnknownNode(NodeId(42)))
+        ));
+    }
+
+    #[test]
+    fn connectivity() {
+        let (t, _, _) = star3();
+        assert!(t.is_connected());
+        let mut disconnected = t.clone();
+        disconnected.add_switch("island");
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn one_way_ring_is_strongly_connected() {
+        let mut t = Topology::new("ring");
+        let nodes: Vec<NodeId> = (0..4).map(|i| t.add_switch(format!("s{i}"))).collect();
+        for i in 0..4 {
+            t.connect(nodes[i], nodes[(i + 1) % 4], 32).expect("ok");
+        }
+        assert!(t.is_connected());
+        // Removing one direction of reachability breaks strong
+        // connectivity: a chain is not strongly connected.
+        let mut chain = Topology::new("chain");
+        let a = chain.add_switch("a");
+        let b = chain.add_switch("b");
+        chain.connect(a, b, 32).expect("ok");
+        assert!(!chain.is_connected());
+    }
+
+    #[test]
+    fn hop_distance_in_star() {
+        let (t, hub, nis) = star3();
+        assert_eq!(t.hop_distance(nis[0], hub), Some(1));
+        assert_eq!(t.hop_distance(nis[0], nis[1]), Some(2));
+        assert_eq!(t.hop_distance(hub, hub), Some(0));
+    }
+
+    #[test]
+    fn hop_distance_unreachable_is_none() {
+        let mut t = Topology::new("t");
+        let a = t.add_switch("a");
+        let b = t.add_switch("b");
+        assert_eq!(t.hop_distance(a, b), None);
+    }
+
+    #[test]
+    fn validate_catches_duplicate_names() {
+        let mut t = Topology::new("t");
+        t.add_switch("x");
+        t.add_switch("x");
+        assert!(matches!(
+            t.validate(),
+            Err(TopologyError::DuplicateNodeName(_))
+        ));
+    }
+
+    #[test]
+    fn validate_catches_overconnected_ni() {
+        let mut t = Topology::new("t");
+        let s0 = t.add_switch("s0");
+        let s1 = t.add_switch("s1");
+        let ni = t.add_ni("ni", CoreId(0), NiRole::Initiator);
+        t.connect(ni, s0, 32).expect("ok");
+        t.connect(ni, s1, 32).expect("ok");
+        assert!(matches!(t.validate(), Err(TopologyError::NiDegree { .. })));
+    }
+
+    #[test]
+    fn ni_lookup_by_core_and_role() {
+        let mut t = Topology::new("t");
+        let s = t.add_switch("s");
+        let init = t.add_ni("i", CoreId(7), NiRole::Initiator);
+        let targ = t.add_ni("t7", CoreId(7), NiRole::Target);
+        t.connect_duplex(init, s, 32).expect("ok");
+        t.connect_duplex(targ, s, 32).expect("ok");
+        assert_eq!(t.ni_of(CoreId(7), NiRole::Initiator), Some(init));
+        assert_eq!(t.ni_of(CoreId(7), NiRole::Target), Some(targ));
+        assert_eq!(t.ni_of(CoreId(8), NiRole::Target), None);
+        assert_eq!(t.nis_by_core()[&CoreId(7)].len(), 2);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let (t, _, _) = star3();
+        assert_eq!(t.to_string(), "star3: 1 switches, 3 NIs, 6 links");
+    }
+}

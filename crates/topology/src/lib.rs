@@ -1,0 +1,50 @@
+//! # noc-topology — NoC topology graphs, generators, routing and deadlock analysis
+//!
+//! The structural substrate of the `nocsilk` workspace, modeling §3 of the
+//! DAC'10 paper "Networks on Chips: from Research to Products": networks
+//! built from **switches**, **network interfaces** and **links**.
+//!
+//! * [`graph`] — the [`Topology`] directed multigraph;
+//! * [`generators`] — mesh (Teraflops/Tilera), fat tree (SPIN), Spidergon,
+//!   hierarchical star (BONE), quasi-mesh (FAUST), torus, ring;
+//! * [`routing`] — source routing: weighted shortest paths and
+//!   per-generator structured routings (XY, up*/down*, Across-First);
+//! * [`deadlock`] — channel-dependency-graph acyclicity (routing
+//!   deadlock) and request/response virtual-network checks
+//!   (message-dependent deadlock);
+//! * [`turn_model`] — Glass–Ni turn-model routing (west-first,
+//!   north-last, negative-first), all provably deadlock-free;
+//! * [`metrics`] — hop stats, diameter, link loads, aggregate bandwidth.
+//!
+//! ## Example: a deadlock-free mesh
+//!
+//! ```
+//! use noc_topology::generators::mesh;
+//! use noc_topology::deadlock::assert_deadlock_free;
+//! use noc_spec::CoreId;
+//!
+//! # fn main() -> Result<(), noc_topology::error::TopologyError> {
+//! let cores: Vec<CoreId> = (0..9).map(CoreId).collect();
+//! let m = mesh(3, 3, &cores, 32)?;
+//! let routes = m.xy_routes_all_pairs()?;
+//! assert_deadlock_free(&m.topology, &routes)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deadlock;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod metrics;
+pub mod routing;
+pub mod turn_model;
+
+pub use crate::deadlock::{assert_deadlock_free, assert_message_deadlock_free, ChannelDependencyGraph};
+pub use crate::error::TopologyError;
+pub use crate::graph::{Link, LinkId, NiRole, Node, NodeId, NodeKind, Topology};
+pub use crate::routing::{min_hop_routes, shortest_path, Route, RouteSet};
+pub use crate::turn_model::TurnModel;

@@ -1,0 +1,204 @@
+//! Structural metrics of topologies and route sets: diameter, average
+//! hop count, link load, aggregate bandwidth.
+
+use crate::graph::{LinkId, Topology};
+use crate::routing::RouteSet;
+use noc_spec::units::{BitsPerSecond, Hertz};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Hop-count statistics of a route set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HopStats {
+    /// Number of routes measured.
+    pub routes: usize,
+    /// Minimum route length (links).
+    pub min: usize,
+    /// Maximum route length (links) — the routed diameter.
+    pub max: usize,
+    /// Mean route length.
+    pub mean: f64,
+}
+
+/// Computes hop statistics over a route set (empty routes are skipped).
+pub fn hop_stats(routes: &RouteSet) -> Option<HopStats> {
+    let lens: Vec<usize> = routes
+        .iter()
+        .map(|(_, r)| r.len())
+        .filter(|&l| l > 0)
+        .collect();
+    if lens.is_empty() {
+        return None;
+    }
+    Some(HopStats {
+        routes: lens.len(),
+        min: *lens.iter().min().expect("nonempty"),
+        max: *lens.iter().max().expect("nonempty"),
+        mean: lens.iter().sum::<usize>() as f64 / lens.len() as f64,
+    })
+}
+
+/// Topology diameter in hops over all node pairs (None if disconnected).
+pub fn diameter(topo: &Topology) -> Option<usize> {
+    let n = topo.nodes().len();
+    let mut worst = 0;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            match topo.hop_distance(crate::graph::NodeId(i), crate::graph::NodeId(j)) {
+                Some(d) => worst = worst.max(d),
+                None => return None,
+            }
+        }
+    }
+    Some(worst)
+}
+
+/// Accumulates the bandwidth demand each link carries when `demands`
+/// (bandwidth per endpoint pair) are routed over `routes`.
+///
+/// Pairs in `demands` without a route are ignored; callers that need
+/// strictness should check coverage separately.
+pub fn link_loads(
+    routes: &RouteSet,
+    demands: &BTreeMap<(crate::graph::NodeId, crate::graph::NodeId), BitsPerSecond>,
+) -> BTreeMap<LinkId, BitsPerSecond> {
+    let mut loads: BTreeMap<LinkId, BitsPerSecond> = BTreeMap::new();
+    for (pair, bw) in demands {
+        if let Some(route) = routes.get(pair.0, pair.1) {
+            for &l in &route.links {
+                *loads.entry(l).or_insert(BitsPerSecond::ZERO) += *bw;
+            }
+        }
+    }
+    loads
+}
+
+/// Whether every link's load stays within its raw capacity at `clock`,
+/// derated by `utilization_cap` (e.g. 0.7 keeps 30 % headroom for
+/// protocol overhead and burst contention).
+pub fn loads_within_capacity(
+    topo: &Topology,
+    loads: &BTreeMap<LinkId, BitsPerSecond>,
+    clock: Hertz,
+    utilization_cap: f64,
+) -> bool {
+    loads.iter().all(|(&l, &bw)| {
+        let cap = BitsPerSecond::of_link(topo.link(l).width, clock);
+        (bw.raw() as f64) <= cap.raw() as f64 * utilization_cap
+    })
+}
+
+/// Aggregate raw bandwidth of all links in the topology at `clock` —
+/// the figure the Teraflops paper quotes ("aggregate bandwidth supported
+/// by the chip at 3.16 GHz … around 1.62 Terabits/s" counts the mesh
+/// fabric's sustainable traffic).
+pub fn aggregate_link_bandwidth(topo: &Topology, clock: Hertz) -> BitsPerSecond {
+    topo.links()
+        .iter()
+        .map(|l| BitsPerSecond::of_link(l.width, clock))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::mesh;
+    use noc_spec::CoreId;
+
+    fn cores(n: usize) -> Vec<CoreId> {
+        (0..n).map(CoreId).collect()
+    }
+
+    #[test]
+    fn hop_stats_of_mesh_all_pairs() {
+        let m = mesh(3, 3, &cores(9), 32).expect("valid");
+        let routes = m.xy_routes_all_pairs().expect("ok");
+        let stats = hop_stats(&routes).expect("nonempty");
+        assert_eq!(stats.routes, 72);
+        assert_eq!(stats.min, 3); // neighbors: inject + 1 + eject
+        assert_eq!(stats.max, 6); // corners: inject + 4 + eject
+        assert!(stats.mean > 3.0 && stats.mean < 6.0);
+    }
+
+    #[test]
+    fn hop_stats_empty_is_none() {
+        assert!(hop_stats(&RouteSet::new()).is_none());
+    }
+
+    #[test]
+    fn diameter_of_small_mesh() {
+        let m = mesh(2, 2, &cores(4), 32).expect("valid");
+        // NI -> sw -> sw -> sw -> NI across the diagonal = 4.
+        assert_eq!(diameter(&m.topology), Some(4));
+    }
+
+    #[test]
+    fn diameter_of_disconnected_is_none() {
+        let mut t = Topology::new("t");
+        t.add_switch("a");
+        t.add_switch("b");
+        assert_eq!(diameter(&t), None);
+    }
+
+    #[test]
+    fn link_loads_accumulate() {
+        let m = mesh(1, 3, &cores(3), 32).expect("valid");
+        let routes = m.xy_routes_all_pairs().expect("ok");
+        let mut demands = BTreeMap::new();
+        // 0 -> 2 and 1 -> 2 share the link between switches 1 and 2.
+        demands.insert(
+            (m.initiator_of(CoreId(0)).expect("ni"), m.target_of(CoreId(2)).expect("ni")),
+            BitsPerSecond::from_mbps(100),
+        );
+        demands.insert(
+            (m.initiator_of(CoreId(1)).expect("ni"), m.target_of(CoreId(2)).expect("ni")),
+            BitsPerSecond::from_mbps(50),
+        );
+        let loads = link_loads(&routes, &demands);
+        let shared = m
+            .topology
+            .find_link(m.switch(0, 1), m.switch(0, 2))
+            .expect("edge");
+        assert_eq!(loads[&shared], BitsPerSecond::from_mbps(150));
+    }
+
+    #[test]
+    fn capacity_check() {
+        let m = mesh(1, 3, &cores(3), 32).expect("valid");
+        let routes = m.xy_routes_all_pairs().expect("ok");
+        let mut demands = BTreeMap::new();
+        demands.insert(
+            (m.initiator_of(CoreId(0)).expect("ni"), m.target_of(CoreId(2)).expect("ni")),
+            BitsPerSecond::from_gbps(20.0),
+        );
+        let loads = link_loads(&routes, &demands);
+        // 32-bit @ 1 GHz = 32 Gb/s; 20 Gb/s fits at cap 0.7 (22.4).
+        assert!(loads_within_capacity(
+            &m.topology,
+            &loads,
+            Hertz::from_ghz(1.0),
+            0.7
+        ));
+        // But not at 500 MHz (16 Gb/s raw).
+        assert!(!loads_within_capacity(
+            &m.topology,
+            &loads,
+            Hertz::from_mhz(500),
+            0.7
+        ));
+    }
+
+    #[test]
+    fn teraflops_aggregate_bandwidth_order() {
+        // 8x10 mesh of 32-bit links at 3.16 GHz: fabric links only =
+        // 2*(8*9 + 10*7) = 284 links * 101.12 Gb/s ≈ 28.7 Tb/s raw.
+        // The paper's 1.62 Tb/s counts sustained chip throughput, not raw
+        // fabric capacity; the bench reports both (see EXPERIMENTS.md).
+        let m = mesh(8, 10, &cores(80), 32).expect("valid");
+        let agg = aggregate_link_bandwidth(&m.topology, Hertz::from_ghz(3.16));
+        assert!(agg.to_gbps() > 1620.0, "raw capacity exceeds sustained");
+    }
+}

@@ -1,0 +1,360 @@
+//! Source routing: path computation and routing tables.
+//!
+//! ×pipes (§3, Fig. 1b) uses source routing: "NI Look-Up Tables (LUTs)
+//! specify the path that packets will follow in the network to reach
+//! their destination." This module computes those paths — generic
+//! weighted shortest paths for arbitrary topologies and dimension-ordered
+//! routing for meshes — and assembles them into [`RouteSet`]s that the
+//! simulator loads into NI LUTs and the deadlock checker analyzes.
+
+use crate::error::TopologyError;
+use crate::graph::{LinkId, NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// One path through the network: a contiguous chain of links.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Route {
+    /// Links in traversal order.
+    pub links: Vec<LinkId>,
+}
+
+impl Route {
+    /// Creates a route from a link chain.
+    pub fn new(links: Vec<LinkId>) -> Route {
+        Route { links }
+    }
+
+    /// Number of links (hops between nodes) on the route.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the route is empty (source equals destination).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The sequence of nodes visited, starting at the route's source.
+    /// Empty for an empty route.
+    pub fn nodes(&self, topo: &Topology) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.links.len() + 1);
+        for (i, &l) in self.links.iter().enumerate() {
+            let link = topo.link(l);
+            if i == 0 {
+                out.push(link.src);
+            }
+            out.push(link.dst);
+        }
+        out
+    }
+
+    /// Checks that consecutive links share endpoints.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::BrokenRoute`] naming the first discontinuity.
+    pub fn validate(&self, topo: &Topology) -> Result<(), TopologyError> {
+        for pair in self.links.windows(2) {
+            if topo.link(pair[0]).dst != topo.link(pair[1]).src {
+                return Err(TopologyError::BrokenRoute { at: pair[1] });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A set of routes keyed by `(source NI, destination NI)` — the contents
+/// of all NI LUTs of a design.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RouteSet {
+    routes: BTreeMap<(NodeId, NodeId), Route>,
+}
+
+impl RouteSet {
+    /// Creates an empty route set.
+    pub fn new() -> RouteSet {
+        RouteSet::default()
+    }
+
+    /// Inserts (or replaces) the route for an endpoint pair; returns the
+    /// previous route if one existed.
+    pub fn insert(&mut self, from: NodeId, to: NodeId, route: Route) -> Option<Route> {
+        self.routes.insert((from, to), route)
+    }
+
+    /// The route for an endpoint pair, if present.
+    pub fn get(&self, from: NodeId, to: NodeId) -> Option<&Route> {
+        self.routes.get(&(from, to))
+    }
+
+    /// Iterates over `((from, to), &Route)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &Route)> {
+        self.routes.iter()
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Validates every route's contiguity and endpoints.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::BrokenRoute`] on the first inconsistent route.
+    pub fn validate(&self, topo: &Topology) -> Result<(), TopologyError> {
+        for ((from, to), route) in &self.routes {
+            route.validate(topo)?;
+            if let (Some(&first), Some(&last)) = (route.links.first(), route.links.last()) {
+                if topo.link(first).src != *from || topo.link(last).dst != *to {
+                    return Err(TopologyError::BrokenRoute { at: first });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes the minimum-cost path between two nodes with Dijkstra's
+/// algorithm. `cost` assigns a positive weight to each link (use
+/// `|_| 1.0` for hop count). Ties break deterministically on link id.
+///
+/// # Errors
+///
+/// [`TopologyError::NoRoute`] if `to` is unreachable from `from`.
+pub fn shortest_path(
+    topo: &Topology,
+    from: NodeId,
+    to: NodeId,
+    mut cost: impl FnMut(LinkId) -> f64,
+) -> Result<Route, TopologyError> {
+    if from == to {
+        return Ok(Route::default());
+    }
+    let n = topo.nodes().len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<LinkId>> = vec![None; n];
+    // BinaryHeap over ordered-bits of the distance for a deterministic
+    // min-heap without float-ord pitfalls (all costs are finite, >= 0).
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    dist[from.0] = 0.0;
+    heap.push(Reverse((0, from.0)));
+    while let Some(Reverse((d_bits, u))) = heap.pop() {
+        let d = f64::from_bits(d_bits);
+        if d > dist[u] {
+            continue;
+        }
+        if u == to.0 {
+            break;
+        }
+        for &l in topo.outgoing(NodeId(u)) {
+            let w = cost(l);
+            debug_assert!(w >= 0.0, "link costs must be non-negative");
+            let v = topo.link(l).dst.0;
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                prev[v] = Some(l);
+                heap.push(Reverse((nd.to_bits(), v)));
+            }
+        }
+    }
+    if dist[to.0].is_infinite() {
+        return Err(TopologyError::NoRoute { from, to });
+    }
+    let mut links = Vec::new();
+    let mut cur = to.0;
+    while let Some(l) = prev[cur] {
+        links.push(l);
+        cur = topo.link(l).src.0;
+    }
+    links.reverse();
+    Ok(Route::new(links))
+}
+
+/// Builds minimum-hop routes avoiding a set of failed links — the
+/// routing-table regeneration step behind the paper's resilience claims
+/// (reconfigurable NoCs "support component redundancy in a transparent
+/// fashion", §1).
+///
+/// # Errors
+///
+/// [`TopologyError::NoRoute`] if the failures disconnect a pair.
+pub fn reroute_avoiding(
+    topo: &Topology,
+    pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
+    failed: &std::collections::BTreeSet<LinkId>,
+) -> Result<RouteSet, TopologyError> {
+    let mut set = RouteSet::new();
+    for (from, to) in pairs {
+        let route = shortest_path(topo, from, to, |l| {
+            if failed.contains(&l) {
+                1e12
+            } else {
+                1.0
+            }
+        })?;
+        if route.links.iter().any(|l| failed.contains(l)) {
+            return Err(TopologyError::NoRoute { from, to });
+        }
+        set.insert(from, to, route);
+    }
+    Ok(set)
+}
+
+/// Builds minimum-hop routes for every requested endpoint pair.
+///
+/// # Errors
+///
+/// [`TopologyError::NoRoute`] if any pair is disconnected.
+pub fn min_hop_routes(
+    topo: &Topology,
+    pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
+) -> Result<RouteSet, TopologyError> {
+    let mut set = RouteSet::new();
+    for (from, to) in pairs {
+        let route = shortest_path(topo, from, to, |_| 1.0)?;
+        set.insert(from, to, route);
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NiRole;
+    use noc_spec::CoreId;
+
+    /// A 2-switch dumbbell: ni0 - s0 - s1 - ni1, plus a slow detour
+    /// s0 - s2 - s1.
+    fn dumbbell() -> (Topology, NodeId, NodeId, [NodeId; 3]) {
+        let mut t = Topology::new("dumbbell");
+        let s0 = t.add_switch("s0");
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let ni0 = t.add_ni("ni0", CoreId(0), NiRole::Initiator);
+        let ni1 = t.add_ni("ni1", CoreId(1), NiRole::Target);
+        t.connect_duplex(ni0, s0, 32).expect("ok");
+        t.connect_duplex(s0, s1, 32).expect("ok");
+        t.connect_duplex(s0, s2, 32).expect("ok");
+        t.connect_duplex(s2, s1, 32).expect("ok");
+        t.connect_duplex(s1, ni1, 32).expect("ok");
+        (t, ni0, ni1, [s0, s1, s2])
+    }
+
+    #[test]
+    fn shortest_path_takes_direct_link() {
+        let (t, ni0, ni1, [s0, s1, _]) = dumbbell();
+        let r = shortest_path(&t, ni0, ni1, |_| 1.0).expect("reachable");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.nodes(&t), vec![ni0, s0, s1, ni1]);
+        r.validate(&t).expect("contiguous");
+    }
+
+    #[test]
+    fn weighted_path_can_prefer_detour() {
+        let (t, ni0, ni1, [_, _, s2]) = dumbbell();
+        // Penalize the direct s0->s1 link heavily.
+        let direct = t
+            .link_ids()
+            .find(|(_, l)| {
+                t.node(l.src).name == "s0" && t.node(l.dst).name == "s1"
+            })
+            .map(|(id, _)| id)
+            .expect("link exists");
+        let r = shortest_path(&t, ni0, ni1, |l| if l == direct { 100.0 } else { 1.0 })
+            .expect("reachable");
+        assert!(r.nodes(&t).contains(&s2), "should take the detour");
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn same_endpoint_gives_empty_route() {
+        let (t, ni0, _, _) = dumbbell();
+        let r = shortest_path(&t, ni0, ni0, |_| 1.0).expect("trivial");
+        assert!(r.is_empty());
+        assert!(r.nodes(&t).is_empty());
+    }
+
+    #[test]
+    fn unreachable_is_error() {
+        let mut t = Topology::new("t");
+        let a = t.add_switch("a");
+        let b = t.add_switch("b");
+        assert!(matches!(
+            shortest_path(&t, a, b, |_| 1.0),
+            Err(TopologyError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn min_hop_routes_builds_all_pairs() {
+        let (t, ni0, ni1, _) = dumbbell();
+        let set = min_hop_routes(&t, [(ni0, ni1), (ni1, ni0)]).expect("routable");
+        assert_eq!(set.len(), 2);
+        set.validate(&t).expect("valid");
+        assert_eq!(set.get(ni0, ni1).map(Route::len), Some(3));
+    }
+
+    #[test]
+    fn route_set_validate_catches_endpoint_mismatch() {
+        let (t, ni0, ni1, _) = dumbbell();
+        let good = shortest_path(&t, ni0, ni1, |_| 1.0).expect("ok");
+        let mut set = RouteSet::new();
+        // Register under swapped endpoints.
+        set.insert(ni1, ni0, good);
+        assert!(set.validate(&t).is_err());
+    }
+
+    #[test]
+    fn broken_route_detected() {
+        let (t, ni0, ni1, _) = dumbbell();
+        let a = shortest_path(&t, ni0, ni1, |_| 1.0).expect("ok");
+        let b = shortest_path(&t, ni1, ni0, |_| 1.0).expect("ok");
+        let frankenstein = Route::new(
+            a.links
+                .iter()
+                .chain(b.links.iter().skip(1))
+                .copied()
+                .collect(),
+        );
+        assert!(matches!(
+            frankenstein.validate(&t),
+            Err(TopologyError::BrokenRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn reroute_avoids_failed_links() {
+        use std::collections::BTreeSet;
+        let (t, ni0, ni1, [s0, s1, s2]) = dumbbell();
+        let direct = t.find_link(s0, s1).expect("edge");
+        let failed: BTreeSet<LinkId> = [direct].into_iter().collect();
+        let routes = reroute_avoiding(&t, [(ni0, ni1)], &failed).expect("detour exists");
+        let r = routes.get(ni0, ni1).expect("routed");
+        assert!(!r.links.contains(&direct));
+        assert!(r.nodes(&t).contains(&s2), "detour via s2");
+        // Failing the whole cut disconnects.
+        let mut all: BTreeSet<LinkId> = failed;
+        all.insert(t.find_link(s0, s2).expect("edge"));
+        assert!(matches!(
+            reroute_avoiding(&t, [(ni0, ni1)], &all),
+            Err(TopologyError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn dijkstra_is_deterministic() {
+        let (t, ni0, ni1, _) = dumbbell();
+        let r1 = shortest_path(&t, ni0, ni1, |_| 1.0).expect("ok");
+        let r2 = shortest_path(&t, ni0, ni1, |_| 1.0).expect("ok");
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,244 @@
+//! Turn-model routing on 2D meshes (Glass & Ni).
+//!
+//! §2 lists "routing strategy development" among the NoC design-automation
+//! issues. Besides dimension-ordered XY, the classic deadlock-free
+//! families prohibit a minimal set of *turns* instead of a dimension
+//! order, leaving (partially) adaptive freedom. This module implements
+//! deterministic minimal representatives of the three Glass–Ni models —
+//! each provably deadlock-free because the prohibited turns break every
+//! abstract cycle:
+//!
+//! * **West-First** — all westward hops are taken first (no turn *into*
+//!   west);
+//! * **North-Last** — northward hops are taken last (no turn *out of*
+//!   north);
+//! * **Negative-First** — all negative-direction hops (west/north, i.e.
+//!   decreasing coordinates) first.
+//!
+//! Coordinates follow [`Mesh`]: rows grow "south", columns grow "east";
+//! "north" means decreasing row.
+
+use crate::error::TopologyError;
+use crate::generators::Mesh;
+use crate::routing::{Route, RouteSet};
+use noc_spec::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// A turn-restriction routing model for meshes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TurnModel {
+    /// Dimension-ordered X-then-Y.
+    XyOrder,
+    /// West-first: westward movement happens before anything else.
+    WestFirst,
+    /// North-last: northward movement happens after everything else.
+    NorthLast,
+    /// Negative-first: west and north before east and south.
+    NegativeFirst,
+}
+
+impl TurnModel {
+    /// All models, for sweeps.
+    pub const ALL: [TurnModel; 4] = [
+        TurnModel::XyOrder,
+        TurnModel::WestFirst,
+        TurnModel::NorthLast,
+        TurnModel::NegativeFirst,
+    ];
+
+    /// The hop sequence from `(sr, sc)` to `(dr, dc)` as a list of
+    /// `(dr, dc)` unit moves, honoring this model's turn restrictions
+    /// while remaining minimal.
+    fn moves(
+        self,
+        (sr, sc): (usize, usize),
+        (dr, dc): (usize, usize),
+    ) -> Vec<(isize, isize)> {
+        let east = dc as isize - sc as isize; // > 0 → east moves needed
+        let south = dr as isize - sr as isize; // > 0 → south moves needed
+        let rep = |n: isize, step: (isize, isize)| -> Vec<(isize, isize)> {
+            (0..n.abs()).map(|_| step).collect()
+        };
+        let west_moves = rep(east.min(0), (0, -1));
+        let east_moves = rep(east.max(0), (0, 1));
+        let north_moves = rep(south.min(0), (-1, 0));
+        let south_moves = rep(south.max(0), (1, 0));
+        let mut order: Vec<Vec<(isize, isize)>> = match self {
+            // X first (west or east), then Y.
+            TurnModel::XyOrder => vec![west_moves, east_moves, north_moves, south_moves],
+            // West strictly first; the rest in Y-then-E order (never
+            // turns into west afterwards).
+            TurnModel::WestFirst => vec![west_moves, north_moves, south_moves, east_moves],
+            // North strictly last; before that X-then-south.
+            TurnModel::NorthLast => vec![west_moves, east_moves, south_moves, north_moves],
+            // Negative (west, north) first, then positive (east, south).
+            TurnModel::NegativeFirst => {
+                vec![west_moves, north_moves, east_moves, south_moves]
+            }
+        };
+        order.drain(..).flatten().collect()
+    }
+
+    /// The route of `src` → `dst` on `mesh` under this model.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::NoRoute`] if either core is not on the mesh.
+    pub fn route(self, mesh: &Mesh, src: CoreId, dst: CoreId) -> Result<Route, TopologyError> {
+        let (Some(si), Some(di)) = (mesh.tile_of(src), mesh.tile_of(dst)) else {
+            return Err(TopologyError::NoRoute {
+                from: crate::graph::NodeId(usize::MAX),
+                to: crate::graph::NodeId(usize::MAX),
+            });
+        };
+        let cols = mesh.cols;
+        let (mut r, mut c) = (si / cols, si % cols);
+        let (dr, dc) = (di / cols, di % cols);
+        let t = &mesh.topology;
+        let mut links = vec![t
+            .find_link(mesh.nis[si].0, mesh.switches[si])
+            .expect("NI attached")];
+        for (mr, mc) in self.moves((r, c), (dr, dc)) {
+            let nr = (r as isize + mr) as usize;
+            let nc = (c as isize + mc) as usize;
+            links.push(
+                t.find_link(mesh.switch(r, c), mesh.switch(nr, nc))
+                    .expect("mesh neighbors are linked"),
+            );
+            r = nr;
+            c = nc;
+        }
+        links.push(
+            t.find_link(mesh.switches[di], mesh.nis[di].1)
+                .expect("NI attached"),
+        );
+        Ok(Route::new(links))
+    }
+
+    /// Routes for every ordered pair of distinct cores on `mesh`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError::NoRoute`].
+    pub fn routes_all_pairs(self, mesh: &Mesh) -> Result<RouteSet, TopologyError> {
+        let mut set = RouteSet::new();
+        for (i, &a) in mesh.cores.iter().enumerate() {
+            for (j, &b) in mesh.cores.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                set.insert(mesh.nis[i].0, mesh.nis[j].1, self.route(mesh, a, b)?);
+            }
+        }
+        Ok(set)
+    }
+}
+
+impl std::fmt::Display for TurnModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TurnModel::XyOrder => "XY",
+            TurnModel::WestFirst => "west-first",
+            TurnModel::NorthLast => "north-last",
+            TurnModel::NegativeFirst => "negative-first",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deadlock::assert_deadlock_free;
+    use crate::generators::mesh;
+
+    fn cores(n: usize) -> Vec<CoreId> {
+        (0..n).map(CoreId).collect()
+    }
+
+    #[test]
+    fn all_models_are_minimal() {
+        let m = mesh(4, 5, &cores(20), 32).expect("valid");
+        for model in TurnModel::ALL {
+            for a in 0..20 {
+                for b in 0..20 {
+                    if a == b {
+                        continue;
+                    }
+                    let r = model.route(&m, CoreId(a), CoreId(b)).expect("on mesh");
+                    let manhattan =
+                        (a / 5).abs_diff(b / 5) + (a % 5).abs_diff(b % 5);
+                    assert_eq!(r.len(), manhattan + 2, "{model} {a}->{b}");
+                    r.validate(&m.topology).expect("contiguous");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_models_are_deadlock_free_all_pairs() {
+        let m = mesh(4, 4, &cores(16), 32).expect("valid");
+        for model in TurnModel::ALL {
+            let routes = model.routes_all_pairs(&m).expect("routable");
+            assert_deadlock_free(&m.topology, &routes)
+                .unwrap_or_else(|e| panic!("{model} must be deadlock-free: {e}"));
+        }
+    }
+
+    #[test]
+    fn west_first_goes_west_before_anything() {
+        let m = mesh(3, 3, &cores(9), 32).expect("valid");
+        // From (0,2) to (2,0): west twice, then south twice.
+        let r = TurnModel::WestFirst
+            .route(&m, CoreId(2), CoreId(6))
+            .expect("on mesh");
+        let nodes = r.nodes(&m.topology);
+        assert_eq!(nodes[1], m.switch(0, 2));
+        assert_eq!(nodes[2], m.switch(0, 1));
+        assert_eq!(nodes[3], m.switch(0, 0));
+        assert_eq!(nodes[4], m.switch(1, 0));
+    }
+
+    #[test]
+    fn north_last_goes_north_at_the_end() {
+        let m = mesh(3, 3, &cores(9), 32).expect("valid");
+        // From (2,0) to (0,2): east twice, then north twice.
+        let r = TurnModel::NorthLast
+            .route(&m, CoreId(6), CoreId(2))
+            .expect("on mesh");
+        let nodes = r.nodes(&m.topology);
+        assert_eq!(nodes[2], m.switch(2, 1));
+        assert_eq!(nodes[3], m.switch(2, 2));
+        assert_eq!(nodes[4], m.switch(1, 2));
+    }
+
+    #[test]
+    fn negative_first_prioritizes_west_and_north() {
+        let m = mesh(3, 3, &cores(9), 32).expect("valid");
+        // From (1,1) to (0,2): north is negative, east positive →
+        // north first.
+        let r = TurnModel::NegativeFirst
+            .route(&m, CoreId(4), CoreId(2))
+            .expect("on mesh");
+        let nodes = r.nodes(&m.topology);
+        assert_eq!(nodes[2], m.switch(0, 1));
+    }
+
+    #[test]
+    fn models_disagree_somewhere() {
+        let m = mesh(3, 3, &cores(9), 32).expect("valid");
+        // (2,0) -> (0,1): XY goes east then north; north-last the same;
+        // negative-first goes north first. Check at least one divergence.
+        let xy = TurnModel::XyOrder.route(&m, CoreId(6), CoreId(1)).expect("ok");
+        let nf = TurnModel::NegativeFirst
+            .route(&m, CoreId(6), CoreId(1))
+            .expect("ok");
+        assert_ne!(xy.nodes(&m.topology)[2], nf.nodes(&m.topology)[2]);
+    }
+
+    #[test]
+    fn missing_core_is_error() {
+        let m = mesh(2, 2, &cores(4), 32).expect("valid");
+        assert!(TurnModel::WestFirst.route(&m, CoreId(0), CoreId(99)).is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Drive the whole design flow from a plain-text specification file —
+//! the way a designer (or profiler) would use the toolchain, per Fig. 6:
+//! "the application architecture and application constraints as inputs".
+//!
+//! Run with: `cargo run -p noc-examples --example spec_file_flow [path]`
+
+use noc::flow::{run_flow, FlowConfig};
+use noc::report::pareto_table;
+use noc::spec::textfmt;
+use noc::spec::units::Hertz;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("data/set_top_box.nocspec")
+        });
+    let text = std::fs::read_to_string(&path)?;
+    let spec = textfmt::from_text(&text)?;
+    println!(
+        "loaded `{}` from {}: {} cores, {} flows, {:.1} Gb/s",
+        spec.name(),
+        path.display(),
+        spec.cores().len(),
+        spec.flows().len(),
+        spec.total_bandwidth().to_gbps()
+    );
+
+    let mut cfg = FlowConfig::default();
+    cfg.synthesis.min_switches = 2;
+    cfg.synthesis.max_switches = 5;
+    cfg.synthesis.clocks = vec![Hertz::from_mhz(400), Hertz::from_mhz(650)];
+    cfg.verify_cycles = 20_000;
+    let outcome = run_flow(&spec, None, &cfg)?;
+    println!("\n{}", pareto_table(&outcome));
+
+    let best = outcome.best();
+    let rtl = outcome.emit_verilog(best, "set_top_box_noc");
+    let out_path = std::env::temp_dir().join("set_top_box_noc.v");
+    std::fs::write(&out_path, &rtl)?;
+    println!(
+        "wrote {} lines of RTL to {} (self-check: {})",
+        rtl.lines().count(),
+        out_path.display(),
+        if noc::rtl::check::check_verilog(&rtl).is_empty() {
+            "clean"
+        } else {
+            "ISSUES"
+        }
+    );
+
+    // Round-trip the spec back to text, proving the format is lossless
+    // enough to archive with the design.
+    let archived = textfmt::to_text(&spec);
+    let reparsed = textfmt::from_text(&archived)?;
+    assert_eq!(reparsed.flows().len(), spec.flows().len());
+    println!("spec round-trips through the text format ({} bytes)", archived.len());
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! The Intel Teraflops-style CMP (Fig. 4 / §5): an 8×10 mesh of 5-port
+//! routers at 3.16 GHz moving message-passing traffic.
+//!
+//! Run with: `cargo run -p noc-examples --example teraflops_cmp --release`
+
+use noc::sim::config::SimConfig;
+use noc::sim::engine::Simulator;
+use noc::sim::patterns;
+use noc::spec::units::Hertz;
+use noc::spec::CoreId;
+use noc::topology::generators::mesh;
+use noc::topology::metrics::aggregate_link_bandwidth;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let clock = Hertz::from_ghz(3.16);
+    let cores: Vec<CoreId> = (0..80).map(CoreId).collect();
+    let fabric = mesh(8, 10, &cores, 32)?;
+    println!(
+        "Teraflops-style fabric: {} routers, {} links, {} bisection links",
+        fabric.topology.switches().len(),
+        fabric.topology.links().len(),
+        fabric.bisection_links()
+    );
+    println!(
+        "raw fabric capacity at {:.2} GHz: {:.2} Tb/s",
+        clock.to_ghz(),
+        aggregate_link_bandwidth(&fabric.topology, clock).to_gbps() / 1000.0
+    );
+
+    // Latency/throughput curve under nearest-neighbor + uniform traffic.
+    println!("\n{:>10} {:>14} {:>14} {:>16}", "inj rate", "lat (cycles)", "flits/cycle", "delivered Tb/s");
+    for rate in [0.02, 0.05, 0.1, 0.2, 0.3, 0.45] {
+        let sources = patterns::uniform_random(&fabric, rate, 4)?;
+        let cfg = SimConfig::default().with_clock(clock).with_warmup(2_000);
+        let mut sim = Simulator::new(fabric.topology.clone(), cfg).with_seed(1);
+        for s in sources {
+            sim.add_source(s);
+        }
+        sim.run(12_000);
+        let stats = sim.stats();
+        let thr = stats.throughput_flits_per_cycle();
+        println!(
+            "{:>10.2} {:>14.1} {:>14.2} {:>16.3}",
+            rate,
+            stats.mean_latency().unwrap_or(f64::NAN),
+            thr,
+            stats.delivered_bandwidth(32, clock).to_gbps() / 1000.0
+        );
+    }
+    println!(
+        "\nthe paper quotes ~1.62 Tb/s sustained chip throughput at 3.16 GHz;\n\
+         the mesh sustains that level well before saturation (see table)."
+    );
+    Ok(())
+}

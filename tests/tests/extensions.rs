@@ -1,0 +1,187 @@
+//! Integration tests for the extension features: SunFloor-3D, the spec
+//! text format driving the full flow, turn-model routing under
+//! simulation, and DVFS island scaling.
+
+use noc::spec::units::Hertz;
+use noc::spec::{presets, CoreId, FlowId};
+
+/// SunFloor-3D end-to-end: layered synthesis of the mobile SoC, with
+/// TSV accounting consistent and the design simulation-verified.
+#[test]
+fn sunfloor_3d_designs_verify_in_simulation() {
+    use noc::sim::config::SimConfig;
+    use noc::sim::engine::Simulator;
+    use noc::sim::setup::flow_sources;
+    use noc::synth::sunfloor::SynthesisConfig;
+    use noc::threed::synth3d::synthesize_3d;
+    use noc::threed::tsv::TsvModel;
+
+    let spec = presets::mobile_multimedia_soc();
+    let tsv = TsvModel::new(32, 0.995, 2);
+    let cfg = SynthesisConfig {
+        min_switches: 4,
+        max_switches: 6,
+        clocks: vec![Hertz::from_mhz(650)],
+        ..SynthesisConfig::default()
+    };
+    let designs = synthesize_3d(&spec, 2, 4, &tsv, &cfg).expect("feasible");
+    let best = &designs[0];
+    // Stacking metadata is self-consistent.
+    assert_eq!(best.layer_of_core.len(), spec.cores().len());
+    assert!(best.stack_yield > 0.9, "2 spare TSVs: {:.3}", best.stack_yield);
+    // The 3D design still delivers its traffic in the flit simulator.
+    let sim_cfg = SimConfig::default()
+        .with_clock(best.design.clock)
+        .with_vcs(4)
+        .with_warmup(2_000)
+        .with_arbitration(noc::sim::config::Arbitration::PriorityThenRoundRobin);
+    let sources =
+        flow_sources(&spec, &best.design.topology, &best.design.routes, &sim_cfg)
+            .expect("buildable");
+    let mut sim = Simulator::new(best.design.topology.clone(), sim_cfg).with_seed(14);
+    for s in sources {
+        sim.add_source(s);
+    }
+    sim.run(14_000);
+    let (inj, del) = sim
+        .stats()
+        .flows
+        .values()
+        .fold((0u64, 0u64), |(i, d), f| (i + f.injected_packets, d + f.delivered_packets));
+    assert!(
+        del as f64 >= 0.95 * inj as f64,
+        "3D design delivered {del}/{inj}"
+    );
+}
+
+/// The text format feeds the whole flow (parse → synthesize → verify →
+/// emit), like a user driving the toolchain from files.
+#[test]
+fn text_spec_drives_full_flow() {
+    use noc::flow::{run_flow, FlowConfig};
+    use noc::spec::textfmt;
+
+    let text = "\
+soc cam_pipe
+core sensor  master      ocp 200MHz island=0
+core isp     masterslave axi 300MHz island=0
+core enc     masterslave axi 300MHz island=0
+core cpu     master      ocp 500MHz island=1
+core dram    slave       axi 400MHz island=1
+flow sensor -> dram 900Mbps stream shape=constant gt latency=1000ns
+transaction isp -> dram 700Mbps burst-read:16
+flow isp -> dram 400Mbps stream shape=constant gt
+transaction enc -> dram 500Mbps burst-read:32
+transaction cpu -> dram 300Mbps burst-read:8 latency=200ns
+transaction cpu -> isp 20Mbps write
+transaction cpu -> enc 20Mbps write
+";
+    let spec = textfmt::from_text(text).expect("valid file");
+    let mut cfg = FlowConfig::default();
+    cfg.synthesis.min_switches = 1;
+    cfg.synthesis.max_switches = 3;
+    cfg.synthesis.clocks = vec![Hertz::from_mhz(650)];
+    cfg.verify_cycles = 14_000;
+    cfg.verify_warmup = 2_000;
+    let outcome = run_flow(&spec, None, &cfg).expect("feasible");
+    let best = outcome.best();
+    let v = best.verification.expect("ran");
+    assert!(v.delivered_fraction > 0.95);
+    assert!(v.gt_bandwidth_ok);
+    let rtl = outcome.emit_verilog(best, "cam_pipe_noc");
+    assert!(noc::rtl::check::check_verilog(&rtl).is_empty());
+}
+
+/// All turn models route real traffic through the simulator without
+/// deadlock and with comparable delivery.
+#[test]
+fn turn_models_deliver_under_simulation() {
+    use noc::sim::config::SimConfig;
+    use noc::sim::engine::Simulator;
+    use noc::sim::traffic::{Destination, InjectionProcess, TrafficSource};
+    use noc::topology::generators::mesh;
+    use noc::topology::turn_model::TurnModel;
+
+    let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+    for model in TurnModel::ALL {
+        let fabric = mesh(4, 4, &cores, 32).expect("valid");
+        let mut sim = Simulator::new(
+            fabric.topology.clone(),
+            SimConfig::default().with_warmup(1_000),
+        )
+        .with_seed(6);
+        // Transpose-style fixed pairs exercise every model's turns.
+        for r in 0..4 {
+            for c in 0..4 {
+                if r == c {
+                    continue;
+                }
+                let src = r * 4 + c;
+                let dst = c * 4 + r;
+                let route = model
+                    .route(&fabric, CoreId(src), CoreId(dst))
+                    .expect("on mesh");
+                sim.add_source(TrafficSource {
+                    ni: fabric.nis[src].0,
+                    flow: FlowId(src),
+                    destination: Destination::Fixed(route.links.into()),
+                    process: InjectionProcess::Constant {
+                        period: 20,
+                        phase: src as u64,
+                    },
+                    packet_flits: 4,
+                    vc: 0,
+                    priority: false,
+                });
+            }
+        }
+        sim.run(9_000);
+        let stats = sim.stats();
+        let (inj, del) = stats
+            .flows
+            .values()
+            .fold((0u64, 0u64), |(i, d), f| (i + f.injected_packets, d + f.delivered_packets));
+        assert!(
+            del as f64 > 0.95 * inj as f64,
+            "{model}: delivered {del}/{inj}"
+        );
+    }
+}
+
+/// Latency histograms expose the GT tail bound the mean hides.
+#[test]
+fn latency_histogram_bounds_gt_tail() {
+    use noc::sim::config::{Arbitration, SimConfig};
+    use noc::sim::engine::Simulator;
+    use noc::sim::patterns;
+    use noc::sim::traffic::{Destination, InjectionProcess, TrafficSource};
+    use noc::topology::generators::mesh;
+
+    let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+    let fabric = mesh(4, 4, &cores, 32).expect("valid");
+    let gt_route = fabric.xy_route(CoreId(0), CoreId(15)).expect("on mesh");
+    let cfg = SimConfig::default()
+        .with_warmup(2_000)
+        .with_arbitration(Arbitration::PriorityThenRoundRobin);
+    let mut sim = Simulator::new(fabric.topology.clone(), cfg).with_seed(3);
+    sim.add_source(TrafficSource {
+        ni: fabric.nis[0].0,
+        flow: FlowId(777),
+        destination: Destination::Fixed(gt_route.links.into()),
+        process: InjectionProcess::Constant { period: 16, phase: 0 },
+        packet_flits: 4,
+        vc: 1,
+        priority: true,
+    });
+    for s in patterns::uniform_random(&fabric, 0.5, 4).expect("in range") {
+        sim.add_source(s);
+    }
+    sim.run(22_000);
+    let gt = &sim.stats().flows[&FlowId(777)];
+    let p99 = gt
+        .latency_histogram
+        .quantile_upper_bound(0.99)
+        .expect("delivered");
+    assert!(p99 <= 32, "GT p99 bound {p99} must stay tight under load");
+    assert_eq!(gt.latency_histogram.count(), gt.delivered_packets);
+}

@@ -1,0 +1,152 @@
+//! Cross-validation: the flit-level simulator against analytic models.
+
+use noc::sim::config::SimConfig;
+use noc::sim::engine::Simulator;
+use noc::sim::patterns;
+use noc::sim::traffic::{Destination, InjectionProcess, TrafficSource};
+use noc::spec::units::Hertz;
+use noc::spec::{CoreId, FlowId};
+use noc::topology::generators::mesh;
+
+/// At very low load, simulated mean latency must equal the analytic
+/// zero-load latency: hops (1 cycle/link) + serialization (flits-1),
+/// within queueing noise.
+#[test]
+fn low_load_latency_matches_analytic() {
+    let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+    let fabric = mesh(4, 4, &cores, 32).expect("valid");
+    let packet_flits = 4usize;
+    // One fixed-pair flow per corner-to-corner route: known hop count.
+    let route = fabric.xy_route(CoreId(0), CoreId(15)).expect("on mesh");
+    let hops = route.len(); // 8 links
+    let mut sim = Simulator::new(
+        fabric.topology.clone(),
+        SimConfig::default().with_warmup(1_000),
+    );
+    sim.add_source(TrafficSource {
+        ni: fabric.initiator_of(CoreId(0)).expect("ni"),
+        flow: FlowId(0),
+        destination: Destination::Fixed(route.links.into()),
+        process: InjectionProcess::Constant { period: 200, phase: 0 },
+        packet_flits,
+        vc: 0,
+        priority: false,
+    });
+    sim.run(30_000);
+    let measured = sim.stats().flows[&FlowId(0)]
+        .mean_latency()
+        .expect("packets delivered");
+    let analytic = (hops + packet_flits - 1) as f64;
+    assert!(
+        (measured - analytic).abs() < 0.01,
+        "measured {measured}, analytic {analytic}"
+    );
+}
+
+/// Uniform-traffic throughput at low load must equal offered load
+/// (all-delivery regime), and saturation throughput must not exceed the
+/// bisection bound.
+#[test]
+fn throughput_conservation_and_bisection_bound() {
+    let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+    let fabric = mesh(4, 4, &cores, 32).expect("valid");
+    // Low load: delivered ≈ offered.
+    let low_rate = 0.05;
+    let sources = patterns::uniform_random(&fabric, low_rate, 4).expect("ok");
+    let mut sim = Simulator::new(
+        fabric.topology.clone(),
+        SimConfig::default().with_warmup(3_000),
+    )
+    .with_seed(5);
+    for s in sources {
+        sim.add_source(s);
+    }
+    sim.run(23_000);
+    let thr = sim.stats().throughput_flits_per_cycle();
+    let offered = low_rate * 16.0;
+    assert!(
+        (thr - offered).abs() / offered < 0.1,
+        "delivered {thr} vs offered {offered}"
+    );
+
+    // Saturation: uniform traffic on a 4x4 mesh is bisection-limited to
+    // ~2 * bisection_links flits/cycle network-wide (half the traffic
+    // crosses the bisection, 4 links each way).
+    let sources = patterns::uniform_random(&fabric, 0.95, 4).expect("ok");
+    let mut sat = Simulator::new(
+        fabric.topology.clone(),
+        SimConfig::default().with_warmup(3_000),
+    )
+    .with_seed(6);
+    for s in sources {
+        sat.add_source(s);
+    }
+    sat.run(23_000);
+    let sat_thr = sat.stats().throughput_flits_per_cycle();
+    let bisection_bound = 4.0 * fabric.bisection_links() as f64;
+    assert!(
+        sat_thr < bisection_bound,
+        "saturated at {sat_thr}, bound {bisection_bound}"
+    );
+    assert!(sat_thr > 2.0, "mesh should still move traffic: {sat_thr}");
+}
+
+/// The simulator's measured per-link utilization must match the static
+/// link-load prediction at low load.
+#[test]
+fn link_utilization_matches_static_loads() {
+    use noc::spec::units::BitsPerSecond;
+    use noc::topology::metrics::link_loads;
+    use std::collections::BTreeMap;
+
+    let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+    let fabric = mesh(2, 2, &cores, 32).expect("valid");
+    let clock = Hertz::from_mhz(500);
+    let route = fabric.xy_route(CoreId(0), CoreId(3)).expect("on mesh");
+    let bw = BitsPerSecond::from_gbps(1.6); // 10% of a 16 Gb/s link
+    let mut demands = BTreeMap::new();
+    demands.insert(
+        (
+            fabric.initiator_of(CoreId(0)).expect("ni"),
+            fabric.target_of(CoreId(3)).expect("ni"),
+        ),
+        bw,
+    );
+    let routes = fabric.xy_routes_all_pairs().expect("ok");
+    let static_loads = link_loads(&routes, &demands);
+
+    let packet_flits = 5usize; // 4 payload flits = 128 bits
+    let rate = noc::sim::traffic::packets_per_cycle(bw, clock, 32, packet_flits)
+        .expect("fits");
+    let mut sim = Simulator::new(
+        fabric.topology.clone(),
+        SimConfig::default().with_clock(clock).with_warmup(5_000),
+    )
+    .with_seed(9);
+    sim.add_source(TrafficSource {
+        ni: fabric.initiator_of(CoreId(0)).expect("ni"),
+        flow: FlowId(0),
+        destination: Destination::Fixed(route.links.clone().into()),
+        process: InjectionProcess::Constant {
+            period: (1.0 / rate).round() as u64,
+            phase: 0,
+        },
+        packet_flits,
+        vc: 0,
+        priority: false,
+    });
+    sim.run(105_000);
+    for &l in &route.links {
+        let static_util = static_loads
+            .get(&l)
+            .map(|b| b.raw() as f64 / (32.0 * clock.raw() as f64))
+            .unwrap_or(0.0);
+        // The simulated link carries headers too: 5/4 of payload.
+        let expected = static_util * packet_flits as f64 / (packet_flits - 1) as f64;
+        let measured = sim.stats().link_utilization(l);
+        assert!(
+            (measured - expected).abs() < 0.02,
+            "link {l:?}: measured {measured:.3}, expected {expected:.3}"
+        );
+    }
+}
