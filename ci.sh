@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate for the nocsilk workspace. Run before pushing.
+#
+#   ./ci.sh          # format check, lints, tier-1 build + tests
+#
+# Tier-1 (ROADMAP.md): cargo build --release && cargo test -q
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "CI green."

@@ -43,12 +43,9 @@ fn bench_simulator(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let fabric = mesh(rows, cols, &cores, 32).expect("valid");
-                    let sources =
-                        patterns::uniform_random(&fabric, 0.1, 4).expect("in range");
-                    let mut sim = Simulator::new(
-                        fabric.topology,
-                        SimConfig::default().with_warmup(100),
-                    );
+                    let sources = patterns::uniform_random(&fabric, 0.1, 4).expect("in range");
+                    let mut sim =
+                        Simulator::new(fabric.topology, SimConfig::default().with_warmup(100));
                     for s in sources {
                         sim.add_source(s);
                     }
@@ -59,6 +56,27 @@ fn bench_simulator(c: &mut Criterion) {
         );
     }
     group.finish();
+}
+
+/// Raw per-cycle engine throughput: `step()` on a warmed-up 8×10 mesh
+/// at moderate load, with all setup hoisted out of the measurement.
+/// This is the number the hot-path optimization work tracks.
+fn bench_step_throughput(c: &mut Criterion) {
+    let (rows, cols) = (8usize, 10usize);
+    let cores: Vec<CoreId> = (0..rows * cols).map(CoreId).collect();
+    let fabric = mesh(rows, cols, &cores, 32).expect("valid");
+    let sources = patterns::uniform_random(&fabric, 0.1, 4).expect("in range");
+    let mut sim = Simulator::new(fabric.topology, SimConfig::default().with_warmup(100));
+    for s in sources {
+        sim.add_source(s);
+    }
+    sim.run(1_000); // reach steady state before measuring
+    c.bench_function("fig4/step_throughput_8x10", |b| {
+        b.iter(|| {
+            sim.step();
+            sim.stats().total_delivered_flits
+        })
+    });
 }
 
 /// E5 backing engine: one synthesis run on the mobile SoC.
@@ -84,11 +102,19 @@ fn bench_synthesis(c: &mut Criterion) {
     });
     group.bench_function("sunmap_mesh_mapping", |b| {
         b.iter(|| {
-            map_to_mesh(&spec, 5, 6, Hertz::from_mhz(650), 32, TechNode::NM65, Some(&fp))
-                .expect("mappable")
-                .metrics
-                .power
-                .raw()
+            map_to_mesh(
+                &spec,
+                5,
+                6,
+                Hertz::from_mhz(650),
+                32,
+                TechNode::NM65,
+                Some(&fp),
+            )
+            .expect("mappable")
+            .metrics
+            .power
+            .raw()
         })
     });
     group.finish();
@@ -109,6 +135,7 @@ criterion_group!(
     benches,
     bench_switch_model,
     bench_simulator,
+    bench_step_throughput,
     bench_synthesis,
     bench_floorplan
 );

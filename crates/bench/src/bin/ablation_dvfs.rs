@@ -16,7 +16,10 @@ use noc_spec::presets;
 use noc_spec::units::{BitsPerSecond, Hertz};
 
 fn main() {
-    banner("A5 / §4.3+§6", "voltage islands: global clock vs per-island DVFS");
+    banner(
+        "A5 / §4.3+§6",
+        "voltage islands: global clock vs per-island DVFS",
+    );
     let spec = presets::mobile_multimedia_soc();
     let tech = TechNode::NM65;
     let switches = SwitchModel::new(tech);
@@ -66,7 +69,14 @@ fn main() {
     print!(
         "{}",
         table(
-            &["island", "traffic Gb/s", "req MHz", "vdd", "global mW", "DVFS mW"],
+            &[
+                "island",
+                "traffic Gb/s",
+                "req MHz",
+                "vdd",
+                "global mW",
+                "DVFS mW"
+            ],
             &rows
         )
     );

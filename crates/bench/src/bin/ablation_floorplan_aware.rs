@@ -20,7 +20,10 @@ use noc_synth::sunfloor::{synthesize_min_power, SynthesisConfig};
 use std::collections::BTreeMap;
 
 fn main() {
-    banner("A3 / §2+§6", "floorplan-aware vs floorplan-oblivious synthesis");
+    banner(
+        "A3 / §2+§6",
+        "floorplan-aware vs floorplan-oblivious synthesis",
+    );
     let spec = presets::mobile_multimedia_soc();
     let real_fp = CoreFloorplan::from_spec(&spec, 42);
     // The oblivious floorplan: every core at the origin — synthesis sees
@@ -44,8 +47,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for (label, fp) in [("floorplan-aware", &real_fp), ("oblivious", &oblivious_fp)] {
-        let design = synthesize_min_power(&spec, Some(fp), &cfg)
-            .expect("the mobile SoC is synthesizable");
+        let design =
+            synthesize_min_power(&spec, Some(fp), &cfg).expect("the mobile SoC is synthesizable");
         // Re-evaluate both against physical reality: insert into the
         // REAL floorplan and recompute wire-dependent numbers.
         let mut topo = design.topology.clone();
@@ -78,7 +81,14 @@ fn main() {
     print!(
         "{}",
         table(
-            &["synthesis", "switches", "power mW", "wire mm", "max link mm", "lat cyc"],
+            &[
+                "synthesis",
+                "switches",
+                "power mW",
+                "wire mm",
+                "max link mm",
+                "lat cyc"
+            ],
             &rows
         )
     );

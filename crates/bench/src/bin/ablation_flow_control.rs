@@ -57,7 +57,12 @@ fn main() {
     print!(
         "{}",
         table(
-            &["inj rate", "ON/OFF flits/cyc", "ACK/NACK flits/cyc", "NACK retries"],
+            &[
+                "inj rate",
+                "ON/OFF flits/cyc",
+                "ACK/NACK flits/cyc",
+                "NACK retries"
+            ],
             &rows
         )
     );

@@ -8,9 +8,9 @@
 use noc_bench::{banner, table};
 use noc_sim::config::{Arbitration, SimConfig};
 use noc_sim::engine::Simulator;
+use noc_sim::patterns;
 use noc_sim::qos::SlotTable;
 use noc_sim::traffic::{Destination, InjectionProcess, TrafficSource};
-use noc_sim::patterns;
 use noc_spec::{CoreId, FlowId};
 use noc_topology::generators::mesh;
 
@@ -31,7 +31,10 @@ fn main() {
             ni: gt_ni,
             flow: FlowId(900),
             destination: Destination::Fixed(gt_route.links.clone().into()),
-            process: InjectionProcess::Constant { period: 16, phase: 0 },
+            process: InjectionProcess::Constant {
+                period: 16,
+                phase: 0,
+            },
             packet_flits: 4,
             vc: 1,
             priority: true,
@@ -76,7 +79,13 @@ fn main() {
     print!(
         "{}",
         table(
-            &["BE load", "GT mean lat", "GT max lat", "GT delivery", "BE mean lat"],
+            &[
+                "BE load",
+                "GT mean lat",
+                "GT max lat",
+                "GT delivery",
+                "BE mean lat"
+            ],
             &rows
         )
     );

@@ -11,7 +11,10 @@ use noc_topology::generators::mesh;
 use noc_topology::turn_model::TurnModel;
 
 fn main() {
-    banner("A4 / §2", "turn-model routing under uniform and transpose traffic");
+    banner(
+        "A4 / §2",
+        "turn-model routing under uniform and transpose traffic",
+    );
     let n = 6usize;
     let cores: Vec<CoreId> = (0..n * n).map(CoreId).collect();
     let rate = 0.25; // flits/cycle/node
@@ -74,7 +77,13 @@ fn main() {
     print!(
         "{}",
         table(
-            &["model", "uniform lat", "uniform thr", "transpose lat", "transpose thr"],
+            &[
+                "model",
+                "uniform lat",
+                "uniform thr",
+                "transpose lat",
+                "transpose thr"
+            ],
             &rows
         )
     );

@@ -118,8 +118,7 @@ fn main() {
     };
     check(
         "A1: ON/OFF outperforms ACK/NACK at saturation",
-        run_fc(noc_sim::config::FlowControl::OnOff)
-            > run_fc(noc_sim::config::FlowControl::AckNack),
+        run_fc(noc_sim::config::FlowControl::OnOff) > run_fc(noc_sim::config::FlowControl::AckNack),
     );
 
     // E5 — custom topology beats regular mesh mapping on power.
@@ -131,8 +130,8 @@ fn main() {
         clocks: vec![Hertz::from_mhz(650)],
         ..noc_synth::sunfloor::SynthesisConfig::default()
     };
-    let custom = noc_synth::sunfloor::synthesize_min_power(&spec, Some(&fp), &cfg)
-        .expect("feasible");
+    let custom =
+        noc_synth::sunfloor::synthesize_min_power(&spec, Some(&fp), &cfg).expect("feasible");
     let mesh_design = noc_synth::mapping::map_to_mesh(
         &spec,
         5,

@@ -18,7 +18,10 @@ use noc_topology::generators::quasi_mesh;
 use noc_topology::routing::min_hop_routes;
 
 fn main() {
-    banner("E3 / FAUST", "receiver matrix: 10.6 Gb/s hard real time on a quasi-mesh");
+    banner(
+        "E3 / FAUST",
+        "receiver matrix: 10.6 Gb/s hard real time on a quasi-mesh",
+    );
     let spec = presets::faust_telecom();
     let cores: Vec<CoreId> = spec.core_ids().map(|(id, _)| id).collect();
     let fabric = quasi_mesh(4, 3, &cores, 32).expect("23 cores fit a 4x3 quasi-mesh");

@@ -42,13 +42,18 @@ fn main() {
     print!(
         "{}",
         table(
-            &["radix", "fmax MHz", "area mm2", "pJ/flit", "row util", "P&R outcome"],
+            &[
+                "radix",
+                "fmax MHz",
+                "area mm2",
+                "pJ/flit",
+                "row util",
+                "P&R outcome"
+            ],
             &rows
         )
     );
-    println!(
-        "\npaper bands: <=10x10 efficient (>=85%), 14x14-22x22 at 70-50%, >=26x26 infeasible"
-    );
+    println!("\npaper bands: <=10x10 efficient (>=85%), 14x14-22x22 at 70-50%, >=26x26 infeasible");
     println!(
         "max automated radix at 32-bit: {}x{}",
         routability.max_feasible_radix(32),

@@ -15,7 +15,10 @@ use noc_threed::tsv::TsvModel;
 use std::collections::BTreeSet;
 
 fn main() {
-    banner("E9 / Fig.3", "3D NoC: TSV serialization, yield, test mode, failures");
+    banner(
+        "E9 / Fig.3",
+        "3D NoC: TSV serialization, yield, test mode, failures",
+    );
     let cores: Vec<CoreId> = (0..32).map(CoreId).collect();
     let tsv = TsvModel::new(32, 0.995, 0);
     let tsv_spare = TsvModel::new(32, 0.995, 2);

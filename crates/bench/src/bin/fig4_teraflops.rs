@@ -10,10 +10,16 @@ use noc_bench::{banner, table};
 use noc_sim::config::SimConfig;
 use noc_sim::engine::Simulator;
 use noc_sim::patterns;
+use noc_sim::sweep::SweepRunner;
 use noc_spec::units::Hertz;
 use noc_spec::CoreId;
 use noc_topology::generators::mesh;
 use noc_topology::metrics::aggregate_link_bandwidth;
+
+/// Base seed of the load sweep: each injection-rate point derives its
+/// simulator seed from this deterministically, so the curve is
+/// reproducible run to run and identical at any worker count.
+const SWEEP_SEED: u64 = 4;
 
 fn main() {
     banner("E2 / Fig.4", "Teraflops 80-core mesh at 3.16 GHz");
@@ -26,13 +32,18 @@ fn main() {
         fabric.topology.links().len(),
         aggregate_link_bandwidth(&fabric.topology, clock).to_gbps() / 1000.0
     );
-    let mut rows = Vec::new();
-    let mut sustained_at_target = None;
-    for rate in [0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4] {
+    let rates = [0.02, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4];
+    let runner = SweepRunner::new();
+    println!(
+        "sweeping {} load points on {} workers",
+        rates.len(),
+        runner.threads()
+    );
+    let per_rate = runner.run(SWEEP_SEED, &rates, |&rate, seed| {
         // 75% nearest-neighbor + 25% uniform, Teraflops-style message
         // passing, approximated by mixing the two source sets.
-        let mut sources = patterns::nearest_neighbor(&fabric, rate * 0.75, 4)
-            .expect("rate in range");
+        let mut sources =
+            patterns::nearest_neighbor(&fabric, rate * 0.75, 4).expect("rate in range");
         for (i, mut s) in patterns::uniform_random(&fabric, rate * 0.25, 4)
             .expect("rate in range")
             .into_iter()
@@ -42,12 +53,16 @@ fn main() {
             sources.push(s);
         }
         let cfg = SimConfig::default().with_clock(clock).with_warmup(2_000);
-        let mut sim = Simulator::new(fabric.topology.clone(), cfg).with_seed(4);
+        let mut sim = Simulator::new(fabric.topology.clone(), cfg).with_seed(seed);
         for s in sources {
             sim.add_source(s);
         }
         sim.run(12_000);
-        let stats = sim.stats();
+        sim.into_stats()
+    });
+    let mut rows = Vec::new();
+    let mut sustained_at_target = None;
+    for (&rate, stats) in rates.iter().zip(&per_rate) {
         let delivered_tbps = stats.delivered_bandwidth(32, clock).to_gbps() / 1000.0;
         let latency = stats.mean_latency().unwrap_or(f64::NAN);
         if delivered_tbps >= 1.62 && sustained_at_target.is_none() && latency < 100.0 {
@@ -64,7 +79,13 @@ fn main() {
     print!(
         "{}",
         table(
-            &["inj flits/cyc", "latency cyc", "flits/cyc", "Tb/s", "peak link util"],
+            &[
+                "inj flits/cyc",
+                "latency cyc",
+                "flits/cyc",
+                "Tb/s",
+                "peak link util"
+            ],
             &rows
         )
     );

@@ -10,6 +10,7 @@ use noc_bench::{banner, table};
 use noc_sim::config::SimConfig;
 use noc_sim::engine::Simulator;
 use noc_sim::setup::{flow_endpoints, flow_sources};
+use noc_sim::sweep::SweepRunner;
 use noc_spec::presets;
 use noc_spec::units::Hertz;
 use noc_spec::CoreId;
@@ -17,12 +18,16 @@ use noc_topology::generators::{quasi_mesh, HierStar};
 use noc_topology::graph::Topology;
 use noc_topology::routing::{min_hop_routes, RouteSet};
 
-fn run_on(name: &str, topo: &Topology, routes: &RouteSet) -> Vec<String> {
+/// Base seed of the fabric comparison sweep — each fabric's simulator
+/// seed is derived from it per point, deterministically.
+const SWEEP_SEED: u64 = 5;
+
+fn run_on(name: &str, topo: &Topology, routes: &RouteSet, seed: u64) -> Vec<String> {
     let spec = presets::bone_mpsoc();
     let clock = Hertz::from_mhz(400);
     let cfg = SimConfig::default().with_clock(clock).with_warmup(4_000);
     let sources = flow_sources(&spec, topo, routes, &cfg).expect("fits");
-    let mut sim = Simulator::new(topo.clone(), cfg).with_seed(5);
+    let mut sim = Simulator::new(topo.clone(), cfg).with_seed(seed);
     for s in sources {
         sim.add_source(s);
     }
@@ -39,7 +44,10 @@ fn run_on(name: &str, topo: &Topology, routes: &RouteSet) -> Vec<String> {
 }
 
 fn main() {
-    banner("E4 / Fig.5", "BONE hierarchical star vs conventional 2D mesh");
+    banner(
+        "E4 / Fig.5",
+        "BONE hierarchical star vs conventional 2D mesh",
+    );
     let spec = presets::bone_mpsoc();
     let riscs: Vec<CoreId> = (0..10).map(CoreId).collect();
     let srams: Vec<CoreId> = (10..18).map(CoreId).collect();
@@ -49,9 +57,10 @@ fn main() {
     let mut star_routes = RouteSet::new();
     for (_, f) in spec.flow_ids() {
         let (a, b) = flow_endpoints(&spec, &star.topology, f).expect("NIs exist");
-        let i = star.cores.iter().position(|&c| {
-            c == star.topology.node(a).core().expect("NI")
-        });
+        let i = star
+            .cores
+            .iter()
+            .position(|&c| c == star.topology.node(a).core().expect("NI"));
         let _ = i;
         let route = min_hop_routes(&star.topology, [(a, b)]).expect("connected");
         for (&(x, y), r) in route.iter() {
@@ -69,14 +78,26 @@ fn main() {
         .collect();
     let mesh_routes = min_hop_routes(&mesh.topology, mesh_pairs).expect("connected");
 
-    let rows = vec![
-        run_on("hier star (BONE)", &star.topology, &star_routes),
-        run_on("2D quasi-mesh", &mesh.topology, &mesh_routes),
+    // Both fabrics simulate independently — fan them across cores with
+    // per-point deterministic seeds (identical output at any -j level).
+    let points: [(&str, &Topology, &RouteSet); 2] = [
+        ("hier star (BONE)", &star.topology, &star_routes),
+        ("2D quasi-mesh", &mesh.topology, &mesh_routes),
     ];
+    let rows = SweepRunner::new().run(SWEEP_SEED, &points, |&(name, topo, routes), seed| {
+        run_on(name, topo, routes, seed)
+    });
     print!(
         "{}",
         table(
-            &["fabric", "switches", "mean lat", "max lat", "Gb/s", "peak util"],
+            &[
+                "fabric",
+                "switches",
+                "mean lat",
+                "max lat",
+                "Gb/s",
+                "peak util"
+            ],
             &rows
         )
     );

@@ -19,7 +19,10 @@ use noc_topology::routing::min_hop_routes;
 use std::collections::BTreeMap;
 
 fn main() {
-    banner("E8 / §4.3", "GALS synchronization schemes on a 4-island mobile SoC");
+    banner(
+        "E8 / §4.3",
+        "GALS synchronization schemes on a 4-island mobile SoC",
+    );
     let spec = presets::mobile_multimedia_soc();
     let cores: Vec<CoreId> = spec.core_ids().map(|(id, _)| id).collect();
     let fabric = mesh(2, 13, &cores, 32).expect("26 cores fit 2x13");
@@ -69,7 +72,13 @@ fn main() {
     print!(
         "{}",
         table(
-            &["scheme", "sync cyc", "mean lat cyc", "Gb/s", "clock power x"],
+            &[
+                "scheme",
+                "sync cyc",
+                "mean lat cyc",
+                "Gb/s",
+                "clock power x"
+            ],
             &rows
         )
     );

@@ -12,7 +12,10 @@ use noc_power::routability::RoutabilityModel;
 use noc_power::technology::TechNode;
 
 fn main() {
-    banner("E7 / §4.2", "crossbar routability: buses vs serialized NoC ports");
+    banner(
+        "E7 / §4.2",
+        "crossbar routability: buses vs serialized NoC ports",
+    );
     let model = RoutabilityModel::new(TechNode::NM65);
     let mut rows = Vec::new();
     for (label, wires) in [
@@ -32,13 +35,24 @@ fn main() {
             wires.to_string(),
             max_ports.to_string(),
             format!("{:.2}", congestion_8),
-            if model.crossbar_feasible(10, wires) { "yes" } else { "no" }.to_string(),
+            if model.crossbar_feasible(10, wires) {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     print!(
         "{}",
         table(
-            &["port style", "wires/port", "max ports", "congestion@8x8", "10x10 ok"],
+            &[
+                "port style",
+                "wires/port",
+                "max ports",
+                "congestion@8x8",
+                "10x10 ok"
+            ],
             &rows
         )
     );

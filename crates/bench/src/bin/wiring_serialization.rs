@@ -12,7 +12,10 @@ use noc_power::wiring::WiringModel;
 use noc_spec::units::{Hertz, Micrometers};
 
 fn main() {
-    banner("E6 / §4.1", "wire serialization vs parallel buses (3 mm span, 500 MHz)");
+    banner(
+        "E6 / §4.1",
+        "wire serialization vs parallel buses (3 mm span, 500 MHz)",
+    );
     let model = WiringModel::new(
         TechNode::NM65,
         Micrometers::from_mm(3.0),
@@ -32,7 +35,14 @@ fn main() {
     print!(
         "{}",
         table(
-            &["realization", "wires", "wiring mm2", "crosstalk", "cyc/64B", "peak Gb/s"],
+            &[
+                "realization",
+                "wires",
+                "wiring mm2",
+                "crosstalk",
+                "cyc/64B",
+                "peak Gb/s"
+            ],
             &rows
         )
     );

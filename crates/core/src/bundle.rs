@@ -50,7 +50,10 @@ pub fn export_bundle(
     };
 
     write("spec.nocspec", textfmt::to_text(spec))?;
-    write(&format!("{top_name}.v"), outcome.emit_verilog(design, top_name))?;
+    write(
+        &format!("{top_name}.v"),
+        outcome.emit_verilog(design, top_name),
+    )?;
     let opts = EmitOptions {
         top_name: top_name.to_string(),
         ..EmitOptions::default()
@@ -88,13 +91,7 @@ fn floorplan_report(spec: &AppSpec, outcome: &FlowOutcome, design: &FlowDesign) 
     if let Some(placement) = &design.design.placement {
         for (id, node) in design.design.topology.node_ids() {
             if let Some((x, y)) = placement.position(id) {
-                let _ = writeln!(
-                    out,
-                    "noc {} at {:.0},{:.0}",
-                    node.name,
-                    x.raw(),
-                    y.raw()
-                );
+                let _ = writeln!(out, "noc {} at {:.0},{:.0}", node.name, x.raw(), y.raw());
             }
         }
         let _ = writeln!(

@@ -180,9 +180,7 @@ pub fn verify_design(
         offered_packets += f.injected_packets;
         delivered_packets += f.delivered_packets;
         if flow.qos == QosClass::GuaranteedThroughput {
-            if (f.delivered_packets as f64)
-                < cfg.delivery_threshold * f.injected_packets as f64
-            {
+            if (f.delivered_packets as f64) < cfg.delivery_threshold * f.injected_packets as f64 {
                 gt_ok = false;
             }
             if let Some(l) = f.mean_latency() {
@@ -290,9 +288,7 @@ mod tests {
         cfg.synthesis.clocks = vec![Hertz::from_mhz(400), Hertz::from_mhz(900)];
         let outcome = run_flow(&spec, None, &cfg).expect("feasible");
         for pair in outcome.designs.windows(2) {
-            assert!(
-                pair[0].design.metrics.power.raw() <= pair[1].design.metrics.power.raw()
-            );
+            assert!(pair[0].design.metrics.power.raw() <= pair[1].design.metrics.power.raw());
         }
     }
 

@@ -126,17 +126,42 @@ mod tests {
 
     #[test]
     fn overlap_detection() {
-        let a = Rect::new(Micrometers(0.0), Micrometers(0.0), Micrometers(10.0), Micrometers(10.0));
-        let b = Rect::new(Micrometers(5.0), Micrometers(5.0), Micrometers(10.0), Micrometers(10.0));
-        let c = Rect::new(Micrometers(10.0), Micrometers(0.0), Micrometers(5.0), Micrometers(5.0));
+        let a = Rect::new(
+            Micrometers(0.0),
+            Micrometers(0.0),
+            Micrometers(10.0),
+            Micrometers(10.0),
+        );
+        let b = Rect::new(
+            Micrometers(5.0),
+            Micrometers(5.0),
+            Micrometers(10.0),
+            Micrometers(10.0),
+        );
+        let c = Rect::new(
+            Micrometers(10.0),
+            Micrometers(0.0),
+            Micrometers(5.0),
+            Micrometers(5.0),
+        );
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c), "touching edges do not overlap");
     }
 
     #[test]
     fn manhattan_center_distance() {
-        let a = Rect::new(Micrometers(0.0), Micrometers(0.0), Micrometers(10.0), Micrometers(10.0));
-        let b = Rect::new(Micrometers(10.0), Micrometers(10.0), Micrometers(10.0), Micrometers(10.0));
+        let a = Rect::new(
+            Micrometers(0.0),
+            Micrometers(0.0),
+            Micrometers(10.0),
+            Micrometers(10.0),
+        );
+        let b = Rect::new(
+            Micrometers(10.0),
+            Micrometers(10.0),
+            Micrometers(10.0),
+            Micrometers(10.0),
+        );
         assert_eq!(a.center_distance(&b).raw(), 20.0);
     }
 }

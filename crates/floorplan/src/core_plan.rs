@@ -100,7 +100,11 @@ impl CoreFloorplan {
     /// Manhattan center distance between two cores. Missing cores yield
     /// `None`.
     pub fn distance(&self, a: CoreId, b: CoreId) -> Option<Micrometers> {
-        Some(self.placements.get(&a)?.center_distance(self.placements.get(&b)?))
+        Some(
+            self.placements
+                .get(&a)?
+                .center_distance(self.placements.get(&b)?),
+        )
     }
 
     /// The half-perimeter of the chip — an upper bound on any
@@ -145,11 +149,21 @@ mod tests {
         let mut m = BTreeMap::new();
         m.insert(
             CoreId(0),
-            Rect::new(Micrometers(0.0), Micrometers(0.0), Micrometers(10.0), Micrometers(10.0)),
+            Rect::new(
+                Micrometers(0.0),
+                Micrometers(0.0),
+                Micrometers(10.0),
+                Micrometers(10.0),
+            ),
         );
         m.insert(
             CoreId(1),
-            Rect::new(Micrometers(20.0), Micrometers(5.0), Micrometers(10.0), Micrometers(10.0)),
+            Rect::new(
+                Micrometers(20.0),
+                Micrometers(5.0),
+                Micrometers(10.0),
+                Micrometers(10.0),
+            ),
         );
         let fp = CoreFloorplan::from_placements(m);
         assert_eq!(fp.chip_width().raw(), 30.0);

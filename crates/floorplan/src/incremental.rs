@@ -113,10 +113,7 @@ pub fn insert_noc(floorplan: &CoreFloorplan, topo: &Topology) -> NocPlacement {
         .map(|(id, l)| {
             let a = pos[l.src.0];
             let b = pos[l.dst.0];
-            (
-                id,
-                Micrometers((a.0 - b.0).abs() + (a.1 - b.1).abs()),
-            )
+            (id, Micrometers((a.0 - b.0).abs() + (a.1 - b.1).abs()))
         })
         .collect();
     NocPlacement {
@@ -144,7 +141,12 @@ mod tests {
         {
             placements.insert(
                 CoreId(i),
-                Rect::new(Micrometers(x), Micrometers(y), Micrometers(100.0), Micrometers(100.0)),
+                Rect::new(
+                    Micrometers(x),
+                    Micrometers(y),
+                    Micrometers(100.0),
+                    Micrometers(100.0),
+                ),
             );
         }
         let fp = CoreFloorplan::from_placements(placements);
@@ -208,11 +210,21 @@ mod tests {
         let mut placements = BTreeMap::new();
         placements.insert(
             CoreId(0),
-            Rect::new(Micrometers(0.0), Micrometers(0.0), Micrometers(10.0), Micrometers(10.0)),
+            Rect::new(
+                Micrometers(0.0),
+                Micrometers(0.0),
+                Micrometers(10.0),
+                Micrometers(10.0),
+            ),
         );
         placements.insert(
             CoreId(1),
-            Rect::new(Micrometers(4000.0), Micrometers(0.0), Micrometers(10.0), Micrometers(10.0)),
+            Rect::new(
+                Micrometers(4000.0),
+                Micrometers(0.0),
+                Micrometers(10.0),
+                Micrometers(10.0),
+            ),
         );
         let fp = CoreFloorplan::from_placements(placements);
         let mut topo = noc_topology::Topology::new("chain");
@@ -229,6 +241,9 @@ mod tests {
         let x0 = p.position(s0).expect("placed").0.raw();
         let x1 = p.position(s1).expect("placed").0.raw();
         let x2 = p.position(s2).expect("placed").0.raw();
-        assert!(x0 < x1 && x1 < x2, "switches must be ordered: {x0} {x1} {x2}");
+        assert!(
+            x0 < x1 && x1 < x2,
+            "switches must be ordered: {x0} {x1} {x2}"
+        );
     }
 }

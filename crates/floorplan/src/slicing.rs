@@ -94,7 +94,9 @@ impl SlicingResult {
         Micrometers(
             nets.iter()
                 .map(|n| {
-                    self.placements[n.a].center_distance(&self.placements[n.b]).raw()
+                    self.placements[n.a]
+                        .center_distance(&self.placements[n.b])
+                        .raw()
                         * n.weight
                 })
                 .sum(),
@@ -338,13 +340,7 @@ impl SlicingFloorplanner {
                 }
             }
         }
-        fn place(
-            t: &Tree,
-            blocks: &[Block],
-            x: f64,
-            y: f64,
-            out: &mut [Rect],
-        ) {
+        fn place(t: &Tree, blocks: &[Block], x: f64, y: f64, out: &mut [Rect]) {
             match t {
                 Tree::Leaf(i) => {
                     out[*i] = Rect::new(
@@ -469,8 +465,16 @@ mod tests {
         // annealer can align them all and approach zero dead space.
         let mut blocks = Vec::new();
         for i in 0..4 {
-            blocks.push(Block::new(format!("w{i}"), Micrometers(200.0), Micrometers(50.0)));
-            blocks.push(Block::new(format!("t{i}"), Micrometers(50.0), Micrometers(200.0)));
+            blocks.push(Block::new(
+                format!("w{i}"),
+                Micrometers(200.0),
+                Micrometers(50.0),
+            ));
+            blocks.push(Block::new(
+                format!("t{i}"),
+                Micrometers(50.0),
+                Micrometers(200.0),
+            ));
         }
         let r = SlicingFloorplanner::new(blocks.clone(), vec![]).run(21);
         assert!(
@@ -480,12 +484,11 @@ mod tests {
         );
         // Rotation actually happened: some placement has swapped dims
         // relative to its input block.
-        let swapped = blocks
-            .iter()
-            .zip(&r.placements)
-            .any(|(b, p)| (b.width.raw() - p.h.raw()).abs() < 1e-9
+        let swapped = blocks.iter().zip(&r.placements).any(|(b, p)| {
+            (b.width.raw() - p.h.raw()).abs() < 1e-9
                 && (b.height.raw() - p.w.raw()).abs() < 1e-9
-                && b.width != b.height);
+                && b.width != b.height
+        });
         assert!(swapped, "expected at least one rotated block");
     }
 
@@ -507,22 +510,35 @@ mod tests {
             b: 7,
             weight: 50.0,
         }];
-        let mut cfg = AnnealConfig::default();
-        cfg.wirelength_weight = 2.0;
+        let cfg = AnnealConfig {
+            wirelength_weight: 2.0,
+            ..Default::default()
+        };
         let r = SlicingFloorplanner::new(blocks, nets)
             .with_config(cfg)
             .run(13);
         let d = r.placements[0].center_distance(&r.placements[7]).raw();
         let diag = r.chip_width.raw() + r.chip_height.raw();
-        assert!(d < diag / 2.0, "hot pair distance {d} vs half-perimeter {diag}");
+        assert!(
+            d < diag / 2.0,
+            "hot pair distance {d} vs half-perimeter {diag}"
+        );
     }
 
     #[test]
     fn wirelength_is_weighted() {
         let blocks = uniform_blocks(2, 10.0, 10.0);
         let r = SlicingFloorplanner::new(blocks, vec![]).run(1);
-        let wl1 = r.wirelength(&[Net { a: 0, b: 1, weight: 1.0 }]);
-        let wl3 = r.wirelength(&[Net { a: 0, b: 1, weight: 3.0 }]);
+        let wl1 = r.wirelength(&[Net {
+            a: 0,
+            b: 1,
+            weight: 1.0,
+        }]);
+        let wl3 = r.wirelength(&[Net {
+            a: 0,
+            b: 1,
+            weight: 3.0,
+        }]);
         assert!((wl3.raw() - 3.0 * wl1.raw()).abs() < 1e-9);
     }
 
@@ -537,7 +553,11 @@ mod tests {
     fn bad_net_panics() {
         let _ = SlicingFloorplanner::new(
             uniform_blocks(2, 1.0, 1.0),
-            vec![Net { a: 0, b: 5, weight: 1.0 }],
+            vec![Net {
+                a: 0,
+                b: 5,
+                weight: 1.0,
+            }],
         );
     }
 }

@@ -156,9 +156,7 @@ mod tests {
         let v_fast = m.voltage_for(Hertz::from_mhz(800)).expect("reachable");
         assert!(v_slow < v_fast);
         // The found voltage actually sustains the target.
-        assert!(
-            m.at_voltage(v_fast).max_frequency.raw() >= Hertz::from_mhz(800).raw()
-        );
+        assert!(m.at_voltage(v_fast).max_frequency.raw() >= Hertz::from_mhz(800).raw());
     }
 
     #[test]
@@ -176,7 +174,9 @@ mod tests {
         // Half the frequency should cost well under half the power
         // (voltage drops too).
         assert!(half < 0.45, "saving factor {half}");
-        let full = m.power_saving(Hertz::from_mhz(800), 0.7).expect("reachable");
+        let full = m
+            .power_saving(Hertz::from_mhz(800), 0.7)
+            .expect("reachable");
         assert!((full - 1.0).abs() < 0.05, "nominal ≈ 1.0: {full}");
     }
 

@@ -63,7 +63,9 @@ impl LinkModel {
     /// Number of pipeline stages a link of `length` needs to close timing
     /// at `clock` (0 when the wire fits in one cycle).
     pub fn pipeline_stages(&self, length: Micrometers, clock: Hertz) -> u32 {
-        let reach = self.tech.reachable_per_cycle(clock, 1.0 - WIRE_TIMING_BUDGET);
+        let reach = self
+            .tech
+            .reachable_per_cycle(clock, 1.0 - WIRE_TIMING_BUDGET);
         if reach.raw() <= 0.0 {
             return u32::MAX;
         }
@@ -75,13 +77,10 @@ impl LinkModel {
     /// flits at `clock`.
     pub fn estimate(&self, length: Micrometers, width: u32, clock: Hertz) -> LinkEstimate {
         let stages = self.pipeline_stages(length, clock);
-        let wire_energy =
-            self.tech.wire_energy_pj_per_bit_mm * width as f64 * length.to_mm();
+        let wire_energy = self.tech.wire_energy_pj_per_bit_mm * width as f64 * length.to_mm();
         // Each relay station adds a flop bank write per flit.
         let relay_energy = stages as f64 * width as f64 * self.tech.gate_energy_pj * 3.0;
-        let area = SquareMicrometers(
-            stages as f64 * width as f64 * self.tech.flop_area_um2,
-        );
+        let area = SquareMicrometers(stages as f64 * width as f64 * self.tech.flop_area_um2);
         LinkEstimate {
             pipeline_stages: stages,
             traversal_cycles: stages + 1,

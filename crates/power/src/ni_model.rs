@@ -92,8 +92,7 @@ impl NiModel {
         let lut_flops = p.lut_entries as f64 * 24.0;
         let queue_flops = p.queue_depth as f64 * w;
         let area = SquareMicrometers(
-            (kernel_gates * t.gate_area_um2 + (lut_flops + queue_flops) * t.flop_area_um2)
-                * 1.25,
+            (kernel_gates * t.gate_area_um2 + (lut_flops + queue_flops) * t.flop_area_um2) * 1.25,
         );
         // NIs are simple pipelines: they clock near the node's peak.
         let period_ps = t.fo4_ps * 28.0;
@@ -140,8 +139,7 @@ mod tests {
     fn ni_clocks_faster_than_big_switches() {
         use crate::switch_model::{SwitchModel, SwitchParams};
         let ni = m().estimate(NiParams::initiator(32, 16));
-        let sw = SwitchModel::new(TechNode::NM65)
-            .max_frequency(SwitchParams::symmetric(15));
+        let sw = SwitchModel::new(TechNode::NM65).max_frequency(SwitchParams::symmetric(15));
         assert!(ni.max_frequency.raw() > sw.raw());
     }
 

@@ -139,8 +139,8 @@ impl RoutabilityModel {
         // Calibrated: 8 ports × 137 wires (AHB 32-bit ≈ 116–150 wires)
         // sits at the feasibility edge at 65 nm.
         let capacity_65 = 8.0 * 137.0;
-        let supply = capacity_65 * (0.30 / self.tech.wire_pitch_um)
-            * (self.tech.signal_layers as f64 / 5.0);
+        let supply =
+            capacity_65 * (0.30 / self.tech.wire_pitch_um) * (self.tech.signal_layers as f64 / 5.0);
         (ports as f64 * wires_per_port as f64) / supply
     }
 
@@ -203,8 +203,14 @@ mod tests {
 
     #[test]
     fn utilization_declines_within_constrained_band() {
-        let u14 = m().switch_routability(14, 32).row_utilization().expect("feasible");
-        let u22 = m().switch_routability(22, 32).row_utilization().expect("feasible");
+        let u14 = m()
+            .switch_routability(14, 32)
+            .row_utilization()
+            .expect("feasible");
+        let u22 = m()
+            .switch_routability(22, 32)
+            .row_utilization()
+            .expect("feasible");
         assert!(u14 > u22);
     }
 
@@ -248,15 +254,24 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(m().switch_routability(5, 32).to_string().contains("efficient"));
-        assert!(m().switch_routability(18, 32).to_string().contains("constrained"));
-        assert!(m().switch_routability(30, 32).to_string().contains("infeasible"));
+        assert!(m()
+            .switch_routability(5, 32)
+            .to_string()
+            .contains("efficient"));
+        assert!(m()
+            .switch_routability(18, 32)
+            .to_string()
+            .contains("constrained"));
+        assert!(m()
+            .switch_routability(30, 32)
+            .to_string()
+            .contains("infeasible"));
     }
 
     #[test]
     fn row_utilization_accessor() {
         assert!(m().switch_routability(5, 32).row_utilization().is_some());
         assert!(m().switch_routability(34, 32).row_utilization().is_none());
-        assert!(m().switch_routability(34, 32).is_feasible() == false);
+        assert!(!m().switch_routability(34, 32).is_feasible());
     }
 }

@@ -75,7 +75,11 @@ impl fmt::Display for SwitchParams {
             self.outputs,
             self.flit_width,
             self.buffer_depth,
-            if self.output_buffers { ", output-buffered" } else { "" }
+            if self.output_buffers {
+                ", output-buffered"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -149,8 +153,7 @@ impl SwitchModel {
         // growing with the crossbar's wire count (quadratic in radix).
         let crossbar_gates = w * p.inputs as f64 * p.outputs as f64 * 0.9;
         let crossbar = crossbar_gates * t.gate_area_um2;
-        let arbiter =
-            p.outputs as f64 * (40.0 + 14.0 * p.inputs as f64) * t.gate_area_um2;
+        let arbiter = p.outputs as f64 * (40.0 + 14.0 * p.inputs as f64) * t.gate_area_um2;
         // Placement/clock-tree/decap overhead: 35 %.
         SquareMicrometers((buffers + crossbar + arbiter) * 1.35)
     }
@@ -194,12 +197,11 @@ impl SwitchModel {
     /// Average power at the given clock and average flit throughput
     /// (flits per cycle crossing the switch, 0–radix).
     pub fn power(&self, p: SwitchParams, clock: Hertz, flits_per_cycle: f64) -> MilliWatts {
-        let dynamic = PicoJoules(self.energy_per_flit(p).raw() * flits_per_cycle)
-            .to_power(clock);
+        let dynamic = PicoJoules(self.energy_per_flit(p).raw() * flits_per_cycle).to_power(clock);
         // Clock-tree & idle toggling: 15 % of the full-activity dynamic
         // power is always burned.
-        let idle = PicoJoules(self.energy_per_flit(p).raw() * 0.15 * p.radix() as f64)
-            .to_power(clock);
+        let idle =
+            PicoJoules(self.energy_per_flit(p).raw() * 0.15 * p.radix() as f64).to_power(clock);
         dynamic + idle + self.leakage(p)
     }
 }

@@ -93,7 +93,11 @@ impl TechNode {
 
     /// Propagation delay of a repeated global wire of the given length.
     pub fn wire_delay(&self, length: Micrometers) -> Picoseconds {
-        Picoseconds((self.wire_delay_ps_per_mm * length.to_mm()).round().max(0.0) as u64)
+        Picoseconds(
+            (self.wire_delay_ps_per_mm * length.to_mm())
+                .round()
+                .max(0.0) as u64,
+        )
     }
 
     /// The distance a signal can travel within one cycle at `clock`,
@@ -137,6 +141,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the constants ARE the claim
     fn gate_delay_improves_with_scaling_but_wires_do_not() {
         // §1: "with technology scaling, gate delays decrease while global
         // wire delays do not."

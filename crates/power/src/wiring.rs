@@ -51,7 +51,12 @@ impl WiringModel {
         // A bus moves one beat per cycle on each lane; 64-byte transfer =
         // 512 bits over the write lane.
         let transfer_cycles = (512u64).div_ceil(data_width as u64);
-        self.point(format!("bus-{data_width}"), wires, data_width, transfer_cycles)
+        self.point(
+            format!("bus-{data_width}"),
+            wires,
+            data_width,
+            transfer_cycles,
+        )
     }
 
     /// Characterizes a NoC link with the given flit width: `flit_width`
@@ -61,7 +66,12 @@ impl WiringModel {
         let wires = flit_width + 6;
         let payload_flits = (512u64).div_ceil(flit_width as u64);
         let transfer_cycles = payload_flits + 1; // + header flit
-        self.point(format!("noc-{flit_width}"), wires, flit_width, transfer_cycles)
+        self.point(
+            format!("noc-{flit_width}"),
+            wires,
+            flit_width,
+            transfer_cycles,
+        )
     }
 
     fn point(
@@ -72,8 +82,7 @@ impl WiringModel {
         transfer_cycles: u64,
     ) -> WiringPoint {
         let pitch = self.tech.wire_pitch_um;
-        let wiring_area =
-            SquareMicrometers(wires as f64 * pitch * self.span.raw());
+        let wiring_area = SquareMicrometers(wires as f64 * pitch * self.span.raw());
         // Crosstalk exposure ∝ coupled neighbor pairs × length; normalize
         // to a 200-wire bus over the same span.
         let crosstalk = (wires.saturating_sub(1)) as f64 / 199.0;

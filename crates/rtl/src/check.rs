@@ -39,10 +39,7 @@ impl fmt::Display for VerilogIssue {
             VerilogIssue::Unbalanced {
                 modules,
                 endmodules,
-            } => write!(
-                f,
-                "unbalanced module/endmodule: {modules} vs {endmodules}"
-            ),
+            } => write!(f, "unbalanced module/endmodule: {modules} vs {endmodules}"),
             VerilogIssue::DuplicateModule(m) => write!(f, "module `{m}` defined twice"),
             VerilogIssue::UndefinedModule(m) => {
                 write!(f, "instance of undefined module `{m}`")
@@ -107,16 +104,11 @@ pub fn check_verilog(source: &str) -> Vec<VerilogIssue> {
                 // instance name: the last identifier before the open
                 // paren of the port list. Emitted style keeps the
                 // instance name as the last bare identifier on the line.
-                if let Some(name) = tokens
-                    .iter()
-                    .skip(1)
-                    .rev()
-                    .find(|t| {
-                        t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-                            && !t.starts_with('.')
-                            && !t.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true)
-                    })
-                {
+                if let Some(name) = tokens.iter().skip(1).rev().find(|t| {
+                    t.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                        && !t.starts_with('.')
+                        && !t.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true)
+                }) {
                     instances
                         .entry(module.clone())
                         .or_default()

@@ -21,8 +21,12 @@ pub fn emit_sim_model(topo: &Topology, routes: &RouteSet) -> String {
         match &node.kind {
             NodeKind::Switch => {
                 let (i, o) = topo.switch_radix(id);
-                writeln!(out, "node {} switch {} inputs={i} outputs={o}", id.0, node.name)
-                    .expect("infallible");
+                writeln!(
+                    out,
+                    "node {} switch {} inputs={i} outputs={o}",
+                    id.0, node.name
+                )
+                .expect("infallible");
             }
             NodeKind::Ni { core, role } => {
                 writeln!(
@@ -44,8 +48,7 @@ pub fn emit_sim_model(topo: &Topology, routes: &RouteSet) -> String {
     }
     for ((from, to), route) in routes.iter() {
         let path: Vec<String> = route.links.iter().map(|l| l.0.to_string()).collect();
-        writeln!(out, "route {} {} via {}", from.0, to.0, path.join(","))
-            .expect("infallible");
+        writeln!(out, "route {} {} via {}", from.0, to.0, path.join(",")).expect("infallible");
     }
     for (id, node) in topo.node_ids() {
         if let NodeKind::Ni { role, .. } = &node.kind {
@@ -111,7 +114,12 @@ mod tests {
     fn model_mentions_pipeline_stages() {
         let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
         let mut m = mesh(2, 2, &cores, 32).expect("valid");
-        let lid = m.topology.link_ids().next().map(|(id, _)| id).expect("links");
+        let lid = m
+            .topology
+            .link_ids()
+            .next()
+            .map(|(id, _)| id)
+            .expect("links");
         m.topology.set_pipeline_stages(lid, 3);
         let model = emit_sim_model(&m.topology, &RouteSet::new());
         assert!(model.contains("stages=3"));

@@ -19,7 +19,11 @@ pub fn emit_testbench(opts: &EmitOptions, cycles: u64) -> String {
     writeln!(out, "    repeat (4) @(posedge clk);").expect("infallible");
     writeln!(out, "    rst_n = 1'b1;").expect("infallible");
     writeln!(out, "    repeat ({cycles}) @(posedge clk);").expect("infallible");
-    writeln!(out, "    $display(\"nocsilk tb: done after {cycles} cycles\");").expect("infallible");
+    writeln!(
+        out,
+        "    $display(\"nocsilk tb: done after {cycles} cycles\");"
+    )
+    .expect("infallible");
     writeln!(out, "    $finish;").expect("infallible");
     writeln!(out, "  end").expect("infallible");
     writeln!(out, "endmodule").expect("infallible");

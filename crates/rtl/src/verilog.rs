@@ -39,7 +39,12 @@ fn sanitize(name: &str) -> String {
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
         .collect();
-    if out.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
+    if out
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_digit())
+        .unwrap_or(true)
+    {
         out.insert(0, 'u');
     }
     out
@@ -49,7 +54,11 @@ fn sanitize(name: &str) -> String {
 fn emit_switch_module(out: &mut String, inputs: usize, outputs: usize, opts: &EmitOptions) {
     let w = opts.flit_width;
     let d = opts.buffer_depth;
-    writeln!(out, "// {inputs}x{outputs} wormhole switch, {w}-bit flits, depth-{d} input FIFOs").expect("infallible");
+    writeln!(
+        out,
+        "// {inputs}x{outputs} wormhole switch, {w}-bit flits, depth-{d} input FIFOs"
+    )
+    .expect("infallible");
     writeln!(out, "module noc_switch_{inputs}x{outputs} (").expect("infallible");
     writeln!(out, "  input  wire clk,").expect("infallible");
     writeln!(out, "  input  wire rst_n,").expect("infallible");
@@ -73,12 +82,24 @@ fn emit_switch_module(out: &mut String, inputs: usize, outputs: usize, opts: &Em
         )
         .expect("infallible");
     }
-    writeln!(out, "  // Output arbitration (generated per instance by the").expect("infallible");
+    writeln!(
+        out,
+        "  // Output arbitration (generated per instance by the"
+    )
+    .expect("infallible");
     writeln!(out, "  // LUT-programmed routing function).").expect("infallible");
     for o in 0..outputs {
-        writeln!(out, "  noc_arbiter #(.REQS({inputs}), .WIDTH({w})) arb_out{o} (").expect("infallible");
+        writeln!(
+            out,
+            "  noc_arbiter #(.REQS({inputs}), .WIDTH({w})) arb_out{o} ("
+        )
+        .expect("infallible");
         writeln!(out, "    .clk(clk), .rst_n(rst_n),").expect("infallible");
-        writeln!(out, "    .grant_data(out{o}_data), .grant_valid(out{o}_valid), .grant_stall(out{o}_stall)").expect("infallible");
+        writeln!(
+            out,
+            "    .grant_data(out{o}_data), .grant_valid(out{o}_valid), .grant_stall(out{o}_stall)"
+        )
+        .expect("infallible");
         writeln!(out, "  );").expect("infallible");
     }
     writeln!(out, "endmodule\n").expect("infallible");
@@ -166,11 +187,7 @@ pub fn emit_ni_luts(topo: &Topology, routes: &RouteSet) -> String {
 
 /// Emits the complete structural Verilog of `topo`, including the NI
 /// routing LUT ROMs for `routes`.
-pub fn emit_verilog_with_routes(
-    topo: &Topology,
-    routes: &RouteSet,
-    opts: &EmitOptions,
-) -> String {
+pub fn emit_verilog_with_routes(topo: &Topology, routes: &RouteSet, opts: &EmitOptions) -> String {
     let mut out = emit_verilog(topo, opts);
     out.push('\n');
     out.push_str(&emit_ni_luts(topo, routes));
@@ -183,8 +200,20 @@ pub fn emit_verilog_with_routes(
 /// distinct radix, and the top-level netlist.
 pub fn emit_verilog(topo: &Topology, opts: &EmitOptions) -> String {
     let mut out = String::new();
-    writeln!(out, "// Generated by nocsilk noc-rtl — topology `{}`", topo.name()).expect("infallible");
-    writeln!(out, "// switches: {}, NIs: {}, links: {}\n", topo.switches().len(), topo.nis().len(), topo.links().len()).expect("infallible");
+    writeln!(
+        out,
+        "// Generated by nocsilk noc-rtl — topology `{}`",
+        topo.name()
+    )
+    .expect("infallible");
+    writeln!(
+        out,
+        "// switches: {}, NIs: {}, links: {}\n",
+        topo.switches().len(),
+        topo.nis().len(),
+        topo.links().len()
+    )
+    .expect("infallible");
     emit_leaf_modules(&mut out, opts);
 
     // One switch module per distinct radix.
@@ -235,12 +264,27 @@ pub fn emit_verilog(topo: &Topology, opts: &EmitOptions) -> String {
                 writeln!(out, "  noc_ni_{kind} #(.WIDTH({w})) {inst} (").expect("infallible");
                 writeln!(out, "    .clk(clk), .rst_n(rst_n),").expect("infallible");
                 match topo.outgoing(nid).first() {
-                    Some(l) => writeln!(out, "    .tx_data(l{0}_data), .tx_valid(l{0}_valid), .tx_stall(l{0}_stall),", l.0).expect("infallible"),
-                    None => writeln!(out, "    .tx_data(), .tx_valid(), .tx_stall(1'b0),").expect("infallible"),
+                    Some(l) => writeln!(
+                        out,
+                        "    .tx_data(l{0}_data), .tx_valid(l{0}_valid), .tx_stall(l{0}_stall),",
+                        l.0
+                    )
+                    .expect("infallible"),
+                    None => writeln!(out, "    .tx_data(), .tx_valid(), .tx_stall(1'b0),")
+                        .expect("infallible"),
                 }
                 match topo.incoming(nid).first() {
-                    Some(l) => writeln!(out, "    .rx_data(l{0}_data), .rx_valid(l{0}_valid), .rx_stall(l{0}_stall)", l.0).expect("infallible"),
-                    None => writeln!(out, "    .rx_data({{{w}{{1'b0}}}}), .rx_valid(1'b0), .rx_stall()").expect("infallible"),
+                    Some(l) => writeln!(
+                        out,
+                        "    .rx_data(l{0}_data), .rx_valid(l{0}_valid), .rx_stall(l{0}_stall)",
+                        l.0
+                    )
+                    .expect("infallible"),
+                    None => writeln!(
+                        out,
+                        "    .rx_data({{{w}{{1'b0}}}}), .rx_valid(1'b0), .rx_stall()"
+                    )
+                    .expect("infallible"),
                 }
                 writeln!(out, "  );").expect("infallible");
             }

@@ -4,13 +4,14 @@ use noc_spec::units::Hertz;
 use serde::{Deserialize, Serialize};
 
 /// Link-level flow control discipline (§3 / Fig. 1: ×pipes supports both).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum FlowControl {
     /// ON/OFF (credit-style) backpressure: "backpressure from the
     /// downstream switch stalls the transmission until there is
     /// sufficient buffering capacity. In this case, output buffers can be
     /// omitted." Lossless; a flit is launched only when the downstream
     /// buffer has space.
+    #[default]
     OnOff,
     /// ACK/NACK: flits are sent speculatively and "have to be
     /// retransmitted until the downstream router has sufficient capacity
@@ -19,26 +20,15 @@ pub enum FlowControl {
     AckNack,
 }
 
-impl Default for FlowControl {
-    fn default() -> FlowControl {
-        FlowControl::OnOff
-    }
-}
-
 /// Output-port arbitration policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Arbitration {
     /// Fair round-robin across requesting inputs.
+    #[default]
     RoundRobin,
     /// Guaranteed-throughput flits first (QoS), round-robin within a
     /// class.
     PriorityThenRoundRobin,
-}
-
-impl Default for Arbitration {
-    fn default() -> Arbitration {
-        Arbitration::RoundRobin
-    }
 }
 
 /// Full simulator configuration.

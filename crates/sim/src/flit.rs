@@ -11,9 +11,7 @@ use std::fmt;
 use std::sync::Arc;
 
 /// Identifier of an injected packet (unique within a simulation run).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PacketId(pub u64);
 
 impl fmt::Display for PacketId {

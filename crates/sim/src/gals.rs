@@ -155,7 +155,7 @@ impl DomainMap {
 
     /// Whether `node` is clocked on `cycle` (fast-clock cycles).
     pub fn active(&self, node: NodeId, cycle: u64) -> bool {
-        cycle % self.divider_of_domain[self.domain_of[node.0]] as u64 == 0
+        cycle.is_multiple_of(self.divider_of_domain[self.domain_of[node.0]] as u64)
     }
 
     /// Whether a link crosses between two domains.
@@ -182,8 +182,8 @@ impl DomainMap {
 mod tests {
     use super::*;
     use noc_spec::presets;
-    use noc_topology::generators::mesh;
     use noc_spec::CoreId;
+    use noc_topology::generators::mesh;
 
     #[test]
     fn penalties_are_ordered() {

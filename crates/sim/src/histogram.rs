@@ -66,7 +66,11 @@ impl LatencyHistogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return Some(if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 });
+                return Some(if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                });
             }
         }
         Some(u64::MAX)
@@ -120,7 +124,7 @@ mod tests {
         }
         let p50 = h.quantile_upper_bound(0.5).expect("nonempty");
         let p99 = h.quantile_upper_bound(0.99).expect("nonempty");
-        assert!(p50 >= 500 && p50 <= 1023, "p50 bound {p50}");
+        assert!((500..=1023).contains(&p50), "p50 bound {p50}");
         assert!(p99 >= 990, "p99 bound {p99}");
         assert!(p99 <= 1023, "p99 bound is tight-ish {p99}");
         assert!(p50 <= p99);

@@ -20,7 +20,8 @@
 //! * flow-driven traffic from application specs and the classic synthetic
 //!   fabric patterns ([`traffic`], [`patterns`]);
 //! * per-flow latency/bandwidth and per-link utilization statistics
-//!   ([`stats`]).
+//!   ([`stats`]);
+//! * parallel, deterministic parameter sweeps across cores ([`sweep`]).
 //!
 //! ## Example
 //!
@@ -57,6 +58,7 @@ pub mod patterns;
 pub mod qos;
 pub mod setup;
 pub mod stats;
+pub mod sweep;
 pub mod trace;
 pub mod traffic;
 
@@ -67,5 +69,6 @@ pub use crate::gals::{DomainMap, SyncScheme};
 pub use crate::histogram::LatencyHistogram;
 pub use crate::qos::SlotTable;
 pub use crate::stats::{FlowStats, SimStats};
+pub use crate::sweep::{point_seed, SweepRunner};
 pub use crate::trace::{Trace, TraceEvent, TraceKind};
 pub use crate::traffic::TrafficSource;

@@ -4,16 +4,17 @@
 
 use crate::error::SimError;
 use crate::traffic::{Destination, InjectionProcess, TrafficSource};
+use noc_spec::CoreId;
 use noc_spec::{FlowId, TrafficShape};
 use noc_topology::generators::Mesh;
 use noc_topology::LinkId;
-use noc_spec::CoreId;
 use std::sync::Arc;
 
-fn mesh_routes_from(
-    mesh: &Mesh,
-    src_index: usize,
-) -> Result<Vec<(usize, Arc<[LinkId]>)>, SimError> {
+/// Routes from one mesh core to every other, as `(dest core index,
+/// link route)` pairs.
+type RoutesFrom = Vec<(usize, Arc<[LinkId]>)>;
+
+fn mesh_routes_from(mesh: &Mesh, src_index: usize) -> Result<RoutesFrom, SimError> {
     let src = mesh.cores[src_index];
     let mut out = Vec::new();
     for (j, &dst) in mesh.cores.iter().enumerate() {
@@ -208,12 +209,12 @@ pub fn nearest_neighbor(
             for (nr, nc) in [(r, c + 1), (r + 1, c)] {
                 if nr < mesh.rows && nc < mesh.cols {
                     let j = nr * mesh.cols + nc;
-                    let route = mesh
-                        .xy_route(mesh.cores[i], mesh.cores[j])
-                        .map_err(|_| SimError::MissingRoute {
+                    let route = mesh.xy_route(mesh.cores[i], mesh.cores[j]).map_err(|_| {
+                        SimError::MissingRoute {
                             src: mesh.cores[i],
                             dst: mesh.cores[j],
-                        })?;
+                        }
+                    })?;
                     routes.push(route.links.into());
                 }
             }

@@ -4,7 +4,9 @@
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::qos::SlotTable;
-use crate::traffic::{packet_flits, packets_per_cycle, Destination, InjectionProcess, TrafficSource};
+use crate::traffic::{
+    packet_flits, packets_per_cycle, Destination, InjectionProcess, TrafficSource,
+};
 use noc_spec::{AppSpec, MessageClass, QosClass};
 use noc_topology::graph::{NiRole, NodeId, Topology};
 use noc_topology::routing::RouteSet;
@@ -60,12 +62,10 @@ pub fn flow_sources(
     let mut out = Vec::with_capacity(spec.flows().len());
     for (id, flow) in spec.flow_ids() {
         let (src_ni, dst_ni) = flow_endpoints(spec, topo, flow)?;
-        let route = routes
-            .get(src_ni, dst_ni)
-            .ok_or(SimError::MissingRoute {
-                src: flow.src,
-                dst: flow.dst,
-            })?;
+        let route = routes.get(src_ni, dst_ni).ok_or(SimError::MissingRoute {
+            src: flow.src,
+            dst: flow.dst,
+        })?;
         let pf = packet_flits(flow.kind, cfg.flit_width);
         let rate = packets_per_cycle(flow.bandwidth, cfg.clock, cfg.flit_width, pf)
             .ok_or(SimError::FlowTooFast { flow: id })?;
@@ -226,8 +226,8 @@ mod tests {
         // Two GT flows injecting from the same NI cannot share a
         // one-slot frame (each reservation needs at least one slot).
         use noc_spec::core::{Core, CoreRole};
-        use noc_spec::TrafficFlow;
         use noc_spec::units::BitsPerSecond;
+        use noc_spec::TrafficFlow;
         let mut b = AppSpec::builder("two_gt");
         let m = b.add_core(Core::new("m", CoreRole::Master));
         let s0 = b.add_core(Core::new("s0", CoreRole::Slave));

@@ -34,6 +34,18 @@ impl FlowStats {
             Some(self.total_latency as f64 / self.delivered_packets as f64)
         }
     }
+
+    /// Folds another run's accumulators into this one: counters and
+    /// latency sums add, the worst latency is the max of the two, and
+    /// the histograms merge bucket-wise.
+    pub fn merge(&mut self, other: &FlowStats) {
+        self.injected_packets += other.injected_packets;
+        self.delivered_packets += other.delivered_packets;
+        self.delivered_flits += other.delivered_flits;
+        self.total_latency += other.total_latency;
+        self.max_latency = self.max_latency.max(other.max_latency);
+        self.latency_histogram.merge(&other.latency_histogram);
+    }
 }
 
 /// Whole-run statistics.
@@ -59,10 +71,9 @@ pub struct SimStats {
 impl SimStats {
     /// Network-wide mean packet latency in cycles.
     pub fn mean_latency(&self) -> Option<f64> {
-        let (sum, n) = self
-            .flows
-            .values()
-            .fold((0u64, 0u64), |(s, n), f| (s + f.total_latency, n + f.delivered_packets));
+        let (sum, n) = self.flows.values().fold((0u64, 0u64), |(s, n), f| {
+            (s + f.total_latency, n + f.delivered_packets)
+        });
         if n == 0 {
             None
         } else {
@@ -72,7 +83,11 @@ impl SimStats {
 
     /// Worst packet latency across all flows.
     pub fn max_latency(&self) -> u64 {
-        self.flows.values().map(|f| f.max_latency).max().unwrap_or(0)
+        self.flows
+            .values()
+            .map(|f| f.max_latency)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Delivered flits per cycle, network-wide.
@@ -87,8 +102,7 @@ impl SimStats {
     /// Delivered payload bandwidth at the given flit width and clock.
     pub fn delivered_bandwidth(&self, flit_width: u32, clock: Hertz) -> BitsPerSecond {
         BitsPerSecond(
-            (self.throughput_flits_per_cycle() * flit_width as f64 * clock.raw() as f64)
-                as u64,
+            (self.throughput_flits_per_cycle() * flit_width as f64 * clock.raw() as f64) as u64,
         )
     }
 
@@ -101,10 +115,18 @@ impl SimStats {
     }
 
     /// The highest link utilization in the network — the bottleneck.
+    ///
+    /// Consistent with [`Self::link_utilization`]: with zero measured
+    /// cycles every utilization is 0.0 (a link can't be utilized over
+    /// an empty measurement window), even if warmup-era flits were
+    /// recorded against links.
     pub fn peak_link_utilization(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            return 0.0;
+        }
         self.link_flits
             .values()
-            .map(|&f| f as f64 / self.measured_cycles.max(1) as f64)
+            .map(|&f| f as f64 / self.measured_cycles as f64)
             .fold(0.0, f64::max)
     }
 
@@ -149,6 +171,29 @@ impl SimStats {
             self.nack_retries
         );
         out
+    }
+
+    /// Folds another (independent) run's statistics into this one —
+    /// the reduction step of a parallel parameter sweep. Measurement
+    /// windows concatenate (`measured_cycles` add), all flit/packet
+    /// counters and per-link maps add, per-flow stats merge via
+    /// [`FlowStats::merge`]. Merging is commutative and associative,
+    /// so any reduction order over a sweep's points yields identical
+    /// stats (see DESIGN.md, "Sweep determinism").
+    pub fn merge(&mut self, other: &SimStats) {
+        self.measured_cycles += other.measured_cycles;
+        self.total_delivered_flits += other.total_delivered_flits;
+        self.total_delivered_packets += other.total_delivered_packets;
+        self.nack_retries += other.nack_retries;
+        for (flow, fs) in &other.flows {
+            self.flows.entry(*flow).or_default().merge(fs);
+        }
+        for (&link, &n) in &other.link_flits {
+            *self.link_flits.entry(link).or_default() += n;
+        }
+        for (&link, &n) in &other.link_stalls {
+            *self.link_stalls.entry(link).or_default() += n;
+        }
     }
 
     /// Per-flow delivered bandwidth.
@@ -226,6 +271,65 @@ mod tests {
         s.link_flits.insert(LinkId(3), 80);
         assert_eq!(s.link_utilization(LinkId(3)), 0.8);
         assert_eq!(s.peak_link_utilization(), 0.8);
+    }
+
+    #[test]
+    fn zero_cycle_utilization_is_uniformly_zero() {
+        // Regression: peak_link_utilization used to divide by
+        // `measured_cycles.max(1)` and report nonzero utilization for a
+        // zero-cycle window while link_utilization reported 0.0.
+        let mut s = SimStats::default();
+        s.link_flits.insert(LinkId(2), 77);
+        assert_eq!(s.measured_cycles, 0);
+        assert_eq!(s.link_utilization(LinkId(2)), 0.0);
+        assert_eq!(s.peak_link_utilization(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_merges_flows() {
+        let mk = |flow: usize, cycles: u64, flits: u64, latency: u64, max: u64| {
+            let mut s = SimStats {
+                measured_cycles: cycles,
+                total_delivered_flits: flits,
+                total_delivered_packets: flits / 2,
+                nack_retries: 1,
+                ..SimStats::default()
+            };
+            let mut fs = FlowStats {
+                injected_packets: flits / 2,
+                delivered_packets: flits / 2,
+                delivered_flits: flits,
+                total_latency: latency,
+                max_latency: max,
+                ..FlowStats::default()
+            };
+            fs.latency_histogram.record(max);
+            s.flows.insert(FlowId(flow), fs);
+            s.link_flits.insert(LinkId(0), flits);
+            s.link_stalls.insert(LinkId(0), 3);
+            s
+        };
+        let mut a = mk(0, 100, 40, 500, 30);
+        let b = mk(0, 200, 60, 900, 12);
+        let c = mk(1, 50, 10, 100, 9);
+        a.merge(&b);
+        a.merge(&c);
+        assert_eq!(a.measured_cycles, 350);
+        assert_eq!(a.total_delivered_flits, 110);
+        assert_eq!(a.nack_retries, 3);
+        assert_eq!(a.link_flits[&LinkId(0)], 110);
+        assert_eq!(a.link_stalls[&LinkId(0)], 9);
+        let f0 = &a.flows[&FlowId(0)];
+        assert_eq!(f0.delivered_flits, 100);
+        assert_eq!(f0.total_latency, 1400);
+        assert_eq!(f0.max_latency, 30);
+        assert_eq!(f0.latency_histogram.count(), 2);
+        assert_eq!(a.flows[&FlowId(1)].delivered_flits, 10);
+        // Merge order must not matter (the sweep reduces in any order).
+        let mut other_order = mk(1, 50, 10, 100, 9);
+        other_order.merge(&mk(0, 100, 40, 500, 30));
+        other_order.merge(&b);
+        assert_eq!(a, other_order);
     }
 
     #[test]

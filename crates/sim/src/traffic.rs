@@ -54,7 +54,12 @@ impl InjectionProcess {
     /// Builds the process matching a [`TrafficShape`] at `rate` packets
     /// per cycle (`rate` must be in `(0, 1]`). `phase` decorrelates
     /// constant-rate sources.
-    pub fn from_shape(shape: TrafficShape, rate: f64, spacing: u64, phase: u64) -> InjectionProcess {
+    pub fn from_shape(
+        shape: TrafficShape,
+        rate: f64,
+        spacing: u64,
+        phase: u64,
+    ) -> InjectionProcess {
         match shape {
             TrafficShape::Constant => InjectionProcess::Constant {
                 period: (1.0 / rate).round().max(1.0) as u64,
@@ -280,22 +285,14 @@ mod tests {
     fn rate_conversion_and_overload() {
         // 8 Gb/s over a 32-bit 1 GHz link with 5-flit packets (4 payload
         // flits = 128 bits/packet): 62.5 Mpkt/s = 0.0625 pkt/cycle.
-        let r = packets_per_cycle(
-            BitsPerSecond::from_gbps(8.0),
-            Hertz::from_ghz(1.0),
-            32,
-            5,
-        )
-        .expect("fits");
+        let r = packets_per_cycle(BitsPerSecond::from_gbps(8.0), Hertz::from_ghz(1.0), 32, 5)
+            .expect("fits");
         assert!((r - 0.0625).abs() < 1e-9);
         // 32 Gb/s payload cannot fit once headers are added.
-        assert!(packets_per_cycle(
-            BitsPerSecond::from_gbps(32.0),
-            Hertz::from_ghz(1.0),
-            32,
-            5
-        )
-        .is_none());
+        assert!(
+            packets_per_cycle(BitsPerSecond::from_gbps(32.0), Hertz::from_ghz(1.0), 32, 5)
+                .is_none()
+        );
     }
 
     #[test]
@@ -305,7 +302,10 @@ mod tests {
             ni: NodeId(0),
             flow: FlowId(0),
             destination: Destination::Fixed(route),
-            process: InjectionProcess::Constant { period: 2, phase: 0 },
+            process: InjectionProcess::Constant {
+                period: 2,
+                phase: 0,
+            },
             packet_flits: 3,
             vc: 0,
             priority: false,

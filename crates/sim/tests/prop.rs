@@ -1,7 +1,7 @@
 //! Property-based tests of the simulator's conservation laws and the
 //! QoS/timing primitives.
 
-use noc_sim::config::SimConfig;
+use noc_sim::config::{FlowControl, SimConfig};
 use noc_sim::engine::Simulator;
 use noc_sim::histogram::LatencyHistogram;
 use noc_sim::patterns;
@@ -17,27 +17,40 @@ use rand::SeedableRng;
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Flit conservation on arbitrary mesh/rate/seed combinations:
-    /// everything injected is eventually ejected, credits restore.
+    /// Flit conservation across the whole router configuration space:
+    /// arbitrary mesh shapes, rates, packet lengths, buffer depths, VC
+    /// counts, and **both** ×pipes flow-control disciplines. Everything
+    /// injected is eventually ejected, and every credit returns home.
     #[test]
     fn conservation_holds(
         rows in 2usize..4,
         cols in 2usize..4,
         rate in 0.02f64..0.5,
         pf in 1usize..6,
+        buffer_depth in 1usize..6,
+        vcs in 1usize..4,
+        fc_sel in 0u8..2,
         seed in 0u64..500,
     ) {
+        let fc = if fc_sel == 0 { FlowControl::OnOff } else { FlowControl::AckNack };
         let cores: Vec<CoreId> = (0..rows * cols).map(CoreId).collect();
         let m = mesh(rows, cols, &cores, 32).expect("valid shape");
         let sources = patterns::uniform_random(&m, rate, pf).expect("in range");
-        let mut sim = Simulator::new(m.topology, SimConfig::default().with_warmup(0))
-            .with_seed(seed);
+        let cfg = SimConfig::default()
+            .with_warmup(0)
+            .with_buffer_depth(buffer_depth)
+            .with_vcs(vcs)
+            .with_flow_control(fc);
+        let mut sim = Simulator::new(m.topology, cfg).with_seed(seed);
         for s in sources {
             sim.add_source(s);
         }
         sim.run(1_500);
         let drained = sim.drain(40_000);
-        prop_assert!(drained, "network failed to drain");
+        prop_assert!(
+            drained,
+            "network failed to drain ({fc:?}, depth {buffer_depth}, {vcs} VCs)"
+        );
         prop_assert_eq!(sim.injected_flits_total(), sim.ejected_flits_total());
         prop_assert!(sim.credits_restored());
     }

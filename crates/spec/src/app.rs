@@ -182,7 +182,10 @@ impl AppSpecBuilder {
             let id = FlowId(i);
             for end in [f.src, f.dst] {
                 if end.0 >= self.cores.len() {
-                    return Err(SpecError::UnknownCore { flow: id, core: end });
+                    return Err(SpecError::UnknownCore {
+                        flow: id,
+                        core: end,
+                    });
                 }
             }
             if f.src == f.dst {
@@ -278,9 +281,7 @@ mod tests {
     #[test]
     fn response_from_slave_accepted() {
         let (mut b, m, s) = two_core_builder();
-        b.add_flow(
-            TrafficFlow::new(s, m, BitsPerSecond(1)).with_class(MessageClass::Response),
-        );
+        b.add_flow(TrafficFlow::new(s, m, BitsPerSecond(1)).with_class(MessageClass::Response));
         assert!(b.build().is_ok());
     }
 

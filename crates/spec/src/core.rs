@@ -8,9 +8,7 @@ use std::fmt;
 /// Stable identifier of a core within an [`AppSpec`](crate::app::AppSpec).
 ///
 /// Indices are dense: the `n`-th added core has id `n`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CoreId(pub usize);
 
 impl fmt::Display for CoreId {

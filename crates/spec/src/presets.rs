@@ -130,8 +130,12 @@ pub fn mobile_multimedia_soc() -> AppSpec {
         b.add_transaction(TrafficFlow::new(cpu0, p, mbps(20)));
     }
     b.add_transaction(TrafficFlow::new(cpu0, sec, mbps(160)));
-    b.add_transaction(TrafficFlow::new(dma, sram, mbps(400)).with_kind(TransactionKind::BurstWrite(16)));
-    b.add_transaction(TrafficFlow::new(dma, dram1, mbps(400)).with_kind(TransactionKind::BurstWrite(16)));
+    b.add_transaction(
+        TrafficFlow::new(dma, sram, mbps(400)).with_kind(TransactionKind::BurstWrite(16)),
+    );
+    b.add_transaction(
+        TrafficFlow::new(dma, dram1, mbps(400)).with_kind(TransactionKind::BurstWrite(16)),
+    );
 
     // Camcorder pipeline: camera -> ISP -> encoder -> DRAM, GT streams.
     b.add_flow(
@@ -165,8 +169,12 @@ pub fn mobile_multimedia_soc() -> AppSpec {
             .with_kind(TransactionKind::BurstRead(32))
             .with_shape(TrafficShape::Bursty { mean_burst_len: 8 }),
     );
-    b.add_transaction(TrafficFlow::new(gpu, sram, mbps(500)).with_kind(TransactionKind::BurstRead(8)));
-    b.add_transaction(TrafficFlow::new(jpeg, dram0, mbps(300)).with_kind(TransactionKind::BurstRead(16)));
+    b.add_transaction(
+        TrafficFlow::new(gpu, sram, mbps(500)).with_kind(TransactionKind::BurstRead(8)),
+    );
+    b.add_transaction(
+        TrafficFlow::new(jpeg, dram0, mbps(300)).with_kind(TransactionKind::BurstRead(16)),
+    );
     b.add_transaction(TrafficFlow::new(cpu0, venc, mbps(30)));
     b.add_transaction(TrafficFlow::new(cpu0, isp, mbps(30)));
     b.add_transaction(TrafficFlow::new(cpu1, gpu, mbps(60)));
@@ -181,8 +189,12 @@ pub fn mobile_multimedia_soc() -> AppSpec {
     b.add_transaction(
         TrafficFlow::new(modem_dsp, dram1, mbps(350)).with_kind(TransactionKind::BurstRead(16)),
     );
-    b.add_transaction(TrafficFlow::new(wifi, dram1, mbps(300)).with_kind(TransactionKind::BurstWrite(16)));
-    b.add_transaction(TrafficFlow::new(usb, dram1, mbps(480)).with_kind(TransactionKind::BurstWrite(16)));
+    b.add_transaction(
+        TrafficFlow::new(wifi, dram1, mbps(300)).with_kind(TransactionKind::BurstWrite(16)),
+    );
+    b.add_transaction(
+        TrafficFlow::new(usb, dram1, mbps(480)).with_kind(TransactionKind::BurstWrite(16)),
+    );
     b.add_transaction(TrafficFlow::new(cpu1, audio, mbps(25)));
     b.add_transaction(TrafficFlow::new(dma, audio, mbps(12)));
 
@@ -336,8 +348,7 @@ pub fn bone_mpsoc() -> AppSpec {
             TrafficFlow::new(r, secondary, mbps(320)).with_kind(TransactionKind::BurstWrite(8)),
         );
         b.add_transaction(
-            TrafficFlow::new(r, srams[(i + 5) % 8], mbps(80))
-                .with_kind(TransactionKind::Read),
+            TrafficFlow::new(r, srams[(i + 5) % 8], mbps(80)).with_kind(TransactionKind::Read),
         );
     }
     b.build()

@@ -90,9 +90,7 @@ impl fmt::Display for SocketProtocol {
 /// Keeping requests and responses distinguishable end-to-end is what allows
 /// the toolchain to place them on disjoint virtual networks and thereby
 /// avoid message-dependent deadlock.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MessageClass {
     /// Master-initiated request (read command or write command + data).
     Request,
@@ -159,10 +157,7 @@ impl TransactionKind {
 
     /// Whether a transaction of this kind elicits a data-bearing response.
     pub fn has_data_response(self) -> bool {
-        matches!(
-            self,
-            TransactionKind::Read | TransactionKind::BurstRead(_)
-        )
+        matches!(self, TransactionKind::Read | TransactionKind::BurstRead(_))
     }
 }
 

@@ -161,10 +161,7 @@ pub fn from_text(text: &str) -> Result<AppSpec, ParseSpecError> {
             "core" => {
                 let b = builder.get_or_insert_with(|| AppSpec::builder(name.clone()));
                 if tokens.len() < 5 {
-                    return Err(err(
-                        lineno,
-                        "core needs: name role protocol freqMHz".into(),
-                    ));
+                    return Err(err(lineno, "core needs: name role protocol freqMHz".into()));
                 }
                 let role = match tokens[2] {
                     "master" => CoreRole::Master,
@@ -255,9 +252,9 @@ pub fn from_text(text: &str) -> Result<AppSpec, ParseSpecError> {
                             TrafficShape::Poisson
                         } else if let Some(n) = v.strip_prefix("bursty:") {
                             TrafficShape::Bursty {
-                                mean_burst_len: n.parse().map_err(|_| {
-                                    err(lineno, format!("bad burst length `{n}`"))
-                                })?,
+                                mean_burst_len: n
+                                    .parse()
+                                    .map_err(|_| err(lineno, format!("bad burst length `{n}`")))?,
                             }
                         } else {
                             return Err(err(lineno, format!("unknown shape `{v}`")));
@@ -272,13 +269,15 @@ pub fn from_text(text: &str) -> Result<AppSpec, ParseSpecError> {
                         } else if *opt == "stream" {
                             TransactionKind::Stream
                         } else if let Some(n) = opt.strip_prefix("burst-read:") {
-                            TransactionKind::BurstRead(n.parse().map_err(|_| {
-                                err(lineno, format!("bad burst length `{n}`"))
-                            })?)
+                            TransactionKind::BurstRead(
+                                n.parse()
+                                    .map_err(|_| err(lineno, format!("bad burst length `{n}`")))?,
+                            )
                         } else if let Some(n) = opt.strip_prefix("burst-write:") {
-                            TransactionKind::BurstWrite(n.parse().map_err(|_| {
-                                err(lineno, format!("bad burst length `{n}`"))
-                            })?)
+                            TransactionKind::BurstWrite(
+                                n.parse()
+                                    .map_err(|_| err(lineno, format!("bad burst length `{n}`")))?,
+                            )
                         } else {
                             return Err(err(lineno, format!("unknown flow option `{opt}`")));
                         };
@@ -323,10 +322,7 @@ transaction cpu -> mem 100Mbps write
         assert_eq!(mem.island, IslandId(2));
         assert_eq!(mem.protocol, SocketProtocol::Axi);
         assert_eq!(spec.flows()[0].kind, TransactionKind::BurstRead(8));
-        assert_eq!(
-            spec.flows()[0].latency,
-            Some(Picoseconds::from_ns(200))
-        );
+        assert_eq!(spec.flows()[0].latency, Some(Picoseconds::from_ns(200)));
     }
 
     #[test]

@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Stable identifier of a flow within an [`AppSpec`](crate::app::AppSpec).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct FlowId(pub usize);
 
 impl fmt::Display for FlowId {
@@ -53,13 +51,14 @@ impl fmt::Display for QosClass {
 
 /// Temporal shape of a flow's traffic (§6: "traffic shape" is part of the
 /// constraints fed to the toolchain).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum TrafficShape {
     /// Constant bit rate: packets injected at a fixed cadence (typical of
     /// streaming audio/video pipelines).
     Constant,
     /// Poisson arrivals at the average rate (typical of cache-miss style
     /// processor traffic).
+    #[default]
     Poisson,
     /// On/off bursts: active with probability implied by `burstiness`
     /// (mean burst length in packets), idle otherwise; the long-run rate
@@ -68,12 +67,6 @@ pub enum TrafficShape {
         /// Mean number of back-to-back packets per burst (≥ 1).
         mean_burst_len: u32,
     },
-}
-
-impl Default for TrafficShape {
-    fn default() -> TrafficShape {
-        TrafficShape::Poisson
-    }
 }
 
 impl fmt::Display for TrafficShape {

@@ -47,9 +47,7 @@ impl DesignMetrics {
     /// A design is usable when bandwidth, frequency and routability all
     /// hold.
     pub fn is_feasible(&self, utilization_cap: f64) -> bool {
-        self.max_link_utilization <= utilization_cap
-            && self.frequency_feasible
-            && self.routable
+        self.max_link_utilization <= utilization_cap && self.frequency_feasible && self.routable
     }
 }
 
@@ -122,7 +120,10 @@ pub fn evaluate(
                 if switch_model.max_frequency(params).raw() < clock.raw() {
                     frequency_feasible = false;
                 }
-                if !routability.switch_routability(radix, flit_width).is_feasible() {
+                if !routability
+                    .switch_routability(radix, flit_width)
+                    .is_feasible()
+                {
                     routable = false;
                 }
             }
@@ -158,7 +159,11 @@ pub fn evaluate(
             total_bw += bw.raw() as f64;
         }
     }
-    let mean_latency_cycles = if total_bw > 0.0 { weighted / total_bw } else { 0.0 };
+    let mean_latency_cycles = if total_bw > 0.0 {
+        weighted / total_bw
+    } else {
+        0.0
+    };
 
     DesignMetrics {
         power,
@@ -298,12 +303,22 @@ mod tests {
         let demands = demands_for(&m, &[(0, 3, 400)]);
         let placement = insert_noc(&fp, &m.topology);
         let without = evaluate(
-            &m.topology, &routes, &demands, None,
-            Hertz::from_mhz(500), TechNode::NM65, 32,
+            &m.topology,
+            &routes,
+            &demands,
+            None,
+            Hertz::from_mhz(500),
+            TechNode::NM65,
+            32,
         );
         let with = evaluate(
-            &m.topology, &routes, &demands, Some(&placement),
-            Hertz::from_mhz(500), TechNode::NM65, 32,
+            &m.topology,
+            &routes,
+            &demands,
+            Some(&placement),
+            Hertz::from_mhz(500),
+            TechNode::NM65,
+            32,
         );
         assert_eq!(without.total_wirelength.raw(), 0.0);
         assert!(with.total_wirelength.raw() > 0.0);

@@ -119,11 +119,10 @@ pub fn map_to_mesh(
         }
     }
 
-    let fabric = quasi_mesh(rows, cols, &order, flit_width).map_err(|e| {
-        SynthError::InvalidMesh {
+    let fabric =
+        quasi_mesh(rows, cols, &order, flit_width).map_err(|e| SynthError::InvalidMesh {
             detail: e.to_string(),
-        }
-    })?;
+        })?;
 
     // Routes + demands per flow endpoint pair. XY routes key on the
     // *both-role* NIs of the generators: requests use (initiator of src,

@@ -67,9 +67,7 @@ pub fn partition(spec: &AppSpec, k: usize, slack: usize) -> Partition {
     assert!(k > 0 && k <= n, "cluster count {k} out of range 1..={n}");
     let max_size = n.div_ceil(k) + slack;
     let aff = affinity(spec);
-    let pair_bw = |a: usize, b: usize| -> u64 {
-        *aff.get(&(a.min(b), a.max(b))).unwrap_or(&0)
-    };
+    let pair_bw = |a: usize, b: usize| -> u64 { *aff.get(&(a.min(b), a.max(b))).unwrap_or(&0) };
 
     // Seeds: the k cores with the highest total traffic, which tend to be
     // the hubs (memories, DMA targets).
@@ -94,8 +92,8 @@ pub fn partition(spec: &AppSpec, k: usize, slack: usize) -> Partition {
             if cluster_of[i] != usize::MAX {
                 continue;
             }
-            for c in 0..k {
-                if sizes[c] >= max_size {
+            for (c, &size) in sizes.iter().enumerate() {
+                if size >= max_size {
                     continue;
                 }
                 let gain: u64 = (0..n)
@@ -103,7 +101,7 @@ pub fn partition(spec: &AppSpec, k: usize, slack: usize) -> Partition {
                     .map(|j| pair_bw(i, j))
                     .sum();
                 let cand = (gain, i, c);
-                if best.map_or(true, |b| cand > b) {
+                if best.is_none_or(|b| cand > b) {
                     best = Some(cand);
                 }
             }
@@ -142,9 +140,7 @@ pub fn partition(spec: &AppSpec, k: usize, slack: usize) -> Partition {
                 .enumerate()
                 .max_by_key(|&(c, a)| (*a, usize::MAX - c))
                 .expect("k >= 1");
-            if best_c != cur
-                && *best_a > attraction[cur]
-                && part.members()[best_c].len() < max_size
+            if best_c != cur && *best_a > attraction[cur] && part.members()[best_c].len() < max_size
             {
                 part.cluster_of[i] = best_c;
                 improved = true;

@@ -12,8 +12,8 @@
 
 use crate::error::SynthError;
 use crate::eval::{evaluate, DesignMetrics};
-use crate::partition::{partition, Partition};
 use crate::pareto::pareto_front;
+use crate::partition::{partition, Partition};
 use noc_floorplan::core_plan::CoreFloorplan;
 use noc_floorplan::incremental::{insert_noc, NocPlacement};
 use noc_power::link_model::LinkModel;
@@ -53,6 +53,15 @@ pub struct SynthesisConfig {
     /// Seed for the internal floorplanner when none is provided.
     pub seed: u64,
 }
+
+/// `finish()` output: the built topology, its routes, per-pair demand,
+/// and each core's cluster assignment.
+type BuiltFabric = (
+    Topology,
+    RouteSet,
+    BTreeMap<(NodeId, NodeId), BitsPerSecond>,
+    Vec<usize>,
+);
 
 impl Default for SynthesisConfig {
     fn default() -> SynthesisConfig {
@@ -134,9 +143,8 @@ impl<'a> Builder<'a> {
     ) -> Builder<'a> {
         let k = part.clusters;
         let mut topo = Topology::new(format!("{}_s{}", spec.name(), k));
-        let switch_of_cluster: Vec<NodeId> = (0..k)
-            .map(|c| topo.add_switch(format!("sw{c}")))
-            .collect();
+        let switch_of_cluster: Vec<NodeId> =
+            (0..k).map(|c| topo.add_switch(format!("sw{c}"))).collect();
         for (id, core) in spec.core_ids() {
             let sw = switch_of_cluster[part.cluster_of[id.0]];
             if core.role.is_master() {
@@ -383,9 +391,12 @@ impl<'a> Builder<'a> {
                 (flow.bandwidth.raw() as f64 * overhead) as u64;
         }
         // Heaviest pairs first, so hubs get short direct connections.
-        let mut order: Vec<((MessageClass, NodeId, NodeId), u64)> =
-            demands.into_iter().collect();
-        order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .1.cmp(&b.0 .1)).then(a.0 .2.cmp(&b.0 .2)));
+        let mut order: Vec<((MessageClass, NodeId, NodeId), u64)> = demands.into_iter().collect();
+        order.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(a.0 .1.cmp(&b.0 .1))
+                .then(a.0 .2.cmp(&b.0 .2))
+        });
         for ((class, src_ni, dst_ni), bw) in order {
             self.route_pair(class, src_ni, dst_ni, bw)?;
         }
@@ -418,7 +429,7 @@ impl<'a> Builder<'a> {
     }
 
     /// Merged route set + demand map for evaluation/simulation.
-    fn finish(self) -> (Topology, RouteSet, BTreeMap<(NodeId, NodeId), BitsPerSecond>, Vec<usize>) {
+    fn finish(self) -> BuiltFabric {
         let mut routes = RouteSet::new();
         for (&(f, t), r) in self.request_routes.iter() {
             routes.insert(f, t, r.clone());
@@ -575,7 +586,9 @@ mod tests {
         assert!(!designs.is_empty());
         for d in &designs {
             d.topology.validate().expect("well-formed");
-            d.routes.validate(&d.topology).expect("routes are contiguous");
+            d.routes
+                .validate(&d.topology)
+                .expect("routes are contiguous");
             assert!(d.metrics.is_feasible(0.75));
             // Every demand pair has a route.
             for pair in d.demands.keys() {
@@ -669,7 +682,9 @@ mod tests {
         let designs = synthesize(&spec, None, &cfg).expect("feasible");
         // Both widths were explored; at least one survives the Pareto
         // filter, and every surviving design carries a swept width.
-        assert!(designs.iter().all(|d| d.flit_width == 32 || d.flit_width == 64));
+        assert!(designs
+            .iter()
+            .all(|d| d.flit_width == 32 || d.flit_width == 64));
         // Narrow links cost less power at the same radix, so 32-bit
         // points should survive for this moderate-bandwidth SoC.
         assert!(designs.iter().any(|d| d.flit_width == 32));

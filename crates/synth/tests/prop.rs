@@ -16,12 +16,19 @@ use proptest::prelude::*;
 /// Random role-consistent spec: n cores (first ceil(n/2) masters, rest
 /// slaves) with master→slave flows.
 fn arb_spec() -> impl Strategy<Value = AppSpec> {
-    (3usize..10, prop::collection::vec((0usize..10, 0usize..10, 10u64..2_000), 2..16))
+    (
+        3usize..10,
+        prop::collection::vec((0usize..10, 0usize..10, 10u64..2_000), 2..16),
+    )
         .prop_filter_map("needs at least one valid flow", |(n, raw_flows)| {
             let masters = n.div_ceil(2);
             let mut b = AppSpec::builder("prop");
             for i in 0..n {
-                let role = if i < masters { CoreRole::Master } else { CoreRole::Slave };
+                let role = if i < masters {
+                    CoreRole::Master
+                } else {
+                    CoreRole::Slave
+                };
                 b.add_core(Core::new(format!("c{i}"), role));
             }
             let mut added = 0;

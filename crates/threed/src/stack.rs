@@ -111,8 +111,7 @@ pub fn stack3d(
     let vwidth = (width / serialization).max(1);
     let mut vertical_links = Vec::new();
     for z in 0..layers.saturating_sub(1) {
-        for i in 0..rows * cols {
-            let (a, b) = (switches[z][i], switches[z + 1][i]);
+        for (&a, &b) in switches[z].iter().zip(switches[z + 1].iter()) {
             let (up, down) = topo.connect_duplex(a, b, vwidth)?;
             for l in [up, down] {
                 topo.set_pipeline_stages(l, serialization - 1);
@@ -365,7 +364,9 @@ mod tests {
     fn testing_mode_is_2d_only() {
         let s = small();
         // Same-layer pair routes fine.
-        let ok = s.routes_2d_only([(CoreId(0), CoreId(3))]).expect("in layer");
+        let ok = s
+            .routes_2d_only([(CoreId(0), CoreId(3))])
+            .expect("in layer");
         assert_eq!(ok.len(), 1);
         // Cross-layer pair is rejected in 2D mode.
         assert!(s.routes_2d_only([(CoreId(0), CoreId(4))]).is_err());

@@ -129,15 +129,9 @@ pub fn synthesize_3d(
     Ok(out)
 }
 
-fn layer_nets(
-    spec: &AppSpec,
-    members: &[CoreId],
-) -> Vec<noc_floorplan::slicing::Net> {
-    let index_of: BTreeMap<CoreId, usize> = members
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| (c, i))
-        .collect();
+fn layer_nets(spec: &AppSpec, members: &[CoreId]) -> Vec<noc_floorplan::slicing::Net> {
+    let index_of: BTreeMap<CoreId, usize> =
+        members.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     let total = spec.total_bandwidth().raw().max(1) as f64;
     let mut nets = Vec::new();
     for f in spec.flows() {
@@ -196,8 +190,7 @@ fn annotate_3d(
     let mut vertical_links = Vec::new();
     for (id, l) in topo.link_ids() {
         let (src_sw, dst_sw) = (topo.node(l.src), topo.node(l.dst));
-        if matches!(src_sw.kind, NodeKind::Switch) && matches!(dst_sw.kind, NodeKind::Switch)
-        {
+        if matches!(src_sw.kind, NodeKind::Switch) && matches!(dst_sw.kind, NodeKind::Switch) {
             let a = cluster_of_switch[&l.src];
             let b = cluster_of_switch[&l.dst];
             if layer_of_cluster[a] != layer_of_cluster[b] {
@@ -239,8 +232,7 @@ mod tests {
         let smart = assign_layers(&spec, 2);
         let round_robin: Vec<usize> = (0..spec.cores().len()).map(|i| i % 2).collect();
         assert!(
-            interlayer_bandwidth(&spec, &smart)
-                <= interlayer_bandwidth(&spec, &round_robin),
+            interlayer_bandwidth(&spec, &smart) <= interlayer_bandwidth(&spec, &round_robin),
             "min-cut must not be worse than round-robin"
         );
     }
@@ -262,9 +254,7 @@ mod tests {
             // Designs are sorted by power.
         }
         for pair in designs.windows(2) {
-            assert!(
-                pair[0].design.metrics.power.raw() <= pair[1].design.metrics.power.raw()
-            );
+            assert!(pair[0].design.metrics.power.raw() <= pair[1].design.metrics.power.raw());
         }
     }
 

@@ -73,8 +73,8 @@ impl TsvModel {
         // P(failures <= s) = sum_{k=0..s} C(n,k) p^k (1-p)^(n-k)
         let mut total = 0.0;
         for k in 0..=s {
-            total += binomial(n, k) * p_fail.powi(k as i32)
-                * self.yield_per_tsv.powi((n - k) as i32);
+            total +=
+                binomial(n, k) * p_fail.powi(k as i32) * self.yield_per_tsv.powi((n - k) as i32);
         }
         total
     }

@@ -78,10 +78,8 @@ impl ChannelDependencyGraph {
             }
             // Stack of (node, successor iterator position) plus the grey
             // path for cycle extraction.
-            let mut stack: Vec<(LinkId, Vec<LinkId>)> = vec![(
-                start,
-                self.successors(start).collect(),
-            )];
+            let mut stack: Vec<(LinkId, Vec<LinkId>)> =
+                vec![(start, self.successors(start).collect())];
             color.insert(start, Color::Grey);
             let mut path = vec![start];
             while let Some((node, succs)) = stack.last_mut() {
@@ -128,9 +126,7 @@ impl ChannelDependencyGraph {
 pub fn assert_deadlock_free(topo: &Topology, routes: &RouteSet) -> Result<(), TopologyError> {
     let cdg = ChannelDependencyGraph::from_routes(topo, routes);
     match cdg.find_cycle() {
-        Some(cycle) => Err(TopologyError::DeadlockCycle {
-            witness: cycle[0],
-        }),
+        Some(cycle) => Err(TopologyError::DeadlockCycle { witness: cycle[0] }),
         None => Ok(()),
     }
 }
@@ -192,9 +188,7 @@ pub fn assert_message_deadlock_free(
         }
     }
     match cdg.find_cycle() {
-        Some(cycle) => Err(TopologyError::DeadlockCycle {
-            witness: cycle[0],
-        }),
+        Some(cycle) => Err(TopologyError::DeadlockCycle { witness: cycle[0] }),
         None => Ok(()),
     }
 }

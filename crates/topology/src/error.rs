@@ -93,13 +93,13 @@ mod tests {
         let msgs = [
             TopologyError::UnknownNode(NodeId(1)).to_string(),
             TopologyError::SelfLink(NodeId(2)).to_string(),
-            TopologyError::DeadlockCycle {
-                witness: LinkId(3),
-            }
-            .to_string(),
+            TopologyError::DeadlockCycle { witness: LinkId(3) }.to_string(),
         ];
         for m in msgs {
-            assert!(m.chars().next().map(char::is_lowercase).unwrap_or(false), "{m}");
+            assert!(
+                m.chars().next().map(char::is_lowercase).unwrap_or(false),
+                "{m}"
+            );
         }
     }
 }

@@ -41,7 +41,9 @@ pub struct FatTree {
 /// [`TopologyError::InvalidShape`] if `arity < 2` or `cores` is empty.
 pub fn fat_tree(arity: usize, cores: &[CoreId], leaf_width: u32) -> Result<FatTree, TopologyError> {
     if arity < 2 {
-        return Err(TopologyError::InvalidShape(format!("fat tree arity {arity}")));
+        return Err(TopologyError::InvalidShape(format!(
+            "fat tree arity {arity}"
+        )));
     }
     if cores.is_empty() {
         return Err(TopologyError::InvalidShape("fat tree with no cores".into()));
@@ -87,7 +89,6 @@ pub fn fat_tree(arity: usize, cores: &[CoreId], leaf_width: u32) -> Result<FatTr
         .collect();
     // NIs were appended after the parent vector was sized; extend it.
     let total = topo.nodes().len();
-    let mut parent = parent;
     parent.resize(total, None);
 
     Ok(FatTree {
@@ -152,19 +153,14 @@ impl FatTree {
             .expect("lca is on the down path");
 
         let t = &self.topology;
-        let mut links = vec![t
-            .find_link(self.nis[si].0, sleaf)
-            .expect("NI attached")];
+        let mut links = vec![t.find_link(self.nis[si].0, sleaf).expect("NI attached")];
         for w in up_path[..=lca_pos_up].windows(2) {
             links.push(t.find_link(w[0], w[1]).expect("tree edge"));
         }
         for w in down_path[..=lca_pos_down].windows(2).rev() {
             links.push(t.find_link(w[1], w[0]).expect("tree edge"));
         }
-        links.push(
-            t.find_link(dleaf, self.nis[di].1)
-                .expect("NI attached"),
-        );
+        links.push(t.find_link(dleaf, self.nis[di].1).expect("NI attached"));
         Ok(Route::new(links))
     }
 

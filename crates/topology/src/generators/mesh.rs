@@ -90,7 +90,10 @@ impl Mesh {
     ///
     /// Panics if out of range.
     pub fn switch(&self, row: usize, col: usize) -> NodeId {
-        assert!(row < self.rows && col < self.cols, "mesh coords out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "mesh coords out of range"
+        );
         self.switches[row * self.cols + col]
     }
 

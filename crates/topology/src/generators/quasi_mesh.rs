@@ -47,7 +47,9 @@ pub fn quasi_mesh(
         )));
     }
     if cores.is_empty() {
-        return Err(TopologyError::InvalidShape("quasi-mesh with no cores".into()));
+        return Err(TopologyError::InvalidShape(
+            "quasi-mesh with no cores".into(),
+        ));
     }
     let mut topo = Topology::new(format!("quasi_mesh_{rows}x{cols}"));
     let switches: Vec<NodeId> = (0..rows * cols)

@@ -29,7 +29,7 @@ pub struct Spidergon {
 /// [`TopologyError::InvalidShape`] for odd or too-small core counts.
 pub fn spidergon(cores: &[CoreId], width: u32) -> Result<Spidergon, TopologyError> {
     let n = cores.len();
-    if n < 4 || n % 2 != 0 {
+    if n < 4 || !n.is_multiple_of(2) {
         return Err(TopologyError::InvalidShape(format!(
             "spidergon needs an even core count >= 4, got {n}"
         )));

@@ -35,7 +35,12 @@ pub struct Torus {
 ///
 /// [`TopologyError::InvalidShape`] for dimensions < 3 (a wrap link would
 /// duplicate a mesh link) or a core-count mismatch.
-pub fn torus(rows: usize, cols: usize, cores: &[CoreId], width: u32) -> Result<Torus, TopologyError> {
+pub fn torus(
+    rows: usize,
+    cols: usize,
+    cores: &[CoreId],
+    width: u32,
+) -> Result<Torus, TopologyError> {
     if rows < 3 || cols < 3 {
         return Err(TopologyError::InvalidShape(format!(
             "torus dimensions {rows}x{cols} (minimum 3x3)"
@@ -57,7 +62,8 @@ pub fn torus(rows: usize, cols: usize, cores: &[CoreId], width: u32) -> Result<T
             let here = switches[r * cols + c];
             let right = switches[r * cols + (c + 1) % cols];
             let down = switches[((r + 1) % rows) * cols + c];
-            topo.connect_duplex(here, right, width).expect("nodes exist");
+            topo.connect_duplex(here, right, width)
+                .expect("nodes exist");
             topo.connect_duplex(here, down, width).expect("nodes exist");
         }
     }
@@ -83,7 +89,10 @@ impl Torus {
     ///
     /// Panics if out of range.
     pub fn switch(&self, row: usize, col: usize) -> NodeId {
-        assert!(row < self.rows && col < self.cols, "torus coords out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "torus coords out of range"
+        );
         self.switches[row * self.cols + col]
     }
 
@@ -106,8 +115,14 @@ mod tests {
     fn torus_has_wrap_links() {
         let t = torus(3, 3, &cores(9), 32).expect("valid");
         // (0,0) connects to (0,2) and (2,0) via wraps.
-        assert!(t.topology.find_link(t.switch(0, 0), t.switch(0, 2)).is_some());
-        assert!(t.topology.find_link(t.switch(0, 0), t.switch(2, 0)).is_some());
+        assert!(t
+            .topology
+            .find_link(t.switch(0, 0), t.switch(0, 2))
+            .is_some());
+        assert!(t
+            .topology
+            .find_link(t.switch(0, 0), t.switch(2, 0))
+            .is_some());
         assert!(t.topology.is_connected());
     }
 

@@ -13,9 +13,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// Identifier of a node (switch or NI) within a [`Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub usize);
 
 impl fmt::Display for NodeId {
@@ -25,9 +23,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Identifier of a directed link within a [`Topology`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LinkId(pub usize);
 
 impl fmt::Display for LinkId {
@@ -179,7 +175,12 @@ impl Topology {
     ///
     /// [`TopologyError::UnknownNode`] if either endpoint does not exist;
     /// [`TopologyError::SelfLink`] if `src == dst`.
-    pub fn connect(&mut self, src: NodeId, dst: NodeId, width: u32) -> Result<LinkId, TopologyError> {
+    pub fn connect(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        width: u32,
+    ) -> Result<LinkId, TopologyError> {
         for n in [src, dst] {
             if n.0 >= self.nodes.len() {
                 return Err(TopologyError::UnknownNode(n));
@@ -464,7 +465,10 @@ mod tests {
     fn self_link_rejected() {
         let mut t = Topology::new("t");
         let s = t.add_switch("s");
-        assert!(matches!(t.connect(s, s, 32), Err(TopologyError::SelfLink(_))));
+        assert!(matches!(
+            t.connect(s, s, 32),
+            Err(TopologyError::SelfLink(_))
+        ));
     }
 
     #[test]

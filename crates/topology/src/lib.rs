@@ -43,7 +43,9 @@ pub mod metrics;
 pub mod routing;
 pub mod turn_model;
 
-pub use crate::deadlock::{assert_deadlock_free, assert_message_deadlock_free, ChannelDependencyGraph};
+pub use crate::deadlock::{
+    assert_deadlock_free, assert_message_deadlock_free, ChannelDependencyGraph,
+};
 pub use crate::error::TopologyError;
 pub use crate::graph::{Link, LinkId, NiRole, Node, NodeId, NodeKind, Topology};
 pub use crate::routing::{min_hop_routes, shortest_path, Route, RouteSet};

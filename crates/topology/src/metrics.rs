@@ -150,11 +150,17 @@ mod tests {
         let mut demands = BTreeMap::new();
         // 0 -> 2 and 1 -> 2 share the link between switches 1 and 2.
         demands.insert(
-            (m.initiator_of(CoreId(0)).expect("ni"), m.target_of(CoreId(2)).expect("ni")),
+            (
+                m.initiator_of(CoreId(0)).expect("ni"),
+                m.target_of(CoreId(2)).expect("ni"),
+            ),
             BitsPerSecond::from_mbps(100),
         );
         demands.insert(
-            (m.initiator_of(CoreId(1)).expect("ni"), m.target_of(CoreId(2)).expect("ni")),
+            (
+                m.initiator_of(CoreId(1)).expect("ni"),
+                m.target_of(CoreId(2)).expect("ni"),
+            ),
             BitsPerSecond::from_mbps(50),
         );
         let loads = link_loads(&routes, &demands);
@@ -171,7 +177,10 @@ mod tests {
         let routes = m.xy_routes_all_pairs().expect("ok");
         let mut demands = BTreeMap::new();
         demands.insert(
-            (m.initiator_of(CoreId(0)).expect("ni"), m.target_of(CoreId(2)).expect("ni")),
+            (
+                m.initiator_of(CoreId(0)).expect("ni"),
+                m.target_of(CoreId(2)).expect("ni"),
+            ),
             BitsPerSecond::from_gbps(20.0),
         );
         let loads = link_loads(&routes, &demands);

@@ -194,13 +194,18 @@ pub fn reroute_avoiding(
 ) -> Result<RouteSet, TopologyError> {
     let mut set = RouteSet::new();
     for (from, to) in pairs {
-        let route = shortest_path(topo, from, to, |l| {
-            if failed.contains(&l) {
-                1e12
-            } else {
-                1.0
-            }
-        })?;
+        let route = shortest_path(
+            topo,
+            from,
+            to,
+            |l| {
+                if failed.contains(&l) {
+                    1e12
+                } else {
+                    1.0
+                }
+            },
+        )?;
         if route.links.iter().any(|l| failed.contains(l)) {
             return Err(TopologyError::NoRoute { from, to });
         }
@@ -264,9 +269,7 @@ mod tests {
         // Penalize the direct s0->s1 link heavily.
         let direct = t
             .link_ids()
-            .find(|(_, l)| {
-                t.node(l.src).name == "s0" && t.node(l.dst).name == "s1"
-            })
+            .find(|(_, l)| t.node(l.src).name == "s0" && t.node(l.dst).name == "s1")
             .map(|(id, _)| id)
             .expect("link exists");
         let r = shortest_path(&t, ni0, ni1, |l| if l == direct { 100.0 } else { 1.0 })

@@ -49,11 +49,7 @@ impl TurnModel {
     /// The hop sequence from `(sr, sc)` to `(dr, dc)` as a list of
     /// `(dr, dc)` unit moves, honoring this model's turn restrictions
     /// while remaining minimal.
-    fn moves(
-        self,
-        (sr, sc): (usize, usize),
-        (dr, dc): (usize, usize),
-    ) -> Vec<(isize, isize)> {
+    fn moves(self, (sr, sc): (usize, usize), (dr, dc): (usize, usize)) -> Vec<(isize, isize)> {
         let east = dc as isize - sc as isize; // > 0 → east moves needed
         let south = dr as isize - sr as isize; // > 0 → south moves needed
         let rep = |n: isize, step: (isize, isize)| -> Vec<(isize, isize)> {
@@ -166,8 +162,7 @@ mod tests {
                         continue;
                     }
                     let r = model.route(&m, CoreId(a), CoreId(b)).expect("on mesh");
-                    let manhattan =
-                        (a / 5).abs_diff(b / 5) + (a % 5).abs_diff(b % 5);
+                    let manhattan = (a / 5).abs_diff(b / 5) + (a % 5).abs_diff(b % 5);
                     assert_eq!(r.len(), manhattan + 2, "{model} {a}->{b}");
                     r.validate(&m.topology).expect("contiguous");
                 }
@@ -229,7 +224,9 @@ mod tests {
         let m = mesh(3, 3, &cores(9), 32).expect("valid");
         // (2,0) -> (0,1): XY goes east then north; north-last the same;
         // negative-first goes north first. Check at least one divergence.
-        let xy = TurnModel::XyOrder.route(&m, CoreId(6), CoreId(1)).expect("ok");
+        let xy = TurnModel::XyOrder
+            .route(&m, CoreId(6), CoreId(1))
+            .expect("ok");
         let nf = TurnModel::NegativeFirst
             .route(&m, CoreId(6), CoreId(1))
             .expect("ok");
@@ -239,6 +236,8 @@ mod tests {
     #[test]
     fn missing_core_is_error() {
         let m = mesh(2, 2, &cores(4), 32).expect("valid");
-        assert!(TurnModel::WestFirst.route(&m, CoreId(0), CoreId(99)).is_err());
+        assert!(TurnModel::WestFirst
+            .route(&m, CoreId(0), CoreId(99))
+            .is_err());
     }
 }

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let routes = min_hop_routes(&fabric.topology, pairs)?;
 
-    println!("\n{:<18} {:>10} {:>14} {:>14} {:>10}", "sync scheme", "penalty", "GT lat (cyc)", "GT delivered", "GT ok");
+    println!(
+        "\n{:<18} {:>10} {:>14} {:>14} {:>10}",
+        "sync scheme", "penalty", "GT lat (cyc)", "GT delivered", "GT ok"
+    );
     for scheme in [
         SyncScheme::FullySynchronous,
         SyncScheme::PausibleClocking,
@@ -58,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let tables = gt_slot_tables(&spec, &fabric.topology, &cfg, 64)?;
         let mut sim = Simulator::new(fabric.topology.clone(), cfg).with_seed(11);
         if scheme != SyncScheme::FullySynchronous {
-            sim.set_domains(DomainMap::from_islands(&spec, &fabric.topology, &BTreeMap::new()));
+            sim.set_domains(DomainMap::from_islands(
+                &spec,
+                &fabric.topology,
+                &BTreeMap::new(),
+            ));
         }
         for s in sources {
             sim.add_source(s);

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Regular 5x6 mesh mapping (SUNMAP-style baseline).
     let mesh = map_to_mesh(&spec, 5, 6, clock, 32, TechNode::NM65, Some(&floorplan))?;
 
-    println!("\n{:<22} {:>12} {:>12} {:>12} {:>10}", "design", "power mW", "area mm2", "lat cycles", "switches");
+    println!(
+        "\n{:<22} {:>12} {:>12} {:>12} {:>10}",
+        "design", "power mW", "area mm2", "lat cycles", "switches"
+    );
     println!(
         "{:<22} {:>12.2} {:>12.4} {:>12.2} {:>10}",
         "custom (SunFloor)",

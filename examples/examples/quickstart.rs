@@ -33,7 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         best.design.switch_count,
         best.design.clock.to_mhz(),
         best.design.metrics.power.raw(),
-        best.verification.map(|v| v.delivered_fraction * 100.0).unwrap_or(0.0)
+        best.verification
+            .map(|v| v.delivered_fraction * 100.0)
+            .unwrap_or(0.0)
     );
 
     // 4. Emit the RTL and the high-level simulation model.

@@ -56,6 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let archived = textfmt::to_text(&spec);
     let reparsed = textfmt::from_text(&archived)?;
     assert_eq!(reparsed.flows().len(), spec.flows().len());
-    println!("spec round-trips through the text format ({} bytes)", archived.len());
+    println!(
+        "spec round-trips through the text format ({} bytes)",
+        archived.len()
+    );
     Ok(())
 }

@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tsv = TsvModel::new(32, 0.995, 0);
 
     println!("TSV serialization trade-off (32-bit flits, 99.5% per-TSV yield):");
-    println!("{:>8} {:>10} {:>12} {:>10} {:>12}", "factor", "TSVs/link", "link yield", "cycles", "rel. area");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>12}",
+        "factor", "TSVs/link", "link yield", "cycles", "rel. area"
+    );
     for p in tsv.sweep() {
         println!(
             "{:>8} {:>10} {:>11.1}% {:>10} {:>12.2}",
@@ -40,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2D test mode: in-layer routing works, cross-layer is disabled.
     let in_layer = stack.routes_2d_only([(CoreId(0), CoreId(5))])?;
-    println!("2D test mode: in-layer route of {} hops", in_layer.iter().next().map(|(_, r)| r.len()).unwrap_or(0));
+    println!(
+        "2D test mode: in-layer route of {} hops",
+        in_layer.iter().next().map(|(_, r)| r.len()).unwrap_or(0)
+    );
     assert!(stack.routes_2d_only([(CoreId(0), CoreId(16))]).is_err());
     println!("2D test mode: cross-layer traffic correctly rejected");
 

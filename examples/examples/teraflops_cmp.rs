@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Latency/throughput curve under nearest-neighbor + uniform traffic.
-    println!("\n{:>10} {:>14} {:>14} {:>16}", "inj rate", "lat (cycles)", "flits/cycle", "delivered Tb/s");
+    println!(
+        "\n{:>10} {:>14} {:>14} {:>16}",
+        "inj rate", "lat (cycles)", "flits/cycle", "delivered Tb/s"
+    );
     for rate in [0.02, 0.05, 0.1, 0.2, 0.3, 0.45] {
         let sources = patterns::uniform_random(&fabric, rate, 4)?;
         let cfg = SimConfig::default().with_clock(clock).with_warmup(2_000);

@@ -28,26 +28,27 @@ fn sunfloor_3d_designs_verify_in_simulation() {
     let best = &designs[0];
     // Stacking metadata is self-consistent.
     assert_eq!(best.layer_of_core.len(), spec.cores().len());
-    assert!(best.stack_yield > 0.9, "2 spare TSVs: {:.3}", best.stack_yield);
+    assert!(
+        best.stack_yield > 0.9,
+        "2 spare TSVs: {:.3}",
+        best.stack_yield
+    );
     // The 3D design still delivers its traffic in the flit simulator.
     let sim_cfg = SimConfig::default()
         .with_clock(best.design.clock)
         .with_vcs(4)
         .with_warmup(2_000)
         .with_arbitration(noc::sim::config::Arbitration::PriorityThenRoundRobin);
-    let sources =
-        flow_sources(&spec, &best.design.topology, &best.design.routes, &sim_cfg)
-            .expect("buildable");
+    let sources = flow_sources(&spec, &best.design.topology, &best.design.routes, &sim_cfg)
+        .expect("buildable");
     let mut sim = Simulator::new(best.design.topology.clone(), sim_cfg).with_seed(14);
     for s in sources {
         sim.add_source(s);
     }
     sim.run(14_000);
-    let (inj, del) = sim
-        .stats()
-        .flows
-        .values()
-        .fold((0u64, 0u64), |(i, d), f| (i + f.injected_packets, d + f.delivered_packets));
+    let (inj, del) = sim.stats().flows.values().fold((0u64, 0u64), |(i, d), f| {
+        (i + f.injected_packets, d + f.delivered_packets)
+    });
     assert!(
         del as f64 >= 0.95 * inj as f64,
         "3D design delivered {del}/{inj}"
@@ -137,10 +138,9 @@ fn turn_models_deliver_under_simulation() {
         }
         sim.run(9_000);
         let stats = sim.stats();
-        let (inj, del) = stats
-            .flows
-            .values()
-            .fold((0u64, 0u64), |(i, d), f| (i + f.injected_packets, d + f.delivered_packets));
+        let (inj, del) = stats.flows.values().fold((0u64, 0u64), |(i, d), f| {
+            (i + f.injected_packets, d + f.delivered_packets)
+        });
         assert!(
             del as f64 > 0.95 * inj as f64,
             "{model}: delivered {del}/{inj}"
@@ -168,7 +168,10 @@ fn latency_histogram_bounds_gt_tail() {
         ni: fabric.nis[0].0,
         flow: FlowId(777),
         destination: Destination::Fixed(gt_route.links.into()),
-        process: InjectionProcess::Constant { period: 16, phase: 0 },
+        process: InjectionProcess::Constant {
+            period: 16,
+            phase: 0,
+        },
         packet_flits: 4,
         vc: 1,
         priority: true,

@@ -111,7 +111,9 @@ fn generator_fabrics_compose_with_flow_traffic() {
     }
     let routes = min_hop_routes(&fabric.topology, pairs).expect("connected");
     assert_deadlock_free(&fabric.topology, &routes).err(); // may or may not cycle; just exercise
-    let cfg = SimConfig::default().with_clock(Hertz::from_mhz(650)).with_warmup(2_000);
+    let cfg = SimConfig::default()
+        .with_clock(Hertz::from_mhz(650))
+        .with_warmup(2_000);
     let sources = flow_sources(&spec, &fabric.topology, &routes, &cfg).expect("buildable");
     let mut sim = Simulator::new(fabric.topology.clone(), cfg).with_seed(3);
     for s in sources {

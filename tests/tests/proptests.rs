@@ -179,8 +179,8 @@ fn simulator_conserves_flits_on_random_configs() {
         let cores: Vec<CoreId> = (0..rows * cols).map(CoreId).collect();
         let m = mesh(rows, cols, &cores, 32).expect("valid");
         let sources = patterns::uniform_random(&m, rate, 3).expect("ok");
-        let mut sim = Simulator::new(m.topology, SimConfig::default().with_warmup(0))
-            .with_seed(seed);
+        let mut sim =
+            Simulator::new(m.topology, SimConfig::default().with_warmup(0)).with_seed(seed);
         for s in sources {
             sim.add_source(s);
         }

@@ -33,7 +33,10 @@ fn gt_is_protected_from_be_overload() {
             ni: gt_ni,
             flow: FlowId(0),
             destination: Destination::Fixed(route.links.clone().into()),
-            process: InjectionProcess::Constant { period: 16, phase: 0 },
+            process: InjectionProcess::Constant {
+                period: 16,
+                phase: 0,
+            },
             packet_flits: 4,
             vc: gt_lane,
             priority,
@@ -43,7 +46,10 @@ fn gt_is_protected_from_be_overload() {
             ni: be_ni,
             flow: FlowId(1),
             destination: Destination::Fixed(be_route.links.clone().into()),
-            process: InjectionProcess::Constant { period: 16, phase: 1 },
+            process: InjectionProcess::Constant {
+                period: 16,
+                phase: 1,
+            },
             packet_flits: 16,
             vc: 0,
             priority: false,
@@ -70,7 +76,10 @@ fn gt_is_protected_from_be_overload() {
     );
     // GT latency stays near the unloaded value: route (6 links) +
     // serialization (3) + minor per-cycle interleaving.
-    assert!(lat_gt < 15.0, "GT latency must be tightly bounded: {lat_gt}");
+    assert!(
+        lat_gt < 15.0,
+        "GT latency must be tightly bounded: {lat_gt}"
+    );
 }
 
 /// 3D vertical-link failure: GT traffic on surviving pillars continues,
@@ -104,14 +113,17 @@ fn traffic_survives_vertical_failure_via_reroute() {
             ni: from,
             flow: FlowId(i),
             destination: Destination::Fixed(links),
-            process: InjectionProcess::Constant { period: 8, phase: i as u64 },
+            process: InjectionProcess::Constant {
+                period: 8,
+                phase: i as u64,
+            },
             packet_flits: 3,
             vc: 0,
             priority: false,
         });
     }
     sim.run(10_000);
-    for (_, f) in &sim.stats().flows {
+    for f in sim.stats().flows.values() {
         assert!(f.delivered_packets > 1_000, "rerouted flow starved");
     }
     // Failed links carried nothing.
@@ -137,7 +149,10 @@ fn be_degrades_but_survives_under_gt_reservation() {
         ni,
         flow: FlowId(0),
         destination: Destination::Fixed(gt_route.links.into()),
-        process: InjectionProcess::Constant { period: 4, phase: 0 },
+        process: InjectionProcess::Constant {
+            period: 4,
+            phase: 0,
+        },
         packet_flits: 3,
         vc: 0,
         priority: true,
@@ -146,7 +161,10 @@ fn be_degrades_but_survives_under_gt_reservation() {
         ni,
         flow: FlowId(1),
         destination: Destination::Fixed(be_route.links.into()),
-        process: InjectionProcess::Constant { period: 8, phase: 1 },
+        process: InjectionProcess::Constant {
+            period: 8,
+            phase: 1,
+        },
         packet_flits: 3,
         vc: 1, // response-net VC keeps wormholes independent
         priority: false,

@@ -27,7 +27,10 @@ fn low_load_latency_matches_analytic() {
         ni: fabric.initiator_of(CoreId(0)).expect("ni"),
         flow: FlowId(0),
         destination: Destination::Fixed(route.links.into()),
-        process: InjectionProcess::Constant { period: 200, phase: 0 },
+        process: InjectionProcess::Constant {
+            period: 200,
+            phase: 0,
+        },
         packet_flits,
         vc: 0,
         priority: false,
@@ -116,8 +119,7 @@ fn link_utilization_matches_static_loads() {
     let static_loads = link_loads(&routes, &demands);
 
     let packet_flits = 5usize; // 4 payload flits = 128 bits
-    let rate = noc::sim::traffic::packets_per_cycle(bw, clock, 32, packet_flits)
-        .expect("fits");
+    let rate = noc::sim::traffic::packets_per_cycle(bw, clock, 32, packet_flits).expect("fits");
     let mut sim = Simulator::new(
         fabric.topology.clone(),
         SimConfig::default().with_clock(clock).with_warmup(5_000),

@@ -1,0 +1,259 @@
+//! Offline stand-in for the subset of `criterion 0.5` this workspace
+//! uses: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId::from_parameter`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical analysis this shim runs a short
+//! warm-up, then measures wall-clock time over an adaptively chosen
+//! iteration count and prints one `time: ... ns/iter` line per
+//! benchmark. Good enough for the before/after throughput comparisons
+//! recorded in EXPERIMENTS.md; swap in vendored upstream criterion for
+//! publication-grade statistics.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Minimum measured wall-clock time per benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(300);
+/// Warm-up period before measurement starts.
+const TARGET_WARMUP: Duration = Duration::from_millis(100);
+
+/// Identifies a parameterized benchmark within a group (mirrors
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` does the timing (mirrors
+/// `criterion::Bencher`).
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean ns/iter for the caller to
+    /// report. Runs a warm-up phase first, then scales the iteration
+    /// count until the measurement window is long enough to trust.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < TARGET_WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        // Estimate a batch size from the warm-up rate, then measure
+        // whole batches until the target window is covered.
+        let warm_elapsed = warm_start.elapsed().as_secs_f64().max(1e-9);
+        let rate = warm_iters as f64 / warm_elapsed;
+        let batch = (rate * TARGET_MEASURE.as_secs_f64() / 4.0).ceil().max(1.0) as u64;
+        let mut total_iters: u64 = 0;
+        let measure_start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total_iters += batch;
+            if measure_start.elapsed() >= TARGET_MEASURE {
+                break;
+            }
+        }
+        let elapsed = measure_start.elapsed();
+        self.ns_per_iter = elapsed.as_nanos() as f64 / total_iters as f64;
+        self.iters = total_iters;
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        ns_per_iter: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<48} (no iterations recorded)");
+    } else {
+        println!(
+            "{label:<48} time: {} /iter ({} iters)",
+            format_ns(b.ns_per_iter),
+            b.iters
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+///
+/// Honors the standard `cargo bench -- <substring>` filter: only
+/// benchmarks whose full label contains the first non-flag CLI
+/// argument are run.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        if self.selected(name) {
+            run_one(name, f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix (mirrors
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes measurement by
+    /// wall-clock budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (see [`Self::sample_size`]).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        if self._parent.selected(&label) {
+            run_one(&label, f);
+        }
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        if self._parent.selected(&label) {
+            run_one(&label, |b| f(b, input));
+        }
+        self
+    }
+
+    /// Ends the group (no-op beyond marking intent, as in upstream).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (mirrors
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_time() {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(b.iters > 0);
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::from_parameter("8x10").to_string(), "8x10");
+        assert_eq!(BenchmarkId::new("mesh", 16).to_string(), "mesh/16");
+    }
+
+    #[test]
+    fn format_ns_picks_sane_units() {
+        assert_eq!(format_ns(12.3), "12.3 ns");
+        assert_eq!(format_ns(12_300.0), "12.300 us");
+        assert_eq!(format_ns(12_300_000.0), "12.300 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+}

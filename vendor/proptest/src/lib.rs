@@ -1,0 +1,176 @@
+//! Offline stand-in for the subset of `proptest 1.x` this workspace
+//! uses: the `proptest!` macro (with `#![proptest_config(...)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, `prop_oneof!`,
+//! `Just`, `any::<bool>()`, numeric `Range` strategies, tuple
+//! strategies, `prop::collection::vec`, `.prop_map`, and
+//! `.prop_filter_map`.
+//!
+//! Unlike upstream proptest this harness does **not** shrink failing
+//! inputs — it reports the failing case's generated values by Debug
+//! where possible and the deterministic case index so a failure can be
+//! replayed exactly. Case generation is seeded from the test name and
+//! case index, so runs are fully reproducible without a persistence
+//! file (`.proptest-regressions` files are ignored). The default case
+//! count is 64 and can be overridden with the `PROPTEST_CASES`
+//! environment variable.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length lies in `len` (half-open) and
+    /// whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The `prelude` mirrors `proptest::prelude`: glob-import it to get
+/// the macros, the [`Strategy`](strategy::Strategy) trait, and the
+/// `prop` module alias used for `prop::collection::vec`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(expr)]` header followed by `fn` items whose
+/// arguments use `name in strategy` syntax. Each function becomes a
+/// `#[test]` that runs the body against `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            @cfg($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (
+        @cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            $crate::test_runner::run_proptest(stringify!($name), $cfg, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), __rng);)+
+                let mut __case = move || -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                };
+                __case()
+            });
+        }
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current
+/// case (not panicking directly) so the runner can report the case
+/// index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body. Both forms (with and
+/// without a trailing format message) are supported, as in upstream.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    __l, __r, format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+/// (Upstream's weighted `w => strategy` arms are not supported — the
+/// workspace only uses unweighted arms.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

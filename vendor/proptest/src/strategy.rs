@@ -1,0 +1,299 @@
+//! Value-generation strategies: the [`Strategy`] trait and the
+//! concrete implementations the workspace's tests use.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How many inner draws `prop_filter_map` attempts before concluding
+/// the filter rejects (effectively) everything.
+const FILTER_MAP_MAX_TRIES: usize = 10_000;
+
+/// A recipe for generating values of `Self::Value` from an RNG.
+///
+/// Mirrors `proptest::strategy::Strategy`, minus shrinking: the shim
+/// generates each case directly and reports failures by deterministic
+/// case index instead of minimizing them.
+pub trait Strategy {
+    /// Type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Maps generated values through a partial function, regenerating
+    /// when `f` returns `None`. `whence` labels the filter in the
+    /// panic raised if the filter rejects every attempt.
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!` to unify arms).
+    fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut StdRng) -> V {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> S::Value {
+        (**self).new_value(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
+
+/// Always produces a clone of the given value (mirrors
+/// `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "generate any value" strategy (mirrors
+/// `proptest::arbitrary::Arbitrary` for the types the workspace uses).
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary_value(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut StdRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary_value(rng: &mut StdRng) -> u32 {
+        rng.gen::<u32>()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary_value(rng: &mut StdRng) -> u64 {
+        rng.gen::<u64>()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F, O> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        for _ in 0..FILTER_MAP_MAX_TRIES {
+            if let Some(v) = (self.f)(self.inner.new_value(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map({:?}) rejected {} consecutive inputs",
+            self.whence, FILTER_MAP_MAX_TRIES
+        );
+    }
+}
+
+/// Uniform choice among boxed strategies (backs `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics if `arms` is empty.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut StdRng) -> V {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].new_value(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let v = (3usize..9).new_value(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.25f64..0.75).new_value(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_filter_map_compose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = (1u16..64).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!(v % 2 == 0 && (2..128).contains(&v));
+        }
+        let odd = (0u32..100).prop_filter_map("odd only", |x| (x % 2 == 1).then_some(x));
+        for _ in 0..100 {
+            assert!(odd.new_value(&mut rng) % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = Union::new(vec![
+            Just(1u32).boxed(),
+            Just(2u32).boxed(),
+            (10u32..20).prop_map(|x| x * 10).boxed(),
+        ]);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match u.new_value(&mut rng) {
+                1 => seen[0] = true,
+                2 => seen[1] = true,
+                v if (100..200).contains(&v) => seen[2] = true,
+                v => panic!("unexpected {v}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tuples_and_vec_generate_elementwise() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (a, b, c, d) = (0usize..12, 0usize..12, 1u64..100_000, Just(7u8)).new_value(&mut rng);
+        assert!(a < 12 && b < 12 && (1..100_000).contains(&c) && d == 7);
+        let v = crate::collection::vec((20.0f64..400.0, 20.0f64..400.0), 2..10).new_value(&mut rng);
+        assert!((2..10).contains(&v.len()));
+        assert!(v
+            .iter()
+            .all(|&(x, y)| (20.0..400.0).contains(&x) && (20.0..400.0).contains(&y)));
+    }
+}

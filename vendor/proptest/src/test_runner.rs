@@ -1,0 +1,171 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default number of accepted cases per property when no
+/// `proptest_config` is given and `PROPTEST_CASES` is unset.
+const DEFAULT_CASES: u32 = 64;
+
+/// Runner configuration (mirrors `proptest::test_runner::Config` as
+/// re-exported `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running exactly `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_CASES);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated; the test fails.
+    Fail(String),
+    /// A `prop_assume!` did not hold; the case is regenerated.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (assumption violated) with the given reason.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// FNV-1a, used to give every property its own stable seed stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` cases are accepted, panicking on
+/// the first failure. Case `i` of test `name` always sees the RNG
+/// seeded with `fnv1a(name) ^ i`, so failures reproduce exactly across
+/// runs and machines with no persistence file.
+pub fn run_proptest<F>(name: &str, config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    let mut accepted: u32 = 0;
+    let mut attempt: u64 = 0;
+    // Upstream's default max_global_rejects is 1024 per test; scale
+    // with the case count so small suites keep a proportional budget.
+    let max_rejects: u64 = 1024 + 16 * config.cases as u64;
+    while accepted < config.cases {
+        if attempt >= config.cases as u64 + max_rejects {
+            panic!(
+                "proptest '{name}': too many rejected cases \
+                 ({accepted}/{} accepted after {attempt} attempts)",
+                config.cases
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(base ^ attempt);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' failed at case index {attempt} \
+                     (seed {:#018x}): {msg}",
+                    base ^ attempt
+                );
+            }
+        }
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_all_passing_cases() {
+        let mut runs = 0;
+        run_proptest("always_passes", ProptestConfig::with_cases(10), |_rng| {
+            runs += 1;
+            Ok(())
+        });
+        assert_eq!(runs, 10);
+    }
+
+    #[test]
+    fn rejects_do_not_count_as_cases() {
+        let mut calls = 0u32;
+        run_proptest("half_rejected", ProptestConfig::with_cases(8), |_rng| {
+            calls += 1;
+            if calls.is_multiple_of(2) {
+                Err(TestCaseError::reject("every other"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls >= 15, "8 accepts need >= 15 calls, got {calls}");
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case index")]
+    fn failures_panic_with_case_index() {
+        run_proptest("always_fails", ProptestConfig::with_cases(4), |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected cases")]
+    fn reject_storms_abort() {
+        run_proptest("always_rejects", ProptestConfig::with_cases(2), |_rng| {
+            Err(TestCaseError::reject("never holds"))
+        });
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = Vec::new();
+        run_proptest("stream_check", ProptestConfig::with_cases(5), |rng| {
+            a.push(rand::Rng::next_u64(rng));
+            Ok(())
+        });
+        let mut b = Vec::new();
+        run_proptest("stream_check", ProptestConfig::with_cases(5), |rng| {
+            b.push(rand::Rng::next_u64(rng));
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, and the workspace
+//! only ever *derives* `Serialize`/`Deserialize` as markers (no
+//! serializer is present anywhere). This shim provides the two trait
+//! names plus the no-op derive macros so the existing `use serde::...`
+//! and `#[derive(...)]` sites compile unchanged. If real serialization
+//! is ever needed, replace this crate with vendored upstream serde.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait mirroring `serde::Serialize` (no methods — the
+/// workspace never serializes, it only derives).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait Deserialize<'de> {}
+
+// The derive macros live in the macro namespace, the traits above in
+// the type namespace — both can be imported with one `use`.
+pub use serde_derive::{Deserialize, Serialize};

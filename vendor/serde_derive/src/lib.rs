@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! marker (no serialization is ever performed), and the build
+//! environment has no access to crates.io. These derives therefore
+//! expand to nothing; the `serde` shim crate provides the matching
+//! marker traits.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepts (and ignores) `#[serde(...)]`
+/// helper attributes for source compatibility.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepts (and ignores) `#[serde(...)]`
+/// helper attributes for source compatibility.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
