@@ -1,0 +1,111 @@
+//! CI performance-regression guard. Re-measures the hot-path benchmark
+//! `fig4/step_throughput_8x10` (one warm `Simulator::step()` on the
+//! Teraflops-scale 8×10 mesh, same setup as `benches/figures.rs`) with
+//! a plain `Instant` timer and compares against the checked-in baseline
+//! in `BENCH_BASELINE.json`.
+//!
+//! Exit status: 0 when within tolerance, 1 on a regression beyond the
+//! baseline's tolerance, 2 when the baseline file is missing or
+//! malformed. `ci.sh full` runs this as a *non-blocking* warning: CI
+//! machines are noisy, so a slowdown flags a PR for a human look rather
+//! than failing the build.
+//!
+//! The baseline is parsed with a purpose-built scanner (the workspace
+//! vendors no JSON crate): numbers are extracted by key lookup, which
+//! is exactly as much JSON as the file uses.
+
+use noc_sim::config::SimConfig;
+use noc_sim::engine::Simulator;
+use noc_sim::patterns;
+use noc_spec::CoreId;
+use noc_topology::generators::mesh;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const BENCH_NAME: &str = "fig4/step_throughput_8x10";
+const ROUNDS: usize = 5;
+const STEPS_PER_ROUND: u64 = 2_000;
+
+/// Extracts the number following `"key":` after position `from`.
+fn number_after(text: &str, from: usize, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text[from..].find(&needle)? + from + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn read_baseline() -> Result<(f64, f64), String> {
+    let candidates = [
+        "BENCH_BASELINE.json".to_string(),
+        format!("{}/../../BENCH_BASELINE.json", env!("CARGO_MANIFEST_DIR")),
+    ];
+    let text = candidates
+        .iter()
+        .find_map(|p| std::fs::read_to_string(p).ok())
+        .ok_or_else(|| format!("BENCH_BASELINE.json not found (tried {candidates:?})"))?;
+    let at = text
+        .find(&format!("\"{BENCH_NAME}\""))
+        .ok_or_else(|| format!("baseline for {BENCH_NAME} missing"))?;
+    let mean = number_after(&text, at, "mean_us").ok_or("mean_us missing or not a number")?;
+    let tol = number_after(&text, at, "tolerance").ok_or("tolerance missing or not a number")?;
+    if mean <= 0.0 || tol <= 0.0 {
+        return Err(format!(
+            "nonsensical baseline: mean_us={mean}, tolerance={tol}"
+        ));
+    }
+    Ok((mean, tol))
+}
+
+/// One warm `step()` on the 8×10 mesh at 0.1 flits/cycle/node — the
+/// exact `fig4/step_throughput_8x10` setup.
+fn measure_step_us() -> f64 {
+    let (rows, cols) = (8usize, 10usize);
+    let cores: Vec<CoreId> = (0..rows * cols).map(CoreId).collect();
+    let fabric = mesh(rows, cols, &cores, 32).expect("valid");
+    let sources = patterns::uniform_random(&fabric, 0.1, 4).expect("in range");
+    let mut sim = Simulator::new(fabric.topology, SimConfig::default().with_warmup(100));
+    for s in sources {
+        sim.add_source(s);
+    }
+    sim.run(1_000); // reach steady state before measuring
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        for _ in 0..STEPS_PER_ROUND {
+            sim.step();
+            std::hint::black_box(sim.stats().total_delivered_flits);
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / STEPS_PER_ROUND as f64;
+        best = best.min(us);
+    }
+    best
+}
+
+fn main() -> ExitCode {
+    let (baseline_us, tolerance) = match read_baseline() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_guard: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let measured_us = measure_step_us();
+    let limit_us = baseline_us * (1.0 + tolerance);
+    let delta = (measured_us / baseline_us - 1.0) * 100.0;
+    println!(
+        "bench_guard: {BENCH_NAME}: measured {measured_us:.2} us/step, \
+         baseline {baseline_us:.2} us ({delta:+.1}%), limit {limit_us:.2} us"
+    );
+    if measured_us > limit_us {
+        eprintln!(
+            "bench_guard: REGRESSION: more than {:.0}% over baseline",
+            tolerance * 100.0
+        );
+        return ExitCode::from(1);
+    }
+    println!("bench_guard: within tolerance");
+    ExitCode::SUCCESS
+}

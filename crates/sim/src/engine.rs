@@ -22,13 +22,16 @@
 //!    traffic.
 
 use crate::config::{Arbitration, FlowControl, SimConfig};
-use crate::flit::Flit;
+use crate::flit::{Flit, PacketId};
 use crate::gals::DomainMap;
 use crate::qos::SlotTable;
 use crate::stats::SimStats;
 use crate::trace::{Trace, TraceEvent, TraceKind};
-use crate::traffic::TrafficSource;
+use crate::traffic::{Destination, TrafficSource};
+use noc_spec::fault::FaultPlan;
+use noc_spec::FlowId;
 use noc_topology::graph::{LinkId, NodeId, Topology};
+use noc_topology::TopologyError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -140,6 +143,30 @@ impl AdjacencyCache {
 struct SourceSlot {
     source: TrafficSource,
     queue: VecDeque<Flit>,
+    /// Whether this source's destination was swapped to fault-avoiding
+    /// routes (packets generated afterwards count as rerouted).
+    rerouted: bool,
+}
+
+/// One resolved fault transition: `link` goes down (or, for a
+/// transient fault's repair, up) at the start of `cycle`.
+#[derive(Debug, Clone, Copy)]
+struct FaultTransition {
+    cycle: u64,
+    /// Index of the originating event in the fault plan (stats key).
+    event: usize,
+    link: LinkId,
+    up: bool,
+}
+
+/// A scheduled destination swap: at `cycle`, every source at `ni`
+/// with flow `flow` starts using `destination`.
+#[derive(Debug, Clone)]
+struct ScheduledReroute {
+    cycle: u64,
+    ni: NodeId,
+    flow: FlowId,
+    destination: Destination,
 }
 
 /// The flit-level simulator.
@@ -217,6 +244,28 @@ pub struct Simulator {
     injected_flits_total: u64,
     /// All flits ever ejected.
     ejected_flits_total: u64,
+    /// All flits ever destroyed by faults.
+    dropped_flits_total: u64,
+    /// Whether each link is currently up, indexed by `LinkId`.
+    link_up: Vec<bool>,
+    /// Number of links currently down (cheap guard for the drop phase).
+    links_down: usize,
+    /// Plan event index that most recently downed each link, indexed by
+    /// `LinkId` (`None` while up).
+    link_down_event: Vec<Option<usize>>,
+    /// Resolved fault transitions, sorted ascending by cycle.
+    fault_schedule: Vec<FaultTransition>,
+    fault_cursor: usize,
+    /// Beheaded wormhole streams, indexed by `input link * vcs + vc`:
+    /// `Some(event)` means the stream's head was destroyed by that fault
+    /// event and the remaining flits must be destroyed as they arrive
+    /// (the tail releases the lock).
+    drop_lock: Vec<Option<usize>>,
+    /// Number of active drop locks (cheap guard for the drop phase).
+    drop_locks: usize,
+    /// Scheduled destination swaps, sorted ascending by cycle.
+    reroutes: Vec<ScheduledReroute>,
+    reroute_cursor: usize,
 }
 
 impl Simulator {
@@ -231,6 +280,7 @@ impl Simulator {
         let adj = AdjacencyCache::build(&topo);
         let domains = DomainMap::single_domain(&topo);
         let nodes = topo.nodes().len();
+        let nlinks = links.len();
         let ports = links.len() * cfg.vcs;
         Simulator {
             rr: vec![0; links.len()],
@@ -258,6 +308,16 @@ impl Simulator {
             trace: None,
             injected_flits_total: 0,
             ejected_flits_total: 0,
+            dropped_flits_total: 0,
+            link_up: vec![true; nlinks],
+            links_down: 0,
+            link_down_event: vec![None; nlinks],
+            fault_schedule: Vec::new(),
+            fault_cursor: 0,
+            drop_lock: vec![None; ports],
+            drop_locks: 0,
+            reroutes: Vec::new(),
+            reroute_cursor: 0,
         }
     }
 
@@ -313,6 +373,7 @@ impl Simulator {
         self.sources.push(SourceSlot {
             source,
             queue: VecDeque::new(),
+            rerouted: false,
         });
     }
 
@@ -355,6 +416,73 @@ impl Simulator {
     /// Total flits ejected from the fabric since construction.
     pub fn ejected_flits_total(&self) -> u64 {
         self.ejected_flits_total
+    }
+
+    /// Total flits destroyed by faults since construction.
+    pub fn dropped_flits_total(&self) -> u64 {
+        self.dropped_flits_total
+    }
+
+    /// Whether `link` is currently up (not failed).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.link_up[link.0]
+    }
+
+    /// The registered traffic sources, in registration order.
+    pub fn sources(&self) -> impl Iterator<Item = &TrafficSource> {
+        self.sources.iter().map(|s| &s.source)
+    }
+
+    /// Installs a fault plan: resolves each event's target into concrete
+    /// links and schedules a down transition at the event's start cycle
+    /// (plus an up transition at the repair cycle for transient faults).
+    ///
+    /// Replaces any previously installed plan; call before stepping.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), TopologyError> {
+        let mut schedule = Vec::new();
+        for (event, ev) in plan.events().iter().enumerate() {
+            for link in noc_topology::fault::links_of_target(&self.topo, ev.target)? {
+                schedule.push(FaultTransition {
+                    cycle: ev.start,
+                    event,
+                    link,
+                    up: false,
+                });
+                if let Some(repair) = ev.repair_cycle() {
+                    schedule.push(FaultTransition {
+                        cycle: repair,
+                        event,
+                        link,
+                        up: true,
+                    });
+                }
+            }
+        }
+        schedule.sort_by_key(|t| (t.cycle, t.event, t.link, t.up));
+        self.fault_schedule = schedule;
+        self.fault_cursor = 0;
+        Ok(())
+    }
+
+    /// Schedules a destination swap: from `cycle` on, every source at
+    /// `ni` carrying `flow` draws routes from `destination`, and packets
+    /// it generates afterwards count as rerouted.
+    ///
+    /// Call before stepping (swaps are replayed in cycle order).
+    pub fn schedule_reroute(
+        &mut self,
+        cycle: u64,
+        ni: NodeId,
+        flow: FlowId,
+        destination: Destination,
+    ) {
+        self.reroutes.push(ScheduledReroute {
+            cycle,
+            ni,
+            flow,
+            destination,
+        });
+        self.reroutes.sort_by_key(|r| r.cycle);
     }
 
     /// Debug snapshot of a link: (credits per VC, buffered flits per VC,
@@ -459,14 +587,235 @@ impl Simulator {
     /// engine cycle by cycle; `run`/`drain` remain the convenient
     /// wrappers and are the only places stats are finalized.
     pub fn step(&mut self) {
+        if self.fault_cursor < self.fault_schedule.len() {
+            self.apply_fault_events();
+        }
+        if self.reroute_cursor < self.reroutes.len() {
+            self.apply_reroutes();
+        }
         self.deliver();
         self.eject();
+        if self.links_down > 0 || self.drop_locks > 0 {
+            self.drop_blocked_flits();
+        }
         self.traverse();
         if self.generation_enabled {
             self.generate();
         }
         self.inject();
         self.cycle += 1;
+    }
+
+    /// Applies every fault transition scheduled at or before the current
+    /// cycle (down transitions destroy the link's contents; up
+    /// transitions simply restore it).
+    fn apply_fault_events(&mut self) {
+        while self.fault_cursor < self.fault_schedule.len()
+            && self.fault_schedule[self.fault_cursor].cycle <= self.cycle
+        {
+            let t = self.fault_schedule[self.fault_cursor];
+            self.fault_cursor += 1;
+            if t.up {
+                // Only the most recent fault on a link repairs it: an
+                // older overlapping fault's repair is a no-op.
+                if !self.link_up[t.link.0] && self.link_down_event[t.link.0] == Some(t.event) {
+                    self.link_up[t.link.0] = true;
+                    self.link_down_event[t.link.0] = None;
+                    self.links_down -= 1;
+                }
+            } else if self.link_up[t.link.0] {
+                self.link_up[t.link.0] = false;
+                self.link_down_event[t.link.0] = Some(t.event);
+                self.links_down += 1;
+                self.fail_link(t.link, t.event);
+            } else {
+                // Already down: the newer fault takes over attribution
+                // (and, for transients, the repair time).
+                self.link_down_event[t.link.0] = Some(t.event);
+            }
+        }
+    }
+
+    /// Takes `link` down for fault `event`: destroys the wire's
+    /// in-flight flits and receive buffer (returning their credits),
+    /// purges any half-injected packet from the upstream NI's queue, and
+    /// flushes wormhole fragments that already passed downstream with a
+    /// synthetic tail so their locks unwind cleanly.
+    fn fail_link(&mut self, link: LinkId, event: usize) {
+        let vcs = self.cfg.vcs;
+        let li = link.0;
+        let dst = self.link_dst[li];
+        // Receive buffer first, wire second: the last doomed flit per VC
+        // is then the newest, whose packet id labels the flush tail.
+        let mut doomed: Vec<Flit> = Vec::new();
+        for vc in 0..vcs {
+            while let Some(f) = self.links[li].bufs[vc].pop_front() {
+                self.buf_count[li] -= 1;
+                self.node_buffered[dst.0] -= 1;
+                doomed.push(f);
+            }
+        }
+        doomed.extend(self.links[li].in_flight.drain(..).map(|(_, f)| f));
+        let mut last_packet: Vec<Option<PacketId>> = vec![None; vcs];
+        for f in doomed {
+            last_packet[f.vc] = Some(f.packet);
+            self.links[li].credits[f.vc] += 1;
+            self.account_drop(link, &f, Some(event));
+        }
+        // A packet caught half-injected at the upstream NI: the rest of
+        // it sits in a source queue and must never trickle in later (the
+        // flush tail below releases the downstream locks it would need).
+        // These flits never entered the fabric, so they leave the flit
+        // accounting entirely.
+        let src = self.topo.link(link).src;
+        let (os, oe) = self.adj.outgoing(src);
+        if oe > os && self.adj.out_flat[os] == link {
+            for vc in 0..vcs {
+                if let Some(si) = self.ni_wormhole[src.0 * vcs + vc] {
+                    while let Some(f) = self.sources[si].queue.pop_front() {
+                        if f.is_tail {
+                            break;
+                        }
+                    }
+                    self.ni_wormhole[src.0 * vcs + vc] = None;
+                }
+            }
+        }
+        // Fragments beyond the link (a head traversed onward, its tail
+        // now destroyed): a synthetic tail chases each one through its
+        // wormhole locks, releasing them and draining at the NI like a
+        // real tail. It occupies a buffer slot (the credit algebra stays
+        // exact) and counts as one injected flit, matched by its
+        // eventual ejection or drop.
+        for (vc, last) in last_packet.iter().enumerate() {
+            if self.route_lock[li * vcs + vc].is_some() {
+                let tail = Flit {
+                    packet: last.unwrap_or(PacketId(u64::MAX)),
+                    flow: None,
+                    route: None,
+                    hop: 0,
+                    is_head: false,
+                    is_tail: true,
+                    vc,
+                    priority: false,
+                    injected_at: self.cycle,
+                };
+                debug_assert!(self.links[li].credits[vc] > 0, "drained buffer has space");
+                self.links[li].credits[vc] -= 1;
+                self.links[li].bufs[vc].push_back(tail);
+                self.buf_count[li] += 1;
+                self.node_buffered[dst.0] += 1;
+                self.injected_flits_total += 1;
+            }
+        }
+    }
+
+    /// Removes the front flit of `(link, vc)`'s input buffer, updating
+    /// occupancy counters and returning the credit upstream.
+    fn pop_buffered(&mut self, li: usize, vc: usize) -> Flit {
+        let flit = self.links[li].bufs[vc].pop_front().expect("front exists");
+        self.buf_count[li] -= 1;
+        self.node_buffered[self.link_dst[li].0] -= 1;
+        self.links[li].credits[vc] += 1;
+        flit
+    }
+
+    /// Fault-drop phase: destroys flits whose next hop is a dead link
+    /// (and the followers of already-beheaded streams), unwinding the
+    /// wormhole state exactly as a traversal would.
+    fn drop_blocked_flits(&mut self) {
+        let vcs = self.cfg.vcs;
+        for li in 0..self.links.len() {
+            if self.buf_count[li] == 0 {
+                continue;
+            }
+            for vc in 0..vcs {
+                while let Some(flit) = self.links[li].bufs[vc].front() {
+                    // Followers of a beheaded stream die unconditionally
+                    // (even if the link meanwhile repaired: their head
+                    // is gone, the fragment can never complete).
+                    if let Some(event) = self.drop_lock[li * vcs + vc] {
+                        if flit.is_head {
+                            break; // unreachable: the tail clears first
+                        }
+                        let flit = self.pop_buffered(li, vc);
+                        if flit.is_tail {
+                            self.drop_lock[li * vcs + vc] = None;
+                            self.drop_locks -= 1;
+                        }
+                        self.account_drop(LinkId(li), &flit, Some(event));
+                        continue;
+                    }
+                    let desired = if flit.is_head {
+                        match flit.route.as_ref().and_then(|r| r.get(flit.hop)) {
+                            Some(&l) => l,
+                            None => break,
+                        }
+                    } else {
+                        match self.route_lock[li * vcs + vc] {
+                            Some(l) => l,
+                            None => break,
+                        }
+                    };
+                    if self.link_up[desired.0] {
+                        break;
+                    }
+                    let event = self.link_down_event[desired.0];
+                    let flit = self.pop_buffered(li, vc);
+                    if flit.is_head && !flit.is_tail {
+                        // The head dies before allocating the output:
+                        // its followers must chase the drop, not wait
+                        // for an allocation that will never come.
+                        self.drop_lock[li * vcs + vc] = event;
+                        self.drop_locks += 1;
+                    } else if flit.is_tail && !flit.is_head {
+                        // The stream's head had claimed the dead output
+                        // before it died; release the claim like a
+                        // normal tail traversal would.
+                        self.owner[desired.0 * vcs + vc] = None;
+                        self.route_lock[li * vcs + vc] = None;
+                    }
+                    self.account_drop(desired, &flit, event);
+                }
+            }
+        }
+    }
+
+    /// Applies every destination swap scheduled at or before the current
+    /// cycle.
+    fn apply_reroutes(&mut self) {
+        while self.reroute_cursor < self.reroutes.len()
+            && self.reroutes[self.reroute_cursor].cycle <= self.cycle
+        {
+            let r = self.reroutes[self.reroute_cursor].clone();
+            self.reroute_cursor += 1;
+            for slot in &mut self.sources {
+                if slot.source.ni == r.ni && slot.source.flow == r.flow {
+                    slot.source.destination = r.destination.clone();
+                    slot.rerouted = true;
+                }
+            }
+        }
+    }
+
+    /// Accounts one flit destroyed by a fault at `link`, attributed to
+    /// fault plan event `event`. Drop counters cover the whole run
+    /// (warmup included): conservation must hold unconditionally.
+    fn account_drop(&mut self, link: LinkId, flit: &Flit, event: Option<usize>) {
+        self.dropped_flits_total += 1;
+        self.stats.dropped_flits += 1;
+        if let Some(e) = event {
+            *self.stats.fault_events.entry(e).or_default() += 1;
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent {
+                cycle: self.cycle,
+                kind: TraceKind::Drop,
+                packet: flit.packet,
+                flow: flit.flow,
+                link: Some(link),
+            });
+        }
     }
 
     /// Phase 1: wire pipelines deliver flits into input buffers.
@@ -520,6 +869,9 @@ impl Simulator {
                         }
                     }
                     if measuring && flit.injected_at >= self.cfg.warmup {
+                        // Flits without a flow (synthetic fault-flush
+                        // tails) conserve the flit accounting but stay
+                        // out of the measured statistics.
                         let fstats = flit.flow.map(|f| self.stats.flows.entry(f).or_default());
                         if let Some(fs) = fstats {
                             fs.delivered_flits += 1;
@@ -531,8 +883,8 @@ impl Simulator {
                                 fs.latency_histogram.record(latency);
                                 self.stats.total_delivered_packets += 1;
                             }
+                            self.stats.total_delivered_flits += 1;
                         }
-                        self.stats.total_delivered_flits += 1;
                     }
                 }
             }
@@ -567,6 +919,9 @@ impl Simulator {
     /// ports are scanned.
     fn arbitrate_output(&mut self, sw: NodeId, out_l: LinkId) {
         let cycle = self.cycle;
+        if !self.link_up[out_l.0] {
+            return; // dead output: the fault-drop phase handles its flits
+        }
         if self.links[out_l.0].launched_at == cycle {
             return;
         }
@@ -692,6 +1047,18 @@ impl Simulator {
                         .or_default()
                         .injected_packets += 1;
                 }
+                if slot.rerouted {
+                    self.stats.rerouted_packets += 1;
+                    if let Some(trace) = &mut self.trace {
+                        trace.record(TraceEvent {
+                            cycle,
+                            kind: TraceKind::Reroute,
+                            packet: flits[0].packet,
+                            flow: flits[0].flow,
+                            link: None,
+                        });
+                    }
+                }
                 slot.queue.extend(flits);
             }
         }
@@ -752,6 +1119,9 @@ impl Simulator {
                 continue;
             }
             let out_l = self.adj.out_flat[self.adj.out_start[ni.0]];
+            if !self.link_up[out_l.0] {
+                continue; // faulted injection link: packets wait queued
+            }
             if self.links[out_l.0].launched_at == cycle {
                 continue;
             }
@@ -1215,5 +1585,161 @@ mod tests {
         );
         assert_eq!(sim.injected_flits_total(), sim.ejected_flits_total());
         assert!(sim.credits_restored());
+    }
+
+    use noc_spec::fault::{FaultEvent, FaultKind, FaultPlan, FaultTarget};
+
+    fn streaming_source(
+        ni: NodeId,
+        route: Arc<[LinkId]>,
+        flits: usize,
+        period: u64,
+    ) -> TrafficSource {
+        TrafficSource {
+            ni,
+            flow: FlowId(0),
+            destination: Destination::Fixed(route),
+            process: InjectionProcess::Constant { period, phase: 0 },
+            packet_flits: flits,
+            vc: 0,
+            priority: false,
+        }
+    }
+
+    /// The fault-conservation invariant: every flit that entered the
+    /// fabric is delivered, destroyed, or still inside.
+    fn assert_conserved(sim: &Simulator) {
+        assert_eq!(
+            sim.injected_flits_total(),
+            sim.ejected_flits_total() + sim.dropped_flits_total() + sim.flits_in_network() as u64,
+            "flit conservation violated"
+        );
+    }
+
+    #[test]
+    fn mid_stream_link_fault_conserves_flits_and_unwinds_locks() {
+        let (t, ni0, _, route) = line();
+        let mid = route[1];
+        let mut sim = Simulator::new(t, SimConfig::default().with_warmup(0));
+        sim.enable_trace(8192);
+        sim.add_source(streaming_source(ni0, route.clone(), 4, 1));
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            target: FaultTarget::Link(mid.0),
+            start: 10,
+            kind: FaultKind::Permanent,
+        }]);
+        sim.set_fault_plan(&plan).expect("valid plan");
+        sim.run(100);
+        assert!(!sim.link_is_up(mid));
+        assert!(sim.dropped_flits_total() > 0, "traffic must hit the fault");
+        assert_conserved(&sim);
+        assert_eq!(sim.stats().dropped_flits, sim.dropped_flits_total());
+        assert_eq!(
+            sim.stats().fault_events.values().sum::<u64>(),
+            sim.dropped_flits_total(),
+            "every drop is attributed to its fault event"
+        );
+        let drops = sim
+            .trace()
+            .expect("tracing on")
+            .events()
+            .filter(|e| e.kind == TraceKind::Drop)
+            .count();
+        assert_eq!(drops as u64, sim.dropped_flits_total());
+        // Queued packets keep injecting and dropping at the dead link;
+        // the wormhole state must unwind completely.
+        let drained = sim.drain(10_000);
+        assert!(drained, "network must drain through the fault");
+        assert!(sim.credits_restored(), "credits return despite drops");
+        assert_eq!(
+            sim.injected_flits_total(),
+            sim.ejected_flits_total() + sim.dropped_flits_total()
+        );
+    }
+
+    #[test]
+    fn transient_fault_repairs_and_delivery_resumes() {
+        let (t, ni0, _, route) = line();
+        let mid = route[1];
+        let mut sim = Simulator::new(t, SimConfig::default().with_warmup(0));
+        sim.add_source(streaming_source(ni0, route.clone(), 2, 6));
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            target: FaultTarget::Link(mid.0),
+            start: 20,
+            kind: FaultKind::Transient { duration: 30 },
+        }]);
+        sim.set_fault_plan(&plan).expect("valid plan");
+        sim.run(19);
+        let before = sim.stats().flows[&FlowId(0)].delivered_packets;
+        assert!(before > 0, "deliveries before the fault");
+        sim.run(12);
+        assert!(!sim.link_is_up(mid), "outage window");
+        sim.run(300);
+        assert!(sim.link_is_up(mid), "transient fault must repair");
+        let after = sim.stats().flows[&FlowId(0)].delivered_packets;
+        assert!(
+            after > before + 10,
+            "delivery resumes after repair: {before} -> {after}"
+        );
+        assert!(sim.dropped_flits_total() > 0, "outage traffic was dropped");
+        assert_conserved(&sim);
+    }
+
+    #[test]
+    fn injection_link_fault_purges_half_injected_packet() {
+        let (t, ni0, _, route) = line();
+        let inj = route[0];
+        let mut sim = Simulator::new(t, SimConfig::default().with_warmup(0));
+        sim.add_source(one_shot_source(ni0, route.clone(), 8));
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            target: FaultTarget::Link(inj.0),
+            start: 3,
+            kind: FaultKind::Permanent,
+        }]);
+        sim.set_fault_plan(&plan).expect("valid plan");
+        sim.run(50);
+        // The un-injected remainder of the packet was purged: nothing
+        // waits on the dead injection link forever.
+        assert_eq!(sim.flits_queued(), 0, "source queue purged at fault");
+        assert_conserved(&sim);
+        let drained = sim.drain(1_000);
+        assert!(drained, "fragment and flush tail must drain");
+        assert!(sim.credits_restored());
+        assert_eq!(
+            sim.injected_flits_total(),
+            sim.ejected_flits_total() + sim.dropped_flits_total()
+        );
+    }
+
+    #[test]
+    fn scheduled_reroute_counts_packets_and_traces() {
+        let (t, ni0, _, route) = line();
+        let mut sim = Simulator::new(t, SimConfig::default().with_warmup(0));
+        sim.enable_trace(256);
+        sim.add_source(streaming_source(ni0, route.clone(), 1, 10));
+        sim.schedule_reroute(50, ni0, FlowId(0), Destination::Fixed(route.clone()));
+        sim.run(100);
+        // Generation fires at cycles 0, 10, ..., 90: five packets land
+        // at or after the swap cycle.
+        assert_eq!(sim.stats().rerouted_packets, 5);
+        let traced = sim
+            .trace()
+            .expect("tracing on")
+            .events()
+            .filter(|e| e.kind == TraceKind::Reroute)
+            .count();
+        assert_eq!(traced as u64, sim.stats().rerouted_packets);
+    }
+
+    #[test]
+    fn fault_plan_with_unknown_target_is_rejected() {
+        let (t, _, _, _) = line();
+        let mut sim = Simulator::new(t, SimConfig::default());
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            target: FaultTarget::Link(9_999),
+            start: 0,
+            kind: FaultKind::Permanent,
+        }]);
+        assert!(sim.set_fault_plan(&plan).is_err());
     }
 }

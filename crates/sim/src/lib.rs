@@ -51,6 +51,7 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod flit;
 pub mod gals;
 pub mod histogram;
@@ -65,6 +66,7 @@ pub mod traffic;
 pub use crate::config::{Arbitration, FlowControl, SimConfig};
 pub use crate::engine::Simulator;
 pub use crate::error::SimError;
+pub use crate::fault::install_fault_plan;
 pub use crate::gals::{DomainMap, SyncScheme};
 pub use crate::histogram::LatencyHistogram;
 pub use crate::qos::SlotTable;

@@ -12,6 +12,7 @@ use noc_topology::graph::LinkId;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
+use std::str::FromStr;
 
 /// What happened to a flit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -22,6 +23,11 @@ pub enum TraceKind {
     Launch,
     /// A tail flit left the network at its destination NI.
     Eject,
+    /// A flit was destroyed by a link fault (on the dying wire, in its
+    /// receive buffer, or arriving at a dead link).
+    Drop,
+    /// A packet was generated onto a recomputed (fault-avoiding) route.
+    Reroute,
 }
 
 impl fmt::Display for TraceKind {
@@ -30,9 +36,38 @@ impl fmt::Display for TraceKind {
             TraceKind::Inject => f.write_str("inject"),
             TraceKind::Launch => f.write_str("launch"),
             TraceKind::Eject => f.write_str("eject"),
+            TraceKind::Drop => f.write_str("drop"),
+            TraceKind::Reroute => f.write_str("reroute"),
         }
     }
 }
+
+impl FromStr for TraceKind {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<TraceKind, ParseTraceError> {
+        match s {
+            "inject" => Ok(TraceKind::Inject),
+            "launch" => Ok(TraceKind::Launch),
+            "eject" => Ok(TraceKind::Eject),
+            "drop" => Ok(TraceKind::Drop),
+            "reroute" => Ok(TraceKind::Reroute),
+            other => Err(ParseTraceError(format!("unknown event kind \"{other}\""))),
+        }
+    }
+}
+
+/// A trace-line parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError(String);
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
 
 /// One traced event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,10 +87,60 @@ pub struct TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "@{} {} {}", self.cycle, self.kind, self.packet)?;
+        if let Some(fl) = self.flow {
+            write!(f, " {fl}")?;
+        }
         if let Some(l) = self.link {
             write!(f, " on {l}")?;
         }
         Ok(())
+    }
+}
+
+impl FromStr for TraceEvent {
+    type Err = ParseTraceError;
+
+    /// Parses the [`fmt::Display`] line format back into an event —
+    /// the textual round-trip standing in for serde (the workspace's
+    /// vendored `serde` is a marker shim with no serializer).
+    fn from_str(s: &str) -> Result<TraceEvent, ParseTraceError> {
+        let err = |m: &str| ParseTraceError(format!("{m} in trace line {s:?}"));
+        let mut words = s.split_whitespace();
+        let cycle = words
+            .next()
+            .and_then(|w| w.strip_prefix('@'))
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| err("missing @cycle"))?;
+        let kind: TraceKind = words.next().ok_or_else(|| err("missing kind"))?.parse()?;
+        let packet = words
+            .next()
+            .and_then(|w| w.strip_prefix("pkt"))
+            .and_then(|w| w.parse().ok())
+            .map(PacketId)
+            .ok_or_else(|| err("missing pktN"))?;
+        let mut flow = None;
+        let mut link = None;
+        while let Some(w) = words.next() {
+            if let Some(f) = w.strip_prefix("flow") {
+                flow = Some(FlowId(f.parse().map_err(|_| err("bad flow"))?));
+            } else if w == "on" {
+                let l = words
+                    .next()
+                    .and_then(|w| w.strip_prefix('l'))
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| err("missing link after \"on\""))?;
+                link = Some(LinkId(l));
+            } else {
+                return Err(err("unexpected token"));
+            }
+        }
+        Ok(TraceEvent {
+            cycle,
+            kind,
+            packet,
+            flow,
+            link,
+        })
     }
 }
 
@@ -184,5 +269,130 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = Trace::new(0);
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_newest() {
+        let mut t = Trace::new(1);
+        for i in 0..10 {
+            t.record(ev(i, TraceKind::Launch, i));
+        }
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.dropped(), 9);
+        assert_eq!(t.events().next().unwrap().cycle, 9);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn len_never_exceeds_capacity() {
+        let mut t = Trace::new(7);
+        for i in 0..100 {
+            t.record(ev(i, TraceKind::Inject, i));
+            assert!(t.len() <= 7, "ring buffer bound violated at {i}");
+        }
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.dropped(), 93);
+    }
+
+    #[test]
+    fn display_formats_every_field_combination() {
+        let full = TraceEvent {
+            cycle: 12,
+            kind: TraceKind::Drop,
+            packet: PacketId(4),
+            flow: Some(FlowId(2)),
+            link: Some(LinkId(9)),
+        };
+        assert_eq!(full.to_string(), "@12 drop pkt4 flow2 on l9");
+        let bare = TraceEvent {
+            cycle: 0,
+            kind: TraceKind::Reroute,
+            packet: PacketId(0),
+            flow: None,
+            link: None,
+        };
+        assert_eq!(bare.to_string(), "@0 reroute pkt0");
+        let no_flow = TraceEvent { flow: None, ..full };
+        assert_eq!(no_flow.to_string(), "@12 drop pkt4 on l9");
+    }
+
+    #[test]
+    fn kind_display_round_trips() {
+        for kind in [
+            TraceKind::Inject,
+            TraceKind::Launch,
+            TraceKind::Eject,
+            TraceKind::Drop,
+            TraceKind::Reroute,
+        ] {
+            let parsed: TraceKind = kind.to_string().parse().expect("round-trip");
+            assert_eq!(parsed, kind);
+        }
+        assert!("explode".parse::<TraceKind>().is_err());
+    }
+
+    #[test]
+    fn event_text_round_trips() {
+        let samples = [
+            TraceEvent {
+                cycle: 7,
+                kind: TraceKind::Inject,
+                packet: PacketId(42),
+                flow: Some(FlowId(3)),
+                link: Some(LinkId(17)),
+            },
+            TraceEvent {
+                cycle: 0,
+                kind: TraceKind::Eject,
+                packet: PacketId(0),
+                flow: None,
+                link: Some(LinkId(0)),
+            },
+            TraceEvent {
+                cycle: u64::MAX,
+                kind: TraceKind::Drop,
+                packet: PacketId(u64::MAX),
+                flow: None,
+                link: None,
+            },
+        ];
+        for e in samples {
+            let line = e.to_string();
+            let parsed: TraceEvent = line.parse().expect("parses its own Display");
+            assert_eq!(parsed, e, "{line}");
+        }
+    }
+
+    #[test]
+    fn event_parse_rejects_garbage() {
+        for bad in [
+            "",
+            "12 inject pkt1",
+            "@x inject pkt1",
+            "@1 explode pkt1",
+            "@1 inject",
+            "@1 inject packet1",
+            "@1 inject pkt1 on",
+            "@1 inject pkt1 on x9",
+            "@1 inject pkt1 flowX",
+            "@1 inject pkt1 noise",
+        ] {
+            assert!(bad.parse::<TraceEvent>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let mut t = Trace::new(8);
+        t.record(ev(1, TraceKind::Inject, 5));
+        t.record(ev(2, TraceKind::Launch, 5));
+        t.record(ev(3, TraceKind::Drop, 5));
+        let reparsed: Vec<TraceEvent> = t
+            .render()
+            .lines()
+            .map(|l| l.parse().expect("rendered lines parse"))
+            .collect();
+        let original: Vec<TraceEvent> = t.events().copied().collect();
+        assert_eq!(reparsed, original);
     }
 }

@@ -146,3 +146,76 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Flit conservation under fault injection, sweeping generated
+    /// fault schedules (count, window, transient mix) against loads
+    /// and packet lengths. Faults are restricted to switch-switch
+    /// links (an NI-link fault legitimately strands queued flits
+    /// forever, which is a liveness question, not a conservation one).
+    /// The invariant `injected = ejected + dropped + in-network` must
+    /// hold at *every* instant, and the network must still drain with
+    /// all credits restored once generation stops.
+    #[test]
+    fn conservation_holds_under_faults(
+        rate in 0.02f64..0.4,
+        pf in 1usize..5,
+        nfaults in 1usize..5,
+        transient_chance in 0u8..255,
+        seed in 0u64..500,
+    ) {
+        use noc_spec::fault::{FaultPlan, FaultScenario, FaultTarget};
+
+        let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+        let m = mesh(4, 4, &cores, 32).expect("valid shape");
+        let candidates: Vec<FaultTarget> = m
+            .topology
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                m.topology.node(l.src).is_switch() && m.topology.node(l.dst).is_switch()
+            })
+            .map(|(i, _)| FaultTarget::Link(i))
+            .collect();
+        let scenario = FaultScenario {
+            faults: nfaults,
+            window: (100, 900),
+            transient_chance,
+            duration: (50, 300),
+        };
+        let plan = FaultPlan::generate(seed, &candidates, scenario);
+        prop_assert!(!plan.is_empty());
+
+        let sources = patterns::uniform_random(&m, rate, pf).expect("in range");
+        let mut sim = Simulator::new(m.topology.clone(), SimConfig::default().with_warmup(0))
+            .with_seed(seed);
+        for s in sources {
+            sim.add_source(s);
+        }
+        sim.set_fault_plan(&plan).expect("targets are real links");
+        for _ in 0..15 {
+            for _ in 0..100 {
+                sim.step();
+            }
+            prop_assert_eq!(
+                sim.injected_flits_total(),
+                sim.ejected_flits_total()
+                    + sim.dropped_flits_total()
+                    + sim.flits_in_network() as u64,
+                "instantaneous conservation at cycle {}",
+                sim.cycle()
+            );
+        }
+        let drained = sim.drain(40_000);
+        prop_assert!(drained, "blocked flits must be destroyed, not stuck");
+        prop_assert_eq!(
+            sim.injected_flits_total(),
+            sim.ejected_flits_total() + sim.dropped_flits_total()
+        );
+        prop_assert!(sim.credits_restored(), "credits leak through faults");
+        prop_assert_eq!(sim.stats().dropped_flits, sim.dropped_flits_total());
+    }
+}

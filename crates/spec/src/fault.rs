@@ -1,0 +1,472 @@
+//! Fault plans: deterministic schedules of link/router failures.
+//!
+//! Products must survive broken wires and dead routers (§7 of the
+//! paper discusses built-in self-test and rerouting around failed
+//! vertical pillars); the simulator therefore consumes a *fault plan*
+//! — a schedule of component failures with activation cycles — and the
+//! topology layer recomputes routes around the failed components.
+//!
+//! Two properties drive the design:
+//!
+//! 1. **Determinism.** A plan is either written out explicitly or
+//!    derived from a `(seed, candidate universe)` pair via
+//!    [`FaultPlan::generate`] — a pure function, so parameter sweeps
+//!    that inject faults stay bit-identical between serial and
+//!    parallel execution (the sweep determinism contract, DESIGN.md).
+//! 2. **Toolkit-level targets.** `noc-spec` cannot name
+//!    `noc-topology` types, so fault targets are plain component
+//!    indices ([`FaultTarget::Link`]/[`FaultTarget::Router`]) that the
+//!    consumer maps onto its graph.
+//!
+//! Plans round-trip through a plain-text format ([`FaultPlan::to_text`]
+//! / [`FaultPlan::from_text`]) in the same spirit as
+//! [`crate::textfmt`]:
+//!
+//! ```text
+//! # comment
+//! faultplan seed=42
+//! fault link 17 at 1000 permanent
+//! fault router 3 at 2500 transient for 400
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The failed component, by index into the consumer's component space.
+///
+/// For the simulator this is a `LinkId`/switch `NodeId` index in the
+/// concrete topology; the spec layer treats it as an opaque number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// A unidirectional link (one direction of a duplex pair).
+    Link(usize),
+    /// A router/switch; consumers expand this to all its attached links.
+    Router(usize),
+}
+
+impl fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTarget::Link(i) => write!(f, "link {i}"),
+            FaultTarget::Router(i) => write!(f, "router {i}"),
+        }
+    }
+}
+
+/// Permanent (never repairs) vs transient (repairs after a duration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The component stays failed for the rest of the run.
+    Permanent,
+    /// The component recovers `duration` cycles after activation
+    /// (e.g. a crosstalk burst or a voltage droop).
+    Transient {
+        /// Cycles from activation to repair; must be > 0.
+        duration: u64,
+    },
+}
+
+/// One scheduled failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// What fails.
+    pub target: FaultTarget,
+    /// Simulation cycle at which the fault activates.
+    pub start: u64,
+    /// Permanent or transient-with-duration.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// The cycle at which the component repairs, if the fault is
+    /// transient.
+    pub fn repair_cycle(&self) -> Option<u64> {
+        match self.kind {
+            FaultKind::Permanent => None,
+            FaultKind::Transient { duration } => Some(self.start.saturating_add(duration)),
+        }
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault {} at {}", self.target, self.start)?;
+        match self.kind {
+            FaultKind::Permanent => write!(f, " permanent"),
+            FaultKind::Transient { duration } => write!(f, " transient for {duration}"),
+        }
+    }
+}
+
+/// A deterministic schedule of component failures.
+///
+/// Events are kept sorted by `(start, target, kind)` so two plans with
+/// the same content compare equal regardless of insertion order, and
+/// consumers can walk the schedule with a cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed recorded for provenance (0 for hand-written plans).
+    pub seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+/// Parameters for [`FaultPlan::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultScenario {
+    /// How many faults to draw.
+    pub faults: usize,
+    /// Activation cycles are drawn uniformly from `[window.0, window.1)`.
+    pub window: (u64, u64),
+    /// Out of 256: chance each fault is transient instead of permanent.
+    pub transient_chance: u8,
+    /// Transient durations are drawn uniformly from
+    /// `[duration.0, duration.1)`.
+    pub duration: (u64, u64),
+}
+
+impl Default for FaultScenario {
+    fn default() -> FaultScenario {
+        FaultScenario {
+            faults: 1,
+            window: (1_000, 2_000),
+            transient_chance: 0,
+            duration: (200, 600),
+        }
+    }
+}
+
+/// SplitMix64 step — the same generator family as
+/// `noc_sim::sweep::point_seed`, inlined so this crate stays
+/// dependency-free.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pick_in(state: &mut u64, lo: u64, hi: u64) -> u64 {
+    if hi <= lo {
+        return lo;
+    }
+    lo + splitmix64(state) % (hi - lo)
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults; simulation behaves exactly as without
+    /// a plan).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from explicit events (sorted canonically).
+    pub fn from_events(events: Vec<FaultEvent>) -> FaultPlan {
+        let mut plan = FaultPlan { seed: 0, events };
+        plan.canonicalize();
+        plan
+    }
+
+    /// Derives a plan from a seed: draws `scenario.faults` distinct
+    /// targets from `candidates` with activation cycles in
+    /// `scenario.window`. Pure in `(seed, candidates, scenario)` — the
+    /// cornerstone of fault-sweep reproducibility.
+    ///
+    /// If `scenario.faults > candidates.len()` every candidate fails
+    /// once (a plan never fails the same target twice).
+    pub fn generate(seed: u64, candidates: &[FaultTarget], scenario: FaultScenario) -> FaultPlan {
+        let mut state = seed ^ 0xF00D_5EED_0BAD_C0DE;
+        let mut pool: Vec<FaultTarget> = candidates.to_vec();
+        let mut events = Vec::new();
+        for _ in 0..scenario.faults.min(pool.len()) {
+            let idx = (splitmix64(&mut state) % pool.len() as u64) as usize;
+            let target = pool.swap_remove(idx);
+            let start = pick_in(&mut state, scenario.window.0, scenario.window.1);
+            let transient = ((splitmix64(&mut state) & 0xFF) as u8) < scenario.transient_chance;
+            let kind = if transient {
+                FaultKind::Transient {
+                    duration: pick_in(&mut state, scenario.duration.0, scenario.duration.1).max(1),
+                }
+            } else {
+                FaultKind::Permanent
+            };
+            events.push(FaultEvent {
+                target,
+                start,
+                kind,
+            });
+        }
+        let mut plan = FaultPlan { seed, events };
+        plan.canonicalize();
+        plan
+    }
+
+    fn canonicalize(&mut self) {
+        fn target_key(t: FaultTarget) -> (u8, usize) {
+            match t {
+                FaultTarget::Link(i) => (0, i),
+                FaultTarget::Router(i) => (1, i),
+            }
+        }
+        self.events.sort_by_key(|e| {
+            (
+                e.start,
+                target_key(e.target),
+                match e.kind {
+                    FaultKind::Permanent => 0,
+                    FaultKind::Transient { duration } => 1 + duration,
+                },
+            )
+        });
+        self.events.dedup();
+    }
+
+    /// Adds one event, keeping the schedule sorted.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+        self.canonicalize();
+    }
+
+    /// The events, sorted by activation cycle.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Writes the plan in the plain-text format of this module's
+    /// header. Round-trips with [`FaultPlan::from_text`].
+    pub fn to_text(&self) -> String {
+        let mut out = format!("faultplan seed={}\n", self.seed);
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the plain-text format. Lines starting with `#` and blank
+    /// lines are ignored.
+    pub fn from_text(text: &str) -> Result<FaultPlan, ParseFaultError> {
+        let mut seed = 0u64;
+        let mut events = Vec::new();
+        let mut saw_header = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let err = |message: String| ParseFaultError {
+                line: lineno + 1,
+                message,
+            };
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let words: Vec<&str> = line.split_whitespace().collect();
+            match words[0] {
+                "faultplan" => {
+                    saw_header = true;
+                    for w in &words[1..] {
+                        if let Some(s) = w.strip_prefix("seed=") {
+                            seed = s.parse().map_err(|_| err(format!("bad seed \"{s}\"")))?;
+                        } else {
+                            return Err(err(format!("unknown attribute \"{w}\"")));
+                        }
+                    }
+                }
+                "fault" => {
+                    // fault <link|router> <idx> at <cycle> <permanent|transient for N>
+                    if words.len() < 6 {
+                        return Err(err("truncated fault line".into()));
+                    }
+                    let idx: usize = words[2]
+                        .parse()
+                        .map_err(|_| err(format!("bad index \"{}\"", words[2])))?;
+                    let target = match words[1] {
+                        "link" => FaultTarget::Link(idx),
+                        "router" => FaultTarget::Router(idx),
+                        other => return Err(err(format!("unknown target \"{other}\""))),
+                    };
+                    if words[3] != "at" {
+                        return Err(err(format!("expected \"at\", found \"{}\"", words[3])));
+                    }
+                    let start: u64 = words[4]
+                        .parse()
+                        .map_err(|_| err(format!("bad cycle \"{}\"", words[4])))?;
+                    let kind = match words[5] {
+                        "permanent" if words.len() == 6 => FaultKind::Permanent,
+                        "transient" if words.len() == 8 && words[6] == "for" => {
+                            let duration: u64 = words[7]
+                                .parse()
+                                .map_err(|_| err(format!("bad duration \"{}\"", words[7])))?;
+                            if duration == 0 {
+                                return Err(err("transient duration must be > 0".into()));
+                            }
+                            FaultKind::Transient { duration }
+                        }
+                        other => return Err(err(format!("unknown fault kind \"{other}\""))),
+                    };
+                    events.push(FaultEvent {
+                        target,
+                        start,
+                        kind,
+                    });
+                }
+                other => return Err(err(format!("unknown directive \"{other}\""))),
+            }
+        }
+        if !saw_header {
+            return Err(ParseFaultError {
+                line: 1,
+                message: "missing \"faultplan\" header line".into(),
+            });
+        }
+        let mut plan = FaultPlan { seed, events };
+        plan.canonicalize();
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.to_text().trim_end())
+    }
+}
+
+/// A fault-plan parse failure, with the offending line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseFaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseFaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let candidates: Vec<FaultTarget> = (0..50).map(FaultTarget::Link).collect();
+        let scenario = FaultScenario {
+            faults: 8,
+            transient_chance: 128,
+            ..FaultScenario::default()
+        };
+        let a = FaultPlan::generate(42, &candidates, scenario);
+        let b = FaultPlan::generate(42, &candidates, scenario);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.len(), 8);
+        let c = FaultPlan::generate(43, &candidates, scenario);
+        assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn generation_never_repeats_a_target() {
+        let candidates: Vec<FaultTarget> = (0..5).map(FaultTarget::Link).collect();
+        let plan = FaultPlan::generate(
+            7,
+            &candidates,
+            FaultScenario {
+                faults: 100,
+                ..FaultScenario::default()
+            },
+        );
+        assert_eq!(plan.len(), 5, "capped at the candidate count");
+        let mut targets: Vec<_> = plan.events().iter().map(|e| e.target).collect();
+        targets.sort();
+        targets.dedup();
+        assert_eq!(targets.len(), 5);
+    }
+
+    #[test]
+    fn events_are_sorted_by_start() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                target: FaultTarget::Link(3),
+                start: 900,
+                kind: FaultKind::Permanent,
+            },
+            FaultEvent {
+                target: FaultTarget::Router(1),
+                start: 100,
+                kind: FaultKind::Transient { duration: 50 },
+            },
+        ]);
+        assert_eq!(plan.events()[0].start, 100);
+        assert_eq!(plan.events()[1].start, 900);
+        assert_eq!(plan.events()[0].repair_cycle(), Some(150));
+        assert_eq!(plan.events()[1].repair_cycle(), None);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let candidates: Vec<FaultTarget> = (0..20)
+            .map(|i| {
+                if i % 3 == 0 {
+                    FaultTarget::Router(i)
+                } else {
+                    FaultTarget::Link(i)
+                }
+            })
+            .collect();
+        let plan = FaultPlan::generate(
+            99,
+            &candidates,
+            FaultScenario {
+                faults: 6,
+                transient_chance: 100,
+                ..FaultScenario::default()
+            },
+        );
+        let text = plan.to_text();
+        let parsed = FaultPlan::from_text(&text).expect("round-trip parse");
+        assert_eq!(parsed, plan);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(
+            FaultPlan::from_text("fault link 1 at 5 permanent").is_err(),
+            "no header"
+        );
+        let bad = [
+            "faultplan seed=x",
+            "faultplan seed=1\nfault wire 1 at 5 permanent",
+            "faultplan seed=1\nfault link 1 at 5 transient for 0",
+            "faultplan seed=1\nfault link 1 when 5 permanent",
+            "faultplan seed=1\nbogus",
+        ];
+        for text in bad {
+            assert!(FaultPlan::from_text(text).is_err(), "{text:?}");
+        }
+        let ok = FaultPlan::from_text("# hi\n\nfaultplan seed=3\nfault router 2 at 10 permanent\n")
+            .expect("comments and blanks are fine");
+        assert_eq!(ok.seed, 3);
+        assert_eq!(ok.events()[0].target, FaultTarget::Router(2));
+    }
+
+    #[test]
+    fn empty_plan_parses_and_prints() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        let parsed = FaultPlan::from_text(&plan.to_text()).unwrap();
+        assert_eq!(parsed, plan);
+        assert_eq!(format!("{plan}"), "faultplan seed=0");
+    }
+}

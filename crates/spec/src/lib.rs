@@ -45,6 +45,7 @@
 pub mod app;
 pub mod core;
 pub mod error;
+pub mod fault;
 pub mod presets;
 pub mod protocol;
 pub mod textfmt;
@@ -54,5 +55,6 @@ pub mod units;
 pub use crate::app::AppSpec;
 pub use crate::core::{Core, CoreId, CoreRole, IslandId};
 pub use crate::error::SpecError;
+pub use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultScenario, FaultTarget};
 pub use crate::protocol::{MessageClass, SocketProtocol, TransactionKind};
 pub use crate::traffic::{FlowId, QosClass, TrafficFlow, TrafficShape};

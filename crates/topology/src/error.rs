@@ -44,6 +44,14 @@ pub enum TopologyError {
     },
     /// A generator was asked for an impossible shape (e.g. a 0×3 mesh).
     InvalidShape(String),
+    /// A fault set disconnects two endpoints: no surviving path exists
+    /// at all, regardless of routing function.
+    Partitioned {
+        /// Route source node.
+        from: NodeId,
+        /// Route destination node.
+        to: NodeId,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -72,6 +80,9 @@ impl fmt::Display for TopologyError {
                 write!(f, "channel dependency cycle through link {witness}")
             }
             TopologyError::InvalidShape(what) => write!(f, "invalid shape: {what}"),
+            TopologyError::Partitioned { from, to } => {
+                write!(f, "faults partition the network: {from} cut off from {to}")
+            }
         }
     }
 }

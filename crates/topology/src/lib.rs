@@ -37,6 +37,7 @@
 
 pub mod deadlock;
 pub mod error;
+pub mod fault;
 pub mod generators;
 pub mod graph;
 pub mod metrics;
@@ -47,6 +48,9 @@ pub use crate::deadlock::{
     assert_deadlock_free, assert_message_deadlock_free, ChannelDependencyGraph,
 };
 pub use crate::error::TopologyError;
+pub use crate::fault::{
+    degraded_route, degraded_routes, degraded_routes_all_pairs, resolve_faults,
+};
 pub use crate::graph::{Link, LinkId, NiRole, Node, NodeId, NodeKind, Topology};
 pub use crate::routing::{min_hop_routes, shortest_path, Route, RouteSet};
 pub use crate::turn_model::TurnModel;

@@ -67,3 +67,73 @@ fn merged_sweep_is_thread_count_invariant() {
     );
     assert!(serial.total_delivered_flits > 0, "traffic actually flowed");
 }
+
+/// Like `eval_point`, but with a seed-derived fault plan (plus
+/// turn-model rerouting) installed: two switch-switch faults inside the
+/// measurement window. The fault machinery is RNG-free, so determinism
+/// must be untouched.
+fn eval_point_faulted(rate: &f64, seed: u64) -> SimStats {
+    use noc_sim::fault::install_fault_plan;
+    use noc_spec::fault::{FaultPlan, FaultScenario, FaultTarget};
+    use noc_topology::TurnModel;
+
+    let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+    let fabric = mesh(4, 4, &cores, 32).expect("16 cores fit a 4x4 mesh");
+    let cfg = SimConfig::default().with_warmup(500);
+    let mut sim = Simulator::new(fabric.topology.clone(), cfg).with_seed(seed);
+    for s in patterns::uniform_random(&fabric, *rate, 4).expect("rate in range") {
+        sim.add_source(s);
+    }
+    let candidates: Vec<FaultTarget> = fabric
+        .topology
+        .links()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            fabric.topology.node(l.src).is_switch() && fabric.topology.node(l.dst).is_switch()
+        })
+        .map(|(i, _)| FaultTarget::Link(i))
+        .collect();
+    let scenario = FaultScenario {
+        faults: 2,
+        window: (600, 1_500),
+        transient_chance: 128,
+        duration: (100, 400),
+    };
+    let plan = FaultPlan::generate(seed, &candidates, scenario);
+    if install_fault_plan(&mut sim, &fabric, TurnModel::NorthLast, &plan).is_err() {
+        // The plan blocks some pair under north-last turns: run it
+        // without rerouting (drops only). Still fully deterministic.
+        sim.set_fault_plan(&plan).expect("targets are real links");
+    }
+    sim.run(3_000);
+    sim.into_stats()
+}
+
+#[test]
+fn parallel_fault_sweep_matches_serial_bitwise() {
+    let points = sweep_points();
+    let serial = SweepRunner::serial().run(29, &points, eval_point_faulted);
+    assert!(
+        serial.iter().any(|s| s.dropped_flits > 0),
+        "fault plans must actually bite for this test to mean anything"
+    );
+    for threads in [2, 4, 8] {
+        let parallel = SweepRunner::with_threads(threads).run(29, &points, eval_point_faulted);
+        assert_eq!(
+            parallel, serial,
+            "fault counters must stay bit-identical at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn merged_fault_sweep_is_thread_count_invariant() {
+    // SimStats::merge is order-insensitive in the fault counters
+    // (dropped_flits, rerouted_packets, per-event drop map), so the
+    // merged aggregate must also be scheduling-independent.
+    let points = sweep_points();
+    let serial = SweepRunner::serial().run_merged(31, &points, eval_point_faulted);
+    let parallel = SweepRunner::with_threads(4).run_merged(31, &points, eval_point_faulted);
+    assert_eq!(parallel, serial);
+}
