@@ -1,30 +1,58 @@
-//! CI performance-regression guard. Re-measures the hot-path benchmark
-//! `fig4/step_throughput_8x10` (one warm `Simulator::step()` on the
-//! Teraflops-scale 8×10 mesh, same setup as `benches/figures.rs`) with
-//! a plain `Instant` timer and compares against the checked-in baseline
-//! in `BENCH_BASELINE.json`.
+//! CI performance-regression guard. Re-measures the hot-path
+//! benchmarks with a plain `Instant` timer and compares each against
+//! the checked-in baseline in `BENCH_BASELINE.json`:
 //!
-//! Exit status: 0 when within tolerance, 1 on a regression beyond the
-//! baseline's tolerance, 2 when the baseline file is missing or
-//! malformed. `ci.sh full` runs this as a *non-blocking* warning: CI
-//! machines are noisy, so a slowdown flags a PR for a human look rather
-//! than failing the build.
+//! * `fig4/step_throughput_8x10` — one warm `Simulator::step()` on the
+//!   Teraflops-scale 8×10 mesh (same setup as `benches/figures.rs`);
+//! * `fig6/synthesis` — one `synthesize_min_power` run on the mobile
+//!   SoC (the SunFloor candidate sweep incl. incremental deadlock
+//!   verification — the synthesis-side hot path);
+//! * `floorplan/slicing_anneal_26_blocks` — one floorplan annealing
+//!   run of the mobile SoC's 26 blocks.
+//!
+//! Exit status: 0 when every benchmark is within tolerance, 1 on a
+//! regression beyond a baseline's tolerance, 2 when the baseline file
+//! is missing or malformed. `ci.sh full` runs this as a *non-blocking*
+//! warning: CI machines are noisy, so a slowdown flags a PR for a
+//! human look rather than failing the build.
 //!
 //! The baseline is parsed with a purpose-built scanner (the workspace
 //! vendors no JSON crate): numbers are extracted by key lookup, which
 //! is exactly as much JSON as the file uses.
 
+use noc_floorplan::core_plan::CoreFloorplan;
 use noc_sim::config::SimConfig;
 use noc_sim::engine::Simulator;
 use noc_sim::patterns;
+use noc_spec::presets;
+use noc_spec::units::Hertz;
 use noc_spec::CoreId;
+use noc_synth::sunfloor::{synthesize_min_power, SynthesisConfig};
 use noc_topology::generators::mesh;
 use std::process::ExitCode;
 use std::time::Instant;
 
-const BENCH_NAME: &str = "fig4/step_throughput_8x10";
-const ROUNDS: usize = 5;
-const STEPS_PER_ROUND: u64 = 2_000;
+/// One guarded benchmark: a name matching a `BENCH_BASELINE.json`
+/// entry and a measurement returning best-of-rounds µs per iteration.
+struct GuardedBench {
+    name: &'static str,
+    measure: fn() -> f64,
+}
+
+const BENCHES: &[GuardedBench] = &[
+    GuardedBench {
+        name: "fig4/step_throughput_8x10",
+        measure: measure_step_us,
+    },
+    GuardedBench {
+        name: "fig6/synthesis",
+        measure: measure_synthesis_us,
+    },
+    GuardedBench {
+        name: "floorplan/slicing_anneal_26_blocks",
+        measure: measure_floorplan_us,
+    },
+];
 
 /// Extracts the number following `"key":` after position `from`.
 fn number_after(text: &str, from: usize, key: &str) -> Option<f64> {
@@ -37,23 +65,26 @@ fn number_after(text: &str, from: usize, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn read_baseline() -> Result<(f64, f64), String> {
+fn read_baselines() -> Result<String, String> {
     let candidates = [
         "BENCH_BASELINE.json".to_string(),
         format!("{}/../../BENCH_BASELINE.json", env!("CARGO_MANIFEST_DIR")),
     ];
-    let text = candidates
+    candidates
         .iter()
         .find_map(|p| std::fs::read_to_string(p).ok())
-        .ok_or_else(|| format!("BENCH_BASELINE.json not found (tried {candidates:?})"))?;
+        .ok_or_else(|| format!("BENCH_BASELINE.json not found (tried {candidates:?})"))
+}
+
+fn baseline_for(text: &str, name: &str) -> Result<(f64, f64), String> {
     let at = text
-        .find(&format!("\"{BENCH_NAME}\""))
-        .ok_or_else(|| format!("baseline for {BENCH_NAME} missing"))?;
-    let mean = number_after(&text, at, "mean_us").ok_or("mean_us missing or not a number")?;
-    let tol = number_after(&text, at, "tolerance").ok_or("tolerance missing or not a number")?;
+        .find(&format!("\"{name}\""))
+        .ok_or_else(|| format!("baseline for {name} missing"))?;
+    let mean = number_after(text, at, "mean_us").ok_or("mean_us missing or not a number")?;
+    let tol = number_after(text, at, "tolerance").ok_or("tolerance missing or not a number")?;
     if mean <= 0.0 || tol <= 0.0 {
         return Err(format!(
-            "nonsensical baseline: mean_us={mean}, tolerance={tol}"
+            "nonsensical baseline for {name}: mean_us={mean}, tolerance={tol}"
         ));
     }
     Ok((mean, tol))
@@ -62,6 +93,8 @@ fn read_baseline() -> Result<(f64, f64), String> {
 /// One warm `step()` on the 8×10 mesh at 0.1 flits/cycle/node — the
 /// exact `fig4/step_throughput_8x10` setup.
 fn measure_step_us() -> f64 {
+    const ROUNDS: usize = 5;
+    const STEPS_PER_ROUND: u64 = 2_000;
     let (rows, cols) = (8usize, 10usize);
     let cores: Vec<CoreId> = (0..rows * cols).map(CoreId).collect();
     let fabric = mesh(rows, cols, &cores, 32).expect("valid");
@@ -84,28 +117,83 @@ fn measure_step_us() -> f64 {
     best
 }
 
+/// One `synthesize_min_power` on the mobile SoC — the exact
+/// `fig6/synthesis/sunfloor_mobile_soc` criterion setup.
+fn measure_synthesis_us() -> f64 {
+    const ROUNDS: usize = 5;
+    const ITERS_PER_ROUND: u32 = 20;
+    let spec = presets::mobile_multimedia_soc();
+    let fp = CoreFloorplan::from_spec(&spec, 42);
+    let cfg = SynthesisConfig {
+        min_switches: 4,
+        max_switches: 6,
+        clocks: vec![Hertz::from_mhz(650)],
+        ..SynthesisConfig::default()
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        for _ in 0..ITERS_PER_ROUND {
+            let d = synthesize_min_power(&spec, Some(&fp), &cfg).expect("feasible");
+            std::hint::black_box(d.metrics.power.raw());
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(ITERS_PER_ROUND);
+        best = best.min(us);
+    }
+    best
+}
+
+/// One floorplan annealing run — the exact
+/// `floorplan/slicing_anneal_26_blocks` criterion setup.
+fn measure_floorplan_us() -> f64 {
+    const ROUNDS: usize = 3;
+    let spec = presets::mobile_multimedia_soc();
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        std::hint::black_box(CoreFloorplan::from_spec(&spec, 7).chip_width().raw());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
 fn main() -> ExitCode {
-    let (baseline_us, tolerance) = match read_baseline() {
-        Ok(b) => b,
+    let text = match read_baselines() {
+        Ok(t) => t,
         Err(e) => {
             eprintln!("bench_guard: {e}");
             return ExitCode::from(2);
         }
     };
-    let measured_us = measure_step_us();
-    let limit_us = baseline_us * (1.0 + tolerance);
-    let delta = (measured_us / baseline_us - 1.0) * 100.0;
-    println!(
-        "bench_guard: {BENCH_NAME}: measured {measured_us:.2} us/step, \
-         baseline {baseline_us:.2} us ({delta:+.1}%), limit {limit_us:.2} us"
-    );
-    if measured_us > limit_us {
-        eprintln!(
-            "bench_guard: REGRESSION: more than {:.0}% over baseline",
-            tolerance * 100.0
+    let mut regressed = false;
+    for bench in BENCHES {
+        let (baseline_us, tolerance) = match baseline_for(&text, bench.name) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_guard: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let measured_us = (bench.measure)();
+        let limit_us = baseline_us * (1.0 + tolerance);
+        let delta = (measured_us / baseline_us - 1.0) * 100.0;
+        println!(
+            "bench_guard: {}: measured {measured_us:.2} us/iter, \
+             baseline {baseline_us:.2} us ({delta:+.1}%), limit {limit_us:.2} us",
+            bench.name
         );
+        if measured_us > limit_us {
+            eprintln!(
+                "bench_guard: REGRESSION in {}: more than {:.0}% over baseline",
+                bench.name,
+                tolerance * 100.0
+            );
+            regressed = true;
+        }
+    }
+    if regressed {
         return ExitCode::from(1);
     }
-    println!("bench_guard: within tolerance");
+    println!("bench_guard: all within tolerance");
     ExitCode::SUCCESS
 }

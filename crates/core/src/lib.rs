@@ -11,6 +11,7 @@
 //!
 //! | crate | role |
 //! |-------|------|
+//! | [`par`] (`noc-par`) | deterministic parallel runner (sweeps, synthesis fan-out) |
 //! | [`spec`] (`noc-spec`) | application & architecture model |
 //! | [`power`] (`noc-power`) | technology characterization (Fig. 2 models) |
 //! | [`topology`] (`noc-topology`) | graphs, generators, routing, deadlock |
@@ -51,6 +52,7 @@ pub mod flow;
 pub mod report;
 
 pub use noc_floorplan as floorplan;
+pub use noc_par as par;
 pub use noc_power as power;
 pub use noc_rtl as rtl;
 pub use noc_sim as sim;

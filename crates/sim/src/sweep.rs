@@ -5,22 +5,14 @@
 //! `(config, load, seed)` tuples — and each point is single-threaded.
 //! This module fans the points across worker threads with
 //! work-stealing, while keeping the results **bit-identical to a
-//! serial run**:
+//! serial run**. The executor itself is the shared
+//! [`noc_par::ParRunner`] (also used by the SunFloor synthesis
+//! candidate fan-out); [`point_seed`] is re-exported from the same
+//! crate. On top of the generic runner this module adds the
+//! simulation-specific reduction:
 //!
-//! - every point `i` derives its RNG seed as [`point_seed`]`(base, i)`
-//!   from the sweep's base seed, never from thread identity, scheduling
-//!   order, or wall clock;
-//! - results land in an output slot chosen by point index, so the
-//!   returned `Vec` is in point order regardless of which worker ran
-//!   which point;
 //! - merged statistics use [`SimStats::merge`], which is commutative
 //!   and associative, so reduction order cannot leak nondeterminism.
-//!
-//! The workers are `std::thread::scope` threads pulling point indices
-//! from a shared atomic counter (work-stealing by competitive
-//! consumption: an idle worker "steals" the next index a busy worker
-//! would otherwise take). Scoped threads let the closure borrow the
-//! point list and sink without `Arc` or `'static` bounds.
 //!
 //! ```
 //! use noc_sim::sweep::SweepRunner;
@@ -37,62 +29,41 @@
 //! ```
 
 use crate::stats::SimStats;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+pub use noc_par::{point_seed, ParRunner};
 
-/// Derives the RNG seed of sweep point `index` from the sweep's base
-/// seed.
-///
-/// SplitMix64 over `base + index`: consecutive indices map to
-/// decorrelated 64-bit seeds, distinct `(base, index)` pairs collide
-/// only as a 64-bit hash would, and the derivation is a pure function
-/// — the cornerstone of the sweep determinism contract (DESIGN.md).
-pub fn point_seed(base: u64, index: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-        .wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// A multi-threaded runner for independent simulation points.
-#[derive(Debug, Clone)]
+/// A multi-threaded runner for independent simulation points: the
+/// shared [`ParRunner`] plus [`SimStats`] reduction.
+#[derive(Debug, Clone, Default)]
 pub struct SweepRunner {
-    threads: usize,
-}
-
-impl Default for SweepRunner {
-    fn default() -> SweepRunner {
-        SweepRunner::new()
-    }
+    inner: ParRunner,
 }
 
 impl SweepRunner {
     /// A runner using all available cores.
     pub fn new() -> SweepRunner {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        SweepRunner { threads }
+        SweepRunner {
+            inner: ParRunner::new(),
+        }
     }
 
     /// A runner with an explicit worker count (clamped to at least 1).
     pub fn with_threads(threads: usize) -> SweepRunner {
         SweepRunner {
-            threads: threads.max(1),
+            inner: ParRunner::with_threads(threads),
         }
     }
 
     /// A single-threaded runner — the reference executor the parallel
     /// runs must match bit-for-bit.
     pub fn serial() -> SweepRunner {
-        SweepRunner { threads: 1 }
+        SweepRunner {
+            inner: ParRunner::serial(),
+        }
     }
 
     /// The worker count this runner uses.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.inner.threads()
     }
 
     /// Evaluates `eval(point, seed)` for every point, in parallel, and
@@ -106,40 +77,7 @@ impl SweepRunner {
         R: Send,
         F: Fn(&P, u64) -> R + Sync,
     {
-        let mut results: Vec<Option<R>> = Vec::with_capacity(points.len());
-        results.resize_with(points.len(), || None);
-        if points.is_empty() {
-            return Vec::new();
-        }
-        let workers = self.threads.min(points.len());
-        if workers <= 1 {
-            for (i, (p, slot)) in points.iter().zip(results.iter_mut()).enumerate() {
-                *slot = Some(eval(p, point_seed(base_seed, i as u64)));
-            }
-        } else {
-            let next = AtomicUsize::new(0);
-            // One mutex per output slot: a worker only ever locks the
-            // slot of the point it just computed, so there is no
-            // contention — the mutex is the cheapest way to hand &mut
-            // access to disjoint slots across threads in safe code.
-            let slots: Vec<Mutex<&mut Option<R>>> = results.iter_mut().map(Mutex::new).collect();
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= points.len() {
-                            break;
-                        }
-                        let r = eval(&points[i], point_seed(base_seed, i as u64));
-                        **slots[i].lock().expect("slot mutex poisoned") = Some(r);
-                    });
-                }
-            });
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every point index was visited"))
-            .collect()
+        self.inner.run(base_seed, points, eval)
     }
 
     /// Runs the sweep and reduces the per-point [`SimStats`] into one
@@ -163,43 +101,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn point_seeds_are_stable_and_distinct() {
-        let s0 = point_seed(7, 0);
-        assert_eq!(s0, point_seed(7, 0), "pure function");
-        let seeds: Vec<u64> = (0..100).map(|i| point_seed(7, i)).collect();
-        let mut dedup = seeds.clone();
-        dedup.sort_unstable();
-        dedup.dedup();
-        assert_eq!(dedup.len(), seeds.len(), "no collisions in 100 points");
-        assert_ne!(point_seed(7, 1), point_seed(8, 1), "base matters");
-    }
-
-    #[test]
-    fn results_are_in_point_order() {
-        let points: Vec<usize> = (0..64).collect();
-        let out = SweepRunner::with_threads(8).run(1, &points, |&p, _seed| p * 3);
-        assert_eq!(out, points.iter().map(|p| p * 3).collect::<Vec<_>>());
+    fn delegates_to_shared_runner_with_same_seeds() {
+        let points: Vec<u64> = (0..17).collect();
+        let eval = |&p: &u64, seed: u64| (p, seed);
+        let sweep = SweepRunner::with_threads(4).run(9, &points, eval);
+        let shared = ParRunner::with_threads(4).run(9, &points, eval);
+        assert_eq!(sweep, shared);
+        assert_eq!(sweep[3], (3, point_seed(9, 3)));
     }
 
     #[test]
     fn parallel_matches_serial_bitwise() {
         let points: Vec<u64> = (0..41).collect();
-        // The eval folds the seed in, so any seed discrepancy between
-        // executions would show up in the output.
         let eval = |&p: &u64, seed: u64| (p, seed, p.wrapping_mul(seed));
         let serial = SweepRunner::serial().run(99, &points, eval);
         for threads in [2, 3, 8] {
             let par = SweepRunner::with_threads(threads).run(99, &points, eval);
             assert_eq!(par, serial, "threads = {threads}");
         }
-    }
-
-    #[test]
-    fn empty_and_single_point_sweeps() {
-        let none: Vec<u32> = SweepRunner::new().run(0, &[], |&p: &u32, _| p);
-        assert!(none.is_empty());
-        let one = SweepRunner::new().run(5, &[10u32], |&p, s| (p, s));
-        assert_eq!(one, vec![(10, point_seed(5, 0))]);
     }
 
     #[test]

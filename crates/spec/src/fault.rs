@@ -136,7 +136,7 @@ impl Default for FaultScenario {
 }
 
 /// SplitMix64 step — the same generator family as
-/// `noc_sim::sweep::point_seed`, inlined so this crate stays
+/// `noc_par::point_seed`, inlined so this crate stays
 /// dependency-free.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -45,4 +45,6 @@ pub use crate::eval::{evaluate, DesignMetrics};
 pub use crate::mapping::{map_to_mesh, MappedDesign};
 pub use crate::pareto::pareto_front;
 pub use crate::partition::{partition, Partition};
-pub use crate::sunfloor::{synthesize, synthesize_min_power, SynthesisConfig, SynthesizedDesign};
+pub use crate::sunfloor::{
+    synthesize, synthesize_min_power, synthesize_with_runner, SynthesisConfig, SynthesizedDesign,
+};

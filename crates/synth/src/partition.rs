@@ -6,7 +6,6 @@
 
 use noc_spec::units::BitsPerSecond;
 use noc_spec::{AppSpec, CoreId};
-use std::collections::BTreeMap;
 
 /// A k-way partition: `cluster_of[i]` is the cluster of core `i`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,19 +35,33 @@ impl Partition {
             .sum()
     }
 
+    /// Cores per cluster, indexed by cluster — O(n) counting without
+    /// materializing the per-cluster member lists.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.clusters];
+        for &c in &self.cluster_of {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
     /// Largest cluster size.
     pub fn max_cluster_size(&self) -> usize {
-        self.members().iter().map(Vec::len).max().unwrap_or(0)
+        self.cluster_sizes().into_iter().max().unwrap_or(0)
     }
 }
 
 /// Symmetric core-to-core traffic matrix (requests + responses summed in
-/// both directions).
-fn affinity(spec: &AppSpec) -> BTreeMap<(usize, usize), u64> {
-    let mut m = BTreeMap::new();
+/// both directions), dense `n × n` — the partitioner reads it `O(n²·k)`
+/// times, so indexed loads beat map lookups.
+fn affinity(spec: &AppSpec, n: usize) -> Vec<u64> {
+    let mut m = vec![0u64; n * n];
     for f in spec.flows() {
-        let (a, b) = (f.src.0.min(f.dst.0), f.src.0.max(f.dst.0));
-        *m.entry((a, b)).or_insert(0u64) += f.bandwidth.raw();
+        let (a, b) = (f.src.0, f.dst.0);
+        m[a * n + b] += f.bandwidth.raw();
+        if a != b {
+            m[b * n + a] += f.bandwidth.raw();
+        }
     }
     m
 }
@@ -66,8 +79,8 @@ pub fn partition(spec: &AppSpec, k: usize, slack: usize) -> Partition {
     let n = spec.cores().len();
     assert!(k > 0 && k <= n, "cluster count {k} out of range 1..={n}");
     let max_size = n.div_ceil(k) + slack;
-    let aff = affinity(spec);
-    let pair_bw = |a: usize, b: usize| -> u64 { *aff.get(&(a.min(b), a.max(b))).unwrap_or(&0) };
+    let aff = affinity(spec, n);
+    let pair_bw = |a: usize, b: usize| -> u64 { aff[a * n + b] };
 
     // Seeds: the k cores with the highest total traffic, which tend to be
     // the hubs (memories, DMA targets).
@@ -117,15 +130,19 @@ pub fn partition(spec: &AppSpec, k: usize, slack: usize) -> Partition {
     debug_assert!(cluster_of.iter().all(|&c| c != usize::MAX));
 
     // KL-style refinement: move single cores while the cut improves.
+    // `sizes` (exact after the greedy phase) is maintained across moves
+    // so the hot loop reads cluster sizes in O(1) instead of
+    // re-materializing the member lists.
     let mut part = Partition {
         cluster_of,
         clusters: k,
     };
+    debug_assert_eq!(sizes, part.cluster_sizes());
     for _pass in 0..4 {
         let mut improved = false;
         for i in 0..n {
             let cur = part.cluster_of[i];
-            if part.members()[cur].len() <= 1 {
+            if sizes[cur] <= 1 {
                 continue; // never empty a cluster
             }
             // External attraction per cluster.
@@ -140,9 +157,10 @@ pub fn partition(spec: &AppSpec, k: usize, slack: usize) -> Partition {
                 .enumerate()
                 .max_by_key(|&(c, a)| (*a, usize::MAX - c))
                 .expect("k >= 1");
-            if best_c != cur && *best_a > attraction[cur] && part.members()[best_c].len() < max_size
-            {
+            if best_c != cur && *best_a > attraction[cur] && sizes[best_c] < max_size {
                 part.cluster_of[i] = best_c;
+                sizes[cur] -= 1;
+                sizes[best_c] += 1;
                 improved = true;
             }
         }

@@ -9,6 +9,12 @@
 //! inserted into the floorplan to obtain wire lengths and pipeline
 //! depths, and the resulting design points are Pareto-filtered on
 //! (power, latency).
+//!
+//! Per-route deadlock verification is incremental (an
+//! [`IncrementalCdg`] per message class, with exact rollback when a
+//! candidate path is rejected), and the `(switch count, width, clock)`
+//! candidate sweep fans out across cores deterministically — see
+//! [`synthesize_with_runner`].
 
 use crate::error::SynthError;
 use crate::eval::{evaluate, DesignMetrics};
@@ -16,11 +22,12 @@ use crate::pareto::pareto_front;
 use crate::partition::{partition, Partition};
 use noc_floorplan::core_plan::CoreFloorplan;
 use noc_floorplan::incremental::{insert_noc, NocPlacement};
+use noc_par::ParRunner;
 use noc_power::link_model::LinkModel;
 use noc_power::technology::TechNode;
 use noc_spec::units::{BitsPerSecond, Hertz};
 use noc_spec::{AppSpec, MessageClass};
-use noc_topology::deadlock::assert_deadlock_free;
+use noc_topology::deadlock::IncrementalCdg;
 use noc_topology::graph::{LinkId, NiRole, NodeId, Topology};
 use noc_topology::routing::{Route, RouteSet};
 use serde::{Deserialize, Serialize};
@@ -84,7 +91,7 @@ impl Default for SynthesisConfig {
 }
 
 /// One synthesized design point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthesizedDesign {
     /// The custom topology.
     pub topology: Topology,
@@ -124,10 +131,17 @@ struct Builder<'a> {
     cluster_of_core: Vec<usize>,
     /// Existing inter-cluster links (per ordered pair), with loads.
     inter: BTreeMap<(usize, usize), Vec<LinkId>>,
-    load: BTreeMap<LinkId, u64>,
+    /// Per-link load in bits/s, indexed by dense link id (grown lazily
+    /// as links are opened).
+    load: Vec<u64>,
     /// Route sets per message class (virtual networks).
     request_routes: RouteSet,
     response_routes: RouteSet,
+    /// Incrementally maintained CDGs per message class: each admitted
+    /// route's dependencies are inserted with incremental cycle
+    /// detection instead of rebuilding the whole CDG per pair.
+    request_cdg: IncrementalCdg,
+    response_cdg: IncrementalCdg,
     /// Inter-cluster distances (floorplan-aware).
     dist: Vec<Vec<f64>>,
     capacity_bits: u64,
@@ -197,13 +211,28 @@ impl<'a> Builder<'a> {
             switch_of_cluster,
             cluster_of_core: part.cluster_of.clone(),
             inter: BTreeMap::new(),
-            load: BTreeMap::new(),
+            load: Vec::new(),
             request_routes: RouteSet::new(),
             response_routes: RouteSet::new(),
+            request_cdg: IncrementalCdg::new(),
+            response_cdg: IncrementalCdg::new(),
             dist,
             capacity_bits: (BitsPerSecond::of_link(cfg.flit_width, clock).raw() as f64
                 * cfg.utilization_cap) as u64,
         }
+    }
+
+    /// The accounted load of a link (0 for never-loaded links).
+    fn load_of(&self, l: LinkId) -> u64 {
+        self.load.get(l.0).copied().unwrap_or(0)
+    }
+
+    /// Mutable load slot of a link, growing the dense vector on demand.
+    fn load_mut(&mut self, l: LinkId) -> &mut u64 {
+        if self.load.len() <= l.0 {
+            self.load.resize(l.0 + 1, 0);
+        }
+        &mut self.load[l.0]
     }
 
     /// An existing link from cluster `a` to `b` with at least `bw` spare
@@ -213,7 +242,7 @@ impl<'a> Builder<'a> {
             links
                 .iter()
                 .copied()
-                .find(|l| self.load.get(l).copied().unwrap_or(0) + bw <= self.capacity_bits)
+                .find(|&l| self.load_of(l) + bw <= self.capacity_bits)
         })
     }
 
@@ -306,7 +335,7 @@ impl<'a> Builder<'a> {
                 .expect("NI is attached to its cluster switch"),
         );
         for &l in &links {
-            *self.load.entry(l).or_insert(0) += bw;
+            *self.load_mut(l) += bw;
         }
         Route::new(links)
     }
@@ -326,22 +355,24 @@ impl<'a> Builder<'a> {
         }
         let candidate_path = self.cluster_path(src_cluster, dst_cluster, bw);
         let route = self.realize(src_ni, dst_ni, &candidate_path, bw);
-        let set = match class {
-            MessageClass::Request => &mut self.request_routes,
-            MessageClass::Response => &mut self.response_routes,
+        let cdg = match class {
+            MessageClass::Request => &mut self.request_cdg,
+            MessageClass::Response => &mut self.response_cdg,
         };
-        set.insert(src_ni, dst_ni, route.clone());
-        let set_ref = match class {
-            MessageClass::Request => &self.request_routes,
-            MessageClass::Response => &self.response_routes,
-        };
-        if assert_deadlock_free(&self.topo, set_ref).is_ok() {
+        if cdg.try_insert_route(&route).is_ok() {
+            let set = match class {
+                MessageClass::Request => &mut self.request_routes,
+                MessageClass::Response => &mut self.response_routes,
+            };
+            set.insert(src_ni, dst_ni, route);
             return Ok(());
         }
-        // Roll back and fall back to the provably safe direct link (one
-        // switch-to-switch hop adds no SS→SS dependency).
+        // The rejected route's CDG edges were rolled back exactly by
+        // `try_insert_route`; undo its load accounting and fall back to
+        // the provably safe direct link (one switch-to-switch hop adds
+        // no SS→SS dependency).
         for &l in &route.links {
-            *self.load.get_mut(&l).expect("accounted above") -= bw;
+            *self.load_mut(l) -= bw;
         }
         let direct_path = vec![src_cluster, dst_cluster];
         let direct = if src_cluster == dst_cluster {
@@ -349,19 +380,17 @@ impl<'a> Builder<'a> {
         } else {
             self.realize(src_ni, dst_ni, &direct_path, bw)
         };
+        let cdg = match class {
+            MessageClass::Request => &mut self.request_cdg,
+            MessageClass::Response => &mut self.response_cdg,
+        };
+        let _admitted = cdg.try_insert_route(&direct);
+        debug_assert!(_admitted.is_ok(), "direct links cannot close CDG cycles");
         let set = match class {
             MessageClass::Request => &mut self.request_routes,
             MessageClass::Response => &mut self.response_routes,
         };
         set.insert(src_ni, dst_ni, direct);
-        let set_ref = match class {
-            MessageClass::Request => &self.request_routes,
-            MessageClass::Response => &self.response_routes,
-        };
-        debug_assert!(
-            assert_deadlock_free(&self.topo, set_ref).is_ok(),
-            "direct links cannot close CDG cycles"
-        );
         Ok(())
     }
 
@@ -452,11 +481,66 @@ impl<'a> Builder<'a> {
     }
 }
 
+/// Builds, routes and evaluates one `(partition, width, clock)`
+/// candidate — the fully independent unit of work the sweep fans out —
+/// returning `None` when routing fails or the design is infeasible.
+fn build_candidate(
+    spec: &AppSpec,
+    cfg: &SynthesisConfig,
+    part: &Partition,
+    fp: &CoreFloorplan,
+    width: u32,
+    clock: Hertz,
+) -> Option<SynthesizedDesign> {
+    let mut width_cfg = cfg.clone();
+    width_cfg.flit_width = width;
+    let mut builder = Builder::new(spec, &width_cfg, part, fp, clock);
+    builder.route_all().ok()?;
+    builder.ensure_backbone();
+    let (mut topo, routes, demands, cluster_of_core) = builder.finish();
+    // Physical insertion: wire lengths → pipeline stages.
+    let placement = insert_noc(fp, &topo);
+    let link_model = LinkModel::new(cfg.tech);
+    let link_ids: Vec<LinkId> = topo.link_ids().map(|(id, _)| id).collect();
+    for id in link_ids {
+        if let Some(len) = placement.link_length(id) {
+            topo.set_pipeline_stages(id, link_model.pipeline_stages(len, clock));
+        }
+    }
+    let metrics = evaluate(
+        &topo,
+        &routes,
+        &demands,
+        Some(&placement),
+        clock,
+        cfg.tech,
+        width,
+    );
+    if !metrics.is_feasible(cfg.utilization_cap) {
+        return None;
+    }
+    Some(SynthesizedDesign {
+        topology: topo,
+        routes,
+        demands,
+        placement: Some(placement),
+        clock,
+        flit_width: width,
+        switch_count: part.clusters,
+        metrics,
+        cluster_of_core,
+    })
+}
+
 /// Synthesizes the Pareto set of custom topologies for `spec`.
 ///
 /// When `floorplan` is `None`, one is computed from the spec (with
 /// `cfg.seed`) — the flow of Fig. 6 takes the floorplan as an *optional*
 /// input but always ends up physically aware.
+///
+/// The `(switch count, link width, clock)` candidate sweep is fanned
+/// out across all available cores via [`synthesize_with_runner`]; the
+/// returned design list is guaranteed bit-identical to a serial run.
 ///
 /// # Errors
 ///
@@ -467,6 +551,28 @@ pub fn synthesize(
     spec: &AppSpec,
     floorplan: Option<&CoreFloorplan>,
     cfg: &SynthesisConfig,
+) -> Result<Vec<SynthesizedDesign>, SynthError> {
+    synthesize_with_runner(spec, floorplan, cfg, &ParRunner::new())
+}
+
+/// [`synthesize`] with an explicit [`ParRunner`] (worker count).
+///
+/// Every candidate design point is independent: it gets its own
+/// [`Builder`], borrows the per-`k` [`Partition`] and the shared
+/// [`CoreFloorplan`] immutably, and uses no randomness. Results are
+/// collected **by candidate index** in the serial `(k, width, clock)`
+/// sweep order, so the output is bit-identical whatever the thread
+/// count — the same contract the simulator sweeps enforce
+/// (DESIGN.md, "Deterministic parallel sweeps").
+///
+/// # Errors
+///
+/// Same as [`synthesize`].
+pub fn synthesize_with_runner(
+    spec: &AppSpec,
+    floorplan: Option<&CoreFloorplan>,
+    cfg: &SynthesisConfig,
+    runner: &ParRunner,
 ) -> Result<Vec<SynthesizedDesign>, SynthError> {
     if spec.cores().is_empty() {
         return Err(SynthError::EmptySpec);
@@ -479,7 +585,6 @@ pub fn synthesize(
             &computed
         }
     };
-    let link_model = LinkModel::new(cfg.tech);
     let max_k = cfg.max_switches.min(spec.cores().len());
     let min_k = cfg.min_switches.clamp(1, max_k);
     let widths: Vec<u32> = if cfg.widths.is_empty() {
@@ -487,65 +592,39 @@ pub fn synthesize(
     } else {
         cfg.widths.clone()
     };
-    let mut designs: Vec<SynthesizedDesign> = Vec::new();
-    for k in min_k..=max_k {
-        let part = partition(spec, k, cfg.cluster_slack);
+    // One partition per switch count, shared by reference across all
+    // width/clock candidates (and worker threads).
+    let partitions: Vec<Partition> = (min_k..=max_k)
+        .map(|k| partition(spec, k, cfg.cluster_slack))
+        .collect();
+    let mut candidates: Vec<(usize, u32, Hertz)> =
+        Vec::with_capacity(partitions.len() * widths.len() * cfg.clocks.len());
+    for pi in 0..partitions.len() {
         for &width in &widths {
-            let mut width_cfg = cfg.clone();
-            width_cfg.flit_width = width;
             for &clock in &cfg.clocks {
-                let mut builder = Builder::new(spec, &width_cfg, &part, fp, clock);
-                if builder.route_all().is_err() {
-                    continue;
-                }
-                builder.ensure_backbone();
-                let (mut topo, routes, demands, cluster_of_core) = builder.finish();
-                // Physical insertion: wire lengths → pipeline stages.
-                let placement = insert_noc(fp, &topo);
-                let link_ids: Vec<LinkId> = topo.link_ids().map(|(id, _)| id).collect();
-                for id in link_ids {
-                    if let Some(len) = placement.link_length(id) {
-                        topo.set_pipeline_stages(id, link_model.pipeline_stages(len, clock));
-                    }
-                }
-                let metrics = evaluate(
-                    &topo,
-                    &routes,
-                    &demands,
-                    Some(&placement),
-                    clock,
-                    cfg.tech,
-                    width,
-                );
-                if !metrics.is_feasible(cfg.utilization_cap) {
-                    continue;
-                }
-                designs.push(SynthesizedDesign {
-                    topology: topo,
-                    routes,
-                    demands,
-                    placement: Some(placement),
-                    clock,
-                    flit_width: width,
-                    switch_count: k,
-                    metrics,
-                    cluster_of_core,
-                });
+                candidates.push((pi, width, clock));
             }
         }
     }
+    let results = runner.run(cfg.seed, &candidates, |&(pi, width, clock), _seed| {
+        build_candidate(spec, cfg, &partitions[pi], fp, width, clock)
+    });
+    let designs: Vec<SynthesizedDesign> = results.into_iter().flatten().collect();
     if designs.is_empty() {
         return Err(SynthError::NoFeasibleDesign);
     }
     let power: &dyn Fn(&SynthesizedDesign) -> f64 = &|d| d.metrics.power.raw();
     let latency: &dyn Fn(&SynthesizedDesign) -> f64 = &|d| d.metrics.mean_latency_cycles;
     let front = pareto_front(&designs, &[power, latency]);
-    let mut out: Vec<SynthesizedDesign> = Vec::with_capacity(front.len());
-    for (i, d) in designs.into_iter().enumerate() {
-        if front.contains(&i) {
-            out.push(d);
-        }
+    let mut keep = vec![false; designs.len()];
+    for &i in &front {
+        keep[i] = true;
     }
+    let out: Vec<SynthesizedDesign> = designs
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(d, on_front)| on_front.then_some(d))
+        .collect();
     Ok(out)
 }
 
@@ -559,9 +638,11 @@ pub fn synthesize_min_power(
     floorplan: Option<&CoreFloorplan>,
     cfg: &SynthesisConfig,
 ) -> Result<SynthesizedDesign, SynthError> {
-    let mut designs = synthesize(spec, floorplan, cfg)?;
-    designs.sort_by(|a, b| a.metrics.power.raw().total_cmp(&b.metrics.power.raw()));
-    Ok(designs.remove(0))
+    let designs = synthesize(spec, floorplan, cfg)?;
+    Ok(designs
+        .into_iter()
+        .min_by(|a, b| a.metrics.power.raw().total_cmp(&b.metrics.power.raw()))
+        .expect("synthesize never returns an empty design list"))
 }
 
 #[cfg(test)]

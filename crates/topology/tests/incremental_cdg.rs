@@ -1,0 +1,139 @@
+//! Property tests pinning the incremental CDG to the from-scratch
+//! reference: over randomized route-insertion (and rejection-rollback)
+//! sequences, [`IncrementalCdg`] must produce exactly the verdicts of
+//! rebuilding a [`ChannelDependencyGraph`] from every route, its cycle
+//! witnesses must lie on real cycles, and after any rejection its edge
+//! set must be exactly the accepted routes' edges (rollback exactness).
+
+use noc_topology::deadlock::{assert_deadlock_free, ChannelDependencyGraph, IncrementalCdg};
+use noc_topology::error::TopologyError;
+use noc_topology::graph::{LinkId, NodeId, Topology};
+use noc_topology::routing::{Route, RouteSet};
+use proptest::prelude::*;
+
+/// Whether `witness` lies on a cycle of `cdg` (reachable from itself).
+fn on_cycle(cdg: &ChannelDependencyGraph, witness: LinkId) -> bool {
+    let mut stack: Vec<LinkId> = cdg.successors(witness).collect();
+    let mut seen: Vec<LinkId> = Vec::new();
+    while let Some(l) = stack.pop() {
+        if l == witness {
+            return true;
+        }
+        if seen.contains(&l) {
+            continue;
+        }
+        seen.push(l);
+        stack.extend(cdg.successors(l));
+    }
+    false
+}
+
+/// The sorted distinct edge list of a from-scratch CDG.
+fn scratch_edges(cdg: &ChannelDependencyGraph) -> Vec<(LinkId, LinkId)> {
+    let mut out = Vec::new();
+    for a in cdg.links() {
+        for b in cdg.successors(a) {
+            out.push((a, b));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// A route set over the accepted link chains, keyed by synthetic
+/// distinct endpoint pairs (`from_routes` only reads the link chains).
+fn route_set(chains: &[Vec<LinkId>]) -> RouteSet {
+    let mut set = RouteSet::new();
+    for (i, links) in chains.iter().enumerate() {
+        set.insert(NodeId(2 * i), NodeId(2 * i + 1), Route::new(links.clone()));
+    }
+    set
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drives both implementations through the same insertion sequence.
+    /// Routes are arbitrary link chains (contiguity is irrelevant to
+    /// the CDG); rejected routes stay rejected in both worlds, and the
+    /// incremental edge set always equals the from-scratch CDG of the
+    /// accepted routes — i.e. every rejection rolled back exactly.
+    #[test]
+    fn incremental_matches_from_scratch(
+        chains in prop::collection::vec(
+            prop::collection::vec(0usize..24, 1..6),
+            1..40,
+        )
+    ) {
+        let dummy = Topology::new("cdg_prop");
+        let mut inc = IncrementalCdg::new();
+        let mut accepted: Vec<Vec<LinkId>> = Vec::new();
+        for chain in &chains {
+            let links: Vec<LinkId> = chain.iter().map(|&l| LinkId(l)).collect();
+            let route = Route::new(links.clone());
+            let verdict = inc.try_insert_route(&route);
+
+            // Reference: accepted routes + this candidate, from scratch.
+            let mut trial = accepted.clone();
+            trial.push(links.clone());
+            let trial_set = route_set(&trial);
+            let scratch = assert_deadlock_free(&dummy, &trial_set);
+
+            prop_assert_eq!(
+                verdict.is_ok(),
+                scratch.is_ok(),
+                "verdicts diverge on chain {:?}",
+                chain
+            );
+            match verdict {
+                Ok(()) => accepted.push(links),
+                Err(TopologyError::DeadlockCycle { witness }) => {
+                    let trial_cdg =
+                        ChannelDependencyGraph::from_routes(&dummy, &trial_set);
+                    prop_assert!(
+                        on_cycle(&trial_cdg, witness),
+                        "witness {witness:?} not on any cycle"
+                    );
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+            }
+
+            // Rollback exactness: the incremental edge set is exactly
+            // the accepted routes' edges after every step.
+            let accepted_cdg =
+                ChannelDependencyGraph::from_routes(&dummy, &route_set(&accepted));
+            prop_assert_eq!(inc.edges(), scratch_edges(&accepted_cdg));
+        }
+    }
+}
+
+#[test]
+fn duplicate_edges_survive_one_rollback() {
+    // Route A and the rejected route C share the edge l0 -> l1. C's
+    // rollback must remove only C's copy: A's dependency stays.
+    let mut inc = IncrementalCdg::new();
+    let a = Route::new(vec![LinkId(0), LinkId(1), LinkId(2)]);
+    inc.try_insert_route(&a).expect("a chain is acyclic");
+    // l2 -> l0 closes the loop only together with the shared prefix.
+    let c = Route::new(vec![LinkId(0), LinkId(1), LinkId(2), LinkId(0)]);
+    assert!(inc.try_insert_route(&c).is_err(), "c closes a cycle");
+    assert_eq!(
+        inc.edges(),
+        vec![(LinkId(0), LinkId(1)), (LinkId(1), LinkId(2)),],
+        "rollback removed exactly c's edges, keeping a's"
+    );
+    // And the surviving graph still accepts compatible routes.
+    let d = Route::new(vec![LinkId(2), LinkId(3)]);
+    inc.try_insert_route(&d)
+        .expect("extending the chain is fine");
+}
+
+#[test]
+fn single_link_routes_never_reject() {
+    let mut inc = IncrementalCdg::new();
+    for l in 0..8 {
+        inc.try_insert_route(&Route::new(vec![LinkId(l)]))
+            .expect("no dependency edges, no cycle");
+    }
+    assert!(inc.is_empty(), "single-link routes add no edges");
+}

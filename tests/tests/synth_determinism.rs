@@ -1,0 +1,74 @@
+//! Parallel-vs-serial determinism of the SunFloor candidate fan-out:
+//! `synthesize` fans the `(switch count, width, clock)` sweep across
+//! worker threads, and the resulting design list — topologies, routes,
+//! demands, placements, metrics, cluster assignments — must be
+//! **bit-identical** to a serial run on the fig6 spec, whatever the
+//! thread count. Same contract as the simulator sweeps
+//! (`sweep_determinism.rs`), extended to the synthesis layer.
+
+use noc::par::ParRunner;
+use noc_floorplan::core_plan::CoreFloorplan;
+use noc_spec::presets;
+use noc_spec::units::Hertz;
+use noc_synth::sunfloor::{synthesize, synthesize_with_runner, SynthesisConfig};
+
+/// The fig6 configuration (the `fig6/synthesis` bench setup), widened
+/// to a multi-width multi-clock sweep so the fan-out has real breadth.
+fn fig6_cfg() -> SynthesisConfig {
+    SynthesisConfig {
+        min_switches: 4,
+        max_switches: 6,
+        widths: vec![32, 64],
+        clocks: vec![
+            Hertz::from_mhz(400),
+            Hertz::from_mhz(650),
+            Hertz::from_mhz(900),
+        ],
+        ..SynthesisConfig::default()
+    }
+}
+
+#[test]
+fn parallel_synthesis_is_bit_identical_to_serial() {
+    let spec = presets::mobile_multimedia_soc();
+    let fp = CoreFloorplan::from_spec(&spec, 42);
+    let cfg = fig6_cfg();
+    let serial =
+        synthesize_with_runner(&spec, Some(&fp), &cfg, &ParRunner::serial()).expect("feasible");
+    assert!(!serial.is_empty());
+    for threads in [2, 3, 8] {
+        let par = synthesize_with_runner(&spec, Some(&fp), &cfg, &ParRunner::with_threads(threads))
+            .expect("feasible");
+        assert_eq!(
+            par.len(),
+            serial.len(),
+            "design count differs at {threads} threads"
+        );
+        for (i, (p, s)) in par.iter().zip(serial.iter()).enumerate() {
+            assert_eq!(p.topology, s.topology, "topology {i}, {threads} threads");
+            assert_eq!(p.routes, s.routes, "routes {i}, {threads} threads");
+            assert_eq!(p.demands, s.demands, "demands {i}, {threads} threads");
+            assert_eq!(p.placement, s.placement, "placement {i}, {threads} threads");
+            assert_eq!(p.metrics, s.metrics, "metrics {i}, {threads} threads");
+            assert_eq!(p, s, "design {i} differs at {threads} threads");
+        }
+    }
+    // The public all-cores entry point obeys the same contract.
+    let default_run = synthesize(&spec, Some(&fp), &cfg).expect("feasible");
+    assert_eq!(default_run, serial, "synthesize() differs from serial");
+}
+
+#[test]
+fn min_power_is_stable_across_thread_counts() {
+    let spec = presets::mobile_multimedia_soc();
+    let fp = CoreFloorplan::from_spec(&spec, 42);
+    let cfg = fig6_cfg();
+    let serial =
+        synthesize_with_runner(&spec, Some(&fp), &cfg, &ParRunner::serial()).expect("feasible");
+    let min_serial = serial
+        .iter()
+        .map(|d| d.metrics.power.raw())
+        .fold(f64::INFINITY, f64::min);
+    let best = noc_synth::sunfloor::synthesize_min_power(&spec, Some(&fp), &cfg).expect("feasible");
+    assert_eq!(best.metrics.power.raw(), min_serial);
+}
