@@ -3,7 +3,7 @@
 #
 #   ./ci.sh          # tier-1 gate: release build + tests (ROADMAP.md)
 #   ./ci.sh quick    # fast pre-push loop: fmt, clippy, debug tests
-#   ./ci.sh full     # quick + tier-1 + check_all smoke + bench guard
+#   ./ci.sh full     # quick + tier-1 + check_all/recovery smoke + bench guard
 #
 # Every cargo invocation that resolves dependencies runs with
 # --offline --locked: the workspace builds entirely from the vendored
@@ -60,6 +60,8 @@ full() {
   tier1
   echo "==> smoke: check_all (release)"
   cargo run "${CARGO_FLAGS[@]}" -q --release -p noc-bench --bin check_all
+  echo "==> smoke: ablation_online_recovery (release)"
+  cargo run "${CARGO_FLAGS[@]}" -q --release -p noc-bench --bin ablation_online_recovery
   echo "==> perf: bench_guard (non-blocking)"
   if ! cargo run "${CARGO_FLAGS[@]}" -q --release -p noc-bench --bin bench_guard; then
     echo "ci.sh: WARNING: bench_guard reported a slowdown (non-blocking);"

@@ -79,6 +79,30 @@ fn bench_step_throughput(c: &mut Criterion) {
     });
 }
 
+/// Fault-free `step()` with the online-recovery machinery *armed*
+/// (watchdogs, epoch swaps, NI retransmit tracking all enabled but
+/// idle). The robustness contract says arming recovery costs the
+/// fault-free hot path nothing beyond a few emptiness checks, so this
+/// must track `fig4/step_throughput_8x10` within the noise band.
+fn bench_step_throughput_recovery(c: &mut Criterion) {
+    let (rows, cols) = (8usize, 10usize);
+    let cores: Vec<CoreId> = (0..rows * cols).map(CoreId).collect();
+    let fabric = mesh(rows, cols, &cores, 32).expect("valid");
+    let sources = patterns::uniform_random(&fabric, 0.1, 4).expect("in range");
+    let mut sim = Simulator::new(fabric.topology, SimConfig::default().with_warmup(100));
+    for s in sources {
+        sim.add_source(s);
+    }
+    sim.enable_recovery(noc_spec::fault::RecoveryConfig::default());
+    sim.run(1_000); // reach steady state before measuring
+    c.bench_function("fig4/step_throughput_8x10_recovery", |b| {
+        b.iter(|| {
+            sim.step();
+            sim.stats().total_delivered_flits
+        })
+    });
+}
+
 /// E5 backing engine: one synthesis run on the mobile SoC.
 fn bench_synthesis(c: &mut Criterion) {
     let spec = presets::mobile_multimedia_soc();
@@ -136,6 +160,7 @@ criterion_group!(
     bench_switch_model,
     bench_simulator,
     bench_step_throughput,
+    bench_step_throughput_recovery,
     bench_synthesis,
     bench_floorplan
 );

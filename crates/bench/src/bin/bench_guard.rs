@@ -45,6 +45,10 @@ const BENCHES: &[GuardedBench] = &[
         measure: measure_step_us,
     },
     GuardedBench {
+        name: "fig4/step_throughput_8x10_recovery",
+        measure: measure_step_recovery_us,
+    },
+    GuardedBench {
         name: "fig6/synthesis",
         measure: measure_synthesis_us,
     },
@@ -103,6 +107,36 @@ fn measure_step_us() -> f64 {
     for s in sources {
         sim.add_source(s);
     }
+    sim.run(1_000); // reach steady state before measuring
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        for _ in 0..STEPS_PER_ROUND {
+            sim.step();
+            std::hint::black_box(sim.stats().total_delivered_flits);
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / STEPS_PER_ROUND as f64;
+        best = best.min(us);
+    }
+    best
+}
+
+/// Like `measure_step_us`, but with the online-recovery machinery
+/// armed and idle — the exact `fig4/step_throughput_8x10_recovery`
+/// setup. Guards the contract that arming recovery costs the
+/// fault-free hot path only emptiness checks.
+fn measure_step_recovery_us() -> f64 {
+    const ROUNDS: usize = 5;
+    const STEPS_PER_ROUND: u64 = 2_000;
+    let (rows, cols) = (8usize, 10usize);
+    let cores: Vec<CoreId> = (0..rows * cols).map(CoreId).collect();
+    let fabric = mesh(rows, cols, &cores, 32).expect("valid");
+    let sources = patterns::uniform_random(&fabric, 0.1, 4).expect("in range");
+    let mut sim = Simulator::new(fabric.topology, SimConfig::default().with_warmup(100));
+    for s in sources {
+        sim.add_source(s);
+    }
+    sim.enable_recovery(noc_spec::fault::RecoveryConfig::default());
     sim.run(1_000); // reach steady state before measuring
     let mut best = f64::INFINITY;
     for _ in 0..ROUNDS {

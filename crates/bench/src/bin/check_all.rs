@@ -121,6 +121,59 @@ fn main() {
         run_fc(noc_sim::config::FlowControl::OnOff) > run_fc(noc_sim::config::FlowControl::AckNack),
     );
 
+    // A7 — online recovery: watchdogs detect, hot-swaps commit, and the
+    // closed loop still delivers >= 95% of post-warmup packets.
+    {
+        use noc_sim::recovery::OnlineRecovery;
+        use noc_spec::fault::{FaultPlan, FaultScenario, FaultTarget, RecoveryConfig};
+        use noc_topology::TurnModel;
+
+        let candidates: Vec<FaultTarget> = fabric
+            .topology
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                fabric.topology.node(l.src).is_switch() && fabric.topology.node(l.dst).is_switch()
+            })
+            .map(|(i, _)| FaultTarget::Link(i))
+            .collect();
+        let scenario = FaultScenario {
+            faults: 2,
+            window: (1_000, 2_000),
+            transient_chance: 0,
+            duration: (1, 2),
+        };
+        let plan = FaultPlan::generate(0xFA_17, &candidates, scenario)
+            .with_recovery(RecoveryConfig::default());
+        let sources = patterns::uniform_random(&fabric, 0.05, 2).expect("in range");
+        let mut sim = Simulator::new(
+            fabric.topology.clone(),
+            SimConfig::default().with_warmup(500),
+        )
+        .with_seed(7);
+        for s in sources {
+            sim.add_source(s);
+        }
+        let mut rec = OnlineRecovery::install(&mut sim, &fabric, TurnModel::NorthLast, &plan)
+            .expect("online installation never precomputes detours");
+        rec.run(&mut sim, 3_500);
+        let drained = rec.drain(&mut sim, 100_000);
+        let stats = sim.stats();
+        let injected: u64 = stats.flows.values().map(|f| f.injected_packets).sum();
+        let delivered = stats.total_delivered_packets as f64 / injected.max(1) as f64;
+        check(
+            &format!(
+                "A7: online recovery delivers >= 95% under 2 link faults \
+                 (got {:.2}%, {} detections, {} epoch swaps)",
+                delivered * 100.0,
+                stats.recovery.detections,
+                stats.recovery.epoch_swaps
+            ),
+            drained && delivered >= 0.95 && stats.recovery.detections > 0,
+        );
+    }
+
     // E5 — custom topology beats regular mesh mapping on power.
     let spec = noc_spec::presets::mobile_multimedia_soc();
     let fp = noc_floorplan::core_plan::CoreFloorplan::from_spec(&spec, 42);

@@ -1,6 +1,7 @@
 //! Simulator configuration.
 
 use noc_spec::units::Hertz;
+use noc_spec::RecoveryConfig;
 use serde::{Deserialize, Serialize};
 
 /// Link-level flow control discipline (§3 / Fig. 1: ×pipes supports both).
@@ -53,6 +54,10 @@ pub struct SimConfig {
     /// domains (GALS synchronizer, §4.3). Zero in a fully synchronous
     /// design.
     pub sync_penalty: u64,
+    /// Online-recovery knobs (watchdog detection, epoch hot-swap, NI
+    /// retransmit). `None` leaves the fault path in oracle mode and
+    /// keeps the fault-free hot path free of recovery bookkeeping.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for SimConfig {
@@ -66,6 +71,7 @@ impl Default for SimConfig {
             clock: Hertz::from_mhz(500),
             warmup: 1000,
             sync_penalty: 0,
+            recovery: None,
         }
     }
 }
@@ -121,6 +127,12 @@ impl SimConfig {
     /// Sets the clock-domain-crossing penalty.
     pub fn with_sync_penalty(mut self, cycles: u64) -> SimConfig {
         self.sync_penalty = cycles;
+        self
+    }
+
+    /// Enables the online recovery loop with the given knobs.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> SimConfig {
+        self.recovery = Some(recovery);
         self
     }
 }

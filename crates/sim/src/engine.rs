@@ -25,16 +25,17 @@ use crate::config::{Arbitration, FlowControl, SimConfig};
 use crate::flit::{Flit, PacketId};
 use crate::gals::DomainMap;
 use crate::qos::SlotTable;
+use crate::recovery::RecoveryNotice;
 use crate::stats::SimStats;
 use crate::trace::{Trace, TraceEvent, TraceKind};
 use crate::traffic::{Destination, TrafficSource};
-use noc_spec::fault::FaultPlan;
+use noc_spec::fault::{FaultPlan, RecoveryConfig};
 use noc_spec::FlowId;
 use noc_topology::graph::{LinkId, NodeId, Topology};
 use noc_topology::TopologyError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Per-link simulation state: the wire pipeline plus the input buffer at
 /// the receiving end.
@@ -146,6 +147,64 @@ struct SourceSlot {
     /// Whether this source's destination was swapped to fault-avoiding
     /// routes (packets generated afterwards count as rerouted).
     rerouted: bool,
+    /// A routing-table hot-swap is pending on this source: no new
+    /// packet may *start* injecting (quiesce) until the swap commits.
+    swap_pending: bool,
+}
+
+/// A pending watchdog deadline. At `due`, the router either declares
+/// `link` dead (`heal == false`, if it is still physically down) or
+/// notices it healed (`heal == true`, if it is still up). The watchdog
+/// observes only physical link state — never the fault plan.
+#[derive(Debug, Clone, Copy)]
+struct Watchdog {
+    due: u64,
+    link: LinkId,
+    /// The cycle the transition being watched happened (telemetry).
+    since: u64,
+    heal: bool,
+}
+
+/// A requested routing-table hot-swap, waiting for its flow to quiesce
+/// (no packet of the flow mid-wormhole at its NI) and for the
+/// controller round-trip delay to elapse.
+#[derive(Debug, Clone)]
+struct PendingSwap {
+    ni: NodeId,
+    flow: FlowId,
+    destination: Destination,
+    /// Failure cycle (baseline for time-to-delivery-restored).
+    failed_at: u64,
+    /// Detection cycle (baseline for reroute latency).
+    detected_at: u64,
+    /// Commit no earlier than this (models the controller round trip).
+    not_before: u64,
+    /// Whether packets generated after the swap count as rerouted and
+    /// the flow's delivery restoration is tracked (true for fault
+    /// detours, false for post-heal restores).
+    count_rerouted: bool,
+}
+
+/// End-to-end retransmit bookkeeping of one lost packet at its NI.
+#[derive(Debug, Clone, Copy)]
+struct RetransmitEntry {
+    /// Source slot the packet (and its re-emissions) originate from.
+    si: usize,
+    flow: FlowId,
+    vc: usize,
+    priority: bool,
+    /// Original injection cycle, preserved across re-emissions so
+    /// latency measures true end-to-end delivery time.
+    injected_at: u64,
+    /// Retransmit attempts scheduled so far.
+    attempts: u32,
+    /// `Some(cycle)`: the next re-emission is due then. `None`: an
+    /// attempt is in flight (awaiting its tail's ejection, the ack).
+    due: Option<u64>,
+    /// Retries or BE budget exhausted: the packet was shed. The entry
+    /// stays as a tombstone so later flits of the same packet cannot
+    /// re-register it.
+    gave_up: bool,
 }
 
 /// One resolved fault transition: `link` goes down (or, for a
@@ -266,6 +325,34 @@ pub struct Simulator {
     /// Scheduled destination swaps, sorted ascending by cycle.
     reroutes: Vec<ScheduledReroute>,
     reroute_cursor: usize,
+    // --- online recovery (all of it inert while `cfg.recovery` is
+    // `None`: the fault-free hot path pays only emptiness checks) ---
+    /// Current routing epoch. Bumps at most once per cycle, when at
+    /// least one pending hot-swap commits. In-flight packets carry the
+    /// epoch they were routed under and finish on those routes.
+    epoch: u64,
+    /// Whether the routers currently *believe* each link dead, indexed
+    /// by `LinkId`. Lags `link_up` by the watchdog detection latency —
+    /// this, not the plan, is what recovery acts on.
+    detected_down: Vec<bool>,
+    /// Pending watchdog deadlines (O(outstanding transitions), small).
+    watchdogs: Vec<Watchdog>,
+    /// Detection/heal notices awaiting the recovery controller.
+    notices: Vec<RecoveryNotice>,
+    /// Requested hot-swaps waiting for their flow to quiesce.
+    pending_swaps: Vec<PendingSwap>,
+    /// Lost packets tracked for NI end-to-end retransmission.
+    retransmit: BTreeMap<PacketId, RetransmitEntry>,
+    /// Entries in `retransmit` with a scheduled re-emission (cheap
+    /// step-phase guard).
+    retransmit_waiting: usize,
+    /// Best-effort retransmit budget spent per flow.
+    retransmit_spent: BTreeMap<FlowId, u32>,
+    /// First source slot registered for each flow (retransmit origin).
+    source_of_flow: BTreeMap<FlowId, usize>,
+    /// Flows awaiting proof of restored delivery after a fault detour:
+    /// flow → (failure cycle baseline, epoch installed at commit).
+    restore_pending: BTreeMap<FlowId, (u64, u64)>,
 }
 
 impl Simulator {
@@ -318,6 +405,16 @@ impl Simulator {
             drop_locks: 0,
             reroutes: Vec::new(),
             reroute_cursor: 0,
+            epoch: 0,
+            detected_down: vec![false; nlinks],
+            watchdogs: Vec::new(),
+            notices: Vec::new(),
+            pending_swaps: Vec::new(),
+            retransmit: BTreeMap::new(),
+            retransmit_waiting: 0,
+            retransmit_spent: BTreeMap::new(),
+            source_of_flow: BTreeMap::new(),
+            restore_pending: BTreeMap::new(),
         }
     }
 
@@ -370,10 +467,12 @@ impl Simulator {
             self.active_nis.insert(pos, source.ni);
         }
         self.sources_by_ni[source.ni.0].push(idx);
+        self.source_of_flow.entry(source.flow).or_insert(idx);
         self.sources.push(SourceSlot {
             source,
             queue: VecDeque::new(),
             rerouted: false,
+            swap_pending: false,
         });
     }
 
@@ -485,6 +584,381 @@ impl Simulator {
         self.reroutes.sort_by_key(|r| r.cycle);
     }
 
+    /// Turns on online recovery with the given knobs. Watchdogs observe
+    /// link-state transitions from this point on; already-down links are
+    /// not retroactively detected.
+    pub fn enable_recovery(&mut self, recovery: RecoveryConfig) {
+        self.cfg.recovery = Some(recovery);
+    }
+
+    /// The current routing epoch (0 until the first hot-swap commits).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the routers currently believe `link` is dead. Lags the
+    /// physical `link_is_up` by the watchdog detection latency.
+    pub fn link_detected_down(&self, link: LinkId) -> bool {
+        self.detected_down[link.0]
+    }
+
+    /// Retransmissions scheduled but not yet re-emitted.
+    pub fn pending_retransmits(&self) -> usize {
+        self.retransmit_waiting
+    }
+
+    /// Stops packet generation without draining (external drain loops —
+    /// e.g. a recovery controller interleaving `step` with servicing —
+    /// use this together with `flits_in_network`/`flits_queued`).
+    pub fn stop_generation(&mut self) {
+        self.generation_enabled = false;
+    }
+
+    /// Finalizes cycle-derived statistics aggregates. External step
+    /// loops must call this once after their last `step`; `run` and
+    /// `drain` do it implicitly.
+    pub fn finish(&mut self) {
+        self.finalize_stats();
+    }
+
+    /// Drains the queued fault-detection and heal notices for the
+    /// recovery controller.
+    pub fn take_recovery_notices(&mut self) -> Vec<RecoveryNotice> {
+        std::mem::take(&mut self.notices)
+    }
+
+    /// Requests an epoch-based routing-table hot-swap for `(ni, flow)`:
+    /// the flow is quiesced (no new packet starts injecting), and once
+    /// no packet of the flow is mid-wormhole at the NI — and the
+    /// configured reroute delay has elapsed — the swap commits: the
+    /// routing epoch bumps, queued packets are re-routed through
+    /// `destination` and stamped with the new epoch, and new injections
+    /// use the new tables. In-flight packets finish on their old routes.
+    ///
+    /// `count_rerouted` marks fault detours (packets count as rerouted,
+    /// delivery restoration is tracked against `failed_at`); pass
+    /// `false` for post-heal restores to the original routes.
+    pub fn request_route_swap(
+        &mut self,
+        ni: NodeId,
+        flow: FlowId,
+        destination: Destination,
+        failed_at: u64,
+        detected_at: u64,
+        count_rerouted: bool,
+    ) {
+        let delay = self.cfg.recovery.map_or(0, |r| r.reroute_delay);
+        for slot in &mut self.sources {
+            if slot.source.ni == ni && slot.source.flow == flow {
+                slot.swap_pending = true;
+            }
+        }
+        // The newest request for a (ni, flow) wins: drop a stale one.
+        self.pending_swaps
+            .retain(|p| !(p.ni == ni && p.flow == flow));
+        self.pending_swaps.push(PendingSwap {
+            ni,
+            flow,
+            destination,
+            failed_at,
+            detected_at,
+            not_before: self.cycle + delay,
+            count_rerouted,
+        });
+    }
+
+    /// Schedules the down-detection watchdog for a link that just
+    /// failed: heartbeats cross the link at every multiple of the
+    /// heartbeat period, and the receiver declares the link dead at the
+    /// first heartbeat tick by which `watchdog_timeout` cycles have
+    /// passed since the last heartbeat that made it across.
+    fn schedule_down_watchdog(&mut self, link: LinkId, failed_at: u64) {
+        let Some(r) = self.cfg.recovery else {
+            return;
+        };
+        let h = r.heartbeat_period.max(1);
+        let last_heartbeat = (failed_at / h) * h;
+        let deadline = last_heartbeat + r.watchdog_timeout.max(1);
+        let mut due = deadline.div_ceil(h) * h;
+        if due <= failed_at {
+            due = (failed_at / h + 1) * h;
+        }
+        self.watchdogs.push(Watchdog {
+            due,
+            link,
+            since: failed_at,
+            heal: false,
+        });
+    }
+
+    /// Schedules the heal-notice watchdog for a detected-down link that
+    /// just came back up: the receiver notices at the first heartbeat
+    /// tick strictly after the repair.
+    fn schedule_heal_watchdog(&mut self, link: LinkId, repaired_at: u64) {
+        let Some(r) = self.cfg.recovery else {
+            return;
+        };
+        let h = r.heartbeat_period.max(1);
+        let due = (repaired_at / h + 1) * h;
+        self.watchdogs.push(Watchdog {
+            due,
+            link,
+            since: repaired_at,
+            heal: true,
+        });
+    }
+
+    /// Fires every watchdog whose deadline has arrived. A down-watchdog
+    /// whose link healed in the meantime is silently absorbed (the
+    /// heartbeats resumed before the timeout); likewise a heal-watchdog
+    /// whose link died again.
+    fn poll_watchdogs(&mut self) {
+        let cycle = self.cycle;
+        if !self.watchdogs.iter().any(|w| w.due <= cycle) {
+            return;
+        }
+        let mut fired: Vec<Watchdog> = Vec::new();
+        self.watchdogs.retain(|w| {
+            if w.due <= cycle {
+                fired.push(*w);
+                false
+            } else {
+                true
+            }
+        });
+        fired.sort_by_key(|w| (w.due, w.link, w.heal));
+        for w in fired {
+            if w.heal {
+                if self.link_up[w.link.0] && self.detected_down[w.link.0] {
+                    self.detected_down[w.link.0] = false;
+                    self.notices.push(RecoveryNotice::LinkHealed {
+                        link: w.link,
+                        repaired_at: w.since,
+                        noticed_at: cycle,
+                    });
+                }
+            } else if !self.link_up[w.link.0] && !self.detected_down[w.link.0] {
+                self.detected_down[w.link.0] = true;
+                let latency = cycle.saturating_sub(w.since);
+                let r = &mut self.stats.recovery;
+                r.detections += 1;
+                r.detection_latency_total += latency;
+                r.detection_latency_max = r.detection_latency_max.max(latency);
+                if let Some(trace) = &mut self.trace {
+                    trace.record(TraceEvent {
+                        cycle,
+                        kind: TraceKind::Detect,
+                        packet: PacketId(0),
+                        flow: None,
+                        link: Some(w.link),
+                    });
+                }
+                self.notices.push(RecoveryNotice::LinkDown {
+                    link: w.link,
+                    failed_at: w.since,
+                    detected_at: cycle,
+                });
+            }
+        }
+    }
+
+    /// Commits every pending hot-swap whose flow has quiesced (no packet
+    /// of the flow mid-wormhole at its NI) and whose reroute delay has
+    /// elapsed. The epoch bumps once per cycle with at least one commit.
+    fn commit_ready_swaps(&mut self) {
+        let cycle = self.cycle;
+        let vcs = self.cfg.vcs;
+        let mut bumped = false;
+        let mut i = 0;
+        while i < self.pending_swaps.len() {
+            let p = &self.pending_swaps[i];
+            if cycle < p.not_before {
+                i += 1;
+                continue;
+            }
+            let busy = self.sources_by_ni[p.ni.0].iter().any(|&si| {
+                self.sources[si].source.flow == p.flow
+                    && (0..vcs).any(|vc| self.ni_wormhole[p.ni.0 * vcs + vc] == Some(si))
+            });
+            if busy {
+                i += 1;
+                continue;
+            }
+            let p = self.pending_swaps.remove(i);
+            if !bumped {
+                self.epoch += 1;
+                self.stats.recovery.epoch_swaps += 1;
+                bumped = true;
+            }
+            let new_epoch = self.epoch;
+            let slots: Vec<usize> = self.sources_by_ni[p.ni.0]
+                .iter()
+                .copied()
+                .filter(|&si| self.sources[si].source.flow == p.flow)
+                .collect();
+            for si in slots {
+                self.sources[si].source.destination = p.destination.clone();
+                self.sources[si].rerouted = p.count_rerouted;
+                self.sources[si].swap_pending = false;
+                // Queued packets have not entered the fabric: re-route
+                // them through the new tables under the new epoch.
+                let mut queue = std::mem::take(&mut self.sources[si].queue);
+                for f in &mut queue {
+                    f.epoch = new_epoch;
+                    if f.is_head {
+                        f.route = Some(p.destination.pick(&mut self.rng));
+                        f.hop = 1;
+                    }
+                }
+                self.sources[si].queue = queue;
+            }
+            let latency = cycle.saturating_sub(p.detected_at);
+            let r = &mut self.stats.recovery;
+            r.reroutes_installed += 1;
+            r.reroute_latency_total += latency;
+            r.reroute_latency_max = r.reroute_latency_max.max(latency);
+            if p.count_rerouted {
+                self.restore_pending
+                    .insert(p.flow, (p.failed_at, new_epoch));
+            } else {
+                self.restore_pending.remove(&p.flow);
+            }
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent {
+                    cycle,
+                    kind: TraceKind::EpochSwap,
+                    packet: PacketId(new_epoch),
+                    flow: Some(p.flow),
+                    link: None,
+                });
+            }
+        }
+    }
+
+    /// Registers one destroyed flit with the NI end-to-end retransmit
+    /// layer. Only the first flit of a lost packet arms a retransmit;
+    /// the rest are recognized as duplicates. Retries are bounded per
+    /// packet and, for best-effort flows, by a per-flow budget —
+    /// exhausting either sheds the packet (a tombstone entry blocks
+    /// re-registration).
+    fn note_lost_flit(&mut self, flit: &Flit) {
+        let Some(r) = self.cfg.recovery else {
+            return;
+        };
+        let Some(flow) = flit.flow else {
+            return; // synthetic flush tails carry no payload
+        };
+        let Some(&si) = self.source_of_flow.get(&flow) else {
+            return;
+        };
+        use std::collections::btree_map::Entry;
+        match self.retransmit.entry(flit.packet) {
+            Entry::Occupied(mut e) => {
+                let ent = e.get_mut();
+                if ent.gave_up || ent.due.is_some() {
+                    return; // shed, or this loss already armed a retry
+                }
+                if ent.attempts >= r.max_retries {
+                    ent.gave_up = true;
+                    self.stats.recovery.retransmit_shed_packets += 1;
+                    return;
+                }
+                if !ent.priority {
+                    let spent = self.retransmit_spent.entry(flow).or_insert(0);
+                    if *spent >= r.retransmit_budget {
+                        ent.gave_up = true;
+                        self.stats.recovery.retransmit_shed_packets += 1;
+                        return;
+                    }
+                    *spent += 1;
+                }
+                ent.attempts += 1;
+                // Exponential backoff, shift-capped so it cannot wrap.
+                let backoff = r
+                    .retry_backoff
+                    .saturating_mul(1u64 << u64::from(ent.attempts - 1).min(16));
+                ent.due = Some(self.cycle + backoff);
+                self.retransmit_waiting += 1;
+            }
+            Entry::Vacant(v) => {
+                let mut shed = r.max_retries == 0;
+                if !shed && !flit.priority {
+                    let spent = self.retransmit_spent.entry(flow).or_insert(0);
+                    if *spent >= r.retransmit_budget {
+                        shed = true;
+                    } else {
+                        *spent += 1;
+                    }
+                }
+                if shed {
+                    self.stats.recovery.retransmit_shed_packets += 1;
+                } else {
+                    self.retransmit_waiting += 1;
+                }
+                v.insert(RetransmitEntry {
+                    si,
+                    flow,
+                    vc: flit.vc,
+                    priority: flit.priority,
+                    injected_at: flit.injected_at,
+                    attempts: u32::from(!shed),
+                    due: (!shed).then(|| self.cycle + r.retry_backoff),
+                    gave_up: shed,
+                });
+            }
+        }
+    }
+
+    /// Re-emits every retransmission that has come due: the packet is
+    /// re-packetized from its source's *current* destination (so a
+    /// committed hot-swap routes the retry around the fault), stamped
+    /// with the current epoch, and queued at the NI like a fresh packet
+    /// — it re-enters the flit accounting through the normal inject
+    /// path. The original injection cycle is preserved so delivery
+    /// latency measures true end-to-end time including recovery.
+    fn emit_due_retransmits(&mut self) {
+        let cycle = self.cycle;
+        let due: Vec<PacketId> = self
+            .retransmit
+            .iter()
+            .filter(|(_, e)| matches!(e.due, Some(d) if d <= cycle))
+            .map(|(&p, _)| p)
+            .collect();
+        for packet in due {
+            let ent = self.retransmit.get_mut(&packet).expect("collected above");
+            ent.due = None;
+            self.retransmit_waiting -= 1;
+            let (si, flow, vc, priority, injected_at) =
+                (ent.si, ent.flow, ent.vc, ent.priority, ent.injected_at);
+            let route = self.sources[si].source.destination.pick(&mut self.rng);
+            let mut flits = Flit::packetize(
+                packet,
+                Some(flow),
+                route,
+                self.sources[si].source.packet_flits,
+                vc,
+                priority,
+                injected_at,
+            );
+            if self.epoch > 0 {
+                for f in &mut flits {
+                    f.epoch = self.epoch;
+                }
+            }
+            self.stats.recovery.retransmitted_packets += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent {
+                    cycle,
+                    kind: TraceKind::Retransmit,
+                    packet,
+                    flow: Some(flow),
+                    link: None,
+                });
+            }
+            self.sources[si].queue.extend(flits);
+        }
+    }
+
     /// Debug snapshot of a link: (credits per VC, buffered flits per VC,
     /// in-flight count). Test/diagnostic use.
     #[doc(hidden)]
@@ -540,7 +1014,10 @@ impl Simulator {
     pub fn drain(&mut self, max_cycles: u64) -> bool {
         self.generation_enabled = false;
         for _ in 0..max_cycles {
-            if self.flits_in_network() == 0 && self.flits_queued() == 0 {
+            if self.flits_in_network() == 0
+                && self.flits_queued() == 0
+                && self.retransmit_waiting == 0
+            {
                 break;
             }
             self.step();
@@ -590,8 +1067,17 @@ impl Simulator {
         if self.fault_cursor < self.fault_schedule.len() {
             self.apply_fault_events();
         }
+        if !self.watchdogs.is_empty() {
+            self.poll_watchdogs();
+        }
         if self.reroute_cursor < self.reroutes.len() {
             self.apply_reroutes();
+        }
+        if !self.pending_swaps.is_empty() {
+            self.commit_ready_swaps();
+        }
+        if self.retransmit_waiting > 0 {
+            self.emit_due_retransmits();
         }
         self.deliver();
         self.eject();
@@ -622,11 +1108,17 @@ impl Simulator {
                     self.link_up[t.link.0] = true;
                     self.link_down_event[t.link.0] = None;
                     self.links_down -= 1;
+                    if self.detected_down[t.link.0] {
+                        self.schedule_heal_watchdog(t.link, t.cycle);
+                    }
                 }
             } else if self.link_up[t.link.0] {
                 self.link_up[t.link.0] = false;
                 self.link_down_event[t.link.0] = Some(t.event);
                 self.links_down += 1;
+                if !self.detected_down[t.link.0] {
+                    self.schedule_down_watchdog(t.link, t.cycle);
+                }
                 self.fail_link(t.link, t.event);
             } else {
                 // Already down: the newer fault takes over attribution
@@ -670,9 +1162,16 @@ impl Simulator {
         let src = self.topo.link(link).src;
         let (os, oe) = self.adj.outgoing(src);
         if oe > os && self.adj.out_flat[os] == link {
+            let recovery_on = self.cfg.recovery.is_some();
             for vc in 0..vcs {
                 if let Some(si) = self.ni_wormhole[src.0 * vcs + vc] {
                     while let Some(f) = self.sources[si].queue.pop_front() {
+                        // Purged queue flits never entered the fabric,
+                        // but the packet is still lost end to end: the
+                        // retransmit layer must hear about it.
+                        if recovery_on {
+                            self.note_lost_flit(&f);
+                        }
                         if f.is_tail {
                             break;
                         }
@@ -699,6 +1198,7 @@ impl Simulator {
                     vc,
                     priority: false,
                     injected_at: self.cycle,
+                    epoch: 0,
                 };
                 debug_assert!(self.links[li].credits[vc] > 0, "drained buffer has space");
                 self.links[li].credits[vc] -= 1;
@@ -816,6 +1316,9 @@ impl Simulator {
                 link: Some(link),
             });
         }
+        if self.cfg.recovery.is_some() {
+            self.note_lost_flit(flit);
+        }
     }
 
     /// Phase 1: wire pipelines deliver flits into input buffers.
@@ -866,6 +1369,33 @@ impl Simulator {
                                 flow: flit.flow,
                                 link: Some(l),
                             });
+                        }
+                        // Tail ejection is the end-to-end ack: the
+                        // packet arrived whole, stop tracking it.
+                        if !self.retransmit.is_empty() {
+                            if let Some(e) = self.retransmit.remove(&flit.packet) {
+                                if e.due.is_some() {
+                                    self.retransmit_waiting -= 1;
+                                }
+                            }
+                        }
+                        // First post-swap-epoch delivery of a flow
+                        // proves its delivery path is restored.
+                        if !self.restore_pending.is_empty() {
+                            if let Some(flow) = flit.flow {
+                                if let Some(&(failed_at, swap_epoch)) =
+                                    self.restore_pending.get(&flow)
+                                {
+                                    if flit.epoch >= swap_epoch {
+                                        self.restore_pending.remove(&flow);
+                                        let latency = cycle.saturating_sub(failed_at);
+                                        let r = &mut self.stats.recovery;
+                                        r.restores += 1;
+                                        r.restore_latency_total += latency;
+                                        r.restore_latency_max = r.restore_latency_max.max(latency);
+                                    }
+                                }
+                            }
                         }
                     }
                     if measuring && flit.injected_at >= self.cfg.warmup {
@@ -1035,11 +1565,17 @@ impl Simulator {
     fn generate(&mut self) {
         let cycle = self.cycle;
         let measuring = self.measuring();
+        let epoch = self.epoch;
         for slot in &mut self.sources {
-            if let Some(flits) = slot
-                .source
-                .generate(cycle, &mut self.next_packet, &mut self.rng)
+            if let Some(mut flits) =
+                slot.source
+                    .generate(cycle, &mut self.next_packet, &mut self.rng)
             {
+                if epoch > 0 {
+                    for f in &mut flits {
+                        f.epoch = epoch;
+                    }
+                }
                 if measuring {
                     self.stats
                         .flows
@@ -1073,6 +1609,11 @@ impl Simulator {
         let Some(flit) = slot.queue.front() else {
             return false;
         };
+        // Quiesce for a pending routing-table hot-swap: no new packet
+        // may start; the packet already mid-wormhole finishes draining.
+        if slot.swap_pending && flit.is_head {
+            return false;
+        }
         // Wormhole lock: a packet in progress on this VC blocks other
         // sources from that VC until its tail leaves.
         if let Some(owner) = self.ni_wormhole[ni.0 * self.cfg.vcs + flit.vc] {
@@ -1741,5 +2282,125 @@ mod tests {
             kind: FaultKind::Permanent,
         }]);
         assert!(sim.set_fault_plan(&plan).is_err());
+    }
+
+    /// Diamond: ni0 -> s0 -> {s1 | s2} -> s3 -> ni1, so the same
+    /// endpoint pair has two disjoint middle paths.
+    fn diamond() -> (Topology, NodeId, Arc<[LinkId]>, Arc<[LinkId]>) {
+        let mut t = Topology::new("diamond");
+        let s0 = t.add_switch("s0");
+        let s1 = t.add_switch("s1");
+        let s2 = t.add_switch("s2");
+        let s3 = t.add_switch("s3");
+        let ni0 = t.add_ni("ni0", CoreId(0), NiRole::Initiator);
+        let ni1 = t.add_ni("ni1", CoreId(1), NiRole::Target);
+        t.connect_duplex(ni0, s0, 32).expect("ok");
+        t.connect_duplex(s0, s1, 32).expect("ok");
+        t.connect_duplex(s0, s2, 32).expect("ok");
+        t.connect_duplex(s1, s3, 32).expect("ok");
+        t.connect_duplex(s2, s3, 32).expect("ok");
+        t.connect_duplex(s3, ni1, 32).expect("ok");
+        let leg = |a: NodeId, b: NodeId| t.find_link(a, b).expect("edge");
+        let upper: Arc<[LinkId]> =
+            vec![leg(ni0, s0), leg(s0, s1), leg(s1, s3), leg(s3, ni1)].into();
+        let lower: Arc<[LinkId]> =
+            vec![leg(ni0, s0), leg(s0, s2), leg(s2, s3), leg(s3, ni1)].into();
+        (t, ni0, upper, lower)
+    }
+
+    /// A reroute scheduled while a multi-flit packet is mid-wormhole:
+    /// the in-progress packet finishes on its old route, later packets
+    /// take the new one, and nothing is lost or stuck.
+    #[test]
+    fn reroute_mid_wormhole_conserves() {
+        let (t, ni0, upper, lower) = diamond();
+        let mut sim = Simulator::new(t, SimConfig::default().with_warmup(0));
+        // 6-flit packets every 10 cycles: the swap at cycle 3 lands in
+        // the middle of the first packet's injection.
+        sim.add_source(streaming_source(ni0, upper.clone(), 6, 10));
+        sim.schedule_reroute(3, ni0, FlowId(0), Destination::Fixed(lower.clone()));
+        sim.run(95);
+        let drained = sim.drain(1_000);
+        assert!(drained, "mid-wormhole swap must not wedge the NI");
+        assert_conserved(&sim);
+        assert!(sim.credits_restored());
+        assert_eq!(sim.dropped_flits_total(), 0, "no faults, no losses");
+        let fs = &sim.stats().flows[&FlowId(0)];
+        assert_eq!(fs.delivered_packets, 10, "all packets arrive whole");
+        // The lower middle leg saw traffic only after the swap.
+        let lower_leg = lower[1];
+        assert!(
+            sim.stats().link_flits.get(&lower_leg).copied().unwrap_or(0) > 0,
+            "post-swap packets must use the new path"
+        );
+    }
+
+    /// A reroute that lands traffic on a path killed one cycle later:
+    /// the packets committed to the doomed path are destroyed by the
+    /// fault machinery, yet conservation and the credit ledger hold
+    /// through drain.
+    #[test]
+    fn reroute_onto_path_killed_next_cycle_conserves() {
+        let (t, ni0, upper, lower) = diamond();
+        let doomed = lower[2]; // s2 -> s3, dead right after the swap
+        let mut sim = Simulator::new(t, SimConfig::default().with_warmup(0));
+        sim.add_source(streaming_source(ni0, upper.clone(), 4, 5));
+        sim.schedule_reroute(20, ni0, FlowId(0), Destination::Fixed(lower.clone()));
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            target: FaultTarget::Link(doomed.0),
+            start: 21,
+            kind: FaultKind::Permanent,
+        }]);
+        sim.set_fault_plan(&plan).expect("valid link");
+        sim.run(200);
+        let drained = sim.drain(1_000);
+        assert!(drained, "doomed-path flits must be destroyed, not stuck");
+        assert_conserved(&sim);
+        assert!(sim.credits_restored());
+        assert!(
+            sim.dropped_flits_total() > 0,
+            "packets swapped onto the dead path must be destroyed"
+        );
+    }
+
+    /// Watchdog timing is heartbeat-quantized: a link failing at cycle
+    /// 500 under heartbeat 8 / timeout 24 is declared dead exactly at
+    /// cycle 520 (the first heartbeat tick past last-heartbeat 496 +
+    /// timeout 24), never at the failure instant.
+    #[test]
+    fn watchdog_detection_is_heartbeat_quantized() {
+        let (t, _, _, route) = line();
+        let mut sim = Simulator::new(t, SimConfig::default().with_warmup(0));
+        sim.enable_recovery(RecoveryConfig {
+            heartbeat_period: 8,
+            watchdog_timeout: 24,
+            ..RecoveryConfig::default()
+        });
+        let victim = route[1];
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            target: FaultTarget::Link(victim.0),
+            start: 500,
+            kind: FaultKind::Permanent,
+        }]);
+        sim.set_fault_plan(&plan).expect("valid link");
+        sim.run(520); // cycles 0..=519
+        assert!(!sim.link_is_up(victim));
+        assert!(!sim.link_detected_down(victim), "before the deadline");
+        assert!(sim.take_recovery_notices().is_empty());
+        sim.run(1); // cycle 520: the watchdog fires
+        assert!(sim.link_detected_down(victim));
+        let notices = sim.take_recovery_notices();
+        assert_eq!(
+            notices,
+            vec![crate::recovery::RecoveryNotice::LinkDown {
+                link: victim,
+                failed_at: 500,
+                detected_at: 520,
+            }]
+        );
+        let r = sim.stats().recovery;
+        assert_eq!(r.detections, 1);
+        assert_eq!(r.detection_latency_max, 20);
+        assert_eq!(r.mean_detection_latency(), Some(20.0));
     }
 }

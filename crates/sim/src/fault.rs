@@ -27,7 +27,10 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// The `(initiator core, target core)` endpoints of a source route.
-fn route_endpoints(mesh: &Mesh, route: &[LinkId]) -> Result<(CoreId, CoreId), TopologyError> {
+pub(crate) fn route_endpoints(
+    mesh: &Mesh,
+    route: &[LinkId],
+) -> Result<(CoreId, CoreId), TopologyError> {
     let (Some(&first), Some(&last)) = (route.first(), route.last()) else {
         return Err(TopologyError::BrokenRoute { at: LinkId(0) });
     };
@@ -47,7 +50,7 @@ fn route_endpoints(mesh: &Mesh, route: &[LinkId]) -> Result<(CoreId, CoreId), To
 }
 
 /// Rebuilds one route around the failed links, preserving endpoints.
-fn rebuild_route(
+pub(crate) fn rebuild_route(
     mesh: &Mesh,
     model: TurnModel,
     failed: &BTreeSet<LinkId>,
@@ -59,7 +62,7 @@ fn rebuild_route(
 
 /// Rebuilds a destination around the failed links. Returns `None` when
 /// every route already avoids them (no swap needed).
-fn rebuild_destination(
+pub(crate) fn rebuild_destination(
     mesh: &Mesh,
     model: TurnModel,
     failed: &BTreeSet<LinkId>,

@@ -41,6 +41,11 @@ pub struct Flit {
     pub priority: bool,
     /// Cycle at which the packet's head entered the source queue.
     pub injected_at: u64,
+    /// Routing epoch the packet was injected under. During an
+    /// epoch-based route hot-swap, flits stamped with the old epoch
+    /// finish on their old (source-carried) routes while new
+    /// injections use the new tables.
+    pub epoch: u64,
 }
 
 impl Flit {
@@ -70,6 +75,7 @@ impl Flit {
                 vc,
                 priority,
                 injected_at,
+                epoch: 0,
             })
             .collect()
     }

@@ -57,6 +57,7 @@ pub mod gals;
 pub mod histogram;
 pub mod patterns;
 pub mod qos;
+pub mod recovery;
 pub mod setup;
 pub mod stats;
 pub mod sweep;
@@ -70,7 +71,8 @@ pub use crate::fault::install_fault_plan;
 pub use crate::gals::{DomainMap, SyncScheme};
 pub use crate::histogram::LatencyHistogram;
 pub use crate::qos::SlotTable;
-pub use crate::stats::{FlowStats, SimStats};
+pub use crate::recovery::{OnlineRecovery, RecoveryNotice};
+pub use crate::stats::{FlowStats, RecoveryStats, SimStats};
 pub use crate::sweep::{point_seed, SweepRunner};
 pub use crate::trace::{Trace, TraceEvent, TraceKind};
 pub use crate::traffic::TrafficSource;

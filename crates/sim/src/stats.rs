@@ -48,6 +48,75 @@ impl FlowStats {
     }
 }
 
+/// Telemetry of the online recovery loop (watchdog detection, epoch
+/// hot-swap, NI retransmit). All fields are sums or maxima, so
+/// [`RecoveryStats::merge`] is commutative and associative and
+/// recovery-enabled sweeps keep the bit-identical parallel contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Link deaths declared by watchdogs.
+    pub detections: u64,
+    /// Sum of (detection cycle − failure cycle) over detections.
+    pub detection_latency_total: u64,
+    /// Worst detection latency, in cycles.
+    pub detection_latency_max: u64,
+    /// Route hot-swaps committed (one per flow per swap request).
+    pub reroutes_installed: u64,
+    /// Sum of (swap-commit cycle − detection cycle) over commits.
+    pub reroute_latency_total: u64,
+    /// Worst reroute latency, in cycles.
+    pub reroute_latency_max: u64,
+    /// Flows whose delivery was observed restored after a swap (first
+    /// tail ejected from a post-swap epoch).
+    pub restores: u64,
+    /// Sum of (first post-swap tail ejection − failure cycle): the
+    /// time-to-full-delivery-restored.
+    pub restore_latency_total: u64,
+    /// Worst delivery-restoration latency, in cycles.
+    pub restore_latency_max: u64,
+    /// Packets re-emitted end-to-end by their NI after a loss.
+    pub retransmitted_packets: u64,
+    /// Lost packets given up on (retries or BE budget exhausted).
+    pub retransmit_shed_packets: u64,
+    /// Routing-epoch bumps (one per cycle with ≥ 1 committed swap).
+    pub epoch_swaps: u64,
+}
+
+impl RecoveryStats {
+    /// Mean watchdog detection latency in cycles, if any fired.
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        (self.detections > 0).then(|| self.detection_latency_total as f64 / self.detections as f64)
+    }
+
+    /// Mean detection-to-install latency in cycles, if any swap committed.
+    pub fn mean_reroute_latency(&self) -> Option<f64> {
+        (self.reroutes_installed > 0)
+            .then(|| self.reroute_latency_total as f64 / self.reroutes_installed as f64)
+    }
+
+    /// Mean failure-to-delivery-restored latency in cycles.
+    pub fn mean_restore_latency(&self) -> Option<f64> {
+        (self.restores > 0).then(|| self.restore_latency_total as f64 / self.restores as f64)
+    }
+
+    /// Folds another run's recovery telemetry into this one: counters
+    /// and latency sums add, maxima take the max.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.detections += other.detections;
+        self.detection_latency_total += other.detection_latency_total;
+        self.detection_latency_max = self.detection_latency_max.max(other.detection_latency_max);
+        self.reroutes_installed += other.reroutes_installed;
+        self.reroute_latency_total += other.reroute_latency_total;
+        self.reroute_latency_max = self.reroute_latency_max.max(other.reroute_latency_max);
+        self.restores += other.restores;
+        self.restore_latency_total += other.restore_latency_total;
+        self.restore_latency_max = self.restore_latency_max.max(other.restore_latency_max);
+        self.retransmitted_packets += other.retransmitted_packets;
+        self.retransmit_shed_packets += other.retransmit_shed_packets;
+        self.epoch_swaps += other.epoch_swaps;
+    }
+}
+
 /// Whole-run statistics.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SimStats {
@@ -76,6 +145,8 @@ pub struct SimStats {
     pub rerouted_packets: u64,
     /// Flits dropped per fault-plan event (event index → count).
     pub fault_events: BTreeMap<usize, u64>,
+    /// Online-recovery telemetry (all zero when recovery is disabled).
+    pub recovery: RecoveryStats,
 }
 
 impl SimStats {
@@ -209,6 +280,7 @@ impl SimStats {
         for (&event, &n) in &other.fault_events {
             *self.fault_events.entry(event).or_default() += n;
         }
+        self.recovery.merge(&other.recovery);
     }
 
     /// Per-flow delivered bandwidth.
@@ -373,6 +445,43 @@ mod tests {
         assert_eq!(ab.fault_events[&0], 6);
         assert_eq!(ab.fault_events[&1], 2);
         assert_eq!(ab.fault_events[&2], 4);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_for_recovery_telemetry() {
+        let mk = |det: u64, dlat: u64, dmax: u64, rr: u64, retx: u64| SimStats {
+            recovery: RecoveryStats {
+                detections: det,
+                detection_latency_total: dlat,
+                detection_latency_max: dmax,
+                reroutes_installed: rr,
+                reroute_latency_total: rr * 10,
+                reroute_latency_max: rr * 3,
+                restores: rr,
+                restore_latency_total: rr * 100,
+                restore_latency_max: rr * 40,
+                retransmitted_packets: retx,
+                retransmit_shed_packets: retx / 2,
+                epoch_swaps: det,
+            },
+            ..SimStats::default()
+        };
+        let a = mk(2, 50, 30, 3, 8);
+        let b = mk(1, 12, 12, 0, 0);
+        let c = mk(4, 90, 25, 7, 20);
+        let mut abc = a.clone();
+        abc.merge(&b);
+        abc.merge(&c);
+        let mut cba = c.clone();
+        cba.merge(&b);
+        cba.merge(&a);
+        assert_eq!(abc, cba, "recovery telemetry merges commutatively");
+        assert_eq!(abc.recovery.detections, 7);
+        assert_eq!(abc.recovery.detection_latency_max, 30);
+        assert_eq!(abc.recovery.reroutes_installed, 10);
+        assert_eq!(abc.recovery.retransmitted_packets, 28);
+        assert_eq!(abc.recovery.mean_detection_latency(), Some(152.0 / 7.0));
+        assert_eq!(RecoveryStats::default().mean_reroute_latency(), None);
     }
 
     #[test]

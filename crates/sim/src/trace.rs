@@ -28,6 +28,14 @@ pub enum TraceKind {
     Drop,
     /// A packet was generated onto a recomputed (fault-avoiding) route.
     Reroute,
+    /// A watchdog declared a link dead (heartbeat timeout). The packet
+    /// field is unused (always `pkt0`); the link identifies the victim.
+    Detect,
+    /// A routing-table hot-swap committed for a flow; the packet field
+    /// carries the new epoch number.
+    EpochSwap,
+    /// An NI re-emitted a lost packet end-to-end.
+    Retransmit,
 }
 
 impl fmt::Display for TraceKind {
@@ -38,6 +46,9 @@ impl fmt::Display for TraceKind {
             TraceKind::Eject => f.write_str("eject"),
             TraceKind::Drop => f.write_str("drop"),
             TraceKind::Reroute => f.write_str("reroute"),
+            TraceKind::Detect => f.write_str("detect"),
+            TraceKind::EpochSwap => f.write_str("epochswap"),
+            TraceKind::Retransmit => f.write_str("retransmit"),
         }
     }
 }
@@ -52,6 +63,9 @@ impl FromStr for TraceKind {
             "eject" => Ok(TraceKind::Eject),
             "drop" => Ok(TraceKind::Drop),
             "reroute" => Ok(TraceKind::Reroute),
+            "detect" => Ok(TraceKind::Detect),
+            "epochswap" => Ok(TraceKind::EpochSwap),
+            "retransmit" => Ok(TraceKind::Retransmit),
             other => Err(ParseTraceError(format!("unknown event kind \"{other}\""))),
         }
     }
@@ -324,6 +338,9 @@ mod tests {
             TraceKind::Eject,
             TraceKind::Drop,
             TraceKind::Reroute,
+            TraceKind::Detect,
+            TraceKind::EpochSwap,
+            TraceKind::Retransmit,
         ] {
             let parsed: TraceKind = kind.to_string().parse().expect("round-trip");
             assert_eq!(parsed, kind);

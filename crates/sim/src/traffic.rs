@@ -133,7 +133,7 @@ pub enum Destination {
 }
 
 impl Destination {
-    fn pick(&self, rng: &mut StdRng) -> Arc<[LinkId]> {
+    pub(crate) fn pick(&self, rng: &mut StdRng) -> Arc<[LinkId]> {
         match self {
             Destination::Fixed(r) => r.clone(),
             Destination::Weighted { routes, weights } => {

@@ -219,3 +219,90 @@ proptest! {
         prop_assert_eq!(sim.stats().dropped_flits, sim.dropped_flits_total());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Flit conservation with the *online* recovery loop closed,
+    /// sweeping generated fault schedules against watchdog/heartbeat
+    /// timings and retransmit knobs (retry count, backoff, BE budget).
+    /// The invariant `injected = ejected + dropped + in-network` is
+    /// checked every single cycle — including the cycles where an
+    /// epoch-based routing-table hot-swap commits mid-flight — and the
+    /// network must drain (retransmissions included) with all credits
+    /// restored.
+    #[test]
+    fn conservation_holds_under_online_recovery(
+        rate in 0.02f64..0.3,
+        pf in 1usize..5,
+        nfaults in 1usize..4,
+        transient_chance in 0u8..255,
+        heartbeat in 1u64..16,
+        watchdog in 1u64..64,
+        max_retries in 0u32..5,
+        backoff in 1u64..48,
+        budget in 0u32..8,
+        seed in 0u64..500,
+    ) {
+        use noc_sim::recovery::OnlineRecovery;
+        use noc_spec::fault::{FaultPlan, FaultScenario, FaultTarget, RecoveryConfig};
+        use noc_topology::TurnModel;
+
+        let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+        let m = mesh(4, 4, &cores, 32).expect("valid shape");
+        let candidates: Vec<FaultTarget> = m
+            .topology
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                m.topology.node(l.src).is_switch() && m.topology.node(l.dst).is_switch()
+            })
+            .map(|(i, _)| FaultTarget::Link(i))
+            .collect();
+        let scenario = FaultScenario {
+            faults: nfaults,
+            window: (100, 900),
+            transient_chance,
+            duration: (50, 300),
+        };
+        let plan = FaultPlan::generate(seed, &candidates, scenario).with_recovery(RecoveryConfig {
+            heartbeat_period: heartbeat,
+            watchdog_timeout: watchdog,
+            max_retries,
+            retry_backoff: backoff,
+            retransmit_budget: budget,
+            ..RecoveryConfig::default()
+        });
+        prop_assert!(!plan.is_empty());
+
+        let sources = patterns::uniform_random(&m, rate, pf).expect("in range");
+        let mut sim = Simulator::new(m.topology.clone(), SimConfig::default().with_warmup(0))
+            .with_seed(seed);
+        for s in sources {
+            sim.add_source(s);
+        }
+        let mut rec = OnlineRecovery::install(&mut sim, &m, TurnModel::NorthLast, &plan)
+            .expect("plan installs without precomputed detours");
+        for _ in 0..1_500 {
+            sim.step();
+            rec.service(&mut sim);
+            prop_assert_eq!(
+                sim.injected_flits_total(),
+                sim.ejected_flits_total()
+                    + sim.dropped_flits_total()
+                    + sim.flits_in_network() as u64,
+                "instantaneous conservation at cycle {} (epoch {})",
+                sim.cycle(),
+                sim.epoch()
+            );
+        }
+        let drained = rec.drain(&mut sim, 40_000);
+        prop_assert!(drained, "recovering network must still drain");
+        prop_assert_eq!(
+            sim.injected_flits_total(),
+            sim.ejected_flits_total() + sim.dropped_flits_total()
+        );
+        prop_assert!(sim.credits_restored(), "credits leak through recovery");
+    }
+}

@@ -98,6 +98,67 @@ impl fmt::Display for FaultEvent {
     }
 }
 
+/// Knobs for the *online* recovery loop (watchdog detection, epoch
+/// hot-swap, NI end-to-end retransmit). Attached to a [`FaultPlan`]
+/// these describe how the system under test reacts to the plan's
+/// faults — they never influence the faults themselves.
+///
+/// All behaviour derived from these knobs is a pure function of the
+/// configuration, so recovery-enabled sweeps keep the bit-identical
+/// serial/parallel contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Cycles between link-alive heartbeats; watchdogs sample link
+    /// liveness on this grid. Must be > 0.
+    pub heartbeat_period: u64,
+    /// Cycles of missed heartbeats before a watchdog declares the
+    /// link dead. Detection fires at the first heartbeat edge at
+    /// least `watchdog_timeout` cycles after the last heartbeat the
+    /// link answered. Must be > 0.
+    pub watchdog_timeout: u64,
+    /// Cycles between a detection firing and the recomputed routes
+    /// being installed (models the controller round trip).
+    pub reroute_delay: u64,
+    /// End-to-end retransmit attempts per lost packet before the NI
+    /// gives up on it.
+    pub max_retries: u32,
+    /// Base backoff (cycles) before the first retransmit; doubles on
+    /// each further retry. Must be > 0.
+    pub retry_backoff: u64,
+    /// Per-flow retransmit budget for best-effort flows; once spent,
+    /// further BE losses are shed instead of retransmitted. GT flows
+    /// are exempt (they reroute first and always retry).
+    pub retransmit_budget: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> RecoveryConfig {
+        RecoveryConfig {
+            heartbeat_period: 8,
+            watchdog_timeout: 24,
+            reroute_delay: 16,
+            max_retries: 4,
+            retry_backoff: 32,
+            retransmit_budget: 64,
+        }
+    }
+}
+
+impl fmt::Display for RecoveryConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recover heartbeat={} watchdog={} reroute_delay={} max_retries={} backoff={} budget={}",
+            self.heartbeat_period,
+            self.watchdog_timeout,
+            self.reroute_delay,
+            self.max_retries,
+            self.retry_backoff,
+            self.retransmit_budget
+        )
+    }
+}
+
 /// A deterministic schedule of component failures.
 ///
 /// Events are kept sorted by `(start, target, kind)` so two plans with
@@ -107,6 +168,10 @@ impl fmt::Display for FaultEvent {
 pub struct FaultPlan {
     /// Seed recorded for provenance (0 for hand-written plans).
     pub seed: u64,
+    /// Online-recovery knobs, if the run should close the loop
+    /// (watchdogs + hot-swap + retransmit) instead of relying on
+    /// oracle detours.
+    pub recovery: Option<RecoveryConfig>,
     events: Vec<FaultEvent>,
 }
 
@@ -162,7 +227,11 @@ impl FaultPlan {
 
     /// Builds a plan from explicit events (sorted canonically).
     pub fn from_events(events: Vec<FaultEvent>) -> FaultPlan {
-        let mut plan = FaultPlan { seed: 0, events };
+        let mut plan = FaultPlan {
+            seed: 0,
+            recovery: None,
+            events,
+        };
         plan.canonicalize();
         plan
     }
@@ -196,9 +265,19 @@ impl FaultPlan {
                 kind,
             });
         }
-        let mut plan = FaultPlan { seed, events };
+        let mut plan = FaultPlan {
+            seed,
+            recovery: None,
+            events,
+        };
         plan.canonicalize();
         plan
+    }
+
+    /// Attaches online-recovery knobs (builder style).
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> FaultPlan {
+        self.recovery = Some(recovery);
+        self
     }
 
     fn canonicalize(&mut self) {
@@ -246,6 +325,10 @@ impl FaultPlan {
     /// header. Round-trips with [`FaultPlan::from_text`].
     pub fn to_text(&self) -> String {
         let mut out = format!("faultplan seed={}\n", self.seed);
+        if let Some(r) = &self.recovery {
+            out.push_str(&r.to_string());
+            out.push('\n');
+        }
         for e in &self.events {
             out.push_str(&e.to_string());
             out.push('\n');
@@ -257,6 +340,7 @@ impl FaultPlan {
     /// lines are ignored.
     pub fn from_text(text: &str) -> Result<FaultPlan, ParseFaultError> {
         let mut seed = 0u64;
+        let mut recovery: Option<RecoveryConfig> = None;
         let mut events = Vec::new();
         let mut saw_header = false;
         for (lineno, raw) in text.lines().enumerate() {
@@ -318,6 +402,40 @@ impl FaultPlan {
                         kind,
                     });
                 }
+                "recover" => {
+                    if recovery.is_some() {
+                        return Err(err("duplicate \"recover\" line".into()));
+                    }
+                    let mut r = RecoveryConfig::default();
+                    for w in &words[1..] {
+                        let (key, val) = match w.split_once('=') {
+                            Some(kv) => kv,
+                            None => return Err(err(format!("expected key=value, found \"{w}\""))),
+                        };
+                        let parsed: u64 = val
+                            .parse()
+                            .map_err(|_| err(format!("bad value \"{val}\" for \"{key}\"")))?;
+                        match key {
+                            "heartbeat" => r.heartbeat_period = parsed,
+                            "watchdog" => r.watchdog_timeout = parsed,
+                            "reroute_delay" => r.reroute_delay = parsed,
+                            "max_retries" => {
+                                r.max_retries = u32::try_from(parsed)
+                                    .map_err(|_| err(format!("max_retries {parsed} too large")))?
+                            }
+                            "backoff" => r.retry_backoff = parsed,
+                            "budget" => {
+                                r.retransmit_budget = u32::try_from(parsed)
+                                    .map_err(|_| err(format!("budget {parsed} too large")))?
+                            }
+                            other => return Err(err(format!("unknown recovery knob \"{other}\""))),
+                        }
+                    }
+                    if r.heartbeat_period == 0 || r.watchdog_timeout == 0 || r.retry_backoff == 0 {
+                        return Err(err("heartbeat, watchdog and backoff must be > 0".into()));
+                    }
+                    recovery = Some(r);
+                }
                 other => return Err(err(format!("unknown directive \"{other}\""))),
             }
         }
@@ -327,7 +445,11 @@ impl FaultPlan {
                 message: "missing \"faultplan\" header line".into(),
             });
         }
-        let mut plan = FaultPlan { seed, events };
+        let mut plan = FaultPlan {
+            seed,
+            recovery,
+            events,
+        };
         plan.canonicalize();
         Ok(plan)
     }
@@ -459,6 +581,44 @@ mod tests {
             .expect("comments and blanks are fine");
         assert_eq!(ok.seed, 3);
         assert_eq!(ok.events()[0].target, FaultTarget::Router(2));
+    }
+
+    #[test]
+    fn recovery_round_trip() {
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            target: FaultTarget::Link(4),
+            start: 700,
+            kind: FaultKind::Transient { duration: 120 },
+        }])
+        .with_recovery(RecoveryConfig {
+            heartbeat_period: 5,
+            watchdog_timeout: 17,
+            reroute_delay: 9,
+            max_retries: 3,
+            retry_backoff: 11,
+            retransmit_budget: 8,
+        });
+        let text = plan.to_text();
+        assert!(text.contains("recover heartbeat=5 watchdog=17"), "{text}");
+        let parsed = FaultPlan::from_text(&text).expect("round-trip parse");
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.recovery.unwrap().retransmit_budget, 8);
+    }
+
+    #[test]
+    fn recovery_parse_rejects_bad_knobs() {
+        let bad = [
+            "faultplan seed=1\nrecover watchdog",
+            "faultplan seed=1\nrecover watchdog=abc",
+            "faultplan seed=1\nrecover watchdog=0",
+            "faultplan seed=1\nrecover turbo=9",
+            "faultplan seed=1\nrecover watchdog=4\nrecover watchdog=5",
+        ];
+        for text in bad {
+            assert!(FaultPlan::from_text(text).is_err(), "{text:?}");
+        }
+        let ok = FaultPlan::from_text("faultplan seed=1\nrecover\n").expect("defaults");
+        assert_eq!(ok.recovery, Some(RecoveryConfig::default()));
     }
 
     #[test]

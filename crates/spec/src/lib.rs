@@ -55,6 +55,8 @@ pub mod units;
 pub use crate::app::AppSpec;
 pub use crate::core::{Core, CoreId, CoreRole, IslandId};
 pub use crate::error::SpecError;
-pub use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultScenario, FaultTarget};
+pub use crate::fault::{
+    FaultEvent, FaultKind, FaultPlan, FaultScenario, FaultTarget, RecoveryConfig,
+};
 pub use crate::protocol::{MessageClass, SocketProtocol, TransactionKind};
 pub use crate::traffic::{FlowId, QosClass, TrafficFlow, TrafficShape};

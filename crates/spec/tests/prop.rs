@@ -104,3 +104,113 @@ proptest! {
         prop_assert!(oh > 1.0 && oh <= 2.0);
     }
 }
+
+/// Truncates `base` to `cut` characters, then splices `junk` (lossily
+/// decoded) at a char boundary near `splice_at` — the standard
+/// mutation soup for parser-totality fuzzing.
+fn mutate(base: &str, cut: usize, splice_at: usize, junk: &[u8]) -> String {
+    let chars = base.chars().count();
+    let mut text: String = base.chars().take(cut % (chars + 1)).collect();
+    let mut at = splice_at % (text.len() + 1);
+    while !text.is_char_boundary(at) {
+        at -= 1;
+    }
+    text.insert_str(at, &String::from_utf8_lossy(junk));
+    text
+}
+
+fn base_spec_text() -> String {
+    let mut b = AppSpec::builder("fuzz");
+    b.add_core(Core::new("cpu", CoreRole::Master).with_clock(Hertz::from_mhz(400)));
+    b.add_core(Core::new("dsp", CoreRole::MasterSlave).with_clock(Hertz::from_mhz(200)));
+    b.add_core(Core::new("mem", CoreRole::Slave).with_clock(Hertz::from_mhz(400)));
+    b.add_flow(
+        TrafficFlow::new(
+            noc_spec::CoreId(0),
+            noc_spec::CoreId(2),
+            BitsPerSecond::from_mbps(800),
+        )
+        .with_kind(TransactionKind::BurstWrite(8))
+        .guaranteed(),
+    );
+    b.add_flow(TrafficFlow::new(
+        noc_spec::CoreId(1),
+        noc_spec::CoreId(2),
+        BitsPerSecond::from_mbps(120),
+    ));
+    textfmt::to_text(&b.build().expect("valid spec"))
+}
+
+fn base_plan_text() -> String {
+    use noc_spec::fault::{FaultEvent, FaultKind, FaultPlan, FaultTarget, RecoveryConfig};
+    FaultPlan::from_events(vec![
+        FaultEvent {
+            target: FaultTarget::Link(3),
+            start: 100,
+            kind: FaultKind::Permanent,
+        },
+        FaultEvent {
+            target: FaultTarget::Router(2),
+            start: 250,
+            kind: FaultKind::Transient { duration: 80 },
+        },
+    ])
+    .with_recovery(RecoveryConfig::default())
+    .to_text()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The spec text parser is total: arbitrary byte soup is rejected
+    /// with `Err` — never a panic. (The freak case where garbage forms
+    /// a valid spec must still re-serialize without panicking.)
+    #[test]
+    fn spec_parser_never_panics_on_garbage(bytes in prop::collection::vec(0u8..255, 0..400)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if let Ok(spec) = textfmt::from_text(&text) {
+            let _ = textfmt::to_text(&spec);
+        }
+    }
+
+    /// Valid spec text, truncated anywhere and spliced with garbage,
+    /// never panics the parser: every mutation is either still parseable
+    /// or a clean `Err`.
+    #[test]
+    fn spec_parser_never_panics_on_mutation(
+        cut in 0usize..10_000,
+        splice_at in 0usize..10_000,
+        junk in prop::collection::vec(0u8..255, 0..48),
+    ) {
+        let text = mutate(&base_spec_text(), cut, splice_at, &junk);
+        if let Ok(spec) = textfmt::from_text(&text) {
+            let _ = textfmt::to_text(&spec);
+        }
+    }
+
+    /// The fault-plan parser (header, events, and the `recover`
+    /// directive) is total on arbitrary byte soup.
+    #[test]
+    fn fault_plan_parser_never_panics_on_garbage(bytes in prop::collection::vec(0u8..255, 0..400)) {
+        use noc_spec::fault::FaultPlan;
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if let Ok(plan) = FaultPlan::from_text(&text) {
+            let _ = plan.to_text();
+        }
+    }
+
+    /// Valid fault-plan text (recovery knobs included), truncated and
+    /// spliced with garbage, never panics the parser.
+    #[test]
+    fn fault_plan_parser_never_panics_on_mutation(
+        cut in 0usize..10_000,
+        splice_at in 0usize..10_000,
+        junk in prop::collection::vec(0u8..255, 0..48),
+    ) {
+        use noc_spec::fault::FaultPlan;
+        let text = mutate(&base_plan_text(), cut, splice_at, &junk);
+        if let Ok(plan) = FaultPlan::from_text(&text) {
+            let _ = plan.to_text();
+        }
+    }
+}

@@ -320,6 +320,22 @@ impl IncrementalCdg {
         Ok(())
     }
 
+    /// Removes an admitted route's dependency edges from the CDG (one
+    /// multiplicity of each consecutive link pair) — the inverse of
+    /// [`IncrementalCdg::try_insert_route`]. Removing edges never
+    /// invalidates the maintained topological order, so this is O(route
+    /// length) with no repair work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some edge of `route` is not currently in the CDG (the
+    /// route was never admitted, or was already removed).
+    pub fn remove_route(&mut self, route: &Route) {
+        for pair in route.links.windows(2) {
+            self.remove_edge(pair[0].0 as u32, pair[1].0 as u32);
+        }
+    }
+
     /// The distinct dependency edges currently in the CDG, sorted —
     /// for parity checks against [`ChannelDependencyGraph`].
     pub fn edges(&self) -> Vec<(LinkId, LinkId)> {

@@ -24,7 +24,7 @@
 //! determinism contract when fault plans ride inside parameter
 //! sweeps.
 
-use crate::deadlock::assert_deadlock_free;
+use crate::deadlock::{assert_deadlock_free, IncrementalCdg};
 use crate::error::TopologyError;
 use crate::generators::Mesh;
 use crate::graph::{LinkId, NodeId, Topology};
@@ -292,6 +292,59 @@ pub fn degraded_routes(
     Ok(set)
 }
 
+/// Recomputes one flow's degraded routes around `failed` and verifies
+/// the swap *incrementally* against a caller-maintained
+/// [`IncrementalCdg`] holding the dependency edges of every currently
+/// installed route — the online-recovery entry point, where a
+/// from-scratch [`assert_deadlock_free`] over the whole route set per
+/// detection would defeat the point of detecting quickly.
+///
+/// Transactional: the flow's `old` routes are removed from `cdg` and
+/// the recomputed routes inserted; if any insertion would close a
+/// dependency cycle, everything is rolled back (the CDG and its
+/// verdicts are exactly as before the call) and the error is returned.
+/// On success `cdg` reflects the new routes and they are returned in
+/// `pairs` order.
+///
+/// # Errors
+///
+/// Propagates [`degraded_route`] errors ([`TopologyError::Partitioned`]
+/// / [`TopologyError::NoRoute`]) and [`TopologyError::DeadlockCycle`]
+/// from the incremental re-verification.
+///
+/// # Panics
+///
+/// Panics if some route in `old` was never admitted into `cdg`.
+pub fn degraded_reroute_incremental(
+    mesh: &Mesh,
+    model: TurnModel,
+    failed: &BTreeSet<LinkId>,
+    pairs: &[(CoreId, CoreId)],
+    old: &[Route],
+    cdg: &mut IncrementalCdg,
+) -> Result<Vec<Route>, TopologyError> {
+    let mut new_routes = Vec::with_capacity(pairs.len());
+    for &(a, b) in pairs {
+        new_routes.push(degraded_route(mesh, model, failed, a, b)?);
+    }
+    for r in old {
+        cdg.remove_route(r);
+    }
+    for (i, r) in new_routes.iter().enumerate() {
+        if let Err(e) = cdg.try_insert_route(r) {
+            for inserted in &new_routes[..i] {
+                cdg.remove_route(inserted);
+            }
+            for r in old {
+                cdg.try_insert_route(r)
+                    .expect("restoring previously admitted routes cannot cycle");
+            }
+            return Err(e);
+        }
+    }
+    Ok(new_routes)
+}
+
 /// Degraded routes for every ordered pair of distinct cores.
 ///
 /// # Errors
@@ -480,6 +533,77 @@ mod tests {
         // An NI node is not a router target.
         let ni = m.nis[0].0;
         assert!(resolve_faults(&m.topology, [FaultTarget::Router(ni.0)]).is_err());
+    }
+
+    #[test]
+    fn incremental_reroute_matches_from_scratch_cdg() {
+        use crate::deadlock::ChannelDependencyGraph;
+        let m = mesh(4, 4, &cores(16), 32).expect("valid");
+        let model = TurnModel::NorthLast;
+        let none = BTreeSet::new();
+        let route_a = degraded_route(&m, model, &none, CoreId(0), CoreId(15)).expect("route");
+        let route_b = degraded_route(&m, model, &none, CoreId(5), CoreId(10)).expect("route");
+        let mut cdg = IncrementalCdg::new();
+        cdg.try_insert_route(&route_a).expect("acyclic");
+        cdg.try_insert_route(&route_b).expect("acyclic");
+        // Fail a switch-switch link in the middle of flow A's route.
+        let failed = BTreeSet::from([route_a.links[1]]);
+        let new = degraded_reroute_incremental(
+            &m,
+            model,
+            &failed,
+            &[(CoreId(0), CoreId(15))],
+            std::slice::from_ref(&route_a),
+            &mut cdg,
+        )
+        .expect("reroutable");
+        assert_eq!(new.len(), 1);
+        assert!(!new[0].links.contains(&route_a.links[1]));
+        // The incrementally maintained CDG must equal the from-scratch
+        // CDG over the route set it now represents.
+        let mut set = RouteSet::new();
+        let ni = |c: usize| m.nis[m.tile_of(CoreId(c)).unwrap()];
+        set.insert(ni(0).0, ni(15).1, new[0].clone());
+        set.insert(ni(5).0, ni(10).1, route_b.clone());
+        let scratch = ChannelDependencyGraph::from_routes(&m.topology, &set);
+        let mut scratch_edges: Vec<(LinkId, LinkId)> = scratch
+            .links()
+            .flat_map(|x| scratch.successors(x).map(move |y| (x, y)))
+            .collect();
+        scratch_edges.sort_unstable();
+        assert_eq!(cdg.edges(), scratch_edges);
+    }
+
+    #[test]
+    fn incremental_reroute_failure_leaves_cdg_untouched() {
+        let m = mesh(3, 3, &cores(9), 32).expect("valid");
+        let model = TurnModel::WestFirst;
+        let none = BTreeSet::new();
+        let route = degraded_route(&m, model, &none, CoreId(8), CoreId(0)).expect("route");
+        let mut cdg = IncrementalCdg::new();
+        cdg.try_insert_route(&route).expect("acyclic");
+        let before = cdg.edges();
+        // Cut the corner off entirely: the reroute must fail with
+        // Partitioned, leaving the CDG exactly as it was.
+        let failed = BTreeSet::from([
+            fail_between(&m, (0, 1), (0, 0)),
+            fail_between(&m, (1, 0), (0, 0)),
+        ]);
+        let err = degraded_reroute_incremental(
+            &m,
+            model,
+            &failed,
+            &[(CoreId(8), CoreId(0))],
+            std::slice::from_ref(&route),
+            &mut cdg,
+        )
+        .expect_err("partitioned");
+        assert!(matches!(err, TopologyError::Partitioned { .. }));
+        assert_eq!(
+            cdg.edges(),
+            before,
+            "failed reroute must not mutate the CDG"
+        );
     }
 
     #[test]

@@ -137,3 +137,83 @@ fn merged_fault_sweep_is_thread_count_invariant() {
     let parallel = SweepRunner::with_threads(4).run_merged(31, &points, eval_point_faulted);
     assert_eq!(parallel, serial);
 }
+
+/// Like `eval_point_faulted`, but with the *online* recovery loop
+/// closed: watchdog detection, epoch-based hot-swaps, and NI
+/// retransmission all run per-point. Every piece of the recovery path
+/// is a pure function of (seed, plan, knobs) — no wall clock, no extra
+/// RNG streams — so parallel sweeps must stay bit-identical.
+fn eval_point_recovered(rate: &f64, seed: u64) -> SimStats {
+    use noc_sim::recovery::OnlineRecovery;
+    use noc_spec::fault::{FaultPlan, FaultScenario, FaultTarget, RecoveryConfig};
+    use noc_topology::TurnModel;
+
+    let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+    let fabric = mesh(4, 4, &cores, 32).expect("16 cores fit a 4x4 mesh");
+    let cfg = SimConfig::default().with_warmup(500);
+    let mut sim = Simulator::new(fabric.topology.clone(), cfg).with_seed(seed);
+    for s in patterns::uniform_random(&fabric, *rate, 4).expect("rate in range") {
+        sim.add_source(s);
+    }
+    let candidates: Vec<FaultTarget> = fabric
+        .topology
+        .links()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            fabric.topology.node(l.src).is_switch() && fabric.topology.node(l.dst).is_switch()
+        })
+        .map(|(i, _)| FaultTarget::Link(i))
+        .collect();
+    let scenario = FaultScenario {
+        faults: 2,
+        window: (600, 1_500),
+        transient_chance: 128,
+        duration: (100, 400),
+    };
+    let plan =
+        FaultPlan::generate(seed, &candidates, scenario).with_recovery(RecoveryConfig::default());
+    let mut rec = OnlineRecovery::install(&mut sim, &fabric, TurnModel::NorthLast, &plan)
+        .expect("online installation never precomputes detours");
+    rec.run(&mut sim, 3_000);
+    sim.into_stats()
+}
+
+#[test]
+fn parallel_online_recovery_sweep_matches_serial_bitwise() {
+    let points = sweep_points();
+    let serial = SweepRunner::serial().run(37, &points, eval_point_recovered);
+    assert!(
+        serial.iter().any(|s| s.recovery.detections > 0),
+        "watchdogs must actually fire for this test to mean anything"
+    );
+    assert!(
+        serial.iter().any(|s| s.recovery.reroutes_installed > 0),
+        "hot-swaps must actually commit for this test to mean anything"
+    );
+    for threads in [1, 2, 8] {
+        let parallel = SweepRunner::with_threads(threads).run(37, &points, eval_point_recovered);
+        assert_eq!(
+            parallel, serial,
+            "recovery telemetry must stay bit-identical at {threads} workers"
+        );
+    }
+}
+
+#[test]
+fn merged_online_recovery_sweep_is_thread_count_invariant() {
+    // RecoveryStats::merge is commutative/associative (sums and maxes),
+    // so the merged aggregate — detection/reroute/restore latencies,
+    // retransmit counts, epoch swaps — is scheduling-independent too.
+    let points = sweep_points();
+    let serial = SweepRunner::serial().run_merged(41, &points, eval_point_recovered);
+    for threads in [2, 8] {
+        let parallel =
+            SweepRunner::with_threads(threads).run_merged(41, &points, eval_point_recovered);
+        assert_eq!(parallel, serial);
+    }
+    assert!(
+        serial.recovery.detections > 0,
+        "merged telemetry must carry the recovery counters"
+    );
+}
