@@ -144,13 +144,19 @@ fn bench_synthesis(c: &mut Criterion) {
     group.finish();
 }
 
-/// Floorplanner annealing throughput.
+/// Floorplanner annealing throughput: one *single-chain* annealing run
+/// (the unit `run_multi` fans out N of), on the mobile SoC's 26 blocks
+/// and on a 60-block synthetic stress case.
 fn bench_floorplan(c: &mut Criterion) {
     let spec = presets::mobile_multimedia_soc();
+    let soc = noc_floorplan::core_plan::spec_annealer(&spec);
+    let (blocks, nets) = noc_bench::stress_floorplan(60);
+    let stress = noc_floorplan::slicing::SlicingFloorplanner::new(blocks, nets);
     let mut group = c.benchmark_group("floorplan");
     group.sample_size(10);
-    group.bench_function("slicing_anneal_26_blocks", |b| {
-        b.iter(|| CoreFloorplan::from_spec(&spec, 7).chip_width().raw())
+    group.bench_function("slicing_anneal_26_blocks", |b| b.iter(|| soc.run(7).cost));
+    group.bench_function("slicing_anneal_60_blocks", |b| {
+        b.iter(|| stress.run(7).cost)
     });
     group.finish();
 }

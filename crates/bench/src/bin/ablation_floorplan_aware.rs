@@ -25,7 +25,9 @@ fn main() {
         "floorplan-aware vs floorplan-oblivious synthesis",
     );
     let spec = presets::mobile_multimedia_soc();
-    let real_fp = CoreFloorplan::from_spec(&spec, 42);
+    // Best-of-8 annealing chains: the ablation's "real" floorplan should
+    // be a good one, and the multi-chain result is thread-count-invariant.
+    let real_fp = CoreFloorplan::from_spec_chains(&spec, 42, 8);
     // The oblivious floorplan: every core at the origin — synthesis sees
     // zero distances and optimizes connectivity blindly.
     let oblivious_fp = CoreFloorplan::from_placements(

@@ -7,8 +7,11 @@
 //! * `fig6/synthesis` — one `synthesize_min_power` run on the mobile
 //!   SoC (the SunFloor candidate sweep incl. incremental deadlock
 //!   verification — the synthesis-side hot path);
-//! * `floorplan/slicing_anneal_26_blocks` — one floorplan annealing
-//!   run of the mobile SoC's 26 blocks.
+//! * `floorplan/slicing_anneal_26_blocks` — one single-chain floorplan
+//!   annealing run of the mobile SoC's 26 blocks (the unit
+//!   `run_multi` fans out N of);
+//! * `floorplan/slicing_anneal_60_blocks` — the same annealer on the
+//!   60-block synthetic stress case (`noc_bench::stress_floorplan`).
 //!
 //! Exit status: 0 when every benchmark is within tolerance, 1 on a
 //! regression beyond a baseline's tolerance, 2 when the baseline file
@@ -55,6 +58,10 @@ const BENCHES: &[GuardedBench] = &[
     GuardedBench {
         name: "floorplan/slicing_anneal_26_blocks",
         measure: measure_floorplan_us,
+    },
+    GuardedBench {
+        name: "floorplan/slicing_anneal_60_blocks",
+        measure: measure_floorplan_stress_us,
     },
 ];
 
@@ -177,15 +184,31 @@ fn measure_synthesis_us() -> f64 {
     best
 }
 
-/// One floorplan annealing run — the exact
+/// One single-chain floorplan annealing run — the exact
 /// `floorplan/slicing_anneal_26_blocks` criterion setup.
 fn measure_floorplan_us() -> f64 {
-    const ROUNDS: usize = 3;
+    const ROUNDS: usize = 5;
     let spec = presets::mobile_multimedia_soc();
+    let annealer = noc_floorplan::core_plan::spec_annealer(&spec);
     let mut best = f64::INFINITY;
     for _ in 0..ROUNDS {
         let t0 = Instant::now();
-        std::hint::black_box(CoreFloorplan::from_spec(&spec, 7).chip_width().raw());
+        std::hint::black_box(annealer.run(7).cost);
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+/// One single-chain annealing run on the 60-block stress case — the
+/// exact `floorplan/slicing_anneal_60_blocks` criterion setup.
+fn measure_floorplan_stress_us() -> f64 {
+    const ROUNDS: usize = 5;
+    let (blocks, nets) = noc_bench::stress_floorplan(60);
+    let annealer = noc_floorplan::slicing::SlicingFloorplanner::new(blocks, nets);
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        std::hint::black_box(annealer.run(7).cost);
         best = best.min(t0.elapsed().as_secs_f64() * 1e6);
     }
     best

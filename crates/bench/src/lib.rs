@@ -54,6 +54,56 @@ pub fn banner(id: &str, title: &str) {
     println!("== {id}: {title} ==");
 }
 
+/// Deterministic synthetic floorplan stress case: `n` blocks with mixed
+/// aspect ratios and a sparse net list (a communication ring plus one
+/// hashed cross-link per block). Shared by the
+/// `floorplan/slicing_anneal_60_blocks` criterion bench and the
+/// corresponding `bench_guard` measurement so both time the same input.
+pub fn stress_floorplan(
+    n: usize,
+) -> (
+    Vec<noc_floorplan::block::Block>,
+    Vec<noc_floorplan::slicing::Net>,
+) {
+    // SplitMix64 as the dimension/net hash: fully deterministic, no RNG
+    // state threaded through the callers.
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let blocks = (0..n)
+        .map(|i| {
+            let h = mix(i as u64);
+            let w = 60.0 + (h % 300) as f64;
+            let ht = 60.0 + ((h >> 32) % 300) as f64;
+            noc_floorplan::block::Block::new(
+                format!("s{i}"),
+                noc_spec::units::Micrometers(w),
+                noc_spec::units::Micrometers(ht),
+            )
+        })
+        .collect();
+    let mut nets = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        nets.push(noc_floorplan::slicing::Net {
+            a: i,
+            b: (i + 1) % n,
+            weight: 1.0,
+        });
+        let partner = (mix(0xC0FFEE ^ i as u64) % n as u64) as usize;
+        if partner != i {
+            nets.push(noc_floorplan::slicing::Net {
+                a: i,
+                b: partner,
+                weight: 0.25,
+            });
+        }
+    }
+    (blocks, nets)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

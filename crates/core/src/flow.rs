@@ -213,7 +213,11 @@ pub fn run_flow(
 ) -> Result<FlowOutcome, FlowError> {
     let fp = match floorplan {
         Some(f) => f,
-        None => CoreFloorplan::from_spec(spec, cfg.synthesis.seed),
+        None => CoreFloorplan::from_spec_chains(
+            spec,
+            cfg.synthesis.seed,
+            cfg.synthesis.floorplan_chains,
+        ),
     };
     let mut designs = synthesize(spec, Some(&fp), &cfg.synthesis)?;
     designs.sort_by(|a, b| a.metrics.power.raw().total_cmp(&b.metrics.power.raw()));

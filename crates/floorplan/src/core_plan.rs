@@ -16,29 +16,47 @@ pub struct CoreFloorplan {
     chip_height: Micrometers,
 }
 
+/// The slicing annealer for `spec`'s cores: one block per core, one
+/// net per communication-graph flow with bandwidth-proportional weight
+/// (so heavily communicating cores are pulled together). Benches and
+/// [`CoreFloorplan::from_spec_chains`] share this exact construction.
+pub fn spec_annealer(spec: &AppSpec) -> SlicingFloorplanner {
+    let blocks: Vec<Block> = spec
+        .cores()
+        .iter()
+        .map(|c| Block::new(c.name.clone(), c.width, c.height))
+        .collect();
+    let total_bw = spec.total_bandwidth().raw().max(1) as f64;
+    let nets: Vec<Net> = spec
+        .communication_graph()
+        .into_iter()
+        .map(|((a, b), bw)| Net {
+            a: a.0,
+            b: b.0,
+            weight: bw.raw() as f64 / total_bw,
+        })
+        .collect();
+    SlicingFloorplanner::new(blocks, nets).with_config(AnnealConfig::default())
+}
+
 impl CoreFloorplan {
-    /// Floorplans the cores of `spec` with the slicing annealer, using
-    /// flow bandwidths as net weights so heavily communicating cores land
-    /// near each other. Deterministic for a fixed `seed`.
+    /// Annealing chains used by [`CoreFloorplan::from_spec`].
+    pub const DEFAULT_CHAINS: usize = 4;
+
+    /// Floorplans the cores of `spec` with the slicing annealer
+    /// ([`spec_annealer`]), running [`CoreFloorplan::DEFAULT_CHAINS`]
+    /// independent chains and keeping the best. Deterministic for a
+    /// fixed `seed` at any thread count.
     pub fn from_spec(spec: &AppSpec, seed: u64) -> CoreFloorplan {
-        let blocks: Vec<Block> = spec
-            .cores()
-            .iter()
-            .map(|c| Block::new(c.name.clone(), c.width, c.height))
-            .collect();
-        let total_bw = spec.total_bandwidth().raw().max(1) as f64;
-        let nets: Vec<Net> = spec
-            .communication_graph()
-            .into_iter()
-            .map(|((a, b), bw)| Net {
-                a: a.0,
-                b: b.0,
-                weight: bw.raw() as f64 / total_bw,
-            })
-            .collect();
-        let result = SlicingFloorplanner::new(blocks, nets)
-            .with_config(AnnealConfig::default())
-            .run(seed);
+        CoreFloorplan::from_spec_chains(spec, seed, CoreFloorplan::DEFAULT_CHAINS)
+    }
+
+    /// Like [`CoreFloorplan::from_spec`] with an explicit chain count.
+    /// Chain 0 anneals with `seed` itself, so `chains = 1` reproduces
+    /// the single-chain annealer exactly; more chains can only improve
+    /// the kept cost (winner is min `(cost, chain index)`).
+    pub fn from_spec_chains(spec: &AppSpec, seed: u64, chains: usize) -> CoreFloorplan {
+        let result = spec_annealer(spec).run_multi(seed, chains);
         let placements = result
             .placements
             .iter()

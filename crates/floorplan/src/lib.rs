@@ -43,4 +43,4 @@ pub mod slicing;
 pub use crate::block::{Block, Rect};
 pub use crate::core_plan::CoreFloorplan;
 pub use crate::incremental::{insert_noc, NocPlacement};
-pub use crate::slicing::{AnnealConfig, Net, SlicingFloorplanner, SlicingResult};
+pub use crate::slicing::{AnnealConfig, AnnealStats, Net, SlicingFloorplanner, SlicingResult};

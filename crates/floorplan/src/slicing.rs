@@ -4,24 +4,82 @@
 //! the interconnect as an input … an estimate of the position of each
 //! core." When the designer has no floorplan, this module produces one:
 //! blocks are arranged by a normalized-Polish-expression slicing tree,
-//! annealed over the classic three move types to minimize chip area plus
-//! weighted wirelength.
+//! annealed over the classic three move types plus rotation to minimize
+//! chip area plus weighted wirelength.
+//!
+//! ## Incremental evaluation
+//!
+//! The annealer's hot path is [`PlanArena`], a flat arena mirror of the
+//! slicing tree: node `i` of the arena *is* position `i` of the Polish
+//! expression (children always precede parents in postfix order), and
+//! per-node `(w, h)` dimensions live in plain `f64` arrays. A move
+//! touches only what it must:
+//!
+//! * **M1** (swap adjacent operands), **M2** (complement an operator
+//!   chain) and **rotation** update the affected leaves/operators and
+//!   re-propagate dimensions along the path(s) to the root — `O(depth)`
+//!   with early exit when a node's dimensions come out unchanged;
+//! * **M3** (swap an adjacent operand/operator pair) changes the tree
+//!   *structure*, so the arena is rebuilt in one allocation-free
+//!   `O(n)` stack pass — still far below the old per-move cost of
+//!   cloning the expression, re-boxing the tree and cloning every
+//!   `Block` (`String` names included).
+//!
+//! Every dimension overwrite is recorded in an undo log, so a rejected
+//! move rolls back *exactly* (bit-for-bit) without cloning any state.
+//! Placements — needed only for the wirelength term — are refreshed by
+//! a single linear pass over the arena when the cost asks for them.
+//! The contract (what each move invalidates, rollback rules) is
+//! documented in DESIGN.md and pinned by the parity proptests in
+//! `crates/floorplan/tests/incremental_slicing.rs`, which assert that
+//! incremental state equals a from-scratch [`reference_evaluate`] after
+//! every applied or rolled-back move.
+//!
+//! ## Multi-chain annealing
+//!
+//! [`SlicingFloorplanner::run_multi`] fans N independent chains across
+//! [`noc_par::ParRunner`]: chain 0 anneals with the caller's seed
+//! (so one chain reproduces [`SlicingFloorplanner::run`] exactly) and
+//! chain `c > 0` with [`noc_par::point_seed`]`(seed, c)`; the winner is
+//! the chain with the lowest `(cost, chain index)`, making the result
+//! bit-identical at any thread count.
 
 use crate::block::{Block, Rect};
+use noc_par::{point_seed, ParRunner};
 use noc_spec::units::Micrometers;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// One element of a Polish expression.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-enum Element {
+///
+/// Public (but hidden) so the cross-file parity proptests can drive
+/// [`PlanArena`] and [`reference_evaluate`] over the same state.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Element {
     /// Leaf: index into the block list.
     Operand(usize),
     /// Horizontal cut: stack top is placed *above* the one below.
     H,
     /// Vertical cut: stack top is placed *right of* the one below.
     V,
+}
+
+impl Element {
+    #[inline]
+    fn is_operator(self) -> bool {
+        matches!(self, Element::H | Element::V)
+    }
+
+    #[inline]
+    fn flipped(self) -> Element {
+        match self {
+            Element::H => Element::V,
+            Element::V => Element::H,
+            e => e,
+        }
+    }
 }
 
 /// A net connecting two blocks, with a weight (bandwidth-proportional in
@@ -63,6 +121,27 @@ impl Default for AnnealConfig {
     }
 }
 
+/// Counters of one annealing run ([`SlicingFloorplanner::run_with_stats`]).
+///
+/// `attempted` counts only *productive* candidate moves — perturbations
+/// that actually changed the plan and therefore paid a cost evaluation.
+/// A move attempt that could not produce a change (an M3 draw with no
+/// valid adjacent operand/operator swap, e.g. with two blocks) is
+/// detected up front, skips the evaluation *and* the acceptance test
+/// entirely, and is counted in `skipped_noop` instead; the old annealer
+/// paid a full evaluation and could "accept" the identical state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnealStats {
+    /// Productive moves evaluated (`accepted + rejected`).
+    pub attempted: u64,
+    /// Moves accepted (downhill, or uphill by the Metropolis test).
+    pub accepted: u64,
+    /// Moves rejected and rolled back exactly.
+    pub rejected: u64,
+    /// Degenerate draws skipped without evaluating (no state change).
+    pub skipped_noop: u64,
+}
+
 /// Result of a floorplanning run: one rectangle per block, in block
 /// order, plus the chip bounding box.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -101,6 +180,626 @@ impl SlicingResult {
                 })
                 .sum(),
         )
+    }
+}
+
+/// Precomputed cost-function constants, hoisted out of the per-move
+/// evaluation: the area normalizer and the combined wirelength scale
+/// (`wirelength_weight / (√area · Σ net weight)`), so one candidate
+/// costs one multiply-add past the raw area/wirelength numbers.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    inv_area_norm: f64,
+    wl_factor: f64,
+}
+
+impl CostParams {
+    /// Derives the constants for a block/net/config triple.
+    pub fn new(blocks: &[Block], nets: &[Net], config: &AnnealConfig) -> CostParams {
+        let total_area: f64 = blocks.iter().map(|b| b.area().raw()).sum();
+        let wl_norm = total_area.sqrt().max(1.0);
+        let wl_factor = if nets.is_empty() || config.wirelength_weight == 0.0 {
+            0.0
+        } else {
+            let total_weight: f64 = nets.iter().map(|n| n.weight).sum();
+            config.wirelength_weight / (wl_norm * total_weight.max(1e-12))
+        };
+        CostParams {
+            inv_area_norm: 1.0 / total_area.max(1e-12),
+            wl_factor,
+        }
+    }
+
+    /// Whether the cost needs placements (a wirelength term exists).
+    pub fn needs_wirelength(&self) -> bool {
+        self.wl_factor != 0.0
+    }
+
+    /// Cost of a `(chip area, weighted wirelength)` pair.
+    pub fn cost_of(&self, chip_area: f64, wirelength: f64) -> f64 {
+        let area_cost = chip_area * self.inv_area_norm;
+        if self.wl_factor == 0.0 {
+            area_cost
+        } else {
+            area_cost + wirelength * self.wl_factor
+        }
+    }
+}
+
+/// Undo token of one [`PlanArena::random_move`]; hand it back to
+/// [`PlanArena::undo`] to roll the move back exactly.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MoveUndo {
+    /// Degenerate draw — nothing changed, nothing to undo.
+    None,
+    /// M1: operands at positions `p` and `q` were swapped.
+    SwapOperands {
+        /// Earlier operand position.
+        p: u32,
+        /// Later operand position.
+        q: u32,
+    },
+    /// M2: operators in `start..end` were complemented.
+    FlipChain {
+        /// First flipped position.
+        start: u32,
+        /// One past the last flipped position.
+        end: u32,
+    },
+    /// M3: expression positions `i` and `i + 1` were swapped.
+    SwapAdjacent {
+        /// Earlier swapped position.
+        i: u32,
+    },
+    /// Rotation: `block`'s dimensions were transposed.
+    Rotate {
+        /// The rotated block.
+        block: usize,
+    },
+}
+
+/// "No parent" / "no child" sentinel for arena links.
+const NO_NODE: u32 = u32::MAX;
+
+/// Flat arena mirror of the slicing tree with incrementally maintained
+/// per-node dimensions — the annealer's hot path (see module docs).
+///
+/// Node `i` is expression position `i`; leaves carry the block's
+/// (possibly rotated) dimensions, operators the combined dimensions of
+/// their children. Invariants maintained across moves:
+///
+/// * `w[i]`/`h[i]` equal a from-scratch evaluation of the subtree at
+///   `i` (bit-for-bit — pinned by the parity proptests);
+/// * `leaf_of_block[b]` is the position of block `b`'s leaf;
+/// * `operand_pos`/`operator_pos` list operand/operator positions in
+///   ascending order (for allocation-free random move selection);
+/// * `balance[i]` is `#operands − #operators` over `expr[0..=i]`
+///   (≥ 1 everywhere — the balloting property), giving `O(1)` M3
+///   validity checks.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct PlanArena {
+    n: usize,
+    /// Unrotated block widths/heights.
+    bw: Vec<f64>,
+    bh: Vec<f64>,
+    rotated: Vec<bool>,
+    expr: Vec<Element>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    parent: Vec<u32>,
+    w: Vec<f64>,
+    h: Vec<f64>,
+    leaf_of_block: Vec<u32>,
+    operand_pos: Vec<u32>,
+    operator_pos: Vec<u32>,
+    balance: Vec<u32>,
+    /// Placement scratch (valid after `refresh_placements`).
+    x: Vec<f64>,
+    y: Vec<f64>,
+    /// Build-stack scratch for `rebuild`.
+    stack: Vec<u32>,
+    /// Dimension overwrites of the move in flight: `(pos, old_w, old_h)`.
+    undo_dims: Vec<(u32, f64, f64)>,
+}
+
+impl PlanArena {
+    /// Arena over `blocks` with the alternating-cut seed expression and
+    /// no rotations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty.
+    pub fn new_initial(blocks: &[Block]) -> PlanArena {
+        PlanArena::from_state(
+            blocks,
+            &initial_expr(blocks.len()),
+            &vec![false; blocks.len()],
+        )
+    }
+
+    /// Arena over an explicit `(expression, rotations)` state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is empty, `rotated.len() != blocks.len()`, or
+    /// `expr` is not a valid Polish expression over the blocks.
+    pub fn from_state(blocks: &[Block], expr: &[Element], rotated: &[bool]) -> PlanArena {
+        let n = blocks.len();
+        assert!(n > 0, "cannot build a plan over zero blocks");
+        assert_eq!(rotated.len(), n, "one rotation flag per block");
+        assert_eq!(expr.len(), 2 * n - 1, "expression length must be 2n-1");
+        let len = expr.len();
+        let mut balance = vec![0u32; len];
+        let mut bal: i64 = 0;
+        let mut operands = 0usize;
+        for (i, e) in expr.iter().enumerate() {
+            match e {
+                Element::Operand(b) => {
+                    assert!(*b < n, "operand references missing block");
+                    operands += 1;
+                    bal += 1;
+                }
+                _ => bal -= 1,
+            }
+            assert!(bal >= 1, "invalid polish expression (balloting)");
+            balance[i] = bal as u32;
+        }
+        assert_eq!(operands, n, "expression must name every block once");
+        let mut arena = PlanArena {
+            n,
+            bw: blocks.iter().map(|b| b.width.raw()).collect(),
+            bh: blocks.iter().map(|b| b.height.raw()).collect(),
+            rotated: rotated.to_vec(),
+            expr: expr.to_vec(),
+            left: vec![NO_NODE; len],
+            right: vec![NO_NODE; len],
+            parent: vec![NO_NODE; len],
+            w: vec![0.0; len],
+            h: vec![0.0; len],
+            leaf_of_block: vec![NO_NODE; n],
+            operand_pos: Vec::with_capacity(n),
+            operator_pos: Vec::with_capacity(len - n),
+            balance,
+            x: vec![0.0; len],
+            y: vec![0.0; len],
+            stack: Vec::with_capacity(n),
+            undo_dims: Vec::with_capacity(len),
+        };
+        arena.rebuild();
+        arena
+    }
+
+    /// The current Polish expression.
+    pub fn expr(&self) -> &[Element] {
+        &self.expr
+    }
+
+    /// The current rotation flags, one per block.
+    pub fn rotated(&self) -> &[bool] {
+        &self.rotated
+    }
+
+    /// Chip `(width, height)` — the root node's dimensions.
+    pub fn chip_dims(&self) -> (f64, f64) {
+        let root = self.expr.len() - 1;
+        (self.w[root], self.h[root])
+    }
+
+    /// Block `b`'s effective (rotation-applied) dimensions.
+    #[inline]
+    fn eff_dims(&self, b: usize) -> (f64, f64) {
+        if self.rotated[b] {
+            (self.bh[b], self.bw[b])
+        } else {
+            (self.bw[b], self.bh[b])
+        }
+    }
+
+    /// Operator `pos`'s dimensions recombined from its children.
+    #[inline]
+    fn combined(&self, pos: usize) -> (f64, f64) {
+        let l = self.left[pos] as usize;
+        let r = self.right[pos] as usize;
+        match self.expr[pos] {
+            Element::V => (self.w[l] + self.w[r], self.h[l].max(self.h[r])),
+            _ => (self.w[l].max(self.w[r]), self.h[l] + self.h[r]),
+        }
+    }
+
+    /// Overwrites `pos`'s dimensions, logging the old value for undo.
+    #[inline]
+    fn set_dims_logged(&mut self, pos: usize, w: f64, h: f64) {
+        self.undo_dims.push((pos as u32, self.w[pos], self.h[pos]));
+        self.w[pos] = w;
+        self.h[pos] = h;
+    }
+
+    /// Recombines dimensions along the path from `from`'s parent to the
+    /// root, stopping early once a node's dimensions come out unchanged
+    /// (its ancestors then cannot change either).
+    fn propagate_up(&mut self, from: usize) {
+        let mut p = self.parent[from];
+        while p != NO_NODE {
+            let pos = p as usize;
+            let (nw, nh) = self.combined(pos);
+            if nw == self.w[pos] && nh == self.h[pos] {
+                break;
+            }
+            self.set_dims_logged(pos, nw, nh);
+            p = self.parent[pos];
+        }
+    }
+
+    /// Rebuilds tree links, dimensions and position indices from the
+    /// expression in one allocation-free stack pass (`rebuild` reuses
+    /// every buffer). Used at construction and around M3 moves.
+    fn rebuild(&mut self) {
+        self.stack.clear();
+        self.operand_pos.clear();
+        self.operator_pos.clear();
+        for pos in 0..self.expr.len() {
+            match self.expr[pos] {
+                Element::Operand(b) => {
+                    self.left[pos] = NO_NODE;
+                    self.right[pos] = NO_NODE;
+                    let (w, h) = self.eff_dims(b);
+                    self.w[pos] = w;
+                    self.h[pos] = h;
+                    self.leaf_of_block[b] = pos as u32;
+                    self.operand_pos.push(pos as u32);
+                    self.stack.push(pos as u32);
+                }
+                _ => {
+                    let r = self.stack.pop().expect("valid polish expression");
+                    let l = self.stack.pop().expect("valid polish expression");
+                    self.left[pos] = l;
+                    self.right[pos] = r;
+                    self.parent[l as usize] = pos as u32;
+                    self.parent[r as usize] = pos as u32;
+                    let (w, h) = self.combined(pos);
+                    self.w[pos] = w;
+                    self.h[pos] = h;
+                    self.operator_pos.push(pos as u32);
+                    self.stack.push(pos as u32);
+                }
+            }
+        }
+        let root = self.stack.pop().expect("valid polish expression");
+        debug_assert!(self.stack.is_empty(), "expression leaves one root");
+        self.parent[root as usize] = NO_NODE;
+    }
+
+    /// Applies one random Wong–Liu perturbation (M1–M3) or a rotation
+    /// (1 in 4 draws) and returns its undo token. [`MoveUndo::None`]
+    /// means the draw was degenerate (no valid M3 swap exists) and the
+    /// plan is untouched — the caller should skip evaluation.
+    pub fn random_move(&mut self, rng: &mut StdRng) -> MoveUndo {
+        self.undo_dims.clear();
+        if self.n < 2 {
+            return MoveUndo::None;
+        }
+        // 1 in 4 moves toggles a rotation (M4); the rest perturb the
+        // expression (M1-M3).
+        if rng.gen_range(0..4u8) == 0 {
+            self.move_rotate(rng)
+        } else {
+            match rng.gen_range(0..3u8) {
+                0 => self.move_swap_operands(rng),
+                1 => self.move_flip_chain(rng),
+                _ => self.move_swap_adjacent(rng),
+            }
+        }
+    }
+
+    /// M1: swaps two adjacent operands (adjacent in operand order, not
+    /// necessarily in the expression). Always productive for `n ≥ 2`.
+    fn move_swap_operands(&mut self, rng: &mut StdRng) -> MoveUndo {
+        let k = rng.gen_range(0..self.n - 1);
+        let p = self.operand_pos[k] as usize;
+        let q = self.operand_pos[k + 1] as usize;
+        let (a, b) = match (self.expr[p], self.expr[q]) {
+            (Element::Operand(a), Element::Operand(b)) => (a, b),
+            _ => unreachable!("operand_pos indexes operands"),
+        };
+        self.expr[p] = Element::Operand(b);
+        self.expr[q] = Element::Operand(a);
+        self.leaf_of_block[a] = q as u32;
+        self.leaf_of_block[b] = p as u32;
+        let (wb, hb) = self.eff_dims(b);
+        self.set_dims_logged(p, wb, hb);
+        let (wa, ha) = self.eff_dims(a);
+        self.set_dims_logged(q, wa, ha);
+        self.propagate_up(p);
+        self.propagate_up(q);
+        MoveUndo::SwapOperands {
+            p: p as u32,
+            q: q as u32,
+        }
+    }
+
+    /// M2: complements the operator chain running forward from a random
+    /// operator position. Consecutive operators are parent-linked in
+    /// postfix order, so recombining them in increasing position order
+    /// is child-before-parent; one final propagation covers the rest.
+    fn move_flip_chain(&mut self, rng: &mut StdRng) -> MoveUndo {
+        let k = rng.gen_range(0..self.operator_pos.len());
+        let start = self.operator_pos[k] as usize;
+        let mut j = start;
+        while j < self.expr.len() && self.expr[j].is_operator() {
+            self.expr[j] = self.expr[j].flipped();
+            let (nw, nh) = self.combined(j);
+            self.set_dims_logged(j, nw, nh);
+            j += 1;
+        }
+        self.propagate_up(j - 1);
+        MoveUndo::FlipChain {
+            start: start as u32,
+            end: j as u32,
+        }
+    }
+
+    /// M3: swaps an adjacent operand/operator pair, keeping the
+    /// balloting property. Validity is `O(1)` via the maintained prefix
+    /// balance: moving an operator one slot *earlier* (operand-operator
+    /// order) needs a prefix balance ≥ 2 before the pair; moving it
+    /// later is always safe. Returns [`MoveUndo::None`] when no valid
+    /// pair is drawn (e.g. with two blocks no valid M3 exists at all).
+    fn move_swap_adjacent(&mut self, rng: &mut StdRng) -> MoveUndo {
+        for _attempt in 0..32 {
+            let i = rng.gen_range(0..self.expr.len() - 1);
+            let first_op = self.expr[i].is_operator();
+            if first_op == self.expr[i + 1].is_operator() {
+                continue;
+            }
+            if !first_op {
+                let before = if i == 0 { 0 } else { self.balance[i - 1] };
+                if before < 2 {
+                    continue;
+                }
+            }
+            self.expr.swap(i, i + 1);
+            self.update_balance_at(i);
+            self.rebuild();
+            return MoveUndo::SwapAdjacent { i: i as u32 };
+        }
+        MoveUndo::None
+    }
+
+    /// Rotation (the classical M4): transposes one block's dimensions.
+    fn move_rotate(&mut self, rng: &mut StdRng) -> MoveUndo {
+        let b = rng.gen_range(0..self.n);
+        self.rotated[b] = !self.rotated[b];
+        let p = self.leaf_of_block[b] as usize;
+        let (w, h) = self.eff_dims(b);
+        self.set_dims_logged(p, w, h);
+        self.propagate_up(p);
+        MoveUndo::Rotate { block: b }
+    }
+
+    /// Recomputes `balance[i]` after `expr[i]` changed kind (the only
+    /// index an M3 swap affects — later prefixes contain the same
+    /// multiset either way).
+    fn update_balance_at(&mut self, i: usize) {
+        let before = if i == 0 { 0 } else { self.balance[i - 1] };
+        self.balance[i] = if self.expr[i].is_operator() {
+            before - 1
+        } else {
+            before + 1
+        };
+    }
+
+    /// Rolls back the move that produced `mv`, restoring every
+    /// dimension bit-for-bit from the undo log (M3 rolls back by
+    /// swapping the expression back and re-running the same
+    /// allocation-free rebuild that applied it).
+    pub fn undo(&mut self, mv: MoveUndo) {
+        match mv {
+            MoveUndo::None => {}
+            MoveUndo::SwapOperands { p, q } => {
+                let (p, q) = (p as usize, q as usize);
+                self.expr.swap(p, q);
+                if let Element::Operand(a) = self.expr[p] {
+                    self.leaf_of_block[a] = p as u32;
+                }
+                if let Element::Operand(b) = self.expr[q] {
+                    self.leaf_of_block[b] = q as u32;
+                }
+                self.restore_dims();
+            }
+            MoveUndo::FlipChain { start, end } => {
+                for j in start..end {
+                    self.expr[j as usize] = self.expr[j as usize].flipped();
+                }
+                self.restore_dims();
+            }
+            MoveUndo::SwapAdjacent { i } => {
+                let i = i as usize;
+                self.expr.swap(i, i + 1);
+                self.update_balance_at(i);
+                self.rebuild();
+            }
+            MoveUndo::Rotate { block } => {
+                self.rotated[block] = !self.rotated[block];
+                self.restore_dims();
+            }
+        }
+    }
+
+    /// Pops the undo log, restoring overwritten dimensions in reverse.
+    fn restore_dims(&mut self) {
+        while let Some((pos, ow, oh)) = self.undo_dims.pop() {
+            self.w[pos as usize] = ow;
+            self.h[pos as usize] = oh;
+        }
+    }
+
+    /// Refreshes node origins top-down in one linear pass: children
+    /// always precede parents in postfix order, so a descending
+    /// position scan visits every parent before its children.
+    fn refresh_placements(&mut self) {
+        let len = self.expr.len();
+        let root = len - 1;
+        self.x[root] = 0.0;
+        self.y[root] = 0.0;
+        for pos in (0..len).rev() {
+            if !self.expr[pos].is_operator() {
+                continue;
+            }
+            let l = self.left[pos] as usize;
+            let r = self.right[pos] as usize;
+            self.x[l] = self.x[pos];
+            self.y[l] = self.y[pos];
+            match self.expr[pos] {
+                Element::V => {
+                    self.x[r] = self.x[pos] + self.w[l];
+                    self.y[r] = self.y[pos];
+                }
+                _ => {
+                    self.x[r] = self.x[pos];
+                    self.y[r] = self.y[pos] + self.h[l];
+                }
+            }
+        }
+    }
+
+    /// Weighted wirelength over fresh placements (same arithmetic as
+    /// [`SlicingResult::wirelength`], term for term).
+    fn wirelength(&self, nets: &[Net]) -> f64 {
+        let mut acc = 0.0;
+        for net in nets {
+            let pa = self.leaf_of_block[net.a] as usize;
+            let pb = self.leaf_of_block[net.b] as usize;
+            let ax = self.x[pa] + self.w[pa] / 2.0;
+            let ay = self.y[pa] + self.h[pa] / 2.0;
+            let bx = self.x[pb] + self.w[pb] / 2.0;
+            let by = self.y[pb] + self.h[pb] / 2.0;
+            acc += ((ax - bx).abs() + (ay - by).abs()) * net.weight;
+        }
+        acc
+    }
+
+    /// Cost of the current plan. Placements are refreshed only when the
+    /// cost actually has a wirelength term; area-only runs never touch
+    /// them.
+    pub fn cost(&mut self, nets: &[Net], params: &CostParams) -> f64 {
+        let (w, h) = self.chip_dims();
+        let area = w * h;
+        if !params.needs_wirelength() {
+            return params.cost_of(area, 0.0);
+        }
+        self.refresh_placements();
+        params.cost_of(area, self.wirelength(nets))
+    }
+
+    /// Block placements in block order (refreshes coordinates first).
+    pub fn placements(&mut self) -> Vec<Rect> {
+        self.refresh_placements();
+        (0..self.n)
+            .map(|b| {
+                let p = self.leaf_of_block[b] as usize;
+                Rect::new(
+                    Micrometers(self.x[p]),
+                    Micrometers(self.y[p]),
+                    Micrometers(self.w[p]),
+                    Micrometers(self.h[p]),
+                )
+            })
+            .collect()
+    }
+}
+
+/// The seed expression: `b0 b1 H b2 V b3 H …` — cut directions
+/// alternate, so the start is a rough grid (roughly √n per row) rather
+/// than a single row; the annealer reshapes it from there.
+fn initial_expr(n: usize) -> Vec<Element> {
+    let mut expr: Vec<Element> = Vec::with_capacity(2 * n - 1);
+    expr.push(Element::Operand(0));
+    for i in 1..n {
+        expr.push(Element::Operand(i));
+        expr.push(if i % 2 == 0 { Element::V } else { Element::H });
+    }
+    expr
+}
+
+/// From-scratch reference evaluation of `(expr, rotated)` — the
+/// independent recursive implementation the incremental [`PlanArena`]
+/// is pinned against (parity proptests), and the final realization of
+/// [`SlicingFloorplanner::run`]'s best state. `cost` is left 0.
+#[doc(hidden)]
+pub fn reference_evaluate(blocks: &[Block], expr: &[Element], rotated: &[bool]) -> SlicingResult {
+    enum Tree {
+        Leaf(usize),
+        Node(Element, Box<Tree>, Box<Tree>),
+    }
+    fn dims(t: &Tree, bdims: &[(f64, f64)]) -> (f64, f64) {
+        match t {
+            Tree::Leaf(i) => bdims[*i],
+            Tree::Node(op, l, r) => {
+                let (lw, lh) = dims(l, bdims);
+                let (rw, rh) = dims(r, bdims);
+                match op {
+                    Element::V => (lw + rw, lh.max(rh)),
+                    _ => (lw.max(rw), lh + rh),
+                }
+            }
+        }
+    }
+    fn place(t: &Tree, bdims: &[(f64, f64)], x: f64, y: f64, out: &mut [Rect]) {
+        match t {
+            Tree::Leaf(i) => {
+                let (w, h) = bdims[*i];
+                out[*i] = Rect::new(
+                    Micrometers(x),
+                    Micrometers(y),
+                    Micrometers(w),
+                    Micrometers(h),
+                );
+            }
+            Tree::Node(op, l, r) => {
+                let (lw, lh) = dims(l, bdims);
+                place(l, bdims, x, y, out);
+                match op {
+                    Element::V => place(r, bdims, x + lw, y, out),
+                    _ => place(r, bdims, x, y + lh, out),
+                }
+            }
+        }
+    }
+    let bdims: Vec<(f64, f64)> = blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            if rotated.get(i).copied().unwrap_or(false) {
+                (b.height.raw(), b.width.raw())
+            } else {
+                (b.width.raw(), b.height.raw())
+            }
+        })
+        .collect();
+    let mut stack: Vec<Tree> = Vec::new();
+    for &e in expr {
+        match e {
+            Element::Operand(i) => stack.push(Tree::Leaf(i)),
+            op => {
+                let r = stack.pop().expect("valid polish expression");
+                let l = stack.pop().expect("valid polish expression");
+                stack.push(Tree::Node(op, Box::new(l), Box::new(r)));
+            }
+        }
+    }
+    let root = stack.pop().expect("valid polish expression");
+    debug_assert!(stack.is_empty());
+    let (w, h) = dims(&root, &bdims);
+    let mut placements = vec![Rect::default(); blocks.len()];
+    place(&root, &bdims, 0.0, 0.0, &mut placements);
+    SlicingResult {
+        placements,
+        chip_width: Micrometers(w),
+        chip_height: Micrometers(h),
+        cost: 0.0,
     }
 }
 
@@ -159,7 +858,14 @@ impl SlicingFloorplanner {
     /// rotation (the classical M4), which lets mismatched aspect ratios
     /// pack tightly.
     pub fn run(&self, seed: u64) -> SlicingResult {
+        self.run_with_stats(seed).0
+    }
+
+    /// Like [`SlicingFloorplanner::run`], also returning the annealing
+    /// counters ([`AnnealStats`]).
+    pub fn run_with_stats(&self, seed: u64) -> (SlicingResult, AnnealStats) {
         let n = self.blocks.len();
+        let mut stats = AnnealStats::default();
         if n == 1 {
             let r = Rect::new(
                 Micrometers(0.0),
@@ -167,239 +873,93 @@ impl SlicingFloorplanner {
                 self.blocks[0].width,
                 self.blocks[0].height,
             );
-            return SlicingResult {
-                placements: vec![r],
-                chip_width: self.blocks[0].width,
-                chip_height: self.blocks[0].height,
-                cost: 0.0,
-            };
+            return (
+                SlicingResult {
+                    placements: vec![r],
+                    chip_width: self.blocks[0].width,
+                    chip_height: self.blocks[0].height,
+                    cost: 0.0,
+                },
+                stats,
+            );
         }
         let mut rng = StdRng::seed_from_u64(seed);
-        // Initial expression: b0 b1 V b2 V b3 V ... (a row), then let the
-        // annealer reshape it.
-        let mut expr: Vec<Element> = Vec::with_capacity(2 * n - 1);
-        expr.push(Element::Operand(0));
-        for i in 1..n {
-            expr.push(Element::Operand(i));
-            expr.push(if i % 2 == 0 { Element::V } else { Element::H });
-        }
-        let mut rotated = vec![false; n];
-        let norm = self.cost_normalizers();
-        let mut cur_cost = self.cost(&expr, &rotated, norm);
-        let mut best_expr = expr.clone();
-        let mut best_rotated = rotated.clone();
+        let params = CostParams::new(&self.blocks, &self.nets, &self.config);
+        let mut arena = PlanArena::new_initial(&self.blocks);
+        let mut cur_cost = arena.cost(&self.nets, &params);
+        let mut best_expr: Vec<Element> = arena.expr().to_vec();
+        let mut best_rotated: Vec<bool> = arena.rotated().to_vec();
         let mut best_cost = cur_cost;
         let mut temperature = self.config.initial_temperature;
         while temperature > self.config.final_temperature {
             for _ in 0..self.config.moves_per_round {
-                // 1 in 4 moves toggles a rotation (M4); the rest
-                // perturb the expression (M1-M3).
-                let mut cand_expr = expr.clone();
-                let mut cand_rot = rotated.clone();
-                if rng.gen_range(0..4u8) == 0 {
-                    let i = rng.gen_range(0..n);
-                    cand_rot[i] = !cand_rot[i];
-                } else {
-                    cand_expr = self.random_move(&expr, &mut rng);
+                let mv = arena.random_move(&mut rng);
+                if mv == MoveUndo::None {
+                    // Degenerate draw: the plan is untouched, so pay
+                    // neither the evaluation nor an acceptance test.
+                    stats.skipped_noop += 1;
+                    continue;
                 }
-                let cand_cost = self.cost(&cand_expr, &cand_rot, norm);
+                stats.attempted += 1;
+                let cand_cost = arena.cost(&self.nets, &params);
                 let delta = cand_cost - cur_cost;
                 if delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp() {
-                    expr = cand_expr;
-                    rotated = cand_rot;
+                    stats.accepted += 1;
                     cur_cost = cand_cost;
                     if cur_cost < best_cost {
                         best_cost = cur_cost;
-                        best_expr = expr.clone();
-                        best_rotated = rotated.clone();
+                        best_expr.clear();
+                        best_expr.extend_from_slice(arena.expr());
+                        best_rotated.clear();
+                        best_rotated.extend_from_slice(arena.rotated());
                     }
+                } else {
+                    stats.rejected += 1;
+                    arena.undo(mv);
                 }
             }
             temperature *= self.config.cooling;
         }
-        self.realize(&best_expr, &best_rotated, best_cost)
+        let result = reference_evaluate(&self.blocks, &best_expr, &best_rotated);
+        (
+            SlicingResult {
+                cost: best_cost,
+                ..result
+            },
+            stats,
+        )
     }
 
-    /// (area, wirelength) scale factors so the two cost terms are
-    /// comparable.
-    fn cost_normalizers(&self) -> (f64, f64) {
-        let total_area: f64 = self.blocks.iter().map(|b| b.area().raw()).sum();
-        let scale = total_area.sqrt();
-        (total_area, scale.max(1.0))
+    /// Anneals `chains` independent chains and returns the best result.
+    ///
+    /// Chain 0 uses `seed` itself — so `run_multi(seed, 1)` is exactly
+    /// [`SlicingFloorplanner::run`]`(seed)` — and chain `c > 0` uses
+    /// [`point_seed`]`(seed, c)`. Chains are fanned across all cores
+    /// via [`ParRunner`]; the winner is the lowest `(cost, chain
+    /// index)`, so the result is bit-identical to a serial run at any
+    /// thread count, and its cost is never worse than chain 0's.
+    pub fn run_multi(&self, seed: u64, chains: usize) -> SlicingResult {
+        self.run_multi_with_runner(seed, chains, &ParRunner::new())
     }
 
-    fn cost(&self, expr: &[Element], rotated: &[bool], (area_norm, wl_norm): (f64, f64)) -> f64 {
-        let result = self.evaluate(expr, rotated);
-        let area_cost = result.chip_area().raw() / area_norm;
-        if self.nets.is_empty() || self.config.wirelength_weight == 0.0 {
-            return area_cost;
-        }
-        let total_weight: f64 = self.nets.iter().map(|n| n.weight).sum();
-        let wl = result.wirelength(&self.nets).raw() / (wl_norm * total_weight.max(1e-12));
-        area_cost + self.config.wirelength_weight * wl
-    }
-
-    /// One of the three Wong–Liu perturbations, applied to a copy.
-    fn random_move(&self, expr: &[Element], rng: &mut StdRng) -> Vec<Element> {
-        let mut out = expr.to_vec();
-        for _attempt in 0..32 {
-            match rng.gen_range(0..3u8) {
-                // M1: swap two adjacent operands.
-                0 => {
-                    let operand_positions: Vec<usize> = out
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, e)| matches!(e, Element::Operand(_)))
-                        .map(|(i, _)| i)
-                        .collect();
-                    if operand_positions.len() >= 2 {
-                        let k = rng.gen_range(0..operand_positions.len() - 1);
-                        out.swap(operand_positions[k], operand_positions[k + 1]);
-                        return out;
-                    }
-                }
-                // M2: complement a chain of operators.
-                1 => {
-                    let op_positions: Vec<usize> = out
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, e)| matches!(e, Element::H | Element::V))
-                        .map(|(i, _)| i)
-                        .collect();
-                    if !op_positions.is_empty() {
-                        let start = op_positions[rng.gen_range(0..op_positions.len())];
-                        let mut i = start;
-                        while i < out.len() && matches!(out[i], Element::H | Element::V) {
-                            out[i] = match out[i] {
-                                Element::H => Element::V,
-                                Element::V => Element::H,
-                                e => e,
-                            };
-                            i += 1;
-                        }
-                        return out;
-                    }
-                }
-                // M3: swap an adjacent operand/operator pair, keeping the
-                // expression normalized (balloting property).
-                _ => {
-                    let i = rng.gen_range(0..out.len() - 1);
-                    let (a, b) = (out[i], out[i + 1]);
-                    let is_op = |e: Element| matches!(e, Element::H | Element::V);
-                    if is_op(a) != is_op(b) {
-                        out.swap(i, i + 1);
-                        if self.is_valid(&out) {
-                            return out;
-                        }
-                        out.swap(i, i + 1); // revert and retry
-                    }
-                }
-            }
-        }
-        out
-    }
-
-    /// Balloting property + no two identical adjacent operators on the
-    /// same chain start (classical normalization keeps the search space
-    /// small; we only enforce validity).
-    fn is_valid(&self, expr: &[Element]) -> bool {
-        let mut operands = 0usize;
-        let mut operators = 0usize;
-        for e in expr {
-            match e {
-                Element::Operand(_) => operands += 1,
-                _ => {
-                    operators += 1;
-                    if operators >= operands {
-                        return false;
-                    }
-                }
-            }
-        }
-        operands == self.blocks.len() && operators + 1 == operands
-    }
-
-    /// Evaluates an expression into placements (stack machine + top-down
-    /// coordinate assignment). `rotated[i]` swaps block `i`'s dimensions.
-    fn evaluate(&self, expr: &[Element], rotated: &[bool]) -> SlicingResult {
-        #[derive(Clone)]
-        enum Tree {
-            Leaf(usize),
-            Node(Element, Box<Tree>, Box<Tree>),
-        }
-        fn dims(t: &Tree, blocks: &[Block]) -> (f64, f64) {
-            match t {
-                Tree::Leaf(i) => (blocks[*i].width.raw(), blocks[*i].height.raw()),
-                Tree::Node(op, l, r) => {
-                    let (lw, lh) = dims(l, blocks);
-                    let (rw, rh) = dims(r, blocks);
-                    match op {
-                        Element::V => (lw + rw, lh.max(rh)),
-                        _ => (lw.max(rw), lh + rh),
-                    }
-                }
-            }
-        }
-        fn place(t: &Tree, blocks: &[Block], x: f64, y: f64, out: &mut [Rect]) {
-            match t {
-                Tree::Leaf(i) => {
-                    out[*i] = Rect::new(
-                        Micrometers(x),
-                        Micrometers(y),
-                        blocks[*i].width,
-                        blocks[*i].height,
-                    );
-                }
-                Tree::Node(op, l, r) => {
-                    let (lw, lh) = dims(l, blocks);
-                    place(l, blocks, x, y, out);
-                    match op {
-                        Element::V => place(r, blocks, x + lw, y, out),
-                        _ => place(r, blocks, x, y + lh, out),
-                    }
-                }
-            }
-        }
-        let blocks: Vec<Block> = self
-            .blocks
-            .iter()
-            .enumerate()
-            .map(|(i, b)| {
-                if rotated.get(i).copied().unwrap_or(false) {
-                    Block::new(b.name.clone(), b.height, b.width)
-                } else {
-                    b.clone()
-                }
-            })
+    /// [`SlicingFloorplanner::run_multi`] on an explicit runner (the
+    /// determinism tests sweep thread counts through this).
+    pub fn run_multi_with_runner(
+        &self,
+        seed: u64,
+        chains: usize,
+        runner: &ParRunner,
+    ) -> SlicingResult {
+        let chain_seeds: Vec<u64> = (0..chains.max(1) as u64)
+            .map(|c| if c == 0 { seed } else { point_seed(seed, c) })
             .collect();
-        let mut stack: Vec<Tree> = Vec::new();
-        for &e in expr {
-            match e {
-                Element::Operand(i) => stack.push(Tree::Leaf(i)),
-                op => {
-                    let r = stack.pop().expect("valid polish expression");
-                    let l = stack.pop().expect("valid polish expression");
-                    stack.push(Tree::Node(op, Box::new(l), Box::new(r)));
-                }
-            }
-        }
-        let root = stack.pop().expect("valid polish expression");
-        debug_assert!(stack.is_empty());
-        let (w, h) = dims(&root, &blocks);
-        let mut placements = vec![Rect::default(); blocks.len()];
-        place(&root, &blocks, 0.0, 0.0, &mut placements);
-        SlicingResult {
-            placements,
-            chip_width: Micrometers(w),
-            chip_height: Micrometers(h),
-            cost: 0.0,
-        }
-    }
-
-    fn realize(&self, expr: &[Element], rotated: &[bool], cost: f64) -> SlicingResult {
-        let mut r = self.evaluate(expr, rotated);
-        r.cost = cost;
-        r
+        let results = runner.run(seed, &chain_seeds, |&chain_seed, _| self.run(chain_seed));
+        results
+            .into_iter()
+            .enumerate()
+            .min_by(|(ia, a), (ib, b)| a.cost.total_cmp(&b.cost).then(ia.cmp(ib)))
+            .map(|(_, r)| r)
+            .expect("at least one chain")
     }
 }
 
@@ -540,6 +1100,47 @@ mod tests {
             weight: 3.0,
         }]);
         assert!((wl3.raw() - 3.0 * wl1.raw()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_account_for_every_draw() {
+        let blocks = uniform_blocks(9, 100.0, 80.0);
+        let (_, stats) = SlicingFloorplanner::new(blocks, vec![]).run_with_stats(7);
+        assert_eq!(stats.attempted, stats.accepted + stats.rejected);
+        assert!(stats.attempted > 0, "annealer must evaluate moves");
+    }
+
+    #[test]
+    fn two_blocks_skip_degenerate_m3_draws() {
+        // With two blocks no valid M3 swap exists ("a b op" is the only
+        // shape), so every M3 draw must be detected and skipped instead
+        // of evaluated as a no-op.
+        let blocks = uniform_blocks(2, 30.0, 40.0);
+        let (r, stats) = SlicingFloorplanner::new(blocks, vec![]).run_with_stats(5);
+        assert!(stats.skipped_noop > 0, "M3 draws exist and must skip");
+        assert_eq!(stats.attempted, stats.accepted + stats.rejected);
+        assert_eq!(r.placements.len(), 2);
+    }
+
+    #[test]
+    fn run_multi_single_chain_is_run() {
+        let blocks = uniform_blocks(8, 90.0, 120.0);
+        let fp = SlicingFloorplanner::new(blocks, vec![]);
+        assert_eq!(fp.run_multi(17, 1), fp.run(17));
+    }
+
+    #[test]
+    fn run_multi_never_worse_than_chain_zero() {
+        let blocks = uniform_blocks(10, 140.0, 60.0);
+        let nets = vec![Net {
+            a: 0,
+            b: 9,
+            weight: 2.0,
+        }];
+        let fp = SlicingFloorplanner::new(blocks, nets);
+        let single = fp.run(3);
+        let multi = fp.run_multi(3, 4);
+        assert!(multi.cost <= single.cost, "winner includes chain 0");
     }
 
     #[test]

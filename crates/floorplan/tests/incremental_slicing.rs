@@ -1,0 +1,137 @@
+//! Parity tests: the incremental arena evaluation (`PlanArena`) must
+//! agree *bit-for-bit* with a from-scratch recursive evaluation
+//! (`reference_evaluate`) after every move — applied or rolled back —
+//! mirroring the `IncrementalCdg` parity-test pattern.
+//!
+//! Each case drives a random sequence of annealer moves (M1/M2/M3 +
+//! rotation) over random blocks and nets, randomly undoing some of
+//! them, and after every step asserts that chip dimensions, all block
+//! placements, and the cost are exactly what a fresh evaluation of the
+//! current `(expression, rotations)` state produces.
+
+use noc_floorplan::block::Block;
+use noc_floorplan::slicing::{
+    reference_evaluate, AnnealConfig, CostParams, MoveUndo, Net, PlanArena,
+};
+use noc_spec::units::Micrometers;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn blocks_from(dims: &[(u32, u32)]) -> Vec<Block> {
+    dims.iter()
+        .enumerate()
+        .map(|(i, &(w, h))| {
+            Block::new(
+                format!("b{i}"),
+                Micrometers(w as f64),
+                Micrometers(h as f64),
+            )
+        })
+        .collect()
+}
+
+fn nets_from(raw: &[(u32, u32, u32)], n: usize) -> Vec<Net> {
+    raw.iter()
+        .map(|&(a, b, w)| Net {
+            a: a as usize % n,
+            b: b as usize % n,
+            weight: w as f64 / 10.0,
+        })
+        .collect()
+}
+
+/// Asserts full incremental-vs-reference parity for the arena's
+/// current state. Returns an error string on the first mismatch so
+/// proptest can shrink.
+fn assert_parity(
+    arena: &mut PlanArena,
+    blocks: &[Block],
+    nets: &[Net],
+    params: &CostParams,
+    step: usize,
+) -> Result<(), TestCaseError> {
+    let reference = reference_evaluate(blocks, arena.expr(), arena.rotated());
+    let (w, h) = arena.chip_dims();
+    prop_assert_eq!(w, reference.chip_width.raw(), "chip width at step {}", step);
+    prop_assert_eq!(
+        h,
+        reference.chip_height.raw(),
+        "chip height at step {}",
+        step
+    );
+    let placements = arena.placements();
+    prop_assert_eq!(
+        &placements,
+        &reference.placements,
+        "placements at step {}",
+        step
+    );
+    let incremental_cost = arena.cost(nets, params);
+    let reference_cost = params.cost_of(
+        reference.chip_area().raw(),
+        reference.wirelength(nets).raw(),
+    );
+    prop_assert_eq!(incremental_cost, reference_cost, "cost at step {}", step);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random move sequences with random rejections: incremental state
+    /// equals from-scratch evaluation after every apply and every undo.
+    #[test]
+    fn incremental_matches_from_scratch(
+        dims in prop::collection::vec((20u32..400, 20u32..400), 2..12),
+        raw_nets in prop::collection::vec((0u32..64, 0u32..64, 1u32..40), 0..16),
+        seed in any::<u64>(),
+        reject_bits in any::<u64>(),
+        steps in 10usize..120,
+    ) {
+        let blocks = blocks_from(&dims);
+        let nets = nets_from(&raw_nets, blocks.len());
+        let params = CostParams::new(&blocks, &nets, &AnnealConfig::default());
+        let mut arena = PlanArena::new_initial(&blocks);
+        let mut rng = StdRng::seed_from_u64(seed);
+        assert_parity(&mut arena, &blocks, &nets, &params, 0)?;
+        for step in 1..=steps {
+            let mv = arena.random_move(&mut rng);
+            if (reject_bits >> (step % 64)) & 1 == 1 {
+                arena.undo(mv);
+            }
+            assert_parity(&mut arena, &blocks, &nets, &params, step)?;
+        }
+    }
+
+    /// A rejected (undone) move must restore the *exact* prior state:
+    /// expression, rotations, dimensions, placements and cost.
+    #[test]
+    fn undo_is_exact(
+        dims in prop::collection::vec((20u32..400, 20u32..400), 2..10),
+        seed in any::<u64>(),
+        steps in 1usize..80,
+    ) {
+        let blocks = blocks_from(&dims);
+        let nets: Vec<Net> = Vec::new();
+        let params = CostParams::new(&blocks, &nets, &AnnealConfig::default());
+        let mut arena = PlanArena::new_initial(&blocks);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for step in 0..steps {
+            // Drift to a random state first, then snapshot/undo-check.
+            let warm = arena.random_move(&mut rng);
+            prop_assert!(warm == MoveUndo::None || !arena.expr().is_empty());
+            let expr_before = arena.expr().to_vec();
+            let rot_before = arena.rotated().to_vec();
+            let dims_before = arena.chip_dims();
+            let cost_before = arena.cost(&nets, &params);
+            let mv = arena.random_move(&mut rng);
+            arena.undo(mv);
+            prop_assert_eq!(arena.expr(), &expr_before[..], "expr at step {}", step);
+            prop_assert_eq!(arena.rotated(), &rot_before[..], "rotations at step {}", step);
+            let (w, h) = arena.chip_dims();
+            prop_assert_eq!((w, h), dims_before, "chip dims at step {}", step);
+            prop_assert_eq!(arena.cost(&nets, &params), cost_before, "cost at step {}", step);
+        }
+    }
+}

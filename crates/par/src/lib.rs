@@ -1,11 +1,14 @@
 //! Deterministic parallel evaluation of independent work items.
 //!
-//! Two layers of the toolkit evaluate many independent points and must
-//! produce **bit-identical results to a serial run**: the simulator's
-//! parameter sweeps (`noc_sim::sweep`) and the SunFloor synthesis
-//! candidate fan-out (`noc_synth::sunfloor::synthesize`, which explores
-//! `(switch count, link width, clock)` triples). [`ParRunner`] is the
-//! shared executor both build on:
+//! Three layers of the toolkit evaluate many independent points and
+//! must produce **bit-identical results to a serial run**: the
+//! simulator's parameter sweeps (`noc_sim::sweep`), the SunFloor
+//! synthesis candidate fan-out (`noc_synth::sunfloor::synthesize`,
+//! which explores `(switch count, link width, clock)` triples), and the
+//! floorplanner's multi-chain annealing restarts
+//! (`noc_floorplan::slicing::SlicingFloorplanner::run_multi`, which
+//! picks the best of N independent chains by `(cost, chain index)`).
+//! [`ParRunner`] is the shared executor all of them build on:
 //!
 //! - every point `i` derives its RNG seed as [`point_seed`]`(base, i)`
 //!   from the run's base seed, never from thread identity, scheduling

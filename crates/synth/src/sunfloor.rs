@@ -59,6 +59,10 @@ pub struct SynthesisConfig {
     pub cluster_slack: usize,
     /// Seed for the internal floorplanner when none is provided.
     pub seed: u64,
+    /// Annealing chains for the internal floorplanner when none is
+    /// provided (best-of-N; chain 0 uses `seed` itself, so 1 chain is
+    /// the plain single-run annealer).
+    pub floorplan_chains: usize,
 }
 
 /// `finish()` output: the built topology, its routes, per-pair demand,
@@ -86,6 +90,7 @@ impl Default for SynthesisConfig {
             tech: TechNode::NM65,
             cluster_slack: 1,
             seed: 0xF100F,
+            floorplan_chains: CoreFloorplan::DEFAULT_CHAINS,
         }
     }
 }
@@ -581,7 +586,7 @@ pub fn synthesize_with_runner(
     let fp: &CoreFloorplan = match floorplan {
         Some(f) => f,
         None => {
-            computed = CoreFloorplan::from_spec(spec, cfg.seed);
+            computed = CoreFloorplan::from_spec_chains(spec, cfg.seed, cfg.floorplan_chains);
             &computed
         }
     };

@@ -1,0 +1,61 @@
+//! Determinism contract of the multi-chain floorplanner: `run_multi`
+//! must return a bit-identical `SlicingResult` at any thread count
+//! (chains are fanned over `ParRunner`, winner picked by
+//! `(cost, chain index)`), and a single chain must reproduce the plain
+//! single-run annealer exactly.
+
+use noc::par::ParRunner;
+use noc_floorplan::core_plan::{spec_annealer, CoreFloorplan};
+use noc_spec::presets;
+
+#[test]
+fn run_multi_bit_identical_across_thread_counts() {
+    let annealer = spec_annealer(&presets::mobile_multimedia_soc());
+    for chains in [2usize, 5] {
+        let reference = annealer.run_multi_with_runner(9, chains, &ParRunner::serial());
+        for threads in [2usize, 8] {
+            let parallel =
+                annealer.run_multi_with_runner(9, chains, &ParRunner::with_threads(threads));
+            assert_eq!(
+                parallel, reference,
+                "chains={chains} threads={threads} must match serial bit-for-bit"
+            );
+        }
+    }
+}
+
+#[test]
+fn run_multi_single_chain_reproduces_run() {
+    let annealer = spec_annealer(&presets::mobile_multimedia_soc());
+    for seed in [0u64, 7, 42, 0xDEAD_BEEF] {
+        assert_eq!(
+            annealer.run_multi(seed, 1),
+            annealer.run(seed),
+            "chain 0 anneals with the caller's seed verbatim"
+        );
+    }
+}
+
+#[test]
+fn run_multi_winner_is_no_worse_than_any_chain() {
+    let annealer = spec_annealer(&presets::mobile_multimedia_soc());
+    let best = annealer.run_multi(7, 4);
+    assert!(
+        best.cost <= annealer.run(7).cost,
+        "winner includes chain 0, so it can only improve on it"
+    );
+}
+
+#[test]
+fn from_spec_is_deterministic_and_matches_manual_run_multi() {
+    let spec = presets::mobile_multimedia_soc();
+    let a = CoreFloorplan::from_spec(&spec, 42);
+    let b = CoreFloorplan::from_spec(&spec, 42);
+    assert_eq!(a, b);
+    let manual = spec_annealer(&spec).run_multi(42, CoreFloorplan::DEFAULT_CHAINS);
+    assert_eq!(a.chip_width(), manual.chip_width);
+    assert_eq!(a.chip_height(), manual.chip_height);
+    for (core, rect) in a.iter() {
+        assert_eq!(*rect, manual.placements[core.0], "core {core:?} placement");
+    }
+}
