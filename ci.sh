@@ -53,6 +53,12 @@ tier1() {
   cargo build "${CARGO_FLAGS[@]}" --release
   echo "==> tier-1: cargo test -q"
   cargo test "${CARGO_FLAGS[@]}" -q
+  # The debug run above already includes the event-wheel vs scan-engine
+  # parity suite (with conservation debug_asserts armed); repeat it in
+  # release so the exact configuration users run is also proven
+  # bit-identical.
+  echo "==> tier-1: engine parity (release)"
+  cargo test "${CARGO_FLAGS[@]}" -q --release -p noc-sim --test engine_parity
 }
 
 full() {

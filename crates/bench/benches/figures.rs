@@ -103,6 +103,22 @@ fn bench_step_throughput_recovery(c: &mut Criterion) {
     });
 }
 
+/// Event-wheel scaling point: warm `step()` on a mostly-idle 32×32
+/// nearest-neighbor mesh with clocked injection at 2% — cost must
+/// track traffic, not `links × vcs`. Exact setup shared with
+/// `bench_guard` and `fig4_step_scaling` via
+/// [`noc_bench::step_scaling_sim`].
+fn bench_step_throughput_32x32(c: &mut Criterion) {
+    let mut sim =
+        noc_bench::step_scaling_sim(32, 0.02, noc_bench::StepPattern::NearestNeighbor, false);
+    c.bench_function("fig4/step_throughput_32x32_low", |b| {
+        b.iter(|| {
+            sim.step();
+            sim.stats().total_delivered_flits
+        })
+    });
+}
+
 /// E5 backing engine: one synthesis run on the mobile SoC.
 fn bench_synthesis(c: &mut Criterion) {
     let spec = presets::mobile_multimedia_soc();
@@ -167,6 +183,7 @@ criterion_group!(
     bench_simulator,
     bench_step_throughput,
     bench_step_throughput_recovery,
+    bench_step_throughput_32x32,
     bench_synthesis,
     bench_floorplan
 );

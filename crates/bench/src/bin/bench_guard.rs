@@ -4,6 +4,10 @@
 //!
 //! * `fig4/step_throughput_8x10` — one warm `Simulator::step()` on the
 //!   Teraflops-scale 8×10 mesh (same setup as `benches/figures.rs`);
+//! * `fig4/step_throughput_32x32_low` / `_sat` — one warm `step()` on
+//!   a 32×32 mesh with clocked injection: nearest-neighbor at 2%
+//!   (mostly-idle fabric, the event wheel's home turf) and transpose
+//!   at 15% (saturated, where event and scan cost converge);
 //! * `fig6/synthesis` — one `synthesize_min_power` run on the mobile
 //!   SoC (the SunFloor candidate sweep incl. incremental deadlock
 //!   verification — the synthesis-side hot path);
@@ -50,6 +54,14 @@ const BENCHES: &[GuardedBench] = &[
     GuardedBench {
         name: "fig4/step_throughput_8x10_recovery",
         measure: measure_step_recovery_us,
+    },
+    GuardedBench {
+        name: "fig4/step_throughput_32x32_low",
+        measure: measure_step_32x32_low_us,
+    },
+    GuardedBench {
+        name: "fig4/step_throughput_32x32_sat",
+        measure: measure_step_32x32_sat_us,
     },
     GuardedBench {
         name: "fig6/synthesis",
@@ -156,6 +168,29 @@ fn measure_step_recovery_us() -> f64 {
         best = best.min(us);
     }
     best
+}
+
+/// One warm `step()` on a 32×32 nearest-neighbor mesh at 2% clocked
+/// injection — the scenario the event-wheel engine exists for: a
+/// large, mostly idle fabric where step cost must track traffic, not
+/// `links × vcs`. Exact setup shared with `fig4_step_scaling` via
+/// [`noc_bench::step_scaling_sim`].
+fn measure_step_32x32_low_us() -> f64 {
+    let mut sim =
+        noc_bench::step_scaling_sim(32, 0.02, noc_bench::StepPattern::NearestNeighbor, false);
+    noc_bench::step_us(&mut sim, 5, 2_000)
+}
+
+/// A 32×32 transpose mesh at 15% offered load — past the pattern's
+/// ~10% saturation point, so every switch is busy every cycle and the
+/// event engine degenerates to the scan engine's cost. Guards the
+/// "no regression when everything is active" end of the scaling claim.
+/// (15%, not deeper overload: the source-queue backlog still grows —
+/// the network is saturated — but slowly enough that the measurement
+/// is not dominated by queue-memory churn.)
+fn measure_step_32x32_sat_us() -> f64 {
+    let mut sim = noc_bench::step_scaling_sim(32, 0.15, noc_bench::StepPattern::Transpose, false);
+    noc_bench::step_us(&mut sim, 5, 500)
 }
 
 /// One `synthesize_min_power` on the mobile SoC — the exact

@@ -8,6 +8,7 @@
 //! |--------|------------|
 //! | `fig2_switch_scalability` | E1 — Fig. 2 switch scalability at 65 nm |
 //! | `fig4_teraflops` | E2 — Teraflops 8×10 mesh, 1.62 Tb/s @ 3.16 GHz |
+//! | `fig4_step_scaling` | E2b — event-wheel vs scan-engine step-cost scaling |
 //! | `faust_receiver_matrix` | E3 — FAUST 10.6 Gb/s GT receiver matrix |
 //! | `fig5_bone_vs_mesh` | E4 — BONE hierarchical star vs 2D mesh |
 //! | `fig6_flow_pareto` | E5 — iNoCs flow Pareto front, custom vs mesh |
@@ -102,6 +103,83 @@ pub fn stress_floorplan(
         }
     }
     (blocks, nets)
+}
+
+/// The two traffic shapes of the step-scaling experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepPattern {
+    /// Systolic right/lower-neighbor streaming: short routes, no
+    /// hotspot — the *genuinely low-load* scenario where most of the
+    /// fabric is idle every cycle.
+    NearestNeighbor,
+    /// Transpose ((r,c) → (c,r)): long routes concentrated on the
+    /// diagonal — already congested at a few percent injection, the
+    /// everything-busy scenario.
+    Transpose,
+}
+
+/// Warmed-up `n`×`n` mesh under `pattern` with *clocked*
+/// (Constant-process) injection at `rate` flits/cycle/node — the shared
+/// scenario of the step-scaling experiments: the
+/// `fig4/step_throughput_32x32_*` guard entries, the matching criterion
+/// bench, and the `fig4_step_scaling` table all time exactly this
+/// simulator, so their numbers are comparable.
+///
+/// Clocked injection because Constant sources are heap-scheduled by the
+/// event engine, so idle cycles cost nothing and measured step time
+/// tracks *traffic*, not node count. (`uniform_random` is avoided at
+/// these scales: its per-source candidate routes are O(n⁴) in total —
+/// ~16.7 M routes at 64×64.)
+pub fn step_scaling_sim(
+    n: usize,
+    rate: f64,
+    pattern: StepPattern,
+    scan_engine: bool,
+) -> noc_sim::engine::Simulator {
+    use noc_sim::traffic::InjectionProcess;
+    let cores: Vec<noc_spec::CoreId> = (0..n * n).map(noc_spec::CoreId).collect();
+    let fabric = noc_topology::generators::mesh(n, n, &cores, 32).expect("valid shape");
+    let mut sources = match pattern {
+        StepPattern::NearestNeighbor => {
+            noc_sim::patterns::nearest_neighbor(&fabric, rate, 4).expect("rate in range")
+        }
+        StepPattern::Transpose => {
+            noc_sim::patterns::transpose(&fabric, rate, 4).expect("rate in range")
+        }
+    };
+    for (i, s) in sources.iter_mut().enumerate() {
+        s.process =
+            InjectionProcess::from_shape(noc_spec::TrafficShape::Constant, rate / 4.0, 4, i as u64);
+    }
+    let sim = noc_sim::engine::Simulator::new(
+        fabric.topology,
+        noc_sim::config::SimConfig::default().with_warmup(100),
+    );
+    let mut sim = if scan_engine {
+        sim.with_scan_engine()
+    } else {
+        sim
+    };
+    for s in sources {
+        sim.add_source(s);
+    }
+    sim.run(1_000); // reach steady state before measuring
+    sim
+}
+
+/// Best-of-`rounds` mean µs per `step()` over `steps` warm steps —
+/// the uniform timing discipline of the step-cost measurements.
+pub fn step_us(sim: &mut noc_sim::engine::Simulator, rounds: usize, steps: u64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = std::time::Instant::now();
+        for _ in 0..steps {
+            sim.step();
+            std::hint::black_box(sim.stats().total_delivered_flits);
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6 / steps as f64);
+    }
+    best
 }
 
 #[cfg(test)]

@@ -20,6 +20,23 @@
 //! 4. **inject** — traffic sources generate packets and NIs launch one
 //!    flit per cycle into the network, honoring TDMA slot tables for GT
 //!    traffic.
+//!
+//! ## Event-driven stepping
+//!
+//! By default the phases run *event-driven*: per-cycle cost scales with
+//! traffic, not with fabric size. Wire deliveries sit in a calendar
+//! wheel keyed by arrival cycle; eject ports, switches, and NIs are
+//! visited only while they have work (activity lists with lazy
+//! pruning); Constant traffic sources fire off a due-cycle heap, while
+//! stochastic sources are still polled every cycle so the shared RNG
+//! stream — and therefore every simulation outcome — stays
+//! bit-identical to the straight-line *scan* engine, which sweeps all
+//! links/switches/NIs each cycle and remains available via
+//! [`Simulator::with_scan_engine`] as the executable parity reference.
+//! All activity lists are sorted before use so phases process the same
+//! elements in the same order as the scan sweep: arbitration order is
+//! observable through same-cycle credit visibility, and generation
+//! order through packet ids and RNG draws.
 
 use crate::config::{Arbitration, FlowControl, SimConfig};
 use crate::flit::{Flit, PacketId};
@@ -28,14 +45,15 @@ use crate::qos::SlotTable;
 use crate::recovery::RecoveryNotice;
 use crate::stats::SimStats;
 use crate::trace::{Trace, TraceEvent, TraceKind};
-use crate::traffic::{Destination, TrafficSource};
+use crate::traffic::{Destination, InjectionProcess, TrafficSource};
 use noc_spec::fault::{FaultPlan, RecoveryConfig};
 use noc_spec::FlowId;
 use noc_topology::graph::{LinkId, NodeId, Topology};
 use noc_topology::TopologyError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 /// Per-link simulation state: the wire pipeline plus the input buffer at
 /// the receiving end.
@@ -353,6 +371,65 @@ pub struct Simulator {
     /// Flows awaiting proof of restored delivery after a fault detour:
     /// flow → (failure cycle baseline, epoch installed at commit).
     restore_pending: BTreeMap<FlowId, (u64, u64)>,
+    // --- event-driven stepping (see module docs). All of the activity
+    // state below is maintained only in event mode; the scan engine
+    // (`with_scan_engine`) ignores it and sweeps every link/switch/NI
+    // each cycle, serving as the executable parity reference. ---
+    /// Whether the event-driven engine drives the per-cycle phases.
+    event_mode: bool,
+    /// Calendar queue of pending wire deliveries: bucket `c & wheel_mask`
+    /// holds the links with a flit arriving at cycle `c`. Sized to a
+    /// power of two strictly above the longest link latency, so a cycle's
+    /// bucket can never alias a future arrival.
+    wheel: Vec<Vec<u32>>,
+    wheel_mask: u64,
+    /// Scratch buffer reused when draining a wheel bucket.
+    wheel_scratch: Vec<u32>,
+    /// Eject-port index of each link (`u32::MAX` for links that do not
+    /// terminate at an NI), indexed by `LinkId`.
+    eject_port_of: Vec<u32>,
+    /// Eject ports with buffered flits, plus the membership flags that
+    /// keep the list duplicate-free (lazily pruned, sorted per cycle).
+    active_eject: Vec<u32>,
+    eject_listed: Vec<bool>,
+    eject_scratch: Vec<u32>,
+    /// Position of each switch in `adj.switches` (`u32::MAX` for
+    /// non-switch nodes), indexed by `NodeId`.
+    switch_pos: Vec<u32>,
+    /// Position of each link in `adj.out_flat` (every link appears in
+    /// exactly one node's outgoing range), indexed by `LinkId`. Lets
+    /// arbitration map a flit's desired output to a request-mask bit
+    /// in O(1).
+    out_pos_of: Vec<u32>,
+    /// Switch positions with buffered input flits.
+    active_switches: Vec<u32>,
+    switch_listed: Vec<bool>,
+    switch_scratch: Vec<u32>,
+    /// Flits waiting in source queues per NI, indexed by `NodeId`.
+    queued_at: Vec<u32>,
+    /// NIs with queued flits (node indices).
+    active_inject: Vec<u32>,
+    inject_listed: Vec<bool>,
+    inject_scratch: Vec<u32>,
+    /// Sources whose injection process consumes randomness every cycle
+    /// (Poisson, Bursty): they must be polled each cycle even in event
+    /// mode, or the shared RNG stream — and bit-identity with the scan
+    /// engine — would diverge.
+    stochastic_sources: Vec<u32>,
+    /// Pending fire cycles of Constant sources: `(next_fire, source)`
+    /// min-heap. Constant processes consume no randomness, so skipping
+    /// their idle cycles is exact.
+    const_due: BinaryHeap<Reverse<(u64, u32)>>,
+    const_scratch: Vec<u32>,
+    /// Flits inside the fabric (buffers + wires), maintained so `drain`
+    /// loops cost O(1) per idle cycle instead of O(links).
+    in_network_count: u64,
+    /// Flits across all source queues, same motivation.
+    queued_count: u64,
+    /// Earliest pending watchdog deadline (`u64::MAX` when none).
+    watchdog_next_due: u64,
+    /// Earliest scheduled retransmit re-emission (`u64::MAX` when none).
+    retransmit_next_due: u64,
 }
 
 impl Simulator {
@@ -369,6 +446,31 @@ impl Simulator {
         let nodes = topo.nodes().len();
         let nlinks = links.len();
         let ports = links.len() * cfg.vcs;
+        // Wheel horizon: the longest possible launch-to-delivery latency
+        // (pipeline + synchronizer), plus slack, rounded up to a power
+        // of two so bucket indexing is a mask.
+        let max_latency = topo
+            .links()
+            .iter()
+            .map(|l| l.pipeline_stages as u64 + 1)
+            .max()
+            .unwrap_or(1)
+            + cfg.sync_penalty;
+        let wheel_size = (max_latency + 2).next_power_of_two() as usize;
+        let mut eject_port_of = vec![u32::MAX; nlinks];
+        for (port, &(_, l)) in adj.eject_ports.iter().enumerate() {
+            eject_port_of[l.0] = port as u32;
+        }
+        let mut switch_pos = vec![u32::MAX; nodes];
+        for (pos, &sw) in adj.switches.iter().enumerate() {
+            switch_pos[sw.0] = pos as u32;
+        }
+        let mut out_pos_of = vec![u32::MAX; nlinks];
+        for (oi, &l) in adj.out_flat.iter().enumerate() {
+            out_pos_of[l.0] = oi as u32;
+        }
+        let eject_count = adj.eject_ports.len();
+        let switch_count = adj.switches.len();
         Simulator {
             rr: vec![0; links.len()],
             route_lock: vec![None; ports],
@@ -415,7 +517,49 @@ impl Simulator {
             retransmit_spent: BTreeMap::new(),
             source_of_flow: BTreeMap::new(),
             restore_pending: BTreeMap::new(),
+            event_mode: true,
+            wheel: vec![Vec::new(); wheel_size],
+            wheel_mask: wheel_size as u64 - 1,
+            wheel_scratch: Vec::new(),
+            eject_port_of,
+            active_eject: Vec::new(),
+            eject_listed: vec![false; eject_count],
+            eject_scratch: Vec::new(),
+            switch_pos,
+            out_pos_of,
+            active_switches: Vec::new(),
+            switch_listed: vec![false; switch_count],
+            switch_scratch: Vec::new(),
+            queued_at: vec![0; nodes],
+            active_inject: Vec::new(),
+            inject_listed: vec![false; nodes],
+            inject_scratch: Vec::new(),
+            stochastic_sources: Vec::new(),
+            const_due: BinaryHeap::new(),
+            const_scratch: Vec::new(),
+            in_network_count: 0,
+            queued_count: 0,
+            watchdog_next_due: u64::MAX,
+            retransmit_next_due: u64::MAX,
         }
+    }
+
+    /// Switches this simulator to the straight-line per-cycle *scan*
+    /// engine: every phase sweeps all links/switches/NIs each cycle.
+    /// This is the executable reference the (default) event-driven
+    /// engine must match bit for bit — parity tests and the
+    /// engine-comparison benches construct one simulator of each kind
+    /// from identical inputs and assert identical [`SimStats`].
+    ///
+    /// Call before the first `step`.
+    pub fn with_scan_engine(mut self) -> Simulator {
+        self.event_mode = false;
+        self
+    }
+
+    /// Whether the event-driven engine (the default) drives stepping.
+    pub fn is_event_driven(&self) -> bool {
+        self.event_mode
     }
 
     /// Reseeds the simulator's random source (traffic randomness).
@@ -468,6 +612,25 @@ impl Simulator {
         }
         self.sources_by_ni[source.ni.0].push(idx);
         self.source_of_flow.entry(source.flow).or_insert(idx);
+        // Classify for event-driven generation: Constant processes fire
+        // on a closed-form schedule and draw no randomness, so they can
+        // be heap-scheduled; stochastic processes must be polled every
+        // cycle to keep the shared RNG stream identical to the scan
+        // engine's.
+        match source.process {
+            InjectionProcess::Constant { period, phase } => {
+                let period = period.max(1);
+                let ph = phase % period;
+                let rem = self.cycle % period;
+                let first = if rem <= ph {
+                    self.cycle + (ph - rem)
+                } else {
+                    self.cycle + period - rem + ph
+                };
+                self.const_due.push(Reverse((first, idx as u32)));
+            }
+            _ => self.stochastic_sources.push(idx as u32),
+        }
         self.sources.push(SourceSlot {
             source,
             queue: VecDeque::new(),
@@ -497,13 +660,30 @@ impl Simulator {
     }
 
     /// Flits currently inside the fabric (buffers + wires), excluding
-    /// source queues.
+    /// source queues. O(1): maintained at every launch/eject/drop, and
+    /// checked against a full recount (debug builds) when stats
+    /// finalize.
     pub fn flits_in_network(&self) -> usize {
+        self.in_network_count as usize
+    }
+
+    /// Flits waiting in source queues. O(1), like
+    /// [`flits_in_network`](Simulator::flits_in_network).
+    pub fn flits_queued(&self) -> usize {
+        self.queued_count as usize
+    }
+
+    /// Ground-truth recount of [`flits_in_network`] straight from the
+    /// link states. Test/diagnostic use.
+    #[doc(hidden)]
+    pub fn recount_flits_in_network(&self) -> usize {
         self.links.iter().map(LinkState::buffered_flits).sum()
     }
 
-    /// Flits waiting in source queues.
-    pub fn flits_queued(&self) -> usize {
+    /// Ground-truth recount of [`flits_queued`] straight from the source
+    /// queues. Test/diagnostic use.
+    #[doc(hidden)]
+    pub fn recount_flits_queued(&self) -> usize {
         self.sources.iter().map(|s| s.queue.len()).sum()
     }
 
@@ -683,6 +863,7 @@ impl Simulator {
         if due <= failed_at {
             due = (failed_at / h + 1) * h;
         }
+        self.watchdog_next_due = self.watchdog_next_due.min(due);
         self.watchdogs.push(Watchdog {
             due,
             link,
@@ -700,6 +881,7 @@ impl Simulator {
         };
         let h = r.heartbeat_period.max(1);
         let due = (repaired_at / h + 1) * h;
+        self.watchdog_next_due = self.watchdog_next_due.min(due);
         self.watchdogs.push(Watchdog {
             due,
             link,
@@ -726,6 +908,12 @@ impl Simulator {
                 true
             }
         });
+        self.watchdog_next_due = self
+            .watchdogs
+            .iter()
+            .map(|w| w.due)
+            .min()
+            .unwrap_or(u64::MAX);
         fired.sort_by_key(|w| (w.due, w.link, w.heal));
         for w in fired {
             if w.heal {
@@ -877,8 +1065,10 @@ impl Simulator {
                 let backoff = r
                     .retry_backoff
                     .saturating_mul(1u64 << u64::from(ent.attempts - 1).min(16));
-                ent.due = Some(self.cycle + backoff);
+                let due = self.cycle + backoff;
+                ent.due = Some(due);
                 self.retransmit_waiting += 1;
+                self.retransmit_next_due = self.retransmit_next_due.min(due);
             }
             Entry::Vacant(v) => {
                 let mut shed = r.max_retries == 0;
@@ -894,6 +1084,8 @@ impl Simulator {
                     self.stats.recovery.retransmit_shed_packets += 1;
                 } else {
                     self.retransmit_waiting += 1;
+                    self.retransmit_next_due =
+                        self.retransmit_next_due.min(self.cycle + r.retry_backoff);
                 }
                 v.insert(RetransmitEntry {
                     si,
@@ -955,8 +1147,17 @@ impl Simulator {
                     link: None,
                 });
             }
+            let ni = self.sources[si].source.ni;
+            self.note_queued(ni, flits.len());
             self.sources[si].queue.extend(flits);
         }
+        // Cheap step-phase guard: the earliest re-emission still pending.
+        self.retransmit_next_due = self
+            .retransmit
+            .values()
+            .filter_map(|e| e.due)
+            .min()
+            .unwrap_or(u64::MAX);
     }
 
     /// Debug snapshot of a link: (credits per VC, buffered flits per VC,
@@ -1030,6 +1231,16 @@ impl Simulator {
     /// `run` and `drain` both call this after stepping, and calling it
     /// again without stepping changes nothing.
     fn finalize_stats(&mut self) {
+        debug_assert_eq!(
+            self.in_network_count as usize,
+            self.recount_flits_in_network(),
+            "maintained in-network occupancy must match a full recount"
+        );
+        debug_assert_eq!(
+            self.queued_count as usize,
+            self.recount_flits_queued(),
+            "maintained queue occupancy must match a full recount"
+        );
         self.stats.measured_cycles = self.cycle.saturating_sub(self.cfg.warmup);
         self.stats.link_flits = self
             .links
@@ -1067,7 +1278,7 @@ impl Simulator {
         if self.fault_cursor < self.fault_schedule.len() {
             self.apply_fault_events();
         }
-        if !self.watchdogs.is_empty() {
+        if self.cycle >= self.watchdog_next_due {
             self.poll_watchdogs();
         }
         if self.reroute_cursor < self.reroutes.len() {
@@ -1076,19 +1287,32 @@ impl Simulator {
         if !self.pending_swaps.is_empty() {
             self.commit_ready_swaps();
         }
-        if self.retransmit_waiting > 0 {
+        if self.retransmit_waiting > 0 && self.cycle >= self.retransmit_next_due {
             self.emit_due_retransmits();
         }
-        self.deliver();
-        self.eject();
-        if self.links_down > 0 || self.drop_locks > 0 {
-            self.drop_blocked_flits();
+        if self.event_mode {
+            self.deliver_due();
+            self.eject_active();
+            if self.links_down > 0 || self.drop_locks > 0 {
+                self.drop_blocked_flits();
+            }
+            self.traverse_active();
+            if self.generation_enabled {
+                self.generate_due();
+            }
+            self.inject_active();
+        } else {
+            self.deliver();
+            self.eject();
+            if self.links_down > 0 || self.drop_locks > 0 {
+                self.drop_blocked_flits();
+            }
+            self.traverse();
+            if self.generation_enabled {
+                self.generate();
+            }
+            self.inject();
         }
-        self.traverse();
-        if self.generation_enabled {
-            self.generate();
-        }
-        self.inject();
         self.cycle += 1;
     }
 
@@ -1166,6 +1390,8 @@ impl Simulator {
             for vc in 0..vcs {
                 if let Some(si) = self.ni_wormhole[src.0 * vcs + vc] {
                     while let Some(f) = self.sources[si].queue.pop_front() {
+                        self.queued_count -= 1;
+                        self.queued_at[src.0] -= 1;
                         // Purged queue flits never entered the fabric,
                         // but the packet is still lost end to end: the
                         // retransmit layer must hear about it.
@@ -1203,9 +1429,9 @@ impl Simulator {
                 debug_assert!(self.links[li].credits[vc] > 0, "drained buffer has space");
                 self.links[li].credits[vc] -= 1;
                 self.links[li].bufs[vc].push_back(tail);
-                self.buf_count[li] += 1;
-                self.node_buffered[dst.0] += 1;
+                self.note_buffered(li);
                 self.injected_flits_total += 1;
+                self.in_network_count += 1;
             }
         }
     }
@@ -1218,6 +1444,42 @@ impl Simulator {
         self.node_buffered[self.link_dst[li].0] -= 1;
         self.links[li].credits[vc] += 1;
         flit
+    }
+
+    /// Accounts `n` flits entering source `ni`'s injection queues and, in
+    /// event mode, wakes the NI's inject port. Every site that pushes
+    /// into a source queue goes through here (the counters back the O(1)
+    /// `flits_queued` in both engines).
+    fn note_queued(&mut self, ni: NodeId, n: usize) {
+        self.queued_count += n as u64;
+        self.queued_at[ni.0] += n as u32;
+        if self.event_mode && !self.inject_listed[ni.0] {
+            self.inject_listed[ni.0] = true;
+            self.active_inject.push(ni.0 as u32);
+        }
+    }
+
+    /// Accounts one flit landing in link `li`'s receive buffer and, in
+    /// event mode, wakes the consumers that can now make progress: the
+    /// link's eject port (if it terminates at an NI) and the receiving
+    /// switch (if it doesn't). Every site that pushes into `bufs` goes
+    /// through here.
+    fn note_buffered(&mut self, li: usize) {
+        self.buf_count[li] += 1;
+        let dst = self.link_dst[li];
+        self.node_buffered[dst.0] += 1;
+        if self.event_mode {
+            let port = self.eject_port_of[li];
+            if port != u32::MAX && !self.eject_listed[port as usize] {
+                self.eject_listed[port as usize] = true;
+                self.active_eject.push(port);
+            }
+            let pos = self.switch_pos[dst.0];
+            if pos != u32::MAX && !self.switch_listed[pos as usize] {
+                self.switch_listed[pos as usize] = true;
+                self.active_switches.push(pos);
+            }
+        }
     }
 
     /// Fault-drop phase: destroys flits whose next hop is a dead link
@@ -1303,6 +1565,7 @@ impl Simulator {
     /// (warmup included): conservation must hold unconditionally.
     fn account_drop(&mut self, link: LinkId, flit: &Flit, event: Option<usize>) {
         self.dropped_flits_total += 1;
+        self.in_network_count -= 1;
         self.stats.dropped_flits += 1;
         if let Some(e) = event {
             *self.stats.fault_events.entry(e).or_default() += 1;
@@ -1321,28 +1584,53 @@ impl Simulator {
         }
     }
 
-    /// Phase 1: wire pipelines deliver flits into input buffers.
+    /// Phase 1 (scan): wire pipelines deliver flits into input buffers.
     fn deliver(&mut self) {
-        let cycle = self.cycle;
         for i in 0..self.links.len() {
-            loop {
-                let l = &mut self.links[i];
-                match l.in_flight.front() {
-                    Some(&(arrive, _)) if arrive <= cycle => {}
-                    _ => break,
-                }
-                let (_, flit) = l.in_flight.pop_front().expect("front exists");
-                l.bufs[flit.vc].push_back(flit);
-                self.buf_count[i] += 1;
-                self.node_buffered[self.link_dst[i].0] += 1;
-            }
+            self.deliver_arrived(i);
         }
     }
 
-    /// Phase 2: NIs consume arrived flits (up to one per VC per cycle).
+    /// Phase 1 (event): only links with a delivery scheduled for this
+    /// cycle are touched — their indices sit in the wheel bucket the
+    /// cycle hashes to. A bucket entry whose flit was meanwhile
+    /// destroyed by a fault (`fail_link` drains the wire) finds nothing
+    /// due and is dropped; the bucket cannot alias a future arrival
+    /// because the wheel is strictly larger than any link latency.
+    fn deliver_due(&mut self) {
+        let bucket = (self.cycle & self.wheel_mask) as usize;
+        if self.wheel[bucket].is_empty() {
+            return;
+        }
+        std::mem::swap(&mut self.wheel[bucket], &mut self.wheel_scratch);
+        // Delivery order across links is immaterial (per-link FIFOs, no
+        // shared state), so the bucket needs no sort for parity.
+        for k in 0..self.wheel_scratch.len() {
+            let li = self.wheel_scratch[k] as usize;
+            self.deliver_arrived(li);
+        }
+        self.wheel_scratch.clear();
+    }
+
+    /// Moves every arrived flit of link `li` off the wire into its
+    /// receive buffer.
+    fn deliver_arrived(&mut self, li: usize) {
+        let cycle = self.cycle;
+        loop {
+            match self.links[li].in_flight.front() {
+                Some(&(arrive, _)) if arrive <= cycle => {}
+                _ => break,
+            }
+            let (_, flit) = self.links[li].in_flight.pop_front().expect("front exists");
+            self.links[li].bufs[flit.vc].push_back(flit);
+            self.note_buffered(li);
+        }
+    }
+
+    /// Phase 2 (scan): NIs consume arrived flits (up to one per VC per
+    /// cycle).
     fn eject(&mut self) {
         let cycle = self.cycle;
-        let measuring = self.measuring();
         for port in 0..self.adj.eject_ports.len() {
             let (ni, l) = self.adj.eject_ports[port];
             if self.buf_count[l.0] == 0 {
@@ -1351,77 +1639,112 @@ impl Simulator {
             if !self.domains.active(ni, cycle) {
                 continue;
             }
-            {
-                for vc in 0..self.cfg.vcs {
-                    let Some(flit) = self.links[l.0].bufs[vc].pop_front() else {
-                        continue;
-                    };
-                    self.buf_count[l.0] -= 1;
-                    self.node_buffered[ni.0] -= 1;
-                    self.links[l.0].credits[vc] += 1;
-                    self.ejected_flits_total += 1;
+            self.eject_from_port(ni, l);
+        }
+    }
+
+    /// Phase 2 (event): only eject ports with buffered flits are
+    /// visited. The list is sorted so ports are processed in the same
+    /// ascending order the scan engine sweeps them; a port is retained
+    /// while flits remain (e.g. its NI's clock domain is gated this
+    /// cycle) and lazily unlisted once its buffer empties.
+    fn eject_active(&mut self) {
+        if self.active_eject.is_empty() {
+            return;
+        }
+        let cycle = self.cycle;
+        std::mem::swap(&mut self.active_eject, &mut self.eject_scratch);
+        self.eject_scratch.sort_unstable();
+        for k in 0..self.eject_scratch.len() {
+            let port = self.eject_scratch[k];
+            let (ni, l) = self.adj.eject_ports[port as usize];
+            if self.buf_count[l.0] == 0 {
+                self.eject_listed[port as usize] = false;
+                continue;
+            }
+            if self.domains.active(ni, cycle) {
+                self.eject_from_port(ni, l);
+            }
+            if self.buf_count[l.0] > 0 {
+                self.active_eject.push(port);
+            } else {
+                self.eject_listed[port as usize] = false;
+            }
+        }
+        self.eject_scratch.clear();
+    }
+
+    /// Consumes up to one flit per VC from eject port `(ni, l)`.
+    fn eject_from_port(&mut self, ni: NodeId, l: LinkId) {
+        let cycle = self.cycle;
+        let measuring = self.measuring();
+        for vc in 0..self.cfg.vcs {
+            let Some(flit) = self.links[l.0].bufs[vc].pop_front() else {
+                continue;
+            };
+            self.buf_count[l.0] -= 1;
+            self.node_buffered[ni.0] -= 1;
+            self.links[l.0].credits[vc] += 1;
+            self.ejected_flits_total += 1;
+            self.in_network_count -= 1;
+            if flit.is_tail {
+                if let Some(trace) = &mut self.trace {
+                    trace.record(TraceEvent {
+                        cycle,
+                        kind: TraceKind::Eject,
+                        packet: flit.packet,
+                        flow: flit.flow,
+                        link: Some(l),
+                    });
+                }
+                // Tail ejection is the end-to-end ack: the
+                // packet arrived whole, stop tracking it.
+                if !self.retransmit.is_empty() {
+                    if let Some(e) = self.retransmit.remove(&flit.packet) {
+                        if e.due.is_some() {
+                            self.retransmit_waiting -= 1;
+                        }
+                    }
+                }
+                // First post-swap-epoch delivery of a flow
+                // proves its delivery path is restored.
+                if !self.restore_pending.is_empty() {
+                    if let Some(flow) = flit.flow {
+                        if let Some(&(failed_at, swap_epoch)) = self.restore_pending.get(&flow) {
+                            if flit.epoch >= swap_epoch {
+                                self.restore_pending.remove(&flow);
+                                let latency = cycle.saturating_sub(failed_at);
+                                let r = &mut self.stats.recovery;
+                                r.restores += 1;
+                                r.restore_latency_total += latency;
+                                r.restore_latency_max = r.restore_latency_max.max(latency);
+                            }
+                        }
+                    }
+                }
+            }
+            if measuring && flit.injected_at >= self.cfg.warmup {
+                // Flits without a flow (synthetic fault-flush
+                // tails) conserve the flit accounting but stay
+                // out of the measured statistics.
+                let fstats = flit.flow.map(|f| self.stats.flows.entry(f).or_default());
+                if let Some(fs) = fstats {
+                    fs.delivered_flits += 1;
                     if flit.is_tail {
-                        if let Some(trace) = &mut self.trace {
-                            trace.record(TraceEvent {
-                                cycle,
-                                kind: TraceKind::Eject,
-                                packet: flit.packet,
-                                flow: flit.flow,
-                                link: Some(l),
-                            });
-                        }
-                        // Tail ejection is the end-to-end ack: the
-                        // packet arrived whole, stop tracking it.
-                        if !self.retransmit.is_empty() {
-                            if let Some(e) = self.retransmit.remove(&flit.packet) {
-                                if e.due.is_some() {
-                                    self.retransmit_waiting -= 1;
-                                }
-                            }
-                        }
-                        // First post-swap-epoch delivery of a flow
-                        // proves its delivery path is restored.
-                        if !self.restore_pending.is_empty() {
-                            if let Some(flow) = flit.flow {
-                                if let Some(&(failed_at, swap_epoch)) =
-                                    self.restore_pending.get(&flow)
-                                {
-                                    if flit.epoch >= swap_epoch {
-                                        self.restore_pending.remove(&flow);
-                                        let latency = cycle.saturating_sub(failed_at);
-                                        let r = &mut self.stats.recovery;
-                                        r.restores += 1;
-                                        r.restore_latency_total += latency;
-                                        r.restore_latency_max = r.restore_latency_max.max(latency);
-                                    }
-                                }
-                            }
-                        }
+                        let latency = cycle.saturating_sub(flit.injected_at);
+                        fs.delivered_packets += 1;
+                        fs.total_latency += latency;
+                        fs.max_latency = fs.max_latency.max(latency);
+                        fs.latency_histogram.record(latency);
+                        self.stats.total_delivered_packets += 1;
                     }
-                    if measuring && flit.injected_at >= self.cfg.warmup {
-                        // Flits without a flow (synthetic fault-flush
-                        // tails) conserve the flit accounting but stay
-                        // out of the measured statistics.
-                        let fstats = flit.flow.map(|f| self.stats.flows.entry(f).or_default());
-                        if let Some(fs) = fstats {
-                            fs.delivered_flits += 1;
-                            if flit.is_tail {
-                                let latency = cycle.saturating_sub(flit.injected_at);
-                                fs.delivered_packets += 1;
-                                fs.total_latency += latency;
-                                fs.max_latency = fs.max_latency.max(latency);
-                                fs.latency_histogram.record(latency);
-                                self.stats.total_delivered_packets += 1;
-                            }
-                            self.stats.total_delivered_flits += 1;
-                        }
-                    }
+                    self.stats.total_delivered_flits += 1;
                 }
             }
         }
     }
 
-    /// Phase 3: switch output-port allocation and flit transfer.
+    /// Phase 3 (scan): switch output-port allocation and flit transfer.
     fn traverse(&mut self) {
         let cycle = self.cycle;
         for s in 0..self.adj.switches.len() {
@@ -1434,10 +1757,115 @@ impl Simulator {
             if !self.domains.active(sw, cycle) {
                 continue;
             }
-            let (out_start, out_end) = self.adj.outgoing(sw);
+            self.arbitrate_switch(sw);
+        }
+    }
+
+    /// Phase 3 (event): only switches with buffered input flits
+    /// arbitrate. The list holds positions into `adj.switches` and is
+    /// sorted before use, so arbitration runs in the exact ascending
+    /// switch order of the scan sweep — same-cycle credit visibility
+    /// between neighboring switches is order-sensitive, and bit-parity
+    /// demands the identical order over the identical (non-idle) set.
+    fn traverse_active(&mut self) {
+        if self.active_switches.is_empty() {
+            return;
+        }
+        let cycle = self.cycle;
+        std::mem::swap(&mut self.active_switches, &mut self.switch_scratch);
+        self.switch_scratch.sort_unstable();
+        for k in 0..self.switch_scratch.len() {
+            let pos = self.switch_scratch[k];
+            let sw = self.adj.switches[pos as usize];
+            if self.node_buffered[sw.0] == 0 {
+                self.switch_listed[pos as usize] = false;
+                continue;
+            }
+            if self.domains.active(sw, cycle) {
+                self.arbitrate_switch(sw);
+            }
+            if self.node_buffered[sw.0] > 0 {
+                self.active_switches.push(pos);
+            } else {
+                self.switch_listed[pos as usize] = false;
+            }
+        }
+        self.switch_scratch.clear();
+    }
+
+    /// The output link the front flit of `(in_l, vc)` wants, if any:
+    /// its next route hop for a head flit, the wormhole route lock for
+    /// a body/tail flit. Ownership and credit checks are *not*
+    /// applied — callers use this as a superset request filter.
+    fn desired_output(&self, in_l: LinkId, vc: usize) -> Option<LinkId> {
+        let flit = self.links[in_l.0].bufs[vc].front()?;
+        if flit.is_head {
+            flit.route.as_ref().and_then(|r| r.get(flit.hop)).copied()
+        } else {
+            self.route_lock[in_l.0 * self.cfg.vcs + vc]
+        }
+    }
+
+    /// The request-mask bit (relative to `out_range`) of the front flit
+    /// of `(in_l, vc)`, or 0 when it wants no output of this switch.
+    fn request_bit(&self, in_l: LinkId, vc: usize, out_range: (usize, usize)) -> u64 {
+        match self.desired_output(in_l, vc) {
+            Some(d) => {
+                let p = self.out_pos_of[d.0] as usize;
+                if p >= out_range.0 && p < out_range.1 {
+                    1 << (p - out_range.0)
+                } else {
+                    0
+                }
+            }
+            None => 0,
+        }
+    }
+
+    /// Arbitrates the outputs of `sw` in ascending output order,
+    /// skipping — without a candidate scan — outputs no buffered front
+    /// flit requests. An unrequested output can have no candidate, and
+    /// a candidate-less [`Self::arbitrate_output`] mutates nothing, so
+    /// the skip is outcome-identical to the full sweep; both engines
+    /// share this path, and the parity suite checks the claim. When a
+    /// transfer exposes a new front flit on the popped input, its
+    /// request is re-added for outputs *later* in the order — exactly
+    /// the set a full sweep would still visit after that transfer
+    /// (earlier outputs were already arbitrated against the old front;
+    /// the just-used output is closed by its `launched_at` stamp).
+    fn arbitrate_switch(&mut self, sw: NodeId) {
+        let out_range = self.adj.outgoing(sw);
+        let (out_start, out_end) = out_range;
+        let width = out_end - out_start;
+        if width == 0 {
+            return;
+        }
+        if width > 64 {
+            // Radix beyond the mask width: plain full sweep.
             for oi in out_start..out_end {
-                let out_l = self.adj.out_flat[oi];
-                self.arbitrate_output(sw, out_l);
+                self.arbitrate_output(sw, self.adj.out_flat[oi]);
+            }
+            return;
+        }
+        let vcs = self.cfg.vcs;
+        let (in_start, in_end) = self.adj.incoming(sw);
+        let mut mask: u64 = 0;
+        for pos in in_start..in_end {
+            let in_l = self.adj.in_flat[pos];
+            if self.buf_count[in_l.0] == 0 {
+                continue;
+            }
+            for vc in 0..vcs {
+                mask |= self.request_bit(in_l, vc, out_range);
+            }
+        }
+        while mask != 0 {
+            let bit = mask.trailing_zeros();
+            mask &= mask - 1;
+            let out_l = self.adj.out_flat[out_start + bit as usize];
+            if let Some((in_l, vc)) = self.arbitrate_output(sw, out_l) {
+                let later = u64::MAX.checked_shl(bit + 1).unwrap_or(0);
+                mask |= self.request_bit(in_l, vc, out_range) & later;
             }
         }
     }
@@ -1446,24 +1874,25 @@ impl Simulator {
     /// over the input ports, no candidate buffer: the round-robin
     /// winner is the candidate minimizing cyclic distance from the
     /// pointer, tracked (together with the best GT candidate) as the
-    /// ports are scanned.
-    fn arbitrate_output(&mut self, sw: NodeId, out_l: LinkId) {
+    /// ports are scanned. Returns the `(input, vc)` a flit was popped
+    /// from, so callers can track newly exposed front flits.
+    fn arbitrate_output(&mut self, sw: NodeId, out_l: LinkId) -> Option<(LinkId, usize)> {
         let cycle = self.cycle;
         if !self.link_up[out_l.0] {
-            return; // dead output: the fault-drop phase handles its flits
+            return None; // dead output: the fault-drop phase handles its flits
         }
         if self.links[out_l.0].launched_at == cycle {
-            return;
+            return None;
         }
         if self.cfg.flow_control == FlowControl::AckNack && cycle < self.links[out_l.0].retry_until
         {
-            return;
+            return None;
         }
         let vcs = self.cfg.vcs;
         let (in_start, in_end) = self.adj.incoming(sw);
         let modulus = (in_end - in_start) * vcs;
         if modulus == 0 {
-            return;
+            return None;
         }
         let pointer = self.rr[out_l.0] as usize % modulus;
         // Best = (cyclic distance from pointer, widx, in_l, vc).
@@ -1520,9 +1949,7 @@ impl Simulator {
         } else {
             best
         };
-        let Some((_, widx, in_l, vc)) = winner else {
-            return;
-        };
+        let (_, widx, in_l, vc) = winner?;
 
         // Flow control on the output link.
         if self.links[out_l.0].credits[vc] == 0 {
@@ -1535,9 +1962,11 @@ impl Simulator {
                 let rt = 2 * (self.links[out_l.0].stages as u64 + 1);
                 self.links[out_l.0].retry_until = cycle + rt;
                 self.links[out_l.0].launched_at = cycle;
-                self.stats.nack_retries += 1;
+                if cycle >= self.cfg.warmup {
+                    self.stats.nack_retries += 1;
+                }
             }
-            return;
+            return None;
         }
 
         // Transfer.
@@ -1559,45 +1988,104 @@ impl Simulator {
         }
         self.launch(out_l, flit);
         self.rr[out_l.0] = ((widx + 1) % modulus) as u32;
+        Some((in_l, vc))
     }
 
-    /// Phase 4a: sources generate packets into their queues.
+    /// Phase 4a (scan): every source is polled for a packet each cycle.
     fn generate(&mut self) {
+        for si in 0..self.sources.len() {
+            self.generate_source(si);
+        }
+    }
+
+    /// Phase 4a (event): stochastic sources are polled every cycle (they
+    /// draw from the shared RNG stream whether or not they fire — the
+    /// draws must happen to stay bit-identical with the scan engine),
+    /// while Constant sources fire off the `const_due` heap and cost
+    /// nothing on idle cycles. The two sets are merged in ascending
+    /// source-index order so packet ids and RNG draws interleave exactly
+    /// as the scan engine's full sweep would produce them.
+    fn generate_due(&mut self) {
+        let cycle = self.cycle;
+        self.const_scratch.clear();
+        while let Some(&Reverse((due, si))) = self.const_due.peek() {
+            if due > cycle {
+                break;
+            }
+            self.const_due.pop();
+            debug_assert_eq!(due, cycle, "constant source fire cycles are exact");
+            self.const_scratch.push(si);
+            let period = match self.sources[si as usize].source.process {
+                InjectionProcess::Constant { period, .. } => period.max(1),
+                _ => unreachable!("const_due holds only Constant sources"),
+            };
+            self.const_due.push(Reverse((cycle + period, si)));
+        }
+        // Merge: both lists are ascending by source index (registration
+        // order / heap tie-break).
+        let (mut i, mut j) = (0, 0);
+        loop {
+            let s = self.stochastic_sources.get(i).copied();
+            let c = self.const_scratch.get(j).copied();
+            let si = match (s, c) {
+                (Some(a), Some(b)) if a < b => {
+                    i += 1;
+                    a
+                }
+                (_, Some(b)) => {
+                    j += 1;
+                    b
+                }
+                (Some(a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, None) => break,
+            };
+            self.generate_source(si as usize);
+        }
+    }
+
+    /// Polls source `si` and queues its packet if the process fires.
+    fn generate_source(&mut self, si: usize) {
         let cycle = self.cycle;
         let measuring = self.measuring();
         let epoch = self.epoch;
-        for slot in &mut self.sources {
-            if let Some(mut flits) =
-                slot.source
-                    .generate(cycle, &mut self.next_packet, &mut self.rng)
-            {
-                if epoch > 0 {
-                    for f in &mut flits {
-                        f.epoch = epoch;
-                    }
-                }
-                if measuring {
-                    self.stats
-                        .flows
-                        .entry(slot.source.flow)
-                        .or_default()
-                        .injected_packets += 1;
-                }
-                if slot.rerouted {
-                    self.stats.rerouted_packets += 1;
-                    if let Some(trace) = &mut self.trace {
-                        trace.record(TraceEvent {
-                            cycle,
-                            kind: TraceKind::Reroute,
-                            packet: flits[0].packet,
-                            flow: flits[0].flow,
-                            link: None,
-                        });
-                    }
-                }
-                slot.queue.extend(flits);
+        let slot = &mut self.sources[si];
+        let Some(mut flits) = slot
+            .source
+            .generate(cycle, &mut self.next_packet, &mut self.rng)
+        else {
+            return;
+        };
+        if epoch > 0 {
+            for f in &mut flits {
+                f.epoch = epoch;
             }
         }
+        if measuring {
+            self.stats
+                .flows
+                .entry(slot.source.flow)
+                .or_default()
+                .injected_packets += 1;
+        }
+        if slot.rerouted {
+            self.stats.rerouted_packets += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent {
+                    cycle,
+                    kind: TraceKind::Reroute,
+                    packet: flits[0].packet,
+                    flow: flits[0].flow,
+                    link: None,
+                });
+            }
+        }
+        let ni = slot.source.ni;
+        let n = flits.len();
+        self.sources[si].queue.extend(flits);
+        self.note_queued(ni, n);
     }
 
     /// Eligibility of source `si` to inject at `ni` over `out_l` this
@@ -1651,91 +2139,124 @@ impl Simulator {
         self.links[out_l.0].credits[flit.vc] > 0
     }
 
-    /// Phase 4b: NIs inject one flit per cycle.
+    /// Phase 4b (scan): every NI with sources tries to inject one flit.
     fn inject(&mut self) {
-        let cycle = self.cycle;
         for a in 0..self.active_nis.len() {
             let ni = self.active_nis[a];
-            if !self.domains.active(ni, cycle) {
+            self.inject_at(ni);
+        }
+    }
+
+    /// Phase 4b (event): only NIs with queued flits try to inject. The
+    /// list is sorted so NIs run in the ascending `NodeId` order of the
+    /// scan sweep; an NI is retained while flits remain queued (e.g. its
+    /// injection link is faulted or out of credits) and lazily unlisted
+    /// once its queues empty.
+    fn inject_active(&mut self) {
+        if self.active_inject.is_empty() {
+            return;
+        }
+        std::mem::swap(&mut self.active_inject, &mut self.inject_scratch);
+        self.inject_scratch.sort_unstable();
+        for k in 0..self.inject_scratch.len() {
+            let n = self.inject_scratch[k];
+            if self.queued_at[n as usize] == 0 {
+                self.inject_listed[n as usize] = false;
                 continue;
             }
-            let out_l = self.adj.out_flat[self.adj.out_start[ni.0]];
-            if !self.link_up[out_l.0] {
-                continue; // faulted injection link: packets wait queued
+            self.inject_at(NodeId(n as usize));
+            if self.queued_at[n as usize] > 0 {
+                self.active_inject.push(n);
+            } else {
+                self.inject_listed[n as usize] = false;
             }
-            if self.links[out_l.0].launched_at == cycle {
-                continue;
+        }
+        self.inject_scratch.clear();
+    }
+
+    /// Tries to inject one flit at `ni` this cycle.
+    fn inject_at(&mut self, ni: NodeId) {
+        let cycle = self.cycle;
+        if !self.domains.active(ni, cycle) {
+            return;
+        }
+        let out_l = self.adj.out_flat[self.adj.out_start[ni.0]];
+        if !self.link_up[out_l.0] {
+            return; // faulted injection link: packets wait queued
+        }
+        if self.links[out_l.0].launched_at == cycle {
+            return;
+        }
+        if self.cfg.flow_control == FlowControl::AckNack && cycle < self.links[out_l.0].retry_until
+        {
+            return;
+        }
+        // GT-eligible sources first, then round-robin among the
+        // rest. The RR pointer belongs to the round-robin scan only:
+        // a GT pick must not advance it, or BE sources sharing the
+        // NI would see their turn order skewed by unrelated GT
+        // traffic (`rr_pos` stays `None` on the GT path).
+        let n = self.sources_by_ni[ni.0].len();
+        let mut pick: Option<usize> = None;
+        let mut rr_pos: Option<usize> = None;
+        for pos in 0..n {
+            let si = self.sources_by_ni[ni.0][pos];
+            let head_gt = self.sources[si]
+                .queue
+                .front()
+                .map(|f| f.priority)
+                .unwrap_or(false);
+            if head_gt && self.source_eligible(ni, out_l, si) {
+                pick = Some(si);
+                break;
             }
-            if self.cfg.flow_control == FlowControl::AckNack
-                && cycle < self.links[out_l.0].retry_until
-            {
-                continue;
-            }
-            // GT-eligible sources first, then round-robin among the
-            // rest. The RR pointer belongs to the round-robin scan only:
-            // a GT pick must not advance it, or BE sources sharing the
-            // NI would see their turn order skewed by unrelated GT
-            // traffic (`rr_pos` stays `None` on the GT path).
-            let n = self.sources_by_ni[ni.0].len();
-            let mut pick: Option<usize> = None;
-            let mut rr_pos: Option<usize> = None;
-            for pos in 0..n {
+        }
+        if pick.is_none() {
+            let start = self.ni_rr[ni.0] as usize;
+            for k in 0..n {
+                let pos = (start + k) % n;
                 let si = self.sources_by_ni[ni.0][pos];
-                let head_gt = self.sources[si]
-                    .queue
-                    .front()
-                    .map(|f| f.priority)
-                    .unwrap_or(false);
-                if head_gt && self.source_eligible(ni, out_l, si) {
+                if self.source_eligible(ni, out_l, si) {
                     pick = Some(si);
+                    rr_pos = Some(pos);
                     break;
                 }
             }
-            if pick.is_none() {
-                let start = self.ni_rr[ni.0] as usize;
-                for k in 0..n {
-                    let pos = (start + k) % n;
-                    let si = self.sources_by_ni[ni.0][pos];
-                    if self.source_eligible(ni, out_l, si) {
-                        pick = Some(si);
-                        rr_pos = Some(pos);
-                        break;
-                    }
-                }
+        }
+        let Some(si) = pick else {
+            return;
+        };
+        let flit = self.sources[si]
+            .queue
+            .pop_front()
+            .expect("eligible source has a flit");
+        self.queued_count -= 1;
+        self.queued_at[ni.0] -= 1;
+        debug_assert!(
+            flit.route.is_none() || flit.route.as_ref().expect("checked").first() == Some(&out_l),
+            "route must start at the NI's outgoing link"
+        );
+        if flit.is_head && !flit.is_tail {
+            self.ni_wormhole[ni.0 * self.cfg.vcs + flit.vc] = Some(si);
+        } else if flit.is_tail && !flit.is_head {
+            self.ni_wormhole[ni.0 * self.cfg.vcs + flit.vc] = None;
+        }
+        if flit.is_head {
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent {
+                    cycle,
+                    kind: TraceKind::Inject,
+                    packet: flit.packet,
+                    flow: flit.flow,
+                    link: Some(out_l),
+                });
             }
-            let Some(si) = pick else {
-                continue;
-            };
-            let flit = self.sources[si]
-                .queue
-                .pop_front()
-                .expect("eligible source has a flit");
-            debug_assert!(
-                flit.route.is_none()
-                    || flit.route.as_ref().expect("checked").first() == Some(&out_l),
-                "route must start at the NI's outgoing link"
-            );
-            if flit.is_head && !flit.is_tail {
-                self.ni_wormhole[ni.0 * self.cfg.vcs + flit.vc] = Some(si);
-            } else if flit.is_tail && !flit.is_head {
-                self.ni_wormhole[ni.0 * self.cfg.vcs + flit.vc] = None;
-            }
-            if flit.is_head {
-                if let Some(trace) = &mut self.trace {
-                    trace.record(TraceEvent {
-                        cycle,
-                        kind: TraceKind::Inject,
-                        packet: flit.packet,
-                        flow: flit.flow,
-                        link: Some(out_l),
-                    });
-                }
-            }
-            self.launch(out_l, flit);
-            self.injected_flits_total += 1;
-            if let Some(pos) = rr_pos {
-                self.ni_rr[ni.0] = ((pos + 1) % n) as u32;
-            }
+        }
+        self.launch(out_l, flit);
+        self.injected_flits_total += 1;
+        self.in_network_count += 1;
+        if let Some(pos) = rr_pos {
+            self.ni_rr[ni.0] = ((pos + 1) % n) as u32;
         }
     }
 
@@ -1769,6 +2290,14 @@ impl Simulator {
         l.in_flight.push_back((arrival, flit));
         if cycle >= self.cfg.warmup {
             l.carried += 1;
+        }
+        if self.event_mode {
+            // Schedule the delivery on the calendar wheel. The wheel is
+            // strictly larger than any link latency, so the bucket the
+            // arrival hashes to cannot still hold (or be mistaken for)
+            // an entry of a different cycle.
+            let bucket = (arrival & self.wheel_mask) as usize;
+            self.wheel[bucket].push(link.0 as u32);
         }
     }
 }
@@ -1923,6 +2452,33 @@ mod tests {
         assert!(
             thr_acknack < thr_onoff * 0.98,
             "ACK/NACK wastes link cycles: {thr_acknack} vs {thr_onoff}"
+        );
+    }
+
+    #[test]
+    fn nack_retries_respect_warmup_like_link_stalls() {
+        // Regression: nack_retries used to count retries during warmup
+        // while link_stalls on the same code path did not. With a warmup
+        // longer than the whole run, both must stay zero even under
+        // heavy ACK/NACK congestion.
+        let cores: Vec<CoreId> = (0..9).map(CoreId).collect();
+        let m = mesh(3, 3, &cores, 32).expect("valid");
+        let sources = crate::patterns::uniform_random(&m, 0.85, 4).expect("ok");
+        let cfg = SimConfig::default()
+            .with_warmup(1_000_000)
+            .with_buffer_depth(1)
+            .with_flow_control(FlowControl::AckNack);
+        let mut sim = Simulator::new(m.topology, cfg).with_seed(42);
+        for s in sources {
+            sim.add_source(s);
+        }
+        sim.run(4_000);
+        let stalls: u64 = sim.stats().link_stalls.values().sum();
+        assert_eq!(stalls, 0, "link_stalls is warmup-guarded");
+        assert_eq!(
+            sim.stats().nack_retries,
+            0,
+            "nack_retries must follow the same warmup contract"
         );
     }
 

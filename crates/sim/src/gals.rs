@@ -93,20 +93,49 @@ impl DomainMap {
                 domain_of[id.0] = index_of(spec.core(core).island);
             }
         }
-        // Propagate to switches: repeatedly adopt the smallest domain of
-        // any assigned neighbor.
+        // Pass 1: a switch with attached NIs takes the lowest-id island
+        // of those NIs. Doing this for *all* such switches before any
+        // propagation keeps the assignment sweep-order independent — a
+        // switch must never adopt a neighboring switch's domain over its
+        // own NI's island.
+        for (id, node) in topo.node_ids() {
+            if !node.is_switch() {
+                continue;
+            }
+            let mut best = usize::MAX;
+            for &l in topo.outgoing(id) {
+                let dst = topo.link(l).dst;
+                if !topo.nodes()[dst.0].is_switch() {
+                    best = best.min(domain_of[dst.0]);
+                }
+            }
+            for &l in topo.incoming(id) {
+                let src = topo.link(l).src;
+                if !topo.nodes()[src.0].is_switch() {
+                    best = best.min(domain_of[src.0]);
+                }
+            }
+            if best != usize::MAX {
+                domain_of[id.0] = best;
+            }
+        }
+        // Pass 2: BFS-propagate to NI-less switches, level by level.
+        // Each sweep reads a snapshot of the previous level's
+        // assignments, so a node adopts the smallest domain among its
+        // *nearest* assigned neighbors regardless of iteration order.
         loop {
+            let snapshot = domain_of.clone();
             let mut changed = false;
             for (id, node) in topo.node_ids() {
-                if !node.is_switch() || domain_of[id.0] != usize::MAX {
+                if !node.is_switch() || snapshot[id.0] != usize::MAX {
                     continue;
                 }
                 let mut best = usize::MAX;
                 for &l in topo.outgoing(id) {
-                    best = best.min(domain_of[topo.link(l).dst.0]);
+                    best = best.min(snapshot[topo.link(l).dst.0]);
                 }
                 for &l in topo.incoming(id) {
-                    best = best.min(domain_of[topo.link(l).src.0]);
+                    best = best.min(snapshot[topo.link(l).src.0]);
                 }
                 if best != usize::MAX {
                     domain_of[id.0] = best;
@@ -237,6 +266,37 @@ mod tests {
                 assert_eq!(d.domain(id), idx);
             }
         }
+    }
+
+    #[test]
+    fn ni_attached_switch_keeps_its_own_island() {
+        use noc_spec::{Core, CoreRole};
+        use noc_topology::graph::{NiRole, Topology};
+
+        // Two cores in different islands.
+        let mut b = AppSpec::builder("two_islands");
+        let a = b.add_core(Core::new("a", CoreRole::Master).with_island(IslandId(0)));
+        let c = b.add_core(Core::new("c", CoreRole::Slave).with_island(IslandId(1)));
+        let spec = b.build().expect("valid");
+
+        // Switch order matters: s0 (attached to island-0 NI) is swept
+        // before s1 (attached to island-1 NI). The old single-sweep
+        // propagation assigned s0 = 0 first, then let s1 adopt s0's
+        // domain 0 over its *own* NI's island 1.
+        let mut t = Topology::new("chain");
+        let s0 = t.add_switch("s0");
+        let s1 = t.add_switch("s1");
+        let ni_a = t.add_ni("ni_a", a, NiRole::Initiator);
+        let ni_c = t.add_ni("ni_c", c, NiRole::Target);
+        t.connect_duplex(ni_a, s0, 32).expect("valid");
+        t.connect_duplex(s0, s1, 32).expect("valid");
+        t.connect_duplex(s1, ni_c, 32).expect("valid");
+
+        let d = DomainMap::from_islands(&spec, &t, &BTreeMap::new());
+        assert_eq!(d.domain(s0), 0, "s0 joins its attached NI's island");
+        assert_eq!(d.domain(s1), 1, "s1 joins its attached NI's island");
+        assert_eq!(d.domain(ni_a), 0);
+        assert_eq!(d.domain(ni_c), 1);
     }
 
     #[test]

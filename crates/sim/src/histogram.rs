@@ -51,7 +51,9 @@ impl LatencyHistogram {
     }
 
     /// An upper bound on the `q`-quantile (0 < q ≤ 1): the upper edge of
-    /// the bucket containing that rank. `None` when empty.
+    /// the bucket containing that rank. The last bucket clamps all
+    /// samples ≥ 2^47, so its upper edge is `u64::MAX` — a genuine (if
+    /// loose) upper bound. `None` when empty.
     ///
     /// # Panics
     ///
@@ -66,7 +68,9 @@ impl LatencyHistogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return Some(if i + 1 >= 64 {
+                return Some(if i + 1 >= BUCKETS {
+                    // The clamp bucket has no finite upper edge: it holds
+                    // every sample ≥ 2^(BUCKETS-1).
                     u64::MAX
                 } else {
                     (1u64 << (i + 1)) - 1
@@ -85,6 +89,8 @@ impl LatencyHistogram {
     }
 
     /// Non-empty `(bucket_lower_edge, count)` pairs, for reporting.
+    /// The last bucket (lower edge 2^47) is a clamp bucket: it also
+    /// counts every sample ≥ 2^48.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
             .iter()
@@ -135,6 +141,24 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record(0);
         assert_eq!(h.nonzero_buckets(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn clamp_bucket_quantile_is_a_true_upper_bound() {
+        // Regression: samples ≥ 2^48 land in the clamp bucket (index 47);
+        // the old code reported 2^48 − 1 for it, which is *below* the
+        // sample and thus not an upper bound.
+        let mut h = LatencyHistogram::new();
+        let huge = 1u64 << 60;
+        h.record(huge);
+        let p100 = h.quantile_upper_bound(1.0).expect("nonempty");
+        assert!(
+            p100 >= huge,
+            "quantile bound {p100} must cover sample {huge}"
+        );
+        assert_eq!(p100, u64::MAX);
+        // The clamp bucket's lower edge stays 2^47 in reports.
+        assert_eq!(h.nonzero_buckets(), vec![(1u64 << 47, 1)]);
     }
 
     #[test]

@@ -130,7 +130,8 @@ pub struct SimStats {
     pub total_delivered_flits: u64,
     /// Total packets delivered network-wide.
     pub total_delivered_packets: u64,
-    /// Cycles a sender spent retrying NACKed flits (ACK/NACK mode only).
+    /// Cycles a sender spent retrying NACKed flits (ACK/NACK mode only,
+    /// after warmup — like `link_stalls` on the same code path).
     pub nack_retries: u64,
     /// Backpressure stalls per link: cycles a ready flit waited for
     /// downstream buffer space (after warmup).

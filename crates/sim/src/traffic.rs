@@ -200,14 +200,28 @@ impl TrafficSource {
 /// packet shape and link parameters.
 ///
 /// Returns `None` when the demand exceeds what one injection link can
-/// carry (including header overhead).
+/// carry (including header overhead). Header-only packets
+/// (`packet_flits == 1`) carry no payload, so any nonzero demand is
+/// uncarriable (`None`) and a zero demand needs zero packets
+/// (`Some(0.0)`); `packet_flits == 0` describes no packet at all and
+/// always yields `None`.
 pub fn packets_per_cycle(
     bandwidth: BitsPerSecond,
     clock: Hertz,
     width: u32,
     packet_flits: usize,
 ) -> Option<f64> {
+    if packet_flits == 0 {
+        return None;
+    }
     let payload_bits_per_packet = ((packet_flits - 1) as u64 * width as u64) as f64;
+    if payload_bits_per_packet == 0.0 {
+        return if bandwidth.raw() == 0 {
+            Some(0.0)
+        } else {
+            None
+        };
+    }
     let packets_per_sec = bandwidth.raw() as f64 / payload_bits_per_packet;
     let rate = packets_per_sec / clock.raw() as f64;
     // The NI link carries packet_flits flits per packet.
@@ -293,6 +307,20 @@ mod tests {
             packets_per_cycle(BitsPerSecond::from_gbps(32.0), Hertz::from_ghz(1.0), 32, 5)
                 .is_none()
         );
+    }
+
+    #[test]
+    fn degenerate_packet_shapes_have_defined_rates() {
+        // Regression: packet_flits == 0 used to underflow (debug panic)
+        // and packet_flits == 1 divided by zero, mapping every header-only
+        // demand to None via an inf rate — including the zero demand.
+        let clock = Hertz::from_ghz(1.0);
+        assert!(packets_per_cycle(BitsPerSecond::from_gbps(1.0), clock, 32, 0).is_none());
+        assert!(packets_per_cycle(BitsPerSecond(0), clock, 32, 0).is_none());
+        // Header-only packets: zero demand is trivially carriable...
+        assert_eq!(packets_per_cycle(BitsPerSecond(0), clock, 32, 1), Some(0.0));
+        // ...and any nonzero payload demand is not.
+        assert!(packets_per_cycle(BitsPerSecond(1), clock, 32, 1).is_none());
     }
 
     #[test]

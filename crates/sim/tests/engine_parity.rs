@@ -1,0 +1,326 @@
+//! Bit-parity of the event-driven engine against the scan engine.
+//!
+//! The event wheel, activity lists, and heap-scheduled Constant sources
+//! are pure *scheduling* optimizations: for identical inputs (topology,
+//! config, sources, seed, fault plan) the event engine must produce the
+//! **identical** [`SimStats`], flit totals, and drained end state as
+//! the straight-line scan engine — bit for bit, not statistically.
+//! These tests sweep that claim across random mesh shapes, loads,
+//! packet lengths, buffer depths, VC counts, flow-control disciplines,
+//! traffic shapes, fault schedules, and the closed online-recovery
+//! loop, plus parallel sweeps at several worker counts.
+
+use noc_sim::config::{FlowControl, SimConfig};
+use noc_sim::engine::Simulator;
+use noc_sim::gals::DomainMap;
+use noc_sim::patterns;
+use noc_sim::qos::SlotTable;
+use noc_sim::sweep::SweepRunner;
+use noc_sim::traffic::{InjectionProcess, TrafficSource};
+use noc_spec::{CoreId, FlowId, TrafficShape};
+use noc_topology::generators::{mesh, Mesh};
+use proptest::prelude::*;
+
+/// Builds the identical source set for both engines: the mesh's uniform
+/// random pattern with the injection process swapped to the selected
+/// shape (the stock patterns are all Poisson; Constant must be covered
+/// too — it exercises the `const_due` heap instead of per-cycle polls).
+fn shaped_sources(m: &Mesh, rate: f64, pf: usize, shape_sel: u8) -> Vec<TrafficSource> {
+    let shape = match shape_sel {
+        0 => TrafficShape::Constant,
+        1 => TrafficShape::Poisson,
+        _ => TrafficShape::Bursty { mean_burst_len: 4 },
+    };
+    let rate_packets = rate / pf as f64;
+    let mut sources = patterns::uniform_random(m, rate, pf).expect("rate in range");
+    for (i, s) in sources.iter_mut().enumerate() {
+        s.process = InjectionProcess::from_shape(shape, rate_packets, pf as u64, i as u64);
+    }
+    sources
+}
+
+/// Asserts both simulators reached the same observable state.
+fn assert_same_state(event: &Simulator, scan: &Simulator, when: &str) {
+    assert_eq!(event.cycle(), scan.cycle(), "cycle diverged {when}");
+    assert_eq!(
+        event.injected_flits_total(),
+        scan.injected_flits_total(),
+        "injected totals diverged {when}"
+    );
+    assert_eq!(
+        event.ejected_flits_total(),
+        scan.ejected_flits_total(),
+        "ejected totals diverged {when}"
+    );
+    assert_eq!(
+        event.dropped_flits_total(),
+        scan.dropped_flits_total(),
+        "dropped totals diverged {when}"
+    );
+    assert_eq!(
+        event.flits_in_network(),
+        scan.flits_in_network(),
+        "in-network occupancy diverged {when}"
+    );
+    assert_eq!(
+        event.flits_queued(),
+        scan.flits_queued(),
+        "queue occupancy diverged {when}"
+    );
+    assert_eq!(event.epoch(), scan.epoch(), "epoch diverged {when}");
+    assert_eq!(event.stats(), scan.stats(), "SimStats diverged {when}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Fault-free parity across the router configuration space: run,
+    /// then drain, comparing the full statistics after both.
+    #[test]
+    fn event_engine_matches_scan_engine(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        rate in 0.02f64..0.6,
+        pf in 1usize..6,
+        buffer_depth in 1usize..6,
+        vcs in 1usize..4,
+        fc_sel in 0u8..2,
+        shape_sel in 0u8..3,
+        warm_sel in 0u8..2,
+        seed in 0u64..1_000,
+    ) {
+        let fc = if fc_sel == 0 { FlowControl::OnOff } else { FlowControl::AckNack };
+        let warmup = if warm_sel == 0 { 0u64 } else { 200 };
+        let cores: Vec<CoreId> = (0..rows * cols).map(CoreId).collect();
+        let m = mesh(rows, cols, &cores, 32).expect("valid shape");
+        let cfg = SimConfig::default()
+            .with_warmup(warmup)
+            .with_buffer_depth(buffer_depth)
+            .with_vcs(vcs)
+            .with_flow_control(fc);
+        let sources = shaped_sources(&m, rate, pf, shape_sel);
+        let mut event = Simulator::new(m.topology.clone(), cfg).with_seed(seed);
+        let mut scan = Simulator::new(m.topology, cfg).with_seed(seed).with_scan_engine();
+        prop_assert!(event.is_event_driven());
+        prop_assert!(!scan.is_event_driven());
+        for s in &sources {
+            event.add_source(s.clone());
+            scan.add_source(s.clone());
+        }
+        event.run(1_200);
+        scan.run(1_200);
+        assert_same_state(&event, &scan, "after run");
+        let ed = event.drain(40_000);
+        let sd = scan.drain(40_000);
+        prop_assert_eq!(ed, sd, "drain outcomes diverged");
+        assert_same_state(&event, &scan, "after drain");
+        prop_assert_eq!(event.credits_restored(), scan.credits_restored());
+    }
+
+    /// Parity with fault schedules and the closed online-recovery loop:
+    /// watchdogs, epoch hot-swaps, and NI retransmissions all ride the
+    /// event engine's scheduling structures and must not shift a single
+    /// outcome. State is compared mid-flight, not just at the end.
+    #[test]
+    fn event_engine_matches_scan_engine_under_recovery(
+        rate in 0.02f64..0.3,
+        pf in 1usize..5,
+        nfaults in 1usize..4,
+        transient_chance in 0u8..255,
+        heartbeat in 1u64..12,
+        watchdog in 1u64..48,
+        max_retries in 0u32..4,
+        backoff in 1u64..32,
+        shape_sel in 0u8..3,
+        seed in 0u64..1_000,
+    ) {
+        use noc_sim::recovery::OnlineRecovery;
+        use noc_spec::fault::{FaultPlan, FaultScenario, FaultTarget, RecoveryConfig};
+        use noc_topology::TurnModel;
+
+        let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+        let m = mesh(4, 4, &cores, 32).expect("valid shape");
+        let candidates: Vec<FaultTarget> = m
+            .topology
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                m.topology.node(l.src).is_switch() && m.topology.node(l.dst).is_switch()
+            })
+            .map(|(i, _)| FaultTarget::Link(i))
+            .collect();
+        let scenario = FaultScenario {
+            faults: nfaults,
+            window: (100, 700),
+            transient_chance,
+            duration: (50, 250),
+        };
+        let plan = FaultPlan::generate(seed, &candidates, scenario).with_recovery(RecoveryConfig {
+            heartbeat_period: heartbeat,
+            watchdog_timeout: watchdog,
+            max_retries,
+            retry_backoff: backoff,
+            ..RecoveryConfig::default()
+        });
+        prop_assert!(!plan.is_empty());
+
+        let sources = shaped_sources(&m, rate, pf, shape_sel);
+        let cfg = SimConfig::default().with_warmup(0);
+        let mut event = Simulator::new(m.topology.clone(), cfg).with_seed(seed);
+        let mut scan = Simulator::new(m.topology.clone(), cfg).with_seed(seed).with_scan_engine();
+        for s in &sources {
+            event.add_source(s.clone());
+            scan.add_source(s.clone());
+        }
+        let mut rec_e = OnlineRecovery::install(&mut event, &m, TurnModel::NorthLast, &plan)
+            .expect("plan installs");
+        let mut rec_s = OnlineRecovery::install(&mut scan, &m, TurnModel::NorthLast, &plan)
+            .expect("plan installs");
+        for chunk in 0..6 {
+            for _ in 0..200 {
+                event.step();
+                rec_e.service(&mut event);
+                scan.step();
+                rec_s.service(&mut scan);
+            }
+            event.finish();
+            scan.finish();
+            assert_same_state(&event, &scan, &format!("at cycle {}", 200 * (chunk + 1)));
+        }
+        let ed = rec_e.drain(&mut event, 40_000);
+        let sd = rec_s.drain(&mut scan, 40_000);
+        prop_assert_eq!(ed, sd, "drain outcomes diverged");
+        assert_same_state(&event, &scan, "after recovery drain");
+        prop_assert_eq!(event.credits_restored(), scan.credits_restored());
+    }
+}
+
+/// GALS clock dividers, TDMA slot tables, and GT-priority arbitration
+/// gate work in cycle-dependent ways; the activity lists must *retain*
+/// (not drop) gated work. A divided clock domain plus a slot table plus
+/// a mixed GT/BE source population covers all three retention paths.
+#[test]
+fn event_engine_matches_scan_engine_with_gals_and_tdma() {
+    use noc_sim::config::Arbitration;
+    use noc_spec::presets;
+    use std::collections::BTreeMap;
+
+    let spec = presets::tiny_quad();
+    let cores: Vec<CoreId> = (0..4).map(CoreId).collect();
+    let m = mesh(2, 2, &cores, 32).expect("valid");
+    let mut dividers = BTreeMap::new();
+    dividers.insert(noc_spec::IslandId(0), 2);
+    let domains = DomainMap::from_islands(&spec, &m.topology, &dividers);
+
+    let mut sources = patterns::uniform_random(&m, 0.4, 3).expect("rate in range");
+    // Make one flow guaranteed-throughput with a slot-table reservation.
+    sources[0].priority = true;
+    let gt_ni = sources[0].ni;
+    let gt_flow = sources[0].flow;
+    let mut table = SlotTable::new(8);
+    table.reserve(gt_flow, 3).expect("slots fit");
+
+    let cfg = SimConfig::default()
+        .with_warmup(100)
+        .with_sync_penalty(2)
+        .with_arbitration(Arbitration::PriorityThenRoundRobin);
+    let build = |scan: bool| {
+        let sim = Simulator::new(m.topology.clone(), cfg).with_seed(11);
+        let mut sim = if scan { sim.with_scan_engine() } else { sim };
+        sim.set_domains(domains.clone());
+        sim.set_slot_table(gt_ni, table.clone());
+        for s in &sources {
+            sim.add_source(s.clone());
+        }
+        sim
+    };
+    let mut event = build(false);
+    let mut scan = build(true);
+    event.run(3_000);
+    scan.run(3_000);
+    assert_same_state(&event, &scan, "after GALS/TDMA run");
+    assert!(
+        event.stats().total_delivered_packets > 0,
+        "the scenario must actually deliver traffic"
+    );
+    let ed = event.drain(40_000);
+    let sd = scan.drain(40_000);
+    assert_eq!(ed, sd, "drain outcomes diverged");
+    assert_same_state(&event, &scan, "after GALS/TDMA drain");
+}
+
+/// Parallel sweeps stay deterministic with the event engine at any
+/// worker count, and every point matches the serial scan reference.
+#[test]
+fn parallel_sweeps_match_scan_reference_at_any_thread_count() {
+    let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+    let rates = [0.05f64, 0.1, 0.2, 0.3];
+    let eval = |scan: bool| {
+        let cores = cores.clone();
+        move |&rate: &f64, seed: u64| {
+            let m = mesh(4, 4, &cores, 32).expect("valid");
+            let sources = patterns::uniform_random(&m, rate, 4).expect("in range");
+            let cfg = SimConfig::default().with_warmup(500);
+            let sim = Simulator::new(m.topology, cfg).with_seed(seed);
+            let mut sim = if scan { sim.with_scan_engine() } else { sim };
+            for s in sources {
+                sim.add_source(s);
+            }
+            sim.run(3_000);
+            sim.into_stats()
+        }
+    };
+    let reference = SweepRunner::serial().run(7, &rates, eval(true));
+    for threads in [1usize, 2, 8] {
+        let got = SweepRunner::with_threads(threads).run(7, &rates, eval(false));
+        assert_eq!(
+            got, reference,
+            "event-engine sweep at {threads} threads diverged from the serial scan reference"
+        );
+    }
+    // Flows are disjoint across points, so merged stats agree too.
+    let merged_event = SweepRunner::with_threads(8).run_merged(7, &rates, eval(false));
+    let mut merged_scan = noc_sim::stats::SimStats::default();
+    for s in &reference {
+        merged_scan.merge(s);
+    }
+    assert_eq!(
+        merged_event.total_delivered_flits,
+        merged_scan.total_delivered_flits
+    );
+    assert_eq!(merged_event, merged_scan);
+}
+
+/// A packet already mid-flight when `with_scan_engine` would have been
+/// chosen: the two engines agree from the very first cycle, including
+/// warmup-edge statistics (`FlowId` histograms, stalls, NACKs).
+#[test]
+fn saturated_acknack_parity_with_deep_warmup() {
+    let cores: Vec<CoreId> = (0..9).map(CoreId).collect();
+    let m = mesh(3, 3, &cores, 32).expect("valid");
+    let sources = patterns::uniform_random(&m, 0.85, 4).expect("in range");
+    let cfg = SimConfig::default()
+        .with_warmup(1_000)
+        .with_buffer_depth(1)
+        .with_flow_control(FlowControl::AckNack);
+    let mut event = Simulator::new(m.topology.clone(), cfg).with_seed(42);
+    let mut scan = Simulator::new(m.topology, cfg)
+        .with_seed(42)
+        .with_scan_engine();
+    for s in &sources {
+        event.add_source(s.clone());
+        scan.add_source(s.clone());
+    }
+    event.run(4_000);
+    scan.run(4_000);
+    assert_same_state(&event, &scan, "at saturation");
+    assert!(
+        event.stats().nack_retries > 0,
+        "saturation must exercise the NACK path"
+    );
+    assert_eq!(
+        event.stats().flows.get(&FlowId(0)),
+        scan.stats().flows.get(&FlowId(0))
+    );
+}
