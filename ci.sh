@@ -3,7 +3,9 @@
 #
 #   ./ci.sh          # tier-1 gate: release build + tests (ROADMAP.md)
 #   ./ci.sh quick    # fast pre-push loop: fmt, clippy, debug tests
-#   ./ci.sh full     # quick + tier-1 + check_all/recovery smoke + bench guard
+#   ./ci.sh smoke    # release smoke runs: check_all, recovery, DSE cache
+#   ./ci.sh bench    # bench_guard vs BENCH_BASELINE.json (non-blocking)
+#   ./ci.sh full     # quick + tier-1 + smoke + bench, with stage timings
 #
 # Every cargo invocation that resolves dependencies runs with
 # --offline --locked: the workspace builds entirely from the vendored
@@ -12,6 +14,16 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 CARGO_FLAGS=(--offline --locked)
+
+# Per-stage wall-clock accounting (printed by `full`).
+STAGE_TIMING_LINES=()
+
+run_stage() {
+  local name="$1"
+  local started=$SECONDS
+  "$name"
+  STAGE_TIMING_LINES+=("$(printf '  %-6s %4ds' "$name" $((SECONDS - started)))")
+}
 
 # The workspace replaces all external dependencies with offline shims
 # (Cargo.toml [workspace.dependencies] points rand/proptest/criterion/
@@ -61,13 +73,20 @@ tier1() {
   cargo test "${CARGO_FLAGS[@]}" -q --release -p noc-sim --test engine_parity
 }
 
-full() {
-  quick
-  tier1
+smoke() {
   echo "==> smoke: check_all (release)"
   cargo run "${CARGO_FLAGS[@]}" -q --release -p noc-bench --bin check_all
   echo "==> smoke: ablation_online_recovery (release)"
   cargo run "${CARGO_FLAGS[@]}" -q --release -p noc-bench --bin ablation_online_recovery
+  # The DSE acceptance protocol: a 64-spec cold exploration, a warm
+  # re-run that must be 100% cache hits with a bit-identical Pareto
+  # front, and a killed-then-resumed run whose front must equal the
+  # cold one (see crates/bench/src/bin/dse_explore.rs).
+  echo "==> smoke: dse_explore --ci-smoke (release)"
+  cargo run "${CARGO_FLAGS[@]}" -q --release -p noc-bench --bin dse_explore -- --ci-smoke
+}
+
+bench() {
   echo "==> perf: bench_guard (non-blocking)"
   if ! cargo run "${CARGO_FLAGS[@]}" -q --release -p noc-bench --bin bench_guard; then
     echo "ci.sh: WARNING: bench_guard reported a slowdown (non-blocking);"
@@ -75,13 +94,24 @@ full() {
   fi
 }
 
+full() {
+  run_stage quick
+  run_stage tier1
+  run_stage smoke
+  run_stage bench
+  echo "ci.sh: stage wall-clock timings:"
+  printf '%s\n' "${STAGE_TIMING_LINES[@]}"
+}
+
 stage="${1:-tier1}"
 case "$stage" in
   tier1) preflight; tier1 ;;
   quick) preflight; quick ;;
+  smoke) preflight; smoke ;;
+  bench) preflight; bench ;;
   full)  preflight; full ;;
   *)
-    echo "usage: ./ci.sh [quick|full]   (no argument = tier-1 gate)" >&2
+    echo "usage: ./ci.sh [quick|smoke|bench|full]   (no argument = tier-1 gate)" >&2
     exit 2
     ;;
 esac

@@ -75,6 +75,10 @@ const BENCHES: &[GuardedBench] = &[
         name: "floorplan/slicing_anneal_60_blocks",
         measure: measure_floorplan_stress_us,
     },
+    GuardedBench {
+        name: "dse/specs_per_sec",
+        measure: measure_dse_us_per_spec,
+    },
 ];
 
 /// Extracts the number following `"key":` after position `from`.
@@ -249,6 +253,33 @@ fn measure_floorplan_stress_us() -> f64 {
     best
 }
 
+/// One cold batch exploration (`noc::dse`) of a small sweep against
+/// the full 54-candidate grid, serially, on a fresh in-memory store
+/// each round. The pinned quantity is µs per spec — the reciprocal of
+/// the `dse/specs_per_sec` throughput the exploration bin reports —
+/// so it compares under the same "bigger is worse" rule as every
+/// other baseline.
+fn measure_dse_us_per_spec() -> f64 {
+    use noc::dse::{default_grid, explore, DseConfig, Store};
+    const ROUNDS: usize = 3;
+    const SPECS: usize = 6;
+    let grid = default_grid();
+    let cfg = DseConfig {
+        specs: SPECS,
+        threads: 1,
+        ..DseConfig::default()
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let store = Store::in_memory();
+        let t0 = Instant::now();
+        let report = explore(&cfg, &grid, &store).expect("in-memory explore cannot fail");
+        std::hint::black_box(report.front.points().len());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6 / SPECS as f64);
+    }
+    best
+}
+
 fn main() -> ExitCode {
     let text = match read_baselines() {
         Ok(t) => t,
@@ -266,8 +297,19 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let measured_us = (bench.measure)();
+        let mut measured_us = (bench.measure)();
         let limit_us = baseline_us * (1.0 + tolerance);
+        if measured_us > limit_us {
+            // CI machines are noisy; a single outlier round should not
+            // page anyone. Re-measure once and keep the better result
+            // before declaring a regression.
+            println!(
+                "bench_guard: {}: measured {measured_us:.2} us over limit \
+                 {limit_us:.2} us, retrying once",
+                bench.name
+            );
+            measured_us = measured_us.min((bench.measure)());
+        }
         let delta = (measured_us / baseline_us - 1.0) * 100.0;
         println!(
             "bench_guard: {}: measured {measured_us:.2} us/iter, \
@@ -276,7 +318,8 @@ fn main() -> ExitCode {
         );
         if measured_us > limit_us {
             eprintln!(
-                "bench_guard: REGRESSION in {}: more than {:.0}% over baseline",
+                "bench_guard: REGRESSION in {}: more than {:.0}% over baseline \
+                 (persisted across a retry)",
                 bench.name,
                 tolerance * 100.0
             );

@@ -47,10 +47,12 @@
 #![warn(missing_docs)]
 
 pub mod bundle;
+pub mod canon;
 pub mod error;
 pub mod flow;
 pub mod report;
 
+pub use noc_dse as dse;
 pub use noc_floorplan as floorplan;
 pub use noc_par as par;
 pub use noc_power as power;

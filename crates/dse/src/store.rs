@@ -1,0 +1,341 @@
+//! Content-addressed store for flow-stage outputs.
+//!
+//! Keys are 128-bit content hashes of a stage's full input closure
+//! (spec canon bytes, candidate, upstream stage hashes — see
+//! `explore`); values are [`Canonical`] encodings of the stage output,
+//! so a hit replays the output bit-identically.
+//!
+//! ## On-disk format
+//!
+//! An 8-byte magic header, then append-only records:
+//!
+//! ```text
+//! key[16]  len: u32 LE  payload[len]  fnv1a64(key ‖ len ‖ payload): u64 LE
+//! ```
+//!
+//! The contract is *degrade to recompute, never to wrong answers*:
+//! a record whose checksum fails is skipped (counted in
+//! [`StoreStats::corrupt`]); a truncated tail record is discarded and
+//! the file truncated back to the last good record. Either way the key
+//! simply misses and the stage recomputes.
+
+use noc_spec::canon::ContentHash;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Magic header identifying a store file (version 1).
+pub const MAGIC: [u8; 8] = *b"NOCDSE1\n";
+
+/// FNV-1a 64-bit, the per-record integrity checksum.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hit/miss/corruption counters of a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// `get` calls that found a valid record.
+    pub hits: u64,
+    /// `get` calls that missed.
+    pub misses: u64,
+    /// Records dropped at open time for checksum mismatch.
+    pub corrupt: u64,
+    /// Bytes of truncated tail discarded at open time.
+    pub truncated_bytes: u64,
+}
+
+impl StoreStats {
+    /// Hits as a fraction of all lookups (1.0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A content-addressed key→bytes store, in memory or backed by an
+/// append-only file. `get` is safe to call from many threads at once
+/// (the DSE shard fan-out does); `insert_batch` serializes appends.
+#[derive(Debug)]
+pub struct Store {
+    map: RwLock<BTreeMap<[u8; 16], Vec<u8>>>,
+    file: Option<Mutex<File>>,
+    path: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: u64,
+    truncated_bytes: u64,
+}
+
+impl Store {
+    /// An in-memory store (no persistence).
+    pub fn in_memory() -> Store {
+        Store {
+            map: RwLock::new(BTreeMap::new()),
+            file: None,
+            path: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: 0,
+            truncated_bytes: 0,
+        }
+    }
+
+    /// Opens (or creates) a file-backed store, replaying every valid
+    /// record. Corrupt records are skipped and counted; a truncated
+    /// tail is cut off so subsequent appends extend a clean file.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or a file that exists but does not start with
+    /// [`MAGIC`].
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Store> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            file.write_all(&MAGIC)?;
+            file.flush()?;
+            return Ok(Store {
+                map: RwLock::new(BTreeMap::new()),
+                file: Some(Mutex::new(file)),
+                path: Some(path),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                corrupt: 0,
+                truncated_bytes: 0,
+            });
+        }
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{} is not a noc-dse store", path.display()),
+            ));
+        }
+        let mut map = BTreeMap::new();
+        let mut corrupt = 0u64;
+        let mut pos = MAGIC.len();
+        let mut good_end = pos;
+        while pos < bytes.len() {
+            // key(16) + len(4) + payload + checksum(8)
+            if pos + 20 > bytes.len() {
+                break; // truncated header
+            }
+            let key: [u8; 16] = bytes[pos..pos + 16].try_into().expect("16 bytes");
+            let len =
+                u32::from_le_bytes(bytes[pos + 16..pos + 20].try_into().expect("4 bytes")) as usize;
+            let end = pos + 20 + len + 8;
+            if end > bytes.len() {
+                break; // truncated payload/checksum
+            }
+            let stored = u64::from_le_bytes(bytes[end - 8..end].try_into().expect("8 bytes"));
+            if fnv1a64(&bytes[pos..end - 8]) == stored {
+                map.insert(key, bytes[pos + 20..pos + 20 + len].to_vec());
+            } else {
+                corrupt += 1;
+            }
+            pos = end;
+            good_end = end;
+        }
+        let truncated_bytes = (bytes.len() - good_end) as u64;
+        if truncated_bytes > 0 {
+            file.set_len(good_end as u64)?;
+            file.seek(SeekFrom::End(0))?;
+        }
+        Ok(Store {
+            map: RwLock::new(map),
+            file: Some(Mutex::new(file)),
+            path: Some(path),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt,
+            truncated_bytes,
+        })
+    }
+
+    /// The backing file path, when file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("store lock").len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a key, counting the hit or miss.
+    pub fn get(&self, key: ContentHash) -> Option<Vec<u8>> {
+        let got = self.map.read().expect("store lock").get(&key.0).cloned();
+        if got.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
+    /// Inserts a batch of entries, appending each new key to the
+    /// backing file (existing keys are not rewritten: content
+    /// addressing makes re-insertion a no-op).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the append; the in-memory view is updated
+    /// first, so even on error this process keeps the entries.
+    pub fn insert_batch(
+        &self,
+        entries: impl IntoIterator<Item = (ContentHash, Vec<u8>)>,
+    ) -> std::io::Result<()> {
+        let mut fresh: Vec<([u8; 16], Vec<u8>)> = Vec::new();
+        {
+            let mut map = self.map.write().expect("store lock");
+            for (key, value) in entries {
+                if let std::collections::btree_map::Entry::Vacant(slot) = map.entry(key.0) {
+                    slot.insert(value.clone());
+                    fresh.push((key.0, value));
+                }
+            }
+        }
+        if let (Some(file), false) = (&self.file, fresh.is_empty()) {
+            let mut buf = Vec::new();
+            for (key, value) in &fresh {
+                let start = buf.len();
+                buf.extend_from_slice(key);
+                buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                buf.extend_from_slice(value);
+                let sum = fnv1a64(&buf[start..]);
+                buf.extend_from_slice(&sum.to_le_bytes());
+            }
+            let mut f = file.lock().expect("store file lock");
+            f.write_all(&buf)?;
+            f.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt,
+            truncated_bytes: self.truncated_bytes,
+        }
+    }
+
+    /// Resets the hit/miss counters (the open-time corruption counters
+    /// are immutable facts about the file and stay).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_spec::canon::content_hash;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("noc_dse_store_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_through_file() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let k1 = content_hash(b"alpha");
+        let k2 = content_hash(b"beta");
+        {
+            let store = Store::open(&path).expect("open");
+            store
+                .insert_batch([(k1, b"one".to_vec()), (k2, b"two".to_vec())])
+                .expect("insert");
+        }
+        let store = Store::open(&path).expect("reopen");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(k1).as_deref(), Some(b"one".as_ref()));
+        assert_eq!(store.get(k2).as_deref(), Some(b"two".as_ref()));
+        assert_eq!(store.stats().hits, 2);
+        assert_eq!(store.stats().corrupt, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_not_served() {
+        let path = tmp("corrupt");
+        let _ = std::fs::remove_file(&path);
+        let k1 = content_hash(b"alpha");
+        let k2 = content_hash(b"beta");
+        {
+            let store = Store::open(&path).expect("open");
+            store
+                .insert_batch([(k1, b"payload-one".to_vec()), (k2, b"payload-two".to_vec())])
+                .expect("insert");
+        }
+        // Flip one payload byte of the first record.
+        let mut bytes = std::fs::read(&path).expect("read");
+        let flip_at = MAGIC.len() + 16 + 4 + 2;
+        bytes[flip_at] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("write");
+        let store = Store::open(&path).expect("reopen");
+        assert_eq!(store.stats().corrupt, 1);
+        assert_eq!(store.get(k1), None, "corrupt record must miss");
+        assert_eq!(store.get(k2).as_deref(), Some(b"payload-two".as_ref()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_tail_is_discarded_and_file_repaired() {
+        let path = tmp("truncated");
+        let _ = std::fs::remove_file(&path);
+        let k1 = content_hash(b"alpha");
+        let k2 = content_hash(b"beta");
+        {
+            let store = Store::open(&path).expect("open");
+            store
+                .insert_batch([(k1, b"payload-one".to_vec()), (k2, b"payload-two".to_vec())])
+                .expect("insert");
+        }
+        let bytes = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).expect("truncate");
+        let store = Store::open(&path).expect("reopen");
+        assert_eq!(store.len(), 1);
+        assert!(store.stats().truncated_bytes > 0);
+        assert_eq!(store.get(k2), None);
+        // The repaired file accepts a clean re-append of the lost key.
+        store
+            .insert_batch([(k2, b"payload-two".to_vec())])
+            .expect("re-insert");
+        drop(store);
+        let store = Store::open(&path).expect("re-reopen");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().corrupt, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,67 @@
+//! [`Canonical`] byte encodings of floorplan outputs.
+//!
+//! A [`CoreFloorplan`] is the per-spec stage output the DSE flow cache
+//! persists: annealing is by far the most expensive stage of a cold
+//! design point, so replaying the plan from the store is what makes
+//! warm re-exploration fast. Geometry round-trips bit-exactly
+//! (`f64::to_bits`), so a cached plan is indistinguishable from a
+//! recomputed one.
+
+use crate::block::Rect;
+use crate::core_plan::CoreFloorplan;
+use noc_spec::canon::{CanonError, CanonReader, Canonical};
+use noc_spec::units::Micrometers;
+use noc_spec::CoreId;
+use std::collections::BTreeMap;
+
+impl Canonical for Rect {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.x.encode(out);
+        self.y.encode(out);
+        self.w.encode(out);
+        self.h.encode(out);
+    }
+    fn decode(r: &mut CanonReader<'_>) -> Result<Rect, CanonError> {
+        Ok(Rect {
+            x: Micrometers::decode(r)?,
+            y: Micrometers::decode(r)?,
+            w: Micrometers::decode(r)?,
+            h: Micrometers::decode(r)?,
+        })
+    }
+}
+
+impl Canonical for CoreFloorplan {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let placements: BTreeMap<CoreId, Rect> = self.iter().map(|(&c, &r)| (c, r)).collect();
+        placements.encode(out);
+    }
+    fn decode(r: &mut CanonReader<'_>) -> Result<CoreFloorplan, CanonError> {
+        Ok(CoreFloorplan::from_placements(
+            BTreeMap::<CoreId, Rect>::decode(r)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_spec::presets;
+
+    #[test]
+    fn core_floorplan_round_trips_bitwise() {
+        let spec = presets::mobile_multimedia_soc();
+        let plan = CoreFloorplan::from_spec(&spec, 7);
+        let bytes = plan.to_canon_bytes();
+        let back = CoreFloorplan::from_canon_bytes(&bytes).expect("decodes");
+        assert_eq!(back.to_canon_bytes(), bytes, "canonical re-encode");
+        assert_eq!(back.len(), plan.len());
+        for (c, r) in plan.iter() {
+            let b = back.placement(*c).expect("same cores");
+            assert_eq!(b.x.raw().to_bits(), r.x.raw().to_bits());
+            assert_eq!(b.y.raw().to_bits(), r.y.raw().to_bits());
+            assert_eq!(b.w.raw().to_bits(), r.w.raw().to_bits());
+            assert_eq!(b.h.raw().to_bits(), r.h.raw().to_bits());
+        }
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod canon;
 pub mod core_plan;
 pub mod incremental;
 pub mod slicing;

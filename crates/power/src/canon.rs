@@ -1,0 +1,57 @@
+//! [`Canonical`] byte encoding of the technology characterization.
+//!
+//! A [`TechNode`] is part of every DSE candidate's cache key: the same
+//! spec explored at 65 nm and at 45 nm must address different store
+//! entries, and a *custom* node (hand-edited parameters) must hash by
+//! its full parameter set, not by a name.
+
+use crate::technology::TechNode;
+use noc_spec::canon::{CanonError, CanonReader, Canonical};
+
+impl Canonical for TechNode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.feature_nm.encode(out);
+        self.gate_area_um2.encode(out);
+        self.flop_area_um2.encode(out);
+        self.fo4_ps.encode(out);
+        self.wire_delay_ps_per_mm.encode(out);
+        self.wire_energy_pj_per_bit_mm.encode(out);
+        self.gate_energy_pj.encode(out);
+        self.leakage_mw_per_um2.encode(out);
+        self.wire_pitch_um.encode(out);
+        self.signal_layers.encode(out);
+    }
+    fn decode(r: &mut CanonReader<'_>) -> Result<TechNode, CanonError> {
+        Ok(TechNode {
+            feature_nm: u32::decode(r)?,
+            gate_area_um2: f64::decode(r)?,
+            flop_area_um2: f64::decode(r)?,
+            fo4_ps: f64::decode(r)?,
+            wire_delay_ps_per_mm: f64::decode(r)?,
+            wire_energy_pj_per_bit_mm: f64::decode(r)?,
+            gate_energy_pj: f64::decode(r)?,
+            leakage_mw_per_um2: f64::decode(r)?,
+            wire_pitch_um: f64::decode(r)?,
+            signal_layers: u32::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tech_nodes_round_trip_and_differ() {
+        for node in [TechNode::NM90, TechNode::NM65, TechNode::NM45] {
+            let bytes = node.to_canon_bytes();
+            let back = TechNode::from_canon_bytes(&bytes).expect("decodes");
+            assert_eq!(back, node);
+            assert_eq!(back.to_canon_bytes(), bytes);
+        }
+        assert_ne!(
+            TechNode::NM65.to_canon_bytes(),
+            TechNode::NM45.to_canon_bytes()
+        );
+    }
+}

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod dvfs;
 pub mod link_model;
 pub mod ni_model;

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod canon;
 pub mod core;
 pub mod error;
 pub mod fault;
@@ -53,6 +54,7 @@ pub mod traffic;
 pub mod units;
 
 pub use crate::app::AppSpec;
+pub use crate::canon::{content_hash, hash_parts, CanonError, CanonReader, Canonical, ContentHash};
 pub use crate::core::{Core, CoreId, CoreRole, IslandId};
 pub use crate::error::SpecError;
 pub use crate::fault::{

@@ -1,0 +1,101 @@
+//! [`Canonical`] byte encodings of synthesis stage outputs.
+//!
+//! The DSE flow cache persists the partition (per `(spec, k)`) and the
+//! evaluated design-point metrics (per candidate), so a warm
+//! re-exploration replays both from disk. Encodings are structural and
+//! exact (`f64` via `to_bits`): a cache hit is bit-identical to
+//! recomputation — the property `crates/dse` proptests enforce.
+
+use crate::eval::DesignMetrics;
+use crate::partition::Partition;
+use noc_spec::canon::{CanonError, CanonReader, Canonical};
+use noc_spec::units::{Micrometers, MilliWatts, SquareMicrometers};
+
+impl Canonical for Partition {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.clusters.encode(out);
+        self.cluster_of.encode(out);
+    }
+    fn decode(r: &mut CanonReader<'_>) -> Result<Partition, CanonError> {
+        let clusters = usize::decode(r)?;
+        let cluster_of = Vec::<usize>::decode(r)?;
+        if let Some(&bad) = cluster_of.iter().find(|&&c| c >= clusters) {
+            return Err(CanonError::Invalid(format!(
+                "cluster index {bad} out of range for {clusters} clusters"
+            )));
+        }
+        Ok(Partition {
+            clusters,
+            cluster_of,
+        })
+    }
+}
+
+impl Canonical for DesignMetrics {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.power.encode(out);
+        self.area.encode(out);
+        self.mean_latency_cycles.encode(out);
+        self.max_link_utilization.encode(out);
+        self.total_wirelength.encode(out);
+        self.switch_count.encode(out);
+        self.max_radix.encode(out);
+        self.frequency_feasible.encode(out);
+        self.routable.encode(out);
+    }
+    fn decode(r: &mut CanonReader<'_>) -> Result<DesignMetrics, CanonError> {
+        Ok(DesignMetrics {
+            power: MilliWatts::decode(r)?,
+            area: SquareMicrometers::decode(r)?,
+            mean_latency_cycles: f64::decode(r)?,
+            max_link_utilization: f64::decode(r)?,
+            total_wirelength: Micrometers::decode(r)?,
+            switch_count: usize::decode(r)?,
+            max_radix: u32::decode(r)?,
+            frequency_feasible: bool::decode(r)?,
+            routable: bool::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition;
+    use noc_spec::presets;
+
+    #[test]
+    fn partition_round_trips_and_validates() {
+        let spec = presets::mobile_multimedia_soc();
+        let part = partition(&spec, 4, 1);
+        let bytes = part.to_canon_bytes();
+        let back = Partition::from_canon_bytes(&bytes).expect("decodes");
+        assert_eq!(back, part);
+        assert_eq!(back.to_canon_bytes(), bytes);
+        // An out-of-range cluster index is rejected, not silently kept.
+        let bad = Partition {
+            clusters: 2,
+            cluster_of: vec![0, 1, 5],
+        };
+        assert!(Partition::from_canon_bytes(&bad.to_canon_bytes()).is_err());
+    }
+
+    #[test]
+    fn design_metrics_round_trip_bitwise() {
+        let m = DesignMetrics {
+            power: MilliWatts(12.345678),
+            area: SquareMicrometers(98_765.432_1),
+            mean_latency_cycles: 3.9999999999,
+            max_link_utilization: 0.7499999,
+            total_wirelength: Micrometers(10_001.5),
+            switch_count: 6,
+            max_radix: 9,
+            frequency_feasible: true,
+            routable: false,
+        };
+        let bytes = m.to_canon_bytes();
+        let back = DesignMetrics::from_canon_bytes(&bytes).expect("decodes");
+        assert_eq!(back, m);
+        assert_eq!(back.to_canon_bytes(), bytes);
+    }
+}

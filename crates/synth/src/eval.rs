@@ -51,6 +51,38 @@ impl DesignMetrics {
     }
 }
 
+/// Microarchitectural knobs of the evaluation — the buffering axes of
+/// the DSE candidate grid (`noc-dse`). Defaults reproduce the
+/// historical [`evaluate`] behaviour exactly (4-deep single-VC input
+/// buffers, no output buffers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EvalOptions {
+    /// Input-buffer depth per virtual channel, in flits.
+    pub buffer_depth: u32,
+    /// Virtual channels per input port (VC FIFOs replicate the input
+    /// buffer, so effective buffering per port is `buffer_depth × vcs`).
+    pub vcs: u32,
+    /// Whether switches carry output buffers (ACK/NACK flow control).
+    pub output_buffers: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> EvalOptions {
+        EvalOptions {
+            buffer_depth: 4,
+            vcs: 1,
+            output_buffers: false,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Effective per-port input buffering in flits.
+    pub fn effective_depth(&self) -> u32 {
+        self.buffer_depth.saturating_mul(self.vcs.max(1)).max(1)
+    }
+}
+
 /// Evaluates a design point.
 ///
 /// `demands` maps NI endpoint pairs to aggregate bandwidth (as consumed
@@ -64,6 +96,33 @@ pub fn evaluate(
     clock: Hertz,
     tech: TechNode,
     flit_width: u32,
+) -> DesignMetrics {
+    evaluate_with_options(
+        topo,
+        routes,
+        demands,
+        placement,
+        clock,
+        tech,
+        flit_width,
+        EvalOptions::default(),
+    )
+}
+
+/// [`evaluate`] with explicit microarchitectural [`EvalOptions`] —
+/// deeper buffers and extra VCs cost switch area, power and maximum
+/// frequency through the Fig. 2 models, which is how the DSE buffering
+/// axes reach the Pareto front.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_with_options(
+    topo: &Topology,
+    routes: &RouteSet,
+    demands: &BTreeMap<(NodeId, NodeId), BitsPerSecond>,
+    placement: Option<&NocPlacement>,
+    clock: Hertz,
+    tech: TechNode,
+    flit_width: u32,
+    options: EvalOptions,
 ) -> DesignMetrics {
     let switch_model = SwitchModel::new(tech);
     let link_model = LinkModel::new(tech);
@@ -104,8 +163,8 @@ pub fn evaluate(
                     inputs: inputs.max(1) as u32,
                     outputs: outputs.max(1) as u32,
                     flit_width,
-                    buffer_depth: 4,
-                    output_buffers: false,
+                    buffer_depth: options.effective_depth(),
+                    output_buffers: options.output_buffers,
                 };
                 area += switch_model.area(params);
                 // Flits per cycle through the switch = sum of incoming

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod error;
 pub mod eval;
 pub mod mapping;
@@ -41,8 +42,8 @@ pub mod partition;
 pub mod sunfloor;
 
 pub use crate::error::SynthError;
-pub use crate::eval::{evaluate, DesignMetrics};
-pub use crate::mapping::{map_to_mesh, MappedDesign};
+pub use crate::eval::{evaluate, evaluate_with_options, DesignMetrics, EvalOptions};
+pub use crate::mapping::{map_to_mesh, map_to_mesh_with_options, MappedDesign};
 pub use crate::pareto::pareto_front;
 pub use crate::partition::{partition, Partition};
 pub use crate::sunfloor::{

@@ -10,7 +10,7 @@
 //! apples-to-apples (experiment E5).
 
 use crate::error::SynthError;
-use crate::eval::{evaluate, DesignMetrics};
+use crate::eval::{evaluate_with_options, DesignMetrics, EvalOptions};
 use noc_floorplan::core_plan::CoreFloorplan;
 use noc_floorplan::incremental::{insert_noc, NocPlacement};
 use noc_power::link_model::LinkModel;
@@ -75,6 +75,36 @@ pub fn map_to_mesh(
     flit_width: u32,
     tech: TechNode,
     floorplan: Option<&CoreFloorplan>,
+) -> Result<MappedDesign, SynthError> {
+    map_to_mesh_with_options(
+        spec,
+        rows,
+        cols,
+        clock,
+        flit_width,
+        tech,
+        floorplan,
+        EvalOptions::default(),
+    )
+}
+
+/// [`map_to_mesh`] with explicit microarchitectural [`EvalOptions`] —
+/// the mesh arm of the DSE candidate grid, where buffering and VC
+/// count are swept alongside width and clock.
+///
+/// # Errors
+///
+/// Same as [`map_to_mesh`].
+#[allow(clippy::too_many_arguments)]
+pub fn map_to_mesh_with_options(
+    spec: &AppSpec,
+    rows: usize,
+    cols: usize,
+    clock: Hertz,
+    flit_width: u32,
+    tech: TechNode,
+    floorplan: Option<&CoreFloorplan>,
+    options: EvalOptions,
 ) -> Result<MappedDesign, SynthError> {
     if spec.cores().is_empty() {
         return Err(SynthError::EmptySpec);
@@ -171,7 +201,7 @@ pub fn map_to_mesh(
             }
         }
     }
-    let metrics = evaluate(
+    let metrics = evaluate_with_options(
         &fabric.topology,
         &routes,
         &demands,
@@ -179,6 +209,7 @@ pub fn map_to_mesh(
         clock,
         tech,
         flit_width,
+        options,
     );
     Ok(MappedDesign {
         fabric,

@@ -17,7 +17,7 @@
 //! [`synthesize_with_runner`].
 
 use crate::error::SynthError;
-use crate::eval::{evaluate, DesignMetrics};
+use crate::eval::DesignMetrics;
 use crate::pareto::pareto_front;
 use crate::partition::{partition, Partition};
 use noc_floorplan::core_plan::CoreFloorplan;
@@ -63,6 +63,12 @@ pub struct SynthesisConfig {
     /// provided (best-of-N; chain 0 uses `seed` itself, so 1 chain is
     /// the plain single-run annealer).
     pub floorplan_chains: usize,
+    /// Input-buffer depth per VC assumed by evaluation (the DSE
+    /// buffering axis; 4 reproduces the historical evaluation).
+    pub buffer_depth: u32,
+    /// Virtual channels per input port assumed by evaluation (1
+    /// reproduces the historical evaluation).
+    pub vcs: u32,
 }
 
 /// `finish()` output: the built topology, its routes, per-pair demand,
@@ -91,6 +97,8 @@ impl Default for SynthesisConfig {
             cluster_slack: 1,
             seed: 0xF100F,
             floorplan_chains: CoreFloorplan::DEFAULT_CHAINS,
+            buffer_depth: 4,
+            vcs: 1,
         }
     }
 }
@@ -489,6 +497,24 @@ impl<'a> Builder<'a> {
 /// Builds, routes and evaluates one `(partition, width, clock)`
 /// candidate — the fully independent unit of work the sweep fans out —
 /// returning `None` when routing fails or the design is infeasible.
+///
+/// Public as `synthesize_candidate` so the batch DSE engine
+/// (`noc-dse`) can drive single candidates against externally cached
+/// partition/floorplan stage outputs. The call is deterministic: no
+/// randomness, all inputs by reference.
+pub fn synthesize_candidate(
+    spec: &AppSpec,
+    cfg: &SynthesisConfig,
+    part: &Partition,
+    fp: &CoreFloorplan,
+    width: u32,
+    clock: Hertz,
+) -> Option<SynthesizedDesign> {
+    build_candidate(spec, cfg, part, fp, width, clock)
+}
+
+/// Implementation of [`synthesize_candidate`] (kept under the name the
+/// sweep internals use).
 fn build_candidate(
     spec: &AppSpec,
     cfg: &SynthesisConfig,
@@ -512,7 +538,7 @@ fn build_candidate(
             topo.set_pipeline_stages(id, link_model.pipeline_stages(len, clock));
         }
     }
-    let metrics = evaluate(
+    let metrics = crate::eval::evaluate_with_options(
         &topo,
         &routes,
         &demands,
@@ -520,6 +546,11 @@ fn build_candidate(
         clock,
         cfg.tech,
         width,
+        crate::eval::EvalOptions {
+            buffer_depth: cfg.buffer_depth,
+            vcs: cfg.vcs,
+            output_buffers: false,
+        },
     );
     if !metrics.is_feasible(cfg.utilization_cap) {
         return None;

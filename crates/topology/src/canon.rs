@@ -1,0 +1,89 @@
+//! [`Canonical`] byte encodings of routing structures.
+//!
+//! The DSE flow cache (`noc-dse`) persists synthesized route sets so a
+//! re-explored design point replays its routes from disk instead of
+//! re-running synthesis. Link and node ids are dense indices, so a
+//! route set's canonical form is purely structural — identical
+//! topologies built by identical code paths encode identically.
+
+use crate::graph::{LinkId, NodeId};
+use crate::routing::{Route, RouteSet};
+use noc_spec::canon::{CanonError, CanonReader, Canonical};
+
+impl Canonical for NodeId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(r: &mut CanonReader<'_>) -> Result<NodeId, CanonError> {
+        Ok(NodeId(usize::decode(r)?))
+    }
+}
+
+impl Canonical for LinkId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(r: &mut CanonReader<'_>) -> Result<LinkId, CanonError> {
+        Ok(LinkId(usize::decode(r)?))
+    }
+}
+
+impl Canonical for Route {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.links.encode(out);
+    }
+    fn decode(r: &mut CanonReader<'_>) -> Result<Route, CanonError> {
+        Ok(Route::new(Vec::<LinkId>::decode(r)?))
+    }
+}
+
+impl Canonical for RouteSet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for (&(from, to), route) in self.iter() {
+            from.encode(out);
+            to.encode(out);
+            route.encode(out);
+        }
+    }
+    fn decode(r: &mut CanonReader<'_>) -> Result<RouteSet, CanonError> {
+        let len = usize::decode(r)?;
+        let mut set = RouteSet::new();
+        for _ in 0..len {
+            let from = NodeId::decode(r)?;
+            let to = NodeId::decode(r)?;
+            let route = Route::decode(r)?;
+            set.insert(from, to, route);
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_set_round_trips_bitwise() {
+        let mut set = RouteSet::new();
+        set.insert(
+            NodeId(0),
+            NodeId(5),
+            Route::new(vec![LinkId(1), LinkId(2), LinkId(9)]),
+        );
+        set.insert(NodeId(3), NodeId(0), Route::new(vec![LinkId(4)]));
+        set.insert(NodeId(7), NodeId(7), Route::new(Vec::new()));
+        let bytes = set.to_canon_bytes();
+        let back = RouteSet::from_canon_bytes(&bytes).expect("decodes");
+        assert_eq!(back, set);
+        assert_eq!(back.to_canon_bytes(), bytes, "canonical re-encode");
+    }
+
+    #[test]
+    fn truncated_route_set_fails_to_decode() {
+        let mut set = RouteSet::new();
+        set.insert(NodeId(1), NodeId(2), Route::new(vec![LinkId(0), LinkId(1)]));
+        let bytes = set.to_canon_bytes();
+        assert!(RouteSet::from_canon_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

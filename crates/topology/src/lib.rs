@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod deadlock;
 pub mod error;
 pub mod fault;

@@ -1,0 +1,117 @@
+//! Acceptance tests for the DSE determinism contract (DESIGN.md):
+//! the global Pareto front of a batch exploration must be
+//! **byte-identical** at any thread count, and a run killed at an
+//! arbitrary shard and resumed from its checkpoint must reproduce the
+//! uninterrupted run's front byte-for-byte. Extends the
+//! `sweep_determinism` pattern one level up: not per-point stats, but
+//! the whole cached multi-stage flow.
+
+use noc_dse::{default_grid, explore, Candidate, DseConfig, Store};
+use std::path::PathBuf;
+
+fn cfg(threads: usize) -> DseConfig {
+    DseConfig {
+        base_seed: 41,
+        specs: 8,
+        threads,
+        checkpoint_every: 3,
+        ..DseConfig::default()
+    }
+}
+
+/// A 12-candidate sub-grid keeps the sweep fast in debug builds while
+/// still covering both custom switch counts, the mesh, and both
+/// buffering axes.
+fn grid() -> Vec<Candidate> {
+    default_grid()
+        .into_iter()
+        .filter(|c| c.width == 32 && c.clock.raw() == 650_000_000)
+        .collect()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("noc_dse_det_{name}_{}", std::process::id()))
+}
+
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(format!("{}.ckpt", path.display()));
+}
+
+#[test]
+fn front_is_bit_identical_across_thread_counts() {
+    let grid = grid();
+    let serial = explore(&cfg(1), &grid, &Store::in_memory()).expect("serial");
+    assert!(serial.completed);
+    assert!(!serial.front.points().is_empty());
+    for threads in [2, 8] {
+        let parallel = explore(&cfg(threads), &grid, &Store::in_memory()).expect("parallel");
+        assert_eq!(
+            parallel.front.canonical_bytes(),
+            serial.front.canonical_bytes(),
+            "front must be bit-identical at {threads} workers"
+        );
+        assert_eq!(parallel.feasible_points, serial.feasible_points);
+        assert_eq!(parallel.candidates_evaluated, serial.candidates_evaluated);
+    }
+}
+
+#[test]
+fn kill_at_any_shard_then_resume_matches_cold() {
+    let grid = grid();
+    let cold = explore(&cfg(2), &grid, &Store::in_memory()).expect("cold");
+    // Kill after every possible shard count (1..specs-1), resume, and
+    // demand the byte-identical front each time — the "random shard"
+    // quantified exhaustively, so there is no unlucky seed to miss.
+    for kill_at in 1..cfg(2).specs {
+        let path = tmp(&format!("kill{kill_at}"));
+        cleanup(&path);
+        {
+            let store = Store::open(&path).expect("open");
+            let killed = explore(
+                &DseConfig {
+                    max_shards: Some(kill_at),
+                    ..cfg(2)
+                },
+                &grid,
+                &store,
+            )
+            .expect("killed run");
+            assert!(!killed.completed, "kill@{kill_at} must stop early");
+            assert_eq!(killed.specs_explored, kill_at as u64);
+        } // drop = process death: only the file and checkpoint survive
+        let store = Store::open(&path).expect("reopen");
+        let resumed = explore(&cfg(2), &grid, &store).expect("resumed run");
+        assert_eq!(resumed.resumed_from, kill_at as u64);
+        assert!(resumed.completed);
+        assert_eq!(
+            resumed.front.canonical_bytes(),
+            cold.front.canonical_bytes(),
+            "kill@{kill_at}+resume must reproduce the cold front byte-for-byte"
+        );
+        cleanup(&path);
+    }
+}
+
+#[test]
+fn persisted_store_replays_across_processes() {
+    let grid = grid();
+    let path = tmp("persist");
+    cleanup(&path);
+    let cold = {
+        let store = Store::open(&path).expect("open");
+        explore(&cfg(2), &grid, &store).expect("cold")
+    };
+    // A fresh Store (new process) over the same file, with the
+    // checkpoint evicted so every shard re-walks through the store:
+    // pure replay.
+    let _ = std::fs::remove_file(format!("{}.ckpt", path.display()));
+    let store = Store::open(&path).expect("reopen");
+    let warm = explore(&cfg(2), &grid, &store).expect("warm");
+    assert_eq!(
+        warm.store_stats.misses, 0,
+        "reopened store must serve all stages"
+    );
+    assert_eq!(warm.front.canonical_bytes(), cold.front.canonical_bytes());
+    cleanup(&path);
+}
