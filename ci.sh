@@ -58,6 +58,12 @@ quick() {
   cargo clippy "${CARGO_FLAGS[@]}" --workspace --all-targets -- -D warnings
   echo "==> cargo test -q (debug)"
   cargo test "${CARGO_FLAGS[@]}" -q
+  # Partitioned-engine smoke at product scale: a 32x32 mesh on 2 shard
+  # workers through the threaded run path (ignored by default so plain
+  # `cargo test` stays fast; the full parity matrix runs in tier-1).
+  echo "==> partitioned 32x32 2-worker smoke (debug)"
+  cargo test "${CARGO_FLAGS[@]}" -q -p noc-sim --lib \
+    partition::tests::smoke_32x32_two_worker_threaded_run -- --ignored
 }
 
 tier1() {
@@ -65,10 +71,11 @@ tier1() {
   cargo build "${CARGO_FLAGS[@]}" --release
   echo "==> tier-1: cargo test -q"
   cargo test "${CARGO_FLAGS[@]}" -q
-  # The debug run above already includes the event-wheel vs scan-engine
-  # parity suite (with conservation debug_asserts armed); repeat it in
-  # release so the exact configuration users run is also proven
-  # bit-identical.
+  # The debug run above already includes the three-way engine parity
+  # suite — scan == event == partitioned at 1/2/4/8 workers, incl.
+  # faults, online recovery, GALS and TDMA (with conservation
+  # debug_asserts armed); repeat it in release so the exact
+  # configuration users run is also proven bit-identical.
   echo "==> tier-1: engine parity (release)"
   cargo test "${CARGO_FLAGS[@]}" -q --release -p noc-sim --test engine_parity
 }

@@ -8,6 +8,9 @@
 //!   a 32×32 mesh with clocked injection: nearest-neighbor at 2%
 //!   (mostly-idle fabric, the event wheel's home turf) and transpose
 //!   at 15% (saturated, where event and scan cost converge);
+//! * `fig4/step_throughput_64x64_sat_par4` — per-cycle cost of ONE
+//!   saturated 64×64 simulation on the partitioned engine with 4
+//!   shard workers (the intra-sim parallelism hot path);
 //! * `fig6/synthesis` — one `synthesize_min_power` run on the mobile
 //!   SoC (the SunFloor candidate sweep incl. incremental deadlock
 //!   verification — the synthesis-side hot path);
@@ -62,6 +65,10 @@ const BENCHES: &[GuardedBench] = &[
     GuardedBench {
         name: "fig4/step_throughput_32x32_sat",
         measure: measure_step_32x32_sat_us,
+    },
+    GuardedBench {
+        name: "fig4/step_throughput_64x64_sat_par4",
+        measure: measure_step_64x64_sat_par4_us,
     },
     GuardedBench {
         name: "fig6/synthesis",
@@ -195,6 +202,18 @@ fn measure_step_32x32_low_us() -> f64 {
 fn measure_step_32x32_sat_us() -> f64 {
     let mut sim = noc_bench::step_scaling_sim(32, 0.15, noc_bench::StepPattern::Transpose, false);
     noc_bench::step_us(&mut sim, 5, 500)
+}
+
+/// A 64×64 transpose mesh at 15% offered load on the *partitioned*
+/// engine with 4 shard workers, timed through the threaded `run()`
+/// path — the intra-sim parallelism hot path. Guards the tentpole
+/// claim that one saturated large-mesh simulation scales across
+/// cores (the `fig4_step_scaling` E2c acceptance bar is the
+/// speedup; this pins the absolute per-cycle cost).
+fn measure_step_64x64_sat_par4_us() -> f64 {
+    let mut sim =
+        noc_bench::step_scaling_sim_partitioned(64, 0.15, noc_bench::StepPattern::Transpose, 4);
+    noc_bench::run_us_partitioned(&mut sim, 3, 300)
 }
 
 /// One `synthesize_min_power` on the mobile SoC — the exact

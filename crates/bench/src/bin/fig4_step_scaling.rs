@@ -20,7 +20,10 @@
 //!
 //! `--quick` shrinks rounds/steps for smoke runs.
 
-use noc_bench::{banner, step_scaling_sim, step_us, table, StepPattern};
+use noc_bench::{
+    banner, run_us_partitioned, step_scaling_sim, step_scaling_sim_partitioned, step_us, table,
+    StepPattern,
+};
 
 /// Total offered traffic of the fixed-traffic sweep, flits/cycle summed
 /// over all sources. 20.48 = 0.32 flits/cycle/node on 8×8 — heavy but
@@ -104,5 +107,75 @@ fn main() {
     );
     if low_speedup < 3.0 {
         std::process::exit(1);
+    }
+
+    // E2c — intra-sim worker scaling: ONE saturated simulation spread
+    // over row-band shards (partitioned engine), against the serial
+    // event engine on the identical scenario. Saturated transpose is
+    // the worst case for the event engine (everything busy, nothing to
+    // skip) and therefore the honest case for parallelism: the speedup
+    // below is pure partitioning, not idleness exploitation.
+    println!("-- E2c: intra-sim worker scaling, transpose 15% (sat), partitioned engine --");
+    let meshes: &[usize] = if quick { &[64] } else { &[64, 128] };
+    let mut rows = Vec::new();
+    let mut speedup_64_par4 = 0.0;
+    for &n in meshes {
+        // Saturated steps are expensive; cap the burst length so the
+        // 128x128 row stays minutes-not-hours even in full mode.
+        let wsteps = if n >= 128 {
+            steps.min(100)
+        } else {
+            steps.min(300)
+        };
+        let wrounds = rounds.min(3);
+        let serial = measure(n, 0.15, StepPattern::Transpose, false, wrounds, wsteps);
+        let mut row = vec![format!("{n}x{n}"), format!("{serial:.0}")];
+        for workers in [1usize, 2, 4, 8] {
+            let mut sim = step_scaling_sim_partitioned(n, 0.15, StepPattern::Transpose, workers);
+            let us = run_us_partitioned(&mut sim, wrounds, wsteps);
+            if n == 64 && workers == 4 {
+                speedup_64_par4 = serial / us;
+            }
+            row.push(format!("{:.0} ({:.2}x)", us, serial / us));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "mesh",
+                "serial us/cyc",
+                "par1 us/cyc",
+                "par2",
+                "par4",
+                "par8"
+            ],
+            &rows
+        )
+    );
+    // The acceptance bar (>= 2x at 4 workers on 64x64 saturated) only
+    // means something when the machine has the cores to show it.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores >= 4 {
+        println!(
+            "check: 64x64 saturated partitioned speedup at 4 workers {:.2}x (bar: >= 2x) -- {}",
+            speedup_64_par4,
+            if speedup_64_par4 >= 2.0 {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        );
+        if speedup_64_par4 < 2.0 {
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "check: 64x64 partitioned speedup {speedup_64_par4:.2}x \
+             (skipped: only {cores} cores available, bar needs >= 4)"
+        );
     }
 }

@@ -182,6 +182,66 @@ pub fn step_us(sim: &mut noc_sim::engine::Simulator, rounds: usize, steps: u64) 
     best
 }
 
+/// The partitioned twin of [`step_scaling_sim`]: the identical warmed
+/// scenario on [`noc_sim::partition::PartitionedSimulator`] with
+/// `workers` shard workers. Bit-identical results to the serial twin by
+/// the three-way parity contract (`engine_parity.rs`) — only wall-clock
+/// time differs.
+pub fn step_scaling_sim_partitioned(
+    n: usize,
+    rate: f64,
+    pattern: StepPattern,
+    workers: usize,
+) -> noc_sim::partition::PartitionedSimulator {
+    use noc_sim::traffic::InjectionProcess;
+    let cores: Vec<noc_spec::CoreId> = (0..n * n).map(noc_spec::CoreId).collect();
+    let fabric = noc_topology::generators::mesh(n, n, &cores, 32).expect("valid shape");
+    let mut sources = match pattern {
+        StepPattern::NearestNeighbor => {
+            noc_sim::patterns::nearest_neighbor(&fabric, rate, 4).expect("rate in range")
+        }
+        StepPattern::Transpose => {
+            noc_sim::patterns::transpose(&fabric, rate, 4).expect("rate in range")
+        }
+    };
+    for (i, s) in sources.iter_mut().enumerate() {
+        s.process =
+            InjectionProcess::from_shape(noc_spec::TrafficShape::Constant, rate / 4.0, 4, i as u64);
+    }
+    let mut sim = noc_sim::partition::PartitionedSimulator::new(
+        fabric.topology,
+        noc_sim::config::SimConfig::default()
+            .with_warmup(100)
+            .with_partitioned_engine(workers),
+    );
+    for s in sources {
+        sim.add_source(s);
+    }
+    sim.run(1_000); // reach steady state before measuring
+    sim
+}
+
+/// Best-of-`rounds` mean µs per cycle over `steps`-cycle threaded
+/// `run()` bursts — the partitioned counterpart of [`step_us`]. Timing
+/// goes through `run` (the worker-thread dispatch path), not per-cycle
+/// `step`, because that is how the partitioned engine is driven in
+/// production; the per-burst thread spawn amortizes over `steps`.
+pub fn run_us_partitioned(
+    sim: &mut noc_sim::partition::PartitionedSimulator,
+    rounds: usize,
+    steps: u64,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = std::time::Instant::now();
+        sim.run(steps);
+        let us = t0.elapsed().as_secs_f64() * 1e6 / steps as f64;
+        std::hint::black_box(sim.stats().total_delivered_flits);
+        best = best.min(us);
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

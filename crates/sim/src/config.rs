@@ -58,6 +58,12 @@ pub struct SimConfig {
     /// retransmit). `None` leaves the fault path in oracle mode and
     /// keeps the fault-free hot path free of recovery bookkeeping.
     pub recovery: Option<RecoveryConfig>,
+    /// Worker threads for the partitioned intra-sim engine
+    /// (`partition::PartitionedSimulator`). `0` (the default) means the
+    /// knob is unset; the partitioned engine treats it as 1 worker. The
+    /// plain `Simulator` ignores the field entirely — results are
+    /// bit-identical at any worker count by the determinism contract.
+    pub partition_workers: usize,
 }
 
 impl Default for SimConfig {
@@ -72,6 +78,7 @@ impl Default for SimConfig {
             warmup: 1000,
             sync_penalty: 0,
             recovery: None,
+            partition_workers: 0,
         }
     }
 }
@@ -133,6 +140,15 @@ impl SimConfig {
     /// Enables the online recovery loop with the given knobs.
     pub fn with_recovery(mut self, recovery: RecoveryConfig) -> SimConfig {
         self.recovery = Some(recovery);
+        self
+    }
+
+    /// Sets the worker-thread count for the partitioned intra-sim
+    /// engine (`partition::PartitionedSimulator`). Worker count shapes
+    /// wall-clock time only; the simulation result is bit-identical to
+    /// the serial engines at any setting.
+    pub fn with_partitioned_engine(mut self, workers: usize) -> SimConfig {
+        self.partition_workers = workers;
         self
     }
 }

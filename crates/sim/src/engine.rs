@@ -28,15 +28,30 @@
 //! wheel keyed by arrival cycle; eject ports, switches, and NIs are
 //! visited only while they have work (activity lists with lazy
 //! pruning); Constant traffic sources fire off a due-cycle heap, while
-//! stochastic sources are still polled every cycle so the shared RNG
-//! stream — and therefore every simulation outcome — stays
-//! bit-identical to the straight-line *scan* engine, which sweeps all
-//! links/switches/NIs each cycle and remains available via
-//! [`Simulator::with_scan_engine`] as the executable parity reference.
-//! All activity lists are sorted before use so phases process the same
-//! elements in the same order as the scan sweep: arbitration order is
-//! observable through same-cycle credit visibility, and generation
-//! order through packet ids and RNG draws.
+//! stochastic sources are still polled every cycle so every simulation
+//! outcome stays bit-identical to the straight-line *scan* engine,
+//! which sweeps all links/switches/NIs each cycle and remains available
+//! via [`Simulator::with_scan_engine`] as the executable parity
+//! reference. Activity lists are kept in (or sorted back into)
+//! ascending order so phases process the same elements in the same
+//! order as the scan sweep.
+//!
+//! ## Locality by construction
+//!
+//! Two representation choices make the engine *spatially local*, which
+//! the partitioned engine ([`crate::partition`]) exploits to step
+//! disjoint mesh regions in parallel between per-cycle barriers:
+//!
+//! - **Per-source RNG streams and packet ids.** Every traffic source
+//!   owns a private `StdRng` seeded `point_seed(base_seed, index)` and
+//!   a private packet-id counter `(index << 40) | seq`, so generation
+//!   at one NI never observes generation elsewhere.
+//! - **Next-cycle credit returns.** Credits freed by data-phase pops
+//!   (eject, switch transfer, fault drop) are queued and applied at the
+//!   start of the following cycle, so nothing a node does in cycle `c`
+//!   is visible to any other node before `c + 1` — link traversal
+//!   already takes ≥ 1 cycle, making the cycle boundary a true
+//!   dependence frontier.
 
 use crate::config::{Arbitration, FlowControl, SimConfig};
 use crate::flit::{Flit, PacketId};
@@ -162,6 +177,17 @@ impl AdjacencyCache {
 struct SourceSlot {
     source: TrafficSource,
     queue: VecDeque<Flit>,
+    /// Packet-id counter of this source. Ids are `(index << 40) | seq`:
+    /// disjoint across sources, ascending within one, so id order is
+    /// `(source, generation)` order no matter which engine — or which
+    /// mesh shard — generated the packet.
+    next_packet: u64,
+    /// This source's private RNG stream, seeded
+    /// [`noc_par::point_seed`]`(base_seed, index)`. Sources never share
+    /// a stream: a source's draws depend only on its own firing
+    /// history, which is what lets mesh shards generate packets for
+    /// disjoint source subsets without consuming each other's numbers.
+    rng: StdRng,
     /// Whether this source's destination was swapped to fault-avoiding
     /// routes (packets generated afterwards count as rerouted).
     rerouted: bool,
@@ -246,6 +272,52 @@ struct ScheduledReroute {
     destination: Destination,
 }
 
+/// Outgoing boundary traffic of one partitioned-engine shard,
+/// accumulated during its data phases and drained by the parent at the
+/// per-cycle barrier (see [`crate::partition`]). Every queue is sorted
+/// by the parent before application, so the merge order — and therefore
+/// every downstream outcome — is independent of shard count and worker
+/// scheduling.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BoundaryOutbox {
+    /// Flits launched onto links whose receiver lives in another shard:
+    /// `(link, arrival_cycle, flit)`. At most one per link per cycle
+    /// (one launch per link per cycle), so sorting by link id at the
+    /// barrier fully determines the order.
+    pub(crate) flits: Vec<(u32, u64, Flit)>,
+    /// Credits freed for links whose *sender* lives in another shard:
+    /// `(link, vc)`.
+    pub(crate) credits: Vec<(u32, u32)>,
+    /// Tail ejections (end-to-end acks) for the parent's retransmit and
+    /// restore bookkeeping: `(eject port, packet, flow, epoch)`. Only
+    /// collected while recovery is enabled.
+    pub(crate) acks: Vec<(u32, PacketId, Option<FlowId>, u64)>,
+    /// Fault-dropped flits for the parent's retransmit layer:
+    /// `(link, vc, flit)`, in shard-local drop order. Only collected
+    /// while recovery is enabled.
+    pub(crate) losses: Vec<(u32, u32, Flit)>,
+}
+
+/// Shard-local partitioning context. `Some` marks a [`Simulator`] as one
+/// shard of a partitioned run: it owns a subset of the nodes, steps only
+/// its data phases (the parent runs every control phase), and routes
+/// traffic that crosses the shard boundary through `out` instead of
+/// touching remote state. Node ownership is captured per link end
+/// (`src_local`/`dst_local`) — the only granularity the data phases
+/// consult.
+#[derive(Debug, Clone)]
+pub(crate) struct PartCtx {
+    /// Whether each link's *sender* is local, indexed by `LinkId`. The
+    /// sender side owns the link's credit counter, `launched_at` stamp
+    /// and carried/stall statistics.
+    pub(crate) src_local: Vec<bool>,
+    /// Whether each link's *receiver* is local, indexed by `LinkId`.
+    /// The receiver side owns the wire FIFO and the input buffers.
+    pub(crate) dst_local: Vec<bool>,
+    /// Boundary traffic of the current cycle, drained at the barrier.
+    pub(crate) out: BoundaryOutbox,
+}
+
 /// The flit-level simulator.
 ///
 /// ```
@@ -298,6 +370,16 @@ pub struct Simulator {
     /// Receiving node of each link, indexed by `LinkId` (dense copy of
     /// the topology's link records for the occupancy bookkeeping).
     link_dst: Vec<NodeId>,
+    /// Data-phase credit returns (eject, transfer, fault-drop pops)
+    /// queued during the current cycle as `(link, vc)`, applied at the
+    /// start of the next one. Credit visibility is therefore uniform:
+    /// no same-cycle phase ever observes a slot freed earlier in the
+    /// same cycle, which is exactly the visibility a partitioned run
+    /// gives a *remote* sender — so the rule must hold for local ones
+    /// too, in every engine, for bit-parity. Control-phase credit
+    /// motion (fault drains and flush tails in `fail_link`) stays
+    /// immediate: it runs before the data phases in all engines.
+    credit_returns: Vec<(u32, u32)>,
     sources: Vec<SourceSlot>,
     /// Source indices registered at node `n`, indexed by `NodeId`.
     sources_by_ni: Vec<Vec<usize>>,
@@ -312,8 +394,9 @@ pub struct Simulator {
     ni_wormhole: Vec<Option<usize>>,
     /// TDMA slot table per injecting NI, indexed by `NodeId`.
     slot_tables: Vec<Option<SlotTable>>,
-    next_packet: u64,
-    rng: StdRng,
+    /// Base seed of the per-source RNG streams (source `i` draws from
+    /// a stream seeded [`noc_par::point_seed`]`(base_seed, i)`).
+    base_seed: u64,
     stats: SimStats,
     generation_enabled: bool,
     trace: Option<Trace>,
@@ -390,9 +473,14 @@ pub struct Simulator {
     eject_port_of: Vec<u32>,
     /// Eject ports with buffered flits, plus the membership flags that
     /// keep the list duplicate-free (lazily pruned, sorted per cycle).
+    /// The `dirty` flag tracks whether appends since the last sweep
+    /// broke ascending order; a clean list (the common case — retention
+    /// re-pushes during the sorted sweep stay ascending) skips the
+    /// per-cycle sort entirely.
     active_eject: Vec<u32>,
     eject_listed: Vec<bool>,
     eject_scratch: Vec<u32>,
+    eject_dirty: bool,
     /// Position of each switch in `adj.switches` (`u32::MAX` for
     /// non-switch nodes), indexed by `NodeId`.
     switch_pos: Vec<u32>,
@@ -401,20 +489,24 @@ pub struct Simulator {
     /// arbitration map a flit's desired output to a request-mask bit
     /// in O(1).
     out_pos_of: Vec<u32>,
-    /// Switch positions with buffered input flits.
+    /// Switch positions with buffered input flits (same `dirty`
+    /// discipline as `active_eject`).
     active_switches: Vec<u32>,
     switch_listed: Vec<bool>,
     switch_scratch: Vec<u32>,
+    switch_dirty: bool,
     /// Flits waiting in source queues per NI, indexed by `NodeId`.
     queued_at: Vec<u32>,
-    /// NIs with queued flits (node indices).
+    /// NIs with queued flits (node indices; same `dirty` discipline as
+    /// `active_eject`).
     active_inject: Vec<u32>,
     inject_listed: Vec<bool>,
     inject_scratch: Vec<u32>,
+    inject_dirty: bool,
     /// Sources whose injection process consumes randomness every cycle
     /// (Poisson, Bursty): they must be polled each cycle even in event
-    /// mode, or the shared RNG stream — and bit-identity with the scan
-    /// engine — would diverge.
+    /// mode, or their private RNG streams — and bit-identity with the
+    /// scan engine — would diverge.
     stochastic_sources: Vec<u32>,
     /// Pending fire cycles of Constant sources: `(next_fire, source)`
     /// min-heap. Constant processes consume no randomness, so skipping
@@ -422,14 +514,33 @@ pub struct Simulator {
     const_due: BinaryHeap<Reverse<(u64, u32)>>,
     const_scratch: Vec<u32>,
     /// Flits inside the fabric (buffers + wires), maintained so `drain`
-    /// loops cost O(1) per idle cycle instead of O(links).
-    in_network_count: u64,
+    /// loops cost O(1) per idle cycle instead of O(links). Signed: a
+    /// partitioned shard counts injections on the sending side and
+    /// ejections/drops on the receiving side, so one shard's count may
+    /// drift negative while the sum across shards stays exact.
+    in_network_count: i64,
+    /// `Some` while this simulator is one shard of a partitioned run
+    /// (see [`crate::partition`]): boundary-crossing effects are routed
+    /// through the context's outbox instead of applied in place.
+    part: Option<Box<PartCtx>>,
     /// Flits across all source queues, same motivation.
     queued_count: u64,
     /// Earliest pending watchdog deadline (`u64::MAX` when none).
     watchdog_next_due: u64,
     /// Earliest scheduled retransmit re-emission (`u64::MAX` when none).
     retransmit_next_due: u64,
+}
+
+/// Appends `v` to an activity list, marking the list dirty if the append
+/// breaks ascending order. Lists stay sorted through the common
+/// steady-state pattern (retention re-appends plus in-order wakes), so
+/// the per-cycle `sort_unstable` in each sweep is skipped unless an
+/// out-of-order wake actually happened.
+fn push_active(list: &mut Vec<u32>, dirty: &mut bool, v: u32) {
+    if !*dirty && list.last().is_some_and(|&last| last > v) {
+        *dirty = true;
+    }
+    list.push(v);
 }
 
 impl Simulator {
@@ -478,6 +589,7 @@ impl Simulator {
             buf_count: vec![0; links.len()],
             node_buffered: vec![0; nodes],
             link_dst: topo.links().iter().map(|l| l.dst).collect(),
+            credit_returns: Vec::new(),
             sources: Vec::new(),
             sources_by_ni: vec![Vec::new(); nodes],
             active_nis: Vec::new(),
@@ -490,8 +602,7 @@ impl Simulator {
             cycle: 0,
             links,
             adj,
-            next_packet: 0,
-            rng: StdRng::seed_from_u64(0xC0FF_EE00),
+            base_seed: 0xC0FF_EE00,
             stats: SimStats::default(),
             generation_enabled: true,
             trace: None,
@@ -525,19 +636,23 @@ impl Simulator {
             active_eject: Vec::new(),
             eject_listed: vec![false; eject_count],
             eject_scratch: Vec::new(),
+            eject_dirty: false,
             switch_pos,
             out_pos_of,
             active_switches: Vec::new(),
             switch_listed: vec![false; switch_count],
             switch_scratch: Vec::new(),
+            switch_dirty: false,
             queued_at: vec![0; nodes],
             active_inject: Vec::new(),
             inject_listed: vec![false; nodes],
             inject_scratch: Vec::new(),
+            inject_dirty: false,
             stochastic_sources: Vec::new(),
             const_due: BinaryHeap::new(),
             const_scratch: Vec::new(),
             in_network_count: 0,
+            part: None,
             queued_count: 0,
             watchdog_next_due: u64::MAX,
             retransmit_next_due: u64::MAX,
@@ -562,9 +677,15 @@ impl Simulator {
         self.event_mode
     }
 
-    /// Reseeds the simulator's random source (traffic randomness).
+    /// Reseeds the simulator's traffic randomness. Every source `i`
+    /// owns a private stream seeded [`noc_par::point_seed`]`(seed, i)`
+    /// — already-registered sources are reseeded, later registrations
+    /// derive from the new base.
     pub fn with_seed(mut self, seed: u64) -> Simulator {
-        self.rng = StdRng::seed_from_u64(seed);
+        self.base_seed = seed;
+        for (i, slot) in self.sources.iter_mut().enumerate() {
+            slot.rng = StdRng::seed_from_u64(noc_par::point_seed(seed, i as u64));
+        }
         self
     }
 
@@ -615,8 +736,8 @@ impl Simulator {
         // Classify for event-driven generation: Constant processes fire
         // on a closed-form schedule and draw no randomness, so they can
         // be heap-scheduled; stochastic processes must be polled every
-        // cycle to keep the shared RNG stream identical to the scan
-        // engine's.
+        // cycle to keep each source's private RNG stream identical to
+        // the scan engine's.
         match source.process {
             InjectionProcess::Constant { period, phase } => {
                 let period = period.max(1);
@@ -634,6 +755,8 @@ impl Simulator {
         self.sources.push(SourceSlot {
             source,
             queue: VecDeque::new(),
+            next_packet: (idx as u64) << 40,
+            rng: StdRng::seed_from_u64(noc_par::point_seed(self.base_seed, idx as u64)),
             rerouted: false,
             swap_pending: false,
         });
@@ -664,7 +787,15 @@ impl Simulator {
     /// checked against a full recount (debug builds) when stats
     /// finalize.
     pub fn flits_in_network(&self) -> usize {
-        self.in_network_count as usize
+        self.in_network_count.max(0) as usize
+    }
+
+    /// The raw (signed) in-network count. A partitioned shard's count
+    /// can drift negative (injections count on the sending shard,
+    /// ejections on the receiving one); the sum across shards is the
+    /// true occupancy.
+    pub(crate) fn part_in_network_raw(&self) -> i64 {
+        self.in_network_count
     }
 
     /// Flits waiting in source queues. O(1), like
@@ -994,7 +1125,10 @@ impl Simulator {
                 for f in &mut queue {
                     f.epoch = new_epoch;
                     if f.is_head {
-                        f.route = Some(p.destination.pick(&mut self.rng));
+                        // Re-pick draws from the owning source's stream:
+                        // swap-time re-routing consumes the same stream
+                        // a fresh generation at this slot would.
+                        f.route = Some(p.destination.pick(&mut self.sources[si].rng));
                         f.hop = 1;
                     }
                 }
@@ -1122,7 +1256,8 @@ impl Simulator {
             self.retransmit_waiting -= 1;
             let (si, flow, vc, priority, injected_at) =
                 (ent.si, ent.flow, ent.vc, ent.priority, ent.injected_at);
-            let route = self.sources[si].source.destination.pick(&mut self.rng);
+            let slot = &mut self.sources[si];
+            let route = slot.source.destination.pick(&mut slot.rng);
             let mut flits = Flit::packetize(
                 packet,
                 Some(flow),
@@ -1231,16 +1366,25 @@ impl Simulator {
     /// `run` and `drain` both call this after stepping, and calling it
     /// again without stepping changes nothing.
     fn finalize_stats(&mut self) {
-        debug_assert_eq!(
-            self.in_network_count as usize,
-            self.recount_flits_in_network(),
-            "maintained in-network occupancy must match a full recount"
-        );
-        debug_assert_eq!(
-            self.queued_count as usize,
-            self.recount_flits_queued(),
-            "maintained queue occupancy must match a full recount"
-        );
+        // Credits queued during the final stepped cycle must land before
+        // `credits_restored` can hold on a drained network.
+        self.apply_credit_returns();
+        // A shard's occupancy is only meaningful summed across the
+        // partition (boundary flits are counted on the sending side but
+        // buffered on the receiving one), so the recount invariant is a
+        // whole-simulator property.
+        if self.part.is_none() {
+            debug_assert_eq!(
+                self.in_network_count,
+                self.recount_flits_in_network() as i64,
+                "maintained in-network occupancy must match a full recount"
+            );
+            debug_assert_eq!(
+                self.queued_count as usize,
+                self.recount_flits_queued(),
+                "maintained queue occupancy must match a full recount"
+            );
+        }
         self.stats.measured_cycles = self.cycle.saturating_sub(self.cfg.warmup);
         self.stats.link_flits = self
             .links
@@ -1275,6 +1419,9 @@ impl Simulator {
     /// engine cycle by cycle; `run`/`drain` remain the convenient
     /// wrappers and are the only places stats are finalized.
     pub fn step(&mut self) {
+        if !self.credit_returns.is_empty() {
+            self.apply_credit_returns();
+        }
         if self.fault_cursor < self.fault_schedule.len() {
             self.apply_fault_events();
         }
@@ -1442,8 +1589,42 @@ impl Simulator {
         let flit = self.links[li].bufs[vc].pop_front().expect("front exists");
         self.buf_count[li] -= 1;
         self.node_buffered[self.link_dst[li].0] -= 1;
-        self.links[li].credits[vc] += 1;
+        self.return_credit(li, vc);
         flit
+    }
+
+    /// Queues a data-phase credit return for `(link, vc)`. Credits
+    /// freed by ejections, switch transfers and fault-drop pops become
+    /// visible at the start of the *next* cycle (`apply_credit_returns`
+    /// runs first in `step`), so no consumer within a cycle can observe
+    /// a credit freed earlier in the same cycle — the property that
+    /// lets the partitioned engine step shards independently between
+    /// barriers. No wake-ups are needed: a credit-starved entity still
+    /// holds buffered/queued work, so the activity lists retain it.
+    /// Control-phase credit motion (fault drains and flush tails in
+    /// `fail_link`) stays immediate; it runs before any data phase and
+    /// keeps the drain/flush algebra exact within its own cycle.
+    fn return_credit(&mut self, li: usize, vc: usize) {
+        // Boundary credit: the sender (credit owner) lives in another
+        // shard; route the return through the boundary channel. It is
+        // applied there at the barrier, i.e. at the start of the next
+        // cycle — the same visibility a local return gets.
+        if let Some(part) = &mut self.part {
+            if !part.src_local[li] {
+                part.out.credits.push((li as u32, vc as u32));
+                return;
+            }
+        }
+        self.credit_returns.push((li as u32, vc as u32));
+    }
+
+    /// Applies the credit returns queued during the previous cycle.
+    fn apply_credit_returns(&mut self) {
+        for i in 0..self.credit_returns.len() {
+            let (li, vc) = self.credit_returns[i];
+            self.links[li as usize].credits[vc as usize] += 1;
+        }
+        self.credit_returns.clear();
     }
 
     /// Accounts `n` flits entering source `ni`'s injection queues and, in
@@ -1455,7 +1636,7 @@ impl Simulator {
         self.queued_at[ni.0] += n as u32;
         if self.event_mode && !self.inject_listed[ni.0] {
             self.inject_listed[ni.0] = true;
-            self.active_inject.push(ni.0 as u32);
+            push_active(&mut self.active_inject, &mut self.inject_dirty, ni.0 as u32);
         }
     }
 
@@ -1472,12 +1653,12 @@ impl Simulator {
             let port = self.eject_port_of[li];
             if port != u32::MAX && !self.eject_listed[port as usize] {
                 self.eject_listed[port as usize] = true;
-                self.active_eject.push(port);
+                push_active(&mut self.active_eject, &mut self.eject_dirty, port);
             }
             let pos = self.switch_pos[dst.0];
             if pos != u32::MAX && !self.switch_listed[pos as usize] {
                 self.switch_listed[pos as usize] = true;
-                self.active_switches.push(pos);
+                push_active(&mut self.active_switches, &mut self.switch_dirty, pos);
             }
         }
     }
@@ -1580,7 +1761,17 @@ impl Simulator {
             });
         }
         if self.cfg.recovery.is_some() {
-            self.note_lost_flit(flit);
+            // The retransmit layer lives in the parent of a partitioned
+            // run: ship the loss through the boundary channel, keyed by
+            // `(link, vc)` so the parent can replay the serial drop
+            // order (ascending link, ascending vc, FIFO within).
+            if let Some(part) = &mut self.part {
+                part.out
+                    .losses
+                    .push((link.0 as u32, flit.vc as u32, flit.clone()));
+            } else {
+                self.note_lost_flit(flit);
+            }
         }
     }
 
@@ -1654,7 +1845,10 @@ impl Simulator {
         }
         let cycle = self.cycle;
         std::mem::swap(&mut self.active_eject, &mut self.eject_scratch);
-        self.eject_scratch.sort_unstable();
+        if self.eject_dirty {
+            self.eject_scratch.sort_unstable();
+        }
+        self.eject_dirty = false;
         for k in 0..self.eject_scratch.len() {
             let port = self.eject_scratch[k];
             let (ni, l) = self.adj.eject_ports[port as usize];
@@ -1684,7 +1878,7 @@ impl Simulator {
             };
             self.buf_count[l.0] -= 1;
             self.node_buffered[ni.0] -= 1;
-            self.links[l.0].credits[vc] += 1;
+            self.return_credit(l.0, vc);
             self.ejected_flits_total += 1;
             self.in_network_count -= 1;
             if flit.is_tail {
@@ -1698,29 +1892,29 @@ impl Simulator {
                     });
                 }
                 // Tail ejection is the end-to-end ack: the
-                // packet arrived whole, stop tracking it.
-                if !self.retransmit.is_empty() {
-                    if let Some(e) = self.retransmit.remove(&flit.packet) {
-                        if e.due.is_some() {
-                            self.retransmit_waiting -= 1;
-                        }
+                // packet arrived whole, stop tracking it. In a
+                // partitioned shard the retransmit/restore maps
+                // live in the parent: ship the ack through the
+                // boundary channel (keyed by eject port, the
+                // serial processing order) instead.
+                if let Some(part) = &mut self.part {
+                    if self.cfg.recovery.is_some() {
+                        let port = self.eject_port_of[l.0];
+                        part.out
+                            .acks
+                            .push((port, flit.packet, flit.flow, flit.epoch));
                     }
-                }
-                // First post-swap-epoch delivery of a flow
-                // proves its delivery path is restored.
-                if !self.restore_pending.is_empty() {
-                    if let Some(flow) = flit.flow {
-                        if let Some(&(failed_at, swap_epoch)) = self.restore_pending.get(&flow) {
-                            if flit.epoch >= swap_epoch {
-                                self.restore_pending.remove(&flow);
-                                let latency = cycle.saturating_sub(failed_at);
-                                let r = &mut self.stats.recovery;
-                                r.restores += 1;
-                                r.restore_latency_total += latency;
-                                r.restore_latency_max = r.restore_latency_max.max(latency);
+                } else {
+                    if !self.retransmit.is_empty() {
+                        if let Some(e) = self.retransmit.remove(&flit.packet) {
+                            if e.due.is_some() {
+                                self.retransmit_waiting -= 1;
                             }
                         }
                     }
+                    // First post-swap-epoch delivery of a flow
+                    // proves its delivery path is restored.
+                    self.note_restored(flit.flow, flit.epoch);
                 }
             }
             if measuring && flit.injected_at >= self.cfg.warmup {
@@ -1740,6 +1934,29 @@ impl Simulator {
                     }
                     self.stats.total_delivered_flits += 1;
                 }
+            }
+        }
+    }
+
+    /// Records a tail delivery against the restore-pending map: the
+    /// first post-swap-epoch delivery of a flow proves its delivery
+    /// path is restored. Shared by the serial eject path and the
+    /// parent's barrier-time ack replay in a partitioned run.
+    fn note_restored(&mut self, flow: Option<FlowId>, epoch: u64) {
+        if self.restore_pending.is_empty() {
+            return;
+        }
+        let Some(flow) = flow else {
+            return;
+        };
+        if let Some(&(failed_at, swap_epoch)) = self.restore_pending.get(&flow) {
+            if epoch >= swap_epoch {
+                self.restore_pending.remove(&flow);
+                let latency = self.cycle.saturating_sub(failed_at);
+                let r = &mut self.stats.recovery;
+                r.restores += 1;
+                r.restore_latency_total += latency;
+                r.restore_latency_max = r.restore_latency_max.max(latency);
             }
         }
     }
@@ -1764,16 +1981,20 @@ impl Simulator {
     /// Phase 3 (event): only switches with buffered input flits
     /// arbitrate. The list holds positions into `adj.switches` and is
     /// sorted before use, so arbitration runs in the exact ascending
-    /// switch order of the scan sweep — same-cycle credit visibility
-    /// between neighboring switches is order-sensitive, and bit-parity
-    /// demands the identical order over the identical (non-idle) set.
+    /// switch order of the scan sweep. With next-cycle credit returns
+    /// neighboring switches can no longer observe each other within a
+    /// cycle, but the identical (non-idle) set in identical order keeps
+    /// the sweep trivially bit-equal to the scan engine.
     fn traverse_active(&mut self) {
         if self.active_switches.is_empty() {
             return;
         }
         let cycle = self.cycle;
         std::mem::swap(&mut self.active_switches, &mut self.switch_scratch);
-        self.switch_scratch.sort_unstable();
+        if self.switch_dirty {
+            self.switch_scratch.sort_unstable();
+        }
+        self.switch_dirty = false;
         for k in 0..self.switch_scratch.len() {
             let pos = self.switch_scratch[k];
             let sw = self.adj.switches[pos as usize];
@@ -1975,7 +2196,7 @@ impl Simulator {
             .expect("candidate had a front flit");
         self.buf_count[in_l.0] -= 1;
         self.node_buffered[sw.0] -= 1;
-        self.links[in_l.0].credits[vc] += 1;
+        self.return_credit(in_l.0, vc);
         if flit.is_head {
             flit.hop += 1;
             if !flit.is_tail {
@@ -1999,12 +2220,12 @@ impl Simulator {
     }
 
     /// Phase 4a (event): stochastic sources are polled every cycle (they
-    /// draw from the shared RNG stream whether or not they fire — the
-    /// draws must happen to stay bit-identical with the scan engine),
-    /// while Constant sources fire off the `const_due` heap and cost
-    /// nothing on idle cycles. The two sets are merged in ascending
-    /// source-index order so packet ids and RNG draws interleave exactly
-    /// as the scan engine's full sweep would produce them.
+    /// draw from their private RNG streams whether or not they fire —
+    /// the draws must happen to stay bit-identical with the scan
+    /// engine), while Constant sources fire off the `const_due` heap and
+    /// cost nothing on idle cycles. The two sets are merged in ascending
+    /// source-index order so the fire/queue pattern matches the scan
+    /// engine's full sweep exactly.
     fn generate_due(&mut self) {
         let cycle = self.cycle;
         self.const_scratch.clear();
@@ -2054,7 +2275,7 @@ impl Simulator {
         let slot = &mut self.sources[si];
         let Some(mut flits) = slot
             .source
-            .generate(cycle, &mut self.next_packet, &mut self.rng)
+            .generate(cycle, &mut slot.next_packet, &mut slot.rng)
         else {
             return;
         };
@@ -2157,7 +2378,10 @@ impl Simulator {
             return;
         }
         std::mem::swap(&mut self.active_inject, &mut self.inject_scratch);
-        self.inject_scratch.sort_unstable();
+        if self.inject_dirty {
+            self.inject_scratch.sort_unstable();
+        }
+        self.inject_dirty = false;
         for k in 0..self.inject_scratch.len() {
             let n = self.inject_scratch[k];
             if self.queued_at[n as usize] == 0 {
@@ -2286,11 +2510,22 @@ impl Simulator {
                 link: Some(link),
             });
         }
+        if cycle >= self.cfg.warmup {
+            self.links[link.0].carried += 1;
+        }
+        // Boundary launch: the receiver lives in another shard. The
+        // sender-side effects above (credit, launch stamp, carried) are
+        // real; the flit itself travels through the boundary channel
+        // and enters the remote wire at the barrier — the arrival cycle
+        // is unchanged, so remote visibility is exactly serial.
+        if let Some(part) = &mut self.part {
+            if !part.dst_local[link.0] {
+                part.out.flits.push((link.0 as u32, arrival, flit));
+                return;
+            }
+        }
         let l = &mut self.links[link.0];
         l.in_flight.push_back((arrival, flit));
-        if cycle >= self.cfg.warmup {
-            l.carried += 1;
-        }
         if self.event_mode {
             // Schedule the delivery on the calendar wheel. The wheel is
             // strictly larger than any link latency, so the bucket the
@@ -2304,6 +2539,609 @@ impl Simulator {
 
 // `launch` uses `self.links` and `self.topo` disjointly; the borrow is
 // split manually above by indexing. (No unsafe involved.)
+
+// ---------------------------------------------------------------------
+// Partitioned-engine plumbing (crate-internal; see `crate::partition`).
+//
+// A partitioned run consists of one *parent* — the fully configured
+// master simulator, which never steps data phases and keeps every
+// control-plane structure (fault schedule, watchdogs, pending swaps,
+// retransmit map, restore map, notices) — and N *shards*: clones of the
+// master localized with `part_install`, which step only the data
+// phases. Each cycle the parent runs the control phases (calling into
+// the owning shards in exactly the serial engine's order), the shards
+// step their data phases independently, and the parent merges boundary
+// traffic at the barrier in link-id-sorted order. Every sequence below
+// mirrors a serial `step` phase line by line; divergence is a parity
+// bug, and `tests/engine_parity.rs` holds the proof obligation.
+impl Simulator {
+    /// The simulated topology (for partition construction).
+    pub(crate) fn part_topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Clones this fully-configured simulator into `shards` localized
+    /// shard simulators. `self` becomes the parent and must not step
+    /// data phases afterwards.
+    pub(crate) fn part_split(&self, shard_of_node: &[u32], shards: usize) -> Vec<Simulator> {
+        (0..shards as u32)
+            .map(|me| {
+                let mut sh = self.clone();
+                sh.part_install(shard_of_node, me);
+                sh
+            })
+            .collect()
+    }
+
+    /// Turns this clone of the master into shard `me`: restricts
+    /// generation to local sources, strips the control-plane state (the
+    /// parent keeps it), and installs the boundary context.
+    fn part_install(&mut self, shard_of_node: &[u32], me: u32) {
+        debug_assert_eq!(self.cycle, 0, "partition before the first step");
+        let local_node: Vec<bool> = shard_of_node.iter().map(|&s| s == me).collect();
+        let nlinks = self.links.len();
+        let mut src_local = vec![false; nlinks];
+        let mut dst_local = vec![false; nlinks];
+        for (li, (s, d)) in src_local.iter_mut().zip(dst_local.iter_mut()).enumerate() {
+            let l = self.topo.link(LinkId(li));
+            *s = local_node[l.src.0];
+            *d = local_node[l.dst.0];
+        }
+        // Localize generation: only sources at local NIs are polled or
+        // heap-scheduled here. Every slot stays present (packet ids and
+        // RNG streams derive from the global source index), the remote
+        // ones just never fire, so a slot's stream state always equals
+        // the serial engine's.
+        let stochastic = std::mem::take(&mut self.stochastic_sources);
+        self.stochastic_sources = stochastic
+            .into_iter()
+            .filter(|&si| local_node[self.sources[si as usize].source.ni.0])
+            .collect();
+        let const_due = std::mem::take(&mut self.const_due);
+        self.const_due = const_due
+            .into_iter()
+            .filter(|&Reverse((_, si))| local_node[self.sources[si as usize].source.ni.0])
+            .collect();
+        self.active_nis.retain(|ni| local_node[ni.0]);
+        // Shards always run the event engine: at cycle 0 all activity
+        // state is empty, so flipping a scan-mode master is exact (the
+        // two serial engines are bit-identical by the parity suite).
+        self.event_mode = true;
+        self.trace = None;
+        // Control-plane state lives in the parent only.
+        self.fault_schedule.clear();
+        self.fault_cursor = 0;
+        self.reroutes.clear();
+        self.reroute_cursor = 0;
+        self.watchdogs.clear();
+        self.watchdog_next_due = u64::MAX;
+        self.pending_swaps.clear();
+        self.notices.clear();
+        self.retransmit.clear();
+        self.retransmit_waiting = 0;
+        self.retransmit_next_due = u64::MAX;
+        self.retransmit_spent.clear();
+        self.restore_pending.clear();
+        self.part = Some(Box::new(PartCtx {
+            src_local,
+            dst_local,
+            out: BoundaryOutbox::default(),
+        }));
+    }
+
+    /// One shard data-phase step (the partitioned counterpart of the
+    /// data half of [`step`](Simulator::step)). Control phases are the
+    /// parent's job; credit returns are applied at the barrier.
+    pub(crate) fn part_step_data(&mut self) {
+        debug_assert!(self.part.is_some(), "only shards step data phases");
+        debug_assert!(
+            self.credit_returns.is_empty(),
+            "the barrier applies credit returns"
+        );
+        self.deliver_due();
+        self.eject_active();
+        if self.links_down > 0 || self.drop_locks > 0 {
+            self.drop_blocked_flits();
+        }
+        self.traverse_active();
+        if self.generation_enabled {
+            self.generate_due();
+        }
+        self.inject_active();
+        self.cycle += 1;
+    }
+
+    /// Drains this shard's boundary outbox (barrier use).
+    pub(crate) fn part_take_outbox(&mut self) -> BoundaryOutbox {
+        std::mem::take(&mut self.part.as_mut().expect("shard").out)
+    }
+
+    /// Queues a boundary credit return on its owning (sender) shard; it
+    /// lands with the rest of the cycle's returns at the barrier.
+    pub(crate) fn part_queue_credit(&mut self, li: u32, vc: u32) {
+        self.credit_returns.push((li, vc));
+    }
+
+    /// Applies the queued credit returns (barrier use; the serial
+    /// engine does this at the top of `step`).
+    pub(crate) fn part_apply_credits(&mut self) {
+        self.apply_credit_returns();
+    }
+
+    /// Lands a boundary flit on the receiving shard's wire. The arrival
+    /// cycle was computed by the sender; it is strictly in the future,
+    /// so wheel bucketing cannot alias.
+    pub(crate) fn part_import_flit(&mut self, li: usize, arrival: u64, flit: Flit) {
+        self.links[li].in_flight.push_back((arrival, flit));
+        let bucket = (arrival & self.wheel_mask) as usize;
+        self.wheel[bucket].push(li as u32);
+    }
+
+    /// Mirrors a physical link-state transition into a shard (every
+    /// shard tracks `link_up` for its drop phase and injection gates).
+    pub(crate) fn part_set_link_state(&mut self, li: usize, up: bool, event: Option<usize>) {
+        if self.link_up[li] != up {
+            if up {
+                self.links_down -= 1;
+            } else {
+                self.links_down += 1;
+            }
+            self.link_up[li] = up;
+        }
+        self.link_down_event[li] = event;
+    }
+
+    /// Shard side of `fail_link`'s drain: destroys the link's receive
+    /// buffer and wire contents (receiver-owned state), accounting the
+    /// drops locally, and returns the doomed flits in the serial drain
+    /// order. The parent returns their credits to the sender shard and
+    /// feeds the retransmit layer.
+    pub(crate) fn part_fail_drain(&mut self, link: LinkId, event: usize) -> Vec<Flit> {
+        let vcs = self.cfg.vcs;
+        let li = link.0;
+        let dst = self.link_dst[li];
+        let mut doomed: Vec<Flit> = Vec::new();
+        for vc in 0..vcs {
+            while let Some(f) = self.links[li].bufs[vc].pop_front() {
+                self.buf_count[li] -= 1;
+                self.node_buffered[dst.0] -= 1;
+                doomed.push(f);
+            }
+        }
+        doomed.extend(self.links[li].in_flight.drain(..).map(|(_, f)| f));
+        for _ in &doomed {
+            self.dropped_flits_total += 1;
+            self.in_network_count -= 1;
+            self.stats.dropped_flits += 1;
+            *self.stats.fault_events.entry(event).or_default() += 1;
+        }
+        doomed
+    }
+
+    /// Restores `n` credits on `(link, vc)` immediately (control-phase
+    /// credit motion, like the serial `fail_link` drain).
+    pub(crate) fn part_add_credits(&mut self, li: usize, vc: usize, n: usize) {
+        self.links[li].credits[vc] += n;
+    }
+
+    /// Shard side of `fail_link`'s upstream purge: removes the rest of
+    /// any packet caught half-injected at the failed link's source NI.
+    /// Returns the purged flits (they never entered the fabric) so the
+    /// parent can feed the retransmit layer in serial order.
+    pub(crate) fn part_fail_purge(&mut self, link: LinkId) -> Vec<Flit> {
+        let vcs = self.cfg.vcs;
+        let src = self.topo.link(link).src;
+        let (os, oe) = self.adj.outgoing(src);
+        let mut purged = Vec::new();
+        if oe > os && self.adj.out_flat[os] == link {
+            for vc in 0..vcs {
+                if let Some(si) = self.ni_wormhole[src.0 * vcs + vc] {
+                    while let Some(f) = self.sources[si].queue.pop_front() {
+                        self.queued_count -= 1;
+                        self.queued_at[src.0] -= 1;
+                        let tail = f.is_tail;
+                        purged.push(f);
+                        if tail {
+                            break;
+                        }
+                    }
+                    self.ni_wormhole[src.0 * vcs + vc] = None;
+                }
+            }
+        }
+        purged
+    }
+
+    /// Whether `(link, vc)` holds a wormhole route lock (receiver-shard
+    /// state; `fail_link` flushes such streams with a synthetic tail).
+    pub(crate) fn part_route_locked(&self, li: usize, vc: usize) -> bool {
+        self.route_lock[li * self.cfg.vcs + vc].is_some()
+    }
+
+    /// Takes one credit from `(link, vc)` for a flush tail
+    /// (sender-shard state).
+    pub(crate) fn part_take_credit(&mut self, li: usize, vc: usize) {
+        debug_assert!(self.links[li].credits[vc] > 0, "drained buffer has space");
+        self.links[li].credits[vc] -= 1;
+    }
+
+    /// Inserts `fail_link`'s synthetic flush tail into the receiver
+    /// shard's input buffer (the matching credit was taken on the
+    /// sender shard by [`part_take_credit`](Simulator::part_take_credit)).
+    pub(crate) fn part_insert_flush_tail(&mut self, link: LinkId, vc: usize, packet: PacketId) {
+        let li = link.0;
+        let tail = Flit {
+            packet,
+            flow: None,
+            route: None,
+            hop: 0,
+            is_head: false,
+            is_tail: true,
+            vc,
+            priority: false,
+            injected_at: self.cycle,
+            epoch: 0,
+        };
+        self.links[li].bufs[vc].push_back(tail);
+        self.note_buffered(li);
+        self.injected_flits_total += 1;
+        self.in_network_count += 1;
+    }
+
+    /// The quiesce check of `commit_ready_swaps`, on the shard owning
+    /// the NI: is a packet of `flow` still mid-wormhole there?
+    pub(crate) fn part_flow_busy(&self, ni: NodeId, flow: FlowId) -> bool {
+        let vcs = self.cfg.vcs;
+        self.sources_by_ni[ni.0].iter().any(|&si| {
+            self.sources[si].source.flow == flow
+                && (0..vcs).any(|vc| self.ni_wormhole[ni.0 * vcs + vc] == Some(si))
+        })
+    }
+
+    /// Mirrors the parent's routing-epoch bump into a shard (generated
+    /// flits are stamped with the current epoch).
+    pub(crate) fn part_set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Shard side of a committed hot-swap: installs the new destination
+    /// on the owning slots and re-routes their queued packets, drawing
+    /// from each slot's private stream exactly like the serial commit.
+    pub(crate) fn part_commit_swap(
+        &mut self,
+        ni: NodeId,
+        flow: FlowId,
+        destination: &Destination,
+        new_epoch: u64,
+        count_rerouted: bool,
+    ) {
+        let slots: Vec<usize> = self.sources_by_ni[ni.0]
+            .iter()
+            .copied()
+            .filter(|&si| self.sources[si].source.flow == flow)
+            .collect();
+        for si in slots {
+            self.sources[si].source.destination = destination.clone();
+            self.sources[si].rerouted = count_rerouted;
+            self.sources[si].swap_pending = false;
+            let mut queue = std::mem::take(&mut self.sources[si].queue);
+            for f in &mut queue {
+                f.epoch = new_epoch;
+                if f.is_head {
+                    f.route = Some(destination.pick(&mut self.sources[si].rng));
+                    f.hop = 1;
+                }
+            }
+            self.sources[si].queue = queue;
+        }
+    }
+
+    /// Quiesces `(ni, flow)` on the owning shard for a requested swap.
+    pub(crate) fn part_set_swap_pending(&mut self, ni: NodeId, flow: FlowId) {
+        for slot in &mut self.sources {
+            if slot.source.ni == ni && slot.source.flow == flow {
+                slot.swap_pending = true;
+            }
+        }
+    }
+
+    /// Shard side of a scheduled destination swap (`apply_reroutes`).
+    pub(crate) fn part_apply_reroute(&mut self, ni: NodeId, flow: FlowId, dest: &Destination) {
+        for slot in &mut self.sources {
+            if slot.source.ni == ni && slot.source.flow == flow {
+                slot.source.destination = dest.clone();
+                slot.rerouted = true;
+            }
+        }
+    }
+
+    /// Shard side of one due retransmission: re-packetizes from the
+    /// owning slot's *current* destination (drawing its route from that
+    /// slot's stream, like the serial emission) and queues it at the NI.
+    pub(crate) fn part_emit_retransmit(
+        &mut self,
+        si: usize,
+        packet: PacketId,
+        flow: FlowId,
+        vc: usize,
+        priority: bool,
+        injected_at: u64,
+    ) {
+        let slot = &mut self.sources[si];
+        let route = slot.source.destination.pick(&mut slot.rng);
+        let mut flits = Flit::packetize(
+            packet,
+            Some(flow),
+            route,
+            slot.source.packet_flits,
+            vc,
+            priority,
+            injected_at,
+        );
+        if self.epoch > 0 {
+            for f in &mut flits {
+                f.epoch = self.epoch;
+            }
+        }
+        let ni = self.sources[si].source.ni;
+        self.note_queued(ni, flits.len());
+        self.sources[si].queue.extend(flits);
+    }
+
+    /// The parent's control step for the cycle the shards are about to
+    /// execute: every control phase of the serial `step`, in order,
+    /// with node-owned effects delegated to the owning shard.
+    pub(crate) fn part_parent_control(&mut self, shards: &mut [Simulator], shard_of_node: &[u32]) {
+        debug_assert!(self.part.is_none(), "the parent is not a shard");
+        // Phase: fault transitions (serial `apply_fault_events`).
+        while self.fault_cursor < self.fault_schedule.len()
+            && self.fault_schedule[self.fault_cursor].cycle <= self.cycle
+        {
+            let t = self.fault_schedule[self.fault_cursor];
+            self.fault_cursor += 1;
+            if t.up {
+                if !self.link_up[t.link.0] && self.link_down_event[t.link.0] == Some(t.event) {
+                    self.link_up[t.link.0] = true;
+                    self.link_down_event[t.link.0] = None;
+                    self.links_down -= 1;
+                    for sh in shards.iter_mut() {
+                        sh.part_set_link_state(t.link.0, true, None);
+                    }
+                    if self.detected_down[t.link.0] {
+                        self.schedule_heal_watchdog(t.link, t.cycle);
+                    }
+                }
+            } else if self.link_up[t.link.0] {
+                self.link_up[t.link.0] = false;
+                self.link_down_event[t.link.0] = Some(t.event);
+                self.links_down += 1;
+                for sh in shards.iter_mut() {
+                    sh.part_set_link_state(t.link.0, false, Some(t.event));
+                }
+                if !self.detected_down[t.link.0] {
+                    self.schedule_down_watchdog(t.link, t.cycle);
+                }
+                self.part_fail_link(t.link, t.event, shards, shard_of_node);
+            } else {
+                self.link_down_event[t.link.0] = Some(t.event);
+                for sh in shards.iter_mut() {
+                    sh.part_set_link_state(t.link.0, false, Some(t.event));
+                }
+            }
+        }
+        // Phase: watchdogs (parent-only state).
+        if self.cycle >= self.watchdog_next_due {
+            self.poll_watchdogs();
+        }
+        // Phase: scheduled destination swaps (serial `apply_reroutes`),
+        // applied on the owning shard and mirrored into the parent's
+        // replica slots (the recovery controller reads `sources()` on
+        // the parent).
+        while self.reroute_cursor < self.reroutes.len()
+            && self.reroutes[self.reroute_cursor].cycle <= self.cycle
+        {
+            let r = self.reroutes[self.reroute_cursor].clone();
+            self.reroute_cursor += 1;
+            shards[shard_of_node[r.ni.0] as usize].part_apply_reroute(r.ni, r.flow, &r.destination);
+            for slot in &mut self.sources {
+                if slot.source.ni == r.ni && slot.source.flow == r.flow {
+                    slot.source.destination = r.destination.clone();
+                    slot.rerouted = true;
+                }
+            }
+        }
+        // Phase: hot-swap commits (serial `commit_ready_swaps`).
+        if !self.pending_swaps.is_empty() {
+            let cycle = self.cycle;
+            let mut bumped = false;
+            let mut i = 0;
+            while i < self.pending_swaps.len() {
+                let p = &self.pending_swaps[i];
+                if cycle < p.not_before {
+                    i += 1;
+                    continue;
+                }
+                let sh = shard_of_node[p.ni.0] as usize;
+                if shards[sh].part_flow_busy(p.ni, p.flow) {
+                    i += 1;
+                    continue;
+                }
+                let p = self.pending_swaps.remove(i);
+                if !bumped {
+                    self.epoch += 1;
+                    self.stats.recovery.epoch_swaps += 1;
+                    bumped = true;
+                    for s in shards.iter_mut() {
+                        s.part_set_epoch(self.epoch);
+                    }
+                }
+                let new_epoch = self.epoch;
+                shards[sh].part_commit_swap(
+                    p.ni,
+                    p.flow,
+                    &p.destination,
+                    new_epoch,
+                    p.count_rerouted,
+                );
+                for slot in &mut self.sources {
+                    if slot.source.ni == p.ni && slot.source.flow == p.flow {
+                        slot.source.destination = p.destination.clone();
+                        slot.rerouted = p.count_rerouted;
+                        slot.swap_pending = false;
+                    }
+                }
+                let latency = cycle.saturating_sub(p.detected_at);
+                let r = &mut self.stats.recovery;
+                r.reroutes_installed += 1;
+                r.reroute_latency_total += latency;
+                r.reroute_latency_max = r.reroute_latency_max.max(latency);
+                if p.count_rerouted {
+                    self.restore_pending
+                        .insert(p.flow, (p.failed_at, new_epoch));
+                } else {
+                    self.restore_pending.remove(&p.flow);
+                }
+            }
+        }
+        // Phase: due retransmissions (serial `emit_due_retransmits`):
+        // the parent keeps the map and due bookkeeping, the owning
+        // shard re-packetizes (consuming the slot's stream) and queues.
+        if self.retransmit_waiting > 0 && self.cycle >= self.retransmit_next_due {
+            let cycle = self.cycle;
+            let due: Vec<PacketId> = self
+                .retransmit
+                .iter()
+                .filter(|(_, e)| matches!(e.due, Some(d) if d <= cycle))
+                .map(|(&p, _)| p)
+                .collect();
+            for packet in due {
+                let ent = self.retransmit.get_mut(&packet).expect("collected above");
+                ent.due = None;
+                self.retransmit_waiting -= 1;
+                let (si, flow, vc, priority, injected_at) =
+                    (ent.si, ent.flow, ent.vc, ent.priority, ent.injected_at);
+                let ni = self.sources[si].source.ni;
+                shards[shard_of_node[ni.0] as usize].part_emit_retransmit(
+                    si,
+                    packet,
+                    flow,
+                    vc,
+                    priority,
+                    injected_at,
+                );
+                self.stats.recovery.retransmitted_packets += 1;
+            }
+            self.retransmit_next_due = self
+                .retransmit
+                .values()
+                .filter_map(|e| e.due)
+                .min()
+                .unwrap_or(u64::MAX);
+        }
+    }
+
+    /// The parent's orchestration of `fail_link` across shards: the
+    /// receiver shard drains (returning doomed flits in serial order),
+    /// the sender shard gets the credits back and purges half-injected
+    /// packets, and locked wormhole streams are flushed with synthetic
+    /// tails — each effect on the shard that owns the state, in the
+    /// serial function's exact order.
+    fn part_fail_link(
+        &mut self,
+        link: LinkId,
+        event: usize,
+        shards: &mut [Simulator],
+        shard_of_node: &[u32],
+    ) {
+        let vcs = self.cfg.vcs;
+        let li = link.0;
+        let (src_node, dst_node) = {
+            let l = self.topo.link(link);
+            (l.src, l.dst)
+        };
+        let ds = shard_of_node[dst_node.0] as usize;
+        let ss = shard_of_node[src_node.0] as usize;
+        let doomed = shards[ds].part_fail_drain(link, event);
+        let mut last_packet: Vec<Option<PacketId>> = vec![None; vcs];
+        for f in &doomed {
+            last_packet[f.vc] = Some(f.packet);
+            shards[ss].part_add_credits(li, f.vc, 1);
+            if self.cfg.recovery.is_some() {
+                self.note_lost_flit(f);
+            }
+        }
+        let purged = shards[ss].part_fail_purge(link);
+        if self.cfg.recovery.is_some() {
+            for f in &purged {
+                self.note_lost_flit(f);
+            }
+        }
+        for (vc, last) in last_packet.iter().enumerate() {
+            if shards[ds].part_route_locked(li, vc) {
+                shards[ss].part_take_credit(li, vc);
+                shards[ds].part_insert_flush_tail(link, vc, last.unwrap_or(PacketId(u64::MAX)));
+            }
+        }
+    }
+
+    /// The per-cycle barrier: drains every shard's boundary outbox and
+    /// applies the traffic in deterministic, link-id-sorted order —
+    /// acks first, then losses, then flits, then credits, matching the
+    /// serial phase order (eject before drop; wire entry and credit
+    /// visibility at the start of the next cycle). Finally advances the
+    /// parent's cycle and lands all queued credit returns, so the next
+    /// control step observes exactly what a serial `step` would.
+    pub(crate) fn part_absorb_outboxes(&mut self, shards: &mut [Simulator], shard_of_node: &[u32]) {
+        let mut acks: Vec<(u32, PacketId, Option<FlowId>, u64)> = Vec::new();
+        let mut losses: Vec<(u32, u32, Flit)> = Vec::new();
+        let mut flits: Vec<(u32, u64, Flit)> = Vec::new();
+        let mut credits: Vec<(u32, u32)> = Vec::new();
+        for sh in shards.iter_mut() {
+            let out = sh.part_take_outbox();
+            acks.extend(out.acks);
+            losses.extend(out.losses);
+            flits.extend(out.flits);
+            credits.extend(out.credits);
+        }
+        // End-to-end acks, in the serial eject order (ascending eject
+        // port; at most one tail per port VC per cycle).
+        acks.sort_unstable_by_key(|&(port, packet, _, _)| (port, packet));
+        for (_, packet, flow, epoch) in acks {
+            if !self.retransmit.is_empty() {
+                if let Some(e) = self.retransmit.remove(&packet) {
+                    if e.due.is_some() {
+                        self.retransmit_waiting -= 1;
+                    }
+                }
+            }
+            self.note_restored(flow, epoch);
+        }
+        // Fault losses, in the serial drop order (ascending link, then
+        // VC; the stable sort keeps each VC FIFO's push order).
+        losses.sort_by_key(|&(li, vc, _)| (li, vc));
+        for (_, _, f) in &losses {
+            self.note_lost_flit(f);
+        }
+        // Boundary flits enter the receiving shard's wire (one launch
+        // per link per cycle, so the link id is a total order).
+        flits.sort_unstable_by_key(|&(li, _, _)| li);
+        for (li, arrival, f) in flits {
+            let dst = self.link_dst[li as usize];
+            shards[shard_of_node[dst.0] as usize].part_import_flit(li as usize, arrival, f);
+        }
+        // Boundary credits queue on their sender shard and land with
+        // the rest of the cycle's returns below.
+        credits.sort_unstable();
+        for (li, vc) in credits {
+            let src = self.topo.link(LinkId(li as usize)).src;
+            shards[shard_of_node[src.0] as usize].part_queue_credit(li, vc);
+        }
+        self.cycle += 1;
+        for sh in shards.iter_mut() {
+            sh.part_apply_credits();
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

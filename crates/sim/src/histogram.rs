@@ -81,7 +81,23 @@ impl LatencyHistogram {
     }
 
     /// Merges another histogram into this one.
+    ///
+    /// Both histograms must share the same bucket configuration (bucket
+    /// count, and therefore edges). Every histogram built by this crate
+    /// does; a mismatch can only arrive through deserialized data from
+    /// a build with a different bucket layout, and silently zip-merging
+    /// such a pair would truncate the longer histogram's tail and
+    /// desynchronize `count` from the bucket sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket configurations differ.
     pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "cannot merge latency histograms with mismatched bucket configs"
+        );
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
@@ -177,5 +193,20 @@ mod tests {
     fn bad_quantile_panics() {
         let h = LatencyHistogram::new();
         let _ = h.quantile_upper_bound(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched bucket configs")]
+    fn merge_rejects_mismatched_bucket_configs() {
+        // Regression: a histogram deserialized from a build with a
+        // different bucket count used to zip-merge silently, dropping
+        // the surplus buckets while still adding their samples to
+        // `count`.
+        let mut a = LatencyHistogram::new();
+        let alien = LatencyHistogram {
+            buckets: vec![3; BUCKETS / 2],
+            count: 3,
+        };
+        a.merge(&alien);
     }
 }

@@ -55,6 +55,7 @@ pub mod fault;
 pub mod flit;
 pub mod gals;
 pub mod histogram;
+pub mod partition;
 pub mod patterns;
 pub mod qos;
 pub mod recovery;
@@ -70,8 +71,9 @@ pub use crate::error::SimError;
 pub use crate::fault::install_fault_plan;
 pub use crate::gals::{DomainMap, SyncScheme};
 pub use crate::histogram::LatencyHistogram;
+pub use crate::partition::{PartitionedSimulator, Partitioning};
 pub use crate::qos::SlotTable;
-pub use crate::recovery::{OnlineRecovery, RecoveryNotice};
+pub use crate::recovery::{OnlineRecovery, RecoverableSimulator, RecoveryNotice};
 pub use crate::stats::{FlowStats, RecoveryStats, SimStats};
 pub use crate::sweep::{point_seed, SweepRunner};
 pub use crate::trace::{Trace, TraceEvent, TraceKind};

@@ -29,7 +29,7 @@
 //! ```
 
 use crate::stats::SimStats;
-pub use noc_par::{point_seed, ParRunner};
+pub use noc_par::{point_seed, ParRunner, ThreadBudget, ThreadLease};
 
 /// A multi-threaded runner for independent simulation points: the
 /// shared [`ParRunner`] plus [`SimStats`] reduction.
@@ -61,7 +61,21 @@ impl SweepRunner {
         }
     }
 
-    /// The worker count this runner uses.
+    /// Draws this runner's workers from `budget`: each `run` reserves
+    /// its thread count and may be granted fewer under contention —
+    /// the nested-parallelism guard for sweeps whose points are
+    /// themselves parallel (e.g. partitioned simulations sharing the
+    /// same budget). Results are unaffected; only wall-clock
+    /// parallelism is shaped.
+    pub fn with_thread_budget(
+        mut self,
+        budget: std::sync::Arc<noc_par::ThreadBudget>,
+    ) -> SweepRunner {
+        self.inner = self.inner.with_thread_budget(budget);
+        self
+    }
+
+    /// The worker count this runner uses (before budget shaping).
     pub fn threads(&self) -> usize {
         self.inner.threads()
     }

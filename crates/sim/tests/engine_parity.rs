@@ -1,18 +1,22 @@
-//! Bit-parity of the event-driven engine against the scan engine.
+//! Three-way bit-parity: scan engine ≡ event engine ≡ partitioned
+//! engine.
 //!
 //! The event wheel, activity lists, and heap-scheduled Constant sources
-//! are pure *scheduling* optimizations: for identical inputs (topology,
-//! config, sources, seed, fault plan) the event engine must produce the
-//! **identical** [`SimStats`], flit totals, and drained end state as
-//! the straight-line scan engine — bit for bit, not statistically.
-//! These tests sweep that claim across random mesh shapes, loads,
-//! packet lengths, buffer depths, VC counts, flow-control disciplines,
-//! traffic shapes, fault schedules, and the closed online-recovery
-//! loop, plus parallel sweeps at several worker counts.
+//! are pure *scheduling* optimizations, and the partitioned engine adds
+//! only *spatial decomposition* on top: for identical inputs (topology,
+//! config, sources, seed, fault plan) all three engines must produce
+//! the **identical** [`SimStats`], flit totals, and drained end state —
+//! bit for bit, not statistically — at any worker count. These tests
+//! sweep that claim across random mesh shapes, loads, packet lengths,
+//! buffer depths, VC counts, flow-control disciplines, traffic shapes,
+//! fault schedules, and the closed online-recovery loop, plus parallel
+//! sweeps at several worker counts and partitioned runs at 1/2/4/8
+//! workers.
 
 use noc_sim::config::{FlowControl, SimConfig};
 use noc_sim::engine::Simulator;
 use noc_sim::gals::DomainMap;
+use noc_sim::partition::PartitionedSimulator;
 use noc_sim::patterns;
 use noc_sim::qos::SlotTable;
 use noc_sim::sweep::SweepRunner;
@@ -20,6 +24,9 @@ use noc_sim::traffic::{InjectionProcess, TrafficSource};
 use noc_spec::{CoreId, FlowId, TrafficShape};
 use noc_topology::generators::{mesh, Mesh};
 use proptest::prelude::*;
+
+/// The worker counts every partitioned-parity case must pass at.
+const PARITY_WORKERS: [usize; 4] = [1, 2, 4, 8];
 
 /// Builds the identical source set for both engines: the mesh's uniform
 /// random pattern with the injection process swapped to the selected
@@ -71,6 +78,100 @@ fn assert_same_state(event: &Simulator, scan: &Simulator, when: &str) {
     assert_eq!(event.stats(), scan.stats(), "SimStats diverged {when}");
 }
 
+/// Asserts a partitioned simulator reached the same observable state as
+/// the serial reference (`stats()` is owned on the partitioned side —
+/// the shard merge — hence the separate helper).
+fn assert_part_same_state(part: &PartitionedSimulator, reference: &Simulator, when: &str) {
+    assert_eq!(part.cycle(), reference.cycle(), "cycle diverged {when}");
+    assert_eq!(
+        part.injected_flits_total(),
+        reference.injected_flits_total(),
+        "injected totals diverged {when}"
+    );
+    assert_eq!(
+        part.ejected_flits_total(),
+        reference.ejected_flits_total(),
+        "ejected totals diverged {when}"
+    );
+    assert_eq!(
+        part.dropped_flits_total(),
+        reference.dropped_flits_total(),
+        "dropped totals diverged {when}"
+    );
+    assert_eq!(
+        part.flits_in_network(),
+        reference.flits_in_network(),
+        "in-network occupancy diverged {when}"
+    );
+    assert_eq!(
+        part.flits_queued(),
+        reference.flits_queued(),
+        "queue occupancy diverged {when}"
+    );
+    assert_eq!(part.epoch(), reference.epoch(), "epoch diverged {when}");
+    assert_eq!(&part.stats(), reference.stats(), "SimStats diverged {when}");
+}
+
+/// A point-in-time copy of a serial simulator's observable state, for
+/// comparing a later partitioned replay chunk by chunk.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    cycle: u64,
+    injected: u64,
+    ejected: u64,
+    dropped: u64,
+    in_network: usize,
+    queued: usize,
+    epoch: u64,
+    stats: noc_sim::stats::SimStats,
+}
+
+impl Snapshot {
+    fn of(sim: &Simulator) -> Snapshot {
+        Snapshot {
+            cycle: sim.cycle(),
+            injected: sim.injected_flits_total(),
+            ejected: sim.ejected_flits_total(),
+            dropped: sim.dropped_flits_total(),
+            in_network: sim.flits_in_network(),
+            queued: sim.flits_queued(),
+            epoch: sim.epoch(),
+            stats: sim.stats().clone(),
+        }
+    }
+
+    fn assert_part(&self, part: &PartitionedSimulator, when: &str) {
+        assert_eq!(part.cycle(), self.cycle, "cycle diverged {when}");
+        assert_eq!(
+            part.injected_flits_total(),
+            self.injected,
+            "injected totals diverged {when}"
+        );
+        assert_eq!(
+            part.ejected_flits_total(),
+            self.ejected,
+            "ejected totals diverged {when}"
+        );
+        assert_eq!(
+            part.dropped_flits_total(),
+            self.dropped,
+            "dropped totals diverged {when}"
+        );
+        assert_eq!(
+            part.flits_in_network(),
+            self.in_network,
+            "in-network occupancy diverged {when}"
+        );
+        assert_eq!(
+            part.flits_queued(),
+            self.queued,
+            "queue occupancy diverged {when}"
+        );
+        assert_eq!(part.epoch(), self.epoch, "epoch diverged {when}");
+        assert_eq!(part.stats(), self.stats, "SimStats diverged {when}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
 
@@ -100,7 +201,7 @@ proptest! {
             .with_flow_control(fc);
         let sources = shaped_sources(&m, rate, pf, shape_sel);
         let mut event = Simulator::new(m.topology.clone(), cfg).with_seed(seed);
-        let mut scan = Simulator::new(m.topology, cfg).with_seed(seed).with_scan_engine();
+        let mut scan = Simulator::new(m.topology.clone(), cfg).with_seed(seed).with_scan_engine();
         prop_assert!(event.is_event_driven());
         prop_assert!(!scan.is_event_driven());
         for s in &sources {
@@ -115,6 +216,20 @@ proptest! {
         prop_assert_eq!(ed, sd, "drain outcomes diverged");
         assert_same_state(&event, &scan, "after drain");
         prop_assert_eq!(event.credits_restored(), scan.credits_restored());
+
+        // Third way: the partitioned engine at every worker count.
+        for workers in PARITY_WORKERS {
+            let pcfg = cfg.with_partitioned_engine(workers);
+            let mut part = PartitionedSimulator::new(m.topology.clone(), pcfg).with_seed(seed);
+            for s in &sources {
+                part.add_source(s.clone());
+            }
+            part.run(1_200);
+            let pd = part.drain(40_000);
+            prop_assert_eq!(pd, ed, "partitioned drain outcome diverged ({} workers)", workers);
+            assert_part_same_state(&part, &event, &format!("partitioned, {workers} workers"));
+            prop_assert_eq!(part.credits_restored(), event.credits_restored());
+        }
     }
 
     /// Parity with fault schedules and the closed online-recovery loop:
@@ -177,6 +292,7 @@ proptest! {
             .expect("plan installs");
         let mut rec_s = OnlineRecovery::install(&mut scan, &m, TurnModel::NorthLast, &plan)
             .expect("plan installs");
+        let mut snaps: Vec<Snapshot> = Vec::new();
         for chunk in 0..6 {
             for _ in 0..200 {
                 event.step();
@@ -187,12 +303,47 @@ proptest! {
             event.finish();
             scan.finish();
             assert_same_state(&event, &scan, &format!("at cycle {}", 200 * (chunk + 1)));
+            snaps.push(Snapshot::of(&event));
         }
         let ed = rec_e.drain(&mut event, 40_000);
         let sd = rec_s.drain(&mut scan, 40_000);
         prop_assert_eq!(ed, sd, "drain outcomes diverged");
         assert_same_state(&event, &scan, "after recovery drain");
         prop_assert_eq!(event.credits_restored(), scan.credits_restored());
+
+        // Third way: the partitioned engine drives the identical closed
+        // recovery loop — watchdog notices surface on the parent, swaps
+        // quiesce across shard boundaries — and must not shift a single
+        // outcome at any worker count.
+        for workers in PARITY_WORKERS {
+            let pcfg = cfg.with_partitioned_engine(workers);
+            let mut part =
+                PartitionedSimulator::new(m.topology.clone(), pcfg).with_seed(seed);
+            for s in &sources {
+                part.add_source(s.clone());
+            }
+            let mut rec_p = OnlineRecovery::install(&mut part, &m, TurnModel::NorthLast, &plan)
+                .expect("plan installs");
+            for (chunk, snap) in snaps.iter().enumerate() {
+                for _ in 0..200 {
+                    part.step();
+                    rec_p.service(&mut part);
+                }
+                part.finish();
+                snap.assert_part(
+                    &part,
+                    &format!("partitioned ({workers} workers) at cycle {}", 200 * (chunk + 1)),
+                );
+            }
+            let pd = rec_p.drain(&mut part, 40_000);
+            prop_assert_eq!(pd, ed, "partitioned recovery drain diverged ({} workers)", workers);
+            assert_part_same_state(
+                &part,
+                &event,
+                &format!("partitioned ({workers} workers) after recovery drain"),
+            );
+            prop_assert_eq!(part.credits_restored(), event.credits_restored());
+        }
     }
 }
 
@@ -248,6 +399,73 @@ fn event_engine_matches_scan_engine_with_gals_and_tdma() {
     let sd = scan.drain(40_000);
     assert_eq!(ed, sd, "drain outcomes diverged");
     assert_same_state(&event, &scan, "after GALS/TDMA drain");
+
+    // Third way: GALS dividers and TDMA slots gate injection in
+    // cycle-dependent ways that every shard must honor identically.
+    for workers in PARITY_WORKERS {
+        let pcfg = cfg.with_partitioned_engine(workers);
+        let mut part = PartitionedSimulator::new(m.topology.clone(), pcfg).with_seed(11);
+        part.set_domains(domains.clone());
+        part.set_slot_table(gt_ni, table.clone());
+        for s in &sources {
+            part.add_source(s.clone());
+        }
+        part.run(3_000);
+        let pd = part.drain(40_000);
+        assert_eq!(
+            pd, ed,
+            "partitioned GALS/TDMA drain diverged ({workers} workers)"
+        );
+        assert_part_same_state(
+            &part,
+            &event,
+            &format!("partitioned GALS/TDMA, {workers} workers"),
+        );
+    }
+}
+
+/// The threaded `run` path (persistent workers, per-cycle dispatch over
+/// channels) is exactly as deterministic as the serial `step` loop: a
+/// saturated 6×6 run at 8 workers matches the serial event engine bit
+/// for bit, and stepping the same partitioned config by hand matches
+/// the threaded run.
+#[test]
+fn partitioned_threaded_run_matches_serial_event_engine() {
+    let cores: Vec<CoreId> = (0..36).map(CoreId).collect();
+    let m = mesh(6, 6, &cores, 32).expect("valid");
+    let sources = patterns::uniform_random(&m, 0.5, 4).expect("in range");
+    let cfg = SimConfig::default().with_warmup(500).with_buffer_depth(2);
+
+    let mut event = Simulator::new(m.topology.clone(), cfg).with_seed(77);
+    for s in &sources {
+        event.add_source(s.clone());
+    }
+    event.run(4_000);
+
+    // Threaded run at 8 workers.
+    let mut par8 =
+        PartitionedSimulator::new(m.topology.clone(), cfg.with_partitioned_engine(8)).with_seed(77);
+    for s in &sources {
+        par8.add_source(s.clone());
+    }
+    par8.run(4_000);
+    assert_part_same_state(&par8, &event, "threaded run, 8 workers");
+    assert!(
+        par8.stats().total_delivered_packets > 0,
+        "saturated run must deliver traffic"
+    );
+
+    // Hand-stepped loop (the serial dispatch path) at the same config.
+    let mut stepped =
+        PartitionedSimulator::new(m.topology.clone(), cfg.with_partitioned_engine(8)).with_seed(77);
+    for s in &sources {
+        stepped.add_source(s.clone());
+    }
+    for _ in 0..4_000 {
+        stepped.step();
+    }
+    stepped.finish();
+    assert_part_same_state(&stepped, &event, "hand-stepped partitioned run");
 }
 
 /// Parallel sweeps stay deterministic with the event engine at any

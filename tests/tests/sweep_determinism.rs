@@ -6,9 +6,10 @@
 
 use noc_sim::config::SimConfig;
 use noc_sim::engine::Simulator;
+use noc_sim::partition::PartitionedSimulator;
 use noc_sim::patterns;
 use noc_sim::stats::SimStats;
-use noc_sim::sweep::{point_seed, SweepRunner};
+use noc_sim::sweep::{point_seed, SweepRunner, ThreadBudget};
 use noc_spec::CoreId;
 use noc_topology::generators::mesh;
 
@@ -198,6 +199,80 @@ fn parallel_online_recovery_sweep_matches_serial_bitwise() {
             "recovery telemetry must stay bit-identical at {threads} workers"
         );
     }
+}
+
+/// Like `eval_point`, but each point runs the *partitioned* intra-sim
+/// engine (outer×inner parallelism), optionally drawing its workers
+/// from a shared thread budget.
+fn eval_point_partitioned(
+    rate: &f64,
+    seed: u64,
+    workers: usize,
+    budget: Option<std::sync::Arc<ThreadBudget>>,
+) -> SimStats {
+    let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+    let fabric = mesh(4, 4, &cores, 32).expect("16 cores fit a 4x4 mesh");
+    let cfg = SimConfig::default()
+        .with_warmup(500)
+        .with_partitioned_engine(workers);
+    let mut sim = PartitionedSimulator::new(fabric.topology.clone(), cfg).with_seed(seed);
+    if let Some(b) = budget {
+        sim = sim.with_thread_budget(b);
+    }
+    for s in patterns::uniform_random(&fabric, *rate, 4).expect("rate in range") {
+        sim.add_source(s);
+    }
+    sim.run(3_000);
+    sim.stats()
+}
+
+/// Outer×inner parallelism stays bit-identical: a parallel sweep whose
+/// every point is itself a multi-worker partitioned simulation matches
+/// the serial sweep of serial simulators, point for point.
+#[test]
+fn sweep_of_partitioned_sims_matches_serial_bitwise() {
+    let points = sweep_points();
+    let serial = SweepRunner::serial().run(17, &points, eval_point);
+    for (threads, workers) in [(2, 2), (4, 4), (8, 2)] {
+        let nested = SweepRunner::with_threads(threads).run(17, &points, |rate, seed| {
+            eval_point_partitioned(rate, seed, workers, None)
+        });
+        assert_eq!(
+            nested, serial,
+            "sweep({threads} threads) of partitioned({workers} workers) sims diverged"
+        );
+    }
+}
+
+/// The oversubscription guard: when the outer sweep and every inner
+/// partitioned simulation draw from one shared [`ThreadBudget`], the
+/// machine-wide worker count stays capped at the budget's limit — and
+/// the budget-throttled run is still bit-identical to the unthrottled
+/// (and serial) references.
+#[test]
+fn shared_thread_budget_caps_nested_parallelism() {
+    let points = sweep_points();
+    let serial = SweepRunner::serial().run(17, &points, eval_point);
+    // A deliberately tiny budget: 3 workers for a 4-thread sweep of
+    // 4-worker partitioned sims (which would want 4 + 4×4 = 20).
+    let budget = std::sync::Arc::new(ThreadBudget::new(3));
+    let capped = SweepRunner::with_threads(4)
+        .with_thread_budget(std::sync::Arc::clone(&budget))
+        .run(17, &points, |rate, seed| {
+            eval_point_partitioned(rate, seed, 4, Some(std::sync::Arc::clone(&budget)))
+        });
+    assert_eq!(
+        capped, serial,
+        "budget pressure must shape wall-clock only, never results"
+    );
+    assert!(
+        budget.peak() <= budget.limit(),
+        "leased workers peaked at {} over the budget limit {}",
+        budget.peak(),
+        budget.limit()
+    );
+    assert!(budget.peak() > 0, "the budget was actually exercised");
+    assert_eq!(budget.in_use(), 0, "all leases returned");
 }
 
 #[test]
