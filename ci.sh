@@ -85,6 +85,8 @@ smoke() {
   cargo run "${CARGO_FLAGS[@]}" -q --release -p noc-bench --bin check_all
   echo "==> smoke: ablation_online_recovery (release)"
   cargo run "${CARGO_FLAGS[@]}" -q --release -p noc-bench --bin ablation_online_recovery
+  echo "==> smoke: ablation_error_control (release)"
+  cargo run "${CARGO_FLAGS[@]}" -q --release -p noc-bench --bin ablation_error_control
   # The DSE acceptance protocol: a 64-spec cold exploration, a warm
   # re-run that must be 100% cache hits with a bit-identical Pareto
   # front, and a killed-then-resumed run whose front must equal the

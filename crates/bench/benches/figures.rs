@@ -103,6 +103,33 @@ fn bench_step_throughput_recovery(c: &mut Criterion) {
     });
 }
 
+/// Fault-free `step()` with a protection scheme *selected* but zero
+/// corruption scheduled. The resilience contract says choosing an
+/// `ErrorControl` scheme costs the clean-traffic hot path only a
+/// disabled-branch check at launch and a zero-flag check at delivery,
+/// so this must track `fig4/step_throughput_8x10` within the noise
+/// band.
+fn bench_step_throughput_errctl_off(c: &mut Criterion) {
+    let (rows, cols) = (8usize, 10usize);
+    let cores: Vec<CoreId> = (0..rows * cols).map(CoreId).collect();
+    let fabric = mesh(rows, cols, &cores, 32).expect("valid");
+    let sources = patterns::uniform_random(&fabric, 0.1, 4).expect("in range");
+    let cfg = SimConfig::default()
+        .with_warmup(100)
+        .with_error_control(noc_sim::config::ErrorControl::EndToEnd);
+    let mut sim = Simulator::new(fabric.topology, cfg);
+    for s in sources {
+        sim.add_source(s);
+    }
+    sim.run(1_000); // reach steady state before measuring
+    c.bench_function("fig4/step_throughput_8x10_errctl_off", |b| {
+        b.iter(|| {
+            sim.step();
+            sim.stats().total_delivered_flits
+        })
+    });
+}
+
 /// Event-wheel scaling point: warm `step()` on a mostly-idle 32×32
 /// nearest-neighbor mesh with clocked injection at 2% — cost must
 /// track traffic, not `links × vcs`. Exact setup shared with
@@ -183,6 +210,7 @@ criterion_group!(
     bench_simulator,
     bench_step_throughput,
     bench_step_throughput_recovery,
+    bench_step_throughput_errctl_off,
     bench_step_throughput_32x32,
     bench_synthesis,
     bench_floorplan

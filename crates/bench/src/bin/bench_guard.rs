@@ -4,6 +4,9 @@
 //!
 //! * `fig4/step_throughput_8x10` — one warm `Simulator::step()` on the
 //!   Teraflops-scale 8×10 mesh (same setup as `benches/figures.rs`);
+//! * `fig4/step_throughput_8x10_errctl_off` — the same with an
+//!   error-control scheme selected but no corruption scheduled (the
+//!   soft-error layer's zero-overhead-when-clean contract);
 //! * `fig4/step_throughput_32x32_low` / `_sat` — one warm `step()` on
 //!   a 32×32 mesh with clocked injection: nearest-neighbor at 2%
 //!   (mostly-idle fabric, the event wheel's home turf) and transpose
@@ -57,6 +60,10 @@ const BENCHES: &[GuardedBench] = &[
     GuardedBench {
         name: "fig4/step_throughput_8x10_recovery",
         measure: measure_step_recovery_us,
+    },
+    GuardedBench {
+        name: "fig4/step_throughput_8x10_errctl_off",
+        measure: measure_step_errctl_off_us,
     },
     GuardedBench {
         name: "fig4/step_throughput_32x32_low",
@@ -167,6 +174,39 @@ fn measure_step_recovery_us() -> f64 {
         sim.add_source(s);
     }
     sim.enable_recovery(noc_spec::fault::RecoveryConfig::default());
+    sim.run(1_000); // reach steady state before measuring
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        for _ in 0..STEPS_PER_ROUND {
+            sim.step();
+            std::hint::black_box(sim.stats().total_delivered_flits);
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / STEPS_PER_ROUND as f64;
+        best = best.min(us);
+    }
+    best
+}
+
+/// Like `measure_step_us`, but with an `ErrorControl` protection
+/// scheme selected and zero corruption scheduled — the exact
+/// `fig4/step_throughput_8x10_errctl_off` setup. Guards the contract
+/// that selecting a scheme costs the clean-traffic hot path only a
+/// disabled-branch check at launch and a zero-flag check at delivery.
+fn measure_step_errctl_off_us() -> f64 {
+    const ROUNDS: usize = 5;
+    const STEPS_PER_ROUND: u64 = 2_000;
+    let (rows, cols) = (8usize, 10usize);
+    let cores: Vec<CoreId> = (0..rows * cols).map(CoreId).collect();
+    let fabric = mesh(rows, cols, &cores, 32).expect("valid");
+    let sources = patterns::uniform_random(&fabric, 0.1, 4).expect("in range");
+    let cfg = SimConfig::default()
+        .with_warmup(100)
+        .with_error_control(noc_sim::config::ErrorControl::EndToEnd);
+    let mut sim = Simulator::new(fabric.topology, cfg);
+    for s in sources {
+        sim.add_source(s);
+    }
     sim.run(1_000); // reach steady state before measuring
     let mut best = f64::INFINITY;
     for _ in 0..ROUNDS {

@@ -174,6 +174,88 @@ fn main() {
         );
     }
 
+    // A8 — error control: unprotected corruption reaches the cores;
+    // every protecting scheme holds the silent-data-corruption count
+    // at zero on the identical noise plan, with its machinery engaged.
+    {
+        use noc_sim::config::ErrorControl;
+        use noc_spec::fault::{CorruptionEvent, FaultPlan};
+
+        let corruption: Vec<CorruptionEvent> = fabric
+            .topology
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                fabric.topology.node(l.src).is_switch() && fabric.topology.node(l.dst).is_switch()
+            })
+            .map(|(i, _)| CorruptionEvent {
+                link: i,
+                start: 0,
+                duration: None,
+                ber_ppm: 20_000,
+                double_ppm: 2_000,
+            })
+            .collect();
+        let plan = FaultPlan::new().with_corruption(corruption);
+        let run_scheme = |scheme| {
+            let sources = patterns::uniform_random(&fabric, 0.05, 2).expect("in range");
+            let mut sim = Simulator::new(
+                fabric.topology.clone(),
+                SimConfig::default()
+                    .with_warmup(500)
+                    .with_error_control(scheme),
+            )
+            .with_seed(9);
+            for s in sources {
+                sim.add_source(s);
+            }
+            sim.set_fault_plan(&plan).expect("real links");
+            sim.run(3_500);
+            let drained = sim.drain(200_000);
+            assert!(drained && sim.credits_restored(), "{scheme:?} must drain");
+            sim.into_stats()
+        };
+        let none = run_scheme(ErrorControl::None).error_control;
+        check(
+            &format!(
+                "A8: unprotected corruption reaches the cores \
+                 ({} upsets, {} bad ejections)",
+                none.corrupted_flits, none.corrupted_ejections
+            ),
+            none.corrupted_flits > 0 && none.corrupted_ejections > 0,
+        );
+        let e2e = run_scheme(ErrorControl::EndToEnd);
+        check(
+            &format!(
+                "A8: e2e CRC rejects + retransmits, zero bad ejections \
+                 ({} rejections, {} retx)",
+                e2e.error_control.e2e_crc_rejections, e2e.recovery.retransmitted_packets
+            ),
+            e2e.error_control.corrupted_ejections == 0
+                && e2e.error_control.e2e_crc_rejections > 0
+                && e2e.recovery.retransmitted_packets > 0,
+        );
+        let link = run_scheme(ErrorControl::LinkLevel).error_control;
+        check(
+            &format!(
+                "A8: link-level retry absorbs upsets on the wire \
+                 ({} hop retries, zero bad ejections)",
+                link.hop_retries
+            ),
+            link.corrupted_ejections == 0 && link.hop_retries > 0,
+        );
+        let fec = run_scheme(ErrorControl::Fec).error_control;
+        check(
+            &format!(
+                "A8: FEC corrects in flight ({} corrected, {} fallbacks, \
+                 zero bad ejections)",
+                fec.fec_corrected, fec.fec_fallbacks
+            ),
+            fec.corrupted_ejections == 0 && fec.fec_corrected > 0,
+        );
+    }
+
     // E5 — custom topology beats regular mesh mapping on power.
     let spec = noc_spec::presets::mobile_multimedia_soc();
     let fp = noc_floorplan::core_plan::CoreFloorplan::from_spec(&spec, 42);

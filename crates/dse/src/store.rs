@@ -338,4 +338,65 @@ mod tests {
         assert_eq!(store.stats().corrupt, 0);
         let _ = std::fs::remove_file(&path);
     }
+
+    /// A process killed mid-append can leave the trailing record cut at
+    /// *any* byte boundary — mid-key, mid-length, mid-payload, or
+    /// mid-checksum. Every cut point must recover the same way: the
+    /// intact prefix survives, the torn tail is dropped and repaired,
+    /// and the store accepts a resumed append of the lost entry.
+    #[test]
+    fn torn_trailing_record_recovers_at_every_cut_point() {
+        let k1 = content_hash(b"survivor");
+        let k2 = content_hash(b"torn");
+        let payload2 = b"the-interrupted-payload".to_vec();
+        // Record layout: key(16) + len(4) + payload + checksum(8).
+        let record2_len = 16 + 4 + payload2.len() + 8;
+        // One cut inside each region of the torn record, plus the
+        // region boundaries themselves.
+        let cuts = [
+            1,                       // mid-key
+            15,                      // last key byte
+            16,                      // key/len boundary
+            18,                      // mid-length
+            20,                      // len/payload boundary
+            20 + payload2.len() / 2, // mid-payload
+            20 + payload2.len(),     // payload/checksum boundary
+            record2_len - 1,         // one checksum byte short
+        ];
+        for (i, &keep) in cuts.iter().enumerate() {
+            let path = tmp(&format!("torn_cut_{i}"));
+            let _ = std::fs::remove_file(&path);
+            {
+                let store = Store::open(&path).expect("open");
+                store
+                    .insert_batch([(k1, b"kept".to_vec()), (k2, payload2.clone())])
+                    .expect("insert");
+            }
+            let bytes = std::fs::read(&path).expect("read");
+            let cut_at = bytes.len() - record2_len + keep;
+            std::fs::write(&path, &bytes[..cut_at]).expect("simulate kill");
+
+            let store = Store::open(&path).expect("reopen after kill");
+            assert_eq!(store.len(), 1, "cut {keep}: only the survivor loads");
+            assert_eq!(store.get(k1).as_deref(), Some(b"kept".as_ref()));
+            assert_eq!(store.get(k2), None, "cut {keep}: torn record gone");
+            assert_eq!(store.stats().corrupt, 0, "a torn tail is not corruption");
+            assert_eq!(
+                store.stats().truncated_bytes,
+                keep as u64,
+                "cut {keep}: exactly the torn bytes are discarded"
+            );
+            // Resume the interrupted append on the repaired file.
+            store
+                .insert_batch([(k2, payload2.clone())])
+                .expect("resumed append");
+            drop(store);
+            let store = Store::open(&path).expect("final reopen");
+            assert_eq!(store.len(), 2);
+            assert_eq!(store.get(k2).as_deref(), Some(payload2.as_slice()));
+            assert_eq!(store.stats().corrupt, 0);
+            assert_eq!(store.stats().truncated_bytes, 0);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
 }

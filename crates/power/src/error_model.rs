@@ -1,0 +1,374 @@
+//! Soft-error protection characterization: CRC / SECDED codec energy,
+//! retry-buffer area, and per-scheme overhead accounting.
+//!
+//! §4: deep-submicron wires are exposed to crosstalk and SEU-induced
+//! bit flips, so production NoCs protect flits with link-level retry,
+//! end-to-end CRC, or forward error correction. This module prices the
+//! three schemes simulated by `noc-sim`'s `ErrorControl` axis so the
+//! resilience ablation can report power/area alongside latency:
+//!
+//! * **end-to-end CRC** — one encoder/checker pair per NI plus a
+//!   packet retransmit buffer at the source NI;
+//! * **link-level retry** — an encoder/checker pair per link plus a
+//!   small flit retry buffer covering the link round trip;
+//! * **FEC (SECDED)** — a Hamming encoder/corrector pair per link;
+//!   single-bit upsets never retransmit, so no retry buffer.
+//!
+//! The codecs are modeled as XOR parity trees (the dominant structure
+//! of both CRC and Hamming codecs): each check bit is a parity over
+//! roughly half the data bits, giving `check_bits × width / 2` XOR
+//! gates per codec. Buffers are flop banks priced like the link
+//! model's relay stations.
+
+use crate::technology::TechNode;
+use noc_spec::units::{Hertz, MilliWatts, PicoJoules, SquareMicrometers};
+use serde::{Deserialize, Serialize};
+
+/// Average switching activity assumed in the codec XOR trees.
+pub const CODEC_ACTIVITY: f64 = 0.5;
+
+/// CRC polynomial width used for both end-to-end and link-level
+/// checks (CRC-8 catches all burst errors up to 8 bits on the short
+/// flit payloads the paper's NoCs carry).
+pub const CRC_BITS: u32 = 8;
+
+/// Smallest SECDED check-bit count for a `width`-bit payload: the
+/// minimal `r` with `2^r >= width + r + 1`, plus one overall parity
+/// bit for double-error detection.
+pub fn secded_check_bits(width: u32) -> u32 {
+    let mut r = 1u32;
+    while (1u64 << r) < u64::from(width) + u64::from(r) + 1 {
+        r += 1;
+    }
+    r + 1
+}
+
+/// The protection scheme being priced (mirrors `noc-sim`'s
+/// `ErrorControl` axis; duplicated here so the characterization layer
+/// stays independent of the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ResilienceScheme {
+    /// No protection — zero overhead, corrupted payloads delivered.
+    #[default]
+    None,
+    /// End-to-end CRC at the NIs with source retransmit buffering.
+    EndToEnd,
+    /// Per-link CRC with a small hop retry buffer.
+    LinkLevel,
+    /// Per-link SECDED forward error correction.
+    Fec,
+}
+
+/// Characterization of one encoder/checker (or encoder/corrector) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodecEstimate {
+    /// Check bits appended to each protected flit.
+    pub check_bits: u32,
+    /// Dynamic energy to encode *and* check one flit.
+    pub energy_per_flit: PicoJoules,
+    /// Combined encoder + checker gate area.
+    pub area: SquareMicrometers,
+    /// Static leakage of the pair.
+    pub leakage: MilliWatts,
+}
+
+/// Characterization of a retry/retransmit flop buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryBufferEstimate {
+    /// Buffer capacity in flits.
+    pub flits: u32,
+    /// Dynamic energy per buffered flit (one write + one read).
+    pub energy_per_flit: PicoJoules,
+    /// Flop-bank area.
+    pub area: SquareMicrometers,
+    /// Static leakage of the flop bank.
+    pub leakage: MilliWatts,
+}
+
+/// Per-scheme overhead, normalized to the quantities the simulator
+/// counts: energy charged per flit-hop (link codecs), energy charged
+/// per delivered flit (NI codecs), and area/leakage per link and NI.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceEstimate {
+    /// Check bits each protected flit carries on the wire.
+    pub check_bits: u32,
+    /// Codec energy charged every time a flit crosses a protected
+    /// link (zero for schemes that only check at the NIs).
+    pub energy_per_flit_hop: PicoJoules,
+    /// Codec + buffer energy charged once per source→destination
+    /// delivery (NI-side encode/check and retransmit buffering).
+    pub energy_per_flit_delivered: PicoJoules,
+    /// Added area per link (codecs + hop retry buffer).
+    pub area_per_link: SquareMicrometers,
+    /// Added area per NI (codecs + retransmit buffer).
+    pub area_per_ni: SquareMicrometers,
+    /// Static leakage per link.
+    pub leakage_per_link: MilliWatts,
+    /// Static leakage per NI.
+    pub leakage_per_ni: MilliWatts,
+}
+
+impl ResilienceEstimate {
+    /// Total static leakage for a fabric of `links` links and `nis`
+    /// network interfaces.
+    pub fn fabric_leakage(&self, links: usize, nis: usize) -> MilliWatts {
+        MilliWatts(
+            self.leakage_per_link.raw() * links as f64 + self.leakage_per_ni.raw() * nis as f64,
+        )
+    }
+
+    /// Total added area for a fabric of `links` links and `nis` NIs.
+    pub fn fabric_area(&self, links: usize, nis: usize) -> SquareMicrometers {
+        SquareMicrometers(
+            self.area_per_link.raw() * links as f64 + self.area_per_ni.raw() * nis as f64,
+        )
+    }
+
+    /// Average dynamic overhead power given measured traffic: total
+    /// flit link-crossings and delivered flits over `cycles` at
+    /// `clock`.
+    pub fn dynamic_power(
+        &self,
+        flit_hops: u64,
+        delivered_flits: u64,
+        cycles: u64,
+        clock: Hertz,
+    ) -> MilliWatts {
+        if cycles == 0 {
+            return MilliWatts(0.0);
+        }
+        let pj_per_cycle = (self.energy_per_flit_hop.raw() * flit_hops as f64
+            + self.energy_per_flit_delivered.raw() * delivered_flits as f64)
+            / cycles as f64;
+        PicoJoules(pj_per_cycle).to_power(clock)
+    }
+}
+
+/// Analytic model of the error-control machinery.
+///
+/// ```
+/// use noc_power::error_model::{ErrorControlModel, ResilienceScheme};
+/// use noc_power::technology::TechNode;
+///
+/// let model = ErrorControlModel::new(TechNode::NM65);
+/// let fec = model.estimate(ResilienceScheme::Fec, 32, 4, 4);
+/// // SECDED on 32-bit flits needs 6+1 check bits...
+/// assert_eq!(fec.check_bits, 7);
+/// // ...and corrects in-flight, so it buys its area back in buffers:
+/// let ll = model.estimate(ResilienceScheme::LinkLevel, 32, 4, 4);
+/// assert!(fec.area_per_link.raw() < ll.area_per_link.raw());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorControlModel {
+    tech: TechNode,
+}
+
+impl ErrorControlModel {
+    /// Creates a model for the given technology node.
+    pub fn new(tech: TechNode) -> ErrorControlModel {
+        ErrorControlModel { tech }
+    }
+
+    /// The underlying technology node.
+    pub fn tech(&self) -> TechNode {
+        self.tech
+    }
+
+    /// Prices one encoder + checker pair producing `check_bits` over a
+    /// `width`-bit payload as two XOR parity trees.
+    pub fn codec(&self, check_bits: u32, width: u32) -> CodecEstimate {
+        // Each check bit is a parity over ~width/2 payload bits; the
+        // pair comprises an encode tree and an identical check tree.
+        let gates = f64::from(check_bits) * f64::from(width) / 2.0 * 2.0;
+        let area = SquareMicrometers(gates * self.tech.gate_area_um2);
+        CodecEstimate {
+            check_bits,
+            energy_per_flit: PicoJoules(gates * self.tech.gate_energy_pj * CODEC_ACTIVITY),
+            area,
+            leakage: MilliWatts(area.raw() * self.tech.leakage_mw_per_um2),
+        }
+    }
+
+    /// Prices a `flits`-deep retry buffer for `width`-bit flits as a
+    /// flop bank (same per-flop cost as the link model's relay
+    /// stations).
+    pub fn retry_buffer(&self, width: u32, flits: u32) -> RetryBufferEstimate {
+        let flops = f64::from(flits) * f64::from(width);
+        let area = SquareMicrometers(flops * self.tech.flop_area_um2);
+        RetryBufferEstimate {
+            flits,
+            // One write on entry, one read on (re)transmit.
+            energy_per_flit: PicoJoules(2.0 * f64::from(width) * self.tech.gate_energy_pj * 3.0),
+            area,
+            leakage: MilliWatts(area.raw() * self.tech.leakage_mw_per_um2),
+        }
+    }
+
+    /// Full per-scheme overhead for `width`-bit flits.
+    ///
+    /// `link_stages` sizes the link-level hop retry buffer: it must
+    /// cover the link round trip, i.e. `pipeline stages + 1` flits in
+    /// flight plus one slot for the NACK turnaround. `packet_flits`
+    /// sizes the end-to-end retransmit buffer at the source NI.
+    pub fn estimate(
+        &self,
+        scheme: ResilienceScheme,
+        width: u32,
+        link_stages: u32,
+        packet_flits: u32,
+    ) -> ResilienceEstimate {
+        let zero = ResilienceEstimate {
+            check_bits: 0,
+            energy_per_flit_hop: PicoJoules(0.0),
+            energy_per_flit_delivered: PicoJoules(0.0),
+            area_per_link: SquareMicrometers(0.0),
+            area_per_ni: SquareMicrometers(0.0),
+            leakage_per_link: MilliWatts(0.0),
+            leakage_per_ni: MilliWatts(0.0),
+        };
+        match scheme {
+            ResilienceScheme::None => zero,
+            ResilienceScheme::EndToEnd => {
+                let codec = self.codec(CRC_BITS, width);
+                let buffer = self.retry_buffer(width, packet_flits);
+                ResilienceEstimate {
+                    check_bits: codec.check_bits,
+                    energy_per_flit_delivered: PicoJoules(
+                        codec.energy_per_flit.raw() + buffer.energy_per_flit.raw(),
+                    ),
+                    area_per_ni: SquareMicrometers(codec.area.raw() + buffer.area.raw()),
+                    leakage_per_ni: MilliWatts(codec.leakage.raw() + buffer.leakage.raw()),
+                    ..zero
+                }
+            }
+            ResilienceScheme::LinkLevel => {
+                let codec = self.codec(CRC_BITS, width);
+                let buffer = self.retry_buffer(width, link_stages + 2);
+                ResilienceEstimate {
+                    check_bits: codec.check_bits,
+                    energy_per_flit_hop: PicoJoules(
+                        codec.energy_per_flit.raw() + buffer.energy_per_flit.raw(),
+                    ),
+                    area_per_link: SquareMicrometers(codec.area.raw() + buffer.area.raw()),
+                    leakage_per_link: MilliWatts(codec.leakage.raw() + buffer.leakage.raw()),
+                    ..zero
+                }
+            }
+            ResilienceScheme::Fec => {
+                let codec = self.codec(secded_check_bits(width), width);
+                ResilienceEstimate {
+                    check_bits: codec.check_bits,
+                    energy_per_flit_hop: codec.energy_per_flit,
+                    area_per_link: codec.area,
+                    leakage_per_link: codec.leakage,
+                    ..zero
+                }
+            }
+        }
+    }
+}
+
+impl Default for ErrorControlModel {
+    fn default() -> ErrorControlModel {
+        ErrorControlModel::new(TechNode::NM65)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> ErrorControlModel {
+        ErrorControlModel::new(TechNode::NM65)
+    }
+
+    #[test]
+    fn secded_check_bits_match_hamming_bounds() {
+        // Classic (w, r+1) SECDED points.
+        assert_eq!(secded_check_bits(8), 5);
+        assert_eq!(secded_check_bits(16), 6);
+        assert_eq!(secded_check_bits(32), 7);
+        assert_eq!(secded_check_bits(64), 8);
+        assert_eq!(secded_check_bits(128), 9);
+    }
+
+    #[test]
+    fn no_protection_costs_nothing() {
+        let e = m().estimate(ResilienceScheme::None, 32, 4, 4);
+        assert_eq!(e.check_bits, 0);
+        assert_eq!(e.fabric_area(100, 16).raw(), 0.0);
+        assert_eq!(e.fabric_leakage(100, 16).raw(), 0.0);
+        assert_eq!(
+            e.dynamic_power(1_000, 100, 1_000, Hertz::from_ghz(1.0))
+                .raw(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn end_to_end_charges_nis_not_links() {
+        let e = m().estimate(ResilienceScheme::EndToEnd, 32, 4, 4);
+        assert_eq!(e.area_per_link.raw(), 0.0);
+        assert!(e.area_per_ni.raw() > 0.0);
+        assert_eq!(e.energy_per_flit_hop.raw(), 0.0);
+        assert!(e.energy_per_flit_delivered.raw() > 0.0);
+    }
+
+    #[test]
+    fn link_level_charges_links_not_nis() {
+        let e = m().estimate(ResilienceScheme::LinkLevel, 32, 4, 4);
+        assert!(e.area_per_link.raw() > 0.0);
+        assert_eq!(e.area_per_ni.raw(), 0.0);
+        assert!(e.energy_per_flit_hop.raw() > 0.0);
+        assert_eq!(e.energy_per_flit_delivered.raw(), 0.0);
+    }
+
+    #[test]
+    fn fec_needs_no_retry_buffer() {
+        let model = m();
+        // At 32 bits SECDED's 7 check bits even undercut CRC-8's tree;
+        // the decisive gap is the retry flop bank FEC never pays for.
+        let fec = model.estimate(ResilienceScheme::Fec, 32, 4, 4);
+        let ll = model.estimate(ResilienceScheme::LinkLevel, 32, 4, 4);
+        assert!(
+            fec.area_per_link.raw() < ll.area_per_link.raw(),
+            "no retry flops under FEC"
+        );
+        let wide = model.codec(secded_check_bits(128), 128);
+        let narrow = model.codec(secded_check_bits(32), 32);
+        assert!(wide.area.raw() > narrow.area.raw(), "trees grow with width");
+    }
+
+    #[test]
+    fn retry_buffer_scales_with_link_depth() {
+        let model = m();
+        let short = model.estimate(ResilienceScheme::LinkLevel, 32, 0, 4);
+        let long = model.estimate(ResilienceScheme::LinkLevel, 32, 6, 4);
+        assert!(long.area_per_link.raw() > short.area_per_link.raw());
+        assert_eq!(
+            long.area_per_link.raw() - short.area_per_link.raw(),
+            model.retry_buffer(32, 8).area.raw() - model.retry_buffer(32, 2).area.raw()
+        );
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_traffic_and_clock() {
+        let e = m().estimate(ResilienceScheme::Fec, 32, 4, 4);
+        let clock = Hertz::from_ghz(1.0);
+        let lo = e.dynamic_power(1_000, 0, 10_000, clock);
+        let hi = e.dynamic_power(10_000, 0, 10_000, clock);
+        assert!((hi.raw() / lo.raw() - 10.0).abs() < 1e-9);
+        let fast = e.dynamic_power(1_000, 0, 10_000, Hertz::from_ghz(2.0));
+        assert!(fast.raw() > lo.raw());
+    }
+
+    #[test]
+    fn fabric_totals_are_linear() {
+        let e = m().estimate(ResilienceScheme::LinkLevel, 32, 2, 4);
+        assert!(
+            (e.fabric_area(10, 4).raw() - 10.0 * e.area_per_link.raw()).abs() < 1e-9,
+            "link-level adds nothing at the NIs"
+        );
+        assert!(e.fabric_leakage(10, 4).raw() > 0.0);
+    }
+}

@@ -15,6 +15,8 @@
 //!   (Fig. 2) and bus-crossbar wire-congestion limits (§4.2);
 //! * [`link_model`] — wire delay, pipeline-stage insertion (§4.1 wire
 //!   segmentation), link energy;
+//! * [`error_model`] — CRC/SECDED codec energy and retry-buffer area
+//!   for the soft-error protection schemes;
 //! * [`ni_model`] — network-interface area/energy;
 //! * [`wiring`] — the §4.1 serialization-vs-bus wiring study;
 //! * [`dvfs`] — voltage/frequency scaling for voltage islands (§4.3/§6).
@@ -35,6 +37,7 @@
 
 pub mod canon;
 pub mod dvfs;
+pub mod error_model;
 pub mod link_model;
 pub mod ni_model;
 pub mod routability;
@@ -43,6 +46,9 @@ pub mod technology;
 pub mod wiring;
 
 pub use crate::dvfs::{DvfsModel, OperatingPoint};
+pub use crate::error_model::{
+    CodecEstimate, ErrorControlModel, ResilienceEstimate, ResilienceScheme, RetryBufferEstimate,
+};
 pub use crate::link_model::{LinkEstimate, LinkModel};
 pub use crate::ni_model::{NiEstimate, NiKind, NiModel, NiParams};
 pub use crate::routability::{Routability, RoutabilityModel};

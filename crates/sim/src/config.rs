@@ -21,6 +21,42 @@ pub enum FlowControl {
     AckNack,
 }
 
+/// Soft-error protection scheme for payload corruption on links (the
+/// error-control design axis the paper's open-challenges discussion
+/// names for unreliable wires). Corruption itself comes from a
+/// [`noc_spec::fault::CorruptionEvent`] schedule on the fault plan;
+/// this knob selects how the fabric reacts to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ErrorControl {
+    /// No protection: corrupted payloads eject like clean ones and are
+    /// counted (`ErrorControlStats::corrupted_ejections`).
+    #[default]
+    None,
+    /// NI end-to-end CRC: a corrupt packet is detected at ejection,
+    /// rejected (not delivered), and retransmitted by its source NI
+    /// through the recovery retry/backoff machinery.
+    EndToEnd,
+    /// Per-hop CRC with a bounded link-level retry: a corrupt flit is
+    /// re-sent over the same wire from the sender's retry buffer (the
+    /// reserved downstream slot — and thus the credit — stays held, so
+    /// flow control is undisturbed). After `hop_retry_limit` failed
+    /// attempts the flit escalates to the end-to-end layer.
+    LinkLevel,
+    /// Per-hop SECDED forward error correction: single-bit upsets are
+    /// corrected in place at the receiver; double-bit upsets are
+    /// detected, flagged, and fall back to end-to-end retransmission.
+    Fec,
+}
+
+impl ErrorControl {
+    /// Whether the scheme rejects corrupt payloads at the NI (every
+    /// scheme except `None`; `LinkLevel`/`Fec` only reach the NI check
+    /// on hop-retry exhaustion / double-bit fallback).
+    pub fn protects(&self) -> bool {
+        !matches!(self, ErrorControl::None)
+    }
+}
+
 /// Output-port arbitration policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Arbitration {
@@ -64,6 +100,14 @@ pub struct SimConfig {
     /// plain `Simulator` ignores the field entirely — results are
     /// bit-identical at any worker count by the determinism contract.
     pub partition_workers: usize,
+    /// Soft-error protection scheme (see [`ErrorControl`]). With the
+    /// default `None` and no corruption schedule installed, the hot
+    /// path pays a single branch.
+    pub error_control: ErrorControl,
+    /// Link-level retry bound per flit (`ErrorControl::LinkLevel`):
+    /// after this many failed hop retries the flit escalates to the
+    /// end-to-end layer instead of occupying the wire forever.
+    pub hop_retry_limit: u32,
 }
 
 impl Default for SimConfig {
@@ -79,6 +123,8 @@ impl Default for SimConfig {
             sync_penalty: 0,
             recovery: None,
             partition_workers: 0,
+            error_control: ErrorControl::None,
+            hop_retry_limit: 3,
         }
     }
 }
@@ -151,6 +197,18 @@ impl SimConfig {
         self.partition_workers = workers;
         self
     }
+
+    /// Selects the soft-error protection scheme.
+    pub fn with_error_control(mut self, scheme: ErrorControl) -> SimConfig {
+        self.error_control = scheme;
+        self
+    }
+
+    /// Sets the link-level retry bound (`ErrorControl::LinkLevel`).
+    pub fn with_hop_retry_limit(mut self, retries: u32) -> SimConfig {
+        self.hop_retry_limit = retries;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -175,12 +233,26 @@ mod tests {
             .with_arbitration(Arbitration::PriorityThenRoundRobin)
             .with_clock(Hertz::from_ghz(1.0))
             .with_warmup(500)
-            .with_sync_penalty(2);
+            .with_sync_penalty(2)
+            .with_error_control(ErrorControl::LinkLevel)
+            .with_hop_retry_limit(5);
         assert_eq!(c.flit_width, 64);
         assert_eq!(c.buffer_depth, 8);
         assert_eq!(c.vcs, 4);
         assert_eq!(c.flow_control, FlowControl::AckNack);
         assert_eq!(c.sync_penalty, 2);
+        assert_eq!(c.error_control, ErrorControl::LinkLevel);
+        assert_eq!(c.hop_retry_limit, 5);
+    }
+
+    #[test]
+    fn error_control_defaults_off() {
+        let c = SimConfig::default();
+        assert_eq!(c.error_control, ErrorControl::None);
+        assert!(
+            c.hop_retry_limit > 0,
+            "retries must be possible once enabled"
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@
 //!   already takes ≥ 1 cycle, making the cycle boundary a true
 //!   dependence frontier.
 
+use crate::config::ErrorControl;
 use crate::config::{Arbitration, FlowControl, SimConfig};
 use crate::flit::{Flit, PacketId};
 use crate::gals::DomainMap;
@@ -61,14 +62,14 @@ use crate::recovery::RecoveryNotice;
 use crate::stats::SimStats;
 use crate::trace::{Trace, TraceEvent, TraceKind};
 use crate::traffic::{Destination, InjectionProcess, TrafficSource};
-use noc_spec::fault::{FaultPlan, RecoveryConfig};
+use noc_spec::fault::{corruption_draw, FaultPlan, FaultTarget, RecoveryConfig};
 use noc_spec::FlowId;
 use noc_topology::graph::{LinkId, NodeId, Topology};
 use noc_topology::TopologyError;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
 
 /// Per-link simulation state: the wire pipeline plus the input buffer at
 /// the receiving end.
@@ -290,8 +291,15 @@ pub(crate) struct BoundaryOutbox {
     pub(crate) credits: Vec<(u32, u32)>,
     /// Tail ejections (end-to-end acks) for the parent's retransmit and
     /// restore bookkeeping: `(eject port, packet, flow, epoch)`. Only
-    /// collected while recovery is enabled.
+    /// collected while recovery or a protecting error-control scheme is
+    /// enabled.
     pub(crate) acks: Vec<(u32, PacketId, Option<FlowId>, u64)>,
+    /// Tails rejected by the NI end-to-end CRC check, for the parent's
+    /// retransmit layer: `(eject port, flit)`. Applied interleaved with
+    /// `acks` in eject-port order — the exact serial eject order, which
+    /// matters if one packet's duplicate copies ack and NACK at
+    /// different ports of one NI in the same cycle.
+    pub(crate) nacks: Vec<(u32, Flit)>,
     /// Fault-dropped flits for the parent's retransmit layer:
     /// `(link, vc, flit)`, in shard-local drop order. Only collected
     /// while recovery is enabled.
@@ -529,6 +537,22 @@ pub struct Simulator {
     watchdog_next_due: u64,
     /// Earliest scheduled retransmit re-emission (`u64::MAX` when none).
     retransmit_next_due: u64,
+    // --- soft-error control (inert without a corruption schedule: the
+    // hot path pays one branch in `launch`) ---
+    /// Corruption windows per link, indexed by `LinkId`:
+    /// `(start, end_exclusive, ber_ppm, double_ppm)` with `u64::MAX`
+    /// standing for an open end. The first window containing the launch
+    /// cycle wins (canonical plan order: by start cycle).
+    corrupt_sched: Vec<Vec<(u64, u64, u32, u32)>>,
+    /// Whether any corruption window exists (cheap launch-phase guard).
+    corrupt_enabled: bool,
+    /// Fault-plan seed folded into every corruption draw, so distinct
+    /// plans corrupt differently under one simulation seed.
+    corrupt_plan_seed: u64,
+    /// Packets that ejected a corrupt non-tail flit: the NI end-to-end
+    /// CRC verdict for the whole packet, settled at the tail. Entries
+    /// clear at tail ejection.
+    tainted: BTreeSet<PacketId>,
 }
 
 /// Appends `v` to an activity list, marking the list dirty if the append
@@ -656,6 +680,10 @@ impl Simulator {
             queued_count: 0,
             watchdog_next_due: u64::MAX,
             retransmit_next_due: u64::MAX,
+            corrupt_sched: vec![Vec::new(); nlinks],
+            corrupt_enabled: false,
+            corrupt_plan_seed: 0,
+            tainted: BTreeSet::new(),
         }
     }
 
@@ -871,6 +899,30 @@ impl Simulator {
         schedule.sort_by_key(|t| (t.cycle, t.event, t.link, t.up));
         self.fault_schedule = schedule;
         self.fault_cursor = 0;
+        for sched in &mut self.corrupt_sched {
+            sched.clear();
+        }
+        self.corrupt_enabled = false;
+        self.corrupt_plan_seed = plan.seed;
+        for c in plan.corruption() {
+            // Validate the link index through the same resolver the
+            // fault events use.
+            let links =
+                noc_topology::fault::links_of_target(&self.topo, FaultTarget::Link(c.link))?;
+            let end = match c.duration {
+                Some(d) => c.start.saturating_add(d),
+                None => u64::MAX,
+            };
+            for link in links {
+                self.corrupt_sched[link.0].push((c.start, end, c.ber_ppm, c.double_ppm));
+                self.corrupt_enabled = true;
+            }
+        }
+        // "First active window wins" needs a deterministic window order
+        // even for plans that were never canonicalized.
+        for sched in &mut self.corrupt_sched {
+            sched.sort_unstable();
+        }
         Ok(())
     }
 
@@ -1157,6 +1209,20 @@ impl Simulator {
         }
     }
 
+    /// The knobs of the NI retransmit layer: online recovery's when
+    /// enabled, otherwise — when an end-to-end error-control scheme
+    /// needs the retry/backoff machinery without the rest of the
+    /// recovery loop — the defaults. `None` keeps the layer inert.
+    fn retransmit_knobs(&self) -> Option<RecoveryConfig> {
+        if self.cfg.recovery.is_some() {
+            self.cfg.recovery
+        } else if self.cfg.error_control.protects() {
+            Some(RecoveryConfig::default())
+        } else {
+            None
+        }
+    }
+
     /// Registers one destroyed flit with the NI end-to-end retransmit
     /// layer. Only the first flit of a lost packet arms a retransmit;
     /// the rest are recognized as duplicates. Retries are bounded per
@@ -1164,7 +1230,7 @@ impl Simulator {
     /// exhausting either sheds the packet (a tombstone entry blocks
     /// re-registration).
     fn note_lost_flit(&mut self, flit: &Flit) {
-        let Some(r) = self.cfg.recovery else {
+        let Some(r) = self.retransmit_knobs() else {
             return;
         };
         let Some(flow) = flit.flow else {
@@ -1572,6 +1638,8 @@ impl Simulator {
                     priority: false,
                     injected_at: self.cycle,
                     epoch: 0,
+                    corrupt: 0,
+                    hop_retries: 0,
                 };
                 debug_assert!(self.links[li].credits[vc] > 0, "drained buffer has space");
                 self.links[li].credits[vc] -= 1;
@@ -1812,7 +1880,72 @@ impl Simulator {
                 Some(&(arrive, _)) if arrive <= cycle => {}
                 _ => break,
             }
-            let (_, flit) = self.links[li].in_flight.pop_front().expect("front exists");
+            let (_, mut flit) = self.links[li].in_flight.pop_front().expect("front exists");
+            if flit.corrupt != 0 {
+                match self.cfg.error_control {
+                    // SECDED at the receiver of every hop: a single-bit
+                    // upset is corrected in place; anything wider is
+                    // detected, flagged, and falls through to the
+                    // end-to-end layer at ejection.
+                    ErrorControl::Fec => {
+                        if flit.corrupt == 1 {
+                            flit.corrupt = 0;
+                            self.stats.error_control.fec_corrected += 1;
+                        } else {
+                            self.stats.error_control.fec_fallbacks += 1;
+                        }
+                    }
+                    // Per-hop CRC: the receiver rejects the flit and the
+                    // sender re-sends it from its retry buffer over the
+                    // same wire. The downstream slot reserved at launch
+                    // — and thus the credit — stays held, so flow
+                    // control is undisturbed; followers in the wire FIFO
+                    // wait behind the retry, preserving wormhole order.
+                    ErrorControl::LinkLevel => {
+                        self.stats.error_control.hop_crc_rejections += 1;
+                        if u32::from(flit.hop_retries) < self.cfg.hop_retry_limit {
+                            flit.hop_retries = flit.hop_retries.saturating_add(1);
+                            // The retry buffer holds the clean copy; the
+                            // re-send rolls fresh corruption on the wire.
+                            flit.corrupt = 0;
+                            self.stats.error_control.hop_retries += 1;
+                            if let Some(trace) = &mut self.trace {
+                                trace.record(TraceEvent {
+                                    cycle,
+                                    kind: TraceKind::HopRetry,
+                                    packet: flit.packet,
+                                    flow: flit.flow,
+                                    link: Some(LinkId(li)),
+                                });
+                            }
+                            self.corrupt_roll(
+                                LinkId(li),
+                                cycle,
+                                u64::from(flit.hop_retries),
+                                &mut flit,
+                            );
+                            let tl = self.topo.link(LinkId(li));
+                            let crossing = if self.domains.crosses(tl.src, tl.dst) {
+                                self.cfg.sync_penalty
+                            } else {
+                                0
+                            };
+                            let arrival = cycle + self.links[li].stages as u64 + 1 + crossing;
+                            self.links[li].in_flight.push_front((arrival, flit));
+                            if self.event_mode {
+                                let bucket = (arrival & self.wheel_mask) as usize;
+                                self.wheel[bucket].push(li as u32);
+                            }
+                            continue;
+                        }
+                        // Retry budget exhausted: hand the flit, still
+                        // flagged, to the end-to-end layer. Dropping it
+                        // here would strand the wormhole behind it.
+                        self.stats.error_control.hop_retry_exhausted += 1;
+                    }
+                    ErrorControl::None | ErrorControl::EndToEnd => {}
+                }
+            }
             self.links[li].bufs[flit.vc].push_back(flit);
             self.note_buffered(li);
         }
@@ -1881,6 +2014,27 @@ impl Simulator {
             self.return_credit(l.0, vc);
             self.ejected_flits_total += 1;
             self.in_network_count -= 1;
+            // NI end-to-end CRC verdict. A corrupt non-tail flit taints
+            // its packet so the tail settles the whole-packet check; a
+            // `rejected` tail is NACKed back to the source instead of
+            // acked, and stays out of the delivered-packet statistics.
+            // Under `ErrorControl::None` corrupt flits eject as if
+            // clean and only the silent-corruption counter notices.
+            let protects = self.cfg.error_control.protects();
+            let mut rejected = false;
+            if flit.corrupt != 0 || !self.tainted.is_empty() {
+                if !protects {
+                    if flit.corrupt != 0 {
+                        self.stats.error_control.corrupted_ejections += 1;
+                    }
+                } else if flit.is_tail {
+                    rejected = (flit.corrupt != 0 || self.tainted.contains(&flit.packet))
+                        && flit.flow.is_some();
+                    self.tainted.remove(&flit.packet);
+                } else if flit.corrupt != 0 && flit.flow.is_some() {
+                    self.tainted.insert(flit.packet);
+                }
+            }
             if flit.is_tail {
                 if let Some(trace) = &mut self.trace {
                     trace.record(TraceEvent {
@@ -1894,11 +2048,20 @@ impl Simulator {
                 // Tail ejection is the end-to-end ack: the
                 // packet arrived whole, stop tracking it. In a
                 // partitioned shard the retransmit/restore maps
-                // live in the parent: ship the ack through the
-                // boundary channel (keyed by eject port, the
-                // serial processing order) instead.
-                if let Some(part) = &mut self.part {
-                    if self.cfg.recovery.is_some() {
+                // live in the parent: ship the ack — or the CRC
+                // NACK — through the boundary channel (keyed by
+                // eject port, the serial processing order)
+                // instead.
+                if rejected {
+                    self.stats.error_control.e2e_crc_rejections += 1;
+                    if let Some(part) = &mut self.part {
+                        let port = self.eject_port_of[l.0];
+                        part.out.nacks.push((port, flit.clone()));
+                    } else {
+                        self.note_lost_flit(&flit);
+                    }
+                } else if let Some(part) = &mut self.part {
+                    if self.cfg.recovery.is_some() || protects {
                         let port = self.eject_port_of[l.0];
                         part.out
                             .acks
@@ -1924,7 +2087,7 @@ impl Simulator {
                 let fstats = flit.flow.map(|f| self.stats.flows.entry(f).or_default());
                 if let Some(fs) = fstats {
                     fs.delivered_flits += 1;
-                    if flit.is_tail {
+                    if flit.is_tail && !rejected {
                         let latency = cycle.saturating_sub(flit.injected_at);
                         fs.delivered_packets += 1;
                         fs.total_latency += latency;
@@ -2487,7 +2650,7 @@ impl Simulator {
     /// Launches a flit onto a link: reserves a downstream buffer slot and
     /// enters the wire pipeline (plus GALS synchronizer penalty on
     /// domain-crossing links).
-    fn launch(&mut self, link: LinkId, flit: Flit) {
+    fn launch(&mut self, link: LinkId, mut flit: Flit) {
         let cycle = self.cycle;
         let l = &mut self.links[link.0];
         debug_assert!(l.credits[flit.vc] > 0, "launch without credit");
@@ -2501,6 +2664,9 @@ impl Simulator {
             0
         };
         let arrival = cycle + l.stages as u64 + 1 + crossing;
+        if self.corrupt_enabled {
+            self.corrupt_roll(link, cycle, 0, &mut flit);
+        }
         if let Some(trace) = &mut self.trace {
             trace.record(TraceEvent {
                 cycle,
@@ -2533,6 +2699,50 @@ impl Simulator {
             // an entry of a different cycle.
             let bucket = (arrival & self.wheel_mask) as usize;
             self.wheel[bucket].push(link.0 as u32);
+        }
+    }
+
+    /// Rolls the corruption draw for a flit entering `link`'s wire at
+    /// `cycle` and applies any bit-flips. `salt` separates the draw
+    /// streams of fresh launches (0) and link-level re-sends (the
+    /// attempt number), so a retry rolling in the same cycle as another
+    /// flit's launch on the same link never reuses its draw. Pure in
+    /// `(base seed, plan seed, link, cycle, salt)`, so every engine —
+    /// scan, event, and any partitioned shard — corrupts identically.
+    fn corrupt_roll(&mut self, link: LinkId, cycle: u64, salt: u64, flit: &mut Flit) {
+        let mut window = None;
+        for &(start, end, ber, double) in &self.corrupt_sched[link.0] {
+            if start <= cycle && cycle < end {
+                window = Some((u64::from(ber), u64::from(double)));
+                break;
+            }
+        }
+        let Some((ber, double)) = window else {
+            return;
+        };
+        let seed =
+            self.base_seed ^ self.corrupt_plan_seed ^ salt.wrapping_mul(0xA5A5_5A5A_C3C3_3C3C);
+        let r = corruption_draw(seed, link.0 as u64, cycle) % 1_000_000;
+        let flips: u8 = if r < double {
+            2
+        } else if r < double + ber {
+            1
+        } else {
+            0
+        };
+        if flips == 0 {
+            return;
+        }
+        flit.corrupt = flit.corrupt.saturating_add(flips);
+        self.stats.error_control.corrupted_flits += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent {
+                cycle,
+                kind: TraceKind::Corrupt,
+                packet: flit.packet,
+                flow: flit.flow,
+                link: Some(link),
+            });
         }
     }
 }
@@ -2781,6 +2991,8 @@ impl Simulator {
             priority: false,
             injected_at: self.cycle,
             epoch: 0,
+            corrupt: 0,
+            hop_retries: 0,
         };
         self.links[li].bufs[vc].push_back(tail);
         self.note_buffered(li);
@@ -3093,20 +3305,32 @@ impl Simulator {
     /// control step observes exactly what a serial `step` would.
     pub(crate) fn part_absorb_outboxes(&mut self, shards: &mut [Simulator], shard_of_node: &[u32]) {
         let mut acks: Vec<(u32, PacketId, Option<FlowId>, u64)> = Vec::new();
+        let mut nacks: Vec<(u32, Flit)> = Vec::new();
         let mut losses: Vec<(u32, u32, Flit)> = Vec::new();
         let mut flits: Vec<(u32, u64, Flit)> = Vec::new();
         let mut credits: Vec<(u32, u32)> = Vec::new();
         for sh in shards.iter_mut() {
             let out = sh.part_take_outbox();
             acks.extend(out.acks);
+            nacks.extend(out.nacks);
             losses.extend(out.losses);
             flits.extend(out.flits);
             credits.extend(out.credits);
         }
-        // End-to-end acks, in the serial eject order (ascending eject
-        // port; at most one tail per port VC per cycle).
+        // End-to-end acks and CRC NACKs, interleaved in the serial
+        // eject order (ascending eject port; at most one tail per port
+        // VC per cycle, and same-port tails of distinct packets
+        // commute). The interleave matters: a packet's duplicate copies
+        // can ack and NACK at different ports in one cycle, and the
+        // retransmit map must see those in eject order.
         acks.sort_unstable_by_key(|&(port, packet, _, _)| (port, packet));
-        for (_, packet, flow, epoch) in acks {
+        nacks.sort_unstable_by_key(|&(port, ref f)| (port, f.packet));
+        let mut na = nacks.into_iter().peekable();
+        for (port, packet, flow, epoch) in acks {
+            while na.peek().is_some_and(|(p, _)| *p < port) {
+                let (_, f) = na.next().expect("peeked");
+                self.note_lost_flit(&f);
+            }
             if !self.retransmit.is_empty() {
                 if let Some(e) = self.retransmit.remove(&packet) {
                     if e.due.is_some() {
@@ -3115,6 +3339,9 @@ impl Simulator {
                 }
             }
             self.note_restored(flow, epoch);
+        }
+        for (_, f) in na {
+            self.note_lost_flit(&f);
         }
         // Fault losses, in the serial drop order (ascending link, then
         // VC; the stable sort keeps each VC FIFO's push order).
@@ -3796,5 +4023,230 @@ mod tests {
         assert_eq!(r.detections, 1);
         assert_eq!(r.detection_latency_max, 20);
         assert_eq!(r.mean_detection_latency(), Some(20.0));
+    }
+
+    // --- soft-error control ---
+
+    use noc_spec::fault::CorruptionEvent;
+
+    /// A corruption-only plan: one window on `link`.
+    fn corruption_plan(
+        link: LinkId,
+        start: u64,
+        duration: Option<u64>,
+        ber_ppm: u32,
+        double_ppm: u32,
+    ) -> FaultPlan {
+        FaultPlan::from_events(Vec::new()).with_corruption(vec![CorruptionEvent {
+            link: link.0,
+            start,
+            duration,
+            ber_ppm,
+            double_ppm,
+        }])
+    }
+
+    #[test]
+    fn unprotected_corruption_ejects_silently_and_conserves() {
+        let (t, ni0, _, route) = line();
+        let mut sim = Simulator::new(t, SimConfig::default().with_warmup(0));
+        sim.enable_trace(256);
+        sim.add_source(one_shot_source(ni0, route.clone(), 4));
+        // Every flit crossing the middle link flips one bit.
+        sim.set_fault_plan(&corruption_plan(route[1], 0, None, 1_000_000, 0))
+            .expect("valid link");
+        sim.run(40);
+        let ec = sim.stats().error_control;
+        assert_eq!(ec.corrupted_flits, 4, "every flit upset on the wire");
+        assert_eq!(ec.corrupted_ejections, 4, "silent data corruption");
+        assert_eq!(ec.e2e_crc_rejections, 0);
+        // The packet still counts as delivered — nothing noticed.
+        assert_eq!(sim.stats().flows[&FlowId(0)].delivered_packets, 1);
+        assert_conserved(&sim);
+        let corrupts = sim
+            .trace()
+            .expect("tracing on")
+            .events()
+            .filter(|e| e.kind == TraceKind::Corrupt)
+            .count();
+        assert_eq!(corrupts, 4, "each upset is traced");
+    }
+
+    #[test]
+    fn end_to_end_crc_rejects_then_retransmits_clean() {
+        let (t, ni0, _, route) = line();
+        let cfg = SimConfig::default()
+            .with_warmup(0)
+            .with_error_control(ErrorControl::EndToEnd);
+        let mut sim = Simulator::new(t, cfg);
+        sim.add_source(one_shot_source(ni0, route.clone(), 4));
+        // The window closes before the retransmission (backoff 32), so
+        // the second copy crosses clean.
+        sim.set_fault_plan(&corruption_plan(route[1], 0, Some(20), 1_000_000, 0))
+            .expect("valid link");
+        sim.run(200);
+        let s = sim.stats();
+        let ec = s.error_control;
+        assert_eq!(ec.e2e_crc_rejections, 1, "first copy rejected at the NI");
+        assert_eq!(ec.corrupted_ejections, 0, "nothing delivered corrupt");
+        assert_eq!(s.recovery.retransmitted_packets, 1);
+        assert_eq!(
+            s.flows[&FlowId(0)].delivered_packets,
+            1,
+            "the clean retransmission delivers"
+        );
+        assert_conserved(&sim);
+        assert!(sim.drain(10_000));
+        assert!(sim.credits_restored());
+    }
+
+    #[test]
+    fn link_level_retry_resends_until_the_window_closes() {
+        let (t, ni0, _, route) = line();
+        let cfg = SimConfig::default()
+            .with_warmup(0)
+            .with_error_control(ErrorControl::LinkLevel)
+            .with_hop_retry_limit(8);
+        let mut sim = Simulator::new(t, cfg);
+        sim.add_source(one_shot_source(ni0, route.clone(), 1));
+        // The head launches onto the middle link at cycle 1 and the
+        // window stays hot through cycle 2: the first crossing and the
+        // first retry both corrupt, the second retry (cycle 3) is clean.
+        sim.set_fault_plan(&corruption_plan(route[1], 0, Some(3), 1_000_000, 0))
+            .expect("valid link");
+        sim.run(60);
+        let s = sim.stats();
+        let ec = s.error_control;
+        assert_eq!(ec.hop_crc_rejections, 2, "two corrupt arrivals caught");
+        assert_eq!(ec.hop_retries, 2, "both re-sent on the same wire");
+        assert_eq!(ec.hop_retry_exhausted, 0);
+        assert_eq!(ec.e2e_crc_rejections, 0, "nothing escalated end-to-end");
+        assert_eq!(ec.corrupted_ejections, 0);
+        assert_eq!(s.flows[&FlowId(0)].delivered_packets, 1);
+        assert_conserved(&sim);
+        assert!(sim.credits_restored(), "retries must not leak credits");
+    }
+
+    #[test]
+    fn link_level_retry_exhaustion_escalates_to_end_to_end() {
+        let (t, ni0, _, route) = line();
+        let cfg = SimConfig::default()
+            .with_warmup(0)
+            .with_error_control(ErrorControl::LinkLevel)
+            .with_hop_retry_limit(2);
+        let mut sim = Simulator::new(t, cfg);
+        sim.add_source(one_shot_source(ni0, route.clone(), 1));
+        // Hot through cycle 39: the first copy exhausts its 2 retries
+        // and escalates; the retransmission (due ≥ reject + backoff 32)
+        // still hits the window and also burns retries, until a copy
+        // finally crosses after cycle 40.
+        sim.set_fault_plan(&corruption_plan(route[1], 0, Some(40), 1_000_000, 0))
+            .expect("valid link");
+        sim.run(400);
+        let s = sim.stats();
+        let ec = s.error_control;
+        assert!(ec.hop_retry_exhausted >= 1, "retry budget ran out");
+        assert!(ec.e2e_crc_rejections >= 1, "exhausted flit caught at NI");
+        assert!(s.recovery.retransmitted_packets >= 1);
+        assert_eq!(ec.corrupted_ejections, 0);
+        assert_eq!(s.flows[&FlowId(0)].delivered_packets, 1);
+        assert_conserved(&sim);
+        assert!(sim.drain(10_000));
+        assert!(sim.credits_restored());
+    }
+
+    #[test]
+    fn fec_corrects_single_bit_upsets_in_place() {
+        let (t, ni0, _, route) = line();
+        let cfg = SimConfig::default()
+            .with_warmup(0)
+            .with_error_control(ErrorControl::Fec);
+        let mut sim = Simulator::new(t, cfg);
+        sim.add_source(one_shot_source(ni0, route.clone(), 4));
+        // Permanent single-bit noise: SECDED absorbs it at every hop
+        // with no retransmission at all.
+        sim.set_fault_plan(&corruption_plan(route[1], 0, None, 1_000_000, 0))
+            .expect("valid link");
+        sim.run(40);
+        let s = sim.stats();
+        let ec = s.error_control;
+        assert_eq!(ec.fec_corrected, 4, "every upset corrected at the hop");
+        assert_eq!(ec.fec_fallbacks, 0);
+        assert_eq!(ec.e2e_crc_rejections, 0);
+        assert_eq!(ec.corrupted_ejections, 0);
+        assert_eq!(s.recovery.retransmitted_packets, 0);
+        assert_eq!(s.flows[&FlowId(0)].delivered_packets, 1);
+        assert_conserved(&sim);
+    }
+
+    #[test]
+    fn fec_double_bit_upset_falls_back_to_end_to_end() {
+        let (t, ni0, _, route) = line();
+        let cfg = SimConfig::default()
+            .with_warmup(0)
+            .with_error_control(ErrorControl::Fec);
+        let mut sim = Simulator::new(t, cfg);
+        sim.add_source(one_shot_source(ni0, route.clone(), 4));
+        // Every crossing flips two bits — beyond SECDED correction —
+        // until the window closes and the retransmission passes.
+        sim.set_fault_plan(&corruption_plan(route[1], 0, Some(20), 0, 1_000_000))
+            .expect("valid link");
+        sim.run(200);
+        let s = sim.stats();
+        let ec = s.error_control;
+        assert_eq!(ec.fec_corrected, 0);
+        // A double-upset flit stays flagged, so every downstream SECDED
+        // decoder re-detects it: 4 flits × 2 hops past the noisy wire.
+        assert_eq!(ec.fec_fallbacks, 8, "detected but uncorrectable");
+        assert_eq!(ec.e2e_crc_rejections, 1, "the packet re-checks at the NI");
+        assert_eq!(ec.corrupted_ejections, 0);
+        assert_eq!(s.recovery.retransmitted_packets, 1);
+        assert_eq!(s.flows[&FlowId(0)].delivered_packets, 1);
+        assert_conserved(&sim);
+        assert!(sim.drain(10_000));
+        assert!(sim.credits_restored());
+    }
+
+    #[test]
+    fn corruption_on_top_of_link_fault_conserves_in_every_mode() {
+        for ec in [
+            ErrorControl::None,
+            ErrorControl::EndToEnd,
+            ErrorControl::LinkLevel,
+            ErrorControl::Fec,
+        ] {
+            let (t, ni0, _, route) = line();
+            let cfg = SimConfig::default()
+                .with_warmup(0)
+                .with_error_control(ec)
+                .with_recovery(RecoveryConfig::default());
+            let mut sim = Simulator::new(t, cfg);
+            sim.add_source(streaming_source(ni0, route.clone(), 4, 3));
+            let plan = FaultPlan::from_events(vec![FaultEvent {
+                target: FaultTarget::Link(route[1].0),
+                start: 30,
+                kind: FaultKind::Transient { duration: 25 },
+            }])
+            .with_corruption(vec![CorruptionEvent {
+                link: route[1].0,
+                start: 0,
+                duration: Some(120),
+                ber_ppm: 400_000,
+                double_ppm: 100_000,
+            }]);
+            sim.set_fault_plan(&plan).expect("valid plan");
+            sim.run(300);
+            assert_conserved(&sim);
+            if ec.protects() {
+                assert_eq!(
+                    sim.stats().error_control.corrupted_ejections,
+                    0,
+                    "{ec:?} must not deliver corrupt payloads"
+                );
+            }
+            assert!(sim.drain(20_000), "{ec:?} drains through fault + noise");
+            assert!(sim.credits_restored(), "{ec:?} conserves credits");
+            assert_conserved(&sim);
+        }
     }
 }

@@ -46,6 +46,16 @@ pub struct Flit {
     /// finish on their old (source-carried) routes while new
     /// injections use the new tables.
     pub epoch: u64,
+    /// Accumulated payload bit-flips from [`CorruptionEvent`] windows
+    /// on the wires this flit crossed. Zero means a clean payload;
+    /// under `ErrorControl::Fec` a SECDED decoder clears single-bit
+    /// upsets per hop.
+    ///
+    /// [`CorruptionEvent`]: noc_spec::fault::CorruptionEvent
+    pub corrupt: u8,
+    /// Link-level retry attempts already spent on this flit
+    /// (`ErrorControl::LinkLevel` bookkeeping; saturates).
+    pub hop_retries: u8,
 }
 
 impl Flit {
@@ -76,6 +86,8 @@ impl Flit {
                 priority,
                 injected_at,
                 epoch: 0,
+                corrupt: 0,
+                hop_retries: 0,
             })
             .collect()
     }

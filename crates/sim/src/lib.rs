@@ -65,7 +65,7 @@ pub mod sweep;
 pub mod trace;
 pub mod traffic;
 
-pub use crate::config::{Arbitration, FlowControl, SimConfig};
+pub use crate::config::{Arbitration, ErrorControl, FlowControl, SimConfig};
 pub use crate::engine::Simulator;
 pub use crate::error::SimError;
 pub use crate::fault::install_fault_plan;
@@ -74,7 +74,7 @@ pub use crate::histogram::LatencyHistogram;
 pub use crate::partition::{PartitionedSimulator, Partitioning};
 pub use crate::qos::SlotTable;
 pub use crate::recovery::{OnlineRecovery, RecoverableSimulator, RecoveryNotice};
-pub use crate::stats::{FlowStats, RecoveryStats, SimStats};
+pub use crate::stats::{ErrorControlStats, FlowStats, RecoveryStats, SimStats};
 pub use crate::sweep::{point_seed, SweepRunner};
 pub use crate::trace::{Trace, TraceEvent, TraceKind};
 pub use crate::traffic::TrafficSource;

@@ -117,6 +117,54 @@ impl RecoveryStats {
     }
 }
 
+/// Telemetry of the soft-error control layer (corruption injection,
+/// link-level retry, end-to-end CRC, FEC). Every field is a plain sum,
+/// so [`ErrorControlStats::merge`] is commutative and associative and
+/// corruption-enabled sweeps keep the bit-identical parallel contract.
+/// Counted over the whole run, warmup included — an upset is an event,
+/// not a rate (same convention as `dropped_flits`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ErrorControlStats {
+    /// Flit launches that picked up ≥ 1 bit-flip from a corruption
+    /// window (counted per upset event, including hop-retry re-sends).
+    pub corrupted_flits: u64,
+    /// Corrupt payload flits ejected to a sink as if clean
+    /// (`ErrorControl::None` only — the silent-data-corruption count).
+    pub corrupted_ejections: u64,
+    /// Packets rejected by the NI end-to-end CRC check at ejection
+    /// (each triggers a source retransmission).
+    pub e2e_crc_rejections: u64,
+    /// Corrupt flits caught by a per-hop CRC check at link arrival
+    /// (`ErrorControl::LinkLevel`).
+    pub hop_crc_rejections: u64,
+    /// Link-level re-send attempts performed.
+    pub hop_retries: u64,
+    /// Flits whose hop-retry budget ran out; they escalate to the
+    /// end-to-end layer instead of occupying the wire forever.
+    pub hop_retry_exhausted: u64,
+    /// Single-bit upsets corrected in place by SECDED decoders
+    /// (`ErrorControl::Fec`).
+    pub fec_corrected: u64,
+    /// Multi-bit upsets SECDED could only detect; the packet falls
+    /// back to end-to-end retransmission.
+    pub fec_fallbacks: u64,
+}
+
+impl ErrorControlStats {
+    /// Folds another run's error-control telemetry into this one. All
+    /// fields are sums, so merging commutes.
+    pub fn merge(&mut self, other: &ErrorControlStats) {
+        self.corrupted_flits += other.corrupted_flits;
+        self.corrupted_ejections += other.corrupted_ejections;
+        self.e2e_crc_rejections += other.e2e_crc_rejections;
+        self.hop_crc_rejections += other.hop_crc_rejections;
+        self.hop_retries += other.hop_retries;
+        self.hop_retry_exhausted += other.hop_retry_exhausted;
+        self.fec_corrected += other.fec_corrected;
+        self.fec_fallbacks += other.fec_fallbacks;
+    }
+}
+
 /// Whole-run statistics.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SimStats {
@@ -148,6 +196,9 @@ pub struct SimStats {
     pub fault_events: BTreeMap<usize, u64>,
     /// Online-recovery telemetry (all zero when recovery is disabled).
     pub recovery: RecoveryStats,
+    /// Soft-error control telemetry (all zero without a corruption
+    /// schedule).
+    pub error_control: ErrorControlStats,
 }
 
 impl SimStats {
@@ -282,6 +333,7 @@ impl SimStats {
             *self.fault_events.entry(event).or_default() += n;
         }
         self.recovery.merge(&other.recovery);
+        self.error_control.merge(&other.error_control);
     }
 
     /// Per-flow delivered bandwidth.
@@ -483,6 +535,39 @@ mod tests {
         assert_eq!(abc.recovery.retransmitted_packets, 28);
         assert_eq!(abc.recovery.mean_detection_latency(), Some(152.0 / 7.0));
         assert_eq!(RecoveryStats::default().mean_reroute_latency(), None);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_for_error_control_telemetry() {
+        let mk = |c: u64, e: u64, hop: u64, fec: u64| SimStats {
+            error_control: ErrorControlStats {
+                corrupted_flits: c,
+                corrupted_ejections: e,
+                e2e_crc_rejections: e / 2,
+                hop_crc_rejections: hop,
+                hop_retries: hop,
+                hop_retry_exhausted: hop / 4,
+                fec_corrected: fec,
+                fec_fallbacks: fec / 3,
+            },
+            ..SimStats::default()
+        };
+        let a = mk(9, 4, 12, 6);
+        let b = mk(0, 0, 0, 0);
+        let c = mk(5, 2, 8, 3);
+        let mut abc = a.clone();
+        abc.merge(&b);
+        abc.merge(&c);
+        let mut cba = c.clone();
+        cba.merge(&b);
+        cba.merge(&a);
+        assert_eq!(abc, cba, "error-control telemetry merges commutatively");
+        assert_eq!(abc.error_control.corrupted_flits, 14);
+        assert_eq!(abc.error_control.corrupted_ejections, 6);
+        assert_eq!(abc.error_control.hop_crc_rejections, 20);
+        assert_eq!(abc.error_control.hop_retry_exhausted, 5);
+        assert_eq!(abc.error_control.fec_corrected, 9);
+        assert_eq!(abc.error_control.fec_fallbacks, 3);
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub enum TraceKind {
     EpochSwap,
     /// An NI re-emitted a lost packet end-to-end.
     Retransmit,
+    /// A flit picked up payload bit-flips crossing a corruption window
+    /// on a link.
+    Corrupt,
+    /// A per-hop CRC check caught a corrupt flit and the link re-sent
+    /// it (`ErrorControl::LinkLevel`).
+    HopRetry,
 }
 
 impl fmt::Display for TraceKind {
@@ -49,6 +55,8 @@ impl fmt::Display for TraceKind {
             TraceKind::Detect => f.write_str("detect"),
             TraceKind::EpochSwap => f.write_str("epochswap"),
             TraceKind::Retransmit => f.write_str("retransmit"),
+            TraceKind::Corrupt => f.write_str("corrupt"),
+            TraceKind::HopRetry => f.write_str("hopretry"),
         }
     }
 }
@@ -66,6 +74,8 @@ impl FromStr for TraceKind {
             "detect" => Ok(TraceKind::Detect),
             "epochswap" => Ok(TraceKind::EpochSwap),
             "retransmit" => Ok(TraceKind::Retransmit),
+            "corrupt" => Ok(TraceKind::Corrupt),
+            "hopretry" => Ok(TraceKind::HopRetry),
             other => Err(ParseTraceError(format!("unknown event kind \"{other}\""))),
         }
     }
@@ -341,6 +351,8 @@ mod tests {
             TraceKind::Detect,
             TraceKind::EpochSwap,
             TraceKind::Retransmit,
+            TraceKind::Corrupt,
+            TraceKind::HopRetry,
         ] {
             let parsed: TraceKind = kind.to_string().parse().expect("round-trip");
             assert_eq!(parsed, kind);
@@ -378,6 +390,31 @@ mod tests {
             let parsed: TraceEvent = line.parse().expect("parses its own Display");
             assert_eq!(parsed, e, "{line}");
         }
+    }
+
+    #[test]
+    fn error_control_events_render_and_parse() {
+        let corrupt = TraceEvent {
+            cycle: 33,
+            kind: TraceKind::Corrupt,
+            packet: PacketId(6),
+            flow: Some(FlowId(1)),
+            link: Some(LinkId(4)),
+        };
+        assert_eq!(corrupt.to_string(), "@33 corrupt pkt6 flow1 on l4");
+        assert_eq!(
+            "@33 corrupt pkt6 flow1 on l4".parse::<TraceEvent>(),
+            Ok(corrupt)
+        );
+        let retry = TraceEvent {
+            cycle: 34,
+            kind: TraceKind::HopRetry,
+            packet: PacketId(6),
+            flow: None,
+            link: Some(LinkId(4)),
+        };
+        assert_eq!(retry.to_string(), "@34 hopretry pkt6 on l4");
+        assert_eq!("@34 hopretry pkt6 on l4".parse::<TraceEvent>(), Ok(retry));
     }
 
     #[test]

@@ -347,6 +347,187 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Parity under soft-error injection: corruption draws, hop-retry
+    /// re-queues, FEC rewrites, and NACK-triggered retransmissions all
+    /// ride engine-specific structures (the event wheel buckets re-used
+    /// by retries, the partitioned boundary outboxes that now carry
+    /// corrupt bits and NACKs), and must not shift a single outcome
+    /// across scan ≡ event ≡ partitioned at 1/2/4/8 workers.
+    #[test]
+    fn engines_agree_under_corruption(
+        rate in 0.02f64..0.3,
+        pf in 1usize..5,
+        bursts in 1usize..5,
+        ber_hi in 50_000u32..800_000,
+        double_hi in 0u32..300_000,
+        ec_sel in 0u8..4,
+        with_faults in any::<bool>(),
+        shape_sel in 0u8..3,
+        seed in 0u64..1_000,
+    ) {
+        use noc_sim::config::ErrorControl;
+        use noc_spec::fault::{
+            CorruptionScenario, FaultPlan, FaultScenario, FaultTarget, RecoveryConfig,
+        };
+
+        let ec = match ec_sel {
+            0 => ErrorControl::None,
+            1 => ErrorControl::EndToEnd,
+            2 => ErrorControl::LinkLevel,
+            _ => ErrorControl::Fec,
+        };
+        let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+        let m = mesh(4, 4, &cores, 32).expect("valid shape");
+        let candidates: Vec<usize> = m
+            .topology
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                m.topology.node(l.src).is_switch() && m.topology.node(l.dst).is_switch()
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let noise = FaultPlan::generate_corruption(
+            seed,
+            &candidates,
+            CorruptionScenario {
+                bursts,
+                window: (0, 700),
+                duration: (50, 400),
+                ber_ppm: (50_000, ber_hi.max(50_001)),
+                double_ppm: (0, double_hi.max(1)),
+            },
+        );
+        let base = if with_faults {
+            let targets: Vec<FaultTarget> =
+                candidates.iter().map(|&i| FaultTarget::Link(i)).collect();
+            FaultPlan::generate(
+                seed ^ 0xC0DE,
+                &targets,
+                FaultScenario {
+                    faults: 2,
+                    window: (100, 600),
+                    transient_chance: 128,
+                    duration: (50, 250),
+                },
+            )
+        } else {
+            FaultPlan::new()
+        }
+        .with_recovery(RecoveryConfig::default())
+        .with_corruption(noise.corruption().to_vec());
+
+        let sources = shaped_sources(&m, rate, pf, shape_sel);
+        let cfg = SimConfig::default().with_warmup(0).with_error_control(ec);
+        let mut event = Simulator::new(m.topology.clone(), cfg).with_seed(seed);
+        let mut scan = Simulator::new(m.topology.clone(), cfg).with_seed(seed).with_scan_engine();
+        for s in &sources {
+            event.add_source(s.clone());
+            scan.add_source(s.clone());
+        }
+        event.set_fault_plan(&base).expect("plan installs");
+        scan.set_fault_plan(&base).expect("plan installs");
+        event.run(1_000);
+        scan.run(1_000);
+        assert_same_state(&event, &scan, &format!("after corrupted run ({ec:?})"));
+        let ed = event.drain(60_000);
+        let sd = scan.drain(60_000);
+        prop_assert_eq!(ed, sd, "drain outcomes diverged ({:?})", ec);
+        assert_same_state(&event, &scan, &format!("after corrupted drain ({ec:?})"));
+        prop_assert_eq!(event.credits_restored(), scan.credits_restored());
+
+        for workers in PARITY_WORKERS {
+            let pcfg = cfg.with_partitioned_engine(workers);
+            let mut part = PartitionedSimulator::new(m.topology.clone(), pcfg).with_seed(seed);
+            for s in &sources {
+                part.add_source(s.clone());
+            }
+            part.set_fault_plan(&base).expect("plan installs");
+            part.run(1_000);
+            let pd = part.drain(60_000);
+            prop_assert_eq!(pd, ed, "partitioned corrupted drain diverged ({} workers, {:?})", workers, ec);
+            assert_part_same_state(
+                &part,
+                &event,
+                &format!("partitioned corrupted, {workers} workers, {ec:?}"),
+            );
+            prop_assert_eq!(part.credits_restored(), event.credits_restored());
+        }
+    }
+}
+
+/// Error-control sweeps stay bit-identical at any thread count: a
+/// BER × scheme grid evaluated at 1, 2, and 8 worker threads matches
+/// the serial scan-engine reference point for point, including every
+/// [`noc_sim::stats::ErrorControlStats`] counter.
+#[test]
+fn error_control_sweeps_are_bit_identical_at_any_thread_count() {
+    use noc_sim::config::ErrorControl;
+    use noc_spec::fault::CorruptionEvent;
+
+    let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+    let grid: Vec<(ErrorControl, u32)> = [
+        ErrorControl::None,
+        ErrorControl::EndToEnd,
+        ErrorControl::LinkLevel,
+        ErrorControl::Fec,
+    ]
+    .into_iter()
+    .flat_map(|ec| [(ec, 1_000u32), (ec, 100_000)])
+    .collect();
+    let eval = |scan: bool| {
+        let cores = cores.clone();
+        move |&(ec, ber): &(ErrorControl, u32), seed: u64| {
+            let m = mesh(4, 4, &cores, 32).expect("valid");
+            let sources = patterns::uniform_random(&m, 0.15, 4).expect("in range");
+            let corruption: Vec<CorruptionEvent> = m
+                .topology
+                .links()
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| {
+                    m.topology.node(l.src).is_switch() && m.topology.node(l.dst).is_switch()
+                })
+                .map(|(i, _)| CorruptionEvent {
+                    link: i,
+                    start: 0,
+                    duration: None,
+                    ber_ppm: ber,
+                    double_ppm: ber / 10,
+                })
+                .collect();
+            let plan = noc_spec::fault::FaultPlan::new().with_corruption(corruption);
+            let cfg = SimConfig::default().with_warmup(200).with_error_control(ec);
+            let sim = Simulator::new(m.topology, cfg).with_seed(seed);
+            let mut sim = if scan { sim.with_scan_engine() } else { sim };
+            for s in sources {
+                sim.add_source(s);
+            }
+            sim.set_fault_plan(&plan).expect("plan installs");
+            sim.run(1_500);
+            sim.into_stats()
+        }
+    };
+    let reference = SweepRunner::serial().run(0xEC, &grid, eval(true));
+    assert!(
+        reference
+            .iter()
+            .any(|s| s.error_control.corrupted_flits > 0),
+        "the sweep must actually exercise corruption"
+    );
+    for threads in [1usize, 2, 8] {
+        let got = SweepRunner::with_threads(threads).run(0xEC, &grid, eval(false));
+        assert_eq!(
+            got, reference,
+            "error-control sweep at {threads} threads diverged from the serial scan reference"
+        );
+    }
+}
+
 /// GALS clock dividers, TDMA slot tables, and GT-priority arbitration
 /// gate work in cycle-dependent ways; the activity lists must *retain*
 /// (not drop) gated work. A divided clock domain plus a slot table plus

@@ -221,6 +221,120 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Flit conservation under soft-error injection, sweeping generated
+    /// corruption schedules (burst count, window, single/double-bit
+    /// rates) across **all four** error-control schemes, stacked on top
+    /// of a generated hard-fault schedule. Corruption adds three new
+    /// ways to move a flit — hop retries re-queue it on the wire, NACKed
+    /// tails schedule retransmissions, FEC rewrites it in place — and
+    /// none of them may mint or lose a flit: the invariant
+    /// `injected = ejected + dropped + in-network` must hold at every
+    /// observation point, the network must drain, credits must restore,
+    /// and a protecting scheme must never deliver a corrupt payload.
+    #[test]
+    fn conservation_holds_under_corruption(
+        rate in 0.02f64..0.3,
+        pf in 1usize..5,
+        bursts in 1usize..6,
+        ber_hi in 10_000u32..800_000,
+        double_hi in 0u32..300_000,
+        ec_sel in 0u8..4,
+        with_faults in any::<bool>(),
+        seed in 0u64..500,
+    ) {
+        use noc_sim::config::ErrorControl;
+        use noc_spec::fault::{CorruptionScenario, FaultPlan, FaultScenario, FaultTarget};
+
+        let ec = match ec_sel {
+            0 => ErrorControl::None,
+            1 => ErrorControl::EndToEnd,
+            2 => ErrorControl::LinkLevel,
+            _ => ErrorControl::Fec,
+        };
+        let cores: Vec<CoreId> = (0..16).map(CoreId).collect();
+        let m = mesh(4, 4, &cores, 32).expect("valid shape");
+        let candidates: Vec<usize> = m
+            .topology
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                m.topology.node(l.src).is_switch() && m.topology.node(l.dst).is_switch()
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let noise = FaultPlan::generate_corruption(
+            seed,
+            &candidates,
+            CorruptionScenario {
+                bursts,
+                window: (0, 800),
+                duration: (50, 400),
+                ber_ppm: (10_000, ber_hi.max(10_001)),
+                double_ppm: (0, double_hi.max(1)),
+            },
+        );
+        prop_assert!(!noise.corruption().is_empty());
+        let base = if with_faults {
+            let fault_targets: Vec<FaultTarget> =
+                candidates.iter().map(|&i| FaultTarget::Link(i)).collect();
+            FaultPlan::generate(
+                seed ^ 0x5A5A,
+                &fault_targets,
+                FaultScenario {
+                    faults: 2,
+                    window: (100, 700),
+                    transient_chance: 128,
+                    duration: (50, 300),
+                },
+            )
+        } else {
+            FaultPlan::new()
+        };
+        let plan = base.with_corruption(noise.corruption().to_vec());
+
+        let sources = patterns::uniform_random(&m, rate, pf).expect("in range");
+        let cfg = SimConfig::default().with_warmup(0).with_error_control(ec);
+        let mut sim = Simulator::new(m.topology.clone(), cfg).with_seed(seed);
+        for s in sources {
+            sim.add_source(s);
+        }
+        sim.set_fault_plan(&plan).expect("targets are real links");
+        for _ in 0..12 {
+            for _ in 0..100 {
+                sim.step();
+            }
+            prop_assert_eq!(
+                sim.injected_flits_total(),
+                sim.ejected_flits_total()
+                    + sim.dropped_flits_total()
+                    + sim.flits_in_network() as u64,
+                "instantaneous conservation at cycle {} ({:?})",
+                sim.cycle(),
+                ec
+            );
+        }
+        let drained = sim.drain(60_000);
+        prop_assert!(drained, "{ec:?} failed to drain under corruption");
+        prop_assert_eq!(
+            sim.injected_flits_total(),
+            sim.ejected_flits_total() + sim.dropped_flits_total()
+        );
+        prop_assert!(sim.credits_restored(), "credits leak under {ec:?}");
+        if ec.protects() {
+            prop_assert_eq!(
+                sim.stats().error_control.corrupted_ejections,
+                0,
+                "{:?} delivered a corrupt payload",
+                ec
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Flit conservation with the *online* recovery loop closed,

@@ -27,7 +27,16 @@
 //! faultplan seed=42
 //! fault link 17 at 1000 permanent
 //! fault router 3 at 2500 transient for 400
+//! corrupt link 5 at 800 for 1200 ber=2500 double=40
 //! ```
+//!
+//! Besides whole-component failures a plan can schedule *soft errors*:
+//! [`CorruptionEvent`] windows give a link an elevated bit-error rate
+//! (in flits per million, so the text format stays exact-integer).
+//! Whether a given flit traversal actually corrupts is decided by the
+//! consumer through [`corruption_draw`] — a pure hash of `(seed, link,
+//! cycle)` in the `point_seed` discipline, so corruption patterns are
+//! bit-identical across engines and sweep thread counts.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -159,6 +168,92 @@ impl fmt::Display for RecoveryConfig {
     }
 }
 
+/// A window of elevated soft-error rate on one link's wires.
+///
+/// Rates are expressed in **flits per million traversals** so the
+/// plain-text format round-trips exactly (no floats). A traversal
+/// during the window suffers a single-bit upset with probability
+/// `ber_ppm` / 10⁶ and a double-bit upset with probability
+/// `double_ppm` / 10⁶ (disjoint outcomes of one [`corruption_draw`]);
+/// the distinction matters to SECDED-style protection, which corrects
+/// singles but only detects doubles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CorruptionEvent {
+    /// The affected unidirectional link, by consumer index (same space
+    /// as [`FaultTarget::Link`]).
+    pub link: usize,
+    /// First cycle of the window.
+    pub start: u64,
+    /// Window length in cycles; `None` lasts to the end of the run.
+    pub duration: Option<u64>,
+    /// Single-bit upsets per million flit traversals.
+    pub ber_ppm: u32,
+    /// Double-bit upsets per million flit traversals.
+    pub double_ppm: u32,
+}
+
+impl CorruptionEvent {
+    /// Whether the window covers `cycle`.
+    pub fn active_at(&self, cycle: u64) -> bool {
+        cycle >= self.start
+            && match self.duration {
+                None => true,
+                Some(d) => cycle < self.start.saturating_add(d),
+            }
+    }
+}
+
+impl fmt::Display for CorruptionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt link {} at {}", self.link, self.start)?;
+        if let Some(d) = self.duration {
+            write!(f, " for {d}")?;
+        }
+        write!(f, " ber={} double={}", self.ber_ppm, self.double_ppm)
+    }
+}
+
+/// The per-`(link, cycle)` corruption draw: a pure 64-bit hash in the
+/// same SplitMix64 family as `noc_par::point_seed`. Consumers reduce
+/// the result modulo 10⁶ and compare against the active window's ppm
+/// thresholds. Because a link launches at most one flit per cycle, the
+/// pair `(link, cycle)` uniquely identifies a traversal — which makes
+/// the corruption pattern a pure function of the seed, independent of
+/// engine (scan / event / partitioned) and sweep thread count.
+pub fn corruption_draw(seed: u64, link: u64, cycle: u64) -> u64 {
+    let mut state =
+        seed ^ link.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ cycle.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    splitmix64(&mut state)
+}
+
+/// Parameters for [`FaultPlan::generate_corruption`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionScenario {
+    /// How many corruption windows to draw (capped at the candidate
+    /// count; a plan never opens two windows on the same link).
+    pub bursts: usize,
+    /// Window start cycles are drawn uniformly from `[window.0, window.1)`.
+    pub window: (u64, u64),
+    /// Window lengths are drawn uniformly from `[duration.0, duration.1)`.
+    pub duration: (u64, u64),
+    /// Single-bit rates are drawn uniformly from `[ber_ppm.0, ber_ppm.1)`.
+    pub ber_ppm: (u32, u32),
+    /// Double-bit rates are drawn uniformly from `[double_ppm.0, double_ppm.1)`.
+    pub double_ppm: (u32, u32),
+}
+
+impl Default for CorruptionScenario {
+    fn default() -> CorruptionScenario {
+        CorruptionScenario {
+            bursts: 1,
+            window: (1_000, 2_000),
+            duration: (200, 600),
+            ber_ppm: (500, 5_000),
+            double_ppm: (0, 100),
+        }
+    }
+}
+
 /// A deterministic schedule of component failures.
 ///
 /// Events are kept sorted by `(start, target, kind)` so two plans with
@@ -173,6 +268,7 @@ pub struct FaultPlan {
     /// oracle detours.
     pub recovery: Option<RecoveryConfig>,
     events: Vec<FaultEvent>,
+    corruption: Vec<CorruptionEvent>,
 }
 
 /// Parameters for [`FaultPlan::generate`].
@@ -231,6 +327,7 @@ impl FaultPlan {
             seed: 0,
             recovery: None,
             events,
+            corruption: Vec::new(),
         };
         plan.canonicalize();
         plan
@@ -269,6 +366,52 @@ impl FaultPlan {
             seed,
             recovery: None,
             events,
+            corruption: Vec::new(),
+        };
+        plan.canonicalize();
+        plan
+    }
+
+    /// Derives a corruption-only plan from a seed: opens
+    /// `scenario.bursts` elevated-BER windows on distinct links drawn
+    /// from `candidates`. Pure in `(seed, candidates, scenario)`, like
+    /// [`FaultPlan::generate`].
+    pub fn generate_corruption(
+        seed: u64,
+        candidates: &[usize],
+        scenario: CorruptionScenario,
+    ) -> FaultPlan {
+        let mut state = seed ^ 0x0DD5_EED5_0F7E_6607;
+        let mut pool: Vec<usize> = candidates.to_vec();
+        let mut corruption = Vec::new();
+        for _ in 0..scenario.bursts.min(pool.len()) {
+            let idx = (splitmix64(&mut state) % pool.len() as u64) as usize;
+            let link = pool.swap_remove(idx);
+            let start = pick_in(&mut state, scenario.window.0, scenario.window.1);
+            let duration = pick_in(&mut state, scenario.duration.0, scenario.duration.1).max(1);
+            let ber_ppm = pick_in(
+                &mut state,
+                u64::from(scenario.ber_ppm.0),
+                u64::from(scenario.ber_ppm.1),
+            ) as u32;
+            let double_ppm = pick_in(
+                &mut state,
+                u64::from(scenario.double_ppm.0),
+                u64::from(scenario.double_ppm.1),
+            ) as u32;
+            corruption.push(CorruptionEvent {
+                link,
+                start,
+                duration: Some(duration),
+                ber_ppm: ber_ppm.min(1_000_000),
+                double_ppm: double_ppm.min(1_000_000 - ber_ppm.min(1_000_000)),
+            });
+        }
+        let mut plan = FaultPlan {
+            seed,
+            recovery: None,
+            events: Vec::new(),
+            corruption,
         };
         plan.canonicalize();
         plan
@@ -278,6 +421,25 @@ impl FaultPlan {
     pub fn with_recovery(mut self, recovery: RecoveryConfig) -> FaultPlan {
         self.recovery = Some(recovery);
         self
+    }
+
+    /// Replaces the soft-error schedule (builder style; sorted
+    /// canonically).
+    pub fn with_corruption(mut self, corruption: Vec<CorruptionEvent>) -> FaultPlan {
+        self.corruption = corruption;
+        self.canonicalize();
+        self
+    }
+
+    /// Adds one corruption window, keeping the schedule sorted.
+    pub fn push_corruption(&mut self, event: CorruptionEvent) {
+        self.corruption.push(event);
+        self.canonicalize();
+    }
+
+    /// The soft-error windows, sorted by start cycle.
+    pub fn corruption(&self) -> &[CorruptionEvent] {
+        &self.corruption
     }
 
     fn canonicalize(&mut self) {
@@ -298,6 +460,16 @@ impl FaultPlan {
             )
         });
         self.events.dedup();
+        self.corruption.sort_by_key(|c| {
+            (
+                c.start,
+                c.link,
+                c.duration.unwrap_or(u64::MAX),
+                c.ber_ppm,
+                c.double_ppm,
+            )
+        });
+        self.corruption.dedup();
     }
 
     /// Adds one event, keeping the schedule sorted.
@@ -316,9 +488,9 @@ impl FaultPlan {
         self.events.len()
     }
 
-    /// Whether the plan schedules no faults.
+    /// Whether the plan schedules no faults and no corruption.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.corruption.is_empty()
     }
 
     /// Writes the plan in the plain-text format of this module's
@@ -333,6 +505,10 @@ impl FaultPlan {
             out.push_str(&e.to_string());
             out.push('\n');
         }
+        for c in &self.corruption {
+            out.push_str(&c.to_string());
+            out.push('\n');
+        }
         out
     }
 
@@ -342,6 +518,7 @@ impl FaultPlan {
         let mut seed = 0u64;
         let mut recovery: Option<RecoveryConfig> = None;
         let mut events = Vec::new();
+        let mut corruption = Vec::new();
         let mut saw_header = false;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -402,6 +579,75 @@ impl FaultPlan {
                         kind,
                     });
                 }
+                "corrupt" => {
+                    // corrupt link <idx> at <cycle> [for <dur>] ber=<ppm> [double=<ppm>]
+                    if words.len() < 5 {
+                        return Err(err("truncated corrupt line".into()));
+                    }
+                    if words[1] != "link" {
+                        return Err(err(format!(
+                            "corruption targets links, found \"{}\"",
+                            words[1]
+                        )));
+                    }
+                    let link: usize = words[2]
+                        .parse()
+                        .map_err(|_| err(format!("bad index \"{}\"", words[2])))?;
+                    if words[3] != "at" {
+                        return Err(err(format!("expected \"at\", found \"{}\"", words[3])));
+                    }
+                    let start: u64 = words[4]
+                        .parse()
+                        .map_err(|_| err(format!("bad cycle \"{}\"", words[4])))?;
+                    let mut rest = &words[5..];
+                    let duration = if rest.first() == Some(&"for") {
+                        let d: u64 = rest
+                            .get(1)
+                            .ok_or_else(|| err("missing duration after \"for\"".into()))?
+                            .parse()
+                            .map_err(|_| err(format!("bad duration \"{}\"", rest[1])))?;
+                        if d == 0 {
+                            return Err(err("corruption duration must be > 0".into()));
+                        }
+                        rest = &rest[2..];
+                        Some(d)
+                    } else {
+                        None
+                    };
+                    let mut ber_ppm: Option<u32> = None;
+                    let mut double_ppm = 0u32;
+                    for w in rest {
+                        let (key, val) = match w.split_once('=') {
+                            Some(kv) => kv,
+                            None => return Err(err(format!("expected key=value, found \"{w}\""))),
+                        };
+                        let parsed: u32 = val
+                            .parse()
+                            .map_err(|_| err(format!("bad value \"{val}\" for \"{key}\"")))?;
+                        if parsed > 1_000_000 {
+                            return Err(err(format!("{key} {parsed} exceeds 1000000 ppm")));
+                        }
+                        match key {
+                            "ber" => ber_ppm = Some(parsed),
+                            "double" => double_ppm = parsed,
+                            other => {
+                                return Err(err(format!("unknown corruption knob \"{other}\"")))
+                            }
+                        }
+                    }
+                    let ber_ppm =
+                        ber_ppm.ok_or_else(|| err("corrupt line needs ber=<ppm>".into()))?;
+                    if u64::from(ber_ppm) + u64::from(double_ppm) > 1_000_000 {
+                        return Err(err("ber + double exceeds 1000000 ppm".into()));
+                    }
+                    corruption.push(CorruptionEvent {
+                        link,
+                        start,
+                        duration,
+                        ber_ppm,
+                        double_ppm,
+                    });
+                }
                 "recover" => {
                     if recovery.is_some() {
                         return Err(err("duplicate \"recover\" line".into()));
@@ -449,6 +695,7 @@ impl FaultPlan {
             seed,
             recovery,
             events,
+            corruption,
         };
         plan.canonicalize();
         Ok(plan)
@@ -628,5 +875,119 @@ mod tests {
         let parsed = FaultPlan::from_text(&plan.to_text()).unwrap();
         assert_eq!(parsed, plan);
         assert_eq!(format!("{plan}"), "faultplan seed=0");
+    }
+
+    #[test]
+    fn corruption_round_trip() {
+        let plan = FaultPlan::from_events(vec![FaultEvent {
+            target: FaultTarget::Link(1),
+            start: 500,
+            kind: FaultKind::Permanent,
+        }])
+        .with_corruption(vec![
+            CorruptionEvent {
+                link: 7,
+                start: 100,
+                duration: Some(400),
+                ber_ppm: 2_500,
+                double_ppm: 40,
+            },
+            CorruptionEvent {
+                link: 2,
+                start: 0,
+                duration: None,
+                ber_ppm: 100,
+                double_ppm: 0,
+            },
+        ]);
+        assert!(!plan.is_empty());
+        let text = plan.to_text();
+        assert!(text.contains("corrupt link 7 at 100 for 400 ber=2500 double=40"));
+        assert!(text.contains("corrupt link 2 at 0 ber=100 double=0"));
+        let parsed = FaultPlan::from_text(&text).expect("round-trip parse");
+        assert_eq!(parsed, plan);
+        // Canonical order: sorted by start cycle.
+        assert_eq!(parsed.corruption()[0].link, 2);
+        assert_eq!(parsed.corruption()[1].link, 7);
+    }
+
+    #[test]
+    fn corruption_window_activity() {
+        let bounded = CorruptionEvent {
+            link: 0,
+            start: 10,
+            duration: Some(5),
+            ber_ppm: 1,
+            double_ppm: 0,
+        };
+        assert!(!bounded.active_at(9));
+        assert!(bounded.active_at(10));
+        assert!(bounded.active_at(14));
+        assert!(!bounded.active_at(15));
+        let open = CorruptionEvent {
+            duration: None,
+            ..bounded
+        };
+        assert!(open.active_at(u64::MAX));
+        assert!(!open.active_at(0));
+    }
+
+    #[test]
+    fn corruption_parse_rejects_bad_lines() {
+        let bad = [
+            "faultplan seed=1\ncorrupt link 1 at 5",
+            "faultplan seed=1\ncorrupt router 1 at 5 ber=10",
+            "faultplan seed=1\ncorrupt link 1 at 5 for 0 ber=10",
+            "faultplan seed=1\ncorrupt link 1 at 5 ber=2000000",
+            "faultplan seed=1\ncorrupt link 1 at 5 ber=600000 double=600000",
+            "faultplan seed=1\ncorrupt link 1 at 5 ber=x",
+            "faultplan seed=1\ncorrupt link 1 at 5 turbo=9",
+            "faultplan seed=1\ncorrupt link 1 when 5 ber=10",
+        ];
+        for text in bad {
+            assert!(FaultPlan::from_text(text).is_err(), "{text:?}");
+        }
+        let ok = FaultPlan::from_text("faultplan seed=1\ncorrupt link 3 at 50 ber=10\n")
+            .expect("double defaults to 0");
+        assert_eq!(ok.corruption()[0].double_ppm, 0);
+        assert_eq!(ok.corruption()[0].duration, None);
+    }
+
+    #[test]
+    fn corruption_generation_is_deterministic_and_distinct() {
+        let links: Vec<usize> = (0..40).collect();
+        let scenario = CorruptionScenario {
+            bursts: 10,
+            ..CorruptionScenario::default()
+        };
+        let a = FaultPlan::generate_corruption(11, &links, scenario);
+        let b = FaultPlan::generate_corruption(11, &links, scenario);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.corruption().len(), 10);
+        let mut targets: Vec<_> = a.corruption().iter().map(|c| c.link).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert_eq!(targets.len(), 10, "windows never share a link");
+        for c in a.corruption() {
+            assert!(u64::from(c.ber_ppm) + u64::from(c.double_ppm) <= 1_000_000);
+            assert!(c.duration.expect("generated windows are bounded") > 0);
+        }
+        let c = FaultPlan::generate_corruption(12, &links, scenario);
+        assert_ne!(a, c, "different seed, different schedule");
+        let text = a.to_text();
+        assert_eq!(FaultPlan::from_text(&text).expect("round trip"), a);
+    }
+
+    #[test]
+    fn corruption_draw_is_pure_and_spreads() {
+        assert_eq!(corruption_draw(1, 2, 3), corruption_draw(1, 2, 3));
+        assert_ne!(corruption_draw(1, 2, 3), corruption_draw(1, 2, 4));
+        assert_ne!(corruption_draw(1, 2, 3), corruption_draw(1, 3, 3));
+        assert_ne!(corruption_draw(2, 2, 3), corruption_draw(1, 2, 3));
+        // At 10% ppm-scale thresholds roughly a tenth of draws hit.
+        let hits = (0..10_000u64)
+            .filter(|&c| corruption_draw(42, 7, c) % 1_000_000 < 100_000)
+            .count();
+        assert!((800..1_200).contains(&hits), "hits {hits}");
     }
 }

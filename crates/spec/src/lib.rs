@@ -58,7 +58,8 @@ pub use crate::canon::{content_hash, hash_parts, CanonError, CanonReader, Canoni
 pub use crate::core::{Core, CoreId, CoreRole, IslandId};
 pub use crate::error::SpecError;
 pub use crate::fault::{
-    FaultEvent, FaultKind, FaultPlan, FaultScenario, FaultTarget, RecoveryConfig,
+    corruption_draw, CorruptionEvent, CorruptionScenario, FaultEvent, FaultKind, FaultPlan,
+    FaultScenario, FaultTarget, RecoveryConfig,
 };
 pub use crate::protocol::{MessageClass, SocketProtocol, TransactionKind};
 pub use crate::traffic::{FlowId, QosClass, TrafficFlow, TrafficShape};

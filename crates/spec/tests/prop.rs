@@ -142,7 +142,9 @@ fn base_spec_text() -> String {
 }
 
 fn base_plan_text() -> String {
-    use noc_spec::fault::{FaultEvent, FaultKind, FaultPlan, FaultTarget, RecoveryConfig};
+    use noc_spec::fault::{
+        CorruptionEvent, FaultEvent, FaultKind, FaultPlan, FaultTarget, RecoveryConfig,
+    };
     FaultPlan::from_events(vec![
         FaultEvent {
             target: FaultTarget::Link(3),
@@ -156,6 +158,22 @@ fn base_plan_text() -> String {
         },
     ])
     .with_recovery(RecoveryConfig::default())
+    .with_corruption(vec![
+        CorruptionEvent {
+            link: 5,
+            start: 120,
+            duration: Some(300),
+            ber_ppm: 2_500,
+            double_ppm: 40,
+        },
+        CorruptionEvent {
+            link: 1,
+            start: 0,
+            duration: None,
+            ber_ppm: 90,
+            double_ppm: 0,
+        },
+    ])
     .to_text()
 }
 
