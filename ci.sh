@@ -87,6 +87,11 @@ smoke() {
   cargo run "${CARGO_FLAGS[@]}" -q --release -p noc-bench --bin ablation_online_recovery
   echo "==> smoke: ablation_error_control (release)"
   cargo run "${CARGO_FLAGS[@]}" -q --release -p noc-bench --bin ablation_error_control
+  # A9: the shared structure phase must reproduce the naive per-grid-
+  # point synthesis byte-for-byte on the CI DSE sweep (exits nonzero on
+  # any divergence or if sharing stops collapsing structure work).
+  echo "==> smoke: ablation_structure_sharing (release)"
+  cargo run "${CARGO_FLAGS[@]}" -q --release -p noc-bench --bin ablation_structure_sharing
   # The DSE acceptance protocol: a 64-spec cold exploration, a warm
   # re-run that must be 100% cache hits with a bit-identical Pareto
   # front, and a killed-then-resumed run whose front must equal the

@@ -187,6 +187,34 @@ fn bench_synthesis(c: &mut Criterion) {
     group.finish();
 }
 
+/// DSE candidate-grid throughput: the full 54-candidate grid (custom
+/// 4/6-switch + mesh × widths × clocks × buffering) evaluated against
+/// one generated spec through the structure-sharing path — the unit of
+/// work one DSE shard performs on a cache miss.
+fn bench_synthesis_grid(c: &mut Criterion) {
+    let spec = noc::dse::generate_spec(0xD5E, 0);
+    let fp = CoreFloorplan::from_spec_chains_sized(&spec, 0xD5E, 1);
+    let grid = noc::dse::default_grid();
+    let parts = noc_bench::grid_eval::partitions_for(&spec, &grid);
+    let mut group = c.benchmark_group("fig6/synthesis_grid");
+    group.sample_size(20);
+    group.bench_function("candidate_grid_54", |b| {
+        b.iter(|| {
+            let (mut built, mut reused) = (0u64, 0u64);
+            let metrics = noc_bench::grid_eval::shared_eval(
+                &spec,
+                &fp,
+                &parts,
+                &grid,
+                &mut built,
+                &mut reused,
+            );
+            metrics.iter().flatten().count()
+        })
+    });
+    group.finish();
+}
+
 /// Floorplanner annealing throughput: one *single-chain* annealing run
 /// (the unit `run_multi` fans out N of), on the mobile SoC's 26 blocks
 /// and on a 60-block synthetic stress case.
@@ -213,6 +241,7 @@ criterion_group!(
     bench_step_throughput_errctl_off,
     bench_step_throughput_32x32,
     bench_synthesis,
+    bench_synthesis_grid,
     bench_floorplan
 );
 criterion_main!(benches);

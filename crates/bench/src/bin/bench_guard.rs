@@ -17,6 +17,9 @@
 //! * `fig6/synthesis` — one `synthesize_min_power` run on the mobile
 //!   SoC (the SunFloor candidate sweep incl. incremental deadlock
 //!   verification — the synthesis-side hot path);
+//! * `fig6/synthesis_grid` — the full 54-candidate DSE grid against
+//!   one generated spec through the structure-sharing path (the unit
+//!   of cache-miss work a DSE shard performs);
 //! * `floorplan/slicing_anneal_26_blocks` — one single-chain floorplan
 //!   annealing run of the mobile SoC's 26 blocks (the unit
 //!   `run_multi` fans out N of);
@@ -80,6 +83,10 @@ const BENCHES: &[GuardedBench] = &[
     GuardedBench {
         name: "fig6/synthesis",
         measure: measure_synthesis_us,
+    },
+    GuardedBench {
+        name: "fig6/synthesis_grid",
+        measure: measure_synthesis_grid_us,
     },
     GuardedBench {
         name: "floorplan/slicing_anneal_26_blocks",
@@ -275,6 +282,38 @@ fn measure_synthesis_us() -> f64 {
         for _ in 0..ITERS_PER_ROUND {
             let d = synthesize_min_power(&spec, Some(&fp), &cfg).expect("feasible");
             std::hint::black_box(d.metrics.power.raw());
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(ITERS_PER_ROUND);
+        best = best.min(us);
+    }
+    best
+}
+
+/// One full 54-candidate DSE grid evaluated against one generated spec
+/// through the structure-sharing path — the exact
+/// `fig6/synthesis_grid/candidate_grid_54` criterion setup (the unit
+/// of cache-miss work a DSE shard performs).
+fn measure_synthesis_grid_us() -> f64 {
+    const ROUNDS: usize = 5;
+    const ITERS_PER_ROUND: u32 = 10;
+    let spec = noc::dse::generate_spec(0xD5E, 0);
+    let fp = CoreFloorplan::from_spec_chains_sized(&spec, 0xD5E, 1);
+    let grid = noc::dse::default_grid();
+    let parts = noc_bench::grid_eval::partitions_for(&spec, &grid);
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let t0 = Instant::now();
+        for _ in 0..ITERS_PER_ROUND {
+            let (mut built, mut reused) = (0u64, 0u64);
+            let metrics = noc_bench::grid_eval::shared_eval(
+                &spec,
+                &fp,
+                &parts,
+                &grid,
+                &mut built,
+                &mut reused,
+            );
+            std::hint::black_box(metrics.iter().flatten().count());
         }
         let us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(ITERS_PER_ROUND);
         best = best.min(us);

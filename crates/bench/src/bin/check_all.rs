@@ -256,6 +256,36 @@ fn main() {
         );
     }
 
+    // A9 — structure sharing: a pooled candidate structure reused
+    // across the clock axis reproduces from-scratch synthesis
+    // bit-for-bit (the full sweep runs in ablation_structure_sharing).
+    {
+        use noc_synth::eval::EvalOptions;
+        use noc_synth::sunfloor::{build_structure, capacity_bits, synthesize_candidate};
+        let spec = noc_spec::presets::mobile_multimedia_soc();
+        let fp = noc_floorplan::core_plan::CoreFloorplan::from_spec(&spec, 42);
+        let part = noc_synth::partition::partition(&spec, 4, 1);
+        let built_at = Hertz::from_mhz(400);
+        let reused_at = Hertz::from_mhz(900);
+        let structure = build_structure(&spec, &part, &fp, 32, built_at, 0.75).expect("routes");
+        let mut ok = structure.admits(32, capacity_bits(32, reused_at, 0.75));
+        for clock in [built_at, reused_at] {
+            let cfg = noc_synth::sunfloor::SynthesisConfig {
+                flit_width: 32,
+                widths: Vec::new(),
+                clocks: vec![clock],
+                ..noc_synth::sunfloor::SynthesisConfig::default()
+            };
+            let scratch = synthesize_candidate(&spec, &cfg, &part, &fp, 32, clock);
+            let shared = structure.to_design(clock, cfg.tech, 0.75, EvalOptions::default());
+            ok &= shared == scratch;
+        }
+        check(
+            "A9: structure reuse across clocks is bit-identical to re-synthesis",
+            ok,
+        );
+    }
+
     // E5 — custom topology beats regular mesh mapping on power.
     let spec = noc_spec::presets::mobile_multimedia_soc();
     let fp = noc_floorplan::core_plan::CoreFloorplan::from_spec(&spec, 42);

@@ -117,6 +117,14 @@ fn run_once(args: &Args) -> ExitCode {
         stats.corrupt,
     );
     println!(
+        "dse_explore: structures: {} reused / {} built \
+         ({:.1}% of structure requests served by sharing)",
+        report.structure_hits,
+        report.structure_misses,
+        100.0 * report.structure_hits as f64
+            / ((report.structure_hits + report.structure_misses).max(1)) as f64,
+    );
+    println!(
         "dse_explore: {} feasible points -> {} on the global Pareto front:",
         report.feasible_points,
         report.front.points().len(),
@@ -184,6 +192,13 @@ fn ci_smoke_in(args: &Args, dir: &std::path::Path) -> ExitCode {
     if cold.front.points().is_empty() {
         return fail("cold run found no feasible designs");
     }
+    if cold.structure_misses == 0 || cold.structure_hits == 0 {
+        return fail("cold run must both build and reuse candidate structures");
+    }
+    println!(
+        "dse_explore: ci-smoke cold structures: {} reused / {} built",
+        cold.structure_hits, cold.structure_misses
+    );
 
     // 2. Warm re-run must be pure cache replay with an identical front.
     cold_store.reset_counters();
@@ -198,6 +213,9 @@ fn ci_smoke_in(args: &Args, dir: &std::path::Path) -> ExitCode {
             "warm run missed the cache {} time(s); expected 100% hits",
             warm.store_stats.misses
         ));
+    }
+    if warm.structure_hits != 0 || warm.structure_misses != 0 {
+        return fail("warm run must never reach the structure layer");
     }
     if warm.front.canonical_bytes() != cold.front.canonical_bytes() {
         return fail("warm front differs from cold front");

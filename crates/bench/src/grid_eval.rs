@@ -1,0 +1,165 @@
+//! Evaluation of the DSE candidate grid against a single spec, both
+//! ways: naive per-grid-point synthesis and the shared structure
+//! phase. Used by the A9 ablation (`ablation_structure_sharing`) and
+//! the `fig6/synthesis_grid` criterion bench, so both measure exactly
+//! the code path the DSE shard runs.
+
+use noc::dse::{Candidate, TopologyFamily};
+use noc_floorplan::core_plan::CoreFloorplan;
+use noc_power::technology::TechNode;
+use noc_spec::AppSpec;
+use noc_synth::eval::{DesignMetrics, EvalOptions};
+use noc_synth::mapping::{
+    build_mesh_structure, map_to_mesh_with_options, mesh_order, MeshStructure,
+};
+use noc_synth::partition::{partition, Partition};
+use noc_synth::sunfloor::{
+    build_structure, capacity_bits, synthesize_candidate, CandidateStructure, SynthesisConfig,
+};
+use noc_topology::graph::Topology;
+use std::collections::BTreeMap;
+
+/// Link utilization cap used throughout the DSE defaults.
+pub const UTIL_CAP: f64 = 0.75;
+/// Technology node used throughout the DSE defaults.
+pub const TECH: TechNode = TechNode::NM65;
+
+fn options(cand: &Candidate) -> EvalOptions {
+    EvalOptions {
+        buffer_depth: cand.buffer_depth,
+        vcs: cand.vcs,
+        output_buffers: false,
+    }
+}
+
+fn mesh_shape(n: usize) -> (usize, usize) {
+    let cols = (n as f64).sqrt().ceil() as usize;
+    (n.div_ceil(cols.max(1)), cols)
+}
+
+/// One partition per distinct custom switch count of `grid` (clamped
+/// to the spec's core count), as the DSE shard computes them.
+pub fn partitions_for(spec: &AppSpec, grid: &[Candidate]) -> BTreeMap<usize, Partition> {
+    let n = spec.cores().len();
+    let mut parts = BTreeMap::new();
+    for cand in grid {
+        if let TopologyFamily::Custom { switches } = cand.family {
+            let k = switches.clamp(1, n);
+            parts.entry(k).or_insert_with(|| partition(spec, k, 1));
+        }
+    }
+    parts
+}
+
+/// The baseline: every grid point synthesizes its structure from
+/// scratch (what the DSE shard did before structure sharing).
+pub fn naive_eval(
+    spec: &AppSpec,
+    fp: &CoreFloorplan,
+    parts: &BTreeMap<usize, Partition>,
+    grid: &[Candidate],
+) -> Vec<Option<DesignMetrics>> {
+    let n = spec.cores().len();
+    grid.iter()
+        .map(|cand| match cand.family {
+            TopologyFamily::Custom { switches } => {
+                let k = switches.clamp(1, n);
+                let scfg = SynthesisConfig {
+                    flit_width: cand.width,
+                    widths: Vec::new(),
+                    clocks: vec![cand.clock],
+                    utilization_cap: UTIL_CAP,
+                    tech: TECH,
+                    buffer_depth: cand.buffer_depth,
+                    vcs: cand.vcs,
+                    ..SynthesisConfig::default()
+                };
+                synthesize_candidate(spec, &scfg, &parts[&k], fp, cand.width, cand.clock)
+                    .map(|d| d.metrics)
+            }
+            TopologyFamily::Mesh => {
+                let (rows, cols) = mesh_shape(n);
+                map_to_mesh_with_options(
+                    spec,
+                    rows,
+                    cols,
+                    cand.clock,
+                    cand.width,
+                    TECH,
+                    Some(fp),
+                    options(cand),
+                )
+                .ok()
+                .map(|d| d.metrics)
+            }
+        })
+        .collect()
+}
+
+/// The shared path: structures per (k, width) capacity class, one mesh
+/// order per spec, one mesh structure per width, retimed topologies
+/// memoized per (width, clock) — mirroring the DSE shard. `built` and
+/// `reused` count structure misses and hits.
+pub fn shared_eval(
+    spec: &AppSpec,
+    fp: &CoreFloorplan,
+    parts: &BTreeMap<usize, Partition>,
+    grid: &[Candidate],
+    built: &mut u64,
+    reused: &mut u64,
+) -> Vec<Option<DesignMetrics>> {
+    let n = spec.cores().len();
+    let mut pools: BTreeMap<(usize, u32), Vec<CandidateStructure>> = BTreeMap::new();
+    let mut ord: Option<Option<Vec<noc_spec::CoreId>>> = None;
+    let mut mesh_structs: BTreeMap<u32, Option<MeshStructure>> = BTreeMap::new();
+    let mut mesh_topos: BTreeMap<(u32, u64), Topology> = BTreeMap::new();
+    grid.iter()
+        .map(|cand| match cand.family {
+            TopologyFamily::Custom { switches } => {
+                let k = switches.clamp(1, n);
+                let pool = pools.entry((k, cand.width)).or_default();
+                let cap = capacity_bits(cand.width, cand.clock, UTIL_CAP);
+                let idx = match pool.iter().position(|s| s.admits(cand.width, cap)) {
+                    Some(i) => {
+                        *reused += 1;
+                        Some(i)
+                    }
+                    None => {
+                        *built += 1;
+                        build_structure(spec, &parts[&k], fp, cand.width, cand.clock, UTIL_CAP)
+                            .ok()
+                            .map(|s| {
+                                pool.push(s);
+                                pool.len() - 1
+                            })
+                    }
+                };
+                idx.and_then(|i| pool[i].evaluate(cand.clock, TECH, UTIL_CAP, options(cand)))
+            }
+            TopologyFamily::Mesh => {
+                let (rows, cols) = mesh_shape(n);
+                let order = ord
+                    .get_or_insert_with(|| mesh_order(spec, rows, cols).ok())
+                    .clone();
+                let structure = match mesh_structs.entry(cand.width) {
+                    std::collections::btree_map::Entry::Occupied(e) => {
+                        *reused += 1;
+                        e.into_mut()
+                    }
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        *built += 1;
+                        e.insert(order.and_then(|o| {
+                            build_mesh_structure(spec, o, rows, cols, cand.width, Some(fp)).ok()
+                        }))
+                    }
+                };
+                structure.as_ref().map(|s| {
+                    let topo = mesh_topos
+                        .entry((cand.width, cand.clock.raw()))
+                        .or_insert_with(|| s.retimed_topology(cand.clock, TECH));
+                    s.evaluate_retimed(topo, cand.clock, TECH, options(cand))
+                })
+            }
+        })
+        .collect()
+}

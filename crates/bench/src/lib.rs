@@ -23,6 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod grid_eval;
+
 use std::fmt::Write as _;
 
 /// Formats a row-oriented text table with right-aligned columns — the

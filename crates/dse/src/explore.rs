@@ -20,10 +20,25 @@
 //! * partition: `("part", run_hash, spec_hash, k)`
 //! * candidate metrics: `("cand", run_hash, spec_hash, candidate,
 //!   fp_hash [, part_hash])`
+//! * structure pools: `("struct", spec_hash, fp_hash, part_hash,
+//!   width)` — **no** run hash: a [`CandidateStructure`]'s capacity
+//!   signature makes reuse bit-identical regardless of which run built
+//!   it, and every true input is already in the key.
 //!
 //! `run_hash` covers every semantic knob of [`DseConfig`] plus the
 //! grid, so changing any of them invalidates cleanly; perturbing one
 //! spec re-keys only its own shard.
+//!
+//! ## Structure sharing
+//!
+//! Candidate metrics stay individually cached, but on a *miss* the
+//! shard no longer re-synthesizes from scratch: custom candidates share
+//! routed [`CandidateStructure`]s per `(k, width)` (reused across
+//! clocks whenever the capacity signature admits it, persisted in the
+//! pool entries above), and mesh candidates share one placement order
+//! per shard and one routed [`MeshStructure`] per width, in memory.
+//! Only the cheap parameter phase (retiming + evaluation) runs per
+//! grid point.
 
 use crate::front::{FrontPoint, ParetoFront};
 use crate::generator::generate_spec;
@@ -33,10 +48,12 @@ use noc_floorplan::core_plan::CoreFloorplan;
 use noc_par::ParRunner;
 use noc_power::technology::TechNode;
 use noc_spec::canon::{content_hash, hash_parts, CanonReader, Canonical, ContentHash};
+use noc_synth::canon::{decode_structures, encode_structures};
 use noc_synth::eval::{DesignMetrics, EvalOptions};
-use noc_synth::mapping::map_to_mesh_with_options;
+use noc_synth::mapping::{build_mesh_structure, mesh_order, MeshStructure};
 use noc_synth::partition::{partition, Partition};
-use noc_synth::sunfloor::{synthesize_candidate, SynthesisConfig};
+use noc_synth::sunfloor::{build_structure, capacity_bits, CandidateStructure};
+use noc_topology::graph::Topology;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::PathBuf;
@@ -112,6 +129,13 @@ pub struct DseReport {
     pub front: ParetoFront,
     /// Store hit/miss counters for *this* call.
     pub store_stats: crate::store::StoreStats,
+    /// Candidate evaluations (this call) whose structure phase was
+    /// served by an already-routed structure — in-memory or decoded
+    /// from a persisted pool — instead of re-synthesized. Zero on a
+    /// fully warm run (metrics hits never reach the structure layer).
+    pub structure_hits: u64,
+    /// Structures actually routed from scratch this call.
+    pub structure_misses: u64,
     /// Whether the sweep reached `cfg.specs` (false when `max_shards`
     /// stopped it early; re-run to resume from the checkpoint).
     pub completed: bool,
@@ -123,6 +147,38 @@ pub struct DseReport {
 struct ShardResult {
     new_entries: Vec<(ContentHash, Vec<u8>)>,
     points: Vec<FrontPoint>,
+    structure_hits: u64,
+    structure_misses: u64,
+}
+
+/// Per-`(k, width)` pool of routed custom structures for one shard.
+/// Lazily loaded from the store on the first candidate-metrics miss
+/// (warm runs therefore never touch structure keys), extended as
+/// clocks fall outside every recorded capacity signature, and
+/// persisted when dirty.
+struct StructPool {
+    key: ContentHash,
+    structures: Vec<CandidateStructure>,
+    dirty: bool,
+}
+
+impl StructPool {
+    fn load(
+        key: ContentHash,
+        store: &Store,
+        spec: &noc_spec::AppSpec,
+        fp: &CoreFloorplan,
+    ) -> StructPool {
+        let structures = store
+            .get(key)
+            .and_then(|bytes| decode_structures(&bytes, spec, fp).ok())
+            .unwrap_or_default();
+        StructPool {
+            key,
+            structures,
+            dirty: false,
+        }
+    }
 }
 
 /// Fetches a `Canonical` value by key, recomputing (and scheduling an
@@ -157,11 +213,14 @@ fn eval_shard(
     let n = spec.cores().len();
 
     // Stage 1: floorplan (seeded from the spec's own content, so
-    // perturbing one spec re-anneals only that shard).
+    // perturbing one spec re-anneals only that shard). The DSE path
+    // uses the problem-sized annealing schedule: floorplanning is on
+    // the per-spec critical path here, and the sized schedule reaches
+    // equal-or-better cost ~2.6× faster than the default one.
     let fp_seed = spec_hash.fold_u64() ^ cfg.base_seed;
     let fp_key = hash_parts("fp", &[&run.0, &spec_hash.0]);
     let (fp, fp_bytes) = cached(store, fp_key, &mut new_entries, || {
-        CoreFloorplan::from_spec_chains(&spec, fp_seed, cfg.floorplan_chains)
+        CoreFloorplan::from_spec_chains_sized(&spec, fp_seed, cfg.floorplan_chains)
     });
     let fp_hash = content_hash(&fp_bytes);
 
@@ -180,10 +239,24 @@ fn eval_shard(
         }
     }
 
-    // Stage 3: every candidate, metrics cached individually.
+    // Stage 3: every candidate, metrics cached individually. Misses
+    // share structures: custom per (k, width) via capacity-signature
+    // pools, mesh per width (order once per shard), with retimed
+    // topologies memoized per (width, clock).
     let mut points = Vec::new();
+    let mut structure_hits = 0u64;
+    let mut structure_misses = 0u64;
+    let mut pools: BTreeMap<(usize, u32), StructPool> = BTreeMap::new();
+    let mut mesh_ord: Option<Option<Vec<noc_spec::CoreId>>> = None;
+    let mut mesh_structs: BTreeMap<u32, Option<MeshStructure>> = BTreeMap::new();
+    let mut mesh_topos: BTreeMap<(u32, u64), Topology> = BTreeMap::new();
     for cand in grid {
         let cand_bytes = cand.to_canon_bytes();
+        let options = EvalOptions {
+            buffer_depth: cand.buffer_depth,
+            vcs: cand.vcs,
+            output_buffers: false,
+        };
         let metrics: Option<DesignMetrics> = match cand.family {
             TopologyFamily::Custom { switches } => {
                 let k = switches.clamp(1, n);
@@ -192,48 +265,108 @@ fn eval_shard(
                     "cand",
                     &[&run.0, &spec_hash.0, &cand_bytes, &fp_hash.0, &part_hash.0],
                 );
-                cached(store, key, &mut new_entries, || {
-                    let scfg = SynthesisConfig {
-                        flit_width: cand.width,
-                        widths: Vec::new(),
-                        clocks: vec![cand.clock],
-                        utilization_cap: cfg.utilization_cap,
-                        tech: cfg.tech,
-                        cluster_slack: cfg.cluster_slack,
-                        seed: fp_seed,
-                        floorplan_chains: cfg.floorplan_chains,
-                        buffer_depth: cand.buffer_depth,
-                        vcs: cand.vcs,
-                        ..SynthesisConfig::default()
-                    };
-                    synthesize_candidate(&spec, &scfg, part, &fp, cand.width, cand.clock)
-                        .map(|d| d.metrics)
-                })
-                .0
+                let hit = store
+                    .get(key)
+                    .and_then(|b| Option::<DesignMetrics>::from_canon_bytes(&b).ok());
+                match hit {
+                    Some(v) => v,
+                    None => {
+                        let pool = pools.entry((k, cand.width)).or_insert_with(|| {
+                            let pkey = hash_parts(
+                                "struct",
+                                &[
+                                    &spec_hash.0,
+                                    &fp_hash.0,
+                                    &part_hash.0,
+                                    &cand.width.to_canon_bytes(),
+                                ],
+                            );
+                            StructPool::load(pkey, store, &spec, &fp)
+                        });
+                        let cap = capacity_bits(cand.width, cand.clock, cfg.utilization_cap);
+                        let idx = match pool
+                            .structures
+                            .iter()
+                            .position(|s| s.admits(cand.width, cap))
+                        {
+                            Some(i) => {
+                                structure_hits += 1;
+                                Some(i)
+                            }
+                            None => {
+                                structure_misses += 1;
+                                build_structure(
+                                    &spec,
+                                    part,
+                                    &fp,
+                                    cand.width,
+                                    cand.clock,
+                                    cfg.utilization_cap,
+                                )
+                                .ok()
+                                .map(|s| {
+                                    pool.structures.push(s);
+                                    pool.dirty = true;
+                                    pool.structures.len() - 1
+                                })
+                            }
+                        };
+                        let v = idx.and_then(|i| {
+                            pool.structures[i].evaluate(
+                                cand.clock,
+                                cfg.tech,
+                                cfg.utilization_cap,
+                                options,
+                            )
+                        });
+                        new_entries.push((key, v.to_canon_bytes()));
+                        v
+                    }
+                }
             }
             TopologyFamily::Mesh => {
                 let key = hash_parts("cand", &[&run.0, &spec_hash.0, &cand_bytes, &fp_hash.0]);
-                cached(store, key, &mut new_entries, || {
-                    let cols = (n as f64).sqrt().ceil() as usize;
-                    let rows = n.div_ceil(cols.max(1));
-                    map_to_mesh_with_options(
-                        &spec,
-                        rows,
-                        cols,
-                        cand.clock,
-                        cand.width,
-                        cfg.tech,
-                        Some(&fp),
-                        EvalOptions {
-                            buffer_depth: cand.buffer_depth,
-                            vcs: cand.vcs,
-                            output_buffers: false,
-                        },
-                    )
-                    .ok()
-                    .map(|d| d.metrics)
-                })
-                .0
+                let hit = store
+                    .get(key)
+                    .and_then(|b| Option::<DesignMetrics>::from_canon_bytes(&b).ok());
+                match hit {
+                    Some(v) => v,
+                    None => {
+                        let cols = (n as f64).sqrt().ceil() as usize;
+                        let rows = n.div_ceil(cols.max(1));
+                        let ord = mesh_ord
+                            .get_or_insert_with(|| mesh_order(&spec, rows, cols).ok())
+                            .clone();
+                        let structure = match mesh_structs.entry(cand.width) {
+                            std::collections::btree_map::Entry::Occupied(e) => {
+                                structure_hits += 1;
+                                e.into_mut()
+                            }
+                            std::collections::btree_map::Entry::Vacant(e) => {
+                                structure_misses += 1;
+                                e.insert(ord.and_then(|o| {
+                                    build_mesh_structure(
+                                        &spec,
+                                        o,
+                                        rows,
+                                        cols,
+                                        cand.width,
+                                        Some(&fp),
+                                    )
+                                    .ok()
+                                }))
+                            }
+                        };
+                        let v = structure.as_ref().map(|s| {
+                            let topo = mesh_topos
+                                .entry((cand.width, cand.clock.raw()))
+                                .or_insert_with(|| s.retimed_topology(cand.clock, cfg.tech));
+                            s.evaluate_retimed(topo, cand.clock, cfg.tech, options)
+                        });
+                        new_entries.push((key, v.to_canon_bytes()));
+                        v
+                    }
+                }
             }
         };
         if let Some(m) = metrics {
@@ -248,9 +381,18 @@ fn eval_shard(
             }
         }
     }
+    // Persist extended pools (first write wins in the store, so a
+    // re-persist of an already-stored pool is a harmless no-op).
+    for pool in pools.into_values() {
+        if pool.dirty {
+            new_entries.push((pool.key, encode_structures(&pool.structures)));
+        }
+    }
     ShardResult {
         new_entries,
         points,
+        structure_hits,
+        structure_misses,
     }
 }
 
@@ -337,6 +479,8 @@ pub fn explore(cfg: &DseConfig, grid: &[Candidate], store: &Store) -> std::io::R
         .max(start);
 
     let mut shard = start;
+    let mut structure_hits = 0u64;
+    let mut structure_misses = 0u64;
     while shard < limit {
         let batch_end = (shard + cfg.checkpoint_every.max(1) as u64).min(limit);
         let indices: Vec<u64> = (shard..batch_end).collect();
@@ -347,6 +491,8 @@ pub fn explore(cfg: &DseConfig, grid: &[Candidate], store: &Store) -> std::io::R
         // order regardless of which worker ran what.
         for r in results {
             store.insert_batch(r.new_entries)?;
+            structure_hits += r.structure_hits;
+            structure_misses += r.structure_misses;
             for p in r.points {
                 front.offer(p);
             }
@@ -371,6 +517,8 @@ pub fn explore(cfg: &DseConfig, grid: &[Candidate], store: &Store) -> std::io::R
         candidates_evaluated,
         feasible_points: front.offered(),
         store_stats: store.stats(),
+        structure_hits,
+        structure_misses,
         completed: shard >= total,
         front,
         resumed_from: start,
@@ -428,6 +576,59 @@ mod tests {
             warm.front.canonical_bytes(),
             "cache replay must reproduce the front bit-identically"
         );
+    }
+
+    #[test]
+    fn structure_sharing_reuses_and_persists() {
+        let store = Store::in_memory();
+        let cfg = small_cfg();
+        // Full grid: 3 clocks × 3 bufferings per (family, width) give
+        // the structure layer something to share.
+        let grid = default_grid();
+        let cold = explore(&cfg, &grid, &store).expect("cold");
+        assert!(cold.structure_misses > 0, "cold run must build structures");
+        assert!(
+            cold.structure_hits > 0,
+            "the grid revisits (k, width) under different clocks/buffering, \
+             so some structures must be reused"
+        );
+        // Far fewer structures than candidate evaluations.
+        assert!(cold.structure_misses < cold.candidates_evaluated / 2);
+        // Pools were persisted under run-independent keys.
+        let spec = generate_spec(cfg.base_seed, 0);
+        let run = cfg.run_hash(&grid);
+        let spec_hash = content_hash(&spec.to_canon_bytes());
+        let fp_bytes = store
+            .get(hash_parts("fp", &[&run.0, &spec_hash.0]))
+            .expect("floorplan cached");
+        let fp_hash = content_hash(&fp_bytes);
+        let part_bytes = store
+            .get(hash_parts(
+                "part",
+                &[&run.0, &spec_hash.0, &4usize.to_canon_bytes()],
+            ))
+            .expect("partition cached");
+        let part_hash = content_hash(&part_bytes);
+        let pool_key = hash_parts(
+            "struct",
+            &[
+                &spec_hash.0,
+                &fp_hash.0,
+                &part_hash.0,
+                &32u32.to_canon_bytes(),
+            ],
+        );
+        let pool_bytes = store.get(pool_key).expect("structure pool persisted");
+        let fp = CoreFloorplan::from_canon_bytes(&fp_bytes).expect("fp decodes");
+        let pool = decode_structures(&pool_bytes, &spec, &fp).expect("pool decodes");
+        assert!(!pool.is_empty());
+        // A warm rerun never reaches the structure layer at all.
+        store.reset_counters();
+        let warm = explore(&cfg, &grid, &store).expect("warm");
+        assert_eq!(warm.store_stats.misses, 0);
+        assert_eq!(warm.structure_hits, 0);
+        assert_eq!(warm.structure_misses, 0);
+        assert_eq!(cold.front.canonical_bytes(), warm.front.canonical_bytes());
     }
 
     #[test]

@@ -78,30 +78,48 @@ pub fn insert_noc(floorplan: &CoreFloorplan, topo: &Topology) -> NocPlacement {
             fixed[id.0] = true;
         }
     }
-    // Gauss–Seidel relaxation on switch positions.
+    // Gauss–Seidel relaxation on switch positions. The switch set and
+    // neighbor scan are hoisted out of the sweep loop, and the sweeps
+    // stop at the exact floating-point fixpoint: once one full sweep
+    // changes no position bit, every further sweep recomputes the same
+    // values, so breaking early is output-identical to running all
+    // RELAXATION_SWEEPS.
+    let switches: Vec<NodeId> = topo
+        .node_ids()
+        .filter(|(id, node)| node.is_switch() && !fixed[id.0])
+        .map(|(id, _)| id)
+        .collect();
+    let neighbors: Vec<Vec<usize>> = switches
+        .iter()
+        .map(|&id| {
+            topo.outgoing(id)
+                .iter()
+                .map(|&l| topo.link(l).dst.0)
+                .chain(topo.incoming(id).iter().map(|&l| topo.link(l).src.0))
+                .collect()
+        })
+        .collect();
     for _ in 0..RELAXATION_SWEEPS {
-        for (id, node) in topo.node_ids() {
-            if !node.is_switch() || fixed[id.0] {
+        let mut changed = false;
+        for (i, &id) in switches.iter().enumerate() {
+            let ns = &neighbors[i];
+            if ns.is_empty() {
                 continue;
             }
             let mut sx = 0.0;
             let mut sy = 0.0;
-            let mut count = 0.0;
-            for &l in topo.outgoing(id) {
-                let other = topo.link(l).dst;
-                sx += pos[other.0].0;
-                sy += pos[other.0].1;
-                count += 1.0;
+            for &other in ns {
+                sx += pos[other].0;
+                sy += pos[other].1;
             }
-            for &l in topo.incoming(id) {
-                let other = topo.link(l).src;
-                sx += pos[other.0].0;
-                sy += pos[other.0].1;
-                count += 1.0;
+            let next = (sx / ns.len() as f64, sy / ns.len() as f64);
+            if next != pos[id.0] {
+                pos[id.0] = next;
+                changed = true;
             }
-            if count > 0.0 {
-                pos[id.0] = (sx / count, sy / count);
-            }
+        }
+        if !changed {
+            break;
         }
     }
     let positions: BTreeMap<NodeId, (Micrometers, Micrometers)> = topo

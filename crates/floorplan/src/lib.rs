@@ -42,6 +42,6 @@ pub mod incremental;
 pub mod slicing;
 
 pub use crate::block::{Block, Rect};
-pub use crate::core_plan::CoreFloorplan;
+pub use crate::core_plan::{sized_anneal_config, CoreFloorplan};
 pub use crate::incremental::{insert_noc, NocPlacement};
 pub use crate::slicing::{AnnealConfig, AnnealStats, Net, SlicingFloorplanner, SlicingResult};

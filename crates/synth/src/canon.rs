@@ -1,15 +1,35 @@
 //! [`Canonical`] byte encodings of synthesis stage outputs.
 //!
-//! The DSE flow cache persists the partition (per `(spec, k)`) and the
-//! evaluated design-point metrics (per candidate), so a warm
-//! re-exploration replays both from disk. Encodings are structural and
-//! exact (`f64` via `to_bits`): a cache hit is bit-identical to
-//! recomputation — the property `crates/dse` proptests enforce.
+//! The DSE flow cache persists the partition (per `(spec, k)`), the
+//! evaluated design-point metrics (per candidate), and the routed
+//! [`CandidateStructure`] pools (per `(spec, floorplan, partition,
+//! width)`), so a warm re-exploration replays them from disk.
+//! Encodings are structural and exact (`f64` via `to_bits`): a cache
+//! hit is bit-identical to recomputation — the property `crates/dse`
+//! proptests enforce.
+//!
+//! Structures are encoded **constructively**: instead of serializing
+//! the topology node/link tables, the encoding records only what the
+//! synthesis `Builder` decided — the cluster assignment and the
+//! inter-switch links in creation order — and
+//! [`decode_structures`] replays the deterministic construction
+//! against the live spec/floorplan. Link and node ids are assigned
+//! sequentially by construction, so the replayed topology (and the
+//! `insert_noc` placement recomputed from it) is bit-identical to the
+//! one the builder produced, and the recorded routes/demands resolve
+//! against it unchanged.
 
 use crate::eval::DesignMetrics;
 use crate::partition::Partition;
+use crate::sunfloor::{build_fabric_base, CandidateStructure};
+use noc_floorplan::core_plan::CoreFloorplan;
+use noc_floorplan::incremental::insert_noc;
 use noc_spec::canon::{CanonError, CanonReader, Canonical};
-use noc_spec::units::{Micrometers, MilliWatts, SquareMicrometers};
+use noc_spec::units::{BitsPerSecond, Micrometers, MilliWatts, SquareMicrometers};
+use noc_spec::AppSpec;
+use noc_topology::graph::NodeId;
+use noc_topology::routing::RouteSet;
+use std::collections::BTreeMap;
 
 impl Canonical for Partition {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -58,6 +78,101 @@ impl Canonical for DesignMetrics {
     }
 }
 
+/// Encodes a pool of candidate structures (all sharing one
+/// `(spec, floorplan, partition, width)`) for the content-addressed
+/// store. See the module docs for the constructive scheme.
+pub fn encode_structures(structures: &[CandidateStructure]) -> Vec<u8> {
+    let mut out = Vec::new();
+    structures.len().encode(&mut out);
+    for s in structures {
+        s.switch_count.encode(&mut out);
+        s.flit_width.encode(&mut out);
+        s.cluster_of_core.encode(&mut out);
+        s.opened.encode(&mut out);
+        s.routes.encode(&mut out);
+        s.demands.encode(&mut out);
+        s.cap_lo.encode(&mut out);
+        s.cap_hi.encode(&mut out);
+    }
+    out
+}
+
+/// Decodes a pool encoded by [`encode_structures`], replaying
+/// topology construction and `insert_noc` placement against the live
+/// `spec`/`fp`.
+///
+/// # Errors
+///
+/// Any [`CanonError`] on truncated/corrupt bytes, or
+/// [`CanonError::Invalid`] when the decoded decisions do not fit the
+/// spec (wrong core count, out-of-range cluster indices, routes that
+/// do not resolve against the replayed topology) — callers treat every
+/// variant as a cache miss and rebuild.
+pub fn decode_structures(
+    bytes: &[u8],
+    spec: &AppSpec,
+    fp: &CoreFloorplan,
+) -> Result<Vec<CandidateStructure>, CanonError> {
+    let mut r = CanonReader::new(bytes);
+    let count = usize::decode(&mut r)?;
+    let mut out = Vec::with_capacity(count.min(64));
+    for _ in 0..count {
+        let switch_count = usize::decode(&mut r)?;
+        let flit_width = u32::decode(&mut r)?;
+        let cluster_of_core = Vec::<usize>::decode(&mut r)?;
+        let opened = Vec::<(u32, u32)>::decode(&mut r)?;
+        let routes = RouteSet::decode(&mut r)?;
+        let demands = BTreeMap::<(NodeId, NodeId), BitsPerSecond>::decode(&mut r)?;
+        let cap_lo = u64::decode(&mut r)?;
+        let cap_hi = u64::decode(&mut r)?;
+        if switch_count == 0 || cluster_of_core.len() != spec.cores().len() {
+            return Err(CanonError::Invalid(format!(
+                "structure for {} cores does not fit a {}-core spec",
+                cluster_of_core.len(),
+                spec.cores().len()
+            )));
+        }
+        if let Some(&bad) = cluster_of_core.iter().find(|&&c| c >= switch_count) {
+            return Err(CanonError::Invalid(format!(
+                "cluster index {bad} out of range for {switch_count} switches"
+            )));
+        }
+        let (mut topology, switch_of_cluster, _, _) =
+            build_fabric_base(spec, &cluster_of_core, switch_count, flit_width);
+        for &(a, b) in &opened {
+            let (a, b) = (a as usize, b as usize);
+            if a >= switch_count || b >= switch_count || a == b {
+                return Err(CanonError::Invalid(format!(
+                    "inter-switch link ({a}, {b}) out of range for {switch_count} switches"
+                )));
+            }
+            topology
+                .connect(switch_of_cluster[a], switch_of_cluster[b], flit_width)
+                .map_err(|e| CanonError::Invalid(e.to_string()))?;
+        }
+        routes
+            .validate(&topology)
+            .map_err(|e| CanonError::Invalid(e.to_string()))?;
+        let placement = insert_noc(fp, &topology);
+        out.push(CandidateStructure {
+            topology,
+            routes,
+            demands,
+            placement,
+            cluster_of_core,
+            switch_count,
+            flit_width,
+            cap_lo,
+            cap_hi,
+            opened,
+        });
+    }
+    if r.remaining() != 0 {
+        return Err(CanonError::TrailingBytes);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,6 +193,31 @@ mod tests {
             cluster_of: vec![0, 1, 5],
         };
         assert!(Partition::from_canon_bytes(&bad.to_canon_bytes()).is_err());
+    }
+
+    #[test]
+    fn structures_round_trip_constructively() {
+        use crate::sunfloor::build_structure;
+        use noc_spec::units::Hertz;
+        let spec = presets::mobile_multimedia_soc();
+        let fp = CoreFloorplan::from_spec(&spec, 42);
+        let part = partition(&spec, 4, 1);
+        let pool: Vec<CandidateStructure> = [Hertz::from_mhz(400), Hertz::from_mhz(900)]
+            .iter()
+            .map(|&clk| build_structure(&spec, &part, &fp, 32, clk, 0.75).expect("routes"))
+            .collect();
+        let bytes = encode_structures(&pool);
+        let back = decode_structures(&bytes, &spec, &fp).expect("decodes");
+        // Replayed construction is bit-identical: topology, routes,
+        // demands, placement, signature.
+        assert_eq!(back, pool);
+        assert_eq!(encode_structures(&back), bytes);
+        // Corruption surfaces as an error, not a wrong value.
+        assert!(decode_structures(&bytes[..bytes.len() - 1], &spec, &fp).is_err());
+        // A structure decoded against the wrong spec is rejected.
+        let other = presets::tiny_quad();
+        let other_fp = CoreFloorplan::from_spec(&other, 1);
+        assert!(decode_structures(&bytes, &other, &other_fp).is_err());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use noc_power::switch_model::{SwitchModel, SwitchParams};
 use noc_power::technology::TechNode;
 use noc_spec::units::{BitsPerSecond, Hertz, Micrometers, MilliWatts, SquareMicrometers};
 use noc_topology::graph::{NodeId, NodeKind, Topology};
-use noc_topology::metrics::link_loads;
+use noc_topology::metrics::link_loads_dense;
 use noc_topology::routing::RouteSet;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -128,15 +128,22 @@ pub fn evaluate_with_options(
     let link_model = LinkModel::new(tech);
     let ni_model = NiModel::new(tech);
     let routability = RoutabilityModel::new(tech);
-    let loads = link_loads(routes, demands);
+    // Dense LinkId-indexed loads: evaluation touches every link several
+    // times (link power, switch ingress, NI ingress/egress), so map
+    // lookups in the loops below would dominate.
+    let loads = link_loads_dense(routes, demands, topo.links().len());
     let capacity = BitsPerSecond::of_link(flit_width, clock).raw() as f64;
+    // Identical for every NI of the design — hoisted out of the node
+    // loop.
+    let ni_params = NiParams::initiator(flit_width, topo.nis().len() as u32);
+    let ni_est = ni_model.estimate(ni_params);
 
     // Per-link power & wirelength.
     let mut power = MilliWatts::ZERO;
     let mut wirelength = Micrometers(0.0);
     let mut max_util = 0.0f64;
     for (id, _link) in topo.link_ids() {
-        let load = loads.get(&id).map(|b| b.raw() as f64).unwrap_or(0.0);
+        let load = loads[id.0] as f64;
         let util = load / capacity;
         max_util = max_util.max(util);
         let length = placement
@@ -172,7 +179,7 @@ pub fn evaluate_with_options(
                 let flits_in: f64 = topo
                     .incoming(id)
                     .iter()
-                    .map(|l| loads.get(l).map(|b| b.raw() as f64).unwrap_or(0.0))
+                    .map(|l| loads[l.0] as f64)
                     .sum::<f64>()
                     / capacity;
                 power += switch_model.power(params, clock, flits_in);
@@ -187,19 +194,17 @@ pub fn evaluate_with_options(
                 }
             }
             NodeKind::Ni { .. } => {
-                let params = NiParams::initiator(flit_width, topo.nis().len() as u32);
-                let est = ni_model.estimate(params);
-                area += est.area;
+                area += ni_est.area;
                 let flits: f64 = topo
                     .outgoing(id)
                     .iter()
                     .chain(topo.incoming(id))
-                    .map(|l| loads.get(l).map(|b| b.raw() as f64).unwrap_or(0.0))
+                    .map(|l| loads[l.0] as f64)
                     .sum::<f64>()
                     / capacity;
-                power += noc_spec::units::PicoJoules(est.energy_per_flit.raw() * flits)
+                power += noc_spec::units::PicoJoules(ni_est.energy_per_flit.raw() * flits)
                     .to_power(clock)
-                    + est.leakage;
+                    + ni_est.leakage;
             }
         }
     }

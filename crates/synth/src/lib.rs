@@ -43,9 +43,13 @@ pub mod sunfloor;
 
 pub use crate::error::SynthError;
 pub use crate::eval::{evaluate, evaluate_with_options, DesignMetrics, EvalOptions};
-pub use crate::mapping::{map_to_mesh, map_to_mesh_with_options, MappedDesign};
+pub use crate::mapping::{
+    build_mesh_structure, map_to_mesh, map_to_mesh_with_options, mesh_order, MappedDesign,
+    MeshStructure,
+};
 pub use crate::pareto::pareto_front;
 pub use crate::partition::{partition, Partition};
 pub use crate::sunfloor::{
-    synthesize, synthesize_min_power, synthesize_with_runner, SynthesisConfig, SynthesizedDesign,
+    build_structure, capacity_bits, synthesize, synthesize_candidate, synthesize_min_power,
+    synthesize_with_runner, CandidateStructure, SynthesisConfig, SynthesizedDesign,
 };

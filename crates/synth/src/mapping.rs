@@ -18,9 +18,91 @@ use noc_power::technology::TechNode;
 use noc_spec::units::{BitsPerSecond, Hertz};
 use noc_spec::{AppSpec, CoreId, MessageClass};
 use noc_topology::generators::{quasi_mesh, QuasiMesh};
-use noc_topology::graph::{NiRole, NodeId};
+use noc_topology::graph::{NiRole, NodeId, Topology};
 use noc_topology::routing::RouteSet;
 use std::collections::BTreeMap;
+
+/// The clock- and buffering-independent part of a mesh mapping: the
+/// placed fabric, XY routes, demands and floorplan insertion. Mesh
+/// structure depends only on `(spec, order, rows, cols, width)`, so
+/// the DSE grid builds it once per width and re-runs only the cheap
+/// parameter phase (pipeline-stage retiming + evaluation) per
+/// clock/buffering — the regular-fabric mirror of
+/// [`crate::sunfloor::CandidateStructure`].
+#[derive(Debug, Clone)]
+pub struct MeshStructure {
+    /// The mesh fabric. Pipeline stages are left at zero (clock-
+    /// dependent; see [`MeshStructure::retimed_topology`]).
+    pub fabric: QuasiMesh,
+    /// XY routes per traffic endpoint pair.
+    pub routes: RouteSet,
+    /// Aggregate demand per NI pair.
+    pub demands: BTreeMap<(NodeId, NodeId), BitsPerSecond>,
+    /// NoC placement (when a floorplan was provided).
+    pub placement: Option<NocPlacement>,
+    /// `order[i]` = the core placed at fabric position `i`.
+    pub order: Vec<CoreId>,
+    /// Link width of the fabric, in bits.
+    pub flit_width: u32,
+}
+
+impl MeshStructure {
+    /// A copy of the fabric topology with per-link pipeline stages set
+    /// from the placed wire lengths at `clock` (unchanged without a
+    /// placement).
+    pub fn retimed_topology(&self, clock: Hertz, tech: TechNode) -> Topology {
+        let mut topo = self.fabric.topology.clone();
+        if let Some(p) = &self.placement {
+            let link_model = LinkModel::new(tech);
+            // The length map was built from this fabric's link ids, so
+            // it covers every link exactly once.
+            for (&id, &len) in &p.link_lengths {
+                topo.set_pipeline_stages(id, link_model.pipeline_stages(len, clock));
+            }
+        }
+        topo
+    }
+
+    /// Evaluates a retimed copy of the topology (from
+    /// [`MeshStructure::retimed_topology`] at the same `clock`/`tech`)
+    /// under `options`.
+    pub fn evaluate_retimed(
+        &self,
+        topo: &Topology,
+        clock: Hertz,
+        tech: TechNode,
+        options: EvalOptions,
+    ) -> DesignMetrics {
+        evaluate_with_options(
+            topo,
+            &self.routes,
+            &self.demands,
+            self.placement.as_ref(),
+            clock,
+            tech,
+            self.flit_width,
+            options,
+        )
+    }
+
+    /// Full parameter phase producing a [`MappedDesign`] (bit-identical
+    /// to [`map_to_mesh_with_options`] for the same inputs).
+    pub fn to_design(&self, clock: Hertz, tech: TechNode, options: EvalOptions) -> MappedDesign {
+        let topo = self.retimed_topology(clock, tech);
+        let metrics = self.evaluate_retimed(&topo, clock, tech, options);
+        let mut fabric = self.fabric.clone();
+        fabric.topology = topo;
+        MappedDesign {
+            fabric,
+            routes: self.routes.clone(),
+            demands: self.demands.clone(),
+            placement: self.placement.clone(),
+            clock,
+            metrics,
+            order: self.order.clone(),
+        }
+    }
+}
 
 /// A mapped regular design: the quasi-mesh fabric, the core permutation,
 /// XY routes, and evaluated metrics.
@@ -106,6 +188,20 @@ pub fn map_to_mesh_with_options(
     floorplan: Option<&CoreFloorplan>,
     options: EvalOptions,
 ) -> Result<MappedDesign, SynthError> {
+    let order = mesh_order(spec, rows, cols)?;
+    let structure = build_mesh_structure(spec, order, rows, cols, flit_width, floorplan)?;
+    Ok(structure.to_design(clock, tech, options))
+}
+
+/// Core placement order for a `rows × cols` mesh: descending traffic
+/// volume, refined by deterministic pairwise-swap hill climbing. The
+/// order depends only on `(spec, rows, cols)`, so the DSE grid computes
+/// it once per spec and shares it across widths, clocks and buffering.
+///
+/// # Errors
+///
+/// [`SynthError::EmptySpec`].
+pub fn mesh_order(spec: &AppSpec, rows: usize, cols: usize) -> Result<Vec<CoreId>, SynthError> {
     if spec.cores().is_empty() {
         return Err(SynthError::EmptySpec);
     }
@@ -148,7 +244,25 @@ pub fn map_to_mesh_with_options(
             break;
         }
     }
+    Ok(order)
+}
 
+/// Builds the structure phase of a mesh mapping: fabric generation, XY
+/// routing, demand aggregation, and floorplan insertion — everything
+/// independent of clock and buffering.
+///
+/// # Errors
+///
+/// Mesh-shape errors mapped to [`SynthError::InvalidMesh`], or
+/// [`SynthError::MissingNi`] for endpoint lookups.
+pub fn build_mesh_structure(
+    spec: &AppSpec,
+    order: Vec<CoreId>,
+    rows: usize,
+    cols: usize,
+    flit_width: u32,
+    floorplan: Option<&CoreFloorplan>,
+) -> Result<MeshStructure, SynthError> {
     let fabric =
         quasi_mesh(rows, cols, &order, flit_width).map_err(|e| SynthError::InvalidMesh {
             detail: e.to_string(),
@@ -187,38 +301,17 @@ pub fn map_to_mesh_with_options(
         *demands.entry(key).or_insert(BitsPerSecond::ZERO) += flow.bandwidth;
     }
 
-    // Physical insertion when a floorplan exists.
-    let mut fabric = fabric;
+    // Physical insertion when a floorplan exists. Pipeline stages stay
+    // at zero here: they depend on the clock and are applied by the
+    // parameter phase ([`MeshStructure::retimed_topology`]).
     let placement = floorplan.map(|fp| insert_noc(fp, &fabric.topology));
-    if let Some(p) = &placement {
-        let link_model = LinkModel::new(tech);
-        let ids: Vec<_> = fabric.topology.link_ids().map(|(id, _)| id).collect();
-        for id in ids {
-            if let Some(len) = p.link_length(id) {
-                fabric
-                    .topology
-                    .set_pipeline_stages(id, link_model.pipeline_stages(len, clock));
-            }
-        }
-    }
-    let metrics = evaluate_with_options(
-        &fabric.topology,
-        &routes,
-        &demands,
-        placement.as_ref(),
-        clock,
-        tech,
-        flit_width,
-        options,
-    );
-    Ok(MappedDesign {
+    Ok(MeshStructure {
         fabric,
         routes,
         demands,
         placement,
-        clock,
-        metrics,
         order,
+        flit_width,
     })
 }
 
@@ -267,6 +360,47 @@ mod tests {
         let b = map_to_mesh(&spec, 2, 2, Hertz::from_mhz(650), 32, TechNode::NM65, None)
             .expect("mappable");
         assert_eq!(a.order, b.order);
+    }
+
+    #[test]
+    fn shared_mesh_structure_matches_from_scratch() {
+        // One structure per width, re-evaluated across the full
+        // clock × buffering sub-grid, must reproduce the monolithic
+        // path bit-for-bit.
+        let spec = presets::mobile_multimedia_soc();
+        let fp = CoreFloorplan::from_spec(&spec, 42);
+        let (rows, cols) = (5, 6);
+        let order = mesh_order(&spec, rows, cols).expect("orderable");
+        for width in [32u32, 64] {
+            let s = build_mesh_structure(&spec, order.clone(), rows, cols, width, Some(&fp))
+                .expect("buildable");
+            for clock_mhz in [400u64, 900] {
+                let clock = Hertz::from_mhz(clock_mhz);
+                for (depth, vcs) in [(2u32, 1u32), (4, 2)] {
+                    let options = EvalOptions {
+                        buffer_depth: depth,
+                        vcs,
+                        ..EvalOptions::default()
+                    };
+                    let shared = s.to_design(clock, TechNode::NM65, options);
+                    let scratch = map_to_mesh_with_options(
+                        &spec,
+                        rows,
+                        cols,
+                        clock,
+                        width,
+                        TechNode::NM65,
+                        Some(&fp),
+                        options,
+                    )
+                    .expect("mappable");
+                    assert_eq!(shared.metrics, scratch.metrics, "w={width} {clock_mhz}MHz");
+                    assert_eq!(shared.order, scratch.order);
+                    assert_eq!(shared.demands, scratch.demands);
+                    assert_eq!(shared.routes, scratch.routes);
+                }
+            }
+        }
     }
 
     #[test]

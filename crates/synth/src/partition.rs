@@ -76,21 +76,53 @@ fn affinity(spec: &AppSpec, n: usize) -> Vec<u64> {
 ///
 /// Panics if `k == 0` or `k > n`.
 pub fn partition(spec: &AppSpec, k: usize, slack: usize) -> Partition {
+    partition_with_traffic(spec, k, slack, &TrafficContext::of(spec))
+}
+
+/// The `k`-independent inputs of [`partition`]: the dense affinity
+/// matrix and the per-core volume ranking. A switch-count sweep
+/// partitions the same spec once per `k`, so hoisting these out of
+/// [`partition`] shares them across the whole sweep.
+#[derive(Debug, Clone)]
+pub struct TrafficContext {
+    /// Dense `n × n` symmetric core-to-core bandwidth.
+    aff: Vec<u64>,
+    /// `(total traffic, core)` descending — the seed ranking.
+    volume: Vec<(u64, usize)>,
+}
+
+impl TrafficContext {
+    /// Builds the context for `spec`.
+    pub fn of(spec: &AppSpec) -> TrafficContext {
+        let n = spec.cores().len();
+        let aff = affinity(spec, n);
+        // Seeds: the cores with the highest total traffic, which tend
+        // to be the hubs (memories, DMA targets).
+        let mut volume: Vec<(u64, usize)> = (0..n)
+            .map(|i| {
+                let v: u64 = (0..n).map(|j| aff[i * n + j]).sum();
+                (v, i)
+            })
+            .collect();
+        volume.sort_unstable_by(|a, b| b.cmp(a));
+        TrafficContext { aff, volume }
+    }
+}
+
+/// [`partition`] with a precomputed [`TrafficContext`] (hoisted across
+/// a switch-count sweep).
+pub fn partition_with_traffic(
+    spec: &AppSpec,
+    k: usize,
+    slack: usize,
+    traffic: &TrafficContext,
+) -> Partition {
     let n = spec.cores().len();
     assert!(k > 0 && k <= n, "cluster count {k} out of range 1..={n}");
     let max_size = n.div_ceil(k) + slack;
-    let aff = affinity(spec, n);
+    let aff = &traffic.aff;
     let pair_bw = |a: usize, b: usize| -> u64 { aff[a * n + b] };
-
-    // Seeds: the k cores with the highest total traffic, which tend to be
-    // the hubs (memories, DMA targets).
-    let mut volume: Vec<(u64, usize)> = (0..n)
-        .map(|i| {
-            let v: u64 = (0..n).map(|j| pair_bw(i, j)).sum();
-            (v, i)
-        })
-        .collect();
-    volume.sort_unstable_by(|a, b| b.cmp(a));
+    let volume = &traffic.volume;
     let mut cluster_of = vec![usize::MAX; n];
     for (c, &(_, core)) in volume.iter().take(k).enumerate() {
         cluster_of[core] = c;
@@ -98,7 +130,21 @@ pub fn partition(spec: &AppSpec, k: usize, slack: usize) -> Partition {
     let mut sizes = vec![1usize; k];
 
     // Greedy assignment: repeatedly place the unassigned core with the
-    // strongest attraction to any non-full cluster.
+    // strongest attraction to any non-full cluster. The attraction of
+    // core `i` to cluster `c` is the exact integer sum of `pair_bw(i,
+    // j)` over members `j` of `c`, maintained incrementally: seeding
+    // initializes it, each placement adds the placed core's affinity
+    // row. Same sums, same `(gain, core, cluster)` tie-break — so
+    // identical output to the O(n³k) from-scratch recompute.
+    let mut gain = vec![0u64; n * k];
+    for i in 0..n {
+        if cluster_of[i] != usize::MAX {
+            continue;
+        }
+        for (c, &(_, seed)) in volume.iter().take(k).enumerate() {
+            gain[i * k + c] = pair_bw(i, seed);
+        }
+    }
     loop {
         let mut best: Option<(u64, usize, usize)> = None; // (gain, core, cluster)
         for i in 0..n {
@@ -109,11 +155,7 @@ pub fn partition(spec: &AppSpec, k: usize, slack: usize) -> Partition {
                 if size >= max_size {
                     continue;
                 }
-                let gain: u64 = (0..n)
-                    .filter(|&j| cluster_of[j] == c)
-                    .map(|j| pair_bw(i, j))
-                    .sum();
-                let cand = (gain, i, c);
+                let cand = (gain[i * k + c], i, c);
                 if best.is_none_or(|b| cand > b) {
                     best = Some(cand);
                 }
@@ -123,6 +165,11 @@ pub fn partition(spec: &AppSpec, k: usize, slack: usize) -> Partition {
             Some((_, core, cluster)) => {
                 cluster_of[core] = cluster;
                 sizes[cluster] += 1;
+                for i in 0..n {
+                    if cluster_of[i] == usize::MAX {
+                        gain[i * k + cluster] += pair_bw(i, core);
+                    }
+                }
             }
             None => break,
         }
@@ -138,6 +185,7 @@ pub fn partition(spec: &AppSpec, k: usize, slack: usize) -> Partition {
         clusters: k,
     };
     debug_assert_eq!(sizes, part.cluster_sizes());
+    let mut attraction = vec![0u64; k];
     for _pass in 0..4 {
         let mut improved = false;
         for i in 0..n {
@@ -146,7 +194,7 @@ pub fn partition(spec: &AppSpec, k: usize, slack: usize) -> Partition {
                 continue; // never empty a cluster
             }
             // External attraction per cluster.
-            let mut attraction = vec![0u64; k];
+            attraction.fill(0);
             for j in 0..n {
                 if j != i {
                     attraction[part.cluster_of[j]] += pair_bw(i, j);

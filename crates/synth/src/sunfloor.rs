@@ -10,16 +10,26 @@
 //! depths, and the resulting design points are Pareto-filtered on
 //! (power, latency).
 //!
-//! Per-route deadlock verification is incremental (an
-//! [`IncrementalCdg`] per message class, with exact rollback when a
-//! candidate path is rejected), and the `(switch count, width, clock)`
-//! candidate sweep fans out across cores deterministically — see
+//! Synthesis is split into a **structure phase** and a **parameter
+//! phase**: [`build_structure`] runs partition-aware routing once and
+//! captures the result as a [`CandidateStructure`] (topology, routes,
+//! demands, placement) together with a recorded **capacity signature**
+//! — the tightest headroom margins every link-capacity decision was
+//! compared against. [`CandidateStructure::admits`] then proves whether
+//! a different link capacity (a different clock at the same width)
+//! would have made byte-identical routing decisions, letting the
+//! `(switch count, width, clock)` sweep reuse one structure across
+//! clocks and only re-run the cheap parameter phase (pipeline-stage
+//! retiming + evaluation). Per-route deadlock verification is
+//! incremental (an [`IncrementalCdg`] per message class, with exact
+//! rollback when a candidate path is rejected), and the candidate sweep
+//! fans out across cores deterministically — see
 //! [`synthesize_with_runner`].
 
 use crate::error::SynthError;
-use crate::eval::DesignMetrics;
+use crate::eval::{DesignMetrics, EvalOptions};
 use crate::pareto::pareto_front;
-use crate::partition::{partition, Partition};
+use crate::partition::{partition_with_traffic, Partition, TrafficContext};
 use noc_floorplan::core_plan::CoreFloorplan;
 use noc_floorplan::incremental::{insert_noc, NocPlacement};
 use noc_par::ParRunner;
@@ -31,7 +41,8 @@ use noc_topology::deadlock::IncrementalCdg;
 use noc_topology::graph::{LinkId, NiRole, NodeId, Topology};
 use noc_topology::routing::{Route, RouteSet};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Synthesis sweep configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,7 +66,7 @@ pub struct SynthesisConfig {
     pub utilization_cap: f64,
     /// Technology node for characterization.
     pub tech: TechNode,
-    /// Partition size slack (see [`partition`]).
+    /// Partition size slack (see [`crate::partition::partition`]).
     pub cluster_slack: usize,
     /// Seed for the internal floorplanner when none is provided.
     pub seed: u64,
@@ -70,15 +81,6 @@ pub struct SynthesisConfig {
     /// reproduces the historical evaluation).
     pub vcs: u32,
 }
-
-/// `finish()` output: the built topology, its routes, per-pair demand,
-/// and each core's cluster assignment.
-type BuiltFabric = (
-    Topology,
-    RouteSet,
-    BTreeMap<(NodeId, NodeId), BitsPerSecond>,
-    Vec<usize>,
-);
 
 impl Default for SynthesisConfig {
     fn default() -> SynthesisConfig {
@@ -126,113 +128,402 @@ pub struct SynthesizedDesign {
     pub cluster_of_core: Vec<usize>,
 }
 
-/// The injecting/ejecting NI roles of a flow (requests initiator→target,
-/// responses target→initiator).
-fn endpoint_roles(class: MessageClass) -> (NiRole, NiRole) {
-    match class {
-        MessageClass::Request => (NiRole::Initiator, NiRole::Target),
-        MessageClass::Response => (NiRole::Target, NiRole::Initiator),
+/// The capacity (bits/s) admitted on one link of `width` bits at
+/// `clock`, after the utilization headroom cap.
+pub fn capacity_bits(width: u32, clock: Hertz, utilization_cap: f64) -> u64 {
+    (BitsPerSecond::of_link(width, clock).raw() as f64 * utilization_cap) as u64
+}
+
+/// The clock-independent result of the synthesis **structure phase**:
+/// everything `build_candidate` computes before pipeline-stage retiming
+/// and evaluation, plus the recorded capacity signature that makes
+/// reuse across clocks provably safe.
+///
+/// The structure was built at some link capacity `c`; every decision
+/// the [`Builder`] took compared a load (or flow bandwidth) against
+/// `c`. `cap_lo` is the largest value any *passing* comparison needed
+/// (`load + bw <= c`), `cap_hi` the smallest value any *failing*
+/// comparison saw. For any capacity in `[cap_lo, cap_hi)` every
+/// recorded comparison — and hence, by induction over the
+/// deterministic routing order, every routing decision — is unchanged,
+/// so rebuilding from scratch would reproduce this exact structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateStructure {
+    /// The routed topology. Pipeline stages are left at zero; they are
+    /// clock-dependent and belong to the parameter phase (see
+    /// [`CandidateStructure::retimed_topology`]).
+    pub topology: Topology,
+    /// Merged request+response routes (endpoint-pair keys are disjoint
+    /// across classes because the NI roles differ).
+    pub routes: RouteSet,
+    /// Aggregate header-inflated bandwidth demand per NI endpoint pair.
+    pub demands: BTreeMap<(NodeId, NodeId), BitsPerSecond>,
+    /// NoC placement in the floorplan (wire lengths).
+    pub placement: NocPlacement,
+    /// Core-to-cluster assignment.
+    pub cluster_of_core: Vec<usize>,
+    /// Switch count of the structure.
+    pub switch_count: usize,
+    /// Link width the structure was routed for.
+    pub flit_width: u32,
+    /// Smallest link capacity (bits/s) this structure is valid for.
+    pub cap_lo: u64,
+    /// Exclusive upper capacity bound this structure is valid for
+    /// (`u64::MAX` when no capacity check ever failed).
+    pub cap_hi: u64,
+    /// Inter-switch links in creation order, as cluster index pairs —
+    /// enough to replay topology construction when decoding a cached
+    /// structure (see `crate::canon`).
+    pub(crate) opened: Vec<(u32, u32)>,
+}
+
+impl CandidateStructure {
+    /// Whether reusing this structure at `capacity_bits` (for links of
+    /// `width` bits) is provably byte-identical to re-routing from
+    /// scratch.
+    pub fn admits(&self, width: u32, capacity_bits: u64) -> bool {
+        self.flit_width == width && self.cap_lo <= capacity_bits && capacity_bits < self.cap_hi
+    }
+
+    /// Parameter phase, step 1: a copy of the topology with per-link
+    /// pipeline stages set from the placed wire lengths at `clock`.
+    pub fn retimed_topology(&self, clock: Hertz, tech: TechNode) -> Topology {
+        let mut topo = self.topology.clone();
+        let link_model = LinkModel::new(tech);
+        // The length map was built from this topology's link ids, so it
+        // covers every link exactly once.
+        for (&id, &len) in &self.placement.link_lengths {
+            topo.set_pipeline_stages(id, link_model.pipeline_stages(len, clock));
+        }
+        topo
+    }
+
+    /// Parameter phase, step 2: evaluate a retimed copy of the
+    /// topology (from [`CandidateStructure::retimed_topology`] at the
+    /// same `clock`/`tech`) under `options`. No feasibility filter.
+    pub fn evaluate_retimed(
+        &self,
+        topo: &Topology,
+        clock: Hertz,
+        tech: TechNode,
+        options: EvalOptions,
+    ) -> DesignMetrics {
+        crate::eval::evaluate_with_options(
+            topo,
+            &self.routes,
+            &self.demands,
+            Some(&self.placement),
+            clock,
+            tech,
+            self.flit_width,
+            options,
+        )
+    }
+
+    /// Full parameter phase: retime + evaluate, returning `None` when
+    /// the design is infeasible (mirrors `build_candidate`).
+    pub fn evaluate(
+        &self,
+        clock: Hertz,
+        tech: TechNode,
+        utilization_cap: f64,
+        options: EvalOptions,
+    ) -> Option<DesignMetrics> {
+        let topo = self.retimed_topology(clock, tech);
+        let metrics = self.evaluate_retimed(&topo, clock, tech, options);
+        metrics.is_feasible(utilization_cap).then_some(metrics)
+    }
+
+    /// Parameter phase producing a full [`SynthesizedDesign`]
+    /// (bit-identical to what `build_candidate` returns for the same
+    /// inputs), or `None` when infeasible.
+    pub fn to_design(
+        &self,
+        clock: Hertz,
+        tech: TechNode,
+        utilization_cap: f64,
+        options: EvalOptions,
+    ) -> Option<SynthesizedDesign> {
+        let topo = self.retimed_topology(clock, tech);
+        let metrics = self.evaluate_retimed(&topo, clock, tech, options);
+        if !metrics.is_feasible(utilization_cap) {
+            return None;
+        }
+        Some(SynthesizedDesign {
+            topology: topo,
+            routes: self.routes.clone(),
+            demands: self.demands.clone(),
+            placement: Some(self.placement.clone()),
+            clock,
+            flit_width: self.flit_width,
+            switch_count: self.switch_count,
+            metrics,
+            cluster_of_core: self.cluster_of_core.clone(),
+        })
     }
 }
 
-/// Builder state for one candidate topology.
+/// Builds the base fabric topology for a clustered spec: one switch per
+/// cluster, one NI per core role, duplex NI↔switch links of `width`
+/// bits. Returns the topology plus lookup tables (switch per cluster,
+/// initiator/target NI per core). Shared by the [`Builder`] and by the
+/// cached-structure decoder, which replays inter-switch link creation
+/// on top of this base to reproduce identical `LinkId`s.
+#[allow(clippy::type_complexity)]
+pub(crate) fn build_fabric_base(
+    spec: &AppSpec,
+    cluster_of_core: &[usize],
+    switch_count: usize,
+    width: u32,
+) -> (
+    Topology,
+    Vec<NodeId>,
+    Vec<Option<NodeId>>,
+    Vec<Option<NodeId>>,
+) {
+    let mut topo = Topology::new(format!("{}_s{}", spec.name(), switch_count));
+    let switch_of_cluster: Vec<NodeId> = (0..switch_count)
+        .map(|c| topo.add_switch(format!("sw{c}")))
+        .collect();
+    let n = spec.cores().len();
+    let mut ni_init: Vec<Option<NodeId>> = vec![None; n];
+    let mut ni_targ: Vec<Option<NodeId>> = vec![None; n];
+    // Manual concatenation: same strings as `format!("ni_i_{name}")`
+    // without the formatting machinery — this runs 2n times per build.
+    let ni_name = |prefix: &str, core_name: &str| {
+        let mut s = String::with_capacity(prefix.len() + core_name.len());
+        s.push_str(prefix);
+        s.push_str(core_name);
+        s
+    };
+    for (id, core) in spec.core_ids() {
+        let sw = switch_of_cluster[cluster_of_core[id.0]];
+        if core.role.is_master() {
+            let ni = topo.add_ni(ni_name("ni_i_", &core.name), id, NiRole::Initiator);
+            topo.connect_duplex(ni, sw, width).expect("fresh nodes");
+            ni_init[id.0] = Some(ni);
+        }
+        if core.role.is_slave() {
+            let ni = topo.add_ni(ni_name("ni_t_", &core.name), id, NiRole::Target);
+            topo.connect_duplex(ni, sw, width).expect("fresh nodes");
+            ni_targ[id.0] = Some(ni);
+        }
+    }
+    (topo, switch_of_cluster, ni_init, ni_targ)
+}
+
+/// Floorplan-aware inter-cluster distance matrix (row-major `k×k`,
+/// Manhattan centroid distances clamped to ≥ 1). Depends only on
+/// `(partition, floorplan)`, so the sweep hoists it per switch count
+/// and shares it across every width/clock candidate.
+pub(crate) fn cluster_distances(part: &Partition, floorplan: &CoreFloorplan) -> Vec<f64> {
+    let k = part.clusters;
+    let members = part.members();
+    let centroid = |cores: &[noc_spec::CoreId]| -> (f64, f64) {
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let mut n = 0.0;
+        for &c in cores {
+            if let Some(r) = floorplan.placement(c) {
+                let (cx, cy) = r.center();
+                x += cx.raw();
+                y += cy.raw();
+                n += 1.0;
+            }
+        }
+        if n > 0.0 {
+            (x / n, y / n)
+        } else {
+            (0.0, 0.0)
+        }
+    };
+    let centers: Vec<(f64, f64)> = members.iter().map(|m| centroid(m)).collect();
+    let mut dist = vec![0.0; k * k];
+    for i in 0..k {
+        for j in 0..k {
+            let d = (centers[i].0 - centers[j].0).abs() + (centers[i].1 - centers[j].1).abs();
+            dist[i * k + j] = d.max(1.0);
+        }
+    }
+    dist
+}
+
+/// One aggregated traffic pair in core space: `(class, src core, dst
+/// core, bandwidth bits/s)` — see [`flow_program`].
+type ProgramEntry = (MessageClass, noc_spec::CoreId, noc_spec::CoreId, u64);
+
+/// The switch-to-switch sub-chain of a realized route: every route is
+/// `[NI→SW, SS…, SW→NI]`, and only the SS links can ever participate
+/// in channel-dependency cycles (the NI links stay pure sources/sinks
+/// of the CDG), so only this slice needs dependency tracking.
+fn ss_chain(route: &Route) -> &[LinkId] {
+    &route.links[1..route.links.len() - 1]
+}
+
+/// The aggregated, routing-ordered traffic program of a spec at one
+/// link width: per-(class, endpoint pair) demands inflated by the
+/// packetization header overhead, heaviest pair first. The program
+/// depends only on `(spec, width)`, so the candidate sweep computes it
+/// once per width and shares it across every (switch count, clock)
+/// build instead of re-aggregating and re-sorting inside each one.
+///
+/// Tie-breaks reproduce the historical in-builder sort (ascending src
+/// NI id, then dst NI id) exactly: `build_fabric_base` creates NIs in
+/// ascending (core id, initiator-before-target) order, so `(core id,
+/// role rank)` *is* the NI id order whatever the switch count.
+///
+/// # Errors
+///
+/// [`SynthError::MissingNi`] — in spec flow order, as the in-builder
+/// aggregation reported it — when a flow endpoint's core role carries
+/// no NI for the flow's class.
+pub(crate) fn flow_program(spec: &AppSpec, width: u32) -> Result<Vec<ProgramEntry>, SynthError> {
+    let cores = spec.cores();
+    let mut agg: BTreeMap<(MessageClass, noc_spec::CoreId, noc_spec::CoreId), u64> =
+        BTreeMap::new();
+    for flow in spec.flows() {
+        // Masters carry the initiator NI, slaves the target NI; a flow
+        // endpoint without the matching role has no NI to route from.
+        let (src_ok, dst_ok) = match flow.class {
+            MessageClass::Request => (
+                cores[flow.src.0].role.is_master(),
+                cores[flow.dst.0].role.is_slave(),
+            ),
+            MessageClass::Response => (
+                cores[flow.src.0].role.is_slave(),
+                cores[flow.dst.0].role.is_master(),
+            ),
+        };
+        if !src_ok {
+            return Err(SynthError::MissingNi { core: flow.src });
+        }
+        if !dst_ok {
+            return Err(SynthError::MissingNi { core: flow.dst });
+        }
+        let overhead = flow.kind.header_overhead(width);
+        *agg.entry((flow.class, flow.src, flow.dst)).or_insert(0) +=
+            (flow.bandwidth.raw() as f64 * overhead) as u64;
+    }
+    // (core id, NI role rank) orders exactly like the NI ids the
+    // builder will assign: initiator before target within a core.
+    fn ni_keys(
+        class: MessageClass,
+        src: noc_spec::CoreId,
+        dst: noc_spec::CoreId,
+    ) -> [(usize, u8); 2] {
+        match class {
+            MessageClass::Request => [(src.0, 0), (dst.0, 1)],
+            MessageClass::Response => [(src.0, 1), (dst.0, 0)],
+        }
+    }
+    let mut order: Vec<ProgramEntry> = agg
+        .into_iter()
+        .map(|((class, src, dst), bw)| (class, src, dst, bw))
+        .collect();
+    // Heaviest pairs first, so hubs get short direct connections.
+    order.sort_by(|a, b| {
+        b.3.cmp(&a.3)
+            .then_with(|| ni_keys(a.0, a.1, a.2).cmp(&ni_keys(b.0, b.1, b.2)))
+    });
+    Ok(order)
+}
+
+/// Reusable Dijkstra scratch (cleared, not reallocated, per flow).
+#[derive(Default)]
+struct PathScratch {
+    best: Vec<f64>,
+    prev: Vec<usize>,
+    done: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+/// Builder state for one candidate structure.
 struct Builder<'a> {
-    spec: &'a AppSpec,
-    cfg: &'a SynthesisConfig,
     topo: Topology,
     switch_of_cluster: Vec<NodeId>,
     cluster_of_core: Vec<usize>,
-    /// Existing inter-cluster links (per ordered pair), with loads.
-    inter: BTreeMap<(usize, usize), Vec<LinkId>>,
+    /// Initiator/target NI of each core (indexed by core id).
+    ni_init: Vec<Option<NodeId>>,
+    ni_targ: Vec<Option<NodeId>>,
+    /// The unique NI→switch / switch→NI link of each NI (indexed by
+    /// node id) — realize() runs twice per route, and these never
+    /// change after `build_fabric_base`.
+    ni_out: Vec<Option<LinkId>>,
+    ni_in: Vec<Option<LinkId>>,
+    /// Existing inter-cluster links per ordered pair, dense row-major
+    /// `k×k`.
+    inter: Vec<Vec<LinkId>>,
+    /// Inter-switch links in creation order (cluster index pairs).
+    opened: Vec<(u32, u32)>,
     /// Per-link load in bits/s, indexed by dense link id (grown lazily
     /// as links are opened).
     load: Vec<u64>,
-    /// Route sets per message class (virtual networks).
-    request_routes: RouteSet,
-    response_routes: RouteSet,
+    /// Merged request+response routes (keys are disjoint across
+    /// classes because the endpoint NI roles differ).
+    routes: RouteSet,
+    /// Aggregate demand per endpoint pair, filled by `route_all`.
+    demands: BTreeMap<(NodeId, NodeId), BitsPerSecond>,
     /// Incrementally maintained CDGs per message class: each admitted
     /// route's dependencies are inserted with incremental cycle
     /// detection instead of rebuilding the whole CDG per pair.
     request_cdg: IncrementalCdg,
     response_cdg: IncrementalCdg,
-    /// Inter-cluster distances (floorplan-aware).
-    dist: Vec<Vec<f64>>,
+    /// Inter-cluster distances (floorplan-aware), row-major `k×k`.
+    dist: &'a [f64],
+    /// Link width in bits.
+    width: u32,
     capacity_bits: u64,
+    /// Capacity signature: the largest margin any passing capacity
+    /// check needed, and the smallest margin any failing check saw
+    /// (exclusive). See [`CandidateStructure`].
+    cap_lo: u64,
+    cap_hi: u64,
+    scratch: PathScratch,
 }
 
 impl<'a> Builder<'a> {
     fn new(
         spec: &'a AppSpec,
-        cfg: &'a SynthesisConfig,
         part: &Partition,
-        floorplan: &CoreFloorplan,
-        clock: Hertz,
+        dist: &'a [f64],
+        width: u32,
+        capacity_bits: u64,
     ) -> Builder<'a> {
         let k = part.clusters;
-        let mut topo = Topology::new(format!("{}_s{}", spec.name(), k));
-        let switch_of_cluster: Vec<NodeId> =
-            (0..k).map(|c| topo.add_switch(format!("sw{c}"))).collect();
-        for (id, core) in spec.core_ids() {
-            let sw = switch_of_cluster[part.cluster_of[id.0]];
-            if core.role.is_master() {
-                let ni = topo.add_ni(format!("ni_i_{}", core.name), id, NiRole::Initiator);
-                topo.connect_duplex(ni, sw, cfg.flit_width)
-                    .expect("fresh nodes");
-            }
-            if core.role.is_slave() {
-                let ni = topo.add_ni(format!("ni_t_{}", core.name), id, NiRole::Target);
-                topo.connect_duplex(ni, sw, cfg.flit_width)
-                    .expect("fresh nodes");
-            }
+        let (topo, switch_of_cluster, ni_init, ni_targ) =
+            build_fabric_base(spec, &part.cluster_of, k, width);
+        let mut ni_out: Vec<Option<LinkId>> = vec![None; topo.nodes().len()];
+        let mut ni_in: Vec<Option<LinkId>> = vec![None; topo.nodes().len()];
+        for ni in ni_init.iter().chain(ni_targ.iter()).flatten() {
+            ni_out[ni.0] = topo.outgoing(*ni).first().copied();
+            ni_in[ni.0] = topo.incoming(*ni).first().copied();
         }
-        // Cluster centroid distances from the floorplan.
-        let members = part.members();
-        let centroid = |cores: &[noc_spec::CoreId]| -> (f64, f64) {
-            let mut x = 0.0;
-            let mut y = 0.0;
-            let mut n = 0.0;
-            for &c in cores {
-                if let Some(r) = floorplan.placement(c) {
-                    let (cx, cy) = r.center();
-                    x += cx.raw();
-                    y += cy.raw();
-                    n += 1.0;
-                }
-            }
-            if n > 0.0 {
-                (x / n, y / n)
-            } else {
-                (0.0, 0.0)
-            }
-        };
-        let centers: Vec<(f64, f64)> = members.iter().map(|m| centroid(m)).collect();
-        let dist: Vec<Vec<f64>> = (0..k)
-            .map(|i| {
-                (0..k)
-                    .map(|j| {
-                        let d = (centers[i].0 - centers[j].0).abs()
-                            + (centers[i].1 - centers[j].1).abs();
-                        d.max(1.0)
-                    })
-                    .collect()
-            })
-            .collect();
         Builder {
-            spec,
-            cfg,
             topo,
             switch_of_cluster,
             cluster_of_core: part.cluster_of.clone(),
-            inter: BTreeMap::new(),
+            ni_init,
+            ni_targ,
+            ni_out,
+            ni_in,
+            inter: vec![Vec::new(); k * k],
+            opened: Vec::new(),
             load: Vec::new(),
-            request_routes: RouteSet::new(),
-            response_routes: RouteSet::new(),
+            routes: RouteSet::new(),
+            demands: BTreeMap::new(),
             request_cdg: IncrementalCdg::new(),
             response_cdg: IncrementalCdg::new(),
             dist,
-            capacity_bits: (BitsPerSecond::of_link(cfg.flit_width, clock).raw() as f64
-                * cfg.utilization_cap) as u64,
+            width,
+            capacity_bits,
+            cap_lo: 0,
+            cap_hi: u64::MAX,
+            scratch: PathScratch::default(),
         }
+    }
+
+    fn k(&self) -> usize {
+        self.switch_of_cluster.len()
     }
 
     /// The accounted load of a link (0 for never-loaded links).
@@ -249,14 +540,20 @@ impl<'a> Builder<'a> {
     }
 
     /// An existing link from cluster `a` to `b` with at least `bw` spare
-    /// capacity.
-    fn usable_link(&self, a: usize, b: usize, bw: u64) -> Option<LinkId> {
-        self.inter.get(&(a, b)).and_then(|links| {
-            links
-                .iter()
-                .copied()
-                .find(|&l| self.load_of(l) + bw <= self.capacity_bits)
-        })
+    /// capacity. Every comparison against the capacity is recorded in
+    /// the capacity signature (`cap_lo`/`cap_hi`).
+    fn usable_link(&mut self, a: usize, b: usize, bw: u64) -> Option<LinkId> {
+        let slot = a * self.k() + b;
+        for i in 0..self.inter[slot].len() {
+            let l = self.inter[slot][i];
+            let need = self.load_of(l) + bw;
+            if need <= self.capacity_bits {
+                self.cap_lo = self.cap_lo.max(need);
+                return Some(l);
+            }
+            self.cap_hi = self.cap_hi.min(need);
+        }
+        None
     }
 
     /// Opens a new link from cluster `a` to `b`.
@@ -266,55 +563,86 @@ impl<'a> Builder<'a> {
             .connect(
                 self.switch_of_cluster[a],
                 self.switch_of_cluster[b],
-                self.cfg.flit_width,
+                self.width,
             )
             .expect("switches exist and differ");
-        self.inter.entry((a, b)).or_default().push(l);
+        let slot = a * self.k() + b;
+        self.inter[slot].push(l);
+        self.opened.push((a as u32, b as u32));
         l
     }
 
     /// Min-cost cluster path from `src` to `dst` for a flow of `bw`
     /// bits/s. Existing links with spare capacity cost their distance;
     /// opening a new link costs `distance × OPEN_PENALTY`.
-    fn cluster_path(&self, src: usize, dst: usize, bw: u64) -> Vec<usize> {
+    ///
+    /// Heap-based Dijkstra over the complete cluster graph with
+    /// reusable scratch buffers. Node selection pops the minimum
+    /// `(cost bits, node)` pair, which matches the linear scan's
+    /// first-minimum tie-break exactly (costs are non-negative, so the
+    /// IEEE-754 bit pattern orders like the float).
+    fn cluster_path(&mut self, src: usize, dst: usize, bw: u64) -> Vec<usize> {
         const OPEN_PENALTY: f64 = 2.5;
-        let k = self.switch_of_cluster.len();
-        let mut best = vec![f64::INFINITY; k];
-        let mut prev = vec![usize::MAX; k];
-        let mut done = vec![false; k];
-        best[src] = 0.0;
-        for _ in 0..k {
-            let u = (0..k)
-                .filter(|&i| !done[i] && best[i].is_finite())
-                .min_by(|&a, &b| best[a].total_cmp(&best[b]));
-            let Some(u) = u else { break };
-            done[u] = true;
+        if src == dst {
+            // Dijkstra pops `src`, sees `u == dst` and breaks before
+            // relaxing anything — no capacity comparison happens.
+            return vec![src];
+        }
+        // A usable direct link is always an optimal path: every edge
+        // weight is ≥ its clamped-Manhattan distance, and that distance
+        // obeys the triangle inequality, so no detour can beat (or,
+        // under the strict-improvement relaxation, ever displace) the
+        // direct edge. The one capacity comparison that decides this is
+        // recorded by `usable_link`, keeping the capacity signature
+        // faithful to the decisions actually taken.
+        if self.usable_link(src, dst, bw).is_some() {
+            return vec![src, dst];
+        }
+        let k = self.k();
+        let mut s = std::mem::take(&mut self.scratch);
+        s.best.clear();
+        s.best.resize(k, f64::INFINITY);
+        s.prev.clear();
+        s.prev.resize(k, usize::MAX);
+        s.done.clear();
+        s.done.resize(k, false);
+        s.heap.clear();
+        s.best[src] = 0.0;
+        s.heap.push(Reverse((0u64, src)));
+        while let Some(Reverse((d_bits, u))) = s.heap.pop() {
+            if s.done[u] || f64::from_bits(d_bits) > s.best[u] {
+                continue;
+            }
+            s.done[u] = true;
             if u == dst {
                 break;
             }
             for v in 0..k {
-                if v == u || done[v] {
+                if v == u || s.done[v] {
                     continue;
                 }
                 let w = if self.usable_link(u, v, bw).is_some() {
-                    self.dist[u][v]
+                    self.dist[u * k + v]
                 } else {
-                    self.dist[u][v] * OPEN_PENALTY
+                    self.dist[u * k + v] * OPEN_PENALTY
                 };
-                if best[u] + w < best[v] {
-                    best[v] = best[u] + w;
-                    prev[v] = u;
+                let cand = s.best[u] + w;
+                if cand < s.best[v] {
+                    s.best[v] = cand;
+                    s.prev[v] = u;
+                    s.heap.push(Reverse((cand.to_bits(), v)));
                 }
             }
         }
         let mut path = vec![dst];
         let mut cur = dst;
         while cur != src {
-            cur = prev[cur];
+            cur = s.prev[cur];
             debug_assert_ne!(cur, usize::MAX, "complete graphs are connected");
             path.push(cur);
         }
         path.reverse();
+        self.scratch = s;
         path
     }
 
@@ -328,12 +656,7 @@ impl<'a> Builder<'a> {
         bw: u64,
     ) -> Route {
         let mut links = Vec::with_capacity(cluster_path.len() + 1);
-        let first_sw = self.switch_of_cluster[cluster_path[0]];
-        links.push(
-            self.topo
-                .find_link(src_ni, first_sw)
-                .expect("NI is attached to its cluster switch"),
-        );
+        links.push(self.ni_out[src_ni.0].expect("NI is attached to its cluster switch"));
         for w in cluster_path.windows(2) {
             let l = match self.usable_link(w[0], w[1], bw) {
                 Some(l) => l,
@@ -341,12 +664,7 @@ impl<'a> Builder<'a> {
             };
             links.push(l);
         }
-        let last_sw = self.switch_of_cluster[*cluster_path.last().expect("nonempty")];
-        links.push(
-            self.topo
-                .find_link(last_sw, dst_ni)
-                .expect("NI is attached to its cluster switch"),
-        );
+        links.push(self.ni_in[dst_ni.0].expect("NI is attached to its cluster switch"));
         for &l in &links {
             *self.load_mut(l) += bw;
         }
@@ -366,25 +684,27 @@ impl<'a> Builder<'a> {
         if bw > self.capacity_bits {
             return Err(SynthError::FlowExceedsLinkCapacity);
         }
+        // A passing single-flow fit is a capacity decision too.
+        self.cap_lo = self.cap_lo.max(bw);
         let candidate_path = self.cluster_path(src_cluster, dst_cluster, bw);
         let route = self.realize(src_ni, dst_ni, &candidate_path, bw);
         let cdg = match class {
             MessageClass::Request => &mut self.request_cdg,
             MessageClass::Response => &mut self.response_cdg,
         };
-        if cdg.try_insert_route(&route).is_ok() {
-            let set = match class {
-                MessageClass::Request => &mut self.request_routes,
-                MessageClass::Response => &mut self.response_routes,
-            };
-            set.insert(src_ni, dst_ni, route);
+        // Only the switch-to-switch sub-chain can participate in CDG
+        // cycles: the first/last links of every route are NI↔switch
+        // links, which stay pure sources/sinks of the dependency graph.
+        if cdg.try_insert_chain(ss_chain(&route)).is_ok() {
+            self.routes.insert(src_ni, dst_ni, route);
             return Ok(());
         }
         // The rejected route's CDG edges were rolled back exactly by
         // `try_insert_route`; undo its load accounting and fall back to
         // the provably safe direct link (one switch-to-switch hop adds
         // no SS→SS dependency).
-        for &l in &route.links {
+        for i in 0..route.links.len() {
+            let l = route.links[i];
             *self.load_mut(l) -= bw;
         }
         let direct_path = vec![src_cluster, dst_cluster];
@@ -397,13 +717,9 @@ impl<'a> Builder<'a> {
             MessageClass::Request => &mut self.request_cdg,
             MessageClass::Response => &mut self.response_cdg,
         };
-        let _admitted = cdg.try_insert_route(&direct);
+        let _admitted = cdg.try_insert_chain(ss_chain(&direct));
         debug_assert!(_admitted.is_ok(), "direct links cannot close CDG cycles");
-        let set = match class {
-            MessageClass::Request => &mut self.request_routes,
-            MessageClass::Response => &mut self.response_routes,
-        };
-        set.insert(src_ni, dst_ni, direct);
+        self.routes.insert(src_ni, dst_ni, direct);
         Ok(())
     }
 
@@ -412,34 +728,23 @@ impl<'a> Builder<'a> {
         self.cluster_of_core[core.0]
     }
 
-    /// Drives synthesis for every traffic pair of the spec.
-    fn route_all(&mut self) -> Result<(), SynthError> {
-        // Aggregate demands per (class, src NI, dst NI), inflated by the
-        // packetization header overhead so capacity checks see the real
-        // flit bandwidth the NIs will emit.
-        let mut demands: BTreeMap<(MessageClass, NodeId, NodeId), u64> = BTreeMap::new();
-        for flow in self.spec.flows() {
-            let (sr, dr) = endpoint_roles(flow.class);
-            let src_ni = self
-                .topo
-                .ni_of(flow.src, sr)
-                .ok_or(SynthError::MissingNi { core: flow.src })?;
-            let dst_ni = self
-                .topo
-                .ni_of(flow.dst, dr)
-                .ok_or(SynthError::MissingNi { core: flow.dst })?;
-            let overhead = flow.kind.header_overhead(self.cfg.flit_width);
-            *demands.entry((flow.class, src_ni, dst_ni)).or_insert(0) +=
-                (flow.bandwidth.raw() as f64 * overhead) as u64;
-        }
-        // Heaviest pairs first, so hubs get short direct connections.
-        let mut order: Vec<((MessageClass, NodeId, NodeId), u64)> = demands.into_iter().collect();
-        order.sort_by(|a, b| {
-            b.1.cmp(&a.1)
-                .then(a.0 .1.cmp(&b.0 .1))
-                .then(a.0 .2.cmp(&b.0 .2))
-        });
-        for ((class, src_ni, dst_ni), bw) in order {
+    /// Drives synthesis for every traffic pair of the precomputed
+    /// [`flow_program`], filling `self.demands` along the way.
+    fn route_all(&mut self, program: &[ProgramEntry]) -> Result<(), SynthError> {
+        for &(class, src, dst, bw) in program {
+            let (src_ni, dst_ni) = match class {
+                MessageClass::Request => (self.ni_init[src.0], self.ni_targ[dst.0]),
+                MessageClass::Response => (self.ni_targ[src.0], self.ni_init[dst.0]),
+            };
+            let src_ni = src_ni.ok_or(SynthError::MissingNi { core: src })?;
+            let dst_ni = dst_ni.ok_or(SynthError::MissingNi { core: dst })?;
+            // The evaluation demand map is the program's aggregation
+            // without the class axis — the endpoint pairs are disjoint
+            // across classes because the NI roles differ.
+            *self
+                .demands
+                .entry((src_ni, dst_ni))
+                .or_insert(BitsPerSecond::ZERO) += BitsPerSecond(bw);
             self.route_pair(class, src_ni, dst_ni, bw)?;
         }
         Ok(())
@@ -454,48 +759,84 @@ impl<'a> Builder<'a> {
     /// consecutive clusters. The chain carries no application routes and
     /// therefore cannot create CDG cycles.
     fn ensure_backbone(&mut self) {
-        let k = self.switch_of_cluster.len();
+        let k = self.k();
         for i in 0..k.saturating_sub(1) {
-            if self.usable_link_any(i, i + 1).is_none() {
+            if self.inter[i * k + i + 1].is_empty() {
                 self.open_link(i, i + 1);
             }
-            if self.usable_link_any(i + 1, i).is_none() {
+            if self.inter[(i + 1) * k + i].is_empty() {
                 self.open_link(i + 1, i);
             }
         }
     }
+}
 
-    /// Any existing link from cluster `a` to `b`, regardless of load.
-    fn usable_link_any(&self, a: usize, b: usize) -> Option<LinkId> {
-        self.inter.get(&(a, b)).and_then(|v| v.first().copied())
-    }
+/// Structure phase: builds and routes one `(partition, width,
+/// capacity-class)` fabric, capturing the result and its capacity
+/// signature as a [`CandidateStructure`].
+///
+/// # Errors
+///
+/// [`SynthError::MissingNi`] when a flow endpoint has no NI for its
+/// role, [`SynthError::FlowExceedsLinkCapacity`] when a single flow
+/// cannot fit any link at this width/clock.
+pub fn build_structure(
+    spec: &AppSpec,
+    part: &Partition,
+    fp: &CoreFloorplan,
+    width: u32,
+    clock: Hertz,
+    utilization_cap: f64,
+) -> Result<CandidateStructure, SynthError> {
+    let dist = cluster_distances(part, fp);
+    let program = flow_program(spec, width)?;
+    build_structure_with_dist(
+        spec,
+        part,
+        fp,
+        &dist,
+        &program,
+        width,
+        clock,
+        utilization_cap,
+    )
+}
 
-    /// Merged route set + demand map for evaluation/simulation.
-    fn finish(self) -> BuiltFabric {
-        let mut routes = RouteSet::new();
-        for (&(f, t), r) in self.request_routes.iter() {
-            routes.insert(f, t, r.clone());
-        }
-        for (&(f, t), r) in self.response_routes.iter() {
-            routes.insert(f, t, r.clone());
-        }
-        let mut demands: BTreeMap<(NodeId, NodeId), BitsPerSecond> = BTreeMap::new();
-        for flow in self.spec.flows() {
-            let (sr, dr) = endpoint_roles(flow.class);
-            let src_ni = self.topo.ni_of(flow.src, sr).expect("routed above");
-            let dst_ni = self.topo.ni_of(flow.dst, dr).expect("routed above");
-            let overhead = flow.kind.header_overhead(self.cfg.flit_width);
-            *demands
-                .entry((src_ni, dst_ni))
-                .or_insert(BitsPerSecond::ZERO) +=
-                BitsPerSecond((flow.bandwidth.raw() as f64 * overhead) as u64);
-        }
-        (self.topo, routes, demands, self.cluster_of_core)
-    }
+/// [`build_structure`] with a precomputed [`cluster_distances`] matrix
+/// and [`flow_program`] (hoisted per switch count / per width by the
+/// sweep).
+#[allow(clippy::too_many_arguments)]
+fn build_structure_with_dist(
+    spec: &AppSpec,
+    part: &Partition,
+    fp: &CoreFloorplan,
+    dist: &[f64],
+    program: &[ProgramEntry],
+    width: u32,
+    clock: Hertz,
+    utilization_cap: f64,
+) -> Result<CandidateStructure, SynthError> {
+    let capacity = capacity_bits(width, clock, utilization_cap);
+    let mut builder = Builder::new(spec, part, dist, width, capacity);
+    builder.route_all(program)?;
+    builder.ensure_backbone();
+    let placement = insert_noc(fp, &builder.topo);
+    Ok(CandidateStructure {
+        topology: builder.topo,
+        routes: builder.routes,
+        demands: builder.demands,
+        placement,
+        cluster_of_core: builder.cluster_of_core,
+        switch_count: part.clusters,
+        flit_width: width,
+        cap_lo: builder.cap_lo,
+        cap_hi: builder.cap_hi,
+        opened: builder.opened,
+    })
 }
 
 /// Builds, routes and evaluates one `(partition, width, clock)`
-/// candidate — the fully independent unit of work the sweep fans out —
+/// candidate — structure phase + parameter phase back to back —
 /// returning `None` when routing fails or the design is infeasible.
 ///
 /// Public as `synthesize_candidate` so the batch DSE engine
@@ -510,62 +851,17 @@ pub fn synthesize_candidate(
     width: u32,
     clock: Hertz,
 ) -> Option<SynthesizedDesign> {
-    build_candidate(spec, cfg, part, fp, width, clock)
+    let structure = build_structure(spec, part, fp, width, clock, cfg.utilization_cap).ok()?;
+    structure.to_design(clock, cfg.tech, cfg.utilization_cap, eval_options(cfg))
 }
 
-/// Implementation of [`synthesize_candidate`] (kept under the name the
-/// sweep internals use).
-fn build_candidate(
-    spec: &AppSpec,
-    cfg: &SynthesisConfig,
-    part: &Partition,
-    fp: &CoreFloorplan,
-    width: u32,
-    clock: Hertz,
-) -> Option<SynthesizedDesign> {
-    let mut width_cfg = cfg.clone();
-    width_cfg.flit_width = width;
-    let mut builder = Builder::new(spec, &width_cfg, part, fp, clock);
-    builder.route_all().ok()?;
-    builder.ensure_backbone();
-    let (mut topo, routes, demands, cluster_of_core) = builder.finish();
-    // Physical insertion: wire lengths → pipeline stages.
-    let placement = insert_noc(fp, &topo);
-    let link_model = LinkModel::new(cfg.tech);
-    let link_ids: Vec<LinkId> = topo.link_ids().map(|(id, _)| id).collect();
-    for id in link_ids {
-        if let Some(len) = placement.link_length(id) {
-            topo.set_pipeline_stages(id, link_model.pipeline_stages(len, clock));
-        }
+/// The evaluation options a config implies.
+fn eval_options(cfg: &SynthesisConfig) -> EvalOptions {
+    EvalOptions {
+        buffer_depth: cfg.buffer_depth,
+        vcs: cfg.vcs,
+        output_buffers: false,
     }
-    let metrics = crate::eval::evaluate_with_options(
-        &topo,
-        &routes,
-        &demands,
-        Some(&placement),
-        clock,
-        cfg.tech,
-        width,
-        crate::eval::EvalOptions {
-            buffer_depth: cfg.buffer_depth,
-            vcs: cfg.vcs,
-            output_buffers: false,
-        },
-    );
-    if !metrics.is_feasible(cfg.utilization_cap) {
-        return None;
-    }
-    Some(SynthesizedDesign {
-        topology: topo,
-        routes,
-        demands,
-        placement: Some(placement),
-        clock,
-        flit_width: width,
-        switch_count: part.clusters,
-        metrics,
-        cluster_of_core,
-    })
 }
 
 /// Synthesizes the Pareto set of custom topologies for `spec`.
@@ -575,7 +871,8 @@ fn build_candidate(
 /// input but always ends up physically aware.
 ///
 /// The `(switch count, link width, clock)` candidate sweep is fanned
-/// out across all available cores via [`synthesize_with_runner`]; the
+/// out across all available cores via [`synthesize_with_runner`]
+/// (serially when the sweep is too small to amortize worker spawn); the
 /// returned design list is guaranteed bit-identical to a serial run.
 ///
 /// # Errors
@@ -588,18 +885,38 @@ pub fn synthesize(
     floorplan: Option<&CoreFloorplan>,
     cfg: &SynthesisConfig,
 ) -> Result<Vec<SynthesizedDesign>, SynthError> {
-    synthesize_with_runner(spec, floorplan, cfg, &ParRunner::new())
+    // A (k, width) group costs tens of microseconds on typical specs,
+    // about what spawning one scoped worker costs — so small sweeps run
+    // faster serially. Either runner returns bit-identical results.
+    let max_k = cfg.max_switches.min(spec.cores().len());
+    let widths = if cfg.widths.is_empty() {
+        1
+    } else {
+        cfg.widths.len()
+    };
+    let groups = (max_k.saturating_sub(cfg.min_switches.clamp(1, max_k.max(1))) + 1) * widths;
+    let runner = if groups <= 4 {
+        ParRunner::serial()
+    } else {
+        ParRunner::new()
+    };
+    synthesize_with_runner(spec, floorplan, cfg, &runner)
 }
 
 /// [`synthesize`] with an explicit [`ParRunner`] (worker count).
 ///
-/// Every candidate design point is independent: it gets its own
-/// [`Builder`], borrows the per-`k` [`Partition`] and the shared
-/// [`CoreFloorplan`] immutably, and uses no randomness. Results are
-/// collected **by candidate index** in the serial `(k, width, clock)`
-/// sweep order, so the output is bit-identical whatever the thread
-/// count — the same contract the simulator sweeps enforce
-/// (DESIGN.md, "Deterministic parallel sweeps").
+/// The unit of parallel work is a `(switch count, width)` group: each
+/// group partitions the spec, hoists the cluster distance matrix, then
+/// walks the clock sweep reusing one [`CandidateStructure`] for every
+/// clock whose capacity the recorded signature [`admits`]
+/// (re-routing from scratch otherwise), so only the cheap parameter
+/// phase runs per clock. Results are collected **by group index** and
+/// flattened in the serial `(k, width, clock)` sweep order, so the
+/// output is bit-identical whatever the thread count — the same
+/// contract the simulator sweeps enforce (DESIGN.md, "Deterministic
+/// parallel sweeps").
+///
+/// [`admits`]: CandidateStructure::admits
 ///
 /// # Errors
 ///
@@ -628,24 +945,60 @@ pub fn synthesize_with_runner(
     } else {
         cfg.widths.clone()
     };
-    // One partition per switch count, shared by reference across all
-    // width/clock candidates (and worker threads).
-    let partitions: Vec<Partition> = (min_k..=max_k)
-        .map(|k| partition(spec, k, cfg.cluster_slack))
-        .collect();
-    let mut candidates: Vec<(usize, u32, Hertz)> =
-        Vec::with_capacity(partitions.len() * widths.len() * cfg.clocks.len());
-    for pi in 0..partitions.len() {
+    let mut groups: Vec<(usize, u32)> = Vec::with_capacity((max_k - min_k + 1) * widths.len());
+    for k in min_k..=max_k {
         for &width in &widths {
-            for &clock in &cfg.clocks {
-                candidates.push((pi, width, clock));
-            }
+            groups.push((k, width));
         }
     }
-    let results = runner.run(cfg.seed, &candidates, |&(pi, width, clock), _seed| {
-        build_candidate(spec, cfg, &partitions[pi], fp, width, clock)
-    });
-    let designs: Vec<SynthesizedDesign> = results.into_iter().flatten().collect();
+    let opts = eval_options(cfg);
+    // One traffic program per width, shared by every (switch count,
+    // clock) build of that width. A per-width program error (a flow
+    // endpoint with no NI) fails every build of that width, exactly as
+    // the in-builder aggregation did.
+    let programs: BTreeMap<u32, Result<Vec<ProgramEntry>, SynthError>> =
+        widths.iter().map(|&w| (w, flow_program(spec, w))).collect();
+    // The affinity matrix and volume ranking depend only on the spec,
+    // so every (switch count, width) group shares one copy.
+    let traffic = TrafficContext::of(spec);
+    let results =
+        runner.run(cfg.seed, &groups, |&(k, width), _seed| {
+            let program = match &programs[&width] {
+                Ok(p) => p.as_slice(),
+                Err(_) => return (0..cfg.clocks.len()).map(|_| None).collect(),
+            };
+            let part = partition_with_traffic(spec, k, cfg.cluster_slack, &traffic);
+            let dist = cluster_distances(&part, fp);
+            let mut structures: Vec<CandidateStructure> = Vec::new();
+            let mut out: Vec<Option<SynthesizedDesign>> = Vec::with_capacity(cfg.clocks.len());
+            for &clock in &cfg.clocks {
+                let cap = capacity_bits(width, clock, cfg.utilization_cap);
+                let structure = match structures.iter().position(|s| s.admits(width, cap)) {
+                    Some(i) => Some(i),
+                    None => match build_structure_with_dist(
+                        spec,
+                        &part,
+                        fp,
+                        &dist,
+                        program,
+                        width,
+                        clock,
+                        cfg.utilization_cap,
+                    ) {
+                        Ok(s) => {
+                            structures.push(s);
+                            Some(structures.len() - 1)
+                        }
+                        Err(_) => None,
+                    },
+                };
+                out.push(structure.and_then(|i| {
+                    structures[i].to_design(clock, cfg.tech, cfg.utilization_cap, opts)
+                }));
+            }
+            out
+        });
+    let designs: Vec<SynthesizedDesign> = results.into_iter().flatten().flatten().collect();
     if designs.is_empty() {
         return Err(SynthError::NoFeasibleDesign);
     }
@@ -684,6 +1037,7 @@ pub fn synthesize_min_power(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::partition::partition;
     use noc_spec::presets;
     use noc_topology::deadlock::assert_message_deadlock_free;
 
@@ -823,5 +1177,71 @@ mod tests {
             assert!(d.metrics.power.raw() > 0.0);
             assert!(d.metrics.total_wirelength.raw() > 0.0);
         }
+    }
+
+    #[test]
+    fn capacity_signature_bounds_are_tight() {
+        let spec = presets::mobile_multimedia_soc();
+        let part = partition(&spec, 4, 1);
+        let fp = CoreFloorplan::from_spec(&spec, 42);
+        let s = build_structure(&spec, &part, &fp, 32, Hertz::from_mhz(650), 0.75).expect("routes");
+        let cap = capacity_bits(32, Hertz::from_mhz(650), 0.75);
+        // The structure admits its own build capacity, rejects anything
+        // below the tightest passing margin or at the smallest failing
+        // margin, and rejects other widths outright.
+        assert!(s.admits(32, cap));
+        assert!(s.cap_lo > 0, "routing always records passing margins");
+        assert!(!s.admits(32, s.cap_lo - 1));
+        if s.cap_hi < u64::MAX {
+            assert!(!s.admits(32, s.cap_hi));
+        }
+        assert!(!s.admits(64, cap));
+    }
+
+    #[test]
+    fn shared_structure_matches_from_scratch_on_fig6_sweep() {
+        // The synthesize() sweep itself shares structures across clocks;
+        // cross-check every candidate against an independent
+        // from-scratch build.
+        let spec = presets::mobile_multimedia_soc();
+        let cfg = SynthesisConfig {
+            min_switches: 4,
+            max_switches: 6,
+            widths: vec![32, 64],
+            ..quick_cfg()
+        };
+        let fp = CoreFloorplan::from_spec(&spec, 42);
+        let mut shared: Vec<Option<SynthesizedDesign>> = Vec::new();
+        let mut scratch: Vec<Option<SynthesizedDesign>> = Vec::new();
+        for k in 4..=6 {
+            let part = partition(&spec, k, cfg.cluster_slack);
+            for &width in &cfg.widths {
+                let mut structures: Vec<CandidateStructure> = Vec::new();
+                for &clock in &[Hertz::from_mhz(400), Hertz::from_mhz(900)] {
+                    let cap = capacity_bits(width, clock, cfg.utilization_cap);
+                    let si = match structures.iter().position(|s| s.admits(width, cap)) {
+                        Some(i) => Some(i),
+                        None => {
+                            build_structure(&spec, &part, &fp, width, clock, cfg.utilization_cap)
+                                .ok()
+                                .map(|s| {
+                                    structures.push(s);
+                                    structures.len() - 1
+                                })
+                        }
+                    };
+                    shared.push(si.and_then(|i| {
+                        structures[i].to_design(
+                            clock,
+                            cfg.tech,
+                            cfg.utilization_cap,
+                            eval_options(&cfg),
+                        )
+                    }));
+                    scratch.push(synthesize_candidate(&spec, &cfg, &part, &fp, width, clock));
+                }
+            }
+        }
+        assert_eq!(shared, scratch);
     }
 }

@@ -171,6 +171,15 @@ pub struct IncrementalCdg {
     /// DFS visit marks, epoch-tagged to avoid clearing between calls.
     mark: Vec<u64>,
     epoch: u64,
+    /// Reusable scratch for the affected-region search and rollback
+    /// bookkeeping — cleared per call, never reallocated. Synthesis
+    /// admits thousands of routes per candidate, so per-call
+    /// allocations here dominate otherwise.
+    s_fwd: Vec<u32>,
+    s_back: Vec<u32>,
+    s_stack: Vec<u32>,
+    s_pool: Vec<u32>,
+    s_inserted: Vec<(u32, u32)>,
 }
 
 impl IncrementalCdg {
@@ -215,14 +224,19 @@ impl IncrementalCdg {
             // means y -> .. -> x exists, so x -> y closes a cycle.
             self.epoch += 1;
             let epoch = self.epoch;
-            let mut fwd: Vec<u32> = Vec::new();
-            let mut stack = vec![y];
+            let mut fwd = std::mem::take(&mut self.s_fwd);
+            let mut stack = std::mem::take(&mut self.s_stack);
+            fwd.clear();
+            stack.clear();
+            stack.push(y);
             self.mark[yi] = epoch;
-            while let Some(u) = stack.pop() {
+            let mut closes_cycle = false;
+            'forward: while let Some(u) = stack.pop() {
                 fwd.push(u);
                 for &v in &self.succ[u as usize] {
                     if v == x {
-                        return Err(x);
+                        closes_cycle = true;
+                        break 'forward;
                     }
                     let vi = v as usize;
                     if self.mark[vi] != epoch && self.ord[vi] <= ub {
@@ -231,13 +245,20 @@ impl IncrementalCdg {
                     }
                 }
             }
+            if closes_cycle {
+                self.s_fwd = fwd;
+                self.s_stack = stack;
+                return Err(x);
+            }
             // Backward DFS from x over nodes ranked >= lb. Disjoint
             // from the forward set (overlap would be a cycle, handled
             // above), so a fresh epoch keeps the sets separate.
             self.epoch += 1;
             let epoch = self.epoch;
-            let mut back: Vec<u32> = Vec::new();
-            let mut stack = vec![x];
+            let mut back = std::mem::take(&mut self.s_back);
+            back.clear();
+            stack.clear();
+            stack.push(x);
             self.mark[xi] = epoch;
             while let Some(u) = stack.pop() {
                 back.push(u);
@@ -258,15 +279,17 @@ impl IncrementalCdg {
             };
             by_rank(&mut back, &self.ord);
             by_rank(&mut fwd, &self.ord);
-            let mut pool: Vec<u32> = back
-                .iter()
-                .chain(fwd.iter())
-                .map(|&n| self.ord[n as usize])
-                .collect();
+            let mut pool = std::mem::take(&mut self.s_pool);
+            pool.clear();
+            pool.extend(back.iter().chain(fwd.iter()).map(|&n| self.ord[n as usize]));
             pool.sort_unstable();
             for (&node, &rank) in back.iter().chain(fwd.iter()).zip(pool.iter()) {
                 self.ord[node as usize] = rank;
             }
+            self.s_fwd = fwd;
+            self.s_back = back;
+            self.s_stack = stack;
+            self.s_pool = pool;
         }
         self.succ[xi].push(y);
         self.pred[yi].push(x);
@@ -299,11 +322,29 @@ impl IncrementalCdg {
     /// call: every edge this call inserted is removed again (duplicate
     /// multiplicities included).
     pub fn try_insert_route(&mut self, route: &Route) -> Result<(), TopologyError> {
-        for &l in &route.links {
+        self.try_insert_chain(&route.links)
+    }
+
+    /// [`try_insert_route`] on a bare link chain — the dependency edge
+    /// of every consecutive pair of `links` is inserted, with the same
+    /// transactional rollback on a cycle. Lets callers that know part
+    /// of a route cannot participate in cycles (e.g. synthesis, whose
+    /// NI↔switch links are permanent sources/sinks of the dependency
+    /// graph) insert only the cycle-relevant sub-chain.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_insert_route`].
+    ///
+    /// [`try_insert_route`]: IncrementalCdg::try_insert_route
+    pub fn try_insert_chain(&mut self, links: &[LinkId]) -> Result<(), TopologyError> {
+        for &l in links {
             self.ensure_node(l.0);
         }
-        let mut inserted: Vec<(u32, u32)> = Vec::with_capacity(route.links.len().saturating_sub(1));
-        for pair in route.links.windows(2) {
+        let mut inserted = std::mem::take(&mut self.s_inserted);
+        inserted.clear();
+        let mut result = Ok(());
+        for pair in links.windows(2) {
             let (x, y) = (pair[0].0 as u32, pair[1].0 as u32);
             match self.insert_edge(x, y) {
                 Ok(()) => inserted.push((x, y)),
@@ -311,13 +352,15 @@ impl IncrementalCdg {
                     for &(a, b) in inserted.iter().rev() {
                         self.remove_edge(a, b);
                     }
-                    return Err(TopologyError::DeadlockCycle {
+                    result = Err(TopologyError::DeadlockCycle {
                         witness: LinkId(witness as usize),
                     });
+                    break;
                 }
             }
         }
-        Ok(())
+        self.s_inserted = inserted;
+        result
     }
 
     /// Removes an admitted route's dependency edges from the CDG (one

@@ -76,6 +76,26 @@ pub fn link_loads(
     loads
 }
 
+/// [`link_loads`] as a dense `LinkId`-indexed vector (bits/s) of
+/// length `link_count` — the hot-path form evaluation uses so per-link
+/// lookups are array indexing instead of `BTreeMap` searches. Routes
+/// over links `>= link_count` are a caller bug and panic.
+pub fn link_loads_dense(
+    routes: &RouteSet,
+    demands: &BTreeMap<(crate::graph::NodeId, crate::graph::NodeId), BitsPerSecond>,
+    link_count: usize,
+) -> Vec<u64> {
+    let mut loads = vec![0u64; link_count];
+    for (pair, bw) in demands {
+        if let Some(route) = routes.get(pair.0, pair.1) {
+            for &l in &route.links {
+                loads[l.0] += bw.raw();
+            }
+        }
+    }
+    loads
+}
+
 /// Whether every link's load stays within its raw capacity at `clock`,
 /// derated by `utilization_cap` (e.g. 0.7 keeps 30 % headroom for
 /// protocol overhead and burst contention).
@@ -169,6 +189,28 @@ mod tests {
             .find_link(m.switch(0, 1), m.switch(0, 2))
             .expect("edge");
         assert_eq!(loads[&shared], BitsPerSecond::from_mbps(150));
+    }
+
+    #[test]
+    fn dense_loads_match_map_loads() {
+        let m = mesh(2, 3, &cores(6), 32).expect("valid");
+        let routes = m.xy_routes_all_pairs().expect("ok");
+        let mut demands = BTreeMap::new();
+        for (a, b, mbps) in [(0usize, 5usize, 100u64), (1, 4, 50), (3, 2, 75)] {
+            demands.insert(
+                (
+                    m.initiator_of(CoreId(a)).expect("ni"),
+                    m.target_of(CoreId(b)).expect("ni"),
+                ),
+                BitsPerSecond::from_mbps(mbps),
+            );
+        }
+        let map = link_loads(&routes, &demands);
+        let dense = link_loads_dense(&routes, &demands, m.topology.links().len());
+        for (i, &load) in dense.iter().enumerate() {
+            let expect = map.get(&LinkId(i)).map(|b| b.raw()).unwrap_or(0);
+            assert_eq!(load, expect, "link {i}");
+        }
     }
 
     #[test]

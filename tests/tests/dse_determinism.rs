@@ -93,6 +93,77 @@ fn kill_at_any_shard_then_resume_matches_cold() {
     }
 }
 
+/// The structure-sharing layer under the full 54-candidate grid (all
+/// clocks, so structures are reused across capacity classes): a cold
+/// run must build far fewer structures than it evaluates candidates, a
+/// warm run must never reach the structure layer, and kill+resume must
+/// still reproduce the cold front byte-for-byte.
+#[test]
+fn structure_cache_cold_warm_resume_full_grid() {
+    let grid = default_grid();
+    let c = DseConfig {
+        base_seed: 41,
+        specs: 6,
+        threads: 2,
+        checkpoint_every: 3,
+        ..DseConfig::default()
+    };
+    let path = tmp("structs");
+    cleanup(&path);
+    let cold = {
+        let store = Store::open(&path).expect("open");
+        explore(&c, &grid, &store).expect("cold")
+    };
+    assert!(cold.completed);
+    assert!(cold.structure_misses > 0, "cold run builds structures");
+    assert!(cold.structure_hits > 0, "cold run shares structures");
+    assert!(
+        cold.structure_misses < cold.candidates_evaluated / 2,
+        "sharing must collapse most structure work: built {} for {} evals",
+        cold.structure_misses,
+        cold.candidates_evaluated
+    );
+    // Warm replay (fresh process, checkpoint evicted so every shard
+    // re-walks the store): all metrics hits, structure layer untouched.
+    let _ = std::fs::remove_file(format!("{}.ckpt", path.display()));
+    let store = Store::open(&path).expect("reopen");
+    let warm = explore(&c, &grid, &store).expect("warm");
+    assert_eq!(warm.store_stats.misses, 0);
+    assert_eq!(
+        warm.structure_hits + warm.structure_misses,
+        0,
+        "warm run must never reach the structure layer"
+    );
+    assert_eq!(warm.front.canonical_bytes(), cold.front.canonical_bytes());
+    cleanup(&path);
+
+    // Kill mid-sweep and resume: byte-identical front with structure
+    // pools persisted by the partial run.
+    let path = tmp("structs_resume");
+    cleanup(&path);
+    {
+        let store = Store::open(&path).expect("open");
+        let killed = explore(
+            &DseConfig {
+                max_shards: Some(2),
+                ..c.clone()
+            },
+            &grid,
+            &store,
+        )
+        .expect("killed run");
+        assert!(!killed.completed);
+    }
+    let store = Store::open(&path).expect("reopen");
+    let resumed = explore(&c, &grid, &store).expect("resumed run");
+    assert!(resumed.completed);
+    assert_eq!(
+        resumed.front.canonical_bytes(),
+        cold.front.canonical_bytes()
+    );
+    cleanup(&path);
+}
+
 #[test]
 fn persisted_store_replays_across_processes() {
     let grid = grid();
